@@ -1,0 +1,324 @@
+package whips
+
+// Benchmark suite: one benchmark per reproduced artifact.
+//
+//   - BenchmarkExampleN…     regenerate the paper's worked examples
+//     (Table 1 / Examples 1–5) through the real pipeline or merge process.
+//   - BenchmarkS1…S6         regenerate the §7 performance-study tables on
+//     the deterministic simulator (virtual-time results are printed once
+//     with -v; wall-clock numbers measure harness cost).
+//   - BenchmarkMicro…        micro-benchmarks of the load-bearing pieces:
+//     incremental delta computation, SPA/PA row processing, warehouse
+//     transactions.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"whips/internal/expr"
+	"whips/internal/harness"
+	"whips/internal/merge"
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/system"
+	"whips/internal/workload"
+)
+
+// --- Paper examples ---------------------------------------------------------
+
+// BenchmarkExample1Table1 runs the full Table 1 scenario end-to-end (real
+// goroutines): one source update, two views, one coordinated warehouse
+// transaction.
+func BenchmarkExample1Table1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := New(Config{
+			Sources: []SourceDef{
+				{ID: "src1", Relations: map[string]*Relation{
+					"R": FromTuples(rSchema, T(1, 2)),
+					"S": NewRelation(sSchema),
+				}},
+				{ID: "src2", Relations: map[string]*Relation{
+					"T": FromTuples(tSchema, T(3, 4)),
+				}},
+			},
+			Views: []ViewDef{
+				{ID: "V1", Expr: MustJoin(Scan("R", rSchema), Scan("S", sSchema)), Manager: Complete},
+				{ID: "V2", Expr: MustJoin(Scan("S", sSchema), Scan("T", tSchema)), Manager: Complete},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Start()
+		if _, err := sys.Execute("src1", Insert("S", sSchema, T(2, 3))); err != nil {
+			b.Fatal(err)
+		}
+		if !sys.WaitFresh(10 * time.Second) {
+			b.Fatal("not fresh")
+		}
+		sys.Stop()
+	}
+}
+
+// benchMergeTrace replays a scripted merge-process message sequence.
+func benchMergeTrace(b *testing.B, alg merge.Algorithm, script func(m *merge.Merge)) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := merge.New(0, alg, merge.NewCallback(func(msg.WarehouseTxn) {}))
+		script(m)
+	}
+}
+
+var benchALSchema = relation.MustSchema("X:int")
+
+func benchAL(view msg.ViewID, from, upto msg.UpdateID) msg.ActionList {
+	return msg.ActionList{View: view, From: from, Upto: upto,
+		Delta: relation.InsertDelta(benchALSchema, relation.T(int(upto)))}
+}
+
+// BenchmarkExample3SPA replays the paper's Example 3 message sequence.
+func BenchmarkExample3SPA(b *testing.B) {
+	benchMergeTrace(b, merge.SPA, func(m *merge.Merge) {
+		m.Handle(msg.RelevantSet{Seq: 1, Views: []msg.ViewID{"V1", "V2"}}, 0)
+		m.Handle(benchAL("V2", 1, 1), 0)
+		m.Handle(msg.RelevantSet{Seq: 2, Views: []msg.ViewID{"V3"}}, 0)
+		m.Handle(msg.RelevantSet{Seq: 3, Views: []msg.ViewID{"V2"}}, 0)
+		m.Handle(benchAL("V3", 2, 2), 0)
+		m.Handle(benchAL("V2", 3, 3), 0)
+		m.Handle(benchAL("V1", 1, 1), 0)
+	})
+}
+
+// BenchmarkExample5PA replays the paper's Example 5 message sequence.
+func BenchmarkExample5PA(b *testing.B) {
+	benchMergeTrace(b, merge.PA, func(m *merge.Merge) {
+		m.Handle(msg.RelevantSet{Seq: 1, Views: []msg.ViewID{"V1", "V2"}}, 0)
+		m.Handle(msg.RelevantSet{Seq: 2, Views: []msg.ViewID{"V2", "V3"}}, 0)
+		m.Handle(msg.RelevantSet{Seq: 3, Views: []msg.ViewID{"V2", "V3"}}, 0)
+		m.Handle(benchAL("V2", 1, 1), 0)
+		m.Handle(benchAL("V2", 2, 3), 0)
+		m.Handle(benchAL("V3", 2, 2), 0)
+		m.Handle(benchAL("V1", 1, 1), 0)
+		m.Handle(benchAL("V3", 3, 3), 0)
+	})
+}
+
+// --- §7 performance study (simulator) ---------------------------------------
+
+// benchExperiment regenerates one study table per benchmark run; with -v
+// the first iteration prints the table, so `go test -bench S1 -v`
+// reproduces EXPERIMENTS.md.
+func benchExperiment(b *testing.B, gen func(seed int64, updates int) harness.Table) {
+	for i := 0; i < b.N; i++ {
+		t := gen(1, 100)
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+	}
+}
+
+// BenchmarkS1Freshness regenerates table S1 (freshness vs update rate).
+func BenchmarkS1Freshness(b *testing.B) { benchExperiment(b, harness.FreshnessVsLoad) }
+
+// BenchmarkS2Bottleneck regenerates table S2 (merge/warehouse saturation).
+func BenchmarkS2Bottleneck(b *testing.B) { benchExperiment(b, harness.MergeBottleneck) }
+
+// BenchmarkS2bStragglerVUT regenerates table S2b (VUT growth behind a
+// straggler view manager).
+func BenchmarkS2bStragglerVUT(b *testing.B) { benchExperiment(b, harness.StragglerVUT) }
+
+// BenchmarkS3CommitStrategies regenerates table S3 (§4.3 strategies).
+func BenchmarkS3CommitStrategies(b *testing.B) { benchExperiment(b, harness.CommitStrategies) }
+
+// BenchmarkS4DistributedMerge regenerates table S4 (§6.1 scaling).
+func BenchmarkS4DistributedMerge(b *testing.B) { benchExperiment(b, harness.DistributedMergeScaling) }
+
+// BenchmarkS5Promptness regenerates table S5 (§4.4 promptness).
+func BenchmarkS5Promptness(b *testing.B) { benchExperiment(b, harness.Promptness) }
+
+// BenchmarkS6AlgorithmOverhead regenerates table S6 (coordination cost).
+func BenchmarkS6AlgorithmOverhead(b *testing.B) { benchExperiment(b, harness.AlgorithmOverhead) }
+
+// BenchmarkS7FilterAblation regenerates table S7 (ref-[7] irrelevant-update
+// filtering).
+func BenchmarkS7FilterAblation(b *testing.B) { benchExperiment(b, harness.FilterAblation) }
+
+// BenchmarkS8RelayAblation regenerates table S8 (§3.2 alternative REL
+// routing).
+func BenchmarkS8RelayAblation(b *testing.B) { benchExperiment(b, harness.RelayAblation) }
+
+// BenchmarkS9StagedTransfer regenerates table S9 (§6.3 coordinate-commit-
+// only data transfer).
+func BenchmarkS9StagedTransfer(b *testing.B) { benchExperiment(b, harness.StagedTransfer) }
+
+// BenchmarkS10ManagerComparison regenerates table S10 (§6.3 manager menu).
+func BenchmarkS10ManagerComparison(b *testing.B) { benchExperiment(b, harness.ManagerComparison) }
+
+// --- micro-benchmarks --------------------------------------------------------
+
+// BenchmarkMicroJoinDelta measures one incremental join-delta computation
+// against a 1000-tuple base relation.
+func BenchmarkMicroJoinDelta(b *testing.B) {
+	db := map[string]*Relation{
+		"R": NewRelation(rSchema),
+		"S": NewRelation(sSchema),
+	}
+	for i := 0; i < 1000; i++ {
+		_ = db["R"].Insert(T(i, i%100), 1)
+		_ = db["S"].Insert(T(i%100, i), 1)
+	}
+	v := MustJoin(Scan("R", rSchema), Scan("S", sSchema))
+	d := InsertDelta(sSchema, T(50, 5000))
+	mdb := expr.MapDB(db)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expr.Delta(v, "S", d, mdb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroSPAThroughput measures merge-process message handling on a
+// long independent-row workload.
+func BenchmarkMicroSPAThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := merge.New(0, merge.SPA, merge.NewCallback(func(msg.WarehouseTxn) {}))
+		for seq := msg.UpdateID(1); seq <= 1000; seq++ {
+			view := msg.ViewID(fmt.Sprintf("V%d", seq%8))
+			m.Handle(msg.RelevantSet{Seq: seq, Views: []msg.ViewID{view}}, 0)
+			m.Handle(benchAL(view, seq, seq), 0)
+		}
+	}
+}
+
+// BenchmarkMicroPABatches measures PA on batched action lists.
+func BenchmarkMicroPABatches(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := merge.New(0, merge.PA, merge.NewCallback(func(msg.WarehouseTxn) {}))
+		for seq := msg.UpdateID(1); seq <= 1000; seq++ {
+			m.Handle(msg.RelevantSet{Seq: seq, Views: []msg.ViewID{"V1", "V2"}}, 0)
+			m.Handle(benchAL("V1", seq, seq), 0)
+			if seq%4 == 0 {
+				m.Handle(benchAL("V2", seq-3, seq), 0)
+			}
+		}
+	}
+}
+
+// BenchmarkMicroWarehouseTxn measures atomic multi-view application.
+func BenchmarkMicroWarehouseTxn(b *testing.B) {
+	sys, err := system.Build(system.Config{
+		Sources: workload.PaperSources(),
+		Views:   workload.PaperViews(system.Complete),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wh := sys.Warehouse
+	d := InsertDelta(MustSchema("A:int", "B:int", "C:int"), T(1, 2, 3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := msg.WarehouseTxn{
+			ID:   msg.TxnID(i + 1),
+			Rows: []msg.UpdateID{msg.UpdateID(i + 1)},
+			Writes: []msg.ViewWrite{
+				{View: "V1", Upto: msg.UpdateID(i + 1), Delta: d},
+			},
+		}
+		wh.Handle(msg.SubmitTxn{Txn: txn}, 0)
+	}
+}
+
+// BenchmarkMicroEndToEndSim measures the whole simulated pipeline per
+// update (build + 500 updates through SPA).
+func BenchmarkMicroEndToEndSim(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Run(harness.Params{
+			Name:     "micro",
+			Sources:  workload.PaperSources(),
+			Views:    workload.PaperViews(system.Complete),
+			Updates:  500,
+			Interval: 1000,
+			Seed:     1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Txns == 0 {
+			b.Fatal("no transactions")
+		}
+	}
+}
+
+// BenchmarkMicroJoinDeltaUnindexed is the ablation partner of
+// BenchmarkMicroJoinDelta: the same join delta computed through the
+// generic path (the scanned side wrapped in a Const, which defeats the
+// persistent-index probe). The gap is what the index buys per-update
+// incremental maintenance.
+func BenchmarkMicroJoinDeltaUnindexed(b *testing.B) {
+	db := map[string]*Relation{
+		"R": NewRelation(rSchema),
+		"S": NewRelation(sSchema),
+	}
+	for i := 0; i < 1000; i++ {
+		_ = db["R"].Insert(T(i, i%100), 1)
+		_ = db["S"].Insert(T(i%100, i), 1)
+	}
+	// Wrap R in a Const holding its contents: semantically identical, but
+	// not a Scan, so the join cannot probe an index.
+	v := MustJoin(expr.NewConst(rSchema, db["R"].AsDelta()), Scan("S", sSchema))
+	d := InsertDelta(sSchema, T(50, 5000))
+	mdb := expr.MapDB(db)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expr.Delta(v, "S", d, mdb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroOptimizedDelta measures the incremental-maintenance cost
+// of a selective join view with and without the optimizer's selection
+// pushdown — the ablation for Config.OptimizeViews.
+func BenchmarkMicroOptimizedDelta(b *testing.B) {
+	db := map[string]*Relation{
+		"R": NewRelation(rSchema),
+		"S": NewRelation(sSchema),
+	}
+	for i := 0; i < 2000; i++ {
+		_ = db["R"].Insert(T(i, i%200), 1)
+		_ = db["S"].Insert(T(i%200, i), 1)
+	}
+	// σ_{C=7}(R ⋈ S): without pushdown every R delta joins against all of
+	// S before the filter; with pushdown it probes σ_{C=7}(S) only.
+	base := MustSelect(MustJoin(Scan("R", rSchema), Scan("S", sSchema)), Cmp("C", Eq, 7))
+	d := InsertDelta(rSchema, T(5000, 7))
+	mdb := expr.MapDB(db)
+	for _, cfg := range []struct {
+		name string
+		v    Expr
+	}{
+		{"original", base},
+		{"optimized", OptimizeExpr(base)},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := expr.Delta(cfg.v, "R", d, mdb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+// Command mvcbench runs the performance study the paper proposes in §7 —
+// view freshness under the merge process and merge-bottleneck behaviour —
+// plus the §4.3 commit-strategy and §6.1 distributed-merge sweeps. All
+// experiments run on the deterministic discrete-event simulator, so the
+// printed numbers are exactly reproducible for a given seed.
+//
+// Usage:
+//
+//	mvcbench [-exp all|freshness|bottleneck|commit|distributed|promptness|overhead]
+//	         [-updates N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whips/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, freshness, bottleneck, straggler, commit, distributed, promptness, overhead, filter, relay, staged, managers")
+	updates := flag.Int("updates", 200, "source transactions per run")
+	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	seed := flag.Int64("seed", 1, "workload and latency seed")
+	flag.Parse()
+
+	var tables []harness.Table
+	switch *exp {
+	case "all":
+		tables = harness.AllExperiments(*seed, *updates)
+	case "freshness":
+		tables = []harness.Table{harness.FreshnessVsLoad(*seed, *updates)}
+	case "bottleneck":
+		tables = []harness.Table{harness.MergeBottleneck(*seed, *updates)}
+	case "commit":
+		tables = []harness.Table{harness.CommitStrategies(*seed, *updates)}
+	case "distributed":
+		tables = []harness.Table{harness.DistributedMergeScaling(*seed, *updates)}
+	case "promptness":
+		tables = []harness.Table{harness.Promptness(*seed, *updates)}
+	case "straggler":
+		tables = []harness.Table{harness.StragglerVUT(*seed, *updates)}
+	case "overhead":
+		tables = []harness.Table{harness.AlgorithmOverhead(*seed, *updates)}
+	case "filter":
+		tables = []harness.Table{harness.FilterAblation(*seed, *updates)}
+	case "relay":
+		tables = []harness.Table{harness.RelayAblation(*seed, *updates)}
+	case "staged":
+		tables = []harness.Table{harness.StagedTransfer(*seed, *updates)}
+	case "managers":
+		tables = []harness.Table{harness.ManagerComparison(*seed, *updates)}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	if !*csv {
+		fmt.Printf("WHIPS MVC performance study (seed=%d, updates=%d, virtual time)\n\n", *seed, *updates)
+	}
+	for _, t := range tables {
+		if *csv {
+			fmt.Println(t.RenderCSV())
+		} else {
+			fmt.Println(t.Render())
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command vuttrace replays the paper's worked examples against the merge
+// process and prints the ViewUpdateTable after every event, reproducing
+// the tables of §4 and §5 step by step.
+//
+// Usage:
+//
+//	vuttrace -example 2|3|4|5|6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whips/internal/merge"
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+var alSchema = relation.MustSchema("X:int")
+
+// feed sends one message, labelled, to the merge process.
+func feed(m *merge.Merge, label string, x any) {
+	fmt.Printf(">> %s\n", label)
+	m.Handle(x, 0)
+}
+
+func al(view msg.ViewID, from, upto msg.UpdateID) msg.ActionList {
+	return msg.ActionList{View: view, From: from, Upto: upto,
+		Delta: relation.InsertDelta(alSchema, relation.T(int(upto)))}
+}
+
+func rel(seq msg.UpdateID, views ...msg.ViewID) msg.RelevantSet {
+	return msg.RelevantSet{Seq: seq, Views: views}
+}
+
+// submissions counts warehouse transactions handed over by the merge.
+var submissions int
+
+func onTxn(t msg.WarehouseTxn) {
+	submissions++
+	fmt.Printf("   => warehouse transaction %d: rows %v, %d view writes\n", submissions, t.Rows, len(t.Writes))
+}
+
+func tracer() merge.Option {
+	return merge.WithTrace(func(e merge.TraceEvent) {
+		switch e.Kind {
+		case "rel":
+			fmt.Printf("   REL%d received\n", e.Seq)
+		case "al":
+			fmt.Printf("   AL for U%d / %s recorded\n", e.Seq, e.View)
+		case "apply":
+			fmt.Printf("   rows %v applied\n", e.Rows)
+		case "purge":
+			fmt.Printf("   row %d purged\n", e.Seq)
+		}
+		if e.VUT == "" {
+			fmt.Println("   VUT: (empty)")
+		} else {
+			fmt.Printf("   VUT:\n%s", indent(e.VUT))
+		}
+	})
+}
+
+func indent(s string) string {
+	out := ""
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out += "     " + s[start:i+1]
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func main() {
+	example := flag.Int("example", 3, "paper example to replay: 2, 3, 4 or 5; 6 shows §3.2 relayed-REL arrival orders")
+	flag.Parse()
+
+	switch *example {
+	case 2:
+		fmt.Println("Example 2 (§4.1): building the ViewUpdateTable under SPA")
+		fmt.Println("views: V1=R⋈S V2=S⋈T⋈Q V3=Q; updates: U1 on S, U2 on Q")
+		m := merge.New(0, merge.SPA, merge.NewCallback(onTxn), tracer())
+		feed(m, "REL1={V1,V2}", rel(1, "V1", "V2"))
+		feed(m, "REL2={V2,V3}", rel(2, "V2", "V3"))
+		feed(m, "AL^2_1 from VM2", al("V2", 1, 1))
+		feed(m, "AL^1_1 from VM1", al("V1", 1, 1))
+	case 3:
+		fmt.Println("Example 3 (§4.2): the Simple Painting Algorithm")
+		fmt.Println("views: V1=R⋈S V2=S⋈T V3=Q; updates: U1 on S, U2 on Q, U3 on T")
+		m := merge.New(0, merge.SPA, merge.NewCallback(onTxn), tracer())
+		feed(m, "REL1={V1,V2}", rel(1, "V1", "V2"))
+		feed(m, "AL^2_1", al("V2", 1, 1))
+		feed(m, "REL2={V3}", rel(2, "V3"))
+		feed(m, "REL3={V2}", rel(3, "V2"))
+		feed(m, "AL^3_2 (t4: row 2 applies before row 1 — promptness)", al("V3", 2, 2))
+		feed(m, "AL^2_3 (t7: row 3 must wait behind row 1 in V2's column)", al("V2", 3, 3))
+		feed(m, "AL^1_1 (t8: row 1 applies, then row 3)", al("V1", 1, 1))
+	case 4:
+		fmt.Println("Example 4 (§5): intertwined batch that breaks SPA, handled by PA")
+		fmt.Println("views: V1=R⋈S V2=S⋈T⋈Q V3=Q; updates: U1 on S, U2 on Q, U3 on S")
+		m := merge.New(0, merge.PA, merge.NewCallback(onTxn), tracer())
+		feed(m, "REL1={V1,V2}", rel(1, "V1", "V2"))
+		feed(m, "REL2={V2,V3}", rel(2, "V2", "V3"))
+		feed(m, "REL3={V1,V2}", rel(3, "V1", "V2"))
+		feed(m, "AL^1_1..3 (batch covering U1 and U3)", al("V1", 1, 3))
+		feed(m, "AL^2_1", al("V2", 1, 1))
+		feed(m, "AL^2_2", al("V2", 2, 2))
+		feed(m, "AL^3_2 (SPA would now wrongly apply rows 1,2)", al("V3", 2, 2))
+		feed(m, "AL^2_3 (now rows 1-3 apply as ONE transaction)", al("V2", 3, 3))
+	case 5:
+		fmt.Println("Example 5 (§5): the Painting Algorithm")
+		fmt.Println("views: V1=R⋈S V2=S⋈T⋈Q V3=Q; updates: U1 on S, U2 on Q, U3 on Q")
+		m := merge.New(0, merge.PA, merge.NewCallback(onTxn), tracer())
+		feed(m, "REL1={V1,V2}", rel(1, "V1", "V2"))
+		feed(m, "REL2={V2,V3}", rel(2, "V2", "V3"))
+		feed(m, "REL3={V2,V3}", rel(3, "V2", "V3"))
+		feed(m, "AL^2_1 (t1)", al("V2", 1, 1))
+		feed(m, "AL^2_2..3 (t2: covers U2 and U3, state=3)", al("V2", 2, 3))
+		feed(m, "AL^3_2 (t3: ProcessRow(2)→ProcessRow(1) fails, V1 white)", al("V3", 2, 2))
+		feed(m, "AL^1_1 (t4/t5: row 1 applies alone)", al("V1", 1, 1))
+		feed(m, "AL^3_3 (t6/t7: rows 2,3 apply together)", al("V3", 3, 3))
+	case 6:
+		fmt.Println("§3.2 alternative routing: RELs relayed via view managers")
+		fmt.Println("views: V1, V2 over S; REL1's relayer lags behind V1's lists")
+		m := merge.New(0, merge.PA, merge.NewCallback(onTxn), tracer(), merge.WithRelayedRELs())
+		feed(m, "AL^V1_1 arrives with REL1 still in flight (buffered)", al("V1", 1, 1))
+		feed(m, "REL2={V1,V2} (relayed by V2, overtook REL1)", rel(2, "V1", "V2"))
+		feed(m, "AL^V1_2 (queues behind the buffered AL^V1_1)", al("V1", 2, 2))
+		feed(m, "AL^V2_2 (row 2 all-red, but the REL frontier is 0)", al("V2", 2, 2))
+		feed(m, "REL1={V1} lands: frontier 0→2, everything applies in order", rel(1, "V1"))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown example %d (use 2, 3, 4, 5 or 6)\n", *example)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,122 @@
+// Command whips runs a configurable warehouse scenario end-to-end on the
+// paper's R/S/T schema: it executes a random update workload against the
+// sources, maintains V1 = R⋈S and V2 = S⋈T with the selected view-manager
+// kind and commit strategy, then reports warehouse contents, merge
+// statistics, and the achieved consistency level.
+//
+// Usage:
+//
+//	whips [-managers complete|query|batching|querybatch|refresh|completeN|convergent]
+//	      [-commit sequential|dependency|batched] [-updates N] [-seed N]
+//	      [-distributed] [-filter] [-batch N] [-jitter duration]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"whips"
+	"whips/internal/workload"
+)
+
+func main() {
+	managers := flag.String("managers", "complete", "view manager kind: complete, query, batching, querybatch, refresh, completeN, convergent")
+	commit := flag.String("commit", "sequential", "commit strategy: sequential, dependency, batched")
+	updates := flag.Int("updates", 50, "number of source transactions")
+	seed := flag.Int64("seed", 1, "workload seed")
+	distributed := flag.Bool("distributed", false, "partition views over multiple merge processes (§6.1)")
+	filter := flag.Bool("filter", false, "enable irrelevant-update filtering (ref [7])")
+	relay := flag.Bool("relay", false, "relay RELi via view managers (§3.2 alternative)")
+	batch := flag.Int("batch", 4, "batch size for -commit batched")
+	jitter := flag.Duration("jitter", 200*time.Microsecond, "random per-edge message delay")
+	param := flag.Int("param", 2, "N for completeN / period for refresh")
+	flag.Parse()
+
+	kind, ok := map[string]whips.ManagerKind{
+		"complete":   whips.Complete,
+		"query":      whips.CompleteQuery,
+		"batching":   whips.Batching,
+		"querybatch": whips.QueryBatching,
+		"refresh":    whips.Refresh,
+		"completeN":  whips.CompleteN,
+		"convergent": whips.Convergent,
+	}[*managers]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown manager kind %q\n", *managers)
+		os.Exit(2)
+	}
+	ckind, ok := map[string]whips.CommitKind{
+		"sequential": whips.Sequential,
+		"dependency": whips.Dependency,
+		"batched":    whips.Batched,
+	}[*commit]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown commit strategy %q\n", *commit)
+		os.Exit(2)
+	}
+
+	views := workload.PaperViews(kind)
+	for i := range views {
+		views[i].Param = *param
+		views[i].ComputeDelay = func(int) int64 { return int64(100 * time.Microsecond) }
+	}
+	sys, err := whips.New(whips.Config{
+		Sources:           workload.PaperSources(),
+		Views:             views,
+		Commit:            ckind,
+		BatchSize:         *batch,
+		DistributedMerge:  *distributed,
+		RelevanceFilter:   *filter,
+		RelayRelevantSets: *relay,
+		LogStates:         true,
+		Jitter:            *jitter,
+		Seed:              *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Start()
+	defer sys.Stop()
+
+	fmt.Printf("views: V1 = R⋈S, V2 = S⋈T  managers: %s  merge: %v  commit: %s\n",
+		*managers, sys.Algorithm(), *commit)
+
+	gen := workload.NewGenerator(*seed, workload.PaperSources())
+	start := time.Now()
+	for i := 0; i < *updates; i++ {
+		src, writes := gen.Txn()
+		if _, err := sys.Execute(src, writes...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !sys.WaitFresh(30 * time.Second) {
+		log.Fatal("warehouse did not become fresh within 30s")
+	}
+	elapsed := time.Since(start)
+
+	views2 := sys.ReadAll()
+	fmt.Printf("\nafter %d updates (%.1fms wall):\n", *updates, float64(elapsed.Microseconds())/1000)
+	fmt.Printf("  V1 (%d rows): %v\n", views2["V1"].Cardinality(), views2["V1"])
+	fmt.Printf("  V2 (%d rows): %v\n", views2["V2"].Cardinality(), views2["V2"])
+	fmt.Printf("  warehouse transactions: %d\n", sys.Warehouse().Applied())
+	for g, st := range sys.MergeStats() {
+		fmt.Printf("  merge %d: RELs=%d ALs=%d txns=%d maxVUT=%d\n",
+			g, st.RELsReceived, st.ALsReceived, st.TxnsSubmitted, st.MaxRowsLive)
+	}
+
+	rep, err := sys.Consistency()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconsistency (§2): convergent=%v strong=%v complete=%v\n",
+		rep.Convergent, rep.Strong, rep.Complete)
+	if rep.Violation != "" {
+		fmt.Printf("  violation: %s\n", rep.Violation)
+	}
+	for id, v := range rep.PerView {
+		fmt.Printf("  %s: convergent=%v strong=%v complete=%v\n", id, v.Convergent, v.Strong, v.Complete)
+	}
+}

@@ -1,0 +1,178 @@
+// Command whipsnode runs the warehouse architecture split across two OS
+// processes — the paper's "view managers may reside on different machines"
+// made literal. The warehouse site hosts the sources, integrator, merge
+// process and warehouse; the manager site hosts the view managers. The two
+// talk the gob wire protocol over TCP.
+//
+// Terminal 1:
+//
+//	whipsnode -role warehouse -addr 127.0.0.1:7654 -updates 50
+//
+// Terminal 2:
+//
+//	whipsnode -role managers -addr 127.0.0.1:7654
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"time"
+
+	"whips/internal/consistency"
+	"whips/internal/expr"
+	"whips/internal/integrator"
+	"whips/internal/merge"
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/runtime"
+	"whips/internal/source"
+	"whips/internal/viewmgr"
+	"whips/internal/warehouse"
+	"whips/internal/wire"
+)
+
+var (
+	rSchema = relation.MustSchema("A:int", "B:int")
+	sSchema = relation.MustSchema("B:int", "C:int")
+)
+
+func views() map[msg.ViewID]expr.Expr {
+	return map[msg.ViewID]expr.Expr{
+		"V1": expr.MustJoin(expr.Scan("R", rSchema), expr.Scan("S", sSchema)),
+		"V2": expr.MustProject(expr.Scan("S", sSchema), "C"),
+	}
+}
+
+func main() {
+	role := flag.String("role", "", "warehouse or managers")
+	addr := flag.String("addr", "127.0.0.1:7654", "listen (warehouse) / dial (managers) address")
+	updates := flag.Int("updates", 50, "updates to run (warehouse role)")
+	flag.Parse()
+
+	switch *role {
+	case "warehouse":
+		runWarehouseSite(*addr, *updates)
+	case "managers":
+		runManagerSite(*addr)
+	default:
+		log.Fatalf("unknown -role %q (use warehouse or managers)", *role)
+	}
+}
+
+func runWarehouseSite(addr string, updates int) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	fmt.Printf("warehouse site listening on %s; waiting for the manager site...\n", addr)
+	conn, err := ln.Accept()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("manager site connected from %s\n", conn.RemoteAddr())
+
+	cluster := source.NewCluster(func() int64 { return time.Now().UnixNano() })
+	cluster.AddSource("src1")
+	must(cluster.LoadRelation("src1", "R", relation.FromTuples(rSchema, relation.T(1, 2))))
+	must(cluster.CreateRelation("src1", "S", sSchema))
+
+	vs := views()
+	integ := integrator.New([]integrator.ViewInfo{
+		{ID: "V1", Expr: vs["V1"]},
+		{ID: "V2", Expr: vs["V2"]},
+	})
+	initial := map[msg.ViewID]*relation.Relation{}
+	for id, e := range vs {
+		v, err := expr.Eval(e, cluster.DatabaseAt(0))
+		must(err)
+		initial[id] = v
+	}
+	wh := warehouse.New(initial, warehouse.WithStateLog())
+	mp := merge.New(0, merge.SPA, merge.NewSequential(msg.NodeMerge(0), 0))
+
+	bridge := wire.NewBridge(conn)
+	net := runtime.New(
+		[]msg.Node{source.NewNode(cluster), integ, mp, wh},
+		runtime.WithRemote(func(to string, m any) {
+			if err := bridge.Send(to, m); err != nil {
+				log.Printf("send: %v", err)
+			}
+		}),
+	)
+	net.Start()
+	defer net.Stop()
+	go bridge.Pump(func(to string, m any) { net.Inject(to, m) })
+
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for i := 0; i < updates; i++ {
+		u, err := cluster.Execute("src1", msg.Write{
+			Relation: "S",
+			Delta:    relation.InsertDelta(sSchema, relation.T(rng.Intn(6), rng.Intn(6))),
+		})
+		must(err)
+		net.Inject(msg.NodeIntegrator, u)
+	}
+	if !runtime.WaitUntil(30*time.Second, func() bool {
+		up := wh.Upto()
+		return up["V1"] >= msg.UpdateID(updates) && up["V2"] >= msg.UpdateID(updates)
+	}) {
+		log.Fatalf("remote managers did not drain: %v", wh.Upto())
+	}
+	rep, err := consistency.Check(cluster, vs, wh.Log())
+	must(err)
+	all := wh.ReadAll()
+	fmt.Printf("%d updates maintained by REMOTE view managers\n", updates)
+	fmt.Printf("V1: %d rows  V2: %d rows\n", all["V1"].Cardinality(), all["V2"].Cardinality())
+	fmt.Printf("MVC: convergent=%v strong=%v complete=%v\n", rep.Convergent, rep.Strong, rep.Complete)
+	if !rep.Complete {
+		log.Fatal("expected complete MVC")
+	}
+	fmt.Println("OK")
+}
+
+func runManagerSite(addr string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("manager site connected to %s; hosting view managers V1, V2\n", addr)
+
+	vs := views()
+	// Replicas seed from the warehouse site's initial contents, which this
+	// demo fixes statically (R = {[1 2]}, S = ∅).
+	init := expr.MapDB{
+		"R": relation.FromTuples(rSchema, relation.T(1, 2)),
+		"S": relation.New(sSchema),
+	}
+	vm1, err := viewmgr.NewComplete(viewmgr.Config{View: "V1", Expr: vs["V1"], Merge: msg.NodeMerge(0)}, init)
+	must(err)
+	vm2, err := viewmgr.NewComplete(viewmgr.Config{View: "V2", Expr: vs["V2"], Merge: msg.NodeMerge(0)}, init)
+	must(err)
+
+	bridge := wire.NewBridge(conn)
+	net := runtime.New(
+		[]msg.Node{vm1, vm2},
+		runtime.WithRemote(func(to string, m any) {
+			if err := bridge.Send(to, m); err != nil {
+				log.Printf("send: %v", err)
+			}
+		}),
+	)
+	net.Start()
+	defer net.Stop()
+	fmt.Println("maintaining views; ctrl-c to stop")
+	if err := bridge.Pump(func(to string, m any) { net.Inject(to, m) }); err != nil {
+		log.Printf("pump: %v", err)
+	}
+	fmt.Println("warehouse site disconnected; shutting down")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

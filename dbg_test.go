@@ -1,0 +1,30 @@
+package whips
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDebugQM(t *testing.T) {
+	cfg := paperConfig(CompleteQuery)
+	cfg.Jitter = 200 * time.Microsecond
+	cfg.Seed = 7
+	sys := startSystem(t, cfg)
+	runWorkload(t, sys, 7, 25)
+	if !sys.WaitFresh(5 * time.Second) {
+		t.Fatal("not fresh")
+	}
+	rep, err := sys.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Errorf("report: %+v", rep)
+		for _, u := range sys.Cluster().Log() {
+			t.Logf("U%d: %s %v", u.Seq, u.Writes[0].Relation, u.Writes[0].Delta)
+		}
+		for i, rec := range sys.Warehouse().Log() {
+			t.Logf("ws%d rows=%v: V1=%v V2=%v", i, rec.Rows, rec.Views["V1"], rec.Views["V2"])
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package whips_test
+
+import (
+	"fmt"
+	"time"
+
+	"whips"
+)
+
+// Example reproduces the paper's Table 1: one source update affecting two
+// views lands at the warehouse atomically.
+func Example() {
+	rs := whips.MustSchema("A:int", "B:int")
+	ss := whips.MustSchema("B:int", "C:int")
+	ts := whips.MustSchema("C:int", "D:int")
+
+	sys, err := whips.New(whips.Config{
+		Sources: []whips.SourceDef{
+			{ID: "src1", Relations: map[string]*whips.Relation{
+				"R": whips.FromTuples(rs, whips.T(1, 2)),
+				"S": whips.NewRelation(ss),
+			}},
+			{ID: "src2", Relations: map[string]*whips.Relation{
+				"T": whips.FromTuples(ts, whips.T(3, 4)),
+			}},
+		},
+		Views: []whips.ViewDef{
+			{ID: "V1", Expr: whips.MustJoin(whips.Scan("R", rs), whips.Scan("S", ss)), Manager: whips.Complete},
+			{ID: "V2", Expr: whips.MustJoin(whips.Scan("S", ss), whips.Scan("T", ts)), Manager: whips.Complete},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	sys.Start()
+	defer sys.Stop()
+
+	if _, err := sys.Execute("src1", whips.Insert("S", ss, whips.T(2, 3))); err != nil {
+		panic(err)
+	}
+	sys.WaitFresh(5 * time.Second)
+
+	views, _ := sys.Read("V1", "V2")
+	fmt.Println("V1 =", views["V1"])
+	fmt.Println("V2 =", views["V2"])
+	// Output:
+	// V1 = {[1 2 3]}
+	// V2 = {[2 3 4]}
+}
+
+// ExampleMustJoin shows evaluating a view expression directly against an
+// ad-hoc database, outside any running system.
+func ExampleMustJoin() {
+	rs := whips.MustSchema("A:int", "B:int")
+	ss := whips.MustSchema("B:int", "C:int")
+	v := whips.MustJoin(whips.Scan("R", rs), whips.Scan("S", ss))
+
+	db := adHoc{
+		"R": whips.FromTuples(rs, whips.T(1, 2), whips.T(9, 9)),
+		"S": whips.FromTuples(ss, whips.T(2, 3)),
+	}
+	out, err := whips.EvalView(v, db)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out)
+	// Output: {[1 2 3]}
+}
+
+type adHoc map[string]*whips.Relation
+
+func (d adHoc) Relation(name string) (*whips.Relation, error) {
+	r, ok := d[name]
+	if !ok {
+		return nil, fmt.Errorf("no relation %q", name)
+	}
+	return r, nil
+}
+
+// ExampleMustAggregate builds an aggregate view with group-by and shows
+// its schema.
+func ExampleMustAggregate() {
+	sales := whips.MustSchema("Region:string", "Amount:int")
+	v := whips.MustAggregate(whips.Scan("Sales", sales), []string{"Region"}, []whips.AggSpec{
+		{Op: whips.Count, As: "N"},
+		{Op: whips.Sum, Attr: "Amount", As: "Total"},
+	})
+	fmt.Println(v.Schema())
+	// Output: (Region:string, N:int, Total:int)
+}
+
+// ExampleSystem_Consistency judges a finished run against the paper's §2
+// definitions.
+func ExampleSystem_Consistency() {
+	ss := whips.MustSchema("B:int", "C:int")
+	sys, err := whips.New(whips.Config{
+		Sources: []whips.SourceDef{{ID: "src", Relations: map[string]*whips.Relation{
+			"S": whips.NewRelation(ss),
+		}}},
+		Views: []whips.ViewDef{
+			{ID: "Copy", Expr: whips.Scan("S", ss), Manager: whips.Complete},
+		},
+		LogStates: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	sys.Start()
+	defer sys.Stop()
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Execute("src", whips.Insert("S", ss, whips.T(i, i))); err != nil {
+			panic(err)
+		}
+	}
+	sys.WaitFresh(5 * time.Second)
+	rep, err := sys.Consistency()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("convergent=%v strong=%v complete=%v\n", rep.Convergent, rep.Strong, rep.Complete)
+	// Output: convergent=true strong=true complete=true
+}
+
+// ExampleCmp shows building selection predicates.
+func ExampleCmp() {
+	rs := whips.MustSchema("A:int", "B:int")
+	v := whips.MustSelect(whips.Scan("R", rs),
+		whips.And(whips.Cmp("A", whips.Ge, 10), whips.Not(whips.Cmp("B", whips.Eq, 0))))
+	fmt.Println(v)
+	// Output: select[(A>=10 and not(B=0))](R)
+}

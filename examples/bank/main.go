@@ -1,0 +1,195 @@
+// Bank demonstrates the paper's §1.1 motivation for MVC: "when the
+// customer calls with a question, we would like to be able to read her
+// data consistently: her checking account record, for instance, should
+// match with her linked savings account record."
+//
+// A bank source holds Checking(Cust, Bal) and Savings(Cust, Bal). Every
+// transaction transfers money between a customer's two accounts — one
+// source transaction with two writes — so the invariant
+//
+//	checking + savings = const  (per customer)
+//
+// holds at every source state. The warehouse materializes one view per
+// account kind plus an aggregate total. A customer-service reader snapshots
+// the views concurrently with a stream of transfers and verifies the
+// invariant on every read: a violation would mean a reader observed a
+// transfer half-applied across views.
+//
+// Run with:
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"whips"
+)
+
+const (
+	customers      = 4
+	initialBalance = 1000
+	transfers      = 60
+)
+
+func main() {
+	acct := whips.MustSchema("Cust:int", "Bal:int")
+
+	checking := whips.NewRelation(acct)
+	savings := whips.NewRelation(acct)
+	for c := 0; c < customers; c++ {
+		if err := checking.Insert(whips.T(c, initialBalance), 1); err != nil {
+			log.Fatal(err)
+		}
+		if err := savings.Insert(whips.T(c, initialBalance), 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	totalView := whips.MustAggregate(
+		whips.MustUnionAll(whips.Scan("Checking", acct), whips.Scan("Savings", acct)),
+		[]string{"Cust"},
+		[]whips.AggSpec{{Op: whips.Sum, Attr: "Bal", As: "Total"}},
+	)
+
+	sys, err := whips.New(whips.Config{
+		Sources: []whips.SourceDef{{ID: "bank", Relations: map[string]*whips.Relation{
+			"Checking": checking,
+			"Savings":  savings,
+		}}},
+		Views: []whips.ViewDef{
+			{ID: "VChecking", Expr: whips.Scan("Checking", acct), Manager: whips.Complete},
+			{ID: "VSavings", Expr: whips.Scan("Savings", acct), Manager: whips.Complete},
+			{ID: "VTotal", Expr: totalView, Manager: whips.Complete},
+		},
+		LogStates: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Start()
+	defer sys.Stop()
+
+	// The customer-service desk: concurrent consistent reads.
+	stop := make(chan struct{})
+	violations := make(chan string, 1)
+	reads := 0
+	go func() {
+		defer close(violations)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			views, err := sys.Read("VChecking", "VSavings", "VTotal")
+			if err != nil {
+				violations <- err.Error()
+				return
+			}
+			reads++
+			for c := 0; c < customers; c++ {
+				chk := balance(views["VChecking"], c)
+				sav := balance(views["VSavings"], c)
+				if chk+sav != 2*initialBalance {
+					violations <- fmt.Sprintf(
+						"customer %d: checking %d + savings %d != %d — reader saw a half-applied transfer",
+						c, chk, sav, 2*initialBalance)
+					return
+				}
+				if tot := totalOf(views["VTotal"], c); tot != 2*initialBalance {
+					violations <- fmt.Sprintf("customer %d: aggregate total %d drifted", c, tot)
+					return
+				}
+			}
+		}
+	}()
+
+	// The teller: a stream of transfers between each customer's accounts.
+	rng := rand.New(rand.NewSource(7))
+	balC := make([]int, customers)
+	balS := make([]int, customers)
+	for c := range balC {
+		balC[c], balS[c] = initialBalance, initialBalance
+	}
+	for i := 0; i < transfers; i++ {
+		c := rng.Intn(customers)
+		amount := 1 + rng.Intn(100)
+		fromC := rng.Intn(2) == 0
+		if fromC && balC[c] < amount {
+			fromC = false
+		}
+		if !fromC && balS[c] < amount {
+			fromC = true
+		}
+		var w1, w2 whips.Write
+		if fromC {
+			w1 = whips.Modify("Checking", acct, whips.T(c, balC[c]), whips.T(c, balC[c]-amount))
+			w2 = whips.Modify("Savings", acct, whips.T(c, balS[c]), whips.T(c, balS[c]+amount))
+			balC[c] -= amount
+			balS[c] += amount
+		} else {
+			w1 = whips.Modify("Savings", acct, whips.T(c, balS[c]), whips.T(c, balS[c]-amount))
+			w2 = whips.Modify("Checking", acct, whips.T(c, balC[c]), whips.T(c, balC[c]+amount))
+			balS[c] -= amount
+			balC[c] += amount
+		}
+		if _, err := sys.Execute("bank", w1, w2); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if !sys.WaitFresh(10 * time.Second) {
+		log.Fatal("warehouse did not become fresh")
+	}
+	close(stop)
+	if v, bad := <-violations; bad && v != "" {
+		log.Fatalf("INCONSISTENT READ: %s", v)
+	}
+
+	rep, err := sys.Consistency()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d transfers committed, %d concurrent reads, every snapshot consistent\n", transfers, reads)
+	fmt.Printf("warehouse transactions: %d; MVC level: convergent=%v strong=%v complete=%v\n",
+		sys.Warehouse().Applied(), rep.Convergent, rep.Strong, rep.Complete)
+	views, _ := sys.Read("VChecking", "VSavings")
+	for c := 0; c < customers; c++ {
+		fmt.Printf("customer %d: checking=%d savings=%d\n",
+			c, balance(views["VChecking"], c), balance(views["VSavings"], c))
+	}
+	if !rep.Complete {
+		log.Fatalf("expected complete MVC, got %+v", rep)
+	}
+	fmt.Println("OK: every customer snapshot balanced")
+}
+
+// balance extracts a customer's balance from an account view.
+func balance(r *whips.Relation, cust int) int {
+	var out int
+	r.Each(func(t whips.Tuple, n int64) bool {
+		if t[0].Int() == int64(cust) {
+			out = int(t[1].Int())
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// totalOf extracts a customer's aggregate total.
+func totalOf(r *whips.Relation, cust int) int {
+	var out int
+	r.Each(func(t whips.Tuple, n int64) bool {
+		if t[0].Int() == int64(cust) {
+			out = int(t[1].Int())
+			return false
+		}
+		return true
+	})
+	return out
+}

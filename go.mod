@@ -1,0 +1,3 @@
+module whips
+
+go 1.22

@@ -1,0 +1,162 @@
+// Package baseline implements the §1.1 "simplest solution to the MVC
+// problem": a single integrator process that handles updates sequentially —
+// for each update it computes the changes to all affected views, submits
+// one warehouse transaction, waits for the commit, and only then moves on.
+// It is trivially correct (complete MVC) and is the comparison point the
+// paper's concurrent architecture beats: it allows no concurrency at all,
+// so per-update costs add up across views and updates queue behind the
+// warehouse round trip.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+// View declares one view maintained by the sequential integrator.
+type View struct {
+	ID   msg.ViewID
+	Expr expr.Expr
+	// ComputeDelay models the per-batch delta computation cost, exactly as
+	// viewmgr.Config.ComputeDelay does for the concurrent managers.
+	ComputeDelay func(updates int) int64
+}
+
+// Sequential is the single-process integrator. It implements msg.Node with
+// id "integrator" so it can replace the whole concurrent middle tier in a
+// system assembly.
+type Sequential struct {
+	views    []View
+	replicas map[string]*relation.Relation
+	byRel    map[string][]int
+
+	queue    []msg.Update
+	inflight bool
+	nextTxn  msg.TxnID
+}
+
+type workDone struct {
+	txn msg.WarehouseTxn
+}
+
+// New builds the baseline over the views, seeding base-relation replicas
+// from init (state 0).
+func New(views []View, init expr.Database) (*Sequential, error) {
+	s := &Sequential{
+		views:    append([]View(nil), views...),
+		replicas: make(map[string]*relation.Relation),
+		byRel:    make(map[string][]int),
+	}
+	for vi, v := range s.views {
+		for _, rel := range v.Expr.BaseRelations() {
+			s.byRel[rel] = append(s.byRel[rel], vi)
+			if _, ok := s.replicas[rel]; !ok {
+				r, err := init.Relation(rel)
+				if err != nil {
+					return nil, fmt.Errorf("baseline: seeding %q: %w", rel, err)
+				}
+				s.replicas[rel] = r.Clone()
+			}
+		}
+	}
+	return s, nil
+}
+
+// ID implements msg.Node.
+func (s *Sequential) ID() string { return msg.NodeIntegrator }
+
+// Relation implements expr.Database over the replicas.
+func (s *Sequential) Relation(name string) (*relation.Relation, error) {
+	r, ok := s.replicas[name]
+	if !ok {
+		return nil, fmt.Errorf("baseline: no replica of %q", name)
+	}
+	return r, nil
+}
+
+// Handle implements msg.Node.
+func (s *Sequential) Handle(m any, now int64) []msg.Outbound {
+	switch t := m.(type) {
+	case msg.Update:
+		s.queue = append(s.queue, t)
+		if s.inflight {
+			return nil
+		}
+		return s.next()
+	case workDone:
+		// Delta computation finished; submit the transaction and wait for
+		// the warehouse round trip.
+		return []msg.Outbound{msg.Send(msg.NodeWarehouse, msg.SubmitTxn{Txn: t.txn, From: s.ID()})}
+	case msg.CommitAck:
+		s.inflight = false
+		return s.next()
+	default:
+		return nil
+	}
+}
+
+// next processes the head-of-queue update: sequentially computes every
+// affected view's delta, then models the summed computation cost as a
+// busy period before submission.
+func (s *Sequential) next() []msg.Outbound {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	u := s.queue[0]
+	s.queue = s.queue[1:]
+	s.inflight = true
+
+	affected := map[int]bool{}
+	for _, w := range u.Writes {
+		for _, vi := range s.byRel[w.Relation] {
+			affected[vi] = true
+		}
+	}
+	vis := make([]int, 0, len(affected))
+	for vi := range affected {
+		vis = append(vis, vi)
+	}
+	sort.Ints(vis)
+
+	s.nextTxn++
+	txn := msg.WarehouseTxn{
+		ID:       s.nextTxn,
+		Rows:     []msg.UpdateID{u.Seq},
+		CommitAt: u.CommitAt,
+	}
+	var totalDelay int64
+	for _, vi := range vis {
+		v := s.views[vi]
+		d, err := expr.DeltaWrites(v.Expr, msg.ExprWrites(u.Writes), s)
+		if err != nil {
+			panic(fmt.Sprintf("baseline: delta of %s at update %d: %v", v.ID, u.Seq, err))
+		}
+		txn.Writes = append(txn.Writes, msg.ViewWrite{View: v.ID, Upto: u.Seq, Delta: d})
+		if v.ComputeDelay != nil {
+			totalDelay += v.ComputeDelay(1) // sequential: costs add
+		}
+	}
+	for _, w := range u.Writes {
+		if r, ok := s.replicas[w.Relation]; ok {
+			if err := r.Apply(w.Delta); err != nil {
+				panic(fmt.Sprintf("baseline: replica diverged at update %d: %v", u.Seq, err))
+			}
+		}
+	}
+	if len(txn.Writes) == 0 {
+		// Nothing affected: no warehouse round trip needed.
+		s.inflight = false
+		return s.next()
+	}
+	if totalDelay > 0 {
+		return []msg.Outbound{{To: s.ID(), Msg: workDone{txn: txn}, Delay: totalDelay}}
+	}
+	return []msg.Outbound{msg.Send(msg.NodeWarehouse, msg.SubmitTxn{Txn: txn, From: s.ID()})}
+}
+
+// QueueLen reports the backlog (observability for the bottleneck study).
+func (s *Sequential) QueueLen() int { return len(s.queue) }

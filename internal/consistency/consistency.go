@@ -1,0 +1,532 @@
+// Package consistency implements the paper's §2 definitions as executable
+// checks. Given the source cluster's committed schedule and the warehouse's
+// recorded state sequence ws0..wsq, it decides — per view and for the view
+// vector as a whole — whether the run was convergent, strongly consistent,
+// or complete.
+//
+// The definitions quantify over a consistent source state sequence: the
+// states of any serial schedule R *equivalent* to the committed schedule S
+// (§2.1). Updates on disjoint base relations commute, which is exactly the
+// freedom the Simple Painting Algorithm exploits when it applies
+// independent rows promptly out of arrival order (paper Example 3 applies
+// U2's actions before U1's). The checker therefore searches over
+// equivalent schedules instead of insisting on commit order:
+//
+//   - Each view's content after any equivalent prefix depends only on how
+//     many of the view's relevant updates are included (its deltas add).
+//   - A warehouse state is MVC-consistent iff per-view prefix counts can
+//     be chosen that (a) reproduce each view's content, and (b) agree on
+//     every update relevant to two views — then a global equivalent prefix
+//     exists.
+//   - Strong consistency additionally needs the chosen counts to be
+//     monotone across warehouse states and to end at the full schedule;
+//     completeness needs the global prefix to grow by exactly one observed
+//     update per warehouse transaction, visiting every state.
+package consistency
+
+import (
+	"fmt"
+	"sort"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/source"
+	"whips/internal/warehouse"
+)
+
+// ViewReport is the single-view verdict (§2.2; the four-level taxonomy of
+// the cited Strobe paper [17]: convergence ⊆ weak ⊆ strong ⊆ complete).
+type ViewReport struct {
+	Convergent bool
+	// Weak: every warehouse state reflects some source state and the final
+	// states agree, but order need not be preserved.
+	Weak      bool
+	Strong    bool
+	Complete  bool
+	Violation string
+}
+
+// Report is the multiple-view verdict (§2.3).
+type Report struct {
+	Convergent bool
+	Weak       bool
+	Strong     bool
+	Complete   bool
+	Violation  string
+	PerView    map[msg.ViewID]ViewReport
+	// ObservedUpdates counts source updates relevant to at least one view;
+	// WarehouseStates counts recorded warehouse states.
+	ObservedUpdates int
+	WarehouseStates int
+}
+
+// Level summarizes a report as the strongest level that held.
+func (r Report) Level() msg.Level {
+	switch {
+	case r.Complete:
+		return msg.Complete
+	case r.Strong:
+		return msg.Strong
+	default:
+		return msg.Convergent
+	}
+}
+
+// Check evaluates the run. The cluster must retain its full history (no
+// truncation) and the warehouse must have been built WithStateLog.
+func Check(cluster *source.Cluster, views map[msg.ViewID]expr.Expr, log []warehouse.StateRecord) (Report, error) {
+	if len(log) == 0 {
+		return Report{}, fmt.Errorf("consistency: warehouse state log is empty; build the warehouse WithStateLog")
+	}
+	ids := make([]msg.ViewID, 0, len(views))
+	for id := range views {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Replay the committed schedule, recording each view's content after
+	// each of its relevant updates, and each update's relevant-view set.
+	updates := cluster.Log()
+	db := make(map[string]*relation.Relation)
+	baseOf := make(map[msg.ViewID]map[string]bool, len(ids))
+	for _, id := range ids {
+		for _, b := range views[id].BaseRelations() {
+			baseOf[id] = ensure(baseOf[id])
+			baseOf[id][b] = true
+			if _, ok := db[b]; !ok {
+				r, err := cluster.AsOf(b, 0)
+				if err != nil {
+					return Report{}, fmt.Errorf("consistency: initial state of %q: %w", b, err)
+				}
+				db[b] = r
+			}
+		}
+	}
+	mdb := expr.MapDB(db)
+	contents := make(map[msg.ViewID][]string, len(ids)) // contents[v][k]: after k relevant updates
+	relUpd := make(map[msg.ViewID][]int, len(ids))      // indexes into updates
+	for _, id := range ids {
+		c, err := expr.Eval(views[id], mdb)
+		if err != nil {
+			return Report{}, err
+		}
+		contents[id] = append(contents[id], c.String())
+	}
+	// changing[ui] records whether the update altered any view's content.
+	// Updates that change nothing (e.g. those the ref-[7] irrelevance
+	// filter discards, or no-op deltas) stay in the relevance structures —
+	// their position still constrains pairwise agreement — but they are
+	// "free" for the completeness count: two source states with identical
+	// view contents are indistinguishable by definition, so no warehouse
+	// transaction needs to witness them.
+	observed := 0
+	relViews := make([][]msg.ViewID, len(updates))
+	changing := make([]bool, len(updates))
+	for ui, u := range updates {
+		for _, w := range u.Writes {
+			if r, ok := db[w.Relation]; ok {
+				if err := r.Apply(w.Delta); err != nil {
+					return Report{}, fmt.Errorf("consistency: replaying update %d: %w", u.Seq, err)
+				}
+			}
+		}
+		for _, id := range ids {
+			touched := false
+			for _, w := range u.Writes {
+				if baseOf[id][w.Relation] {
+					touched = true
+					break
+				}
+			}
+			if !touched {
+				continue
+			}
+			c, err := expr.Eval(views[id], mdb)
+			if err != nil {
+				return Report{}, err
+			}
+			fp := c.String()
+			if fp != contents[id][len(contents[id])-1] {
+				changing[ui] = true
+			}
+			relViews[ui] = append(relViews[ui], id)
+			relUpd[id] = append(relUpd[id], ui)
+			contents[id] = append(contents[id], fp)
+		}
+		if changing[ui] {
+			observed++
+		}
+	}
+
+	// sharedBelow[v][w][k]: among v's first k relevant updates, how many
+	// are also relevant to w.
+	sharedBelow := make(map[msg.ViewID]map[msg.ViewID][]int, len(ids))
+	for _, v := range ids {
+		sharedBelow[v] = make(map[msg.ViewID][]int, len(ids))
+		for _, w := range ids {
+			if v == w {
+				continue
+			}
+			counts := make([]int, len(relUpd[v])+1)
+			for k, ui := range relUpd[v] {
+				counts[k+1] = counts[k]
+				for _, x := range relViews[ui] {
+					if x == w {
+						counts[k+1]++
+						break
+					}
+				}
+			}
+			sharedBelow[v][w] = counts
+		}
+	}
+
+	// Warehouse fingerprints, collapsed at the vector level: adjacent
+	// warehouse states identical over the checked views are one observable
+	// state (transactions touching only other views, or no-op deltas).
+	whView := make(map[msg.ViewID][]string, len(ids))
+	var lastVec string
+	for j, rec := range log {
+		row := make([]string, len(ids))
+		var vec string
+		for vi, id := range ids {
+			r, ok := rec.Views[id]
+			if !ok {
+				return Report{}, fmt.Errorf("consistency: warehouse state %d lacks view %s", j, id)
+			}
+			row[vi] = r.String()
+			vec += string(id) + "=" + row[vi] + ";"
+		}
+		if j > 0 && vec == lastVec {
+			continue
+		}
+		lastVec = vec
+		for vi, id := range ids {
+			whView[id] = append(whView[id], row[vi])
+		}
+	}
+	nStates := len(whView[ids[0]])
+
+	rep := Report{
+		PerView:         make(map[msg.ViewID]ViewReport, len(ids)),
+		ObservedUpdates: observed,
+		WarehouseStates: nStates,
+	}
+	for _, id := range ids {
+		rep.PerView[id] = judge(collapse(contents[id]), collapse(whView[id]))
+	}
+
+	// Candidate per-view prefix counts for each warehouse state.
+	cands := make([][][]int, nStates) // cands[j][viewIdx] = valid ks
+	for j := 0; j < nStates; j++ {
+		cands[j] = make([][]int, len(ids))
+		for vi, id := range ids {
+			for k, c := range contents[id] {
+				if c == whView[id][j] {
+					cands[j][vi] = append(cands[j][vi], k)
+				}
+			}
+			if len(cands[j][vi]) == 0 {
+				rep.Violation = fmt.Sprintf("warehouse state %d: view %s matches no source prefix", j, id)
+			}
+		}
+	}
+
+	// Convergence: the final warehouse state admits the full-count combo.
+	full := make([]int, len(ids))
+	for vi, id := range ids {
+		full[vi] = len(relUpd[id])
+	}
+	rep.Convergent = comboAllowed(cands[nStates-1], full)
+
+	// Weak: every state individually matches some equivalent prefix
+	// (pairwise-consistent combo exists), with no order requirement.
+	rep.Weak = rep.Convergent
+	for j := 0; rep.Weak && j < nStates; j++ {
+		if !anyCombo(ids, cands[j], sharedBelow) {
+			rep.Weak = false
+		}
+	}
+
+	rep.Strong, rep.Complete = searchMappings(ids, cands, sharedBelow, relUpd, changing, full)
+	if !rep.Strong && rep.Violation == "" {
+		rep.Violation = "no order-preserving mapping onto an equivalent source schedule exists"
+	}
+	if rep.Strong && !rep.Convergent {
+		rep.Strong, rep.Complete = false, false
+		if rep.Violation == "" {
+			rep.Violation = "warehouse never reaches the final source state"
+		}
+	}
+	return rep, nil
+}
+
+func ensure(m map[string]bool) map[string]bool {
+	if m == nil {
+		return make(map[string]bool)
+	}
+	return m
+}
+
+func comboAllowed(cand [][]int, combo []int) bool {
+	for vi, k := range combo {
+		ok := false
+		for _, c := range cand[vi] {
+			if c == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// anyCombo reports whether a pairwise-consistent per-view prefix choice
+// exists for one state's candidate sets.
+func anyCombo(ids []msg.ViewID, cand [][]int,
+	sharedBelow map[msg.ViewID]map[msg.ViewID][]int) bool {
+	cur := make([]int, len(ids))
+	var rec func(vi int) bool
+	rec = func(vi int) bool {
+		if vi == len(ids) {
+			return true
+		}
+		id := ids[vi]
+	next:
+		for _, k := range cand[vi] {
+			for pi := 0; pi < vi; pi++ {
+				pid := ids[pi]
+				if sharedBelow[id][pid] == nil {
+					continue
+				}
+				if sharedBelow[id][pid][k] != sharedBelow[pid][id][cur[pi]] {
+					continue next
+				}
+			}
+			cur[vi] = k
+			if rec(vi + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// searchMappings runs the DP over warehouse states: it keeps the set of
+// feasible per-view prefix-count combos at each state (content match +
+// pairwise shared-update agreement + componentwise monotone from some
+// feasible predecessor) and reports whether a path ends at the full
+// schedule (strong) and whether a path exists whose global prefix grows by
+// exactly one observed update per state (complete).
+func searchMappings(ids []msg.ViewID, cands [][][]int,
+	sharedBelow map[msg.ViewID]map[msg.ViewID][]int,
+	relUpd map[msg.ViewID][]int, changing []bool, full []int) (strong, complete bool) {
+
+	type combo struct {
+		ks   []int
+		size int // observed updates in the global prefix
+	}
+	// enumerate feasible combos for one warehouse state.
+	feasible := func(j int) []combo {
+		var out []combo
+		cur := make([]int, len(ids))
+		var rec func(vi int)
+		rec = func(vi int) {
+			if len(out) > 4096 {
+				return // state space guard; workloads in tests stay tiny
+			}
+			if vi == len(ids) {
+				// Global prefix size: distinct content-changing updates
+				// covered. An update relevant to several views is counted
+				// once; agreement guarantees consistency. Updates that
+				// change no content are free (no transaction witnesses
+				// them).
+				seen := make(map[int]bool)
+				for i, id := range ids {
+					for _, ui := range relUpd[id][:cur[i]] {
+						if changing[ui] {
+							seen[ui] = true
+						}
+					}
+				}
+				out = append(out, combo{ks: append([]int(nil), cur...), size: len(seen)})
+				return
+			}
+			id := ids[vi]
+		next:
+			for _, k := range cands[j][vi] {
+				// pairwise agreement with already-chosen views
+				for pi := 0; pi < vi; pi++ {
+					pid := ids[pi]
+					if sharedBelow[id][pid] == nil {
+						continue
+					}
+					if sharedBelow[id][pid][k] != sharedBelow[pid][id][cur[pi]] {
+						continue next
+					}
+				}
+				cur[vi] = k
+				rec(vi + 1)
+			}
+		}
+		rec(0)
+		return out
+	}
+
+	type node struct {
+		combo combo
+		exact bool // reachable via a path growing +1 per state
+	}
+	var frontier []node
+	for _, c := range feasible(0) {
+		frontier = append(frontier, node{combo: c, exact: c.size == 0})
+	}
+	if len(frontier) == 0 {
+		return false, false
+	}
+	leq := func(a, b []int) bool {
+		for i := range a {
+			if a[i] > b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for j := 1; j < len(cands); j++ {
+		var next []node
+		for _, c := range feasible(j) {
+			reachable, exact := false, false
+			for _, p := range frontier {
+				if !leq(p.combo.ks, c.ks) {
+					continue
+				}
+				reachable = true
+				if p.exact && c.size == p.combo.size+1 {
+					exact = true
+				}
+				if reachable && exact {
+					break
+				}
+			}
+			if reachable {
+				next = append(next, node{combo: c, exact: exact})
+			}
+		}
+		if len(next) == 0 {
+			return false, false
+		}
+		frontier = next
+	}
+	for _, n := range frontier {
+		same := true
+		for i := range full {
+			if n.combo.ks[i] != full[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			strong = true
+			if n.exact {
+				complete = true
+			}
+		}
+	}
+	return strong, complete
+}
+
+// collapse removes adjacent duplicates: runs of content-identical states
+// are one observable state.
+func collapse(states []string) []string {
+	out := states[:0:0]
+	for _, s := range states {
+		if len(out) == 0 || out[len(out)-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// judge applies the §2 single-view definitions to collapsed fingerprint
+// sequences (one view: its relevant updates are totally ordered, so the
+// equivalent-schedule freedom collapses to plain subsequence matching).
+func judge(src, wh []string) ViewReport {
+	var r ViewReport
+	if len(src) == 0 || len(wh) == 0 {
+		return r
+	}
+	r.Convergent = wh[len(wh)-1] == src[len(src)-1]
+
+	// Weak: unordered membership.
+	r.Weak = r.Convergent
+	if r.Weak {
+		have := make(map[string]bool, len(src))
+		for _, s := range src {
+			have[s] = true
+		}
+		for _, w := range wh {
+			if !have[w] {
+				r.Weak = false
+				break
+			}
+		}
+	}
+
+	r.Strong = true
+	si := 0
+	for j, w := range wh {
+		found := false
+		for si < len(src) {
+			if src[si] == w {
+				found = true
+				si++
+				break
+			}
+			si++
+		}
+		if !found {
+			r.Strong = false
+			r.Violation = fmt.Sprintf("warehouse state %d matches no remaining source state", j)
+			break
+		}
+	}
+	if r.Strong && !r.Convergent {
+		r.Strong = false
+		r.Violation = "warehouse never reaches the final source state"
+	}
+	if r.Strong {
+		r.Weak = true // strong implies weak
+	}
+
+	r.Complete = r.Strong && len(wh) == len(src)
+	if r.Complete {
+		for i := range wh {
+			if wh[i] != src[i] {
+				r.Complete = false
+				break
+			}
+		}
+	}
+	return r
+}
+
+// FinalMatches reports whether the final warehouse contents equal the
+// views evaluated at the final source state — a convenience for examples.
+func FinalMatches(cluster *source.Cluster, views map[msg.ViewID]expr.Expr, final map[msg.ViewID]*relation.Relation) (bool, error) {
+	for id, e := range views {
+		want, err := expr.Eval(e, cluster.DatabaseAt(cluster.Seq()))
+		if err != nil {
+			return false, err
+		}
+		got, ok := final[id]
+		if !ok || !got.Equal(want) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

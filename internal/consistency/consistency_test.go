@@ -1,0 +1,394 @@
+package consistency
+
+import (
+	"testing"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/source"
+	"whips/internal/warehouse"
+)
+
+var (
+	rSchema = relation.MustSchema("A:int", "B:int")
+	sSchema = relation.MustSchema("B:int", "C:int")
+	tSchema = relation.MustSchema("C:int", "D:int")
+)
+
+// fixture builds the paper's running example (Table 1 initial state) plus
+// a scripted update history, and returns everything a Check needs.
+type fixture struct {
+	cluster *source.Cluster
+	views   map[msg.ViewID]expr.Expr
+	// viewVals[i] = contents of every view at source state i.
+	wh *warehouse.Warehouse
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	c := source.NewCluster(nil)
+	c.AddSource("s1")
+	c.AddSource("s2")
+	if err := c.LoadRelation("s1", "R", relation.FromTuples(rSchema, relation.T(1, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateRelation("s1", "S", sSchema); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadRelation("s2", "T", relation.FromTuples(tSchema, relation.T(3, 4))); err != nil {
+		t.Fatal(err)
+	}
+	views := map[msg.ViewID]expr.Expr{
+		"V1": expr.MustJoin(expr.Scan("R", rSchema), expr.Scan("S", sSchema)),
+		"V2": expr.MustJoin(expr.Scan("S", sSchema), expr.Scan("T", tSchema)),
+	}
+	initial := map[msg.ViewID]*relation.Relation{}
+	for id, e := range views {
+		v, err := expr.Eval(e, c.DatabaseAt(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		initial[id] = v
+	}
+	return &fixture{
+		cluster: c,
+		views:   views,
+		wh:      warehouse.New(initial, warehouse.WithStateLog()),
+	}
+}
+
+func (f *fixture) exec(t *testing.T, rel string, d *relation.Delta) msg.UpdateID {
+	t.Helper()
+	owner, _ := f.cluster.Owner(rel)
+	u, err := f.cluster.Execute(owner, msg.Write{Relation: rel, Delta: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Seq
+}
+
+// applyTxn applies view writes to the warehouse as one transaction.
+func (f *fixture) applyTxn(t *testing.T, id msg.TxnID, writes ...msg.ViewWrite) {
+	t.Helper()
+	f.wh.Handle(msg.SubmitTxn{Txn: msg.WarehouseTxn{ID: id, Writes: writes}, From: ""}, 0)
+}
+
+// viewDelta computes a view's exact delta for a base update at a state.
+func (f *fixture) viewDelta(t *testing.T, view msg.ViewID, base string, d *relation.Delta, pre msg.UpdateID) *relation.Delta {
+	t.Helper()
+	vd, err := expr.Delta(f.views[view], base, d, f.cluster.DatabaseAt(pre))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vd
+}
+
+func TestCheckCompleteRun(t *testing.T) {
+	f := newFixture(t)
+	ins := relation.InsertDelta(sSchema, relation.T(2, 3))
+	d1 := f.viewDelta(t, "V1", "S", ins, 0)
+	d2 := f.viewDelta(t, "V2", "S", ins, 0)
+	f.exec(t, "S", ins)
+	// One atomic warehouse transaction covering both views: MVC preserved.
+	f.applyTxn(t, 1,
+		msg.ViewWrite{View: "V1", Upto: 1, Delta: d1},
+		msg.ViewWrite{View: "V2", Upto: 1, Delta: d2})
+	rep, err := Check(f.cluster, f.views, f.wh.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete || !rep.Strong || !rep.Convergent {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.Level() != msg.Complete {
+		t.Errorf("level = %v", rep.Level())
+	}
+	for id, v := range rep.PerView {
+		if !v.Complete {
+			t.Errorf("view %s = %+v", id, v)
+		}
+	}
+}
+
+func TestCheckDetectsTable1Inconsistency(t *testing.T) {
+	// The paper's t2 state: V1 updated, V2 not — split across two txns.
+	f := newFixture(t)
+	ins := relation.InsertDelta(sSchema, relation.T(2, 3))
+	d1 := f.viewDelta(t, "V1", "S", ins, 0)
+	d2 := f.viewDelta(t, "V2", "S", ins, 0)
+	f.exec(t, "S", ins)
+	f.applyTxn(t, 1, msg.ViewWrite{View: "V1", Upto: 1, Delta: d1})
+	f.applyTxn(t, 2, msg.ViewWrite{View: "V2", Upto: 1, Delta: d2})
+	rep, err := Check(f.cluster, f.views, f.wh.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strong || rep.Complete {
+		t.Errorf("split transaction must break MVC: %+v", rep)
+	}
+	if !rep.Convergent {
+		t.Errorf("run still converges: %+v", rep)
+	}
+	// Each view alone is perfectly consistent — MVC is the extra layer.
+	for id, v := range rep.PerView {
+		if !v.Complete {
+			t.Errorf("view %s should be complete in isolation: %+v", id, v)
+		}
+	}
+	if rep.Level() != msg.Convergent {
+		t.Errorf("level = %v", rep.Level())
+	}
+}
+
+func TestCheckAllowsEquivalentScheduleReordering(t *testing.T) {
+	// U1 touches V1 only (R), U2 touches V2 only (T). Applying U2's txn
+	// first is the SPA prompt behaviour and is consistent with the
+	// equivalent schedule U2;U1.
+	f := newFixture(t)
+	// Make the views non-empty so the updates change content.
+	insS := relation.InsertDelta(sSchema, relation.T(2, 3))
+	dS1 := f.viewDelta(t, "V1", "S", insS, 0)
+	dS2 := f.viewDelta(t, "V2", "S", insS, 0)
+	f.exec(t, "S", insS)
+	f.applyTxn(t, 1,
+		msg.ViewWrite{View: "V1", Upto: 1, Delta: dS1},
+		msg.ViewWrite{View: "V2", Upto: 1, Delta: dS2})
+
+	insR := relation.InsertDelta(rSchema, relation.T(7, 2)) // V1 only
+	dR := f.viewDelta(t, "V1", "R", insR, 1)
+	f.exec(t, "R", insR)
+	insT := relation.InsertDelta(tSchema, relation.T(3, 9)) // V2 only
+	dT := f.viewDelta(t, "V2", "T", insT, 2)
+	f.exec(t, "T", insT)
+
+	// Apply U3's (T) transaction before U2's (R).
+	f.applyTxn(t, 2, msg.ViewWrite{View: "V2", Upto: 3, Delta: dT})
+	f.applyTxn(t, 3, msg.ViewWrite{View: "V1", Upto: 2, Delta: dR})
+
+	rep, err := Check(f.cluster, f.views, f.wh.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Errorf("independent reordering must stay complete: %+v (%s)", rep, rep.Violation)
+	}
+}
+
+func TestCheckRejectsSharedUpdateDisagreement(t *testing.T) {
+	// Two S updates; V1 gets both in one txn, V2 gets them in two txns —
+	// between those txns the views disagree on a shared update.
+	f := newFixture(t)
+	ins1 := relation.InsertDelta(sSchema, relation.T(2, 3))
+	d11 := f.viewDelta(t, "V1", "S", ins1, 0)
+	d21 := f.viewDelta(t, "V2", "S", ins1, 0)
+	f.exec(t, "S", ins1)
+	// The second update inserts the same tuple again (multiplicity 2), so
+	// it changes BOTH views' contents.
+	ins2 := relation.InsertDelta(sSchema, relation.T(2, 3))
+	d12 := f.viewDelta(t, "V1", "S", ins2, 1)
+	d22 := f.viewDelta(t, "V2", "S", ins2, 1)
+	f.exec(t, "S", ins2)
+
+	both1 := d11.Clone()
+	if err := both1.Merge(d12); err != nil {
+		t.Fatal(err)
+	}
+	// Txn A: V1 jumps to state 2, V2 only to state 1.
+	f.applyTxn(t, 1,
+		msg.ViewWrite{View: "V1", Upto: 2, Delta: both1},
+		msg.ViewWrite{View: "V2", Upto: 1, Delta: d21})
+	// Txn B: V2 catches up.
+	f.applyTxn(t, 2, msg.ViewWrite{View: "V2", Upto: 2, Delta: d22})
+
+	rep, err := Check(f.cluster, f.views, f.wh.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Strong {
+		t.Errorf("shared-update disagreement must break MVC: %+v", rep)
+	}
+	if !rep.Convergent {
+		t.Errorf("run still converges: %+v", rep)
+	}
+}
+
+func TestCheckStrongButNotComplete(t *testing.T) {
+	// Batch both S updates into one warehouse transaction: the state after
+	// U1 is skipped.
+	f := newFixture(t)
+	ins1 := relation.InsertDelta(sSchema, relation.T(2, 3))
+	d11 := f.viewDelta(t, "V1", "S", ins1, 0)
+	d21 := f.viewDelta(t, "V2", "S", ins1, 0)
+	f.exec(t, "S", ins1)
+	ins2 := relation.InsertDelta(sSchema, relation.T(2, 5))
+	d12 := f.viewDelta(t, "V1", "S", ins2, 1)
+	d22 := f.viewDelta(t, "V2", "S", ins2, 1)
+	f.exec(t, "S", ins2)
+	dv1 := d11.Clone()
+	_ = dv1.Merge(d12)
+	dv2 := d21.Clone()
+	_ = dv2.Merge(d22)
+	f.applyTxn(t, 1,
+		msg.ViewWrite{View: "V1", Upto: 2, Delta: dv1},
+		msg.ViewWrite{View: "V2", Upto: 2, Delta: dv2})
+	rep, err := Check(f.cluster, f.views, f.wh.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Strong || rep.Complete {
+		t.Errorf("batched run should be strong but not complete: %+v (%s)", rep, rep.Violation)
+	}
+	if rep.Level() != msg.Strong {
+		t.Errorf("level = %v", rep.Level())
+	}
+}
+
+func TestCheckNonConvergentRun(t *testing.T) {
+	f := newFixture(t)
+	f.exec(t, "S", relation.InsertDelta(sSchema, relation.T(2, 3)))
+	// Warehouse never applies anything.
+	rep, err := Check(f.cluster, f.views, f.wh.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Convergent || rep.Strong || rep.Complete {
+		t.Errorf("stale warehouse must not converge: %+v", rep)
+	}
+}
+
+func TestCheckWrongContent(t *testing.T) {
+	f := newFixture(t)
+	f.exec(t, "S", relation.InsertDelta(sSchema, relation.T(2, 3)))
+	// Garbage applied to V1: matches no source prefix at all.
+	f.applyTxn(t, 1, msg.ViewWrite{View: "V1", Upto: 1,
+		Delta: relation.InsertDelta(f.views["V1"].Schema(), relation.T(9, 9, 9))})
+	rep, err := Check(f.cluster, f.views, f.wh.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Convergent || rep.Strong {
+		t.Errorf("corrupt content must fail: %+v", rep)
+	}
+	if rep.Violation == "" {
+		t.Error("violation should be reported")
+	}
+}
+
+func TestCheckRequiresStateLog(t *testing.T) {
+	f := newFixture(t)
+	if _, err := Check(f.cluster, f.views, nil); err == nil {
+		t.Error("empty log must error")
+	}
+}
+
+func TestCheckNoOpUpdatesAreFree(t *testing.T) {
+	// An R tuple that joins nothing changes no view; completeness must not
+	// demand a warehouse transaction for it.
+	f := newFixture(t)
+	f.exec(t, "R", relation.InsertDelta(rSchema, relation.T(9, 9)))
+	ins := relation.InsertDelta(sSchema, relation.T(2, 3))
+	d1 := f.viewDelta(t, "V1", "S", ins, 1)
+	d2 := f.viewDelta(t, "V2", "S", ins, 1)
+	f.exec(t, "S", ins)
+	f.applyTxn(t, 1,
+		msg.ViewWrite{View: "V1", Upto: 2, Delta: d1},
+		msg.ViewWrite{View: "V2", Upto: 2, Delta: d2})
+	rep, err := Check(f.cluster, f.views, f.wh.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Errorf("no-op update must be free for completeness: %+v (%s)", rep, rep.Violation)
+	}
+	if rep.ObservedUpdates != 1 {
+		t.Errorf("observed = %d, want 1", rep.ObservedUpdates)
+	}
+}
+
+func TestFinalMatches(t *testing.T) {
+	f := newFixture(t)
+	ins := relation.InsertDelta(sSchema, relation.T(2, 3))
+	d1 := f.viewDelta(t, "V1", "S", ins, 0)
+	d2 := f.viewDelta(t, "V2", "S", ins, 0)
+	f.exec(t, "S", ins)
+	f.applyTxn(t, 1,
+		msg.ViewWrite{View: "V1", Upto: 1, Delta: d1},
+		msg.ViewWrite{View: "V2", Upto: 1, Delta: d2})
+	ok, err := FinalMatches(f.cluster, f.views, f.wh.ReadAll())
+	if err != nil || !ok {
+		t.Errorf("FinalMatches = %v, %v", ok, err)
+	}
+	// Perturb one view.
+	bad := f.wh.ReadAll()
+	_ = bad["V1"].Insert(relation.T(5, 5, 5), 1)
+	ok, err = FinalMatches(f.cluster, f.views, bad)
+	if err != nil || ok {
+		t.Errorf("perturbed FinalMatches = %v, %v", ok, err)
+	}
+}
+
+func TestCheckWeakButNotStrong(t *testing.T) {
+	// The warehouse revisits an EARLIER source state: every state matches
+	// some source state (weak, per the four-level taxonomy of [17]) but
+	// order is not preserved (not strong).
+	f := newFixture(t)
+	ins1 := relation.InsertDelta(sSchema, relation.T(1, 3))
+	d11 := f.viewDelta(t, "V1", "S", ins1, 0)
+	d21 := f.viewDelta(t, "V2", "S", ins1, 0)
+	f.exec(t, "S", ins1)
+	ins2 := relation.InsertDelta(sSchema, relation.T(2, 3))
+	d12 := f.viewDelta(t, "V1", "S", ins2, 1)
+	d22 := f.viewDelta(t, "V2", "S", ins2, 1)
+	f.exec(t, "S", ins2)
+
+	// Jump straight to state 2...
+	both1, both2 := d11.Clone(), d21.Clone()
+	_ = both1.Merge(d12)
+	_ = both2.Merge(d22)
+	f.applyTxn(t, 1,
+		msg.ViewWrite{View: "V1", Upto: 2, Delta: both1},
+		msg.ViewWrite{View: "V2", Upto: 2, Delta: both2})
+	// ...then roll back to state 1's content...
+	f.applyTxn(t, 2,
+		msg.ViewWrite{View: "V1", Upto: 2, Delta: d12.Negate()},
+		msg.ViewWrite{View: "V2", Upto: 2, Delta: d22.Negate()})
+	// ...and forward again.
+	f.applyTxn(t, 3,
+		msg.ViewWrite{View: "V1", Upto: 2, Delta: d12},
+		msg.ViewWrite{View: "V2", Upto: 2, Delta: d22})
+
+	rep, err := Check(f.cluster, f.views, f.wh.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Convergent || !rep.Weak {
+		t.Errorf("backtracking run should be weak: %+v", rep)
+	}
+	if rep.Strong {
+		t.Errorf("backtracking run must not be strong: %+v", rep)
+	}
+	for id, v := range rep.PerView {
+		if !v.Weak || v.Strong {
+			t.Errorf("view %s: weak=%v strong=%v", id, v.Weak, v.Strong)
+		}
+	}
+}
+
+func TestWeakImpliedByStrong(t *testing.T) {
+	f := newFixture(t)
+	ins := relation.InsertDelta(sSchema, relation.T(2, 3))
+	d1 := f.viewDelta(t, "V1", "S", ins, 0)
+	d2 := f.viewDelta(t, "V2", "S", ins, 0)
+	f.exec(t, "S", ins)
+	f.applyTxn(t, 1,
+		msg.ViewWrite{View: "V1", Upto: 1, Delta: d1},
+		msg.ViewWrite{View: "V2", Upto: 1, Delta: d2})
+	rep, err := Check(f.cluster, f.views, f.wh.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Weak || !rep.Strong {
+		t.Errorf("strong run must also be weak: %+v", rep)
+	}
+}

@@ -1,0 +1,296 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"whips/internal/relation"
+)
+
+// AggOp enumerates aggregate functions.
+type AggOp uint8
+
+// Supported aggregates.
+const (
+	Count AggOp = iota
+	Sum
+	Min
+	Max
+	Avg
+)
+
+// String returns the lowercase name of the aggregate.
+func (op AggOp) String() string {
+	switch op {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Avg:
+		return "avg"
+	}
+	return fmt.Sprintf("agg(%d)", uint8(op))
+}
+
+// AggSpec is one aggregate output column: Op over Attr, named As. Count
+// ignores Attr.
+type AggSpec struct {
+	Op   AggOp
+	Attr string
+	As   string
+}
+
+// AggregateExpr groups its child by a key and computes aggregates per
+// group. Output schema: group-by attributes followed by aggregate columns.
+//
+// The delta rule re-evaluates only the affected groups (the group keys
+// present in the child delta) against the pre- and post-states and emits
+// modify deltas. This handles Min/Max deletions correctly, which a purely
+// incremental accumulator cannot.
+type AggregateExpr struct {
+	child    Expr
+	groupBy  []string
+	groupIdx []int
+	aggs     []AggSpec
+	schema   *relation.Schema
+}
+
+// Aggregate returns γ_groupBy,aggs(child).
+func Aggregate(child Expr, groupBy []string, aggs []AggSpec) (*AggregateExpr, error) {
+	cs := child.Schema()
+	keySchema, idx, err := cs.Project(groupBy...)
+	if err != nil {
+		return nil, err
+	}
+	attrs := keySchema.Attrs()
+	for _, a := range aggs {
+		if a.As == "" {
+			return nil, fmt.Errorf("expr: aggregate column needs a name (As)")
+		}
+		var t relation.Type
+		switch a.Op {
+		case Count:
+			t = relation.Int
+		case Avg:
+			t = relation.Float
+		case Sum, Min, Max:
+			i, ok := cs.Index(a.Attr)
+			if !ok {
+				return nil, fmt.Errorf("expr: aggregate over missing attribute %q", a.Attr)
+			}
+			at := cs.Attr(i).Type
+			if a.Op == Sum && at != relation.Int && at != relation.Float {
+				return nil, fmt.Errorf("expr: sum over non-numeric attribute %q", a.Attr)
+			}
+			t = at
+		default:
+			return nil, fmt.Errorf("expr: unknown aggregate op %v", a.Op)
+		}
+		attrs = append(attrs, relation.Attr{Name: a.As, Type: t})
+	}
+	for _, a := range aggs {
+		if a.Op == Avg || a.Op == Min || a.Op == Max {
+			if i, ok := cs.Index(a.Attr); !ok {
+				return nil, fmt.Errorf("expr: aggregate over missing attribute %q", a.Attr)
+			} else if a.Op == Avg {
+				at := cs.Attr(i).Type
+				if at != relation.Int && at != relation.Float {
+					return nil, fmt.Errorf("expr: avg over non-numeric attribute %q", a.Attr)
+				}
+			}
+		}
+	}
+	return &AggregateExpr{
+		child:    child,
+		groupBy:  append([]string(nil), groupBy...),
+		groupIdx: idx,
+		aggs:     append([]AggSpec(nil), aggs...),
+		schema:   relation.NewSchema(attrs...),
+	}, nil
+}
+
+// MustAggregate is Aggregate that panics on error.
+func MustAggregate(child Expr, groupBy []string, aggs []AggSpec) *AggregateExpr {
+	a, err := Aggregate(child, groupBy, aggs)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Schema implements Expr.
+func (a *AggregateExpr) Schema() *relation.Schema { return a.schema }
+
+// BaseRelations implements Expr.
+func (a *AggregateExpr) BaseRelations() []string { return a.child.BaseRelations() }
+
+// String implements Expr.
+func (a *AggregateExpr) String() string {
+	parts := make([]string, len(a.aggs))
+	for i, s := range a.aggs {
+		if s.Op == Count {
+			parts[i] = fmt.Sprintf("count as %s", s.As)
+		} else {
+			parts[i] = fmt.Sprintf("%s(%s) as %s", s.Op, s.Attr, s.As)
+		}
+	}
+	return fmt.Sprintf("agg[%s; %s](%s)", strings.Join(a.groupBy, ","), strings.Join(parts, ","), a.child)
+}
+
+// groupAgg aggregates a non-negative bag into one output tuple per group.
+func (a *AggregateExpr) groupAgg(in *relation.Delta) (*relation.Delta, error) {
+	type acc struct {
+		key   relation.Tuple
+		count int64
+		sumI  []int64
+		sumF  []float64
+		min   []relation.Value
+		max   []relation.Value
+		seen  bool
+	}
+	groups := make(map[string]*acc)
+	cs := a.child.Schema()
+	attrIdx := make([]int, len(a.aggs))
+	for i, s := range a.aggs {
+		if s.Op != Count {
+			j, _ := cs.Index(s.Attr)
+			attrIdx[i] = j
+		}
+	}
+	var bad error
+	in.Each(func(t relation.Tuple, n int64) bool {
+		if n < 0 {
+			bad = fmt.Errorf("expr: aggregate over negative multiplicity %d of %v", n, t)
+			return false
+		}
+		key := t.Project(a.groupIdx)
+		k := key.Key()
+		g := groups[k]
+		if g == nil {
+			g = &acc{
+				key:  key,
+				sumI: make([]int64, len(a.aggs)),
+				sumF: make([]float64, len(a.aggs)),
+				min:  make([]relation.Value, len(a.aggs)),
+				max:  make([]relation.Value, len(a.aggs)),
+			}
+			groups[k] = g
+		}
+		g.count += n
+		for i, s := range a.aggs {
+			if s.Op == Count {
+				continue
+			}
+			v := t[attrIdx[i]]
+			switch s.Op {
+			case Sum, Avg:
+				if v.Kind() == relation.Int {
+					g.sumI[i] += n * v.Int()
+					g.sumF[i] += float64(n) * float64(v.Int())
+				} else {
+					g.sumF[i] += float64(n) * v.Float()
+				}
+			case Min:
+				if !g.seen || v.Compare(g.min[i]) < 0 {
+					g.min[i] = v
+				}
+			case Max:
+				if !g.seen || v.Compare(g.max[i]) > 0 {
+					g.max[i] = v
+				}
+			}
+		}
+		g.seen = true
+		return true
+	})
+	if bad != nil {
+		return nil, bad
+	}
+	out := relation.NewDelta(a.schema)
+	for _, g := range groups {
+		row := g.key.Clone()
+		for i, s := range a.aggs {
+			switch s.Op {
+			case Count:
+				row = append(row, relation.IntVal(g.count))
+			case Sum:
+				j := attrIdx[i]
+				if cs.Attr(j).Type == relation.Int {
+					row = append(row, relation.IntVal(g.sumI[i]))
+				} else {
+					row = append(row, relation.FloatVal(g.sumF[i]))
+				}
+			case Avg:
+				row = append(row, relation.FloatVal(g.sumF[i]/float64(g.count)))
+			case Min:
+				row = append(row, g.min[i])
+			case Max:
+				row = append(row, g.max[i])
+			}
+		}
+		out.Add(row, 1)
+	}
+	return out, nil
+}
+
+func (a *AggregateExpr) evalSigned(db Database) (*relation.Delta, error) {
+	in, err := a.child.evalSigned(db)
+	if err != nil {
+		return nil, err
+	}
+	return a.groupAgg(in)
+}
+
+func (a *AggregateExpr) deltaSigned(base string, d *relation.Delta, db Database) (*relation.Delta, error) {
+	childDelta, err := a.child.deltaSigned(base, d, db)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewDelta(a.schema)
+	if childDelta.Empty() {
+		return out, nil
+	}
+	// Groups whose contents change.
+	affected := make(map[string]bool)
+	childDelta.Each(func(t relation.Tuple, _ int64) bool {
+		affected[t.Project(a.groupIdx).Key()] = true
+		return true
+	})
+	pre, err := a.child.evalSigned(db)
+	if err != nil {
+		return nil, err
+	}
+	post := pre.Clone()
+	if err := post.Merge(childDelta); err != nil {
+		return nil, err
+	}
+	restrict := func(in *relation.Delta) *relation.Delta {
+		r := relation.NewDelta(a.child.Schema())
+		in.Each(func(t relation.Tuple, n int64) bool {
+			if affected[t.Project(a.groupIdx).Key()] {
+				r.Add(t, n)
+			}
+			return true
+		})
+		return r
+	}
+	oldAgg, err := a.groupAgg(restrict(pre))
+	if err != nil {
+		return nil, err
+	}
+	newAgg, err := a.groupAgg(restrict(post))
+	if err != nil {
+		return nil, err
+	}
+	if err := out.Merge(newAgg); err != nil {
+		return nil, err
+	}
+	if err := out.Merge(oldAgg.Negate()); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

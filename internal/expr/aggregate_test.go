@@ -1,0 +1,193 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"whips/internal/relation"
+)
+
+var salesSchema = relation.MustSchema("Region:string", "Amount:int", "Price:float")
+
+func salesDB() MapDB {
+	return MapDB{"Sales": relation.FromTuples(salesSchema,
+		relation.T("east", 10, 1.5),
+		relation.T("east", 20, 2.5),
+		relation.T("west", 5, 4.0),
+	)}
+}
+
+func sumView() *AggregateExpr {
+	return MustAggregate(Scan("Sales", salesSchema), []string{"Region"}, []AggSpec{
+		{Op: Count, As: "N"},
+		{Op: Sum, Attr: "Amount", As: "Total"},
+		{Op: Min, Attr: "Amount", As: "Lo"},
+		{Op: Max, Attr: "Amount", As: "Hi"},
+		{Op: Avg, Attr: "Price", As: "AvgP"},
+	})
+}
+
+func TestAggregateEval(t *testing.T) {
+	v := sumView()
+	got := mustEval(t, v, salesDB())
+	if got.Cardinality() != 2 {
+		t.Fatalf("groups = %d, want 2: %v", got.Cardinality(), got)
+	}
+	east := relation.T("east", 2, 30, 10, 20, 2.0)
+	west := relation.T("west", 1, 5, 5, 5, 4.0)
+	if !got.Contains(east) || !got.Contains(west) {
+		t.Errorf("aggregate = %v", got)
+	}
+	if v.Schema().String() != "(Region:string, N:int, Total:int, Lo:int, Hi:int, AvgP:float)" {
+		t.Errorf("schema = %s", v.Schema())
+	}
+}
+
+func TestAggregateDeltaInsertNewGroup(t *testing.T) {
+	v := sumView()
+	db := salesDB()
+	d, err := Delta(v, "Sales", relation.InsertDelta(salesSchema, relation.T("north", 7, 1.0)), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count(relation.T("north", 1, 7, 7, 7, 1.0)) != 1 || d.Distinct() != 1 {
+		t.Errorf("new-group delta = %v", d)
+	}
+}
+
+func TestAggregateDeltaModifyGroup(t *testing.T) {
+	v := sumView()
+	db := salesDB()
+	d, err := Delta(v, "Sales", relation.InsertDelta(salesSchema, relation.T("east", 1, 3.5)), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old east row deleted, new east row inserted; west untouched.
+	if d.Count(relation.T("east", 2, 30, 10, 20, 2.0)) != -1 {
+		t.Errorf("old group row not deleted: %v", d)
+	}
+	if d.Count(relation.T("east", 3, 31, 1, 20, 2.5)) != 1 {
+		t.Errorf("new group row not inserted: %v", d)
+	}
+	if d.Distinct() != 2 {
+		t.Errorf("delta touched extra groups: %v", d)
+	}
+}
+
+func TestAggregateDeltaMinMaxDeletion(t *testing.T) {
+	// Deleting the current minimum forces recomputing the group — the case
+	// accumulator-based maintenance gets wrong.
+	v := sumView()
+	db := salesDB()
+	del := relation.DeleteDelta(salesSchema, relation.T("east", 10, 1.5))
+	d, err := Delta(v, "Sales", del, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count(relation.T("east", 1, 20, 20, 20, 2.5)) != 1 {
+		t.Errorf("min recomputation wrong: %v", d)
+	}
+}
+
+func TestAggregateDeltaGroupDisappears(t *testing.T) {
+	v := sumView()
+	db := salesDB()
+	del := relation.DeleteDelta(salesSchema, relation.T("west", 5, 4.0))
+	d, err := Delta(v, "Sales", del, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count(relation.T("west", 1, 5, 5, 5, 4.0)) != -1 || d.Distinct() != 1 {
+		t.Errorf("group-disappears delta = %v", d)
+	}
+}
+
+func TestAggregateConstructionErrors(t *testing.T) {
+	s := Scan("Sales", salesSchema)
+	if _, err := Aggregate(s, []string{"Nope"}, nil); err == nil {
+		t.Error("missing group-by attribute should fail")
+	}
+	if _, err := Aggregate(s, []string{"Region"}, []AggSpec{{Op: Sum, Attr: "Region", As: "X"}}); err == nil {
+		t.Error("sum over string should fail")
+	}
+	if _, err := Aggregate(s, []string{"Region"}, []AggSpec{{Op: Sum, Attr: "Zed", As: "X"}}); err == nil {
+		t.Error("sum over missing attribute should fail")
+	}
+	if _, err := Aggregate(s, []string{"Region"}, []AggSpec{{Op: Count}}); err == nil {
+		t.Error("unnamed aggregate column should fail")
+	}
+	if _, err := Aggregate(s, []string{"Region"}, []AggSpec{{Op: Avg, Attr: "Region", As: "X"}}); err == nil {
+		t.Error("avg over string should fail")
+	}
+}
+
+// Property: aggregate incremental maintenance equals recomputation.
+func TestAggregateDeltaProperty(t *testing.T) {
+	regions := []string{"e", "w", "n"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := MapDB{"Sales": relation.New(salesSchema)}
+		for i := 0; i < 3+rng.Intn(8); i++ {
+			_ = db["Sales"].Insert(relation.T(regions[rng.Intn(3)], rng.Intn(5), 1.0), 1)
+		}
+		v := MustAggregate(Scan("Sales", salesSchema), []string{"Region"}, []AggSpec{
+			{Op: Count, As: "N"},
+			{Op: Sum, Attr: "Amount", As: "S"},
+			{Op: Min, Attr: "Amount", As: "Lo"},
+			{Op: Max, Attr: "Amount", As: "Hi"},
+		})
+		d := relation.NewDelta(salesSchema)
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			tu := relation.T(regions[rng.Intn(3)], rng.Intn(5), 1.0)
+			if rng.Intn(2) == 0 && db["Sales"].Count(tu)+d.Count(tu) > 0 {
+				d.Add(tu, -1)
+			} else {
+				d.Add(tu, 1)
+			}
+		}
+		pre, err := Eval(v, db)
+		if err != nil {
+			return false
+		}
+		vd, err := Delta(v, "Sales", d, db)
+		if err != nil {
+			return false
+		}
+		incr := pre.Clone()
+		if err := incr.Apply(vd); err != nil {
+			return false
+		}
+		if err := db["Sales"].Apply(d); err != nil {
+			return false
+		}
+		re, err := Eval(v, db)
+		if err != nil {
+			return false
+		}
+		return incr.Equal(re)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateOverNegativeBagFails(t *testing.T) {
+	neg := relation.DeleteDelta(salesSchema, relation.T("e", 1, 1.0))
+	v := MustAggregate(NewConst(salesSchema, neg), nil, []AggSpec{{Op: Count, As: "N"}})
+	if _, err := Eval(v, MapDB{}); err == nil {
+		t.Error("aggregating a negative bag should fail")
+	}
+}
+
+func TestAggregateNoGroupBy(t *testing.T) {
+	// Global aggregate: single group with empty key.
+	v := MustAggregate(Scan("Sales", salesSchema), nil, []AggSpec{
+		{Op: Count, As: "N"},
+		{Op: Sum, Attr: "Amount", As: "S"},
+	})
+	got := mustEval(t, v, salesDB())
+	if !got.Contains(relation.T(3, 35)) || got.Cardinality() != 1 {
+		t.Errorf("global aggregate = %v", got)
+	}
+}

@@ -1,0 +1,360 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"whips/internal/relation"
+)
+
+// checkDelta verifies the fundamental incremental-maintenance identity:
+// Eval(e, db+δ) == Eval(e, db) + Delta(e, base, δ, db).
+func checkDelta(t *testing.T, e Expr, db MapDB, base string, d *relation.Delta) {
+	t.Helper()
+	pre, err := Eval(e, db)
+	if err != nil {
+		t.Fatalf("Eval pre: %v", err)
+	}
+	vd, err := Delta(e, base, d, db)
+	if err != nil {
+		t.Fatalf("Delta: %v", err)
+	}
+	incr := pre.Clone()
+	if err := incr.Apply(vd); err != nil {
+		t.Fatalf("applying view delta: %v", err)
+	}
+	post := MapDB{}
+	for k, v := range db {
+		post[k] = v.Clone()
+	}
+	if err := post[base].Apply(d); err != nil {
+		t.Fatalf("applying base delta: %v", err)
+	}
+	recomputed, err := Eval(e, post)
+	if err != nil {
+		t.Fatalf("Eval post: %v", err)
+	}
+	if !incr.Equal(recomputed) {
+		t.Errorf("incremental %v != recomputed %v for %s with δ%s on %s", incr, recomputed, e, d, base)
+	}
+}
+
+func TestDeltaPaperExample1(t *testing.T) {
+	// The paper's motivating update: insert [2 3] into S at t1.
+	db := MapDB{
+		"R": relation.FromTuples(rSchema, relation.T(1, 2)),
+		"S": relation.New(sSchema),
+		"T": relation.FromTuples(tSchema, relation.T(3, 4)),
+	}
+	v1 := MustJoin(Scan("R", rSchema), Scan("S", sSchema))
+	v2 := MustJoin(Scan("S", sSchema), Scan("T", tSchema))
+	ins := relation.InsertDelta(sSchema, relation.T(2, 3))
+
+	d1, err := Delta(v1, "S", ins, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Count(relation.T(1, 2, 3)) != 1 || d1.Distinct() != 1 {
+		t.Errorf("ΔV1 = %v, want {+[1 2 3]}", d1)
+	}
+	d2, err := Delta(v2, "S", ins, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Count(relation.T(2, 3, 4)) != 1 || d2.Distinct() != 1 {
+		t.Errorf("ΔV2 = %v, want {+[2 3 4]}", d2)
+	}
+	checkDelta(t, v1, db, "S", ins)
+	checkDelta(t, v2, db, "S", ins)
+}
+
+func TestDeltaDelete(t *testing.T) {
+	db := paperDB()
+	v1 := MustJoin(Scan("R", rSchema), Scan("S", sSchema))
+	del := relation.DeleteDelta(sSchema, relation.T(2, 3))
+	d, err := Delta(v1, "S", del, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count(relation.T(1, 2, 3)) != -1 {
+		t.Errorf("delete delta = %v", d)
+	}
+	checkDelta(t, v1, db, "S", del)
+}
+
+func TestDeltaModify(t *testing.T) {
+	db := paperDB()
+	v1 := MustJoin(Scan("R", rSchema), Scan("S", sSchema))
+	mod := relation.ModifyDelta(sSchema, relation.T(2, 3), relation.T(2, 9))
+	checkDelta(t, v1, db, "S", mod)
+}
+
+func TestDeltaIrrelevantBase(t *testing.T) {
+	db := paperDB()
+	v1 := MustJoin(Scan("R", rSchema), Scan("S", sSchema))
+	d, err := Delta(v1, "T", relation.InsertDelta(tSchema, relation.T(9, 9)), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Errorf("delta on unreferenced base = %v", d)
+	}
+	if d2, err := Delta(v1, "S", relation.NewDelta(sSchema), db); err != nil || !d2.Empty() {
+		t.Errorf("empty base delta should give empty view delta: %v, %v", d2, err)
+	}
+}
+
+func TestDeltaSelfJoin(t *testing.T) {
+	// V = R ⋈ π_{B→?}... simplest self-join: R(A,B) ⋈ R'(B,C) is not
+	// expressible without renaming, so use R ⋈ R (same schema: every tuple
+	// joins with itself on both attributes).
+	db := MapDB{"R": relation.FromTuples(rSchema, relation.T(1, 2))}
+	v := MustJoin(Scan("R", rSchema), Scan("R", rSchema))
+	checkDelta(t, v, db, "R", relation.InsertDelta(rSchema, relation.T(3, 4)))
+	checkDelta(t, v, db, "R", relation.DeleteDelta(rSchema, relation.T(1, 2)))
+	// Mixed insert+delete in one delta.
+	mixed := relation.NewDelta(rSchema)
+	mixed.Add(relation.T(1, 2), -1)
+	mixed.Add(relation.T(5, 6), 1)
+	mixed.Add(relation.T(7, 8), 2)
+	checkDelta(t, v, db, "R", mixed)
+}
+
+func TestDeltaThroughSelectProject(t *testing.T) {
+	db := MapDB{"R": relation.FromTuples(rSchema,
+		relation.T(1, 10), relation.T(2, 10), relation.T(3, 20))}
+	v := MustProject(MustSelect(Scan("R", rSchema), Cmp("B", Le, 10)), "B")
+	// Delete one contributor of the collapsed group: count must drop 2→1,
+	// which only the counting algorithm gets right.
+	del := relation.DeleteDelta(rSchema, relation.T(1, 10))
+	d, err := Delta(v, "R", del, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count(relation.T(10)) != -1 {
+		t.Errorf("counting delta = %v", d)
+	}
+	checkDelta(t, v, db, "R", del)
+}
+
+func TestDeltaWritesMultiWriteTxn(t *testing.T) {
+	// §6.2: one transaction updates both R and S; the view delta must be the
+	// composition, each write evaluated at the state its predecessors left.
+	db := paperDB()
+	v1 := MustJoin(Scan("R", rSchema), Scan("S", sSchema))
+	writes := []Write{
+		{Relation: "R", Delta: relation.InsertDelta(rSchema, relation.T(5, 6))},
+		{Relation: "S", Delta: relation.InsertDelta(sSchema, relation.T(6, 7))},
+	}
+	total, err := DeltaWrites(v1, writes, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := mustEval(t, v1, db)
+	incr := pre.Clone()
+	if err := incr.Apply(total); err != nil {
+		t.Fatal(err)
+	}
+	post := MapDB{}
+	for k, r := range db {
+		post[k] = r.Clone()
+	}
+	for _, w := range writes {
+		if err := post[w.Relation].Apply(w.Delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := mustEval(t, v1, post)
+	if !incr.Equal(want) {
+		t.Errorf("multi-write delta: %v, want %v", incr, want)
+	}
+	// The new R tuple joins the new S tuple: [5 6 7] must be in the delta.
+	if total.Count(relation.T(5, 6, 7)) != 1 {
+		t.Errorf("cross-write join missing: %v", total)
+	}
+}
+
+func TestDeltaWritesSameRelationTwice(t *testing.T) {
+	db := paperDB()
+	v1 := MustJoin(Scan("R", rSchema), Scan("S", sSchema))
+	writes := []Write{
+		{Relation: "S", Delta: relation.InsertDelta(sSchema, relation.T(2, 99))},
+		{Relation: "S", Delta: relation.DeleteDelta(sSchema, relation.T(2, 99))},
+	}
+	total, err := DeltaWrites(v1, writes, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !total.Empty() {
+		t.Errorf("insert-then-delete should cancel, got %v", total)
+	}
+}
+
+func TestSubstituteDeltaExpression(t *testing.T) {
+	// For a base occurring once, Eval(Substitute(e, base, δ)) at the
+	// pre-state equals Delta(e, base, δ) at the pre-state.
+	db := paperDB()
+	v1 := MustJoin(Scan("R", rSchema), Scan("S", sSchema))
+	d := relation.InsertDelta(sSchema, relation.T(2, 50))
+	sub := Substitute(v1, "S", d)
+	got, err := EvalSigned(sub, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Delta(v1, "S", d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("substituted eval %v != delta %v", got, want)
+	}
+	// Substitution must not touch other scans.
+	if len(sub.BaseRelations()) != 1 || sub.BaseRelations()[0] != "R" {
+		t.Errorf("substituted bases = %v", sub.BaseRelations())
+	}
+}
+
+func TestSubstituteDeepTree(t *testing.T) {
+	db := paperDB()
+	v := MustSelect(
+		MustProject(JoinAll(Scan("R", rSchema), Scan("S", sSchema), Scan("T", tSchema)), "A", "C", "D"),
+		Cmp("A", Ge, 0))
+	d := relation.InsertDelta(sSchema, relation.T(2, 3))
+	sub := Substitute(v, "S", d)
+	got, err := EvalSigned(sub, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Delta(v, "S", d, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("deep substitute %v != %v", got, want)
+	}
+}
+
+func TestOverlayDB(t *testing.T) {
+	db := paperDB()
+	o := &OverlayDB{Base: db, Deltas: map[string]*relation.Delta{
+		"S": relation.InsertDelta(sSchema, relation.T(7, 7)),
+	}}
+	s1, err := o.Relation("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Contains(relation.T(7, 7)) || !s1.Contains(relation.T(2, 3)) {
+		t.Errorf("overlay S = %v", s1)
+	}
+	// Cached: same pointer on second access.
+	s2, _ := o.Relation("S")
+	if s1 != s2 {
+		t.Error("overlay should cache materialized relations")
+	}
+	// Untouched relation passes through.
+	r, _ := o.Relation("R")
+	if r != db["R"] {
+		t.Error("overlay must pass through relations without deltas")
+	}
+	// Base relation unchanged.
+	if db["S"].Contains(relation.T(7, 7)) {
+		t.Error("overlay mutated the base relation")
+	}
+	// Invalid overlay (over-delete) surfaces an error.
+	bad := &OverlayDB{Base: db, Deltas: map[string]*relation.Delta{
+		"S": relation.DeleteDelta(sSchema, relation.T(9, 9)),
+	}}
+	if _, err := bad.Relation("S"); err == nil {
+		t.Error("invalid overlay should fail")
+	}
+}
+
+// randExpr builds a random SPJ view over R, S, T.
+func randExpr(rng *rand.Rand) Expr {
+	var e Expr
+	switch rng.Intn(4) {
+	case 0:
+		e = MustJoin(Scan("R", rSchema), Scan("S", sSchema))
+	case 1:
+		e = MustJoin(Scan("S", sSchema), Scan("T", tSchema))
+	case 2:
+		e = JoinAll(Scan("R", rSchema), Scan("S", sSchema), Scan("T", tSchema))
+	default:
+		e = Scan("S", sSchema)
+	}
+	if rng.Intn(2) == 0 {
+		e = MustSelect(e, Cmp("B", Le, int64(rng.Intn(6))))
+	}
+	if rng.Intn(2) == 0 {
+		names := e.Schema().Names()
+		e = MustProject(e, names[:1+rng.Intn(len(names))]...)
+	}
+	return e
+}
+
+func randDB(rng *rand.Rand) MapDB {
+	mk := func(s *relation.Schema) *relation.Relation {
+		r := relation.New(s)
+		for i := 0; i < rng.Intn(8); i++ {
+			_ = r.Insert(relation.T(rng.Intn(5), rng.Intn(5)), int64(1+rng.Intn(2)))
+		}
+		return r
+	}
+	return MapDB{"R": mk(rSchema), "S": mk(sSchema), "T": mk(tSchema)}
+}
+
+// Property: for random views, random databases and random single-relation
+// updates, incremental maintenance equals recomputation.
+func TestDeltaEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randDB(rng)
+		e := randExpr(rng)
+		bases := []string{"R", "S", "T"}
+		base := bases[rng.Intn(len(bases))]
+		sch := map[string]*relation.Schema{"R": rSchema, "S": sSchema, "T": tSchema}[base]
+		d := relation.NewDelta(sch)
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			tu := relation.T(rng.Intn(5), rng.Intn(5))
+			if rng.Intn(2) == 0 {
+				d.Add(tu, -1)
+			} else {
+				d.Add(tu, 1)
+			}
+		}
+		// Make the delta legal against the base.
+		legal := relation.NewDelta(sch)
+		d.Each(func(tu relation.Tuple, n int64) bool {
+			if n < 0 && db[base].Count(tu)+n < 0 {
+				return true // drop illegal over-delete
+			}
+			legal.Add(tu, n)
+			return true
+		})
+
+		pre, err := Eval(e, db)
+		if err != nil {
+			return false
+		}
+		vd, err := Delta(e, base, legal, db)
+		if err != nil {
+			return false
+		}
+		incr := pre.Clone()
+		if err := incr.Apply(vd); err != nil {
+			return false
+		}
+		if err := db[base].Apply(legal); err != nil {
+			return false
+		}
+		re, err := Eval(e, db)
+		if err != nil {
+			return false
+		}
+		return incr.Equal(re)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package expr implements the view-definition algebra used by the WHIPS
+// reproduction: select-project-join expression trees over named base
+// relations, plus bag union and group-by aggregation.
+//
+// Two operations matter for warehouse view maintenance:
+//
+//   - Eval computes the full contents of a view at a given database state
+//     (used for initialization, periodic refresh, and the consistency
+//     checker's oracle).
+//   - Delta computes the incremental change to the view caused by a change
+//     to one base relation, given the PRE-update database state. This is the
+//     counting algorithm: all intermediate results are signed counted bags,
+//     so maintenance is exact under duplicates and projection.
+//
+// Everything evaluates in "signed bag" space (*relation.Delta); a plain
+// relation is just a signed bag with all-positive counts. This uniformity is
+// what lets the Strobe-style view manager compensate for intertwined updates
+// by substituting a delta for a base relation (see Substitute) and running
+// the ordinary delta rules.
+package expr
+
+import (
+	"fmt"
+
+	"whips/internal/relation"
+)
+
+// Database resolves base relation names to their current contents. The
+// returned relation must not be mutated by the caller.
+type Database interface {
+	Relation(name string) (*relation.Relation, error)
+}
+
+// MapDB is a trivial Database backed by a map.
+type MapDB map[string]*relation.Relation
+
+// Relation implements Database.
+func (m MapDB) Relation(name string) (*relation.Relation, error) {
+	r, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("expr: unknown base relation %q", name)
+	}
+	return r, nil
+}
+
+// OverlayDB presents a base Database with per-relation deltas applied on
+// top. It materializes (and caches) each overlaid relation on first access.
+// It is the pre/post-state plumbing for multi-write transactions.
+type OverlayDB struct {
+	Base   Database
+	Deltas map[string]*relation.Delta
+	cache  map[string]*relation.Relation
+}
+
+// Relation implements Database.
+func (o *OverlayDB) Relation(name string) (*relation.Relation, error) {
+	d, ok := o.Deltas[name]
+	if !ok || d.Empty() {
+		return o.Base.Relation(name)
+	}
+	if o.cache == nil {
+		o.cache = make(map[string]*relation.Relation)
+	}
+	if r, ok := o.cache[name]; ok {
+		return r, nil
+	}
+	base, err := o.Base.Relation(name)
+	if err != nil {
+		return nil, err
+	}
+	r := base.Clone()
+	if err := r.Apply(d); err != nil {
+		return nil, fmt.Errorf("expr: overlay of %q: %w", name, err)
+	}
+	o.cache[name] = r
+	return r, nil
+}
+
+// Expr is a view-definition expression tree. Implementations are immutable
+// and safe for concurrent use.
+type Expr interface {
+	// Schema is the output schema.
+	Schema() *relation.Schema
+	// BaseRelations returns the distinct base relation names referenced, in
+	// first-appearance order.
+	BaseRelations() []string
+	// String renders the expression in algebra-ish notation.
+	String() string
+
+	// evalSigned computes the expression over db in signed-bag space.
+	evalSigned(db Database) (*relation.Delta, error)
+	// deltaSigned computes the change to the expression caused by applying
+	// d to base, where db is the pre-update state.
+	deltaSigned(base string, d *relation.Delta, db Database) (*relation.Delta, error)
+}
+
+// Eval computes the full view contents at db. It fails if the result has a
+// negative count, which can only happen via a Const node holding a
+// non-relation signed bag.
+func Eval(e Expr, db Database) (*relation.Relation, error) {
+	s, err := e.evalSigned(db)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(e.Schema())
+	var bad error
+	s.Each(func(t relation.Tuple, n int64) bool {
+		if n < 0 {
+			bad = fmt.Errorf("expr: evaluation produced negative count %d for %v", n, t)
+			return false
+		}
+		bad = out.Insert(t, n)
+		return bad == nil
+	})
+	if bad != nil {
+		return nil, bad
+	}
+	return out, nil
+}
+
+// EvalSigned computes the expression in signed-bag space.
+func EvalSigned(e Expr, db Database) (*relation.Delta, error) { return e.evalSigned(db) }
+
+// Delta computes the incremental change to view e caused by applying d to
+// base relation base. db must be the PRE-update database state. The result
+// is exact under bag semantics, including self-joins.
+func Delta(e Expr, base string, d *relation.Delta, db Database) (*relation.Delta, error) {
+	if d.Empty() {
+		return relation.NewDelta(e.Schema()), nil
+	}
+	return e.deltaSigned(base, d, db)
+}
+
+// Write names one base relation change; a transaction is a sequence of
+// writes (paper §6.2 allows several per transaction).
+type Write struct {
+	Relation string
+	Delta    *relation.Delta
+}
+
+// DeltaWrites computes the view change for a whole transaction: writes are
+// applied in order, each delta evaluated at the state produced by its
+// predecessors. db is the state before the first write.
+func DeltaWrites(e Expr, writes []Write, db Database) (*relation.Delta, error) {
+	total := relation.NewDelta(e.Schema())
+	applied := make(map[string]*relation.Delta)
+	for _, w := range writes {
+		cur := &OverlayDB{Base: db, Deltas: applied}
+		step, err := Delta(e, w.Relation, w.Delta, cur)
+		if err != nil {
+			return nil, err
+		}
+		if err := total.Merge(step); err != nil {
+			return nil, err
+		}
+		acc := applied[w.Relation]
+		if acc == nil {
+			acc = relation.NewDelta(w.Delta.Schema())
+		} else {
+			acc = acc.Clone()
+		}
+		if err := acc.Merge(w.Delta); err != nil {
+			return nil, err
+		}
+		// Copy-on-write of the map so OverlayDB caches built for earlier
+		// steps are not invalidated behind their backs.
+		next := make(map[string]*relation.Delta, len(applied)+1)
+		for k, v := range applied {
+			next[k] = v
+		}
+		next[w.Relation] = acc
+		applied = next
+	}
+	return total, nil
+}
+
+// Substitute returns a copy of e in which every Scan of base is replaced by
+// a Const holding d. The result evaluates the "delta expression" used by
+// compensating view managers: for a base relation appearing once, Eval of
+// the substituted tree at state S equals Delta(e, base, d, S).
+func Substitute(e Expr, base string, d *relation.Delta) Expr {
+	switch n := e.(type) {
+	case *ScanExpr:
+		if n.name == base {
+			return NewConst(n.schema, d)
+		}
+		return n
+	case *ConstExpr:
+		return n
+	case *SelectExpr:
+		return &SelectExpr{child: Substitute(n.child, base, d), pred: n.pred, compiled: n.compiled}
+	case *ProjectExpr:
+		return &ProjectExpr{child: Substitute(n.child, base, d), schema: n.schema, idx: n.idx}
+	case *JoinExpr:
+		l := Substitute(n.left, base, d)
+		r := Substitute(n.right, base, d)
+		return &JoinExpr{left: l, right: r, schema: n.schema, shared: n.shared, rightKeep: n.rightKeep}
+	case *UnionAllExpr:
+		return &UnionAllExpr{left: Substitute(n.left, base, d), right: Substitute(n.right, base, d)}
+	case *RenameExpr:
+		return &RenameExpr{child: Substitute(n.child, base, d), schema: n.schema, mapping: n.mapping}
+	case *SetOpExpr:
+		return &SetOpExpr{kind: n.kind, left: Substitute(n.left, base, d), right: Substitute(n.right, base, d)}
+	case *AggregateExpr:
+		c := Substitute(n.child, base, d)
+		return &AggregateExpr{child: c, groupBy: n.groupBy, groupIdx: n.groupIdx, aggs: n.aggs, schema: n.schema}
+	default:
+		panic(fmt.Sprintf("expr: Substitute does not know node type %T", e))
+	}
+}
+
+// occurrences counts how many Scan nodes of base appear in e.
+func occurrences(e Expr, base string) int {
+	switch n := e.(type) {
+	case *ScanExpr:
+		if n.name == base {
+			return 1
+		}
+		return 0
+	case *ConstExpr:
+		return 0
+	case *SelectExpr:
+		return occurrences(n.child, base)
+	case *ProjectExpr:
+		return occurrences(n.child, base)
+	case *JoinExpr:
+		return occurrences(n.left, base) + occurrences(n.right, base)
+	case *UnionAllExpr:
+		return occurrences(n.left, base) + occurrences(n.right, base)
+	case *RenameExpr:
+		return occurrences(n.child, base)
+	case *SetOpExpr:
+		return occurrences(n.left, base) + occurrences(n.right, base)
+	case *AggregateExpr:
+		return occurrences(n.child, base)
+	default:
+		return 0
+	}
+}
+
+func mergeBases(a, b []string) []string {
+	out := append([]string(nil), a...)
+	seen := make(map[string]bool, len(a))
+	for _, n := range a {
+		seen[n] = true
+	}
+	for _, n := range b {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

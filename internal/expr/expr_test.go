@@ -1,0 +1,215 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"whips/internal/relation"
+)
+
+var (
+	rSchema = relation.MustSchema("A:int", "B:int")
+	sSchema = relation.MustSchema("B:int", "C:int")
+	tSchema = relation.MustSchema("C:int", "D:int")
+)
+
+func paperDB() MapDB {
+	// Table 1 of the paper at time t1: R=[1 2], S=[2 3], T=[3 4].
+	return MapDB{
+		"R": relation.FromTuples(rSchema, relation.T(1, 2)),
+		"S": relation.FromTuples(sSchema, relation.T(2, 3)),
+		"T": relation.FromTuples(tSchema, relation.T(3, 4)),
+	}
+}
+
+func mustEval(t *testing.T, e Expr, db Database) *relation.Relation {
+	t.Helper()
+	r, err := Eval(e, db)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return r
+}
+
+func TestScanEval(t *testing.T) {
+	db := paperDB()
+	r := mustEval(t, Scan("R", rSchema), db)
+	if !r.Equal(db["R"]) {
+		t.Errorf("scan = %v", r)
+	}
+	if _, err := Eval(Scan("Z", rSchema), db); err == nil {
+		t.Error("scanning unknown relation should fail")
+	}
+	if _, err := Eval(Scan("R", sSchema), db); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+}
+
+func TestJoinEvalPaperV1(t *testing.T) {
+	// V1 = R ⋈ S over Table 1 contents: expect [1 2 3].
+	db := paperDB()
+	v1 := MustJoin(Scan("R", rSchema), Scan("S", sSchema))
+	got := mustEval(t, v1, db)
+	want := relation.FromTuples(v1.Schema(), relation.T(1, 2, 3))
+	if !got.Equal(want) {
+		t.Errorf("V1 = %v, want %v", got, want)
+	}
+	if v1.Schema().String() != "(A:int, B:int, C:int)" {
+		t.Errorf("V1 schema = %s", v1.Schema())
+	}
+}
+
+func TestJoinEvalPaperV2(t *testing.T) {
+	// V2 = S ⋈ T: expect [2 3 4].
+	db := paperDB()
+	v2 := MustJoin(Scan("S", sSchema), Scan("T", tSchema))
+	got := mustEval(t, v2, db)
+	want := relation.FromTuples(v2.Schema(), relation.T(2, 3, 4))
+	if !got.Equal(want) {
+		t.Errorf("V2 = %v, want %v", got, want)
+	}
+}
+
+func TestJoinMultiplicities(t *testing.T) {
+	db := MapDB{
+		"R": relation.New(rSchema),
+		"S": relation.New(sSchema),
+	}
+	_ = db["R"].Insert(relation.T(1, 2), 2)
+	_ = db["S"].Insert(relation.T(2, 3), 3)
+	j := MustJoin(Scan("R", rSchema), Scan("S", sSchema))
+	got := mustEval(t, j, db)
+	if got.Count(relation.T(1, 2, 3)) != 6 {
+		t.Errorf("bag join count = %d, want 6", got.Count(relation.T(1, 2, 3)))
+	}
+}
+
+func TestCrossProduct(t *testing.T) {
+	q := relation.MustSchema("X:int")
+	db := MapDB{
+		"R": relation.FromTuples(rSchema, relation.T(1, 2), relation.T(3, 4)),
+		"Q": relation.FromTuples(q, relation.T(7), relation.T(8)),
+	}
+	j := MustJoin(Scan("R", rSchema), Scan("Q", q))
+	got := mustEval(t, j, db)
+	if got.Cardinality() != 4 {
+		t.Errorf("cross product cardinality = %d", got.Cardinality())
+	}
+}
+
+func TestSelectEval(t *testing.T) {
+	db := MapDB{"R": relation.FromTuples(rSchema,
+		relation.T(1, 10), relation.T(2, 20), relation.T(3, 30))}
+	sel := MustSelect(Scan("R", rSchema), Cmp("B", Ge, 20))
+	got := mustEval(t, sel, db)
+	want := relation.FromTuples(rSchema, relation.T(2, 20), relation.T(3, 30))
+	if !got.Equal(want) {
+		t.Errorf("select = %v", got)
+	}
+}
+
+func TestSelectCompileErrors(t *testing.T) {
+	if _, err := Select(Scan("R", rSchema), Cmp("Z", Eq, 1)); err == nil {
+		t.Error("missing attribute should fail at construction")
+	}
+	if _, err := Select(Scan("R", rSchema), Cmp("A", Eq, "str")); err == nil {
+		t.Error("type mismatch should fail at construction")
+	}
+	if _, err := Select(Scan("R", rSchema), CmpAttrs("A", Eq, "Z")); err == nil {
+		t.Error("missing rhs attribute should fail")
+	}
+}
+
+func TestPredCombinators(t *testing.T) {
+	db := MapDB{"R": relation.FromTuples(rSchema,
+		relation.T(1, 1), relation.T(1, 2), relation.T(2, 2), relation.T(3, 1))}
+	cases := []struct {
+		pred Pred
+		want int64
+	}{
+		{And(Cmp("A", Eq, 1), Cmp("B", Eq, 2)), 1},
+		{Or(Cmp("A", Eq, 1), Cmp("B", Eq, 1)), 3},
+		{Not(Cmp("A", Eq, 1)), 2},
+		{True(), 4},
+		{And(), 4},
+		{Or(), 0},
+		{CmpAttrs("A", Eq, "B"), 2},
+		{CmpAttrs("A", Lt, "B"), 1},
+		{Cmp("A", Ne, 1), 2},
+		{Cmp("A", Le, 1), 2},
+		{Cmp("A", Gt, 2), 1},
+	}
+	for _, c := range cases {
+		sel := MustSelect(Scan("R", rSchema), c.pred)
+		got := mustEval(t, sel, db)
+		if got.Cardinality() != c.want {
+			t.Errorf("select[%s] matched %d rows, want %d", c.pred, got.Cardinality(), c.want)
+		}
+	}
+}
+
+func TestProjectEvalCounting(t *testing.T) {
+	db := MapDB{"R": relation.FromTuples(rSchema,
+		relation.T(1, 10), relation.T(2, 10), relation.T(3, 20))}
+	p := MustProject(Scan("R", rSchema), "B")
+	got := mustEval(t, p, db)
+	if got.Count(relation.T(10)) != 2 || got.Count(relation.T(20)) != 1 {
+		t.Errorf("projection counts wrong: %v", got)
+	}
+}
+
+func TestUnionAllEval(t *testing.T) {
+	db := MapDB{
+		"R1": relation.FromTuples(rSchema, relation.T(1, 1)),
+		"R2": relation.FromTuples(rSchema, relation.T(1, 1), relation.T(2, 2)),
+	}
+	u := MustUnionAll(Scan("R1", rSchema), Scan("R2", rSchema))
+	got := mustEval(t, u, db)
+	if got.Count(relation.T(1, 1)) != 2 || got.Count(relation.T(2, 2)) != 1 {
+		t.Errorf("union = %v", got)
+	}
+	if _, err := UnionAll(Scan("R1", rSchema), Scan("S", sSchema)); err == nil {
+		t.Error("union of mismatched schemas should fail")
+	}
+}
+
+func TestExprStringsAndBases(t *testing.T) {
+	v := MustSelect(
+		MustProject(MustJoin(Scan("R", rSchema), Scan("S", sSchema)), "A", "C"),
+		Cmp("A", Gt, 0))
+	s := v.String()
+	for _, frag := range []string{"select", "project", "join", "R", "S"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+	bases := v.BaseRelations()
+	if len(bases) != 2 || bases[0] != "R" || bases[1] != "S" {
+		t.Errorf("BaseRelations = %v", bases)
+	}
+	// Self-join mentions the base once.
+	sj := MustJoin(Scan("R", rSchema), Scan("R", rSchema))
+	if got := sj.BaseRelations(); len(got) != 1 || got[0] != "R" {
+		t.Errorf("self-join bases = %v", got)
+	}
+}
+
+func TestEvalRejectsNegativeConst(t *testing.T) {
+	neg := relation.DeleteDelta(rSchema, relation.T(1, 1))
+	if _, err := Eval(NewConst(rSchema, neg), MapDB{}); err == nil {
+		t.Error("Eval over negative bag should fail")
+	}
+	if d, err := EvalSigned(NewConst(rSchema, neg), MapDB{}); err != nil || d.Count(relation.T(1, 1)) != -1 {
+		t.Errorf("EvalSigned = %v, %v", d, err)
+	}
+}
+
+func TestJoinAll(t *testing.T) {
+	db := paperDB()
+	v := JoinAll(Scan("R", rSchema), Scan("S", sSchema), Scan("T", tSchema))
+	got := mustEval(t, v, db)
+	want := relation.FromTuples(v.Schema(), relation.T(1, 2, 3, 4))
+	if !got.Equal(want) {
+		t.Errorf("R⋈S⋈T = %v", got)
+	}
+}

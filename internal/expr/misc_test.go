@@ -1,0 +1,283 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"whips/internal/relation"
+)
+
+func TestPredStringsAndAttrs(t *testing.T) {
+	cases := []struct {
+		p     Pred
+		str   string
+		attrs []string
+	}{
+		{Cmp("A", Eq, 5), "A=5", []string{"A"}},
+		{Cmp("A", Ne, 5), "A!=5", []string{"A"}},
+		{Cmp("A", Lt, 5), "A<5", []string{"A"}},
+		{Cmp("A", Le, 5), "A<=5", []string{"A"}},
+		{Cmp("A", Gt, 5), "A>5", []string{"A"}},
+		{Cmp("A", Ge, 5), "A>=5", []string{"A"}},
+		{CmpAttrs("A", Eq, "B"), "A=B", []string{"A", "B"}},
+		{And(Cmp("A", Eq, 1), Cmp("B", Eq, 2)), "(A=1 and B=2)", []string{"A", "B"}},
+		{Or(Cmp("A", Eq, 1), Cmp("B", Eq, 2)), "(A=1 or B=2)", []string{"A", "B"}},
+		{Not(Cmp("A", Eq, 1)), "not(A=1)", []string{"A"}},
+		{True(), "true", nil},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.str {
+			t.Errorf("String = %q, want %q", got, c.str)
+		}
+		got := c.p.Attrs()
+		if len(got) != len(c.attrs) {
+			t.Errorf("%s Attrs = %v, want %v", c.str, got, c.attrs)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.attrs[i] {
+				t.Errorf("%s Attrs = %v, want %v", c.str, got, c.attrs)
+			}
+		}
+	}
+	if CmpOp(99).String() != "?" {
+		t.Error("unknown op should render ?")
+	}
+	// Combinators propagate compile errors from their children.
+	for _, p := range []Pred{
+		And(Cmp("Z", Eq, 1)),
+		Or(Cmp("Z", Eq, 1)),
+		Not(Cmp("Z", Eq, 1)),
+	} {
+		if _, err := Select(Scan("R", rSchema), p); err == nil {
+			t.Errorf("compile of %s should fail", p)
+		}
+	}
+}
+
+func TestScanAndConstAccessors(t *testing.T) {
+	s := Scan("R", rSchema)
+	if s.Name() != "R" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	c := NewConst(rSchema, nil)
+	if !strings.HasPrefix(c.String(), "const") {
+		t.Errorf("Const String = %q", c.String())
+	}
+	if c.BaseRelations() != nil {
+		t.Error("const has no base relations")
+	}
+	// Const deltas never change.
+	d, err := Delta(c, "R", relation.InsertDelta(rSchema, relation.T(1, 1)), MapDB{})
+	if err != nil || !d.Empty() {
+		t.Errorf("const delta = %v, %v", d, err)
+	}
+	// Scan schema mismatch in deltaSigned.
+	if _, err := Delta(Scan("R", rSchema), "R", relation.InsertDelta(sSchema, relation.T(1, 1)), MapDB{}); err == nil {
+		t.Error("mismatched delta schema must fail")
+	}
+}
+
+func TestSelectPredAccessor(t *testing.T) {
+	p := Cmp("A", Eq, 1)
+	sel := MustSelect(Scan("R", rSchema), p)
+	if sel.Pred().String() != p.String() {
+		t.Error("Pred accessor mismatch")
+	}
+}
+
+func TestMustConstructorsPanic(t *testing.T) {
+	panics := []func(){
+		func() { MustSelect(Scan("R", rSchema), Cmp("Z", Eq, 1)) },
+		func() { MustProject(Scan("R", rSchema), "Z") },
+		func() { MustJoin(Scan("R", rSchema), Scan("X", relation.MustSchema("A:string"))) },
+		func() { MustUnionAll(Scan("R", rSchema), Scan("S", sSchema)) },
+		func() { MustAggregate(Scan("R", rSchema), []string{"Z"}, nil) },
+		func() { JoinAll() },
+		func() { Substitute(nil, "R", nil) },
+	}
+	for i, f := range panics {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUnionAllDelta(t *testing.T) {
+	// Base appearing in both branches: deltas add.
+	u := MustUnionAll(Scan("R", rSchema), Scan("R", rSchema))
+	db := MapDB{"R": relation.FromTuples(rSchema, relation.T(1, 1))}
+	d, err := Delta(u, "R", relation.InsertDelta(rSchema, relation.T(2, 2)), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count(relation.T(2, 2)) != 2 {
+		t.Errorf("union delta = %v", d)
+	}
+	checkDelta(t, u, db, "R", relation.InsertDelta(rSchema, relation.T(3, 3)))
+	if got := u.BaseRelations(); len(got) != 1 {
+		t.Errorf("union bases = %v", got)
+	}
+	if !strings.Contains(u.String(), "union") {
+		t.Errorf("union String = %q", u.String())
+	}
+}
+
+func TestAggregateStringAndBases(t *testing.T) {
+	a := MustAggregate(Scan("R", rSchema), []string{"A"}, []AggSpec{
+		{Op: Count, As: "N"},
+		{Op: Sum, Attr: "B", As: "S"},
+	})
+	s := a.String()
+	for _, frag := range []string{"agg[", "count as N", "sum(B) as S"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("aggregate String = %q missing %q", s, frag)
+		}
+	}
+	if got := a.BaseRelations(); len(got) != 1 || got[0] != "R" {
+		t.Errorf("aggregate bases = %v", got)
+	}
+	ops := map[AggOp]string{Count: "count", Sum: "sum", Min: "min", Max: "max", Avg: "avg"}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%v != %s", op, want)
+		}
+	}
+	if AggOp(99).String() == "" {
+		t.Error("unknown agg op should render")
+	}
+}
+
+func TestSubstituteUnionAndAggregate(t *testing.T) {
+	// Substitute must recurse through union and aggregate nodes.
+	u := MustUnionAll(Scan("R", rSchema), Scan("R", rSchema))
+	d := relation.InsertDelta(rSchema, relation.T(5, 5))
+	sub := Substitute(u, "R", d)
+	got, err := EvalSigned(sub, MapDB{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count(relation.T(5, 5)) != 2 {
+		t.Errorf("substituted union = %v", got)
+	}
+	a := MustAggregate(Scan("R", rSchema), []string{"A"}, []AggSpec{{Op: Count, As: "N"}})
+	subA := Substitute(a, "R", d)
+	if len(subA.BaseRelations()) != 0 {
+		t.Errorf("substituted aggregate still reads %v", subA.BaseRelations())
+	}
+	gotA, err := EvalSigned(subA, MapDB{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotA.Count(relation.T(5, 1)) != 1 {
+		t.Errorf("substituted aggregate = %v", gotA)
+	}
+	// Substituting an unrelated base is the identity.
+	same := Substitute(Scan("R", rSchema), "Q", d)
+	if same.(*ScanExpr).Name() != "R" {
+		t.Error("unrelated substitute should keep scan")
+	}
+}
+
+func TestEvalErrorPropagation(t *testing.T) {
+	// Missing relation errors flow through every node type.
+	missing := MapDB{}
+	exprs := []Expr{
+		MustSelect(Scan("R", rSchema), True()),
+		MustProject(Scan("R", rSchema), "A"),
+		MustJoin(Scan("R", rSchema), Scan("S", sSchema)),
+		MustUnionAll(Scan("R", rSchema), Scan("R", rSchema)),
+		MustAggregate(Scan("R", rSchema), []string{"A"}, []AggSpec{{Op: Count, As: "N"}}),
+	}
+	d := relation.InsertDelta(rSchema, relation.T(1, 1))
+	for _, e := range exprs {
+		if _, err := Eval(e, missing); err == nil {
+			t.Errorf("Eval(%s) over empty db should fail", e)
+		}
+		if _, err := Delta(e, "R", d, missing); err == nil {
+			// Join needs the other side's pre-state; select/project/union
+			// don't touch the db. Only check the ones that must fail.
+			switch e.(type) {
+			case *JoinExpr, *AggregateExpr:
+				t.Errorf("Delta(%s) over empty db should fail", e)
+			}
+		}
+	}
+	// Right-side join delta needs the left side's post-state.
+	j := MustJoin(Scan("R", rSchema), Scan("S", sSchema))
+	dS := relation.InsertDelta(sSchema, relation.T(1, 1))
+	if _, err := Delta(j, "S", dS, missing); err == nil {
+		t.Error("right-side delta needs left relation")
+	}
+}
+
+func TestRenameEvalAndDelta(t *testing.T) {
+	emp := relation.MustSchema("ID:int", "Mgr:int")
+	db := MapDB{"Emp": relation.FromTuples(emp,
+		relation.T(1, 0), // 1 reports to 0
+		relation.T(2, 1), // 2 reports to 1
+		relation.T(3, 2), // 3 reports to 2
+	)}
+	// Grand-manager pairs: Emp ⋈ ρ_{ID→Mgr, Mgr→GM}(Emp) joins e.Mgr = m.ID.
+	rho := MustRename(Scan("Emp", emp), map[string]string{"ID": "Mgr", "Mgr": "GM"})
+	if rho.Schema().String() != "(Mgr:int, GM:int)" {
+		t.Fatalf("renamed schema = %s", rho.Schema())
+	}
+	v := MustJoin(Scan("Emp", emp), rho)
+	got := mustEval(t, v, db)
+	want := relation.FromTuples(v.Schema(),
+		relation.T(2, 1, 0), // 2 → 1 → 0
+		relation.T(3, 2, 1), // 3 → 2 → 1
+	)
+	if !got.Equal(want) {
+		t.Errorf("grand-manager view = %v, want %v", got, want)
+	}
+	// Self-join-through-rename delta correctness: hire 4 under 3.
+	checkDelta(t, v, db, "Emp", relation.InsertDelta(emp, relation.T(4, 3)))
+	// Fire 2 (both sides of the join affected).
+	checkDelta(t, v, db, "Emp", relation.DeleteDelta(emp, relation.T(2, 1)))
+}
+
+func TestRenameErrorsAndString(t *testing.T) {
+	if _, err := Rename(Scan("R", rSchema), map[string]string{"Z": "Y"}); err == nil {
+		t.Error("renaming a missing attribute must fail")
+	}
+	if _, err := Rename(Scan("R", rSchema), map[string]string{"A": "B"}); err == nil {
+		t.Error("colliding rename must fail")
+	}
+	r := MustRename(Scan("R", rSchema), map[string]string{"A": "X"})
+	if !strings.Contains(r.String(), "A→X") {
+		t.Errorf("String = %q", r.String())
+	}
+	if got := r.BaseRelations(); len(got) != 1 || got[0] != "R" {
+		t.Errorf("bases = %v", got)
+	}
+}
+
+func TestRenameSubstituteAndRelevance(t *testing.T) {
+	r := MustRename(Scan("R", rSchema), map[string]string{"A": "X"})
+	d := relation.InsertDelta(rSchema, relation.T(5, 5))
+	sub := Substitute(r, "R", d)
+	got, err := EvalSigned(sub, MapDB{})
+	if err != nil || got.Count(relation.T(5, 5)) != 1 {
+		t.Errorf("substituted rename = %v, %v", got, err)
+	}
+	// Predicate below the rename still filters base tuples.
+	v := MustRename(MustSelect(Scan("R", rSchema), Cmp("A", Eq, 1)), map[string]string{"A": "X"})
+	if PossiblyRelevant(v, "R", relation.T(9, 9)) {
+		t.Error("pre-rename predicate should discard")
+	}
+	if !PossiblyRelevant(v, "R", relation.T(1, 9)) {
+		t.Error("passing tuple stays relevant")
+	}
+	// Predicate above the rename is skipped (conservative).
+	v2 := MustSelect(r, Cmp("X", Eq, 1))
+	if !PossiblyRelevant(v2, "R", relation.T(9, 9)) {
+		t.Error("post-rename predicate must not discard")
+	}
+}

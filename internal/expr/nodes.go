@@ -1,0 +1,553 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"whips/internal/relation"
+)
+
+// ---------------------------------------------------------------- Scan
+
+// ScanExpr reads a named base relation.
+type ScanExpr struct {
+	name   string
+	schema *relation.Schema
+}
+
+// Scan returns an expression reading base relation name with the given
+// schema.
+func Scan(name string, schema *relation.Schema) *ScanExpr {
+	return &ScanExpr{name: name, schema: schema}
+}
+
+// Name returns the base relation name.
+func (s *ScanExpr) Name() string { return s.name }
+
+// Schema implements Expr.
+func (s *ScanExpr) Schema() *relation.Schema { return s.schema }
+
+// BaseRelations implements Expr.
+func (s *ScanExpr) BaseRelations() []string { return []string{s.name} }
+
+// String implements Expr.
+func (s *ScanExpr) String() string { return s.name }
+
+func (s *ScanExpr) evalSigned(db Database) (*relation.Delta, error) {
+	r, err := db.Relation(s.name)
+	if err != nil {
+		return nil, err
+	}
+	if !r.Schema().Equal(s.schema) {
+		return nil, fmt.Errorf("expr: relation %q has schema %s, expression expects %s",
+			s.name, r.Schema(), s.schema)
+	}
+	return r.AsDelta(), nil
+}
+
+func (s *ScanExpr) deltaSigned(base string, d *relation.Delta, db Database) (*relation.Delta, error) {
+	if s.name != base {
+		return relation.NewDelta(s.schema), nil
+	}
+	if !d.Schema().Equal(s.schema) {
+		return nil, fmt.Errorf("expr: delta for %q has schema %s, expression expects %s",
+			base, d.Schema(), s.schema)
+	}
+	return d.Clone(), nil
+}
+
+// ---------------------------------------------------------------- Const
+
+// ConstExpr is a literal signed bag. It appears in user expressions rarely;
+// its real purpose is Substitute, which turns a view definition into its
+// "delta expression" for compensating view managers.
+type ConstExpr struct {
+	schema *relation.Schema
+	value  *relation.Delta
+}
+
+// NewConst returns a constant expression holding d.
+func NewConst(schema *relation.Schema, d *relation.Delta) *ConstExpr {
+	if d == nil {
+		d = relation.NewDelta(schema)
+	}
+	return &ConstExpr{schema: schema, value: d}
+}
+
+// Schema implements Expr.
+func (c *ConstExpr) Schema() *relation.Schema { return c.schema }
+
+// BaseRelations implements Expr.
+func (c *ConstExpr) BaseRelations() []string { return nil }
+
+// String implements Expr.
+func (c *ConstExpr) String() string { return "const" + c.value.String() }
+
+func (c *ConstExpr) evalSigned(Database) (*relation.Delta, error) { return c.value.Clone(), nil }
+
+func (c *ConstExpr) deltaSigned(string, *relation.Delta, Database) (*relation.Delta, error) {
+	return relation.NewDelta(c.schema), nil
+}
+
+// ---------------------------------------------------------------- Select
+
+// SelectExpr filters its child by a predicate.
+type SelectExpr struct {
+	child    Expr
+	pred     Pred
+	compiled func(relation.Tuple) bool
+}
+
+// Select returns σ_pred(child). The predicate is compiled against the
+// child's schema once, here.
+func Select(child Expr, pred Pred) (*SelectExpr, error) {
+	f, err := pred.compile(child.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return &SelectExpr{child: child, pred: pred, compiled: f}, nil
+}
+
+// MustSelect is Select for literal construction; it panics on error.
+func MustSelect(child Expr, pred Pred) *SelectExpr {
+	s, err := Select(child, pred)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Pred returns the selection predicate.
+func (s *SelectExpr) Pred() Pred { return s.pred }
+
+// Schema implements Expr.
+func (s *SelectExpr) Schema() *relation.Schema { return s.child.Schema() }
+
+// BaseRelations implements Expr.
+func (s *SelectExpr) BaseRelations() []string { return s.child.BaseRelations() }
+
+// String implements Expr.
+func (s *SelectExpr) String() string {
+	return fmt.Sprintf("select[%s](%s)", s.pred, s.child)
+}
+
+func (s *SelectExpr) filter(in *relation.Delta) *relation.Delta {
+	out := relation.NewDelta(s.Schema())
+	in.Each(func(t relation.Tuple, n int64) bool {
+		if s.compiled(t) {
+			out.Add(t, n)
+		}
+		return true
+	})
+	return out
+}
+
+func (s *SelectExpr) evalSigned(db Database) (*relation.Delta, error) {
+	in, err := s.child.evalSigned(db)
+	if err != nil {
+		return nil, err
+	}
+	return s.filter(in), nil
+}
+
+func (s *SelectExpr) deltaSigned(base string, d *relation.Delta, db Database) (*relation.Delta, error) {
+	in, err := s.child.deltaSigned(base, d, db)
+	if err != nil {
+		return nil, err
+	}
+	return s.filter(in), nil
+}
+
+// ---------------------------------------------------------------- Project
+
+// ProjectExpr projects its child onto a subset of attributes (bag
+// semantics: multiplicities of collapsing tuples add — the counting
+// algorithm's raison d'être).
+type ProjectExpr struct {
+	child  Expr
+	schema *relation.Schema
+	idx    []int
+}
+
+// Project returns π_attrs(child).
+func Project(child Expr, attrs ...string) (*ProjectExpr, error) {
+	sch, idx, err := child.Schema().Project(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	return &ProjectExpr{child: child, schema: sch, idx: idx}, nil
+}
+
+// MustProject is Project that panics on error.
+func MustProject(child Expr, attrs ...string) *ProjectExpr {
+	p, err := Project(child, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Schema implements Expr.
+func (p *ProjectExpr) Schema() *relation.Schema { return p.schema }
+
+// BaseRelations implements Expr.
+func (p *ProjectExpr) BaseRelations() []string { return p.child.BaseRelations() }
+
+// String implements Expr.
+func (p *ProjectExpr) String() string {
+	return fmt.Sprintf("project[%s](%s)", strings.Join(p.schema.Names(), ","), p.child)
+}
+
+func (p *ProjectExpr) apply(in *relation.Delta) *relation.Delta {
+	out := relation.NewDelta(p.schema)
+	in.Each(func(t relation.Tuple, n int64) bool {
+		out.Add(t.Project(p.idx), n)
+		return true
+	})
+	return out
+}
+
+func (p *ProjectExpr) evalSigned(db Database) (*relation.Delta, error) {
+	in, err := p.child.evalSigned(db)
+	if err != nil {
+		return nil, err
+	}
+	return p.apply(in), nil
+}
+
+func (p *ProjectExpr) deltaSigned(base string, d *relation.Delta, db Database) (*relation.Delta, error) {
+	in, err := p.child.deltaSigned(base, d, db)
+	if err != nil {
+		return nil, err
+	}
+	return p.apply(in), nil
+}
+
+// ---------------------------------------------------------------- Join
+
+// JoinExpr is the natural join of its children: tuples match when all
+// shared attribute names agree; shared attributes appear once in the
+// output. With no shared attributes it is the cross product.
+type JoinExpr struct {
+	left, right Expr
+	schema      *relation.Schema
+	shared      []string
+	rightKeep   []int // positions of right attrs appended to output
+}
+
+// Join returns left ⋈ right (natural join).
+func Join(left, right Expr) (*JoinExpr, error) {
+	sch, shared, err := left.Schema().NaturalJoin(right.Schema())
+	if err != nil {
+		return nil, err
+	}
+	var keep []int
+	ls := left.Schema()
+	rs := right.Schema()
+	for i := 0; i < rs.Len(); i++ {
+		if !ls.Has(rs.Attr(i).Name) {
+			keep = append(keep, i)
+		}
+	}
+	return &JoinExpr{left: left, right: right, schema: sch, shared: shared, rightKeep: keep}, nil
+}
+
+// MustJoin is Join that panics on error.
+func MustJoin(left, right Expr) *JoinExpr {
+	j, err := Join(left, right)
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
+
+// JoinAll folds Join over several expressions left-to-right. It panics on
+// error; it is a convenience for multiway views like R ⋈ S ⋈ T.
+func JoinAll(exprs ...Expr) Expr {
+	if len(exprs) == 0 {
+		panic("expr: JoinAll needs at least one expression")
+	}
+	out := exprs[0]
+	for _, e := range exprs[1:] {
+		out = MustJoin(out, e)
+	}
+	return out
+}
+
+// Schema implements Expr.
+func (j *JoinExpr) Schema() *relation.Schema { return j.schema }
+
+// BaseRelations implements Expr.
+func (j *JoinExpr) BaseRelations() []string {
+	return mergeBases(j.left.BaseRelations(), j.right.BaseRelations())
+}
+
+// String implements Expr.
+func (j *JoinExpr) String() string { return fmt.Sprintf("(%s join %s)", j.left, j.right) }
+
+// joinBags hash-joins two signed bags on the shared attributes; counts
+// multiply (signed), which is exactly the bilinear behaviour the counting
+// algorithm's join delta rule relies on.
+func (j *JoinExpr) joinBags(l, r *relation.Delta) *relation.Delta {
+	out := relation.NewDelta(j.schema)
+	if l.Empty() || r.Empty() {
+		return out
+	}
+	lIdx := make([]int, len(j.shared))
+	rIdx := make([]int, len(j.shared))
+	for i, name := range j.shared {
+		li, _ := j.left.Schema().Index(name)
+		ri, _ := j.right.Schema().Index(name)
+		lIdx[i], rIdx[i] = li, ri
+	}
+	type rEntry struct {
+		t relation.Tuple
+		n int64
+	}
+	index := make(map[string][]rEntry)
+	r.Each(func(t relation.Tuple, n int64) bool {
+		k := t.Project(rIdx).Key()
+		index[k] = append(index[k], rEntry{t, n})
+		return true
+	})
+	l.Each(func(lt relation.Tuple, ln int64) bool {
+		k := lt.Project(lIdx).Key()
+		for _, re := range index[k] {
+			out.Add(lt.Concat(re.t.Project(j.rightKeep)), ln*re.n)
+		}
+		return true
+	})
+	return out
+}
+
+func (j *JoinExpr) evalSigned(db Database) (*relation.Delta, error) {
+	l, err := j.left.evalSigned(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := j.right.evalSigned(db)
+	if err != nil {
+		return nil, err
+	}
+	return j.joinBags(l, r), nil
+}
+
+// deltaSigned implements the exact bag join delta rule:
+//
+//	Δ(L ⋈ R) = ΔL ⋈ R_pre  +  L_post ⋈ ΔR,   L_post = L_pre + ΔL
+//
+// which is correct even when base occurs on both sides (self-joins).
+func (j *JoinExpr) deltaSigned(base string, d *relation.Delta, db Database) (*relation.Delta, error) {
+	inLeft := occurrences(j.left, base) > 0
+	inRight := occurrences(j.right, base) > 0
+	out := relation.NewDelta(j.schema)
+	if !inLeft && !inRight {
+		return out, nil
+	}
+	var dl, dr *relation.Delta
+	var err error
+	if inLeft {
+		if dl, err = j.left.deltaSigned(base, d, db); err != nil {
+			return nil, err
+		}
+	} else {
+		dl = relation.NewDelta(j.left.Schema())
+	}
+	if inRight {
+		if dr, err = j.right.deltaSigned(base, d, db); err != nil {
+			return nil, err
+		}
+	} else {
+		dr = relation.NewDelta(j.right.Schema())
+	}
+	if !dl.Empty() {
+		if fast, err := j.probeScanRight(db, dl, out); err != nil {
+			return nil, err
+		} else if !fast {
+			rPre, err := j.right.evalSigned(db)
+			if err != nil {
+				return nil, err
+			}
+			if err := out.Merge(j.joinBags(dl, rPre)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !dr.Empty() {
+		if dl.Empty() {
+			if fast, err := j.probeScanLeft(db, dr, out); err != nil {
+				return nil, err
+			} else if fast {
+				return out, nil
+			}
+		}
+		lPost, err := j.left.evalSigned(db)
+		if err != nil {
+			return nil, err
+		}
+		lPost = lPost.Clone()
+		if err := lPost.Merge(dl); err != nil {
+			return nil, err
+		}
+		if err := out.Merge(j.joinBags(lPost, dr)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// sharedIdx resolves the join key's positions in both child schemas.
+func (j *JoinExpr) sharedIdx() (lIdx, rIdx []int) {
+	lIdx = make([]int, len(j.shared))
+	rIdx = make([]int, len(j.shared))
+	for i, name := range j.shared {
+		li, _ := j.left.Schema().Index(name)
+		ri, _ := j.right.Schema().Index(name)
+		lIdx[i], rIdx[i] = li, ri
+	}
+	return lIdx, rIdx
+}
+
+// unwrapScan peels Select and Rename layers above a Scan. Both preserve
+// tuple positions, so the selections' compiled closures (and the join's
+// positional metadata) apply directly to tuples probed from the scanned
+// relation. filters come back outermost-first; a non-probeable shape
+// returns ok == false.
+func unwrapScan(e Expr) (scan *ScanExpr, filters []func(relation.Tuple) bool, ok bool) {
+	for {
+		switch n := e.(type) {
+		case *ScanExpr:
+			return n, filters, true
+		case *SelectExpr:
+			filters = append(filters, n.compiled)
+			e = n.child
+		case *RenameExpr:
+			e = n.child
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// probeSide probes one side's base relation index with each tuple of the
+// other side's delta. side is the child being probed; sideIdx its join-key
+// positions; otherIdx the key positions in the delta's tuples.
+func (j *JoinExpr) probeSide(db Database, side Expr, sideIdx, otherIdx []int,
+	d *relation.Delta, out *relation.Delta, combine func(probe, dt relation.Tuple) relation.Tuple) (bool, error) {
+	scan, filters, ok := unwrapScan(side)
+	if !ok || len(j.shared) == 0 {
+		return false, nil
+	}
+	r, err := db.Relation(scan.name)
+	if err != nil {
+		return false, err
+	}
+	if !r.Schema().Equal(scan.schema) {
+		return false, fmt.Errorf("expr: relation %q has schema %s, expression expects %s",
+			scan.name, r.Schema(), scan.schema)
+	}
+	d.Each(func(dt relation.Tuple, dn int64) bool {
+		r.LookupEach(sideIdx, dt.Project(otherIdx), func(pt relation.Tuple, pn int64) bool {
+			for _, f := range filters {
+				if !f(pt) {
+					return true
+				}
+			}
+			out.Add(combine(pt, dt), dn*pn)
+			return true
+		})
+		return true
+	})
+	return true, nil
+}
+
+// probeScanRight computes ΔL ⋈ R into out by probing R's persistent hash
+// index when the right child is a (possibly selected/renamed) base scan —
+// O(|ΔL| × matches) instead of materializing R. It reports whether it ran.
+func (j *JoinExpr) probeScanRight(db Database, dl *relation.Delta, out *relation.Delta) (bool, error) {
+	lIdx, rIdx := j.sharedIdx()
+	return j.probeSide(db, j.right, rIdx, lIdx, dl, out,
+		func(probe, dt relation.Tuple) relation.Tuple {
+			return dt.Concat(probe.Project(j.rightKeep))
+		})
+}
+
+// probeScanLeft computes L ⋈ ΔR into out by probing L's persistent index
+// when the left child is a (possibly selected/renamed) base scan and ΔL is
+// empty (so L_post = L_pre). It reports whether it ran.
+func (j *JoinExpr) probeScanLeft(db Database, dr *relation.Delta, out *relation.Delta) (bool, error) {
+	lIdx, rIdx := j.sharedIdx()
+	return j.probeSide(db, j.left, lIdx, rIdx, dr, out,
+		func(probe, dt relation.Tuple) relation.Tuple {
+			return probe.Concat(dt.Project(j.rightKeep))
+		})
+}
+
+// ---------------------------------------------------------------- UnionAll
+
+// UnionAllExpr is bag union: multiplicities add. Children must have equal
+// schemas.
+type UnionAllExpr struct {
+	left, right Expr
+}
+
+// UnionAll returns left ⊎ right.
+func UnionAll(left, right Expr) (*UnionAllExpr, error) {
+	if !left.Schema().Equal(right.Schema()) {
+		return nil, fmt.Errorf("expr: union children have schemas %s and %s",
+			left.Schema(), right.Schema())
+	}
+	return &UnionAllExpr{left: left, right: right}, nil
+}
+
+// MustUnionAll is UnionAll that panics on error.
+func MustUnionAll(left, right Expr) *UnionAllExpr {
+	u, err := UnionAll(left, right)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Schema implements Expr.
+func (u *UnionAllExpr) Schema() *relation.Schema { return u.left.Schema() }
+
+// BaseRelations implements Expr.
+func (u *UnionAllExpr) BaseRelations() []string {
+	return mergeBases(u.left.BaseRelations(), u.right.BaseRelations())
+}
+
+// String implements Expr.
+func (u *UnionAllExpr) String() string { return fmt.Sprintf("(%s union %s)", u.left, u.right) }
+
+func (u *UnionAllExpr) evalSigned(db Database) (*relation.Delta, error) {
+	l, err := u.left.evalSigned(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := u.right.evalSigned(db)
+	if err != nil {
+		return nil, err
+	}
+	out := l.Clone()
+	if err := out.Merge(r); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (u *UnionAllExpr) deltaSigned(base string, d *relation.Delta, db Database) (*relation.Delta, error) {
+	l, err := u.left.deltaSigned(base, d, db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := u.right.deltaSigned(base, d, db)
+	if err != nil {
+		return nil, err
+	}
+	out := l.Clone()
+	if err := out.Merge(r); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

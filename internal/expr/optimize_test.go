@@ -1,0 +1,195 @@
+package expr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"whips/internal/relation"
+)
+
+func TestOptimizePushesSelectionBelowJoin(t *testing.T) {
+	// σ_{A>2}(R ⋈ S): A lives only in R, so the selection lands on R.
+	v := MustSelect(MustJoin(Scan("R", rSchema), Scan("S", sSchema)), Cmp("A", Gt, 2))
+	opt := Optimize(v)
+	if _, stillTop := opt.(*SelectExpr); stillTop {
+		t.Fatalf("selection not pushed: %s", opt)
+	}
+	j, ok := opt.(*JoinExpr)
+	if !ok {
+		t.Fatalf("optimized = %s", opt)
+	}
+	if _, ok := j.left.(*SelectExpr); !ok {
+		t.Errorf("selection should sit on the left input: %s", opt)
+	}
+	db := paperDB()
+	a := mustEval(t, v, db)
+	b := mustEval(t, opt, db)
+	if !a.Equal(b) {
+		t.Errorf("optimized result differs: %v vs %v", a, b)
+	}
+}
+
+func TestOptimizeFusesSelections(t *testing.T) {
+	v := MustSelect(MustSelect(Scan("R", rSchema), Cmp("A", Gt, 0)), Cmp("B", Lt, 9))
+	opt := Optimize(v)
+	sel, ok := opt.(*SelectExpr)
+	if !ok {
+		t.Fatalf("optimized = %s", opt)
+	}
+	if _, nested := sel.child.(*SelectExpr); nested {
+		t.Errorf("selections not fused: %s", opt)
+	}
+	if !strings.Contains(sel.Pred().String(), "and") {
+		t.Errorf("fused predicate = %s", sel.Pred())
+	}
+}
+
+func TestOptimizePushesThroughUnionAndRename(t *testing.T) {
+	u := MustUnionAll(Scan("R", rSchema), Scan("R", rSchema))
+	v := MustSelect(u, Cmp("A", Eq, 1))
+	opt := Optimize(v)
+	ou, ok := opt.(*UnionAllExpr)
+	if !ok {
+		t.Fatalf("optimized = %s", opt)
+	}
+	if _, ok := ou.left.(*SelectExpr); !ok {
+		t.Errorf("selection should push into union branches: %s", opt)
+	}
+
+	r := MustRename(Scan("R", rSchema), map[string]string{"A": "X"})
+	v2 := MustSelect(r, Cmp("X", Eq, 1))
+	opt2 := Optimize(v2)
+	if _, ok := opt2.(*RenameExpr); !ok {
+		t.Fatalf("selection should push through rename: %s", opt2)
+	}
+	db := MapDB{"R": relation.FromTuples(rSchema, relation.T(1, 1), relation.T(2, 2))}
+	a := mustEval(t, v2, db)
+	b := mustEval(t, opt2, db)
+	if !a.Equal(b) {
+		t.Errorf("rename pushdown changed semantics: %v vs %v", a, b)
+	}
+}
+
+func TestOptimizePrunesJoinInputs(t *testing.T) {
+	// π_A(R ⋈ S): S contributes only the join key B; its C column prunes.
+	v := MustProject(MustJoin(Scan("R", rSchema), Scan("S", sSchema)), "A")
+	opt := Optimize(v)
+	p, ok := opt.(*ProjectExpr)
+	if !ok {
+		t.Fatalf("optimized = %s", opt)
+	}
+	j, ok := p.child.(*JoinExpr)
+	if !ok {
+		t.Fatalf("optimized = %s", opt)
+	}
+	if j.right.Schema().Len() != 1 || !j.right.Schema().Has("B") {
+		t.Errorf("right input not pruned to the join key: %s", opt)
+	}
+	db := paperDB()
+	if a, b := mustEval(t, v, db), mustEval(t, opt, db); !a.Equal(b) {
+		t.Errorf("pruning changed semantics: %v vs %v", a, b)
+	}
+}
+
+func TestOptimizeDropsIdentityProjection(t *testing.T) {
+	v := MustProject(Scan("R", rSchema), "A", "B")
+	if _, ok := Optimize(v).(*ScanExpr); !ok {
+		t.Errorf("identity projection should vanish: %s", Optimize(v))
+	}
+	// Column reorder is NOT identity.
+	v2 := MustProject(Scan("R", rSchema), "B", "A")
+	if _, ok := Optimize(v2).(*ProjectExpr); !ok {
+		t.Errorf("reordering projection must stay: %s", Optimize(v2))
+	}
+}
+
+// randOptExpr builds random expressions mixing every operator the
+// optimizer handles.
+func randOptExpr(rng *rand.Rand) Expr {
+	var e Expr
+	switch rng.Intn(3) {
+	case 0:
+		e = MustJoin(Scan("R", rSchema), Scan("S", sSchema))
+	case 1:
+		e = JoinAll(Scan("R", rSchema), Scan("S", sSchema), Scan("T", tSchema))
+	default:
+		e = MustUnionAll(Scan("S", sSchema), MustRename(Scan("T", tSchema),
+			map[string]string{"C": "B", "D": "C"}))
+	}
+	for i := 0; i < rng.Intn(3); i++ {
+		names := e.Schema().Names()
+		attr := names[rng.Intn(len(names))]
+		e = MustSelect(e, Cmp(attr, CmpOp(rng.Intn(6)), int64(rng.Intn(5))))
+	}
+	if rng.Intn(2) == 0 {
+		names := e.Schema().Names()
+		rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+		e = MustProject(e, names[:1+rng.Intn(len(names))]...)
+	}
+	return e
+}
+
+// Property: Optimize preserves Eval and Delta semantics on random
+// expressions, databases and updates.
+func TestOptimizeEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randDB(rng)
+		e := randOptExpr(rng)
+		opt := Optimize(e)
+		if !opt.Schema().Equal(e.Schema()) {
+			t.Errorf("schema changed: %s vs %s", opt.Schema(), e.Schema())
+			return false
+		}
+		a, errA := Eval(e, db)
+		b, errB := Eval(opt, db)
+		if (errA == nil) != (errB == nil) {
+			t.Errorf("error divergence: %v vs %v", errA, errB)
+			return false
+		}
+		if errA == nil && !a.Equal(b) {
+			t.Errorf("eval divergence for %s:\n  %v\n  %v", e, a, b)
+			return false
+		}
+		// Delta equivalence for a random single-relation update.
+		bases := []string{"R", "S", "T"}
+		base := bases[rng.Intn(3)]
+		sch := map[string]*relation.Schema{"R": rSchema, "S": sSchema, "T": tSchema}[base]
+		d := relation.InsertDelta(sch, relation.T(rng.Intn(5), rng.Intn(5)))
+		da, errA := Delta(e, base, d, db)
+		dbd, errB := Delta(opt, base, d, db)
+		if (errA == nil) != (errB == nil) {
+			t.Errorf("delta error divergence: %v vs %v", errA, errB)
+			return false
+		}
+		if errA == nil && !da.Equal(dbd) {
+			t.Errorf("delta divergence for %s:\n  %v\n  %v", e, da, dbd)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizeLeavesAggregatesAndConsts(t *testing.T) {
+	a := MustAggregate(MustSelect(Scan("R", rSchema), Cmp("A", Gt, 0)),
+		[]string{"B"}, []AggSpec{{Op: Count, As: "N"}})
+	opt := Optimize(a)
+	if _, ok := opt.(*AggregateExpr); !ok {
+		t.Fatalf("aggregate shape lost: %s", opt)
+	}
+	db := MapDB{"R": relation.FromTuples(rSchema, relation.T(1, 1), relation.T(-1, 1))}
+	x, _ := Eval(a, db)
+	y, _ := Eval(opt, db)
+	if !x.Equal(y) {
+		t.Errorf("aggregate optimize diverged: %v vs %v", x, y)
+	}
+	c := NewConst(rSchema, relation.InsertDelta(rSchema, relation.T(1, 1)))
+	if Optimize(c) != c {
+		t.Error("const should pass through untouched")
+	}
+}

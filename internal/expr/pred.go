@@ -1,0 +1,234 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"whips/internal/relation"
+)
+
+// CmpOp enumerates comparison operators for selection predicates.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String renders the operator symbol.
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	}
+	return "?"
+}
+
+func (op CmpOp) holds(c int) bool {
+	switch op {
+	case Eq:
+		return c == 0
+	case Ne:
+		return c != 0
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	case Ge:
+		return c >= 0
+	}
+	return false
+}
+
+// Pred is a selection predicate. Predicates are immutable; they are compiled
+// against a concrete schema when a Select node is built.
+type Pred interface {
+	compile(s *relation.Schema) (func(relation.Tuple) bool, error)
+	// Attrs returns the attribute names the predicate references.
+	Attrs() []string
+	String() string
+}
+
+// ---------------------------------------------------------------- leafs
+
+type cmpConst struct {
+	attr  string
+	op    CmpOp
+	value relation.Value
+}
+
+// Cmp compares an attribute against a constant (given as a native literal).
+func Cmp(attr string, op CmpOp, value any) Pred {
+	return cmpConst{attr: attr, op: op, value: relation.V(value)}
+}
+
+func (p cmpConst) compile(s *relation.Schema) (func(relation.Tuple) bool, error) {
+	i, ok := s.Index(p.attr)
+	if !ok {
+		return nil, fmt.Errorf("expr: predicate references missing attribute %q in %s", p.attr, s)
+	}
+	if s.Attr(i).Type != p.value.Kind() {
+		return nil, fmt.Errorf("expr: predicate compares %q (%v) against %v constant",
+			p.attr, s.Attr(i).Type, p.value.Kind())
+	}
+	op, v := p.op, p.value
+	return func(t relation.Tuple) bool { return op.holds(t[i].Compare(v)) }, nil
+}
+
+func (p cmpConst) Attrs() []string { return []string{p.attr} }
+
+func (p cmpConst) String() string { return fmt.Sprintf("%s%s%s", p.attr, p.op, p.value) }
+
+type cmpCols struct {
+	a, b string
+	op   CmpOp
+}
+
+// CmpAttrs compares two attributes of the input.
+func CmpAttrs(a string, op CmpOp, b string) Pred { return cmpCols{a: a, b: b, op: op} }
+
+func (p cmpCols) compile(s *relation.Schema) (func(relation.Tuple) bool, error) {
+	i, ok := s.Index(p.a)
+	if !ok {
+		return nil, fmt.Errorf("expr: predicate references missing attribute %q in %s", p.a, s)
+	}
+	j, ok := s.Index(p.b)
+	if !ok {
+		return nil, fmt.Errorf("expr: predicate references missing attribute %q in %s", p.b, s)
+	}
+	if s.Attr(i).Type != s.Attr(j).Type {
+		return nil, fmt.Errorf("expr: predicate compares %q (%v) with %q (%v)",
+			p.a, s.Attr(i).Type, p.b, s.Attr(j).Type)
+	}
+	op := p.op
+	return func(t relation.Tuple) bool { return op.holds(t[i].Compare(t[j])) }, nil
+}
+
+func (p cmpCols) Attrs() []string { return []string{p.a, p.b} }
+
+func (p cmpCols) String() string { return fmt.Sprintf("%s%s%s", p.a, p.op, p.b) }
+
+// ---------------------------------------------------------------- combinators
+
+type andPred struct{ ps []Pred }
+
+// And is the conjunction of predicates; with no arguments it is true.
+func And(ps ...Pred) Pred { return andPred{ps: ps} }
+
+func (p andPred) compile(s *relation.Schema) (func(relation.Tuple) bool, error) {
+	fs := make([]func(relation.Tuple) bool, len(p.ps))
+	for i, sub := range p.ps {
+		f, err := sub.compile(s)
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = f
+	}
+	return func(t relation.Tuple) bool {
+		for _, f := range fs {
+			if !f(t) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+func (p andPred) Attrs() []string {
+	var out []string
+	for _, sub := range p.ps {
+		out = append(out, sub.Attrs()...)
+	}
+	return out
+}
+
+func (p andPred) String() string { return joinPreds(p.ps, " and ") }
+
+type orPred struct{ ps []Pred }
+
+// Or is the disjunction of predicates; with no arguments it is false.
+func Or(ps ...Pred) Pred { return orPred{ps: ps} }
+
+func (p orPred) compile(s *relation.Schema) (func(relation.Tuple) bool, error) {
+	fs := make([]func(relation.Tuple) bool, len(p.ps))
+	for i, sub := range p.ps {
+		f, err := sub.compile(s)
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = f
+	}
+	return func(t relation.Tuple) bool {
+		for _, f := range fs {
+			if f(t) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+func (p orPred) Attrs() []string {
+	var out []string
+	for _, sub := range p.ps {
+		out = append(out, sub.Attrs()...)
+	}
+	return out
+}
+
+func (p orPred) String() string { return joinPreds(p.ps, " or ") }
+
+type notPred struct{ p Pred }
+
+// Not negates a predicate.
+func Not(p Pred) Pred { return notPred{p: p} }
+
+func (p notPred) compile(s *relation.Schema) (func(relation.Tuple) bool, error) {
+	f, err := p.p.compile(s)
+	if err != nil {
+		return nil, err
+	}
+	return func(t relation.Tuple) bool { return !f(t) }, nil
+}
+
+func (p notPred) Attrs() []string { return p.p.Attrs() }
+
+func (p notPred) String() string { return fmt.Sprintf("not(%s)", p.p) }
+
+type truePred struct{}
+
+// True is the always-true predicate.
+func True() Pred { return truePred{} }
+
+func (truePred) compile(*relation.Schema) (func(relation.Tuple) bool, error) {
+	return func(relation.Tuple) bool { return true }, nil
+}
+
+func (truePred) Attrs() []string { return nil }
+
+func (truePred) String() string { return "true" }
+
+func joinPreds(ps []Pred, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}

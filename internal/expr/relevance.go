@@ -1,0 +1,132 @@
+package expr
+
+import (
+	"whips/internal/relation"
+)
+
+// PossiblyRelevant reports whether changing tuple t of base relation base
+// can possibly change the value of e. It is the irrelevant-update detection
+// of Blakeley et al. (paper ref [7]) in conservative form: it returns false
+// only when some selection predicate provably rejects every derived tuple
+// that t could contribute to.
+//
+// The check is sound under these conditions, which it verifies itself:
+// a Select predicate is used only if every attribute it references belongs
+// to base's schema and to no other base relation of e (so the predicate's
+// inputs come unambiguously from t and survive the natural-join attribute
+// merging).
+func PossiblyRelevant(e Expr, base string, t relation.Tuple) bool {
+	schemas := map[string]*relation.Schema{}
+	collectScans(e, schemas)
+	bs, ok := schemas[base]
+	if !ok {
+		return false // e does not read base at all
+	}
+	preds := collectPreds(e, base)
+	for _, p := range preds {
+		if !attrsOnlyFrom(p, base, bs, schemas) {
+			continue
+		}
+		f, err := p.compile(bs)
+		if err != nil {
+			continue // predicate not evaluable over base alone; stay conservative
+		}
+		if !f(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// RelevantDelta filters a base-relation delta down to the tuples that can
+// possibly affect e; the integrator uses it so view managers never see
+// provably irrelevant changes.
+func RelevantDelta(e Expr, base string, d *relation.Delta) *relation.Delta {
+	out := relation.NewDelta(d.Schema())
+	d.Each(func(t relation.Tuple, n int64) bool {
+		if PossiblyRelevant(e, base, t) {
+			out.Add(t, n)
+		}
+		return true
+	})
+	return out
+}
+
+// ScanSchemas returns the schema each base relation is scanned with in e.
+func ScanSchemas(e Expr) map[string]*relation.Schema {
+	out := make(map[string]*relation.Schema)
+	collectScans(e, out)
+	return out
+}
+
+func collectScans(e Expr, into map[string]*relation.Schema) {
+	switch n := e.(type) {
+	case *ScanExpr:
+		into[n.name] = n.schema
+	case *SelectExpr:
+		collectScans(n.child, into)
+	case *ProjectExpr:
+		collectScans(n.child, into)
+	case *JoinExpr:
+		collectScans(n.left, into)
+		collectScans(n.right, into)
+	case *UnionAllExpr:
+		collectScans(n.left, into)
+		collectScans(n.right, into)
+	case *AggregateExpr:
+		collectScans(n.child, into)
+	case *RenameExpr:
+		collectScans(n.child, into)
+	case *SetOpExpr:
+		collectScans(n.left, into)
+		collectScans(n.right, into)
+	}
+}
+
+// collectPreds gathers the predicates of Select nodes whose subtree reads
+// base: those are the filters every contribution of a base tuple must pass.
+func collectPreds(e Expr, base string) []Pred {
+	switch n := e.(type) {
+	case *SelectExpr:
+		sub := collectPreds(n.child, base)
+		if occurrences(n.child, base) > 0 {
+			sub = append(sub, n.pred)
+		}
+		return sub
+	case *ProjectExpr:
+		return collectPreds(n.child, base)
+	case *JoinExpr:
+		return append(collectPreds(n.left, base), collectPreds(n.right, base)...)
+	case *UnionAllExpr:
+		// A tuple of base flows into whichever branches read base; a branch
+		// predicate rejecting it does not make it irrelevant to the other
+		// branch, so only predicates common to all reading branches would be
+		// usable. Stay conservative: use none.
+		return nil
+	case *AggregateExpr:
+		// Any child change can move an aggregate; predicates below the
+		// aggregation still apply.
+		return collectPreds(n.child, base)
+	case *RenameExpr:
+		// Predicates below the rename refer to pre-rename names and stay
+		// usable; predicates above it won't match the base schema and are
+		// skipped by attrsOnlyFrom — conservative and sound.
+		return collectPreds(n.child, base)
+	default:
+		return nil
+	}
+}
+
+func attrsOnlyFrom(p Pred, base string, bs *relation.Schema, all map[string]*relation.Schema) bool {
+	for _, a := range p.Attrs() {
+		if !bs.Has(a) {
+			return false
+		}
+		for name, s := range all {
+			if name != base && s.Has(a) {
+				return false // shared join attribute: value may come from the other side
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,85 @@
+package expr
+
+import (
+	"testing"
+
+	"whips/internal/relation"
+)
+
+func TestPossiblyRelevantSelection(t *testing.T) {
+	// V = σ_{A=5}(R) ⋈ S — an R tuple with A≠5 is provably irrelevant.
+	v := MustJoin(MustSelect(Scan("R", rSchema), Cmp("A", Eq, 5)), Scan("S", sSchema))
+	if PossiblyRelevant(v, "R", relation.T(3, 2)) {
+		t.Error("A=3 should be irrelevant to σ_{A=5}")
+	}
+	if !PossiblyRelevant(v, "R", relation.T(5, 2)) {
+		t.Error("A=5 must stay relevant")
+	}
+	// S tuples: no usable predicate, always relevant.
+	if !PossiblyRelevant(v, "S", relation.T(2, 3)) {
+		t.Error("S tuples must stay relevant")
+	}
+	// A relation the view does not read is never relevant.
+	if PossiblyRelevant(v, "T", relation.T(1, 1)) {
+		t.Error("unreferenced relation must be irrelevant")
+	}
+}
+
+func TestPossiblyRelevantSharedAttrConservative(t *testing.T) {
+	// Predicate on B, which is the join attribute shared by R and S: the
+	// implementation stays conservative and keeps the tuple.
+	v := MustSelect(MustJoin(Scan("R", rSchema), Scan("S", sSchema)), Cmp("B", Eq, 7))
+	if !PossiblyRelevant(v, "R", relation.T(1, 3)) {
+		t.Error("shared-attribute predicate must not be used to discard")
+	}
+}
+
+func TestPossiblyRelevantSelectAboveJoin(t *testing.T) {
+	// Predicate on A (only in R) above the join: usable against R deltas.
+	v := MustSelect(MustJoin(Scan("R", rSchema), Scan("S", sSchema)), Cmp("A", Gt, 10))
+	if PossiblyRelevant(v, "R", relation.T(1, 2)) {
+		t.Error("A=1 fails A>10 and should be discarded")
+	}
+	if !PossiblyRelevant(v, "R", relation.T(11, 2)) {
+		t.Error("A=11 passes A>10")
+	}
+	if !PossiblyRelevant(v, "S", relation.T(2, 3)) {
+		t.Error("predicate on A must not discard S tuples")
+	}
+}
+
+func TestPossiblyRelevantUnionConservative(t *testing.T) {
+	r2 := relation.MustSchema("A:int", "B:int")
+	left := MustSelect(Scan("R", rSchema), Cmp("A", Eq, 1))
+	right := Scan("R", r2)
+	v := MustUnionAll(left, right)
+	// The tuple fails the left branch predicate but flows into the right
+	// branch, so it must remain relevant.
+	if !PossiblyRelevant(v, "R", relation.T(9, 9)) {
+		t.Error("union branches must not discard")
+	}
+}
+
+func TestRelevantDelta(t *testing.T) {
+	v := MustJoin(MustSelect(Scan("R", rSchema), Cmp("A", Eq, 5)), Scan("S", sSchema))
+	d := relation.NewDelta(rSchema)
+	d.Add(relation.T(5, 1), 1)
+	d.Add(relation.T(6, 1), 1)
+	d.Add(relation.T(5, 2), -1)
+	got := RelevantDelta(v, "R", d)
+	if got.Count(relation.T(5, 1)) != 1 || got.Count(relation.T(5, 2)) != -1 || got.Distinct() != 2 {
+		t.Errorf("RelevantDelta = %v", got)
+	}
+}
+
+func TestPossiblyRelevantThroughAggregate(t *testing.T) {
+	v := MustAggregate(
+		MustSelect(Scan("R", rSchema), Cmp("A", Ge, 100)),
+		[]string{"B"}, []AggSpec{{Op: Count, As: "N"}})
+	if PossiblyRelevant(v, "R", relation.T(1, 1)) {
+		t.Error("predicate below aggregate should discard")
+	}
+	if !PossiblyRelevant(v, "R", relation.T(100, 1)) {
+		t.Error("passing tuple stays relevant")
+	}
+}

@@ -1,0 +1,101 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"whips/internal/relation"
+)
+
+// RenameExpr is ρ: it renames attributes of its child without touching the
+// tuples. Because the natural join matches on attribute names, renaming is
+// what makes meaningful self-joins expressible — e.g. joining an employee
+// relation with itself along the manager edge.
+type RenameExpr struct {
+	child   Expr
+	schema  *relation.Schema
+	mapping map[string]string
+}
+
+// Rename returns ρ_mapping(child): every attribute named as a key of
+// mapping is renamed to its value; others keep their names. Renames that
+// would collide are rejected.
+func Rename(child Expr, mapping map[string]string) (*RenameExpr, error) {
+	cs := child.Schema()
+	attrs := cs.Attrs()
+	for from := range mapping {
+		if !cs.Has(from) {
+			return nil, fmt.Errorf("expr: rename of missing attribute %q in %s", from, cs)
+		}
+	}
+	for i := range attrs {
+		if to, ok := mapping[attrs[i].Name]; ok {
+			attrs[i].Name = to
+		}
+	}
+	seen := map[string]bool{}
+	for _, a := range attrs {
+		if seen[a.Name] {
+			return nil, fmt.Errorf("expr: rename collides on attribute %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	m := make(map[string]string, len(mapping))
+	for k, v := range mapping {
+		m[k] = v
+	}
+	return &RenameExpr{child: child, schema: relation.NewSchema(attrs...), mapping: m}, nil
+}
+
+// MustRename is Rename that panics on error.
+func MustRename(child Expr, mapping map[string]string) *RenameExpr {
+	r, err := Rename(child, mapping)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Schema implements Expr.
+func (r *RenameExpr) Schema() *relation.Schema { return r.schema }
+
+// BaseRelations implements Expr.
+func (r *RenameExpr) BaseRelations() []string { return r.child.BaseRelations() }
+
+// String implements Expr.
+func (r *RenameExpr) String() string {
+	pairs := make([]string, 0, len(r.mapping))
+	for from, to := range r.mapping {
+		pairs = append(pairs, from+"→"+to)
+	}
+	sort.Strings(pairs)
+	return fmt.Sprintf("rename[%s](%s)", strings.Join(pairs, ","), r.child)
+}
+
+// reschema re-labels a signed bag under the renamed schema. Tuples are
+// positionally unchanged and shared, not copied.
+func (r *RenameExpr) reschema(in *relation.Delta) *relation.Delta {
+	out := relation.NewDelta(r.schema)
+	in.Each(func(t relation.Tuple, n int64) bool {
+		out.Add(t, n)
+		return true
+	})
+	return out
+}
+
+func (r *RenameExpr) evalSigned(db Database) (*relation.Delta, error) {
+	in, err := r.child.evalSigned(db)
+	if err != nil {
+		return nil, err
+	}
+	return r.reschema(in), nil
+}
+
+func (r *RenameExpr) deltaSigned(base string, d *relation.Delta, db Database) (*relation.Delta, error) {
+	in, err := r.child.deltaSigned(base, d, db)
+	if err != nil {
+		return nil, err
+	}
+	return r.reschema(in), nil
+}

@@ -1,0 +1,168 @@
+package expr
+
+import (
+	"fmt"
+
+	"whips/internal/relation"
+)
+
+// setOpKind distinguishes the two non-linear bag operators.
+type setOpKind uint8
+
+const (
+	diffOp setOpKind = iota
+	intersectOp
+)
+
+// SetOpExpr implements bag difference (EXCEPT ALL: count = max(0, a−b))
+// and bag intersection (INTERSECT ALL: count = max(0, min(a, b))). Unlike
+// the other operators these are not linear in their inputs, so the delta
+// rule evaluates both children around the change and recomputes the output
+// counts of exactly the affected tuples — the same technique the aggregate
+// node uses for affected groups.
+type SetOpExpr struct {
+	kind        setOpKind
+	left, right Expr
+}
+
+// Except returns left − right (bag monus). Schemas must match.
+func Except(left, right Expr) (*SetOpExpr, error) {
+	if !left.Schema().Equal(right.Schema()) {
+		return nil, fmt.Errorf("expr: except children have schemas %s and %s",
+			left.Schema(), right.Schema())
+	}
+	return &SetOpExpr{kind: diffOp, left: left, right: right}, nil
+}
+
+// MustExcept is Except that panics on error.
+func MustExcept(left, right Expr) *SetOpExpr {
+	e, err := Except(left, right)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Intersect returns left ∩ right (bag intersection). Schemas must match.
+func Intersect(left, right Expr) (*SetOpExpr, error) {
+	if !left.Schema().Equal(right.Schema()) {
+		return nil, fmt.Errorf("expr: intersect children have schemas %s and %s",
+			left.Schema(), right.Schema())
+	}
+	return &SetOpExpr{kind: intersectOp, left: left, right: right}, nil
+}
+
+// MustIntersect is Intersect that panics on error.
+func MustIntersect(left, right Expr) *SetOpExpr {
+	e, err := Intersect(left, right)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Schema implements Expr.
+func (s *SetOpExpr) Schema() *relation.Schema { return s.left.Schema() }
+
+// BaseRelations implements Expr.
+func (s *SetOpExpr) BaseRelations() []string {
+	return mergeBases(s.left.BaseRelations(), s.right.BaseRelations())
+}
+
+// String implements Expr.
+func (s *SetOpExpr) String() string {
+	op := "except"
+	if s.kind == intersectOp {
+		op = "intersect"
+	}
+	return fmt.Sprintf("(%s %s %s)", s.left, op, s.right)
+}
+
+// combine applies the operator to one tuple's child counts. Negative
+// inputs (possible only through Const bags) clamp at zero.
+func (s *SetOpExpr) combine(a, b int64) int64 {
+	var n int64
+	if s.kind == diffOp {
+		n = a - b
+	} else {
+		n = a
+		if b < n {
+			n = b
+		}
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// apply computes the operator over two signed bags.
+func (s *SetOpExpr) apply(l, r *relation.Delta) *relation.Delta {
+	out := relation.NewDelta(s.Schema())
+	l.Each(func(t relation.Tuple, a int64) bool {
+		if n := s.combine(a, r.Count(t)); n != 0 {
+			out.Add(t, n)
+		}
+		return true
+	})
+	if s.kind == intersectOp {
+		return out // tuples absent from the left contribute nothing
+	}
+	return out
+}
+
+func (s *SetOpExpr) evalSigned(db Database) (*relation.Delta, error) {
+	l, err := s.left.evalSigned(db)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.right.evalSigned(db)
+	if err != nil {
+		return nil, err
+	}
+	return s.apply(l, r), nil
+}
+
+func (s *SetOpExpr) deltaSigned(base string, d *relation.Delta, db Database) (*relation.Delta, error) {
+	dl, err := deltaOrEmpty(s.left, base, d, db)
+	if err != nil {
+		return nil, err
+	}
+	dr, err := deltaOrEmpty(s.right, base, d, db)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewDelta(s.Schema())
+	if dl.Empty() && dr.Empty() {
+		return out, nil
+	}
+	// Only tuples mentioned by either child delta can change output count.
+	lPre, err := s.left.evalSigned(db)
+	if err != nil {
+		return nil, err
+	}
+	rPre, err := s.right.evalSigned(db)
+	if err != nil {
+		return nil, err
+	}
+	affected := make(map[string]relation.Tuple)
+	dl.Each(func(t relation.Tuple, _ int64) bool { affected[t.Key()] = t; return true })
+	dr.Each(func(t relation.Tuple, _ int64) bool { affected[t.Key()] = t; return true })
+	for _, t := range affected {
+		aPre, bPre := lPre.Count(t), rPre.Count(t)
+		aPost, bPost := aPre+dl.Count(t), bPre+dr.Count(t)
+		if change := s.combine(aPost, bPost) - s.combine(aPre, bPre); change != 0 {
+			out.Add(t, change)
+		}
+	}
+	return out, nil
+}
+
+// deltaOrEmpty computes a child delta, short-circuiting children that do
+// not read base.
+func deltaOrEmpty(e Expr, base string, d *relation.Delta, db Database) (*relation.Delta, error) {
+	if occurrences(e, base) == 0 {
+		return relation.NewDelta(e.Schema()), nil
+	}
+	return e.deltaSigned(base, d, db)
+}

@@ -1,0 +1,591 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"whips/internal/merge"
+	"whips/internal/relation"
+	"whips/internal/system"
+	"whips/internal/workload"
+)
+
+// Table is one experiment's rendered result: the rows EXPERIMENTS.md and
+// cmd/mvcbench report.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// Render prints the table with aligned columns.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "  note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// RenderCSV prints the table as comma-separated values (header comment,
+// column row, data rows) for plotting pipelines.
+func (t Table) RenderCSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", t.ID, t.Title)
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func us(ns int64) string { return fmt.Sprintf("%.1fµs", float64(ns)/1e3) }
+
+// delay returns a constant compute-delay model.
+func delay(ns int64) func(int) int64 { return func(int) int64 { return ns } }
+
+// mustRun panics on error; experiment configurations are static.
+func mustRun(p Params) Result {
+	r, err := Run(p)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %s: %v", p.Name, err))
+	}
+	return r
+}
+
+// FreshnessVsLoad is experiment S1: mean and max view staleness as the
+// update rate grows, for the concurrent architecture under SPA (complete
+// managers), under PA (batching managers), and for the §1.1 sequential
+// baseline. Expected shape: the baseline's lag explodes once the
+// per-update service time (two view computations + a warehouse round
+// trip) exceeds the arrival interval; the concurrent architecture stays
+// flat far longer, and PA's batching absorbs overload by amortizing many
+// updates per action list.
+func FreshnessVsLoad(seed int64, updates int) Table {
+	t := Table{
+		ID:      "S1",
+		Title:   "view freshness (commit→apply lag) vs update rate",
+		Columns: []string{"interval", "rate/s", "SPA mean", "SPA max", "PA mean", "PA max", "base mean", "base max"},
+		Notes:   "compute delay 200µs/view, net latency 20-50µs, warehouse 50µs/txn",
+	}
+	compute := delay(200_000)
+	for _, interval := range []int64{2_000_000, 1_000_000, 500_000, 250_000, 125_000} {
+		base := Params{
+			Updates:        updates,
+			Interval:       interval,
+			NetLatency:     [2]int64{20_000, 50_000},
+			WarehouseDelay: 50_000,
+			Seed:           seed,
+		}
+		spa := base
+		spa.Name = "spa"
+		spa.Sources = workload.PaperSources()
+		spa.Views = withDelay(workload.PaperViews(system.Complete), compute)
+		rSPA := mustRun(spa)
+
+		pa := base
+		pa.Name = "pa"
+		pa.Sources = workload.PaperSources()
+		pa.Views = withDelay(workload.PaperViews(system.Batching), compute)
+		rPA := mustRun(pa)
+
+		bl := base
+		bl.Name = "baseline"
+		bl.Arch = SequentialBaseline
+		bl.Sources = workload.PaperSources()
+		bl.Views = withDelay(workload.PaperViews(system.Complete), compute)
+		rBL := mustRun(bl)
+
+		t.Rows = append(t.Rows, []string{
+			us(interval),
+			fmt.Sprintf("%.0f", 1e9/float64(interval)),
+			us(rSPA.LagMean), us(rSPA.LagMax),
+			us(rPA.LagMean), us(rPA.LagMax),
+			us(rBL.LagMean), us(rBL.LagMax),
+		})
+	}
+	return t
+}
+
+// MergeBottleneck is experiment S2: merge-process pressure as the number
+// of views sharing one base relation grows. Every update fans out to every
+// view, so the VUT widens and the sequential commit strategy serializes
+// one transaction per update behind warehouse round trips. Expected
+// shape: throughput degrades and VUT occupancy grows with view count;
+// drain lag grows superlinearly once the merge+warehouse path saturates.
+func MergeBottleneck(seed int64, updates int) Table {
+	t := Table{
+		ID:      "S2",
+		Title:   "merge/warehouse pressure vs number of views over one shared relation",
+		Columns: []string{"views", "drainLag", "lagMean", "lagMax", "maxVUT", "txns", "tput/s"},
+		Notes:   "SPA; every update fans out to every view, warehouse pays 40µs/view-write; 250µs interval",
+	}
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		srcs, views := workload.SharedViews(k, system.Complete, delay(100_000))
+		r := mustRun(Params{
+			Name:              fmt.Sprintf("views=%d", k),
+			Sources:           srcs,
+			Views:             views,
+			Updates:           updates,
+			Interval:          250_000,
+			NetLatency:        [2]int64{10_000, 10_000},
+			WarehouseDelay:    20_000,
+			WarehousePerWrite: 40_000,
+			Seed:              seed,
+		})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k),
+			us(r.DrainLag), us(r.LagMean), us(r.LagMax),
+			fmt.Sprintf("%d", r.MaxVUT),
+			fmt.Sprintf("%d", r.Txns),
+			fmt.Sprintf("%.0f", r.Throughput()),
+		})
+	}
+	return t
+}
+
+// StragglerVUT is experiment S2b, the paper's §4.2 observation made
+// quantitative: "the total number of rows in the VUT could be as many as
+// the total number of updates [but] the actual number is small in a system
+// where no view manager is a bottleneck." One of the two view managers is
+// made progressively slower than the arrival rate; the VUT's high-water
+// mark tracks the straggler's backlog.
+func StragglerVUT(seed int64, updates int) Table {
+	t := Table{
+		ID:      "S2b",
+		Title:   "VUT occupancy with a straggler view manager (250µs arrivals)",
+		Columns: []string{"straggler compute", "maxVUT", "drainLag", "lagMax"},
+		Notes:   "two views over S; the fast manager computes in 20µs",
+	}
+	for _, slow := range []int64{100_000, 250_000, 500_000, 1_000_000} {
+		srcs, views := workload.SharedViews(2, system.Complete, nil)
+		views[0].ComputeDelay = delay(20_000)
+		views[1].ComputeDelay = delay(slow)
+		r := mustRun(Params{
+			Name:       fmt.Sprintf("slow=%d", slow),
+			Sources:    srcs,
+			Views:      views,
+			Updates:    updates,
+			Interval:   250_000,
+			NetLatency: [2]int64{10_000, 10_000},
+			Seed:       seed,
+		})
+		t.Rows = append(t.Rows, []string{
+			us(slow),
+			fmt.Sprintf("%d", r.MaxVUT),
+			us(r.DrainLag), us(r.LagMax),
+		})
+	}
+	return t
+}
+
+// CommitStrategies is experiment S3 (§4.3): the three commit strategies
+// under a slow warehouse. Expected shape: sequential pays one round trip
+// per transaction; dependency overlaps independent transactions; batching
+// collapses many transactions into few (cutting per-transaction overhead)
+// at the cost of completeness — the consistency level drops to strong.
+func CommitStrategies(seed int64, updates int) Table {
+	t := Table{
+		ID:      "S3",
+		Title:   "commit strategies under 300µs warehouse transactions",
+		Columns: []string{"strategy", "txns", "drainLag", "lagMean", "lagMax", "level"},
+		Notes:   "SPA over the paper schema; batched: size 8, 500µs flush",
+	}
+	for _, c := range []struct {
+		kind system.CommitKind
+		name string
+	}{
+		{system.Sequential, "sequential"},
+		{system.Dependency, "dependency"},
+		{system.Batched, "batched(8)"},
+	} {
+		r := mustRun(Params{
+			Name:             c.name,
+			Sources:          workload.PaperSources(),
+			Views:            workload.PaperViews(system.Complete),
+			Commit:           c.kind,
+			BatchSize:        8,
+			FlushAfter:       500_000,
+			Updates:          updates,
+			Interval:         100_000,
+			NetLatency:       [2]int64{10_000, 10_000},
+			WarehouseDelay:   300_000,
+			Seed:             seed,
+			CheckConsistency: true,
+		})
+		t.Rows = append(t.Rows, []string{
+			c.name,
+			fmt.Sprintf("%d", r.Txns),
+			us(r.DrainLag), us(r.LagMean), us(r.LagMax),
+			r.LevelString(),
+		})
+	}
+	return t
+}
+
+// DistributedMergeScaling is experiment S4 (§6.1): k views over k disjoint
+// relations coordinated by one merge process versus one merge process per
+// group. Expected shape: with a single merge, the sequential commit
+// strategy serializes all groups' transactions through one in-flight
+// window; partitioned merges pipeline commits in parallel and lag drops
+// accordingly.
+func DistributedMergeScaling(seed int64, updates int) Table {
+	t := Table{
+		ID:      "S4",
+		Title:   "distributed merge: 1 merge process vs one per disjoint group",
+		Columns: []string{"views", "merges", "drainLag", "lagMean", "lagMax", "tput/s"},
+		Notes:   "disjoint relations, SPA, sequential commits, 200µs warehouse",
+	}
+	for _, k := range []int{4, 8} {
+		for _, dist := range []bool{false, true} {
+			srcs, views := workload.DisjointViews(k, system.Complete, delay(50_000))
+			r := mustRun(Params{
+				Name:             fmt.Sprintf("k=%d dist=%v", k, dist),
+				Sources:          srcs,
+				Views:            views,
+				DistributedMerge: dist,
+				Updates:          updates,
+				Interval:         100_000,
+				NetLatency:       [2]int64{10_000, 10_000},
+				WarehouseDelay:   200_000,
+				Seed:             seed,
+			})
+			merges := 1
+			if dist {
+				merges = k
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", k),
+				fmt.Sprintf("%d", merges),
+				us(r.DrainLag), us(r.LagMean), us(r.LagMax),
+				fmt.Sprintf("%.0f", r.Throughput()),
+			})
+		}
+	}
+	return t
+}
+
+// Promptness is experiment S5 (§4.4): SPA applies action lists as soon as
+// consistency allows; an algorithm that defers work (here: unbounded
+// batching with a long flush window) is equally consistent eventually but
+// far less fresh. Expected shape: hold/lag times an order of magnitude
+// apart.
+func Promptness(seed int64, updates int) Table {
+	t := Table{
+		ID:      "S5",
+		Title:   "promptness: SPA vs defer-everything strawman",
+		Columns: []string{"variant", "lagMean", "lagMax", "holdMean", "holdMax"},
+		Notes:   "strawman = batched commits, batch size ≫ updates, 20ms flush",
+	}
+	// Asymmetric view managers (V1 fast, V2 slow) make the consistency-
+	// required hold visible: V1's lists wait for V2's, ~180µs — that much
+	// holding is *necessary*. The strawman holds everything until a 20ms
+	// flush — that much is not.
+	asymViews := func() []system.ViewDef {
+		vs := workload.PaperViews(system.Complete)
+		vs[0].ComputeDelay = delay(20_000)
+		vs[1].ComputeDelay = delay(200_000)
+		return vs
+	}
+	prompt := mustRun(Params{
+		Name:       "SPA (prompt)",
+		Sources:    workload.PaperSources(),
+		Views:      asymViews(),
+		Updates:    updates,
+		Interval:   400_000,
+		NetLatency: [2]int64{10_000, 10_000},
+		Seed:       seed,
+	})
+	lazy := mustRun(Params{
+		Name:       "defer-all strawman",
+		Sources:    workload.PaperSources(),
+		Views:      asymViews(),
+		Commit:     system.Batched,
+		BatchSize:  updates * 2,
+		FlushAfter: 20_000_000,
+		Updates:    updates,
+		Interval:   400_000,
+		NetLatency: [2]int64{10_000, 10_000},
+		Seed:       seed,
+	})
+	for _, r := range []Result{prompt, lazy} {
+		t.Rows = append(t.Rows, []string{
+			r.Name, us(r.LagMean), us(r.LagMax), us(r.HoldMean), us(r.HoldMax),
+		})
+	}
+	return t
+}
+
+// AlgorithmOverhead is experiment S6: SPA vs PA vs uncoordinated Forward
+// on the same complete-manager workload, plus the consistency level each
+// achieves — coordination costs essentially nothing in lag and buys the
+// consistency level.
+func AlgorithmOverhead(seed int64, updates int) Table {
+	t := Table{
+		ID:      "S6",
+		Title:   "coordination overhead and achieved consistency level",
+		Columns: []string{"merge", "lagMean", "lagMax", "txns", "level"},
+		Notes:   "same workload and managers; only the merge algorithm differs",
+	}
+	for _, c := range []struct {
+		name string
+		alg  merge.Algorithm
+		kind system.ManagerKind
+	}{
+		{"SPA", merge.SPA, system.Complete},
+		{"PA", merge.PA, system.Complete},
+		{"forward", merge.Forward, system.Complete},
+	} {
+		alg := c.alg
+		r := mustRun(Params{
+			Name:             c.name,
+			Sources:          workload.PaperSources(),
+			Views:            workload.PaperViews(c.kind),
+			Algorithm:        &alg,
+			Updates:          updates,
+			Interval:         100_000,
+			NetLatency:       [2]int64{10_000, 30_000},
+			Seed:             seed,
+			CheckConsistency: true,
+		})
+		t.Rows = append(t.Rows, []string{
+			c.name, us(r.LagMean), us(r.LagMax),
+			fmt.Sprintf("%d", r.Txns), r.LevelString(),
+		})
+	}
+	return t
+}
+
+// FilterAblation is experiment S7, the §3.2 optimization the paper cites
+// from Blakeley et al. [7]: discarding updates whose tuples provably
+// cannot affect a view. With six highly selective views (C = 0..5) over
+// values drawn from 0..5, each update matters to roughly one view; the
+// filter cuts view-manager work, action lists, and warehouse writes by
+// ~6× at identical consistency.
+func FilterAblation(seed int64, updates int) Table {
+	t := Table{
+		ID:      "S7",
+		Title:   "irrelevant-update filtering (ref [7]) ablation, 6 selective views",
+		Columns: []string{"filter", "ALs", "viewWrites", "lagMean", "lagMax", "level"},
+		Notes:   "views σ_{C=i}(S); every update touches S but matters to ~1 view",
+	}
+	for _, filter := range []bool{false, true} {
+		srcs, views := workload.SelectiveViews(6, system.Complete, delay(100_000))
+		r := mustRun(Params{
+			Name:              fmt.Sprintf("filter=%v", filter),
+			Sources:           srcs,
+			Views:             views,
+			Updates:           updates,
+			Interval:          250_000,
+			NetLatency:        [2]int64{10_000, 10_000},
+			WarehousePerWrite: 40_000,
+			Seed:              seed,
+			RelevanceFilter:   filter,
+			CheckConsistency:  true,
+		})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%v", filter),
+			fmt.Sprintf("%d", r.ALsReceived),
+			fmt.Sprintf("%d", r.ViewWrites),
+			us(r.LagMean), us(r.LagMax),
+			r.LevelString(),
+		})
+	}
+	return t
+}
+
+// RelayAblation is experiment S8, the §3.2 alternative the paper sketches:
+// instead of the integrator sending RELᵢ to the merge process directly, it
+// attaches it to one designated view manager's copy of the update. "This
+// reduces the number of messages and may be more efficient." The table
+// measures total network messages and confirms the consistency level is
+// unchanged.
+func RelayAblation(seed int64, updates int) Table {
+	t := Table{
+		ID:      "S8",
+		Title:   "§3.2 alternative REL routing (relay via view managers)",
+		Columns: []string{"routing", "managers", "messages", "lagMean", "level"},
+		Notes:   "paper schema, SPA/PA; relay saves one integrator→merge message per update",
+	}
+	for _, c := range []struct {
+		name  string
+		kind  system.ManagerKind
+		relay bool
+	}{
+		{"direct", system.Complete, false},
+		{"relayed", system.Complete, true},
+		{"direct", system.Batching, false},
+		{"relayed", system.Batching, true},
+	} {
+		views := workload.PaperViews(c.kind)
+		if c.kind == system.Batching {
+			views = withDelay(views, delay(300_000))
+		}
+		r := mustRun(Params{
+			Name:              fmt.Sprintf("%s/%s", c.name, c.kind),
+			Sources:           workload.PaperSources(),
+			Views:             views,
+			Updates:           updates,
+			Interval:          100_000,
+			NetLatency:        [2]int64{10_000, 30_000},
+			Seed:              seed,
+			RelayRelevantSets: c.relay,
+			CheckConsistency:  true,
+		})
+		t.Rows = append(t.Rows, []string{
+			c.name, c.kind.String(),
+			fmt.Sprintf("%d", r.Messages),
+			us(r.LagMean), r.LevelString(),
+		})
+	}
+	return t
+}
+
+// StagedTransfer is experiment S9, §6.3's closing remark: "If the amount
+// of data passing from the view manager to the warehouse is large, the MP
+// can be modified to coordinate transaction commit only, instead of
+// handling all data transfer." Both views refresh every 5 updates; one run
+// ships diffs through the merge process, the other stages them directly at
+// the warehouse. The data volume through the merge drops to zero while
+// consistency and freshness are unchanged.
+func StagedTransfer(seed int64, updates int) Table {
+	t := Table{
+		ID:      "S9",
+		Title:   "§6.3 coordinate-commit-only transfer for refresh views",
+		Columns: []string{"transfer", "mergeDeltaTuples", "txns", "lagMean", "level"},
+		Notes:   "two batching views (400µs compute) over the paper schema",
+	}
+	for _, staged := range []bool{false, true} {
+		views := workload.PaperViews(system.Batching)
+		for i := range views {
+			views[i].ComputeDelay = delay(400_000)
+			views[i].StageData = staged
+		}
+		name := "through-merge"
+		if staged {
+			name = "staged"
+		}
+		r := mustRun(Params{
+			Name:             name,
+			Sources:          workload.PaperSources(),
+			Views:            views,
+			Updates:          updates,
+			Interval:         100_000,
+			NetLatency:       [2]int64{10_000, 30_000},
+			Seed:             seed,
+			CheckConsistency: true,
+		})
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d", r.DeltaTuples),
+			fmt.Sprintf("%d", r.Txns),
+			us(r.LagMean), r.LevelString(),
+		})
+	}
+	return t
+}
+
+// ManagerComparison is experiment S10: the same workload maintained by
+// each view-manager kind, comparing freshness, action-list counts and the
+// achieved consistency level — the §6.3 menu quantified. Expected shape:
+// per-update managers (complete, complete-query) are freshest and
+// complete; batching variants trade lag spikes for fewer lists; refresh
+// and complete-N lag by design (their boundary holds tails); convergent
+// gives up ordering entirely.
+func ManagerComparison(seed int64, updates int) Table {
+	t := Table{
+		ID:      "S10",
+		Title:   "view-manager kinds on one workload (200µs compute, 250µs arrivals)",
+		Columns: []string{"manager", "ALs", "txns", "lagMean", "lagMax", "level"},
+		Notes:   "S-only updates, count aligned to boundary 4; query kinds model cost as source round-trips rather than ComputeDelay",
+	}
+	kinds := []system.ManagerKind{
+		system.Complete, system.CompleteQuery, system.Batching,
+		system.QueryBatching, system.Refresh, system.CompleteN, system.Convergent,
+	}
+	// Align the workload so boundary managers drain: make every update hit
+	// S (both views), and run a multiple of 4 of them.
+	n := (updates / 4) * 4
+	for _, k := range kinds {
+		views := workload.PaperViews(k)
+		for i := range views {
+			views[i].Param = 4
+			views[i].ComputeDelay = delay(200_000)
+		}
+		srcs := []system.SourceDef{{ID: "src1", Relations: map[string]*relation.Relation{
+			"R": relation.FromTuples(workload.RSchema, relation.T(1, 2)),
+			"S": relation.New(workload.SSchema),
+			"T": relation.FromTuples(workload.TSchema, relation.T(3, 4)),
+		}}}
+		p := Params{
+			Name:             k.String(),
+			Sources:          srcs,
+			Views:            views,
+			Updates:          n,
+			Interval:         250_000,
+			NetLatency:       [2]int64{10_000, 10_000},
+			Seed:             seed,
+			RestrictWrites:   []string{"S"},
+			CheckConsistency: true,
+		}
+		r := mustRun(p)
+		t.Rows = append(t.Rows, []string{
+			k.String(),
+			fmt.Sprintf("%d", r.ALsReceived),
+			fmt.Sprintf("%d", r.Txns),
+			us(r.LagMean), us(r.LagMax),
+			r.LevelString(),
+		})
+	}
+	return t
+}
+
+// AllExperiments runs the full study.
+func AllExperiments(seed int64, updates int) []Table {
+	return []Table{
+		FreshnessVsLoad(seed, updates),
+		MergeBottleneck(seed, updates),
+		StragglerVUT(seed, updates),
+		CommitStrategies(seed, updates),
+		DistributedMergeScaling(seed, updates),
+		Promptness(seed, updates),
+		AlgorithmOverhead(seed, updates),
+		FilterAblation(seed, updates),
+		RelayAblation(seed, updates),
+		StagedTransfer(seed, updates),
+		ManagerComparison(seed, updates),
+	}
+}
+
+func withDelay(views []system.ViewDef, d func(int) int64) []system.ViewDef {
+	for i := range views {
+		views[i].ComputeDelay = d
+	}
+	return views
+}

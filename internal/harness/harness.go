@@ -1,0 +1,346 @@
+// Package harness runs the performance study the paper defers to future
+// work (§7): the effect of merging on view freshness, and the update loads
+// under which the merge process becomes a bottleneck. Experiments run on
+// the deterministic simulator, so every number is reproducible.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"whips/internal/baseline"
+	"whips/internal/consistency"
+	"whips/internal/expr"
+	"whips/internal/merge"
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/sim"
+	"whips/internal/source"
+	"whips/internal/system"
+	"whips/internal/warehouse"
+	"whips/internal/workload"
+)
+
+// Arch selects the middle-tier architecture.
+type Arch uint8
+
+// Architectures under test.
+const (
+	// Concurrent is the paper's architecture: integrator + one view
+	// manager per view + merge process(es).
+	Concurrent Arch = iota
+	// SequentialBaseline is §1.1's single sequential integrator process.
+	SequentialBaseline
+)
+
+// String names the architecture.
+func (a Arch) String() string {
+	if a == SequentialBaseline {
+		return "sequential-baseline"
+	}
+	return "concurrent"
+}
+
+// Params configures one experiment run.
+type Params struct {
+	Name    string
+	Sources []system.SourceDef
+	Views   []system.ViewDef
+	Arch    Arch
+
+	Commit           system.CommitKind
+	BatchSize        int
+	FlushAfter       int64
+	DistributedMerge bool
+	Algorithm        *merge.Algorithm
+
+	// Updates is the number of source transactions to run.
+	Updates int
+	// Interval is the virtual time between source transactions (ns); the
+	// update rate is 1e9/Interval per second.
+	Interval int64
+	// NetLatency is the [min,max) random edge latency (ns).
+	NetLatency [2]int64
+	// WarehouseDelay is the warehouse's per-transaction service time;
+	// WarehousePerWrite adds a per-view-write cost, so wide transactions
+	// (many views per update) take proportionally longer.
+	WarehouseDelay    int64
+	WarehousePerWrite int64
+	// Seed drives the workload generator and latency model.
+	Seed int64
+	// DeleteFraction configures the generator.
+	DeleteFraction float64
+	// RelevanceFilter enables ref-[7] irrelevant-update filtering at the
+	// integrator (Concurrent architecture only).
+	RelevanceFilter bool
+	// RelayRelevantSets enables §3.2's alternative REL routing.
+	RelayRelevantSets bool
+	// RestrictWrites, when non-empty, limits generated updates to these
+	// relations.
+	RestrictWrites []string
+	// CheckConsistency records warehouse states and judges the run.
+	CheckConsistency bool
+}
+
+// Result is the measured outcome of one run.
+type Result struct {
+	Name    string
+	Arch    Arch
+	Updates int
+	Txns    int64
+
+	// Duration is the virtual time until full drain; DrainLag is the time
+	// from the last source commit to the last warehouse commit.
+	Duration int64
+	DrainLag int64
+
+	// Freshness: commit-to-apply lag per covered update.
+	LagMean int64
+	LagP95  int64
+	LagMax  int64
+
+	// Merge-side pressure.
+	MaxVUT        int
+	HoldMean      int64
+	HoldMax       int64
+	TxnsSubmitted int64
+	ALsReceived   int64
+	// DeltaTuples counts tuple changes that flowed THROUGH the merge
+	// process (§6.3 staged lists bypass it).
+	DeltaTuples int64
+	// ViewWrites counts per-view deltas applied at the warehouse — the
+	// warehouse-side work measure.
+	ViewWrites int64
+
+	// Messages counts every delivered message in the run (network traffic).
+	Messages int64
+
+	// Level is the consistency verdict (CheckConsistency only);
+	// Convergent reports whether the run even converged (a run that fails
+	// to drain all views is not).
+	Level      msg.Level
+	Convergent bool
+	Checked    bool
+}
+
+// LevelString names the verdict, distinguishing non-convergent runs.
+func (r Result) LevelString() string {
+	if r.Checked && !r.Convergent && r.Level == msg.Convergent {
+		return "none"
+	}
+	return r.Level.String()
+}
+
+// Throughput returns drained updates per virtual second.
+func (r Result) Throughput() float64 {
+	if r.Duration == 0 {
+		return 0
+	}
+	return float64(r.Updates) / (float64(r.Duration) / 1e9)
+}
+
+// Run executes one experiment.
+func Run(p Params) (Result, error) {
+	res := Result{Name: p.Name, Arch: p.Arch, Updates: p.Updates}
+
+	var simulator *sim.Sim
+	clock := func() int64 {
+		if simulator == nil {
+			return 0
+		}
+		return simulator.Now()
+	}
+
+	type commitRec struct {
+		rows []msg.UpdateID
+		now  int64
+	}
+	var commits []commitRec
+	var viewWrites int64
+	observer := func(info warehouse.CommitInfo) {
+		commits = append(commits, commitRec{rows: info.Txn.Rows, now: info.Now})
+		viewWrites += int64(len(info.Txn.Writes))
+	}
+
+	var nodes []msg.Node
+	var cluster *source.Cluster
+	var wh *warehouse.Warehouse
+	var sys *system.System
+
+	switch p.Arch {
+	case Concurrent:
+		cfg := system.Config{
+			Sources:           p.Sources,
+			Views:             p.Views,
+			Commit:            p.Commit,
+			BatchSize:         p.BatchSize,
+			FlushAfter:        p.FlushAfter,
+			DistributedMerge:  p.DistributedMerge,
+			RelevanceFilter:   p.RelevanceFilter,
+			RelayRelevantSets: p.RelayRelevantSets,
+			Algorithm:         p.Algorithm,
+			LogStates:         p.CheckConsistency,
+			Clock:             clock,
+			CommitObserver:    observer,
+		}
+		if d := warehouseDelay(p); d != nil {
+			cfg.WarehouseExecDelay = d
+		}
+		var err error
+		sys, err = system.Build(cfg)
+		if err != nil {
+			return res, err
+		}
+		cluster, wh = sys.Cluster, sys.Warehouse
+		nodes = sys.Nodes()
+	case SequentialBaseline:
+		cluster = source.NewCluster(clock)
+		for _, s := range p.Sources {
+			cluster.AddSource(s.ID)
+			for name, rel := range s.Relations {
+				if err := cluster.LoadRelation(s.ID, name, rel); err != nil {
+					return res, err
+				}
+			}
+		}
+		bviews := make([]baseline.View, len(p.Views))
+		initial := make(map[msg.ViewID]*relation.Relation, len(p.Views))
+		for i, v := range p.Views {
+			bviews[i] = baseline.View{ID: v.ID, Expr: v.Expr, ComputeDelay: v.ComputeDelay}
+			val, err := evalAt0(cluster, v)
+			if err != nil {
+				return res, err
+			}
+			initial[v.ID] = val
+		}
+		integ, err := baseline.New(bviews, cluster.DatabaseAt(0))
+		if err != nil {
+			return res, err
+		}
+		whOpts := []warehouse.Option{warehouse.WithCommitObserver(observer)}
+		if p.CheckConsistency {
+			whOpts = append(whOpts, warehouse.WithStateLog())
+		}
+		if d := warehouseDelay(p); d != nil {
+			whOpts = append(whOpts, warehouse.WithExecDelay(d))
+		}
+		wh = warehouse.New(initial, whOpts...)
+		nodes = []msg.Node{source.NewNode(cluster), integ, wh}
+	default:
+		return res, fmt.Errorf("harness: unknown architecture %v", p.Arch)
+	}
+
+	var latency sim.Latency
+	if p.NetLatency[1] > p.NetLatency[0] {
+		latency = sim.UniformLatency(p.Seed+1, p.NetLatency[0], p.NetLatency[1])
+	} else {
+		latency = sim.ConstantLatency(p.NetLatency[0])
+	}
+	simulator = sim.New(nodes, latency)
+
+	gen := workload.NewGenerator(p.Seed, p.Sources)
+	if p.DeleteFraction > 0 {
+		gen.DeleteFraction = p.DeleteFraction
+	}
+	if len(p.RestrictWrites) > 0 {
+		gen.Restrict(p.RestrictWrites...)
+	}
+	interval := p.Interval
+	if interval <= 0 {
+		interval = 1
+	}
+	for i := 0; i < p.Updates; i++ {
+		src, writes := gen.Txn()
+		simulator.InjectAt(int64(i)*interval, msg.NodeCluster, msg.ExecuteTxn{Source: src, Writes: writes})
+	}
+	res.Duration = simulator.Run()
+	res.Messages = simulator.Delivered()
+
+	// Freshness: per covered update, warehouse-commit time minus source
+	// commit time.
+	commitAt := make(map[msg.UpdateID]int64)
+	var lastSource int64
+	for _, u := range cluster.Log() {
+		commitAt[u.Seq] = u.CommitAt
+		if u.CommitAt > lastSource {
+			lastSource = u.CommitAt
+		}
+	}
+	var lags []int64
+	var lastCommit int64
+	for _, c := range commits {
+		if c.now > lastCommit {
+			lastCommit = c.now
+		}
+		for _, row := range c.rows {
+			if t, ok := commitAt[row]; ok {
+				lags = append(lags, c.now-t)
+			}
+		}
+	}
+	res.Txns = int64(len(commits))
+	res.ViewWrites = viewWrites
+	res.DrainLag = lastCommit - lastSource
+	if len(lags) > 0 {
+		sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+		var sum int64
+		for _, l := range lags {
+			sum += l
+		}
+		res.LagMean = sum / int64(len(lags))
+		res.LagP95 = lags[(len(lags)*95)/100]
+		res.LagMax = lags[len(lags)-1]
+	}
+
+	if sys != nil {
+		for _, m := range sys.Merges {
+			st := m.Stats()
+			if st.MaxRowsLive > res.MaxVUT {
+				res.MaxVUT = st.MaxRowsLive
+			}
+			res.TxnsSubmitted += st.TxnsSubmitted
+			res.ALsReceived += st.ALsReceived
+			res.DeltaTuples += st.DeltaTuples
+			if st.HoldMax > res.HoldMax {
+				res.HoldMax = st.HoldMax
+			}
+			if st.HoldCount > 0 {
+				res.HoldMean += st.HoldSum / st.HoldCount
+			}
+		}
+		if len(sys.Merges) > 0 {
+			res.HoldMean /= int64(len(sys.Merges))
+		}
+	}
+
+	if p.CheckConsistency {
+		rep, err := consistency.Check(cluster, viewExprs(p.Views), wh.Log())
+		if err != nil {
+			return res, err
+		}
+		res.Level = rep.Level()
+		res.Convergent = rep.Convergent
+		res.Checked = true
+	}
+	return res, nil
+}
+
+func warehouseDelay(p Params) func(msg.WarehouseTxn) int64 {
+	if p.WarehouseDelay <= 0 && p.WarehousePerWrite <= 0 {
+		return nil
+	}
+	base, per := p.WarehouseDelay, p.WarehousePerWrite
+	return func(t msg.WarehouseTxn) int64 { return base + per*int64(len(t.Writes)) }
+}
+
+func viewExprs(views []system.ViewDef) map[msg.ViewID]expr.Expr {
+	out := make(map[msg.ViewID]expr.Expr, len(views))
+	for _, v := range views {
+		out[v.ID] = v.Expr
+	}
+	return out
+}
+
+func evalAt0(cluster *source.Cluster, v system.ViewDef) (*relation.Relation, error) {
+	return expr.Eval(v.Expr, cluster.DatabaseAt(0))
+}

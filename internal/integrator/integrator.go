@@ -1,0 +1,166 @@
+// Package integrator implements the integrator process (paper §3.2): it
+// receives numbered source updates, determines the relevant view set RELᵢ
+// for each, forwards RELᵢ to the merge process(es), and forwards a copy of
+// the update to each relevant view manager.
+package integrator
+
+import (
+	"fmt"
+	"sort"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+)
+
+// ViewInfo describes one registered view from the integrator's perspective.
+type ViewInfo struct {
+	ID         msg.ViewID
+	Expr       expr.Expr
+	MergeGroup int // which merge process coordinates this view (§6.1)
+}
+
+// Integrator is the update router. It implements msg.Node.
+type Integrator struct {
+	matcher *Matcher
+	// sendEmptyRel, when set, forwards RELᵢ even when no view is relevant,
+	// so the warehouse state sequence gets an (empty) transaction for every
+	// source state. Default is to drop them.
+	sendEmptyRel bool
+	// relayRel enables §3.2's alternative: RELᵢ rides with one designated
+	// view manager's update copy instead of going to the merge process
+	// directly, saving one message per update per group.
+	relayRel bool
+	groups   map[int]bool
+	lastSeq  msg.UpdateID
+	received int64
+}
+
+// Option configures the integrator.
+type Option func(*opts)
+
+type opts struct {
+	filter       bool
+	sendEmptyRel bool
+	relayRel     bool
+}
+
+// WithRelevanceFilter enables per-tuple irrelevance filtering (paper's
+// reference [7] optimization).
+func WithRelevanceFilter() Option { return func(o *opts) { o.filter = true } }
+
+// WithEmptyRelevantSets forwards empty RELᵢ rows instead of dropping them.
+func WithEmptyRelevantSets() Option { return func(o *opts) { o.sendEmptyRel = true } }
+
+// WithRelayedRelevantSets enables §3.2's alternative REL routing.
+func WithRelayedRelevantSets() Option { return func(o *opts) { o.relayRel = true } }
+
+// New builds an integrator for the given views.
+func New(views []ViewInfo, options ...Option) *Integrator {
+	var o opts
+	for _, apply := range options {
+		apply(&o)
+	}
+	in := &Integrator{
+		matcher:      NewMatcher(views, o.filter),
+		sendEmptyRel: o.sendEmptyRel,
+		relayRel:     o.relayRel,
+		groups:       make(map[int]bool),
+	}
+	for _, v := range views {
+		in.groups[v.MergeGroup] = true
+	}
+	return in
+}
+
+// Matcher exposes the integrator's relevance logic.
+func (in *Integrator) Matcher() *Matcher { return in.matcher }
+
+// ID implements msg.Node.
+func (in *Integrator) ID() string { return msg.NodeIntegrator }
+
+// Received returns how many updates the integrator has processed.
+func (in *Integrator) Received() int64 { return in.received }
+
+// Handle implements msg.Node.
+func (in *Integrator) Handle(m any, now int64) []msg.Outbound {
+	u, ok := m.(msg.Update)
+	if !ok {
+		return nil
+	}
+	// §3.2 step 1: updates are numbered by arrival order. Our cluster
+	// already stamps commit order and the channel is FIFO, so arrival order
+	// must agree; a violation means the transport broke its contract.
+	if u.Seq <= in.lastSeq {
+		panic(fmt.Sprintf("integrator: update %d arrived after %d — FIFO transport violated", u.Seq, in.lastSeq))
+	}
+	in.lastSeq = u.Seq
+	in.received++
+
+	// §3.2 step 2: determine RELᵢ, with optional irrelevance filtering.
+	relevant := in.matcher.Match(u)
+	ids := make([]msg.ViewID, 0, len(relevant))
+	for id := range relevant {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// §3.2 step 3: send RELᵢ to each merge process coordinating a relevant
+	// view, restricted to that group's views.
+	byGroup := make(map[int][]msg.ViewID)
+	for _, id := range ids {
+		g := in.matcher.GroupOf(id)
+		byGroup[g] = append(byGroup[g], id)
+	}
+	var out []msg.Outbound
+	// Relay mode needs gap-free REL numbering at every merge process (the
+	// frontier guard depends on it), so groups with no relevant view get
+	// an empty REL directly.
+	if in.relayRel {
+		for g := range in.groups {
+			if _, ok := byGroup[g]; !ok {
+				out = append(out, msg.Send(msg.NodeMerge(g), msg.RelevantSet{Seq: u.Seq, CommitAt: u.CommitAt}))
+			}
+		}
+	}
+	if len(byGroup) == 0 {
+		if in.sendEmptyRel && !in.relayRel {
+			for g := range in.groups {
+				out = append(out, msg.Send(msg.NodeMerge(g), msg.RelevantSet{Seq: u.Seq, CommitAt: u.CommitAt}))
+			}
+		}
+		sortOutbound(out)
+		return out
+	}
+	// carrier[v] holds the group REL that view v's update copy relays
+	// (§3.2 alternative); the designated carrier is the group's first
+	// relevant view.
+	carrier := make(map[msg.ViewID]*msg.RelevantSet)
+	for g, views := range byGroup {
+		rel := msg.RelevantSet{Seq: u.Seq, Views: views, CommitAt: u.CommitAt}
+		if in.relayRel {
+			rel := rel
+			carrier[views[0]] = &rel
+			continue
+		}
+		out = append(out, msg.Send(msg.NodeMerge(g), rel))
+	}
+	// §3.2 step 4: send each relevant view manager its (filtered) copy.
+	for _, id := range ids {
+		out = append(out, msg.Send(msg.NodeViewManager(id), msg.Update{
+			Seq:      u.Seq,
+			Source:   u.Source,
+			Writes:   relevant[id],
+			CommitAt: u.CommitAt,
+			Rel:      carrier[id],
+		}))
+	}
+	sortOutbound(out)
+	return out
+}
+
+// sortOutbound orders messages deterministically by destination, keeping
+// per-destination order stable. Determinism matters for the simulator and
+// for golden traces; correctness never depends on cross-channel order.
+func sortOutbound(out []msg.Outbound) {
+	sort.SliceStable(out, func(i, j int) bool { return out[i].To < out[j].To })
+}

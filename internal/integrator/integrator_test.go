@@ -1,0 +1,234 @@
+package integrator
+
+import (
+	"reflect"
+	"testing"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+var (
+	rSchema = relation.MustSchema("A:int", "B:int")
+	sSchema = relation.MustSchema("B:int", "C:int")
+	tSchema = relation.MustSchema("C:int", "D:int")
+)
+
+func testViews() []ViewInfo {
+	return []ViewInfo{
+		{ID: "V1", Expr: expr.MustJoin(expr.Scan("R", rSchema), expr.Scan("S", sSchema)), MergeGroup: 0},
+		{ID: "V2", Expr: expr.MustJoin(expr.Scan("S", sSchema), expr.Scan("T", tSchema)), MergeGroup: 0},
+	}
+}
+
+func upd(seq msg.UpdateID, rel string, s *relation.Schema, vals ...any) msg.Update {
+	return msg.Update{
+		Seq:    seq,
+		Source: "src",
+		Writes: []msg.Write{{Relation: rel, Delta: relation.InsertDelta(s, relation.T(vals...))}},
+	}
+}
+
+func destinations(out []msg.Outbound) []string {
+	var ds []string
+	for _, o := range out {
+		ds = append(ds, o.To)
+	}
+	return ds
+}
+
+func TestIntegratorRoutesRelAndUpdates(t *testing.T) {
+	in := New(testViews())
+	if in.ID() != msg.NodeIntegrator {
+		t.Errorf("id = %q", in.ID())
+	}
+	// An S update is relevant to both views.
+	out := in.Handle(upd(1, "S", sSchema, 2, 3), 0)
+	want := []string{"merge:0", "vm:V1", "vm:V2"}
+	if !reflect.DeepEqual(destinations(out), want) {
+		t.Fatalf("destinations = %v, want %v", destinations(out), want)
+	}
+	rel := out[0].Msg.(msg.RelevantSet)
+	if rel.Seq != 1 || !reflect.DeepEqual(rel.Views, []msg.ViewID{"V1", "V2"}) {
+		t.Errorf("REL = %+v", rel)
+	}
+	u1 := out[1].Msg.(msg.Update)
+	if u1.Seq != 1 || len(u1.Writes) != 1 || u1.Writes[0].Relation != "S" {
+		t.Errorf("forwarded update = %+v", u1)
+	}
+	if in.Received() != 1 {
+		t.Errorf("received = %d", in.Received())
+	}
+}
+
+func TestIntegratorSingleRelevantView(t *testing.T) {
+	in := New(testViews())
+	out := in.Handle(upd(1, "R", rSchema, 1, 2), 0)
+	if !reflect.DeepEqual(destinations(out), []string{"merge:0", "vm:V1"}) {
+		t.Fatalf("destinations = %v", destinations(out))
+	}
+	rel := out[0].Msg.(msg.RelevantSet)
+	if !reflect.DeepEqual(rel.Views, []msg.ViewID{"V1"}) {
+		t.Errorf("REL = %+v", rel)
+	}
+}
+
+func TestIntegratorIrrelevantUpdateDropped(t *testing.T) {
+	in := New(testViews())
+	q := relation.MustSchema("Z:int")
+	out := in.Handle(upd(1, "Q", q, 5), 0)
+	if len(out) != 0 {
+		t.Errorf("update to unreferenced relation should route nowhere: %v", out)
+	}
+	// With WithEmptyRelevantSets it becomes an empty REL to every group.
+	in2 := New(testViews(), WithEmptyRelevantSets())
+	out = in2.Handle(upd(1, "Q", q, 5), 0)
+	if len(out) != 1 {
+		t.Fatalf("want empty REL, got %v", out)
+	}
+	rel := out[0].Msg.(msg.RelevantSet)
+	if rel.Seq != 1 || len(rel.Views) != 0 {
+		t.Errorf("empty REL = %+v", rel)
+	}
+}
+
+func TestIntegratorRelevanceFilter(t *testing.T) {
+	views := []ViewInfo{{
+		ID:   "V1",
+		Expr: expr.MustJoin(expr.MustSelect(expr.Scan("R", rSchema), expr.Cmp("A", Eq, 1)), expr.Scan("S", sSchema)),
+	}}
+	in := New(views, WithRelevanceFilter())
+	// A=9 is provably irrelevant: nothing routed.
+	if out := in.Handle(upd(1, "R", rSchema, 9, 2), 0); len(out) != 0 {
+		t.Errorf("filtered update routed: %v", out)
+	}
+	// A=1 passes.
+	out := in.Handle(upd(2, "R", rSchema, 1, 2), 0)
+	if len(out) != 2 {
+		t.Fatalf("relevant update should route: %v", out)
+	}
+	// Mixed delta: only the passing tuple is forwarded.
+	d := relation.NewDelta(rSchema)
+	d.Add(relation.T(1, 5), 1)
+	d.Add(relation.T(7, 5), 1)
+	out = in.Handle(msg.Update{Seq: 3, Writes: []msg.Write{{Relation: "R", Delta: d}}}, 0)
+	fw := out[1].Msg.(msg.Update)
+	if fw.Writes[0].Delta.Count(relation.T(1, 5)) != 1 || fw.Writes[0].Delta.Count(relation.T(7, 5)) != 0 {
+		t.Errorf("forwarded delta = %v", fw.Writes[0].Delta)
+	}
+}
+
+// Eq is re-declared to avoid importing the whole expr constant set.
+const Eq = expr.Eq
+
+func TestIntegratorMultiWriteTransaction(t *testing.T) {
+	in := New(testViews())
+	u := msg.Update{Seq: 1, Writes: []msg.Write{
+		{Relation: "R", Delta: relation.InsertDelta(rSchema, relation.T(1, 2))},
+		{Relation: "T", Delta: relation.InsertDelta(tSchema, relation.T(3, 4))},
+	}}
+	out := in.Handle(u, 0)
+	if !reflect.DeepEqual(destinations(out), []string{"merge:0", "vm:V1", "vm:V2"}) {
+		t.Fatalf("destinations = %v", destinations(out))
+	}
+	// Each view manager receives only its own relation's writes.
+	u1 := out[1].Msg.(msg.Update)
+	u2 := out[2].Msg.(msg.Update)
+	if len(u1.Writes) != 1 || u1.Writes[0].Relation != "R" {
+		t.Errorf("V1 writes = %+v", u1.Writes)
+	}
+	if len(u2.Writes) != 1 || u2.Writes[0].Relation != "T" {
+		t.Errorf("V2 writes = %+v", u2.Writes)
+	}
+}
+
+func TestIntegratorDistributedGroups(t *testing.T) {
+	q := relation.MustSchema("Z:int")
+	views := []ViewInfo{
+		{ID: "V1", Expr: expr.Scan("R", rSchema), MergeGroup: 0},
+		{ID: "V3", Expr: expr.Scan("Q", q), MergeGroup: 1},
+	}
+	in := New(views)
+	out := in.Handle(upd(1, "Q", q, 5), 0)
+	if !reflect.DeepEqual(destinations(out), []string{"merge:1", "vm:V3"}) {
+		t.Errorf("destinations = %v", destinations(out))
+	}
+	rel := out[0].Msg.(msg.RelevantSet)
+	if !reflect.DeepEqual(rel.Views, []msg.ViewID{"V3"}) {
+		t.Errorf("group REL = %+v", rel)
+	}
+}
+
+func TestIntegratorPanicsOnReorderedUpdates(t *testing.T) {
+	in := New(testViews())
+	in.Handle(upd(2, "S", sSchema, 1, 1), 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order update must panic")
+		}
+	}()
+	in.Handle(upd(1, "S", sSchema, 2, 2), 0)
+}
+
+func TestIntegratorIgnoresUnknownMessages(t *testing.T) {
+	in := New(testViews())
+	if out := in.Handle("garbage", 0); out != nil {
+		t.Errorf("garbage produced %v", out)
+	}
+}
+
+func TestMatcherGroupOf(t *testing.T) {
+	m := NewMatcher([]ViewInfo{{ID: "V1", Expr: expr.Scan("R", rSchema), MergeGroup: 3}}, false)
+	if m.GroupOf("V1") != 3 || m.GroupOf("nope") != 0 {
+		t.Error("GroupOf mismatch")
+	}
+	if len(m.Views()) != 1 {
+		t.Error("Views mismatch")
+	}
+}
+
+func TestIntegratorCommitAtPropagates(t *testing.T) {
+	in := New(testViews())
+	u := upd(1, "S", sSchema, 2, 3)
+	u.CommitAt = 77
+	out := in.Handle(u, 0)
+	if rel := out[0].Msg.(msg.RelevantSet); rel.CommitAt != 77 {
+		t.Errorf("REL CommitAt = %d", rel.CommitAt)
+	}
+	if fw := out[1].Msg.(msg.Update); fw.CommitAt != 77 {
+		t.Errorf("forwarded CommitAt = %d", fw.CommitAt)
+	}
+}
+
+func TestIntegratorRelayedRelevantSets(t *testing.T) {
+	in := New(testViews(), WithRelayedRelevantSets())
+	if in.Matcher() == nil {
+		t.Fatal("Matcher accessor")
+	}
+	// An S update is relevant to both views: the REL rides with the first
+	// relevant view's update copy; no direct merge message.
+	out := in.Handle(upd(1, "S", sSchema, 2, 3), 0)
+	if !reflect.DeepEqual(destinations(out), []string{"vm:V1", "vm:V2"}) {
+		t.Fatalf("destinations = %v", destinations(out))
+	}
+	u1 := out[0].Msg.(msg.Update)
+	if u1.Rel == nil || u1.Rel.Seq != 1 || len(u1.Rel.Views) != 2 {
+		t.Errorf("carrier update = %+v", u1.Rel)
+	}
+	u2 := out[1].Msg.(msg.Update)
+	if u2.Rel != nil {
+		t.Errorf("non-carrier update must not carry the REL: %+v", u2.Rel)
+	}
+	// An update relevant to no view yields an empty direct REL so the merge
+	// frontier stays gap-free.
+	q := relation.MustSchema("Z:int")
+	out = in.Handle(upd(2, "Q", q, 5), 0)
+	if len(out) != 1 || out[0].To != "merge:0" {
+		t.Fatalf("gapless empty REL expected: %v", destinations(out))
+	}
+	rel := out[0].Msg.(msg.RelevantSet)
+	if rel.Seq != 2 || len(rel.Views) != 0 {
+		t.Errorf("empty REL = %+v", rel)
+	}
+}

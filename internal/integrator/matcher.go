@@ -1,0 +1,65 @@
+package integrator
+
+import (
+	"whips/internal/expr"
+	"whips/internal/msg"
+)
+
+// Matcher is the pure relevance logic of the integrator (§3.2 step 2),
+// reusable by drivers that need to predict which views an update reaches
+// (e.g. to compute per-view freshness targets). It is immutable after
+// construction and safe for concurrent use.
+type Matcher struct {
+	views      []ViewInfo
+	byRelation map[string][]int
+	filter     bool
+}
+
+// NewMatcher builds a matcher over the given views.
+func NewMatcher(views []ViewInfo, filter bool) *Matcher {
+	m := &Matcher{
+		views:      append([]ViewInfo(nil), views...),
+		byRelation: make(map[string][]int),
+		filter:     filter,
+	}
+	for idx, v := range m.views {
+		for _, rel := range v.Expr.BaseRelations() {
+			m.byRelation[rel] = append(m.byRelation[rel], idx)
+		}
+	}
+	return m
+}
+
+// Match returns, for each relevant view, the update's writes filtered down
+// to the possibly-relevant tuples. Views for which every tuple is provably
+// irrelevant are absent.
+func (m *Matcher) Match(u msg.Update) map[msg.ViewID][]msg.Write {
+	out := make(map[msg.ViewID][]msg.Write)
+	for _, w := range u.Writes {
+		for _, vi := range m.byRelation[w.Relation] {
+			v := m.views[vi]
+			d := w.Delta
+			if m.filter {
+				d = expr.RelevantDelta(v.Expr, w.Relation, d)
+				if d.Empty() {
+					continue
+				}
+			}
+			out[v.ID] = append(out[v.ID], msg.Write{Relation: w.Relation, Delta: d})
+		}
+	}
+	return out
+}
+
+// Views returns the registered views.
+func (m *Matcher) Views() []ViewInfo { return m.views }
+
+// GroupOf returns the merge group of a view (0 if unknown).
+func (m *Matcher) GroupOf(id msg.ViewID) int {
+	for _, v := range m.views {
+		if v.ID == id {
+			return v.MergeGroup
+		}
+	}
+	return 0
+}

@@ -1,0 +1,680 @@
+// Package merge implements the paper's contribution: the merge process that
+// coordinates concurrent view managers so warehouse updates never violate
+// multiple view consistency (MVC).
+//
+// The merge process receives RELᵢ sets from the integrator and action lists
+// ALˣᵢ from view managers, tracks them in the ViewUpdateTable (VUT), and
+// releases them to the warehouse in consistency-preserving transactions:
+//
+//   - The Simple Painting Algorithm (SPA, §4) assumes complete view
+//     managers and yields complete MVC: the warehouse visits every source
+//     state, in order.
+//   - The Painting Algorithm (PA, §5) assumes strongly consistent view
+//     managers (which may batch intertwined updates into one action list)
+//     and yields strongly consistent MVC.
+//   - Forward (§6.3) performs no coordination and is what a fleet
+//     containing convergence-only view managers degrades to.
+//
+// Both painting algorithms are prompt: an action list is never held once
+// every consistency-required predecessor has been applied.
+package merge
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"whips/internal/msg"
+)
+
+// Algorithm selects the coordination algorithm.
+type Algorithm uint8
+
+// Available merge algorithms.
+const (
+	// SPA is the Simple Painting Algorithm (§4); requires complete view
+	// managers and guarantees complete MVC.
+	SPA Algorithm = iota
+	// PA is the Painting Algorithm (§5); accepts strongly consistent view
+	// managers and guarantees strongly consistent MVC.
+	PA
+	// Forward passes action lists straight through (§6.3 convergent mode).
+	Forward
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case SPA:
+		return "SPA"
+	case PA:
+		return "PA"
+	case Forward:
+		return "forward"
+	}
+	return fmt.Sprintf("algorithm(%d)", uint8(a))
+}
+
+// ForLevel returns the weakest-compatible merge algorithm for a fleet of
+// view managers with the given consistency levels (§6.3: "use the merge
+// algorithm corresponding to the view manager guaranteeing the weakest
+// level of consistency").
+func ForLevel(levels ...msg.Level) Algorithm {
+	weakest := msg.Complete
+	for _, l := range levels {
+		if l < weakest {
+			weakest = l
+		}
+	}
+	switch weakest {
+	case msg.Complete:
+		return SPA
+	case msg.Strong:
+		return PA
+	default:
+		return Forward
+	}
+}
+
+// Color is a VUT entry color (§4.1).
+type Color uint8
+
+// VUT entry colors. Black is represented by the absence of an entry.
+const (
+	White Color = iota // waiting for the corresponding action list
+	Red                // action list received, waiting to be applied
+	Gray               // applied
+)
+
+func (c Color) String() string {
+	switch c {
+	case White:
+		return "w"
+	case Red:
+		return "r"
+	case Gray:
+		return "g"
+	}
+	return "?"
+}
+
+// entry is one VUT cell for a (update, view) pair that is relevant
+// (non-black).
+type entry struct {
+	color Color
+	// state is PA's second field: the state the view jumps to when this
+	// row's actions apply (0 until the covering action list arrives).
+	state msg.UpdateID
+}
+
+// row is one VUT row: one source update (or transaction, §6.2).
+type row struct {
+	seq      msg.UpdateID
+	commitAt int64
+	entries  map[msg.ViewID]*entry
+	views    []msg.ViewID // sorted, for deterministic iteration
+	// wt is WTᵢ: the action lists collected for this row.
+	wt []heldAL
+}
+
+type heldAL struct {
+	al         msg.ActionList
+	receivedAt int64
+}
+
+// column tracks per-view-manager bookkeeping: which rows are white
+// (awaiting an AL) and which are red (AL received, unapplied), both in
+// ascending order. nextRed(i, x) of the paper is nextAfter on the red list.
+//
+// buffered and covered exist for §3.2's relayed-REL routing, where RELᵢ
+// rides with one view manager's traffic and can overtake or trail other
+// managers' action lists:
+//
+//   - waiting queues this manager's action lists that cannot be processed
+//     yet because their own RELᵢ (or an earlier list's) has not arrived.
+//     Lists from one manager MUST be processed in generation order — a
+//     later batched list would otherwise steal white entries belonging to
+//     an earlier one — so the queue drains strictly from the front.
+//   - covered records the [From,Upto] ranges of processed (batched) action
+//     lists, so a row whose RELᵢ arrives after the list that covered it
+//     can be painted red (joining the still-live batch row) or gray (the
+//     batch already committed, its delta included this row's effect).
+type column struct {
+	whites  []msg.UpdateID
+	reds    []msg.UpdateID
+	waiting []heldAL
+	covered []coveredRange
+}
+
+type coveredRange struct {
+	from, upto msg.UpdateID
+}
+
+func (c *column) firstRed() (msg.UpdateID, bool) {
+	if len(c.reds) == 0 {
+		return 0, false
+	}
+	return c.reds[0], true
+}
+
+func (c *column) redsBefore(i msg.UpdateID) []msg.UpdateID {
+	n := sort.Search(len(c.reds), func(k int) bool { return c.reds[k] >= i })
+	return append([]msg.UpdateID(nil), c.reds[:n]...)
+}
+
+func (c *column) nextRedAfter(i msg.UpdateID) msg.UpdateID {
+	n := sort.Search(len(c.reds), func(k int) bool { return c.reds[k] > i })
+	if n == len(c.reds) {
+		return 0
+	}
+	return c.reds[n]
+}
+
+func (c *column) removeRed(i msg.UpdateID) {
+	n := sort.Search(len(c.reds), func(k int) bool { return c.reds[k] >= i })
+	if n < len(c.reds) && c.reds[n] == i {
+		c.reds = append(c.reds[:n], c.reds[n+1:]...)
+	}
+}
+
+// takeWhitesUpTo removes and returns the white rows ≤ i.
+func (c *column) takeWhitesUpTo(i msg.UpdateID) []msg.UpdateID {
+	n := sort.Search(len(c.whites), func(k int) bool { return c.whites[k] > i })
+	out := append([]msg.UpdateID(nil), c.whites[:n]...)
+	c.whites = append(c.whites[:0], c.whites[n:]...)
+	return out
+}
+
+// addSorted inserts i into an ascending slice (late-REL rows may join the
+// red list out of arrival order).
+func addSorted(s []msg.UpdateID, i msg.UpdateID) []msg.UpdateID {
+	n := sort.Search(len(s), func(k int) bool { return s[k] >= i })
+	s = append(s, 0)
+	copy(s[n+1:], s[n:])
+	s[n] = i
+	return s
+}
+
+// hasBufferedBefore reports whether an earlier action list from this
+// manager is still waiting for its RELᵢ. (With strictly in-order queue
+// draining this cannot coexist with a processed later list; the check is
+// kept as a defensive invariant.)
+func (c *column) hasBufferedBefore(i msg.UpdateID) bool {
+	return len(c.waiting) > 0 && c.waiting[0].al.Upto < i
+}
+
+// coveredBy returns the processed-list range containing row i, if any.
+func (c *column) coveredBy(i msg.UpdateID) (coveredRange, bool) {
+	n := sort.Search(len(c.covered), func(k int) bool { return c.covered[k].upto >= i })
+	if n < len(c.covered) && c.covered[n].from <= i && i <= c.covered[n].upto {
+		return c.covered[n], true
+	}
+	return coveredRange{}, false
+}
+
+// Stats are the merge process's observability counters.
+type Stats struct {
+	RELsReceived  int64
+	ALsReceived   int64
+	TxnsSubmitted int64
+	RowsApplied   int64
+	RowsLive      int   // current VUT occupancy
+	MaxRowsLive   int   // high-water mark
+	HeldALs       int64 // ALs currently buffered
+	// Hold latency: time from AL receipt to its submission to the
+	// warehouse, aggregated. This is the promptness measure (§4.4).
+	HoldCount int64
+	HoldSum   int64
+	HoldMax   int64
+	// DeltaTuples counts tuple changes flowing through the merge process —
+	// zero for §6.3 staged (out-of-band) lists, whose data bypasses it.
+	DeltaTuples int64
+}
+
+// TraceEvent is emitted (when tracing is enabled) after each state change,
+// carrying a rendered VUT. The golden tests for the paper's Examples 2, 3
+// and 5 consume these.
+type TraceEvent struct {
+	Kind string // "rel", "al", "apply", "flush"
+	Seq  msg.UpdateID
+	View msg.ViewID
+	Rows []msg.UpdateID // rows applied (Kind == "apply")
+	VUT  string
+}
+
+// Merge is the merge process. It implements msg.Node.
+type Merge struct {
+	group     int
+	algorithm Algorithm
+	strategy  Strategy
+
+	rows    map[msg.UpdateID]*row
+	rowSeqs []msg.UpdateID // live rows, ascending
+	cols    map[msg.ViewID]*column
+
+	// applySet/applyList implement PA's ApplyRows.
+	applySet  map[msg.UpdateID]bool
+	applyList []msg.UpdateID
+
+	// relayMode supports §3.2's alternative REL routing. With RELᵢ riding
+	// view-manager channels, they can arrive out of order and trail action
+	// lists; the merge then requires gap-free REL numbering (the
+	// integrator sends empty RELs for updates relevant to no view of this
+	// group) and blocks any application beyond relFrontier — the largest n
+	// with RELs 1..n received — because a batched list reaching past the
+	// frontier might cover an update whose other affected views are not
+	// yet known.
+	relayMode   bool
+	relSeen     map[msg.UpdateID]bool
+	relFrontier msg.UpdateID
+
+	stats Stats
+	trace func(TraceEvent)
+}
+
+// Option configures a Merge.
+type Option func(*Merge)
+
+// WithTrace installs a trace callback.
+func WithTrace(fn func(TraceEvent)) Option { return func(m *Merge) { m.trace = fn } }
+
+// WithRelayedRELs prepares the merge process for §3.2 relayed REL routing.
+func WithRelayedRELs() Option {
+	return func(m *Merge) {
+		m.relayMode = true
+		m.relSeen = make(map[msg.UpdateID]bool)
+	}
+}
+
+// New builds a merge process for group (0 for single-merge systems) running
+// algorithm with the given commit strategy. strategy must not be shared
+// between merge processes.
+func New(group int, algorithm Algorithm, strategy Strategy, opts ...Option) *Merge {
+	m := &Merge{
+		group:     group,
+		algorithm: algorithm,
+		strategy:  strategy,
+		rows:      make(map[msg.UpdateID]*row),
+		cols:      make(map[msg.ViewID]*column),
+		applySet:  make(map[msg.UpdateID]bool),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// ID implements msg.Node.
+func (m *Merge) ID() string { return msg.NodeMerge(m.group) }
+
+// Algorithm returns the configured algorithm.
+func (m *Merge) Algorithm() Algorithm { return m.algorithm }
+
+// Stats returns a copy of the counters.
+func (m *Merge) Stats() Stats {
+	s := m.stats
+	s.RowsLive = len(m.rows)
+	return s
+}
+
+// Handle implements msg.Node.
+func (m *Merge) Handle(in any, now int64) []msg.Outbound {
+	switch t := in.(type) {
+	case msg.RelevantSet:
+		return m.onRelevantSet(t, now)
+	case msg.ActionList:
+		return m.onActionList(t, now)
+	case msg.CommitAck:
+		return m.strategy.OnAck(t.ID, now)
+	case strategyTimer:
+		return m.strategy.OnTimer(t, now)
+	default:
+		return nil
+	}
+}
+
+// onRelevantSet allocates a VUT row (SPA/PA step "when the merge process
+// receives RELi") and processes any buffered action lists for it.
+func (m *Merge) onRelevantSet(rel msg.RelevantSet, now int64) []msg.Outbound {
+	m.stats.RELsReceived++
+	if m.algorithm == Forward {
+		return nil
+	}
+	if m.rows[rel.Seq] != nil {
+		panic(fmt.Sprintf("merge: duplicate REL%d", rel.Seq))
+	}
+	frontierAdvanced := false
+	if m.relayMode {
+		if m.relSeen[rel.Seq] {
+			panic(fmt.Sprintf("merge: duplicate REL%d", rel.Seq))
+		}
+		m.relSeen[rel.Seq] = true
+		for m.relSeen[m.relFrontier+1] {
+			delete(m.relSeen, m.relFrontier+1) // compact: frontier subsumes it
+			m.relFrontier++
+			frontierAdvanced = true
+		}
+	} else {
+		// Direct routing delivers RELs in sequence order on one channel:
+		// everything at or below the newest REL is known.
+		m.relFrontier = rel.Seq
+	}
+	r := &row{
+		seq:      rel.Seq,
+		commitAt: rel.CommitAt,
+		entries:  make(map[msg.ViewID]*entry, len(rel.Views)),
+		views:    append([]msg.ViewID(nil), rel.Views...),
+	}
+	sort.Slice(r.views, func(i, j int) bool { return r.views[i] < r.views[j] })
+	allGray := true
+	var joined []msg.UpdateID // live batch rows this late row joins
+	for _, v := range r.views {
+		col := m.col(v)
+		// §3.2 relayed routing: this RELᵢ may arrive after the (batched)
+		// action list that covered update i was already processed. The
+		// row's effect is inside that list's delta, so the entry starts
+		// red (tied to the still-live batch row) or gray (batch already
+		// committed) rather than white.
+		if rng, ok := col.coveredBy(rel.Seq); ok {
+			if m.rows[rng.upto] != nil {
+				r.entries[v] = &entry{color: Red, state: rng.upto}
+				col.reds = addSorted(col.reds, rel.Seq)
+				joined = append(joined, rng.upto)
+				allGray = false
+			} else {
+				r.entries[v] = &entry{color: Gray, state: rng.upto}
+			}
+			continue
+		}
+		r.entries[v] = &entry{color: White}
+		col.whites = addSorted(col.whites, rel.Seq)
+		allGray = false
+	}
+	m.rows[rel.Seq] = r
+	m.insertRowSeq(rel.Seq)
+	if len(m.rows) > m.stats.MaxRowsLive {
+		m.stats.MaxRowsLive = len(m.rows)
+	}
+	m.emitTrace("rel", rel.Seq, "", nil)
+
+	// Drain every column's waiting queue: lists process strictly in
+	// generation order, so each queue drains from the front while the
+	// front's REL has arrived.
+	var out []msg.Outbound
+	for _, v := range r.views {
+		out = append(out, m.drainColumn(m.col(v), now)...)
+	}
+	switch {
+	case len(r.views) == 0:
+		// No relevant views (the integrator forwards empty RELs): apply an
+		// empty transaction under SPA so the state sequence stays complete.
+		out = append(out, m.dispatchRow(rel.Seq, now)...)
+	case allGray && m.rows[rel.Seq] != nil:
+		// Every entry's list was already applied before this late RELᵢ
+		// arrived: nothing further will reference the row.
+		m.purgeRow(rel.Seq)
+		return out
+	}
+	// A late row that joined live batch rows may complete their closure.
+	seen := make(map[msg.UpdateID]bool, len(joined))
+	for _, b := range joined {
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, m.dispatchRow(b, now)...)
+		}
+	}
+	// Advancing the REL frontier may unblock rows that were held only by
+	// the frontier guard.
+	if frontierAdvanced {
+		candidates := make([]msg.UpdateID, 0, len(m.rowSeqs))
+		for _, seq := range m.rowSeqs {
+			if seq > m.relFrontier {
+				break
+			}
+			candidates = append(candidates, seq)
+		}
+		for _, seq := range candidates {
+			if m.rows[seq] != nil {
+				out = append(out, m.dispatchRow(seq, now)...)
+			}
+		}
+	}
+	return out
+}
+
+// onActionList buffers or processes ALˣᵢ, after unpacking any piggybacked
+// RELᵢ sets (§3.2 relayed routing) — those logically precede the list.
+func (m *Merge) onActionList(al msg.ActionList, now int64) []msg.Outbound {
+	var out []msg.Outbound
+	if len(al.Rels) > 0 {
+		rels := al.Rels
+		al.Rels = nil
+		for _, r := range rels {
+			out = append(out, m.onRelevantSet(r, now)...)
+		}
+		return append(out, m.onActionList(al, now)...)
+	}
+	m.stats.ALsReceived++
+	h := heldAL{al: al, receivedAt: now}
+	if m.algorithm == Forward {
+		// §6.3: pass along everything; convergence only.
+		return m.submitRows(now, []msg.UpdateID{al.Upto}, []heldAL{h}, al.View)
+	}
+	col := m.col(al.View)
+	if len(col.waiting) > 0 || m.rows[al.Upto] == nil {
+		// Either this list's own RELᵢ has not arrived (§4: "the merge
+		// process may receive a list ALxj without having received RELj"),
+		// or an earlier list from the same manager is still waiting —
+		// processing out of generation order would mis-cover white rows.
+		col.waiting = append(col.waiting, h)
+		m.stats.HeldALs++
+		m.emitTrace("al", al.Upto, al.View, nil)
+		return nil
+	}
+	return m.processAction(h, now)
+}
+
+// processAction implements ProcessAction(ALxi) for the configured
+// algorithm.
+func (m *Merge) processAction(h heldAL, now int64) []msg.Outbound {
+	al := h.al
+	r := m.rows[al.Upto]
+	e := r.entries[al.View]
+	if e == nil {
+		panic(fmt.Sprintf("merge: %s arrived but view %s is not relevant to update %d",
+			al, al.View, al.Upto))
+	}
+	col := m.col(al.View)
+	switch m.algorithm {
+	case SPA:
+		// A complete view manager sends exactly one AL per relevant update,
+		// in order; its earliest white must therefore be this row.
+		if e.color != White {
+			panic(fmt.Sprintf("merge: duplicate %s", al))
+		}
+		whites := col.takeWhitesUpTo(al.Upto)
+		if len(whites) != 1 || whites[0] != al.Upto {
+			panic(fmt.Sprintf("merge: SPA requires complete view managers, but %s skips rows %v", al, whites))
+		}
+		e.color = Red
+		col.reds = addSorted(col.reds, al.Upto)
+	case PA:
+		// §5: the list covers every white row ≤ i in this column; they all
+		// turn red with state = i. The covered range is remembered so a
+		// row whose relayed RELᵢ arrives later (§3.2 alternative routing)
+		// can still be tied to this list.
+		if e.color != White {
+			panic(fmt.Sprintf("merge: duplicate %s", al))
+		}
+		for _, w := range col.takeWhitesUpTo(al.Upto) {
+			we := m.rows[w].entries[al.View]
+			we.color = Red
+			we.state = al.Upto
+			col.reds = addSorted(col.reds, w)
+		}
+		col.covered = append(col.covered, coveredRange{from: al.From, upto: al.Upto})
+	}
+	r.wt = append(r.wt, h)
+	m.emitTrace("al", al.Upto, al.View, nil)
+	return m.dispatchRow(al.Upto, now)
+}
+
+// drainColumn processes the column's waiting action lists, strictly in
+// generation order, for as long as the front list's row exists.
+func (m *Merge) drainColumn(col *column, now int64) []msg.Outbound {
+	var out []msg.Outbound
+	for len(col.waiting) > 0 && m.rows[col.waiting[0].al.Upto] != nil {
+		h := col.waiting[0]
+		col.waiting = col.waiting[1:]
+		m.stats.HeldALs--
+		out = append(out, m.processAction(h, now)...)
+	}
+	return out
+}
+
+// dispatchRow runs the algorithm-specific ProcessRow entry point.
+func (m *Merge) dispatchRow(i msg.UpdateID, now int64) []msg.Outbound {
+	switch m.algorithm {
+	case SPA:
+		return m.spaProcessRow(i, now)
+	case PA:
+		out, _ := m.paTryRow(i, now)
+		return out
+	default:
+		return nil
+	}
+}
+
+func (m *Merge) col(v msg.ViewID) *column {
+	c := m.cols[v]
+	if c == nil {
+		c = &column{}
+		m.cols[v] = c
+	}
+	return c
+}
+
+func (m *Merge) insertRowSeq(i msg.UpdateID) {
+	n := sort.Search(len(m.rowSeqs), func(k int) bool { return m.rowSeqs[k] >= i })
+	m.rowSeqs = append(m.rowSeqs, 0)
+	copy(m.rowSeqs[n+1:], m.rowSeqs[n:])
+	m.rowSeqs[n] = i
+}
+
+func (m *Merge) purgeRow(i msg.UpdateID) {
+	delete(m.rows, i)
+	n := sort.Search(len(m.rowSeqs), func(k int) bool { return m.rowSeqs[k] >= i })
+	if n < len(m.rowSeqs) && m.rowSeqs[n] == i {
+		m.rowSeqs = append(m.rowSeqs[:n], m.rowSeqs[n+1:]...)
+	}
+	m.emitTrace("purge", i, "", nil)
+}
+
+// submitRows builds one warehouse transaction from the given rows' action
+// lists and hands it to the commit strategy. ALs within the transaction are
+// ordered by (Upto, view) so dependent actions apply in source order.
+func (m *Merge) submitRows(now int64, rows []msg.UpdateID, held []heldAL, _ msg.ViewID) []msg.Outbound {
+	sort.Slice(held, func(a, b int) bool {
+		if held[a].al.Upto != held[b].al.Upto {
+			return held[a].al.Upto < held[b].al.Upto
+		}
+		return held[a].al.View < held[b].al.View
+	})
+	var writes []msg.ViewWrite
+	for _, h := range held {
+		writes = append(writes, msg.ViewWrite{View: h.al.View, Upto: h.al.Upto, Delta: h.al.Delta, Staged: h.al.Staged})
+		if !h.al.Staged {
+			m.stats.DeltaTuples += h.al.Delta.Size()
+		}
+		m.stats.HoldCount++
+		lat := now - h.receivedAt
+		m.stats.HoldSum += lat
+		if lat > m.stats.HoldMax {
+			m.stats.HoldMax = lat
+		}
+	}
+	// CommitAt carries the earliest source commit covered, for freshness
+	// accounting downstream.
+	commitAt := int64(0)
+	for k, i := range rows {
+		if r := m.rows[i]; r != nil && (k == 0 || r.commitAt < commitAt) {
+			commitAt = r.commitAt
+		}
+	}
+	txn := msg.WarehouseTxn{
+		Rows:     append([]msg.UpdateID(nil), rows...),
+		Writes:   writes,
+		CommitAt: commitAt,
+	}
+	m.stats.TxnsSubmitted++
+	m.stats.RowsApplied += int64(len(rows))
+	m.emitTrace("apply", 0, "", rows)
+	return m.strategy.Submit(txn, now)
+}
+
+// mergeDeltas collapses several view writes to the same view into one,
+// preserving order. Used by the batched commit strategy. Staged writes
+// refer to out-of-band data the merge process never sees, so they are
+// kept as standalone entries and break the mergeability of their view.
+func mergeDeltas(writes []msg.ViewWrite) []msg.ViewWrite {
+	byView := make(map[msg.ViewID]int)
+	var out []msg.ViewWrite
+	for _, w := range writes {
+		if w.Staged {
+			delete(byView, w.View) // later writes must not merge across it
+			out = append(out, w)
+			continue
+		}
+		if k, ok := byView[w.View]; ok {
+			d := out[k].Delta.Clone()
+			if err := d.Merge(w.Delta); err != nil {
+				panic(fmt.Sprintf("merge: batching incompatible deltas for view %s: %v", w.View, err))
+			}
+			out[k].Delta = d
+			if w.Upto > out[k].Upto {
+				out[k].Upto = w.Upto
+			}
+			continue
+		}
+		byView[w.View] = len(out)
+		out = append(out, w)
+	}
+	return out
+}
+
+// RenderVUT renders the live VUT like the paper's tables: one line per row,
+// entries as w/r/g (black shown as b), with PA states as (color,state).
+func (m *Merge) RenderVUT() string {
+	views := make([]msg.ViewID, 0, len(m.cols))
+	for v := range m.cols {
+		views = append(views, v)
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i] < views[j] })
+	var b strings.Builder
+	for _, i := range m.rowSeqs {
+		r := m.rows[i]
+		fmt.Fprintf(&b, "U%d:", i)
+		for _, v := range views {
+			e := r.entries[v]
+			if e == nil {
+				b.WriteString(" b")
+				continue
+			}
+			if m.algorithm == PA {
+				fmt.Fprintf(&b, " (%s,%d)", e.color, e.state)
+			} else {
+				fmt.Fprintf(&b, " %s", e.color)
+			}
+		}
+		nAL := len(r.wt)
+		fmt.Fprintf(&b, " |WT|=%d\n", nAL)
+	}
+	return b.String()
+}
+
+func (m *Merge) emitTrace(kind string, seq msg.UpdateID, view msg.ViewID, rows []msg.UpdateID) {
+	if m.trace == nil {
+		return
+	}
+	m.trace(TraceEvent{Kind: kind, Seq: seq, View: view, Rows: rows, VUT: m.RenderVUT()})
+}

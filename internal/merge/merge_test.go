@@ -1,0 +1,392 @@
+package merge
+
+import (
+	"reflect"
+	"testing"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+// recorder is a Strategy that captures submitted transactions.
+type recorder struct {
+	txns []msg.WarehouseTxn
+}
+
+func (r *recorder) Submit(t msg.WarehouseTxn, now int64) []msg.Outbound {
+	t.ID = msg.TxnID(len(r.txns) + 1)
+	r.txns = append(r.txns, t)
+	return nil
+}
+func (r *recorder) OnAck(msg.TxnID, int64) []msg.Outbound       { return nil }
+func (r *recorder) OnTimer(strategyTimer, int64) []msg.Outbound { return nil }
+func (r *recorder) Pending() int                                { return 0 }
+func (r *recorder) Name() string                                { return "recorder" }
+
+var alSchema = relation.MustSchema("X:int")
+
+func al(view msg.ViewID, from, upto msg.UpdateID) msg.ActionList {
+	return msg.ActionList{
+		View:  view,
+		From:  from,
+		Upto:  upto,
+		Delta: relation.InsertDelta(alSchema, relation.T(int(upto))),
+		Level: msg.Complete,
+	}
+}
+
+func rel(seq msg.UpdateID, views ...msg.ViewID) msg.RelevantSet {
+	return msg.RelevantSet{Seq: seq, Views: views}
+}
+
+func feed(t *testing.T, m *Merge, msgs ...any) {
+	t.Helper()
+	for _, x := range msgs {
+		m.Handle(x, 0)
+	}
+}
+
+// rowsOf extracts the Rows field of each recorded transaction.
+func rowsOf(r *recorder) [][]msg.UpdateID {
+	out := make([][]msg.UpdateID, len(r.txns))
+	for i, t := range r.txns {
+		out[i] = t.Rows
+	}
+	return out
+}
+
+// writesOf renders each transaction's writes as view@upto strings.
+func writesOf(r *recorder) [][]string {
+	out := make([][]string, len(r.txns))
+	for i, t := range r.txns {
+		for _, w := range t.Writes {
+			out[i] = append(out[i], string(w.View)+"@"+string(rune('0'+w.Upto)))
+		}
+	}
+	return out
+}
+
+// --- Paper Example 2: VUT construction under SPA -------------------------
+
+func TestExample2VUTConstruction(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, SPA, rec)
+	// Views: V1 = R⋈S, V2 = S⋈T⋈Q, V3 = Q. Updates: U1 on S, U2 on Q.
+	feed(t, m, rel(1, "V1", "V2"), rel(2, "V2", "V3"))
+	want := "U1: w w b |WT|=0\nU2: b w w |WT|=0\n"
+	if got := m.RenderVUT(); got != want {
+		t.Errorf("initial VUT:\n%s\nwant:\n%s", got, want)
+	}
+	// AL^2_1 arrives: entry turns red, list saved in WT1, nothing applies.
+	feed(t, m, al("V2", 1, 1))
+	want = "U1: w r b |WT|=1\nU2: b w w |WT|=0\n"
+	if got := m.RenderVUT(); got != want {
+		t.Errorf("after AL21:\n%s\nwant:\n%s", got, want)
+	}
+	if len(rec.txns) != 0 {
+		t.Errorf("nothing should be applied yet, got %d txns", len(rec.txns))
+	}
+	// AL^1_1 completes row 1: both views update together in one txn.
+	feed(t, m, al("V1", 1, 1))
+	if len(rec.txns) != 1 {
+		t.Fatalf("row 1 should apply, got %d txns", len(rec.txns))
+	}
+	if got := writesOf(rec)[0]; !reflect.DeepEqual(got, []string{"V1@1", "V2@1"}) {
+		t.Errorf("txn writes = %v", got)
+	}
+}
+
+// --- Paper Example 3: full SPA trace --------------------------------------
+
+func TestExample3SPATrace(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, SPA, rec)
+	// Views: V1 = R⋈S, V2 = S⋈T, V3 = Q (disjoint from the others).
+	// Updates: U1 on S, U2 on Q, U3 on T.
+	// Arrival order from the paper: REL1, AL21, REL2, REL3, AL32, AL23, AL11.
+	feed(t, m, rel(1, "V1", "V2"))
+	feed(t, m, al("V2", 1, 1)) // t1: saved, row 1 blocked on V1
+	feed(t, m, rel(2, "V3"))
+	feed(t, m, rel(3, "V2"))
+	if len(rec.txns) != 0 {
+		t.Fatalf("premature application: %v", rowsOf(rec))
+	}
+	// t4/t5: AL32 arrives; row 2 applies even though row 1 is still waiting,
+	// because U1 is irrelevant (black) to V3.
+	feed(t, m, al("V3", 2, 2))
+	if len(rec.txns) != 1 || !reflect.DeepEqual(rec.txns[0].Rows, []msg.UpdateID{2}) {
+		t.Fatalf("after AL32 want row 2 applied, got %v", rowsOf(rec))
+	}
+	// t6: row 2 purged.
+	want := "U1: w r b |WT|=1\nU3: b w b |WT|=0\n"
+	if got := m.RenderVUT(); got != want {
+		t.Errorf("VUT after row-2 purge:\n%s\nwant:\n%s", got, want)
+	}
+	// t7: AL23 arrives; row 3 blocked — an earlier red exists in V2's column.
+	feed(t, m, al("V2", 3, 3))
+	if len(rec.txns) != 1 {
+		t.Fatalf("row 3 must wait for row 1, got %v", rowsOf(rec))
+	}
+	// t8-t11: AL11 arrives; row 1 applies, unblocking row 3.
+	feed(t, m, al("V1", 1, 1))
+	if len(rec.txns) != 3 {
+		t.Fatalf("want 3 txns, got %v", rowsOf(rec))
+	}
+	if !reflect.DeepEqual(rowsOf(rec), [][]msg.UpdateID{{2}, {1}, {3}}) {
+		t.Errorf("apply order = %v, want [[2] [1] [3]]", rowsOf(rec))
+	}
+	if got := writesOf(rec)[1]; !reflect.DeepEqual(got, []string{"V1@1", "V2@1"}) {
+		t.Errorf("WT1 writes = %v", got)
+	}
+	if got := m.RenderVUT(); got != "" {
+		t.Errorf("VUT should be empty at the end, got:\n%s", got)
+	}
+	st := m.Stats()
+	if st.RELsReceived != 3 || st.ALsReceived != 4 || st.TxnsSubmitted != 3 || st.RowsLive != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// --- AL before REL buffering (§4: "may receive ALxj without RELj") --------
+
+func TestSPAActionListBeforeREL(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, SPA, rec)
+	feed(t, m, al("V1", 1, 1)) // buffered
+	if len(rec.txns) != 0 {
+		t.Fatal("AL without REL must be buffered")
+	}
+	if st := m.Stats(); st.HeldALs != 1 {
+		t.Errorf("HeldALs = %d", st.HeldALs)
+	}
+	feed(t, m, rel(1, "V1"))
+	if len(rec.txns) != 1 || !reflect.DeepEqual(rec.txns[0].Rows, []msg.UpdateID{1}) {
+		t.Fatalf("buffered AL should apply on REL arrival: %v", rowsOf(rec))
+	}
+	if st := m.Stats(); st.HeldALs != 0 {
+		t.Errorf("HeldALs after = %d", st.HeldALs)
+	}
+}
+
+// --- Paper Example 4: the scenario where SPA breaks, handled by PA --------
+
+func TestExample4IntertwinedBatch(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, PA, rec)
+	// Views: V1 = R⋈S, V2 = S⋈T⋈Q, V3 = Q.
+	// Updates: U1 on S, U2 on Q, U3 on S.
+	feed(t, m, rel(1, "V1", "V2"), rel(2, "V2", "V3"), rel(3, "V1", "V2"))
+	// AL^1_3 covers U1 and U3 for V1 (intertwined batch).
+	feed(t, m, al("V1", 1, 3))
+	// All remaining ALs for U1 and U2 arrive.
+	feed(t, m, al("V2", 1, 1), al("V2", 2, 2), al("V3", 2, 2))
+	// SPA would now (incorrectly) apply rows 1 and 2; PA must hold
+	// everything because AL^2_3 is missing and row 1 is tied to row 3.
+	if len(rec.txns) != 0 {
+		t.Fatalf("PA must hold intertwined rows, got %v", rowsOf(rec))
+	}
+	// The missing list arrives: all three rows apply as one transaction.
+	feed(t, m, al("V2", 3, 3))
+	if len(rec.txns) != 1 {
+		t.Fatalf("want a single joint txn, got %v", rowsOf(rec))
+	}
+	if !reflect.DeepEqual(rec.txns[0].Rows, []msg.UpdateID{1, 2, 3}) {
+		t.Errorf("joint txn rows = %v", rec.txns[0].Rows)
+	}
+	if got := m.RenderVUT(); got != "" {
+		t.Errorf("VUT should be empty, got:\n%s", got)
+	}
+}
+
+// --- Paper Example 5: full PA trace ----------------------------------------
+
+func TestExample5PATrace(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, PA, rec)
+	// Views: V1 = R⋈S, V2 = S⋈T⋈Q, V3 = Q.
+	// Updates: U1 on S, U2 on Q, U3 on Q.
+	// Arrival: REL1, REL2, REL3, AL21, AL23, AL32, AL11, AL33.
+	feed(t, m, rel(1, "V1", "V2"), rel(2, "V2", "V3"), rel(3, "V2", "V3"))
+	want := "U1: (w,0) (w,0) b |WT|=0\nU2: b (w,0) (w,0) |WT|=0\nU3: b (w,0) (w,0) |WT|=0\n"
+	if got := m.RenderVUT(); got != want {
+		t.Errorf("t0 VUT:\n%s\nwant:\n%s", got, want)
+	}
+	// t1: AL^2_1.
+	feed(t, m, al("V2", 1, 1))
+	want = "U1: (w,0) (r,1) b |WT|=1\nU2: b (w,0) (w,0) |WT|=0\nU3: b (w,0) (w,0) |WT|=0\n"
+	if got := m.RenderVUT(); got != want {
+		t.Errorf("t1 VUT:\n%s\nwant:\n%s", got, want)
+	}
+	// t2: AL^2_3 covers U2 and U3 for V2: both entries red with state 3.
+	feed(t, m, al("V2", 2, 3))
+	want = "U1: (w,0) (r,1) b |WT|=1\nU2: b (r,3) (w,0) |WT|=0\nU3: b (r,3) (w,0) |WT|=1\n"
+	if got := m.RenderVUT(); got != want {
+		t.Errorf("t2 VUT:\n%s\nwant:\n%s", got, want)
+	}
+	// t3: AL^3_2; ProcessRow(2) recurses into row 1, which fails (V1 white).
+	feed(t, m, al("V3", 2, 2))
+	if len(rec.txns) != 0 {
+		t.Fatalf("nothing may apply before AL11, got %v", rowsOf(rec))
+	}
+	// t4/t5: AL^1_1 arrives; row 1 applies alone; row 3 attempted and fails.
+	feed(t, m, al("V1", 1, 1))
+	if len(rec.txns) != 1 || !reflect.DeepEqual(rec.txns[0].Rows, []msg.UpdateID{1}) {
+		t.Fatalf("after AL11 want row 1 applied, got %v", rowsOf(rec))
+	}
+	want = "U2: b (r,3) (r,2) |WT|=1\nU3: b (r,3) (w,0) |WT|=1\n"
+	if got := m.RenderVUT(); got != want {
+		t.Errorf("t5 VUT:\n%s\nwant:\n%s", got, want)
+	}
+	// t6/t7: AL^3_3 arrives; rows 2 and 3 apply together in one transaction
+	// (the recursive ProcessRow(3)→ProcessRow(2)→ProcessRow(3) case).
+	feed(t, m, al("V3", 3, 3))
+	if len(rec.txns) != 2 {
+		t.Fatalf("want joint txn for rows 2,3, got %v", rowsOf(rec))
+	}
+	if !reflect.DeepEqual(rec.txns[1].Rows, []msg.UpdateID{2, 3}) {
+		t.Errorf("joint rows = %v", rec.txns[1].Rows)
+	}
+	if got := m.RenderVUT(); got != "" {
+		t.Errorf("VUT should be empty, got:\n%s", got)
+	}
+}
+
+// --- SPA with multiple views sharing columns: out-of-order independence ---
+
+func TestSPAIndependentRowsApplyOutOfOrder(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, SPA, rec)
+	feed(t, m, rel(1, "V1"), rel(2, "V2"))
+	// Row 2's AL arrives first; rows touch disjoint views, so row 2 applies
+	// before row 1 (the paper's prompt behaviour, Example 3 t5).
+	feed(t, m, al("V2", 2, 2))
+	feed(t, m, al("V1", 1, 1))
+	if !reflect.DeepEqual(rowsOf(rec), [][]msg.UpdateID{{2}, {1}}) {
+		t.Errorf("apply order = %v", rowsOf(rec))
+	}
+}
+
+func TestSPADependentRowsApplyInOrder(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, SPA, rec)
+	feed(t, m, rel(1, "V1"), rel(2, "V1"))
+	// Same column: row 2's AL arrives first but must wait for row 1.
+	feed(t, m, al("V1", 1, 1), al("V1", 2, 2))
+	if !reflect.DeepEqual(rowsOf(rec), [][]msg.UpdateID{{1}, {2}}) {
+		t.Errorf("apply order = %v", rowsOf(rec))
+	}
+}
+
+func TestSPAEmptyRelevantSetAppliesEmptyTxn(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, SPA, rec)
+	feed(t, m, msg.RelevantSet{Seq: 1})
+	if len(rec.txns) != 1 || len(rec.txns[0].Writes) != 0 || !reflect.DeepEqual(rec.txns[0].Rows, []msg.UpdateID{1}) {
+		t.Errorf("empty REL should become an empty txn: %+v", rec.txns)
+	}
+	if got := m.RenderVUT(); got != "" {
+		t.Errorf("VUT should be empty, got %q", got)
+	}
+}
+
+func TestSPARejectsProtocolViolations(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, SPA, rec)
+	feed(t, m, rel(1, "V1"))
+	// An AL for a view not in RELi is a protocol violation.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AL for irrelevant view should panic")
+			}
+		}()
+		feed(t, m, al("V2", 1, 1))
+	}()
+	// A batched AL under SPA is a protocol violation.
+	rec2 := &recorder{}
+	m2 := New(0, SPA, rec2)
+	feed(t, m2, rel(1, "V1"), rel(2, "V1"))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("batched AL under SPA should panic")
+			}
+		}()
+		feed(t, m2, al("V1", 1, 2))
+	}()
+	// Duplicate REL is a protocol violation.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate REL should panic")
+			}
+		}()
+		feed(t, m, rel(1, "V1"))
+	}()
+}
+
+func TestForwardModePassesThrough(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, Forward, rec)
+	feed(t, m, rel(1, "V1")) // ignored
+	feed(t, m, al("V1", 1, 1), al("V2", 1, 1))
+	if len(rec.txns) != 2 {
+		t.Fatalf("forward mode should pass ALs through, got %d txns", len(rec.txns))
+	}
+	if rec.txns[0].Writes[0].View != "V1" || rec.txns[1].Writes[0].View != "V2" {
+		t.Errorf("forward txns = %+v", rec.txns)
+	}
+}
+
+func TestForLevel(t *testing.T) {
+	cases := []struct {
+		levels []msg.Level
+		want   Algorithm
+	}{
+		{[]msg.Level{msg.Complete, msg.Complete}, SPA},
+		{[]msg.Level{msg.Complete, msg.Strong}, PA},
+		{[]msg.Level{msg.Strong}, PA},
+		{[]msg.Level{msg.Strong, msg.Convergent}, Forward},
+		{nil, SPA},
+	}
+	for _, c := range cases {
+		if got := ForLevel(c.levels...); got != c.want {
+			t.Errorf("ForLevel(%v) = %v, want %v", c.levels, got, c.want)
+		}
+	}
+}
+
+func TestAlgorithmAndColorStrings(t *testing.T) {
+	if SPA.String() != "SPA" || PA.String() != "PA" || Forward.String() != "forward" {
+		t.Error("Algorithm.String mismatch")
+	}
+	if White.String() != "w" || Red.String() != "r" || Gray.String() != "g" {
+		t.Error("Color.String mismatch")
+	}
+}
+
+func TestTraceEventsEmitted(t *testing.T) {
+	var events []TraceEvent
+	rec := &recorder{}
+	m := New(0, SPA, rec, WithTrace(func(e TraceEvent) { events = append(events, e) }))
+	feed(t, m, rel(1, "V1"), al("V1", 1, 1))
+	var kinds []string
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+	}
+	if !reflect.DeepEqual(kinds, []string{"rel", "al", "apply", "purge"}) {
+		t.Errorf("trace kinds = %v", kinds)
+	}
+}
+
+func TestPAHoldLatencyStats(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, PA, rec)
+	m.Handle(rel(1, "V1", "V2"), 0)
+	m.Handle(al("V1", 1, 1), 10)
+	m.Handle(al("V2", 1, 1), 50)
+	st := m.Stats()
+	if st.HoldCount != 2 || st.HoldMax != 40 || st.HoldSum != 40 {
+		t.Errorf("hold stats = %+v", st)
+	}
+}

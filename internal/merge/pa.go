@@ -1,0 +1,155 @@
+package merge
+
+import (
+	"sort"
+
+	"whips/internal/msg"
+)
+
+// paTryRow runs one painting attempt of PA's ProcessRow(i): it verifies the
+// dependency closure of row i (accumulating the paper's ApplyRows set), and
+// if the whole closure is applicable, applies it as a single warehouse
+// transaction and cascades to newly unblocked rows (line 9).
+//
+// A note on fidelity: Algorithm 2 as printed lets a recursive call reach
+// lines 6–8 and apply ApplyRows while an outer call is still verifying its
+// own row's remaining columns. With the arrival order of Example 4
+// (AL¹₃ before AL²₂ and AL²₃) that would apply AL²₃ before AL²₂ —
+// reordering one view manager's lists. We therefore implement the reading
+// consistent with the paper's own Example 5 narrative and with Theorem 5.1:
+// lines 1–5 are pure verification (no state change other than ApplyRows),
+// and lines 6–10 run once, after the closure fully verifies. The applied
+// transactions are identical on every trace the paper works out.
+func (m *Merge) paTryRow(i msg.UpdateID, now int64) ([]msg.Outbound, bool) {
+	m.resetApplyRows()
+	if !m.paVerify(i) {
+		m.resetApplyRows()
+		return nil, false
+	}
+	if len(m.applyList) == 0 {
+		// The row was already applied and purged; nothing to do.
+		return nil, true
+	}
+	return m.paApply(now), true
+}
+
+func (m *Merge) resetApplyRows() {
+	for k := range m.applySet {
+		delete(m.applySet, k)
+	}
+	m.applyList = m.applyList[:0]
+}
+
+// paVerify is lines 1–5 of Algorithm 2: can row i — together with every
+// row its action lists are tied to — be applied now?
+func (m *Merge) paVerify(i msg.UpdateID) bool {
+	// Line 1: already part of the closure being verified.
+	if m.applySet[i] {
+		return true
+	}
+	r := m.rows[i]
+	if r == nil {
+		// Applied and purged earlier; imposes no further requirement.
+		return true
+	}
+	// Frontier guard (§3.2 relayed routing): beyond the contiguous-REL
+	// frontier, a batched list may cover updates whose other affected
+	// views are not yet known; applying it would split their atomic unit.
+	if i > m.relFrontier {
+		return false
+	}
+	// Line 2: a white entry means a covering action list is missing.
+	for _, v := range r.views {
+		if r.entries[v].color == White {
+			return false
+		}
+	}
+	// Line 3.
+	m.applySet[i] = true
+	m.applyList = append(m.applyList, i)
+	// Line 4: lists from one view manager must apply in generation order,
+	// so every earlier unapplied (red) row in each red entry's column joins
+	// the closure. An earlier list still buffered awaiting its relayed
+	// RELᵢ (§3.2 alternative routing) blocks outright.
+	for _, v := range r.views {
+		if r.entries[v].color != Red {
+			continue
+		}
+		col := m.col(v)
+		if col.hasBufferedBefore(i) {
+			return false
+		}
+		for _, i2 := range col.redsBefore(i) {
+			if !m.paVerify(i2) {
+				return false
+			}
+		}
+	}
+	// Line 5: an entry that jumps to a later state (intertwined batch)
+	// drags that later row in: its actions must apply in the same
+	// transaction.
+	for _, v := range r.views {
+		e := r.entries[v]
+		if e.color == Red && e.state > i {
+			if !m.paVerify(e.state) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// paApply is lines 6–10 of Algorithm 2, applied to the verified closure.
+func (m *Merge) paApply(now int64) []msg.Outbound {
+	applied := append([]msg.UpdateID(nil), m.applyList...)
+	sort.Slice(applied, func(a, b int) bool { return applied[a] < applied[b] })
+	// Line 6: paint red entries of the closure gray.
+	var held []heldAL
+	for _, j := range applied {
+		rj := m.rows[j]
+		for _, v := range rj.views {
+			e := rj.entries[v]
+			if e.color != Red {
+				continue
+			}
+			e.color = Gray
+			m.col(v).removeRed(j)
+		}
+		held = append(held, rj.wt...)
+	}
+	// Line 9's nextRed targets, computed after every red of the closure is
+	// consumed so the scan cannot point back into the transaction itself.
+	var next []msg.UpdateID
+	for _, j := range applied {
+		rj := m.rows[j]
+		for _, v := range rj.views {
+			if rj.entries[v].color != Gray {
+				continue
+			}
+			if n := m.col(v).nextRedAfter(j); n != 0 {
+				next = append(next, n)
+			}
+		}
+	}
+	// Line 7: one warehouse transaction for the whole closure.
+	out := m.submitRows(now, applied, held, "")
+	// Line 8.
+	m.resetApplyRows()
+	// Line 10 (purging first keeps line 9's fresh attempts on a clean
+	// table; every purged row is all-gray/black by construction).
+	for _, j := range applied {
+		m.purgeRow(j)
+	}
+	// Line 9: each unblocked row gets a fresh painting attempt with its own
+	// ApplyRows.
+	seen := make(map[msg.UpdateID]bool, len(next))
+	for _, n := range next {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		o, _ := m.paTryRow(n, now)
+		out = append(out, o...)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package merge
+
+import (
+	"fmt"
+	"sort"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+)
+
+// Partition groups views such that views in different groups share no base
+// relation (§6.1: "partition view managers into groups such that base
+// relations used in the views of one group are disjoint with those used in
+// the views of other groups"). Each group can then be coordinated by its
+// own merge process with no cross-group consistency loss for single-group
+// transactions.
+//
+// The returned map assigns each view a group number 0..n-1; group numbers
+// are assigned in order of each group's smallest view id, so the result is
+// deterministic.
+func Partition(views map[msg.ViewID]expr.Expr) map[msg.ViewID]int {
+	ids := make([]msg.ViewID, 0, len(views))
+	for id := range views {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Union-find over views, merged through shared base relations.
+	parent := make(map[msg.ViewID]msg.ViewID, len(ids))
+	var find func(msg.ViewID) msg.ViewID
+	find = func(v msg.ViewID) msg.ViewID {
+		if parent[v] != v {
+			parent[v] = find(parent[v])
+		}
+		return parent[v]
+	}
+	union := func(a, b msg.ViewID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for _, id := range ids {
+		parent[id] = id
+	}
+	byRelation := make(map[string]msg.ViewID)
+	for _, id := range ids {
+		for _, rel := range views[id].BaseRelations() {
+			if first, ok := byRelation[rel]; ok {
+				union(first, id)
+			} else {
+				byRelation[rel] = id
+			}
+		}
+	}
+	groupOf := make(map[msg.ViewID]int, len(ids))
+	next := 0
+	rootGroup := make(map[msg.ViewID]int)
+	for _, id := range ids {
+		r := find(id)
+		g, ok := rootGroup[r]
+		if !ok {
+			g = next
+			next++
+			rootGroup[r] = g
+		}
+		groupOf[id] = g
+	}
+	return groupOf
+}
+
+// CheckPartition verifies that an explicit view→group assignment is a
+// legal §6.1 partition: no base relation is read by views in two groups.
+func CheckPartition(views map[msg.ViewID]expr.Expr, groups map[msg.ViewID]int) error {
+	owner := make(map[string]int)
+	ownerView := make(map[string]msg.ViewID)
+	ids := make([]msg.ViewID, 0, len(views))
+	for id := range views {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		g, ok := groups[id]
+		if !ok {
+			return fmt.Errorf("merge: view %s has no group assignment", id)
+		}
+		for _, rel := range views[id].BaseRelations() {
+			if prev, seen := owner[rel]; seen && prev != g {
+				return fmt.Errorf("merge: base relation %q is read by view %s (group %d) and view %s (group %d); groups must have disjoint base relations",
+					rel, ownerView[rel], prev, id, g)
+			}
+			owner[rel] = g
+			ownerView[rel] = id
+		}
+	}
+	return nil
+}
+
+// Groups returns the number of groups in an assignment.
+func Groups(assignment map[msg.ViewID]int) int {
+	seen := make(map[int]bool)
+	for _, g := range assignment {
+		seen[g] = true
+	}
+	return len(seen)
+}

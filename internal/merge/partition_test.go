@@ -1,0 +1,116 @@
+package merge
+
+import (
+	"testing"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+var (
+	prSchema = relation.MustSchema("A:int", "B:int")
+	psSchema = relation.MustSchema("B:int", "C:int")
+	ptSchema = relation.MustSchema("C:int", "D:int")
+	pqSchema = relation.MustSchema("E:int")
+)
+
+func TestPartitionFigure3(t *testing.T) {
+	// Figure 3: V1 = R, V2 = S⋈T share nothing with V3 = Q... in the figure
+	// V1=R and V2=S⋈T are in one merge group only if they share relations;
+	// they do not, so the partition splits all three apart — except the
+	// figure groups V1,V2 under MP1. We reproduce the disjointness rule:
+	// groups are connected components of the shared-base-relation graph.
+	views := map[msg.ViewID]expr.Expr{
+		"V1": expr.Scan("R", prSchema),
+		"V2": expr.MustJoin(expr.Scan("S", psSchema), expr.Scan("T", ptSchema)),
+		"V3": expr.Scan("Q", pqSchema),
+	}
+	groups := Partition(views)
+	if Groups(groups) != 3 {
+		t.Errorf("disjoint views should form 3 groups: %v", groups)
+	}
+	if err := CheckPartition(views, groups); err != nil {
+		t.Errorf("computed partition must validate: %v", err)
+	}
+}
+
+func TestPartitionSharedRelationsMerge(t *testing.T) {
+	// V1 = R⋈S and V2 = S⋈T share S; V3 = Q is alone.
+	views := map[msg.ViewID]expr.Expr{
+		"V1": expr.MustJoin(expr.Scan("R", prSchema), expr.Scan("S", psSchema)),
+		"V2": expr.MustJoin(expr.Scan("S", psSchema), expr.Scan("T", ptSchema)),
+		"V3": expr.Scan("Q", pqSchema),
+	}
+	groups := Partition(views)
+	if groups["V1"] != groups["V2"] {
+		t.Errorf("V1 and V2 share S and must be grouped: %v", groups)
+	}
+	if groups["V3"] == groups["V1"] {
+		t.Errorf("V3 is disjoint and must be separate: %v", groups)
+	}
+	if Groups(groups) != 2 {
+		t.Errorf("want 2 groups: %v", groups)
+	}
+}
+
+func TestPartitionTransitiveClosure(t *testing.T) {
+	// V1-R,S ; V2-S,T ; V3-T,Q : all connected through the chain.
+	views := map[msg.ViewID]expr.Expr{
+		"V1": expr.MustJoin(expr.Scan("R", prSchema), expr.Scan("S", psSchema)),
+		"V2": expr.MustJoin(expr.Scan("S", psSchema), expr.Scan("T", ptSchema)),
+		"V3": expr.Scan("T", ptSchema),
+	}
+	groups := Partition(views)
+	if Groups(groups) != 1 {
+		t.Errorf("chained views must collapse to one group: %v", groups)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	views := map[msg.ViewID]expr.Expr{
+		"V1": expr.Scan("R", prSchema),
+		"V2": expr.Scan("S", psSchema),
+		"V3": expr.Scan("T", ptSchema),
+	}
+	first := Partition(views)
+	for i := 0; i < 10; i++ {
+		if got := Partition(views); !mapsEqual(got, first) {
+			t.Fatalf("Partition is not deterministic: %v vs %v", got, first)
+		}
+	}
+	// Group ids follow smallest view id order.
+	if first["V1"] != 0 || first["V2"] != 1 || first["V3"] != 2 {
+		t.Errorf("group numbering = %v", first)
+	}
+}
+
+func TestCheckPartitionRejectsSharedRelationAcrossGroups(t *testing.T) {
+	views := map[msg.ViewID]expr.Expr{
+		"V1": expr.MustJoin(expr.Scan("R", prSchema), expr.Scan("S", psSchema)),
+		"V2": expr.MustJoin(expr.Scan("S", psSchema), expr.Scan("T", ptSchema)),
+	}
+	bad := map[msg.ViewID]int{"V1": 0, "V2": 1}
+	if err := CheckPartition(views, bad); err == nil {
+		t.Error("partition splitting a shared relation must be rejected")
+	}
+	if err := CheckPartition(views, map[msg.ViewID]int{"V1": 0}); err == nil {
+		t.Error("missing assignment must be rejected")
+	}
+	good := map[msg.ViewID]int{"V1": 3, "V2": 3}
+	if err := CheckPartition(views, good); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+}
+
+func mapsEqual(a, b map[msg.ViewID]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

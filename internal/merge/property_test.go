@@ -1,0 +1,270 @@
+package merge
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"whips/internal/msg"
+)
+
+// scenario generates a random workload for the merge process: nViews views,
+// nUpdates updates with random non-empty relevant sets, and (for PA) random
+// batching of each column's relevant rows. It then produces all messages on
+// their channels: one REL channel (in seq order) and one AL channel per
+// view (in Upto order), and interleaves the channels randomly — exactly the
+// reordering freedom the paper's model allows (§4: "no restrictions on
+// message arrival order, except that messages from the same process must
+// arrive in the order sent").
+type scenario struct {
+	nViews   int
+	rels     []msg.RelevantSet
+	alsByVM  map[msg.ViewID][]msg.ActionList
+	relevant map[msg.ViewID][]msg.UpdateID
+}
+
+func genScenario(rng *rand.Rand, batching bool) scenario {
+	nViews := 1 + rng.Intn(4)
+	nUpdates := 1 + rng.Intn(12)
+	s := scenario{
+		nViews:   nViews,
+		alsByVM:  make(map[msg.ViewID][]msg.ActionList),
+		relevant: make(map[msg.ViewID][]msg.UpdateID),
+	}
+	views := make([]msg.ViewID, nViews)
+	for v := range views {
+		views[v] = msg.ViewID(fmt.Sprintf("V%d", v+1))
+	}
+	for i := 1; i <= nUpdates; i++ {
+		var rs []msg.ViewID
+		for _, v := range views {
+			if rng.Intn(2) == 0 {
+				rs = append(rs, v)
+				s.relevant[v] = append(s.relevant[v], msg.UpdateID(i))
+			}
+		}
+		if len(rs) == 0 {
+			v := views[rng.Intn(nViews)]
+			rs = append(rs, v)
+			s.relevant[v] = append(s.relevant[v], msg.UpdateID(i))
+		}
+		s.rels = append(s.rels, msg.RelevantSet{Seq: msg.UpdateID(i), Views: rs})
+	}
+	for _, v := range views {
+		rows := s.relevant[v]
+		k := 0
+		for k < len(rows) {
+			size := 1
+			if batching && rng.Intn(2) == 0 {
+				size = 1 + rng.Intn(len(rows)-k)
+			}
+			batch := rows[k : k+size]
+			s.alsByVM[v] = append(s.alsByVM[v], msg.ActionList{
+				View: v, From: batch[0], Upto: batch[len(batch)-1],
+				Delta: nil, Level: msg.Strong,
+			})
+			k += size
+		}
+	}
+	return s
+}
+
+// interleave merges the channels into one random-but-FIFO-per-channel
+// message sequence.
+func (s scenario) interleave(rng *rand.Rand) []any {
+	type channel struct {
+		msgs []any
+		pos  int
+	}
+	var chans []*channel
+	relc := &channel{}
+	for _, r := range s.rels {
+		relc.msgs = append(relc.msgs, r)
+	}
+	chans = append(chans, relc)
+	for _, als := range s.alsByVM {
+		c := &channel{}
+		for _, al := range als {
+			c.msgs = append(c.msgs, al)
+		}
+		chans = append(chans, c)
+	}
+	var out []any
+	for {
+		var live []*channel
+		for _, c := range chans {
+			if c.pos < len(c.msgs) {
+				live = append(live, c)
+			}
+		}
+		if len(live) == 0 {
+			return out
+		}
+		c := live[rng.Intn(len(live))]
+		out = append(out, c.msgs[c.pos])
+		c.pos++
+	}
+}
+
+// checkCoordination asserts the invariants both painting algorithms share:
+// every row applied exactly once, per-view action lists applied in
+// generation order, rows co-covered by one action list applied in one
+// transaction, and an empty VUT at the end (promptness: nothing is held
+// once everything arrived).
+func checkCoordination(t *testing.T, s scenario, m *Merge, rec *recorder) bool {
+	t.Helper()
+	appliedIn := make(map[msg.UpdateID]int) // row -> txn index
+	for ti, txn := range rec.txns {
+		for _, r := range txn.Rows {
+			if _, dup := appliedIn[r]; dup {
+				t.Errorf("row %d applied twice", r)
+				return false
+			}
+			appliedIn[r] = ti
+		}
+	}
+	for _, r := range s.rels {
+		if _, ok := appliedIn[r.Seq]; !ok {
+			t.Errorf("row %d never applied; VUT:\n%s", r.Seq, m.RenderVUT())
+			return false
+		}
+	}
+	// Per view: action lists applied in Upto order, and all rows of one
+	// batched list land in the same transaction.
+	for v, als := range s.alsByVM {
+		lastTxn := -1
+		for _, al := range als {
+			txn := appliedIn[al.Upto]
+			if txn < lastTxn {
+				t.Errorf("view %s: list upto %d applied before an earlier list", v, al.Upto)
+				return false
+			}
+			lastTxn = txn
+			// Atomicity of a batch: every covered relevant row applies in
+			// the same transaction as the list itself.
+			for _, row := range s.relevant[v] {
+				if row >= al.From && row <= al.Upto && appliedIn[row] != txn {
+					t.Errorf("view %s: batch %d..%d split across txns %d and %d",
+						v, al.From, al.Upto, txn, appliedIn[row])
+					return false
+				}
+			}
+		}
+	}
+	if got := m.RenderVUT(); got != "" {
+		t.Errorf("VUT not empty after quiescence:\n%s", got)
+		return false
+	}
+	return true
+}
+
+func TestSPARandomInterleavings(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := genScenario(rng, false)
+		rec := &recorder{}
+		m := New(0, SPA, rec)
+		for _, x := range s.interleave(rng) {
+			m.Handle(x, 0)
+		}
+		if !checkCoordination(t, s, m, rec) {
+			return false
+		}
+		// SPA is complete: one transaction per row, in a per-view ascending
+		// order; moreover each txn covers exactly one row.
+		for _, txn := range rec.txns {
+			if len(txn.Rows) != 1 {
+				t.Errorf("SPA txn covers %v rows", txn.Rows)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPARandomInterleavings(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := genScenario(rng, true)
+		rec := &recorder{}
+		m := New(0, PA, rec)
+		for _, x := range s.interleave(rng) {
+			m.Handle(x, 0)
+		}
+		return checkCoordination(t, s, m, rec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PA must also preserve per-view row order across transactions: for any
+// view, the sequence of its rows ordered by commit is ascending.
+func TestPAViewOrderPreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := genScenario(rng, true)
+		rec := &recorder{}
+		m := New(0, PA, rec)
+		for _, x := range s.interleave(rng) {
+			m.Handle(x, 0)
+		}
+		for v := range s.alsByVM {
+			var lastUpto msg.UpdateID
+			for _, txn := range rec.txns {
+				for _, w := range txn.Writes {
+					if w.View != v {
+						continue
+					}
+					if w.Upto < lastUpto {
+						t.Errorf("view %s saw upto %d after %d", v, w.Upto, lastUpto)
+						return false
+					}
+					lastUpto = w.Upto
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeDeterminism: the same message sequence must produce the same
+// transaction sequence (rows and write order), for both algorithms — the
+// property the deterministic simulator's reproducibility rests on.
+func TestMergeDeterminism(t *testing.T) {
+	for _, alg := range []Algorithm{SPA, PA} {
+		rng := rand.New(rand.NewSource(99))
+		s := genScenario(rng, alg == PA)
+		msgs := s.interleave(rng)
+		run := func() []string {
+			rec := &recorder{}
+			m := New(0, alg, rec)
+			for _, x := range msgs {
+				m.Handle(x, 0)
+			}
+			var sig []string
+			for _, txn := range rec.txns {
+				line := fmt.Sprint(txn.Rows)
+				for _, w := range txn.Writes {
+					line += fmt.Sprintf("|%s@%d", w.View, w.Upto)
+				}
+				sig = append(sig, line)
+			}
+			return sig
+		}
+		first := run()
+		for i := 0; i < 5; i++ {
+			if got := run(); !reflect.DeepEqual(got, first) {
+				t.Fatalf("%v non-deterministic:\n%v\nvs\n%v", alg, got, first)
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package merge
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"whips/internal/msg"
+)
+
+// These tests exercise the merge-process changes needed for §3.2's
+// alternative REL routing, where RELᵢ travels with one view manager's
+// traffic and may therefore trail other managers' action lists — arrival
+// orders the direct-routing model can never produce.
+
+// SPA: an earlier action list buffered without its REL must block later
+// rows of the same column, or the view would see lists out of order.
+func TestRelaySPABufferedEarlierALBlocksLaterRow(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, SPA, rec, WithRelayedRELs())
+	// AL^V1_1 arrives with no REL1 (the relayer is slow).
+	feed(t, m, al("V1", 1, 1))
+	// REL2 and AL^V1_2 arrive: row 2 is all-red but must wait.
+	feed(t, m, rel(2, "V1"), al("V1", 2, 2))
+	if len(rec.txns) != 0 {
+		t.Fatalf("row 2 must wait behind buffered AL^V1_1: %v", rowsOf(rec))
+	}
+	// REL1 lands: both rows apply, in order.
+	feed(t, m, rel(1, "V1"))
+	if !reflect.DeepEqual(rowsOf(rec), [][]msg.UpdateID{{1}, {2}}) {
+		t.Errorf("apply order = %v", rowsOf(rec))
+	}
+	if got := m.RenderVUT(); got != "" {
+		t.Errorf("VUT not drained:\n%s", got)
+	}
+}
+
+// PA: a batched list covering rows whose RELs have not all arrived; the
+// late REL must join the still-live batch row and the whole closure must
+// apply together.
+func TestRelayPALateRELJoinsLiveBatch(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, PA, rec, WithRelayedRELs())
+	// REL2 arrives (relayer for U2), REL1 is still in flight.
+	feed(t, m, rel(2, "V1", "V2"))
+	// V1's batched list covers U1..U2; row 1 does not exist yet.
+	feed(t, m, al("V1", 1, 2))
+	// V2's list for U2 arrives. Row 2 looks all-red, but the REL frontier
+	// is still 0 (REL1 missing): update 1's full relevant-view set is
+	// unknown, so nothing may commit.
+	feed(t, m, al("V2", 2, 2))
+	if len(rec.txns) != 0 {
+		t.Fatalf("frontier guard must hold row 2: %v", rowsOf(rec))
+	}
+	// Late REL1 arrives: row 1's V1 entry joins the live batch (red,
+	// state 2); its V2 entry is white until V2's list for U1 lands.
+	feed(t, m, rel(1, "V1", "V2"))
+	if len(rec.txns) != 0 {
+		t.Fatalf("row 1 still owes V2's list: %v", rowsOf(rec))
+	}
+	feed(t, m, al("V2", 1, 1))
+	// Now the whole closure {1,2} applies as one transaction.
+	if len(rec.txns) != 1 || !reflect.DeepEqual(rec.txns[0].Rows, []msg.UpdateID{1, 2}) {
+		t.Fatalf("joint apply expected: %v", rowsOf(rec))
+	}
+	if got := m.RenderVUT(); got != "" {
+		t.Errorf("VUT not drained:\n%s", got)
+	}
+}
+
+// PA: a batch reaching past the REL frontier holds until the late REL
+// arrives; the late row then joins the batch and both apply together.
+func TestRelayPAFrontierHoldsBatch(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, PA, rec, WithRelayedRELs())
+	feed(t, m, rel(2, "V1"))
+	feed(t, m, al("V1", 1, 2)) // covers U1,U2 — but REL1 is missing
+	if len(rec.txns) != 0 {
+		t.Fatalf("batch must hold behind the frontier: %v", rowsOf(rec))
+	}
+	feed(t, m, rel(1, "V1")) // late REL: row 1 joins the live batch
+	if len(rec.txns) != 1 || !reflect.DeepEqual(rec.txns[0].Rows, []msg.UpdateID{1, 2}) {
+		t.Fatalf("joint apply expected: %v", rowsOf(rec))
+	}
+	if got := m.RenderVUT(); got != "" {
+		t.Errorf("VUT not drained:\n%s", got)
+	}
+}
+
+// PA: the late REL joins a LIVE batch (batch blocked on another column),
+// and the batch then applies with the late row included.
+func TestRelayPALateRELJoinsBlockedBatch(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, PA, rec, WithRelayedRELs())
+	feed(t, m, rel(2, "V1", "V2"))
+	feed(t, m, al("V1", 1, 2)) // batch covering U1,U2; V2's list missing → row 2 blocked
+	if len(rec.txns) != 0 {
+		t.Fatalf("row 2 must wait for V2: %v", rowsOf(rec))
+	}
+	// Late REL1: relevant to V1 only. Covered by the live batch → red
+	// tied to row 2.
+	feed(t, m, rel(1, "V1"))
+	if len(rec.txns) != 0 {
+		t.Fatalf("closure still blocked on V2: %v", rowsOf(rec))
+	}
+	// V2's list arrives: rows 1 and 2 apply together.
+	feed(t, m, al("V2", 2, 2))
+	if len(rec.txns) != 1 || !reflect.DeepEqual(rec.txns[0].Rows, []msg.UpdateID{1, 2}) {
+		t.Fatalf("joint apply expected: %v", rowsOf(rec))
+	}
+	if got := m.RenderVUT(); got != "" {
+		t.Errorf("VUT not drained:\n%s", got)
+	}
+}
+
+// PA: buffered earlier AL blocks a later closure until its REL lands.
+func TestRelayPABufferedEarlierALBlocks(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, PA, rec, WithRelayedRELs())
+	feed(t, m, al("V1", 1, 1)) // buffered: REL1 in flight
+	feed(t, m, rel(2, "V1"), al("V1", 2, 2))
+	if len(rec.txns) != 0 {
+		t.Fatalf("row 2 must wait behind buffered AL^V1_1: %v", rowsOf(rec))
+	}
+	feed(t, m, rel(1, "V1"))
+	if !reflect.DeepEqual(rowsOf(rec), [][]msg.UpdateID{{1}, {2}}) {
+		t.Errorf("apply order = %v", rowsOf(rec))
+	}
+}
+
+// relayInterleave produces a message sequence where each update's REL is
+// emitted on the carrier view manager's channel (before that manager's
+// covering AL), instead of on a dedicated integrator channel.
+func (s scenario) relayInterleave(rng *rand.Rand) []any {
+	type channel struct {
+		msgs []any
+		pos  int
+	}
+	chans := map[msg.ViewID]*channel{}
+	for v := range s.alsByVM {
+		chans[v] = &channel{}
+	}
+	// Assign each REL to its first relevant view's channel, in seq order,
+	// interleaved correctly with that channel's ALs: the REL for update i
+	// must precede the AL covering i (managers relay on receipt).
+	relOf := map[msg.ViewID][]msg.RelevantSet{}
+	for _, r := range s.rels {
+		carrier := r.Views[0]
+		relOf[carrier] = append(relOf[carrier], r)
+	}
+	var viewIDs []msg.ViewID
+	for v := range chans {
+		viewIDs = append(viewIDs, v)
+	}
+	sort.Slice(viewIDs, func(i, j int) bool { return viewIDs[i] < viewIDs[j] })
+	for _, v := range viewIDs {
+		ch := chans[v]
+		rels := relOf[v]
+		ri := 0
+		for _, al := range s.alsByVM[v] {
+			for ri < len(rels) && rels[ri].Seq <= al.Upto {
+				ch.msgs = append(ch.msgs, rels[ri])
+				ri++
+			}
+			ch.msgs = append(ch.msgs, al)
+		}
+		for ; ri < len(rels); ri++ {
+			ch.msgs = append(ch.msgs, rels[ri])
+		}
+	}
+	var live []*channel
+	for _, v := range viewIDs {
+		live = append(live, chans[v])
+	}
+	var out []any
+	for {
+		var avail []*channel
+		for _, c := range live {
+			if c.pos < len(c.msgs) {
+				avail = append(avail, c)
+			}
+		}
+		if len(avail) == 0 {
+			return out
+		}
+		c := avail[rng.Intn(len(avail))]
+		out = append(out, c.msgs[c.pos])
+		c.pos++
+	}
+}
+
+func TestRelaySPARandomInterleavings(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := genScenario(rng, false)
+		rec := &recorder{}
+		m := New(0, SPA, rec, WithRelayedRELs())
+		for _, x := range s.relayInterleave(rng) {
+			m.Handle(x, 0)
+		}
+		if !checkCoordination(t, s, m, rec) {
+			return false
+		}
+		for _, txn := range rec.txns {
+			if len(txn.Rows) != 1 {
+				t.Errorf("SPA txn covers %v rows", txn.Rows)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelayPARandomInterleavings(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := genScenario(rng, true)
+		rec := &recorder{}
+		m := New(0, PA, rec, WithRelayedRELs())
+		for _, x := range s.relayInterleave(rng) {
+			m.Handle(x, 0)
+		}
+		return checkCoordination(t, s, m, rec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

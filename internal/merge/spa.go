@@ -1,0 +1,73 @@
+package merge
+
+import "whips/internal/msg"
+
+// spaProcessRow is Procedure ProcessRow(i) of Algorithm 1 (the Simple
+// Painting Algorithm). Line numbers follow the paper.
+func (m *Merge) spaProcessRow(i msg.UpdateID, now int64) []msg.Outbound {
+	r := m.rows[i]
+	if r == nil {
+		return nil
+	}
+	// Frontier guard (§3.2 relayed routing): beyond the contiguous-REL
+	// frontier, an update's full relevant-view set may be unknown, so
+	// nothing there may commit yet.
+	if i > m.relFrontier {
+		return nil
+	}
+	// Line 1: if any entry is white, some action list has not arrived; the
+	// row cannot be applied yet.
+	for _, v := range r.views {
+		if r.entries[v].color == White {
+			return nil
+		}
+	}
+	// Line 2: if an earlier red exists in the column of any red entry,
+	// earlier lists from that view manager have not been applied; applying
+	// row i now would reorder a view manager's actions. An earlier list
+	// still buffered awaiting its relayed RELᵢ (§3.2 alternative routing)
+	// blocks for the same reason.
+	for _, v := range r.views {
+		if r.entries[v].color != Red {
+			continue
+		}
+		col := m.col(v)
+		if first, ok := col.firstRed(); ok && first < i {
+			return nil
+		}
+		if col.hasBufferedBefore(i) {
+			return nil
+		}
+	}
+	// Line 3: paint the row's red entries gray.
+	var next []msg.UpdateID
+	for _, v := range r.views {
+		e := r.entries[v]
+		if e.color != Red {
+			continue
+		}
+		e.color = Gray
+		col := m.col(v)
+		col.removeRed(i)
+		// Precompute line 5's nextRed(i, x) now, while the column state is
+		// fresh.
+		if n := col.nextRedAfter(i); n != 0 {
+			next = append(next, n)
+		}
+	}
+	// Line 4: apply all actions in WTᵢ as a single warehouse transaction.
+	out := m.submitRows(now, []msg.UpdateID{i}, r.wt, "")
+	// Line 6 (purging before the line-5 recursion is safe: every entry of
+	// row i is now gray or black, so no later check can need it).
+	m.purgeRow(i)
+	// Line 5: applying this row may unblock later rows in the same columns.
+	seen := make(map[msg.UpdateID]bool, len(next))
+	for _, n := range next {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, m.spaProcessRow(n, now)...)
+	}
+	return out
+}

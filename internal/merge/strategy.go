@@ -1,0 +1,321 @@
+package merge
+
+import (
+	"sort"
+
+	"whips/internal/msg"
+)
+
+// Strategy decides how ready warehouse transactions are submitted and how
+// their commit order is controlled (§4.3). The merge process hands every
+// ready transaction (a WTᵢ, or an ApplyRows set under PA) to Submit; the
+// strategy fills in the transaction id and dependency information and
+// decides when the warehouse actually sees it.
+//
+// A Strategy instance belongs to exactly one merge process.
+type Strategy interface {
+	// Submit accepts a ready transaction (ID unset) and returns the
+	// messages to send now.
+	Submit(txn msg.WarehouseTxn, now int64) []msg.Outbound
+	// OnAck records a warehouse commit and may release queued work.
+	OnAck(id msg.TxnID, now int64) []msg.Outbound
+	// OnTimer handles a self-scheduled timer message.
+	OnTimer(t strategyTimer, now int64) []msg.Outbound
+	// Pending reports how many accepted transactions have not yet been
+	// sent to the warehouse (queueing = merge-side backlog).
+	Pending() int
+	// Name identifies the strategy in reports.
+	Name() string
+}
+
+// strategyTimer is the self-message strategies use for delayed flushes.
+type strategyTimer struct {
+	gen int64
+}
+
+// txnIDBase spaces transaction ids so that ids from different merge
+// processes never collide at the warehouse.
+const txnIDBase = 1_000_000_000
+
+type idAlloc struct {
+	next msg.TxnID
+}
+
+func newIDAlloc(group int) idAlloc {
+	return idAlloc{next: msg.TxnID(group)*txnIDBase + 1}
+}
+
+func (a *idAlloc) take() msg.TxnID {
+	id := a.next
+	a.next++
+	return id
+}
+
+// ---------------------------------------------------------------- Sequential
+
+// Sequential submits one transaction at a time, waiting for the previous
+// commit acknowledgment — §4.3's "most straightforward way". Correct with
+// no warehouse support, at the cost of a full round trip per transaction.
+type Sequential struct {
+	self     string
+	ids      idAlloc
+	queue    []msg.WarehouseTxn
+	inflight bool
+}
+
+// NewSequential builds the strategy for the merge process with node id
+// self in the given group.
+func NewSequential(self string, group int) *Sequential {
+	return &Sequential{self: self, ids: newIDAlloc(group)}
+}
+
+// Name implements Strategy.
+func (s *Sequential) Name() string { return "sequential" }
+
+// Submit implements Strategy.
+func (s *Sequential) Submit(txn msg.WarehouseTxn, now int64) []msg.Outbound {
+	txn.ID = s.ids.take()
+	s.queue = append(s.queue, txn)
+	return s.pump()
+}
+
+// OnAck implements Strategy.
+func (s *Sequential) OnAck(id msg.TxnID, now int64) []msg.Outbound {
+	s.inflight = false
+	return s.pump()
+}
+
+// OnTimer implements Strategy.
+func (s *Sequential) OnTimer(strategyTimer, int64) []msg.Outbound { return nil }
+
+// Pending implements Strategy.
+func (s *Sequential) Pending() int { return len(s.queue) }
+
+func (s *Sequential) pump() []msg.Outbound {
+	if s.inflight || len(s.queue) == 0 {
+		return nil
+	}
+	txn := s.queue[0]
+	s.queue = s.queue[1:]
+	s.inflight = true
+	return []msg.Outbound{msg.Send(msg.NodeWarehouse, msg.SubmitTxn{Txn: txn, From: s.self})}
+}
+
+// ---------------------------------------------------------------- Callback
+
+// Callback is a Strategy that hands each ready transaction to a function
+// and sends nothing itself. Tools (tracers, tests) use it to observe the
+// merge process's output without a warehouse.
+type Callback struct {
+	ids idAlloc
+	fn  func(msg.WarehouseTxn)
+}
+
+// NewCallback builds the strategy.
+func NewCallback(fn func(msg.WarehouseTxn)) *Callback {
+	return &Callback{ids: newIDAlloc(0), fn: fn}
+}
+
+// Name implements Strategy.
+func (c *Callback) Name() string { return "callback" }
+
+// Submit implements Strategy.
+func (c *Callback) Submit(txn msg.WarehouseTxn, now int64) []msg.Outbound {
+	txn.ID = c.ids.take()
+	c.fn(txn)
+	return nil
+}
+
+// OnAck implements Strategy.
+func (c *Callback) OnAck(msg.TxnID, int64) []msg.Outbound { return nil }
+
+// OnTimer implements Strategy.
+func (c *Callback) OnTimer(strategyTimer, int64) []msg.Outbound { return nil }
+
+// Pending implements Strategy.
+func (c *Callback) Pending() int { return 0 }
+
+// ---------------------------------------------------------------- Immediate
+
+// Immediate submits every transaction as soon as it is ready, with no
+// dependency information and no waiting. It is the §4.3 hazard made
+// concrete: a warehouse DBMS that schedules transactions in its own order
+// may then commit WT₃ before WT₁ and expose an invalid view state. It
+// exists as a baseline and for demonstrating why commit-order control is
+// needed; production configurations use Sequential, Dependency or Batched.
+type Immediate struct {
+	self string
+	ids  idAlloc
+}
+
+// NewImmediate builds the strategy.
+func NewImmediate(self string, group int) *Immediate {
+	return &Immediate{self: self, ids: newIDAlloc(group)}
+}
+
+// Name implements Strategy.
+func (s *Immediate) Name() string { return "immediate" }
+
+// Submit implements Strategy.
+func (s *Immediate) Submit(txn msg.WarehouseTxn, now int64) []msg.Outbound {
+	txn.ID = s.ids.take()
+	return []msg.Outbound{msg.Send(msg.NodeWarehouse, msg.SubmitTxn{Txn: txn, From: s.self})}
+}
+
+// OnAck implements Strategy.
+func (s *Immediate) OnAck(msg.TxnID, int64) []msg.Outbound { return nil }
+
+// OnTimer implements Strategy.
+func (s *Immediate) OnTimer(strategyTimer, int64) []msg.Outbound { return nil }
+
+// Pending implements Strategy.
+func (s *Immediate) Pending() int { return 0 }
+
+// ---------------------------------------------------------------- Dependency
+
+// Dependency submits every transaction immediately, annotated with the
+// uncommitted transactions it depends on (overlapping view sets, §4.3);
+// the warehouse enforces commit order, so independent transactions commit
+// in parallel.
+type Dependency struct {
+	self        string
+	ids         idAlloc
+	uncommitted map[msg.TxnID][]msg.ViewID
+}
+
+// NewDependency builds the strategy.
+func NewDependency(self string, group int) *Dependency {
+	return &Dependency{self: self, ids: newIDAlloc(group), uncommitted: make(map[msg.TxnID][]msg.ViewID)}
+}
+
+// Name implements Strategy.
+func (d *Dependency) Name() string { return "dependency" }
+
+// Submit implements Strategy.
+func (d *Dependency) Submit(txn msg.WarehouseTxn, now int64) []msg.Outbound {
+	txn.ID = d.ids.take()
+	views := txn.Views()
+	vset := make(map[msg.ViewID]bool, len(views))
+	for _, v := range views {
+		vset[v] = true
+	}
+	var deps []msg.TxnID
+	for id, vs := range d.uncommitted {
+		for _, v := range vs {
+			if vset[v] {
+				deps = append(deps, id)
+				break
+			}
+		}
+	}
+	sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	txn.DependsOn = deps
+	d.uncommitted[txn.ID] = views
+	return []msg.Outbound{msg.Send(msg.NodeWarehouse, msg.SubmitTxn{Txn: txn, From: d.self})}
+}
+
+// OnAck implements Strategy.
+func (d *Dependency) OnAck(id msg.TxnID, now int64) []msg.Outbound {
+	delete(d.uncommitted, id)
+	return nil
+}
+
+// OnTimer implements Strategy.
+func (d *Dependency) OnTimer(strategyTimer, int64) []msg.Outbound { return nil }
+
+// Pending implements Strategy.
+func (d *Dependency) Pending() int { return 0 }
+
+// ---------------------------------------------------------------- Batched
+
+// Batched accumulates ready transactions into batched warehouse
+// transactions (BWTs, §4.3): per-view deltas are merged, one commit covers
+// many WTs. Batches are submitted sequentially, since BWTs depend on each
+// other exactly as their constituent WTs did. Batching trades completeness
+// for throughput: the warehouse skips intermediate states, so the result
+// is strong (not complete) MVC even under SPA.
+type Batched struct {
+	self       string
+	ids        idAlloc
+	maxSize    int
+	flushAfter int64 // ns; 0 disables the timer
+	buf        []msg.WarehouseTxn
+	queue      []msg.WarehouseTxn
+	inflight   bool
+	timerGen   int64
+	timerArmed bool
+}
+
+// NewBatched builds the strategy: a batch is flushed when it contains
+// maxSize transactions or flushAfter nanoseconds after its first one
+// arrived, whichever comes first.
+func NewBatched(self string, group int, maxSize int, flushAfter int64) *Batched {
+	if maxSize < 1 {
+		maxSize = 1
+	}
+	return &Batched{self: self, ids: newIDAlloc(group), maxSize: maxSize, flushAfter: flushAfter}
+}
+
+// Name implements Strategy.
+func (b *Batched) Name() string { return "batched" }
+
+// Submit implements Strategy.
+func (b *Batched) Submit(txn msg.WarehouseTxn, now int64) []msg.Outbound {
+	b.buf = append(b.buf, txn)
+	if len(b.buf) >= b.maxSize {
+		return b.flush()
+	}
+	if b.flushAfter > 0 && !b.timerArmed {
+		b.timerArmed = true
+		b.timerGen++
+		return []msg.Outbound{{To: b.self, Msg: strategyTimer{gen: b.timerGen}, Delay: b.flushAfter}}
+	}
+	return nil
+}
+
+// OnTimer implements Strategy.
+func (b *Batched) OnTimer(t strategyTimer, now int64) []msg.Outbound {
+	if t.gen != b.timerGen || !b.timerArmed {
+		return nil
+	}
+	return b.flush()
+}
+
+// OnAck implements Strategy.
+func (b *Batched) OnAck(id msg.TxnID, now int64) []msg.Outbound {
+	b.inflight = false
+	return b.pump()
+}
+
+// Pending implements Strategy.
+func (b *Batched) Pending() int { return len(b.buf) + len(b.queue) }
+
+func (b *Batched) flush() []msg.Outbound {
+	b.timerArmed = false
+	if len(b.buf) == 0 {
+		return nil
+	}
+	bwt := msg.WarehouseTxn{ID: b.ids.take(), CommitAt: b.buf[0].CommitAt}
+	var writes []msg.ViewWrite
+	for _, t := range b.buf {
+		bwt.Rows = append(bwt.Rows, t.Rows...)
+		writes = append(writes, t.Writes...)
+		if t.CommitAt < bwt.CommitAt {
+			bwt.CommitAt = t.CommitAt
+		}
+	}
+	bwt.Writes = mergeDeltas(writes)
+	b.buf = b.buf[:0]
+	b.queue = append(b.queue, bwt)
+	return b.pump()
+}
+
+func (b *Batched) pump() []msg.Outbound {
+	if b.inflight || len(b.queue) == 0 {
+		return nil
+	}
+	t := b.queue[0]
+	b.queue = b.queue[1:]
+	b.inflight = true
+	return []msg.Outbound{msg.Send(msg.NodeWarehouse, msg.SubmitTxn{Txn: t, From: b.self})}
+}

@@ -1,0 +1,257 @@
+package merge
+
+import (
+	"reflect"
+	"testing"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+func txnFor(views ...msg.ViewID) msg.WarehouseTxn {
+	t := msg.WarehouseTxn{}
+	for _, v := range views {
+		t.Writes = append(t.Writes, msg.ViewWrite{View: v, Upto: 1,
+			Delta: relation.InsertDelta(alSchema, relation.T(1))})
+	}
+	return t
+}
+
+func submitted(out []msg.Outbound) []msg.WarehouseTxn {
+	var txns []msg.WarehouseTxn
+	for _, o := range out {
+		if s, ok := o.Msg.(msg.SubmitTxn); ok {
+			if o.To != msg.NodeWarehouse {
+				panic("submit not addressed to warehouse")
+			}
+			txns = append(txns, s.Txn)
+		}
+	}
+	return txns
+}
+
+func TestSequentialStrategy(t *testing.T) {
+	s := NewSequential("merge:0", 0)
+	if s.Name() != "sequential" {
+		t.Error("name")
+	}
+	out1 := s.Submit(txnFor("V1"), 0)
+	if got := submitted(out1); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("first submit = %+v", got)
+	}
+	// Second and third queue behind the unacknowledged first.
+	if got := submitted(s.Submit(txnFor("V2"), 0)); len(got) != 0 {
+		t.Fatalf("second submit should queue, got %v", got)
+	}
+	if got := submitted(s.Submit(txnFor("V3"), 0)); len(got) != 0 {
+		t.Fatal("third submit should queue")
+	}
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	// Each ack releases exactly one.
+	if got := submitted(s.OnAck(1, 0)); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("after ack: %+v", got)
+	}
+	if got := submitted(s.OnAck(2, 0)); len(got) != 1 || got[0].ID != 3 {
+		t.Fatalf("after second ack: %+v", got)
+	}
+	if got := submitted(s.OnAck(3, 0)); len(got) != 0 {
+		t.Fatal("no more queued work expected")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+}
+
+func TestDependencyStrategy(t *testing.T) {
+	d := NewDependency("merge:0", 0)
+	if d.Name() != "dependency" {
+		t.Error("name")
+	}
+	// Three txns: 1 touches V1,V2; 2 touches V2,V3 (depends on 1);
+	// 3 touches V4 (independent).
+	t1 := submitted(d.Submit(txnFor("V1", "V2"), 0))
+	t2 := submitted(d.Submit(txnFor("V2", "V3"), 0))
+	t3 := submitted(d.Submit(txnFor("V4"), 0))
+	if len(t1) != 1 || len(t2) != 1 || len(t3) != 1 {
+		t.Fatal("dependency strategy must submit immediately")
+	}
+	if len(t1[0].DependsOn) != 0 {
+		t.Errorf("t1 deps = %v", t1[0].DependsOn)
+	}
+	if !reflect.DeepEqual(t2[0].DependsOn, []msg.TxnID{t1[0].ID}) {
+		t.Errorf("t2 deps = %v", t2[0].DependsOn)
+	}
+	if len(t3[0].DependsOn) != 0 {
+		t.Errorf("t3 deps = %v", t3[0].DependsOn)
+	}
+	// After t1 commits, a new overlapping txn depends only on t2.
+	d.OnAck(t1[0].ID, 0)
+	t4 := submitted(d.Submit(txnFor("V2"), 0))
+	if !reflect.DeepEqual(t4[0].DependsOn, []msg.TxnID{t2[0].ID}) {
+		t.Errorf("t4 deps = %v", t4[0].DependsOn)
+	}
+}
+
+func TestBatchedStrategySizeFlush(t *testing.T) {
+	b := NewBatched("merge:0", 0, 2, 0)
+	if b.Name() != "batched" {
+		t.Error("name")
+	}
+	if got := submitted(b.Submit(txnFor("V1"), 0)); len(got) != 0 {
+		t.Fatal("first txn should buffer")
+	}
+	got := submitted(b.Submit(txnFor("V1"), 0))
+	if len(got) != 1 {
+		t.Fatalf("batch of 2 should flush, got %d", len(got))
+	}
+	bwt := got[0]
+	// Same view twice: deltas merged into one write with max Upto.
+	if len(bwt.Writes) != 1 {
+		t.Errorf("BWT writes = %+v", bwt.Writes)
+	}
+	if bwt.Writes[0].Delta.Count(relation.T(1)) != 2 {
+		t.Errorf("merged delta = %v", bwt.Writes[0].Delta)
+	}
+	// Next batch queues behind the unacknowledged BWT.
+	b.Submit(txnFor("V2"), 0)
+	got = submitted(b.Submit(txnFor("V3"), 0))
+	if len(got) != 0 {
+		t.Fatal("second BWT must wait for ack")
+	}
+	if got = submitted(b.OnAck(bwt.ID, 0)); len(got) != 1 {
+		t.Fatalf("ack should release second BWT, got %d", len(got))
+	}
+	if len(got[0].Writes) != 2 {
+		t.Errorf("second BWT writes = %+v", got[0].Writes)
+	}
+}
+
+func TestBatchedStrategyTimerFlush(t *testing.T) {
+	b := NewBatched("merge:0", 0, 100, 50)
+	out := b.Submit(txnFor("V1"), 0)
+	if len(out) != 1 {
+		t.Fatalf("expected timer arm, got %v", out)
+	}
+	timer, ok := out[0].Msg.(strategyTimer)
+	if !ok || out[0].To != "merge:0" || out[0].Delay != 50 {
+		t.Fatalf("timer outbound = %+v", out[0])
+	}
+	// A second submit within the window does not re-arm.
+	if out := b.Submit(txnFor("V2"), 10); len(out) != 0 {
+		t.Fatalf("second submit should not re-arm, got %v", out)
+	}
+	got := submitted(b.OnTimer(timer, 50))
+	if len(got) != 1 || len(got[0].Writes) != 2 {
+		t.Fatalf("timer flush = %+v", got)
+	}
+	// A stale timer generation is ignored.
+	if out := b.OnTimer(strategyTimer{gen: 99}, 60); len(out) != 0 {
+		t.Error("stale timer must be ignored")
+	}
+}
+
+func TestBatchedMinSize(t *testing.T) {
+	b := NewBatched("merge:0", 0, 0, 0) // clamped to 1
+	if got := submitted(b.Submit(txnFor("V1"), 0)); len(got) != 1 {
+		t.Fatal("maxSize<1 should clamp to immediate flush")
+	}
+}
+
+func TestMergeRoutesTimerToStrategy(t *testing.T) {
+	b := NewBatched("merge:0", 0, 100, 50)
+	m := New(0, SPA, b)
+	m.Handle(rel(1, "V1"), 0)
+	out := m.Handle(al("V1", 1, 1), 0)
+	// The ready WT buffers in the batcher and arms a timer.
+	if len(out) != 1 {
+		t.Fatalf("expected timer arm via merge, got %+v", out)
+	}
+	timer := out[0].Msg.(strategyTimer)
+	got := submitted(m.Handle(timer, 50))
+	if len(got) != 1 {
+		t.Fatalf("merge should flush via strategy timer, got %+v", got)
+	}
+}
+
+func TestTxnIDsDisjointAcrossGroups(t *testing.T) {
+	a := NewSequential("merge:0", 0)
+	b := NewSequential("merge:1", 1)
+	ta := submitted(a.Submit(txnFor("V1"), 0))
+	tb := submitted(b.Submit(txnFor("V2"), 0))
+	if ta[0].ID == tb[0].ID {
+		t.Error("txn ids must not collide across merge groups")
+	}
+}
+
+func TestImmediateStrategy(t *testing.T) {
+	s := NewImmediate("merge:0", 0)
+	if s.Name() != "immediate" || s.Pending() != 0 {
+		t.Error("immediate basics")
+	}
+	got := submitted(s.Submit(txnFor("V1"), 0))
+	if len(got) != 1 || len(got[0].DependsOn) != 0 {
+		t.Fatalf("immediate submit = %+v", got)
+	}
+	// Two in flight at once: no waiting, no dependencies.
+	got2 := submitted(s.Submit(txnFor("V1"), 0))
+	if len(got2) != 1 {
+		t.Fatal("second submit must also go out immediately")
+	}
+	if out := s.OnAck(got[0].ID, 0); len(out) != 0 {
+		t.Error("acks release nothing")
+	}
+	if out := s.OnTimer(strategyTimer{}, 0); len(out) != 0 {
+		t.Error("timers are ignored")
+	}
+}
+
+func TestCallbackStrategy(t *testing.T) {
+	var seen []msg.WarehouseTxn
+	c := NewCallback(func(t msg.WarehouseTxn) { seen = append(seen, t) })
+	if c.Name() != "callback" || c.Pending() != 0 {
+		t.Error("callback basics")
+	}
+	if out := c.Submit(txnFor("V1"), 0); len(out) != 0 {
+		t.Error("callback sends nothing")
+	}
+	if len(seen) != 1 || seen[0].ID == 0 {
+		t.Errorf("callback saw %+v", seen)
+	}
+	if out := c.OnAck(1, 0); len(out) != 0 {
+		t.Error("acks ignored")
+	}
+	if out := c.OnTimer(strategyTimer{}, 0); len(out) != 0 {
+		t.Error("timers ignored")
+	}
+}
+
+func TestSequentialAndDependencyTimersIgnored(t *testing.T) {
+	if out := NewSequential("m", 0).OnTimer(strategyTimer{}, 0); len(out) != 0 {
+		t.Error("sequential timers ignored")
+	}
+	if out := NewDependency("m", 0).OnTimer(strategyTimer{}, 0); len(out) != 0 {
+		t.Error("dependency timers ignored")
+	}
+	if NewBatched("m", 0, 2, 0).Pending() != 0 {
+		t.Error("fresh batched pending")
+	}
+}
+
+func TestMergeAccessors(t *testing.T) {
+	m := New(3, PA, &recorder{})
+	if m.ID() != "merge:3" {
+		t.Errorf("ID = %q", m.ID())
+	}
+	if m.Algorithm() != PA {
+		t.Errorf("Algorithm = %v", m.Algorithm())
+	}
+	if out := m.Handle("garbage", 0); out != nil {
+		t.Errorf("garbage produced %v", out)
+	}
+	// CommitAck routes to the strategy.
+	if out := m.Handle(msg.CommitAck{ID: 1}, 0); out != nil {
+		t.Errorf("ack produced %v", out)
+	}
+}

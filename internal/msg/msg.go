@@ -1,0 +1,278 @@
+// Package msg defines the protocol spoken between the processes of the
+// warehouse architecture (paper Figure 1): sources/cluster, integrator, view
+// managers, merge process(es), and the warehouse — plus the Node abstraction
+// that lets the same process implementations run under the goroutine runtime
+// (internal/runtime) and the deterministic simulator (internal/sim).
+//
+// Message payloads are treated as immutable once sent: a receiver must not
+// mutate a delta or relation it was handed, and a sender must not touch a
+// payload after sending it.
+package msg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"whips/internal/expr"
+	"whips/internal/relation"
+)
+
+// UpdateID is the global sequence number of a source update transaction:
+// position in the serializable schedule U1, U2, ... Uf of §2.1. Zero means
+// "not yet numbered".
+type UpdateID int64
+
+// ViewID names a warehouse view.
+type ViewID string
+
+// SourceID names a data source.
+type SourceID string
+
+// TxnID identifies a warehouse maintenance transaction.
+type TxnID int64
+
+// QueryID identifies an in-flight view-manager query to the sources.
+type QueryID int64
+
+// Level is the consistency level a view manager guarantees for its view
+// (§2.2, §6.3). The merge process picks its algorithm from the weakest
+// level present.
+type Level uint8
+
+// Consistency levels, weakest first.
+const (
+	Convergent Level = iota
+	Strong
+	Complete
+)
+
+// String returns the level name.
+func (l Level) String() string {
+	switch l {
+	case Convergent:
+		return "convergent"
+	case Strong:
+		return "strong"
+	case Complete:
+		return "complete"
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// Write is one base-relation change inside a source transaction.
+type Write struct {
+	Relation string
+	Delta    *relation.Delta
+}
+
+// ExprWrites converts protocol writes to the expr package's write type.
+func ExprWrites(ws []Write) []expr.Write {
+	out := make([]expr.Write, len(ws))
+	for i, w := range ws {
+		out[i] = expr.Write{Relation: w.Relation, Delta: w.Delta}
+	}
+	return out
+}
+
+// Update reports one committed source transaction (§3.2). Simple updates
+// have exactly one write; §6.2 transactions may carry several, possibly
+// spanning sources.
+type Update struct {
+	Seq      UpdateID // global sequence number; assigned at source commit
+	Source   SourceID // originating source ("" for multi-source transactions)
+	Writes   []Write
+	CommitAt int64 // clock reading at source commit (freshness metrics)
+	// Rel carries RELᵢ when the integrator uses §3.2's alternative
+	// routing: instead of sending the relevant set to the merge process
+	// directly, it attaches it to one designated view manager's copy of
+	// the update, and that manager relays it with its action list traffic.
+	Rel *RelevantSet
+}
+
+// Relations returns the distinct relation names written, sorted.
+func (u *Update) Relations() []string {
+	seen := make(map[string]bool, len(u.Writes))
+	var out []string
+	for _, w := range u.Writes {
+		if !seen[w.Relation] {
+			seen[w.Relation] = true
+			out = append(out, w.Relation)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RelevantSet is RELᵢ: the set of views update i affects, sent by the
+// integrator to the merge process (§3.2 step 3).
+type RelevantSet struct {
+	Seq      UpdateID
+	Views    []ViewID
+	CommitAt int64
+}
+
+// ActionList is ALˣⱼ: the warehouse actions that bring view x into the
+// state holding after update j executed (§3.3). A complete view manager
+// sends From == Upto; a strongly consistent one may batch, with
+// From..Upto covering every update of the batch.
+type ActionList struct {
+	View  ViewID
+	From  UpdateID // first update covered by this list
+	Upto  UpdateID // the j subscript: state reached after applying
+	Delta *relation.Delta
+	Level Level // level of the producing view manager
+	// Rels piggybacks relayed RELᵢ sets (§3.2 alternative routing): the
+	// designated carrier manager delivers them with its next list, saving
+	// one message per update. The merge process handles them before the
+	// list itself.
+	Rels []RelevantSet
+	// Staged marks a §6.3 out-of-band list: the delta travelled directly
+	// from the view manager to the warehouse (StageDelta) and the merge
+	// process coordinates the commit only. Delta is nil.
+	Staged bool
+}
+
+// String renders AL^view_upto for traces.
+func (al ActionList) String() string {
+	if al.From == al.Upto {
+		return fmt.Sprintf("AL^%s_%d", al.View, al.Upto)
+	}
+	return fmt.Sprintf("AL^%s_%d..%d", al.View, al.From, al.Upto)
+}
+
+// ViewWrite is one view's change inside a warehouse transaction. A staged
+// write (Staged true, Delta nil) refers to data shipped out-of-band via
+// StageDelta; the warehouse resolves it at commit.
+type ViewWrite struct {
+	View   ViewID
+	Upto   UpdateID
+	Delta  *relation.Delta
+	Staged bool
+}
+
+// StageDelta ships a large view delta directly from a view manager to the
+// warehouse (§6.3: "the MP can be modified to coordinate transaction
+// commit only, instead of handling all data transfer"). The matching
+// action list arrives at the merge process with Staged set; the warehouse
+// holds any transaction whose staged data has not arrived yet.
+type StageDelta struct {
+	View  ViewID
+	Upto  UpdateID
+	Delta *relation.Delta
+}
+
+// WarehouseTxn is a maintenance transaction submitted by the merge process
+// (one WTᵢ, or a batch BWT per §4.3). DependsOn lists transactions that
+// must commit first (§4.3 dependency control).
+type WarehouseTxn struct {
+	ID        TxnID
+	Rows      []UpdateID // VUT rows whose actions this transaction applies
+	Writes    []ViewWrite
+	DependsOn []TxnID
+	CommitAt  int64 // earliest source commit covered (freshness metrics)
+}
+
+// Views returns the distinct views written — VS(WT) in §4.3.
+func (t *WarehouseTxn) Views() []ViewID {
+	seen := make(map[ViewID]bool, len(t.Writes))
+	var out []ViewID
+	for _, w := range t.Writes {
+		if !seen[w.View] {
+			seen[w.View] = true
+			out = append(out, w.View)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SubmitTxn asks the warehouse to execute a maintenance transaction and
+// acknowledge to node From.
+type SubmitTxn struct {
+	Txn  WarehouseTxn
+	From string
+}
+
+// CommitAck tells the merge process a warehouse transaction committed.
+type CommitAck struct {
+	ID TxnID
+}
+
+// ExecuteTxn asks the source cluster to run a transaction. The driver
+// (workload generator, example program) injects these.
+type ExecuteTxn struct {
+	Source SourceID
+	Writes []Write
+}
+
+// QueryCurrent, as a QueryRequest.AsOf value, asks for the sources'
+// current (drifting) state — the only thing truly autonomous sources can
+// answer, and the reason compensation machinery exists in single-view
+// maintenance algorithms.
+const QueryCurrent UpdateID = -1
+
+// QueryRequest is a view manager's query "back to the sources" (§1.1
+// problem 2). Expr is evaluated across the cluster's relations: at the
+// state after update AsOf (AsOf ≥ 0; 0 is the initial state), or at the
+// current state when AsOf is QueryCurrent.
+type QueryRequest struct {
+	ID   QueryID
+	From string // node id to reply to
+	Expr expr.Expr
+	AsOf UpdateID
+}
+
+// QueryResponse answers a QueryRequest. Result is a signed bag (the natural
+// output of a delta expression); AtSeq is the global sequence number of the
+// state the query actually saw.
+type QueryResponse struct {
+	ID     QueryID
+	Result *relation.Delta
+	AtSeq  UpdateID
+	Err    string
+}
+
+// Outbound is a message addressed to another node, optionally after a
+// delay (used for self-scheduled timers).
+type Outbound struct {
+	To    string
+	Msg   any
+	Delay int64 // nanoseconds (virtual in the simulator)
+}
+
+// Node is a deterministic event-driven process: it consumes one message at
+// a time and emits outbound messages. Handle must not block and must not
+// share mutable state with other nodes except through messages; this is
+// what lets the same implementation run under real goroutines and under
+// the discrete-event simulator.
+type Node interface {
+	ID() string
+	Handle(m any, now int64) []Outbound
+}
+
+// Send is a convenience constructor for Outbound.
+func Send(to string, m any) Outbound { return Outbound{To: to, Msg: m} }
+
+// ViewList renders a view set compactly for traces.
+func ViewList(vs []ViewID) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = string(v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Node identifiers used across the system.
+const (
+	NodeCluster    = "cluster"
+	NodeIntegrator = "integrator"
+	NodeWarehouse  = "warehouse"
+)
+
+// NodeViewManager returns the node id of a view's manager.
+func NodeViewManager(v ViewID) string { return "vm:" + string(v) }
+
+// NodeMerge returns the node id of merge process group g (single-merge
+// systems use group 0).
+func NodeMerge(group int) string { return fmt.Sprintf("merge:%d", group) }

@@ -1,0 +1,90 @@
+package msg
+
+import (
+	"reflect"
+	"testing"
+
+	"whips/internal/relation"
+)
+
+var (
+	rSchema = relation.MustSchema("A:int", "B:int")
+)
+
+func TestLevelString(t *testing.T) {
+	if Convergent.String() != "convergent" || Strong.String() != "strong" || Complete.String() != "complete" {
+		t.Error("level names")
+	}
+	if Level(9).String() == "" {
+		t.Error("unknown level should render")
+	}
+	if !(Convergent < Strong && Strong < Complete) {
+		t.Error("levels must order weakest-first")
+	}
+}
+
+func TestUpdateRelations(t *testing.T) {
+	u := Update{Writes: []Write{
+		{Relation: "S", Delta: relation.InsertDelta(rSchema, relation.T(1, 1))},
+		{Relation: "R", Delta: relation.InsertDelta(rSchema, relation.T(1, 1))},
+		{Relation: "S", Delta: relation.InsertDelta(rSchema, relation.T(2, 2))},
+	}}
+	if got := u.Relations(); !reflect.DeepEqual(got, []string{"R", "S"}) {
+		t.Errorf("Relations = %v", got)
+	}
+}
+
+func TestActionListString(t *testing.T) {
+	al := ActionList{View: "V1", From: 3, Upto: 3}
+	if al.String() != "AL^V1_3" {
+		t.Errorf("String = %q", al.String())
+	}
+	al.From = 1
+	if al.String() != "AL^V1_1..3" {
+		t.Errorf("batched String = %q", al.String())
+	}
+}
+
+func TestWarehouseTxnViews(t *testing.T) {
+	txn := WarehouseTxn{Writes: []ViewWrite{
+		{View: "V2"}, {View: "V1"}, {View: "V2"},
+	}}
+	if got := txn.Views(); !reflect.DeepEqual(got, []ViewID{"V1", "V2"}) {
+		t.Errorf("Views = %v", got)
+	}
+}
+
+func TestNodeIDHelpers(t *testing.T) {
+	if NodeViewManager("V1") != "vm:V1" {
+		t.Error("NodeViewManager")
+	}
+	if NodeMerge(0) != "merge:0" || NodeMerge(3) != "merge:3" {
+		t.Error("NodeMerge")
+	}
+	if got := Send("x", 1); got.To != "x" || got.Msg != 1 || got.Delay != 0 {
+		t.Errorf("Send = %+v", got)
+	}
+}
+
+func TestViewList(t *testing.T) {
+	if got := ViewList([]ViewID{"V1", "V2"}); got != "{V1,V2}" {
+		t.Errorf("ViewList = %q", got)
+	}
+	if got := ViewList(nil); got != "{}" {
+		t.Errorf("empty ViewList = %q", got)
+	}
+}
+
+func TestExprWrites(t *testing.T) {
+	d := relation.InsertDelta(rSchema, relation.T(1, 2))
+	ws := ExprWrites([]Write{{Relation: "R", Delta: d}})
+	if len(ws) != 1 || ws[0].Relation != "R" || ws[0].Delta != d {
+		t.Errorf("ExprWrites = %+v", ws)
+	}
+}
+
+func TestQueryCurrentSentinel(t *testing.T) {
+	if QueryCurrent >= 0 {
+		t.Error("QueryCurrent must be negative so state 0 stays addressable")
+	}
+}

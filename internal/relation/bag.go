@@ -1,0 +1,98 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// bag is a counted multiset of tuples keyed by Tuple.Key. Relation restricts
+// counts to be positive; Delta allows any non-zero signed count.
+type bag struct {
+	entries map[string]*bagEntry
+}
+
+type bagEntry struct {
+	tuple Tuple
+	count int64
+}
+
+func newBag() bag { return bag{entries: make(map[string]*bagEntry)} }
+
+// add adjusts the count of t by n, removing the entry if it reaches zero.
+// It returns the new count.
+func (b *bag) add(t Tuple, n int64) int64 {
+	if n == 0 {
+		if e := b.entries[t.Key()]; e != nil {
+			return e.count
+		}
+		return 0
+	}
+	k := t.Key()
+	e := b.entries[k]
+	if e == nil {
+		e = &bagEntry{tuple: t.Clone()}
+		b.entries[k] = e
+	}
+	e.count += n
+	if e.count == 0 {
+		delete(b.entries, k)
+		return 0
+	}
+	return e.count
+}
+
+func (b *bag) count(t Tuple) int64 {
+	if e := b.entries[t.Key()]; e != nil {
+		return e.count
+	}
+	return 0
+}
+
+func (b *bag) clone() bag {
+	out := bag{entries: make(map[string]*bagEntry, len(b.entries))}
+	for k, e := range b.entries {
+		out.entries[k] = &bagEntry{tuple: e.tuple, count: e.count}
+	}
+	return out
+}
+
+func (b *bag) equal(o *bag) bool {
+	if len(b.entries) != len(o.entries) {
+		return false
+	}
+	for k, e := range b.entries {
+		oe := o.entries[k]
+		if oe == nil || oe.count != e.count {
+			return false
+		}
+	}
+	return true
+}
+
+// sorted returns the entries ordered by tuple, for deterministic iteration
+// and rendering.
+func (b *bag) sorted() []*bagEntry {
+	out := make([]*bagEntry, 0, len(b.entries))
+	for _, e := range b.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].tuple.Compare(out[j].tuple) < 0 })
+	return out
+}
+
+func (b *bag) render(schema *Schema) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, e := range b.sorted() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(e.tuple.String())
+		if e.count != 1 {
+			fmt.Fprintf(&sb, "x%d", e.count)
+		}
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,204 @@
+package relation
+
+import "fmt"
+
+// Delta is a signed counted multiset over a schema: positive counts are
+// insertions, negative counts deletions. A tuple modification is represented
+// as a deletion of the old tuple plus an insertion of the new one, which is
+// exact under bag semantics.
+//
+// Deltas compose by addition, which is what makes the counting algorithm for
+// incremental view maintenance work: Δ(V) of a composed update sequence is
+// the sum of per-update Δ(V)s evaluated at the right states.
+type Delta struct {
+	schema *Schema
+	data   bag
+}
+
+// NewDelta returns an empty delta over schema.
+func NewDelta(schema *Schema) *Delta {
+	return &Delta{schema: schema, data: newBag()}
+}
+
+// InsertDelta builds a delta inserting each tuple once.
+func InsertDelta(schema *Schema, tuples ...Tuple) *Delta {
+	d := NewDelta(schema)
+	for _, t := range tuples {
+		d.Add(t, 1)
+	}
+	return d
+}
+
+// DeleteDelta builds a delta deleting each tuple once.
+func DeleteDelta(schema *Schema, tuples ...Tuple) *Delta {
+	d := NewDelta(schema)
+	for _, t := range tuples {
+		d.Add(t, -1)
+	}
+	return d
+}
+
+// ModifyDelta builds a delta replacing old with new.
+func ModifyDelta(schema *Schema, oldT, newT Tuple) *Delta {
+	d := NewDelta(schema)
+	d.Add(oldT, -1)
+	d.Add(newT, 1)
+	return d
+}
+
+// Schema returns the delta's schema.
+func (d *Delta) Schema() *Schema { return d.schema }
+
+// Add adjusts the signed count of t by n. Opposite-signed adjustments cancel.
+func (d *Delta) Add(t Tuple, n int64) {
+	d.data.add(t, n)
+}
+
+// AddChecked is Add with schema validation, for deltas built from
+// external/unchecked input.
+func (d *Delta) AddChecked(t Tuple, n int64) error {
+	if err := t.CheckSchema(d.schema); err != nil {
+		return err
+	}
+	d.data.add(t, n)
+	return nil
+}
+
+// Merge adds every entry of o into d. Schemas must match.
+func (d *Delta) Merge(o *Delta) error {
+	if o == nil {
+		return nil
+	}
+	if !d.schema.Equal(o.schema) {
+		return fmt.Errorf("relation: cannot merge delta over %s into delta over %s", o.schema, d.schema)
+	}
+	for _, e := range o.data.entries {
+		d.data.add(e.tuple, e.count)
+	}
+	return nil
+}
+
+// Negate returns a new delta with all counts negated.
+func (d *Delta) Negate() *Delta {
+	out := NewDelta(d.schema)
+	for _, e := range d.data.entries {
+		out.Add(e.tuple, -e.count)
+	}
+	return out
+}
+
+// Count returns the signed count of t.
+func (d *Delta) Count(t Tuple) int64 { return d.data.count(t) }
+
+// Empty reports whether the delta is a no-op.
+func (d *Delta) Empty() bool { return d == nil || len(d.data.entries) == 0 }
+
+// Distinct returns the number of distinct tuples mentioned.
+func (d *Delta) Distinct() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.data.entries)
+}
+
+// Size returns the total absolute multiplicity |Δ| — the natural measure of
+// how much work applying the delta is.
+func (d *Delta) Size() int64 {
+	if d == nil {
+		return 0
+	}
+	var s int64
+	for _, e := range d.data.entries {
+		if e.count < 0 {
+			s -= e.count
+		} else {
+			s += e.count
+		}
+	}
+	return s
+}
+
+// Each calls fn for every (tuple, signed count) pair in unspecified order.
+func (d *Delta) Each(fn func(t Tuple, n int64) bool) {
+	if d == nil {
+		return
+	}
+	for _, e := range d.data.entries {
+		if !fn(e.tuple, e.count) {
+			return
+		}
+	}
+}
+
+// EachSorted is Each in deterministic (sorted-tuple) order.
+func (d *Delta) EachSorted(fn func(t Tuple, n int64) bool) {
+	if d == nil {
+		return
+	}
+	for _, e := range d.data.sorted() {
+		if !fn(e.tuple, e.count) {
+			return
+		}
+	}
+}
+
+// Split partitions the delta into its insertion part (positive counts) and
+// deletion part (negative counts, returned with positive sign as a delete
+// set). Used by convergent view managers and by refresh action lists.
+func (d *Delta) Split() (inserts, deletes *Delta) {
+	inserts, deletes = NewDelta(d.schema), NewDelta(d.schema)
+	for _, e := range d.data.entries {
+		if e.count > 0 {
+			inserts.Add(e.tuple, e.count)
+		} else {
+			deletes.Add(e.tuple, e.count)
+		}
+	}
+	return inserts, deletes
+}
+
+// Clone returns a deep copy.
+func (d *Delta) Clone() *Delta {
+	if d == nil {
+		return nil
+	}
+	return &Delta{schema: d.schema, data: d.data.clone()}
+}
+
+// Equal reports entry-wise equality.
+func (d *Delta) Equal(o *Delta) bool {
+	if d == nil || o == nil {
+		return d.Empty() && o.Empty()
+	}
+	return d.schema.Equal(o.schema) && d.data.equal(&o.data)
+}
+
+// String renders the delta deterministically with signed counts, e.g.
+// {+[1 2], -[3 4]x2}.
+func (d *Delta) String() string {
+	if d == nil {
+		return "{}"
+	}
+	var out []byte
+	out = append(out, '{')
+	for i, e := range d.data.sorted() {
+		if i > 0 {
+			out = append(out, ", "...)
+		}
+		if e.count > 0 {
+			out = append(out, '+')
+		} else {
+			out = append(out, '-')
+		}
+		out = append(out, e.tuple.String()...)
+		n := e.count
+		if n < 0 {
+			n = -n
+		}
+		if n != 1 {
+			out = append(out, fmt.Sprintf("x%d", n)...)
+		}
+	}
+	out = append(out, '}')
+	return string(out)
+}

@@ -1,0 +1,128 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// index is a hash index over a projection of the relation's columns. It is
+// created lazily on first lookup and maintained by every mutation until
+// the relation is cloned (clones start index-free and rebuild on demand).
+type index struct {
+	cols []int
+	// buckets: projection key -> tuple key -> entry.
+	buckets map[string]map[string]*bagEntry
+}
+
+func indexName(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprint(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (ix *index) add(e *bagEntry) {
+	k := e.tuple.Project(ix.cols).Key()
+	b := ix.buckets[k]
+	if b == nil {
+		b = make(map[string]*bagEntry)
+		ix.buckets[k] = b
+	}
+	b[e.tuple.Key()] = e
+}
+
+func (ix *index) remove(e *bagEntry) {
+	k := e.tuple.Project(ix.cols).Key()
+	if b := ix.buckets[k]; b != nil {
+		delete(b, e.tuple.Key())
+		if len(b) == 0 {
+			delete(ix.buckets, k)
+		}
+	}
+}
+
+// EnsureIndex builds (if absent) a persistent hash index over the given
+// column positions and keeps it maintained across mutations. Cloning drops
+// indexes; they rebuild lazily on the clone's first lookup.
+func (r *Relation) EnsureIndex(cols []int) {
+	name := indexName(cols)
+	if r.indexes == nil {
+		r.indexes = make(map[string]*index)
+	}
+	if _, ok := r.indexes[name]; ok {
+		return
+	}
+	ix := &index{cols: append([]int(nil), cols...), buckets: make(map[string]map[string]*bagEntry)}
+	for _, e := range r.data.entries {
+		ix.add(e)
+	}
+	r.indexes[name] = ix
+}
+
+// LookupEach calls fn for every tuple whose projection onto cols equals
+// key, with its multiplicity. It builds the index on first use. Iteration
+// stops early if fn returns false. fn must not mutate the relation.
+func (r *Relation) LookupEach(cols []int, key Tuple, fn func(t Tuple, n int64) bool) {
+	r.EnsureIndex(cols)
+	ix := r.indexes[indexName(cols)]
+	for _, e := range ix.buckets[key.Key()] {
+		if !fn(e.tuple, e.count) {
+			return
+		}
+	}
+}
+
+// LookupSorted is LookupEach in deterministic (sorted-tuple) order; golden
+// tests and traces use it where iteration order matters.
+func (r *Relation) LookupSorted(cols []int, key Tuple, fn func(t Tuple, n int64) bool) {
+	r.EnsureIndex(cols)
+	ix := r.indexes[indexName(cols)]
+	b := ix.buckets[key.Key()]
+	entries := make([]*bagEntry, 0, len(b))
+	for _, e := range b {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].tuple.Compare(entries[j].tuple) < 0 })
+	for _, e := range entries {
+		if !fn(e.tuple, e.count) {
+			return
+		}
+	}
+}
+
+// Indexed reports whether an index exists on the given columns (for tests
+// and observability).
+func (r *Relation) Indexed(cols []int) bool {
+	_, ok := r.indexes[indexName(cols)]
+	return ok
+}
+
+// indexUpdate maintains all indexes after a bag mutation. prev is the
+// entry pointer before the change (nil if the tuple was absent), cur the
+// pointer after (nil if removed). When prev == cur the count changed in
+// place and the indexes, which store entry pointers, need no update.
+func (r *Relation) indexUpdate(prev, cur *bagEntry) {
+	if r.indexes == nil || prev == cur {
+		return
+	}
+	for _, ix := range r.indexes {
+		if prev != nil {
+			ix.remove(prev)
+		}
+		if cur != nil {
+			ix.add(cur)
+		}
+	}
+}
+
+// mutate applies a signed count change to one tuple, maintaining indexes
+// and cardinality. Callers have already validated the change.
+func (r *Relation) mutate(t Tuple, n int64) {
+	k := t.Key()
+	prev := r.data.entries[k]
+	r.data.add(t, n)
+	r.indexUpdate(prev, r.data.entries[k])
+	r.card += n
+}

@@ -1,0 +1,157 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func lookupAll(r *Relation, cols []int, key Tuple) map[string]int64 {
+	out := map[string]int64{}
+	r.LookupEach(cols, key, func(t Tuple, n int64) bool {
+		out[t.Key()] = n
+		return true
+	})
+	return out
+}
+
+func TestIndexLookup(t *testing.T) {
+	r := FromTuples(rsSchema, T(1, 10), T(2, 10), T(3, 20))
+	got := lookupAll(r, []int{1}, T(10))
+	if len(got) != 2 || got[T(1, 10).Key()] != 1 || got[T(2, 10).Key()] != 1 {
+		t.Errorf("lookup B=10 = %v", got)
+	}
+	if !r.Indexed([]int{1}) {
+		t.Error("index should persist after first lookup")
+	}
+	if len(lookupAll(r, []int{1}, T(99))) != 0 {
+		t.Error("missing key should match nothing")
+	}
+}
+
+func TestIndexMaintainedAcrossMutations(t *testing.T) {
+	r := FromTuples(rsSchema, T(1, 10))
+	_ = lookupAll(r, []int{1}, T(10)) // build index
+	if err := r.Insert(T(2, 10), 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(T(1, 10), 1); err != nil {
+		t.Fatal(err)
+	}
+	got := lookupAll(r, []int{1}, T(10))
+	if len(got) != 1 || got[T(2, 10).Key()] != 3 {
+		t.Errorf("after mutations = %v", got)
+	}
+	// Apply-based mutation maintains the index too.
+	d := NewDelta(rsSchema)
+	d.Add(T(2, 10), -3)
+	d.Add(T(5, 10), 2)
+	if err := r.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	got = lookupAll(r, []int{1}, T(10))
+	if len(got) != 1 || got[T(5, 10).Key()] != 2 {
+		t.Errorf("after apply = %v", got)
+	}
+}
+
+func TestIndexCountChangeInPlace(t *testing.T) {
+	r := FromTuples(rsSchema, T(1, 10))
+	_ = lookupAll(r, []int{1}, T(10))
+	// Increasing multiplicity keeps the same entry; the index must report
+	// the live count.
+	if err := r.Insert(T(1, 10), 4); err != nil {
+		t.Fatal(err)
+	}
+	got := lookupAll(r, []int{1}, T(10))
+	if got[T(1, 10).Key()] != 5 {
+		t.Errorf("live count = %v", got)
+	}
+}
+
+func TestIndexCloneDropsAndRebuilds(t *testing.T) {
+	r := FromTuples(rsSchema, T(1, 10))
+	_ = lookupAll(r, []int{1}, T(10))
+	c := r.Clone()
+	if c.Indexed([]int{1}) {
+		t.Error("clone must start index-free")
+	}
+	if err := c.Insert(T(2, 10), 1); err != nil {
+		t.Fatal(err)
+	}
+	got := lookupAll(c, []int{1}, T(10))
+	if len(got) != 2 {
+		t.Errorf("clone lookup = %v", got)
+	}
+	// Original unaffected by clone's mutations.
+	if len(lookupAll(r, []int{1}, T(10))) != 1 {
+		t.Error("original index polluted by clone")
+	}
+}
+
+func TestIndexMultiColumnAndSorted(t *testing.T) {
+	r := FromTuples(rsSchema, T(1, 10), T(1, 20), T(2, 10))
+	got := lookupAll(r, []int{0, 1}, T(1, 10))
+	if len(got) != 1 {
+		t.Errorf("composite lookup = %v", got)
+	}
+	var order []Tuple
+	r.LookupSorted([]int{1}, T(10), func(tu Tuple, n int64) bool {
+		order = append(order, tu)
+		return true
+	})
+	if len(order) != 2 || !order[0].Equal(T(1, 10)) || !order[1].Equal(T(2, 10)) {
+		t.Errorf("sorted lookup = %v", order)
+	}
+	// Early stop.
+	count := 0
+	r.LookupEach([]int{1}, T(10), func(Tuple, int64) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early stop visited %d", count)
+	}
+	count = 0
+	r.LookupSorted([]int{1}, T(10), func(Tuple, int64) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("sorted early stop visited %d", count)
+	}
+}
+
+// Property: indexed lookup equals scanning with a filter, across random
+// mutation histories.
+func TestIndexEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := New(rsSchema)
+		_ = lookupAll(r, []int{1}, T(0)) // index from the start
+		for i := 0; i < 40; i++ {
+			tu := T(rng.Intn(4), rng.Intn(4))
+			if rng.Intn(3) == 0 && r.Count(tu) > 0 {
+				_ = r.Delete(tu, 1)
+			} else {
+				_ = r.Insert(tu, int64(1+rng.Intn(2)))
+			}
+		}
+		for key := 0; key < 4; key++ {
+			got := lookupAll(r, []int{1}, T(key))
+			want := map[string]int64{}
+			r.Each(func(tu Tuple, n int64) bool {
+				if tu[1].Int() == int64(key) {
+					want[tu.Key()] = n
+				}
+				return true
+			})
+			if len(got) != len(want) {
+				return false
+			}
+			for k, n := range want {
+				if got[k] != n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+package relation
+
+import (
+	"fmt"
+)
+
+// Relation is a bag-semantics (counted multiset) relation instance with a
+// fixed schema. Counts are strictly positive; applying a Delta that would
+// drive a count negative is an error, because it means incremental
+// maintenance diverged from the base data.
+//
+// Relation is not safe for concurrent mutation; the processes that own
+// relations (sources, warehouse) serialize access.
+type Relation struct {
+	schema  *Schema
+	data    bag
+	card    int64 // total multiplicity
+	indexes map[string]*index
+}
+
+// New returns an empty relation over schema.
+func New(schema *Schema) *Relation {
+	return &Relation{schema: schema, data: newBag()}
+}
+
+// FromTuples builds a relation from tuples, each with multiplicity one.
+// It panics if a tuple does not match the schema; it is intended for tests
+// and example setup where data is literal.
+func FromTuples(schema *Schema, tuples ...Tuple) *Relation {
+	r := New(schema)
+	for _, t := range tuples {
+		if err := r.Insert(t, 1); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Insert adds n (>0) copies of t.
+func (r *Relation) Insert(t Tuple, n int64) error {
+	if n <= 0 {
+		return fmt.Errorf("relation: Insert multiplicity must be positive, got %d", n)
+	}
+	if err := t.CheckSchema(r.schema); err != nil {
+		return err
+	}
+	r.mutate(t, n)
+	return nil
+}
+
+// Delete removes n (>0) copies of t. It is an error to remove more copies
+// than present.
+func (r *Relation) Delete(t Tuple, n int64) error {
+	if n <= 0 {
+		return fmt.Errorf("relation: Delete multiplicity must be positive, got %d", n)
+	}
+	if err := t.CheckSchema(r.schema); err != nil {
+		return err
+	}
+	if have := r.data.count(t); have < n {
+		return fmt.Errorf("relation: cannot delete %d copies of %v, only %d present", n, t, have)
+	}
+	r.mutate(t, -n)
+	return nil
+}
+
+// Apply applies a signed delta to the relation. Every resulting count must
+// remain non-negative; on violation the relation is left unchanged and an
+// error is returned.
+func (r *Relation) Apply(d *Delta) error {
+	if d == nil {
+		return nil
+	}
+	if !r.schema.Equal(d.schema) {
+		return fmt.Errorf("relation: delta schema %s does not match relation schema %s", d.schema, r.schema)
+	}
+	// Validate first so failure cannot leave a partial application.
+	for _, e := range d.data.entries {
+		if e.count < 0 && r.data.count(e.tuple) < -e.count {
+			return fmt.Errorf("relation: delta deletes %d copies of %v, only %d present",
+				-e.count, e.tuple, r.data.count(e.tuple))
+		}
+	}
+	for _, e := range d.data.entries {
+		r.mutate(e.tuple, e.count)
+	}
+	return nil
+}
+
+// Count returns the multiplicity of t (zero if absent).
+func (r *Relation) Count(t Tuple) int64 { return r.data.count(t) }
+
+// Contains reports whether t occurs at least once.
+func (r *Relation) Contains(t Tuple) bool { return r.data.count(t) > 0 }
+
+// Distinct returns the number of distinct tuples.
+func (r *Relation) Distinct() int { return len(r.data.entries) }
+
+// Cardinality returns the total multiplicity.
+func (r *Relation) Cardinality() int64 { return r.card }
+
+// Empty reports whether the relation has no tuples.
+func (r *Relation) Empty() bool { return len(r.data.entries) == 0 }
+
+// Each calls fn for every distinct tuple with its multiplicity, in
+// unspecified order. fn must not mutate the tuple. Iteration stops early if
+// fn returns false.
+func (r *Relation) Each(fn func(t Tuple, n int64) bool) {
+	for _, e := range r.data.entries {
+		if !fn(e.tuple, e.count) {
+			return
+		}
+	}
+}
+
+// EachSorted is Each in deterministic (sorted-tuple) order.
+func (r *Relation) EachSorted(fn func(t Tuple, n int64) bool) {
+	for _, e := range r.data.sorted() {
+		if !fn(e.tuple, e.count) {
+			return
+		}
+	}
+}
+
+// Tuples returns the distinct tuples in sorted order, ignoring counts.
+func (r *Relation) Tuples() []Tuple {
+	es := r.data.sorted()
+	out := make([]Tuple, len(es))
+	for i, e := range es {
+		out[i] = e.tuple
+	}
+	return out
+}
+
+// Clone returns a deep copy. Indexes are not copied; a clone rebuilds them
+// lazily on its first lookup.
+func (r *Relation) Clone() *Relation {
+	return &Relation{schema: r.schema, data: r.data.clone(), card: r.card}
+}
+
+// Equal reports whether two relations have equal schemas and contents
+// (including multiplicities).
+func (r *Relation) Equal(o *Relation) bool {
+	if r == o {
+		return true
+	}
+	if r == nil || o == nil {
+		return false
+	}
+	return r.schema.Equal(o.schema) && r.data.equal(&o.data)
+}
+
+// DiffFrom returns the delta that transforms old into r, i.e. r - old.
+func (r *Relation) DiffFrom(old *Relation) *Delta {
+	d := NewDelta(r.schema)
+	for _, e := range r.data.entries {
+		d.Add(e.tuple, e.count)
+	}
+	for _, e := range old.data.entries {
+		d.Add(e.tuple, -e.count)
+	}
+	return d
+}
+
+// AsDelta returns the relation's contents as an all-positive delta
+// (useful for "insert everything" refresh action lists).
+func (r *Relation) AsDelta() *Delta {
+	d := NewDelta(r.schema)
+	for _, e := range r.data.entries {
+		d.Add(e.tuple, e.count)
+	}
+	return d
+}
+
+// String renders the relation's contents deterministically.
+func (r *Relation) String() string { return r.data.render(r.schema) }

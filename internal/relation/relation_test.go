@@ -1,0 +1,333 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var rsSchema = MustSchema("A:int", "B:int")
+
+func TestTupleBasics(t *testing.T) {
+	tp := T(1, "x", 2.5, true)
+	if len(tp) != 4 {
+		t.Fatalf("len = %d", len(tp))
+	}
+	if !tp.Equal(T(1, "x", 2.5, true)) {
+		t.Error("Equal failed on identical tuples")
+	}
+	if tp.Equal(T(1, "x", 2.5)) || tp.Equal(T(1, "y", 2.5, true)) {
+		t.Error("Equal matched distinct tuples")
+	}
+	if got := tp.String(); got != "[1 x 2.5 true]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTupleCompare(t *testing.T) {
+	if T(1, 2).Compare(T(1, 3)) >= 0 {
+		t.Error("lexicographic order broken")
+	}
+	if T(1).Compare(T(1, 0)) >= 0 {
+		t.Error("shorter tuple should order first")
+	}
+	if T(2).Compare(T(1, 9)) <= 0 {
+		t.Error("first position dominates")
+	}
+	if T(1, 2).Compare(T(1, 2)) != 0 {
+		t.Error("equal tuples should compare 0")
+	}
+}
+
+func TestTupleProjectConcatClone(t *testing.T) {
+	tp := T(10, 20, 30)
+	if got := tp.Project([]int{2, 0}); !got.Equal(T(30, 10)) {
+		t.Errorf("Project = %v", got)
+	}
+	if got := T(1).Concat(T(2, 3)); !got.Equal(T(1, 2, 3)) {
+		t.Errorf("Concat = %v", got)
+	}
+	c := tp.Clone()
+	c[0] = V(99)
+	if tp[0] != V(10) {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestTupleCheckSchema(t *testing.T) {
+	s := MustSchema("A:int", "B:string")
+	if err := T(1, "x").CheckSchema(s); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	if err := T(1).CheckSchema(s); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := T("x", "y").CheckSchema(s); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestRelationInsertDelete(t *testing.T) {
+	r := New(rsSchema)
+	if err := r.Insert(T(1, 2), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(T(1, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Count(T(1, 2)); got != 3 {
+		t.Errorf("Count = %d, want 3", got)
+	}
+	if r.Cardinality() != 3 || r.Distinct() != 1 {
+		t.Errorf("Cardinality=%d Distinct=%d", r.Cardinality(), r.Distinct())
+	}
+	if err := r.Delete(T(1, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Count(T(1, 2)); got != 1 {
+		t.Errorf("after delete Count = %d", got)
+	}
+	if err := r.Delete(T(1, 2), 5); err == nil {
+		t.Error("over-delete must fail")
+	}
+	if err := r.Delete(T(9, 9), 1); err == nil {
+		t.Error("deleting absent tuple must fail")
+	}
+	if err := r.Insert(T(1, 2), 0); err == nil {
+		t.Error("zero multiplicity insert must fail")
+	}
+	if err := r.Delete(T(1, 2), -1); err == nil {
+		t.Error("negative multiplicity delete must fail")
+	}
+	if err := r.Insert(T("x", "y"), 1); err == nil {
+		t.Error("schema-mismatched insert must fail")
+	}
+}
+
+func TestRelationApplyDeltaAtomicity(t *testing.T) {
+	r := FromTuples(rsSchema, T(1, 1), T(2, 2))
+	d := NewDelta(rsSchema)
+	d.Add(T(1, 1), -1)
+	d.Add(T(3, 3), 1)
+	d.Add(T(2, 2), -2) // over-delete: only one copy present
+	before := r.Clone()
+	if err := r.Apply(d); err == nil {
+		t.Fatal("over-deleting delta must fail")
+	}
+	if !r.Equal(before) {
+		t.Error("failed Apply must leave relation unchanged")
+	}
+
+	ok := NewDelta(rsSchema)
+	ok.Add(T(1, 1), -1)
+	ok.Add(T(3, 3), 2)
+	if err := r.Apply(ok); err != nil {
+		t.Fatal(err)
+	}
+	if r.Count(T(1, 1)) != 0 || r.Count(T(3, 3)) != 2 || r.Cardinality() != 3 {
+		t.Errorf("after Apply: %v card=%d", r, r.Cardinality())
+	}
+	if err := r.Apply(nil); err != nil {
+		t.Errorf("Apply(nil) should be a no-op, got %v", err)
+	}
+	bad := NewDelta(MustSchema("Z:int"))
+	if err := r.Apply(bad); err == nil {
+		t.Error("schema-mismatched delta must fail")
+	}
+}
+
+func TestRelationCloneIndependence(t *testing.T) {
+	r := FromTuples(rsSchema, T(1, 2))
+	c := r.Clone()
+	if err := c.Insert(T(3, 4), 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Contains(T(3, 4)) {
+		t.Error("Clone aliases original")
+	}
+	if !r.Equal(r) || !r.Equal(r.Clone()) {
+		t.Error("Equal reflexivity broken")
+	}
+	if r.Equal(nil) {
+		t.Error("Equal(nil) should be false")
+	}
+}
+
+func TestRelationDiffFrom(t *testing.T) {
+	old := FromTuples(rsSchema, T(1, 1), T(2, 2))
+	cur := FromTuples(rsSchema, T(2, 2), T(3, 3))
+	d := cur.DiffFrom(old)
+	if d.Count(T(1, 1)) != -1 || d.Count(T(3, 3)) != 1 || d.Count(T(2, 2)) != 0 {
+		t.Errorf("DiffFrom = %v", d)
+	}
+	// old + diff == cur
+	reconstructed := old.Clone()
+	if err := reconstructed.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	if !reconstructed.Equal(cur) {
+		t.Errorf("old+diff = %v, want %v", reconstructed, cur)
+	}
+}
+
+func TestRelationTuplesSortedAndString(t *testing.T) {
+	r := FromTuples(rsSchema, T(2, 1), T(1, 2), T(1, 1))
+	ts := r.Tuples()
+	if len(ts) != 3 || !ts[0].Equal(T(1, 1)) || !ts[1].Equal(T(1, 2)) || !ts[2].Equal(T(2, 1)) {
+		t.Errorf("Tuples() = %v", ts)
+	}
+	if got := r.String(); got != "{[1 1], [1 2], [2 1]}" {
+		t.Errorf("String = %q", got)
+	}
+	var seen int
+	r.EachSorted(func(Tuple, int64) bool { seen++; return seen < 2 })
+	if seen != 2 {
+		t.Errorf("EachSorted early stop failed, seen=%d", seen)
+	}
+}
+
+func TestDeltaBasics(t *testing.T) {
+	d := NewDelta(rsSchema)
+	if !d.Empty() {
+		t.Error("new delta should be empty")
+	}
+	d.Add(T(1, 1), 1)
+	d.Add(T(1, 1), -1)
+	if !d.Empty() {
+		t.Error("cancelling adds should empty the delta")
+	}
+	d.Add(T(1, 1), 2)
+	d.Add(T(2, 2), -3)
+	if d.Size() != 5 || d.Distinct() != 2 {
+		t.Errorf("Size=%d Distinct=%d", d.Size(), d.Distinct())
+	}
+	n := d.Negate()
+	if n.Count(T(1, 1)) != -2 || n.Count(T(2, 2)) != 3 {
+		t.Errorf("Negate = %v", n)
+	}
+	ins, del := d.Split()
+	if ins.Count(T(1, 1)) != 2 || !del.Empty() == false || del.Count(T(2, 2)) != -3 {
+		t.Errorf("Split = %v / %v", ins, del)
+	}
+	if got := d.String(); got != "{+[1 1]x2, -[2 2]x3}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDeltaMergeAndEqual(t *testing.T) {
+	a := InsertDelta(rsSchema, T(1, 1))
+	b := DeleteDelta(rsSchema, T(1, 1))
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Empty() {
+		t.Error("merge of inverse deltas should cancel")
+	}
+	if err := a.Merge(NewDelta(MustSchema("Z:int"))); err == nil {
+		t.Error("merging mismatched schemas must fail")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Error("Merge(nil) should be a no-op")
+	}
+	var nilD *Delta
+	if !nilD.Empty() || nilD.Size() != 0 || nilD.Distinct() != 0 {
+		t.Error("nil delta should behave as empty")
+	}
+	if nilD.String() != "{}" {
+		t.Error("nil delta String")
+	}
+	if !nilD.Equal(NewDelta(rsSchema)) {
+		t.Error("nil delta should Equal empty delta")
+	}
+}
+
+func TestModifyDelta(t *testing.T) {
+	d := ModifyDelta(rsSchema, T(1, 1), T(1, 2))
+	r := FromTuples(rsSchema, T(1, 1))
+	if err := r.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(FromTuples(rsSchema, T(1, 2))) {
+		t.Errorf("modify produced %v", r)
+	}
+}
+
+func TestDeltaAddChecked(t *testing.T) {
+	d := NewDelta(rsSchema)
+	if err := d.AddChecked(T(1, 2), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddChecked(T("x", "y"), 1); err == nil {
+		t.Error("AddChecked must reject mismatched tuples")
+	}
+}
+
+// Property: applying a random sequence of insert/delete deltas one at a time
+// equals applying their merged sum, whenever both are legal.
+func TestDeltaCompositionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		base := New(rsSchema)
+		for i := 0; i < 10; i++ {
+			_ = base.Insert(T(rng.Intn(4), rng.Intn(4)), int64(1+rng.Intn(3)))
+		}
+		seq := base.Clone()
+		sum := NewDelta(rsSchema)
+		for i := 0; i < 20; i++ {
+			d := NewDelta(rsSchema)
+			tu := T(rng.Intn(4), rng.Intn(4))
+			if rng.Intn(2) == 0 || seq.Count(tu) == 0 {
+				d.Add(tu, int64(1+rng.Intn(2)))
+			} else {
+				d.Add(tu, -1)
+			}
+			if err := seq.Apply(d); err != nil {
+				return false
+			}
+			_ = sum.Merge(d)
+		}
+		batch := base.Clone()
+		if err := batch.Apply(sum); err != nil {
+			return false
+		}
+		return batch.Equal(seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DiffFrom is exact for random relation pairs.
+func TestDiffFromProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *Relation {
+			r := New(rsSchema)
+			for i := 0; i < rng.Intn(12); i++ {
+				_ = r.Insert(T(rng.Intn(3), rng.Intn(3)), int64(1+rng.Intn(3)))
+			}
+			return r
+		}
+		a, b := mk(), mk()
+		got := a.Clone()
+		if err := got.Apply(b.DiffFrom(a)); err != nil {
+			return false
+		}
+		return got.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAsDelta(t *testing.T) {
+	r := FromTuples(rsSchema, T(1, 1), T(2, 2))
+	d := r.AsDelta()
+	empty := New(rsSchema)
+	if err := empty.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	if !empty.Equal(r) {
+		t.Errorf("AsDelta round-trip = %v", empty)
+	}
+}

@@ -1,0 +1,159 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attr is a named, typed attribute of a schema.
+type Attr struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of attributes with unique names. Schemas are
+// immutable after construction and may be shared freely.
+type Schema struct {
+	attrs  []Attr
+	byName map[string]int
+}
+
+// NewSchema builds a schema from attributes. It panics if two attributes
+// share a name; schema construction errors are programming errors, not
+// runtime conditions.
+func NewSchema(attrs ...Attr) *Schema {
+	s := &Schema{attrs: append([]Attr(nil), attrs...), byName: make(map[string]int, len(attrs))}
+	for i, a := range s.attrs {
+		if _, dup := s.byName[a.Name]; dup {
+			panic(fmt.Sprintf("relation: duplicate attribute %q in schema", a.Name))
+		}
+		s.byName[a.Name] = i
+	}
+	return s
+}
+
+// MustSchema builds a schema from "name:type" strings, e.g.
+// MustSchema("A:int", "B:string"). It panics on malformed input.
+func MustSchema(cols ...string) *Schema {
+	attrs := make([]Attr, len(cols))
+	for i, c := range cols {
+		name, typ, ok := strings.Cut(c, ":")
+		if !ok {
+			panic(fmt.Sprintf("relation: malformed column spec %q", c))
+		}
+		var t Type
+		switch typ {
+		case "int":
+			t = Int
+		case "string":
+			t = String
+		case "float":
+			t = Float
+		case "bool":
+			t = Bool
+		default:
+			panic(fmt.Sprintf("relation: unknown type %q in column spec", typ))
+		}
+		attrs[i] = Attr{Name: name, Type: t}
+	}
+	return NewSchema(attrs...)
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attr { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attr { return append([]Attr(nil), s.attrs...) }
+
+// Index returns the position of the named attribute and whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// Has reports whether the schema contains the named attribute.
+func (s *Schema) Has(name string) bool {
+	_, ok := s.byName[name]
+	return ok
+}
+
+// Names returns the attribute names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Equal reports whether two schemas have identical attribute lists.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == o {
+		return true
+	}
+	if s == nil || o == nil || len(s.attrs) != len(o.attrs) {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != o.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns the schema restricted to the named attributes, in the
+// given order, together with the source positions of each kept attribute.
+func (s *Schema) Project(names ...string) (*Schema, []int, error) {
+	attrs := make([]Attr, len(names))
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j, ok := s.byName[n]
+		if !ok {
+			return nil, nil, fmt.Errorf("relation: schema has no attribute %q", n)
+		}
+		attrs[i] = s.attrs[j]
+		idx[i] = j
+	}
+	return NewSchema(attrs...), idx, nil
+}
+
+// NaturalJoin returns the merged schema of a natural join: all attributes of
+// s followed by the attributes of o that are not shared. It also returns the
+// shared attribute names (the join key) and an error if a shared name has
+// conflicting types.
+func (s *Schema) NaturalJoin(o *Schema) (*Schema, []string, error) {
+	merged := append([]Attr(nil), s.attrs...)
+	var shared []string
+	for _, a := range o.attrs {
+		if j, ok := s.byName[a.Name]; ok {
+			if s.attrs[j].Type != a.Type {
+				return nil, nil, fmt.Errorf("relation: join attribute %q has conflicting types %v and %v",
+					a.Name, s.attrs[j].Type, a.Type)
+			}
+			shared = append(shared, a.Name)
+		} else {
+			merged = append(merged, a)
+		}
+	}
+	return NewSchema(merged...), shared, nil
+}
+
+// String renders the schema as (A:int, B:string).
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name)
+		b.WriteByte(':')
+		b.WriteString(a.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package relation
+
+import "testing"
+
+func TestMustSchema(t *testing.T) {
+	s := MustSchema("A:int", "B:string", "C:float", "D:bool")
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	want := []Attr{{"A", Int}, {"B", String}, {"C", Float}, {"D", Bool}}
+	for i, w := range want {
+		if s.Attr(i) != w {
+			t.Errorf("Attr(%d) = %v, want %v", i, s.Attr(i), w)
+		}
+	}
+	if i, ok := s.Index("C"); !ok || i != 2 {
+		t.Errorf("Index(C) = %d, %v", i, ok)
+	}
+	if _, ok := s.Index("Z"); ok {
+		t.Error("Index(Z) should be absent")
+	}
+	if !s.Has("A") || s.Has("Z") {
+		t.Error("Has mismatch")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	for _, bad := range []string{"A", "A:complex"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MustSchema(%q) should panic", bad)
+				}
+			}()
+			MustSchema(bad)
+		}()
+	}
+}
+
+func TestNewSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate attribute should panic")
+		}
+	}()
+	NewSchema(Attr{"A", Int}, Attr{"A", String})
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := MustSchema("A:int", "B:string")
+	b := MustSchema("A:int", "B:string")
+	c := MustSchema("A:int", "B:int")
+	d := MustSchema("A:int")
+	if !a.Equal(b) {
+		t.Error("identical schemas not Equal")
+	}
+	if a.Equal(c) || a.Equal(d) || a.Equal(nil) {
+		t.Error("distinct schemas reported Equal")
+	}
+	if !a.Equal(a) {
+		t.Error("schema not Equal to itself")
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := MustSchema("A:int", "B:string", "C:float")
+	p, idx, err := s.Project("C", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Attr(0).Name != "C" || p.Attr(1).Name != "A" {
+		t.Errorf("projected schema = %s", p)
+	}
+	if idx[0] != 2 || idx[1] != 0 {
+		t.Errorf("projection positions = %v", idx)
+	}
+	if _, _, err := s.Project("Z"); err == nil {
+		t.Error("projecting missing attribute should fail")
+	}
+}
+
+func TestSchemaNaturalJoin(t *testing.T) {
+	r := MustSchema("A:int", "B:int")
+	s := MustSchema("B:int", "C:int")
+	j, shared, err := r.NaturalJoin(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.String(); got != "(A:int, B:int, C:int)" {
+		t.Errorf("joined schema = %s", got)
+	}
+	if len(shared) != 1 || shared[0] != "B" {
+		t.Errorf("shared = %v", shared)
+	}
+
+	// Disjoint schemas: cross product, no shared attributes.
+	q := MustSchema("D:int")
+	j2, shared2, err := r.NaturalJoin(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 3 || len(shared2) != 0 {
+		t.Errorf("disjoint join schema = %s shared = %v", j2, shared2)
+	}
+
+	// Conflicting type on the shared name is an error.
+	bad := MustSchema("B:string")
+	if _, _, err := r.NaturalJoin(bad); err == nil {
+		t.Error("conflicting join types should fail")
+	}
+}
+
+func TestSchemaNamesAndAttrsAreCopies(t *testing.T) {
+	s := MustSchema("A:int", "B:string")
+	names := s.Names()
+	names[0] = "Z"
+	if s.Attr(0).Name != "A" {
+		t.Error("Names() must return a copy")
+	}
+	attrs := s.Attrs()
+	attrs[0].Name = "Z"
+	if s.Attr(0).Name != "A" {
+		t.Error("Attrs() must return a copy")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustSchema("A:int", "B:string")
+	if got := s.String(); got != "(A:int, B:string)" {
+		t.Errorf("String = %q", got)
+	}
+}

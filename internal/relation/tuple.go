@@ -1,0 +1,101 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is an ordered list of values conforming to some schema. Tuples are
+// treated as immutable; operations that derive new tuples allocate.
+type Tuple []Value
+
+// T builds a tuple from native Go literals via V.
+func T(vals ...any) Tuple {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = V(v)
+	}
+	return t
+}
+
+// Key returns an injective string encoding of the tuple, suitable as a map
+// key. Two tuples have equal keys exactly when they are Equal.
+func (t Tuple) Key() string {
+	buf := make([]byte, 0, len(t)*10)
+	for _, v := range t {
+		buf = v.appendEncoded(buf)
+	}
+	return string(buf)
+}
+
+// Equal reports value-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if t[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically by Value.Compare; shorter tuples
+// order first on a tie.
+func (t Tuple) Compare(o Tuple) int {
+	n := min(len(t), len(o))
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(o[i]); c != 0 {
+			return c
+		}
+	}
+	return len(t) - len(o)
+}
+
+// Project returns the tuple restricted to the given positions.
+func (t Tuple) Project(idx []int) Tuple {
+	out := make(Tuple, len(idx))
+	for i, j := range idx {
+		out[i] = t[j]
+	}
+	return out
+}
+
+// Concat returns t followed by o.
+func (t Tuple) Concat(o Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(o))
+	out = append(out, t...)
+	return append(out, o...)
+}
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// CheckSchema verifies that the tuple's arity and value kinds match s.
+func (t Tuple) CheckSchema(s *Schema) error {
+	if len(t) != s.Len() {
+		return fmt.Errorf("relation: tuple arity %d does not match schema %s", len(t), s)
+	}
+	for i, v := range t {
+		if v.Kind() != s.Attr(i).Type {
+			return fmt.Errorf("relation: attribute %q expects %v, got %v",
+				s.Attr(i).Name, s.Attr(i).Type, v.Kind())
+		}
+	}
+	return nil
+}
+
+// String renders the tuple as [v1 v2 ...], matching the paper's notation.
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,211 @@
+// Package relation implements the relational substrate used throughout the
+// WHIPS reproduction: typed values, schemas, tuples, and bag-semantics
+// (counted multiset) relations and deltas.
+//
+// The MVC algorithms themselves are data-model independent (paper §3.1); the
+// relational model here is the concrete model used by the paper's examples
+// (project-select-join views such as V1 = R ⋈ S) and by our view managers'
+// incremental delta computation. Bag semantics with signed counts is what
+// makes incremental maintenance exact under projection (the classic counting
+// algorithm), so relations and deltas share one counted representation.
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Type enumerates the value types supported by the engine.
+type Type uint8
+
+// Supported value types.
+const (
+	Int Type = iota
+	String
+	Float
+	Bool
+)
+
+// String returns the lowercase name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "int"
+	case String:
+		return "string"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Value is a single typed attribute value. The zero Value is the Int 0.
+//
+// Value is a small comparable struct (no interfaces) so tuples can be
+// encoded cheaply and compared deterministically.
+type Value struct {
+	kind Type
+	i    int64 // Int, and Bool (0/1)
+	f    float64
+	s    string
+}
+
+// IntVal returns an Int value.
+func IntVal(v int64) Value { return Value{kind: Int, i: v} }
+
+// StringVal returns a String value.
+func StringVal(v string) Value { return Value{kind: String, s: v} }
+
+// FloatVal returns a Float value.
+func FloatVal(v float64) Value { return Value{kind: Float, f: v} }
+
+// BoolVal returns a Bool value.
+func BoolVal(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: Bool, i: i}
+}
+
+// V converts a native Go value to a Value. It accepts int, int64, string,
+// float64 and bool, and panics on any other type; it is a convenience for
+// tests and examples where literals dominate.
+func V(v any) Value {
+	switch x := v.(type) {
+	case int:
+		return IntVal(int64(x))
+	case int64:
+		return IntVal(x)
+	case string:
+		return StringVal(x)
+	case float64:
+		return FloatVal(x)
+	case bool:
+		return BoolVal(x)
+	case Value:
+		return x
+	default:
+		panic(fmt.Sprintf("relation.V: unsupported literal type %T", v))
+	}
+}
+
+// Kind reports the value's type.
+func (v Value) Kind() Type { return v.kind }
+
+// Int returns the value as int64. It panics unless Kind is Int.
+func (v Value) Int() int64 {
+	if v.kind != Int {
+		panic("relation: Int() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Str returns the value as string. It panics unless Kind is String.
+func (v Value) Str() string {
+	if v.kind != String {
+		panic("relation: Str() on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Float returns the value as float64. It panics unless Kind is Float.
+func (v Value) Float() float64 {
+	if v.kind != Float {
+		panic("relation: Float() on " + v.kind.String())
+	}
+	return v.f
+}
+
+// Bool returns the value as bool. It panics unless Kind is Bool.
+func (v Value) Bool() bool {
+	if v.kind != Bool {
+		panic("relation: Bool() on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// Equal reports whether two values have the same type and content.
+func (v Value) Equal(o Value) bool { return v == o }
+
+// Compare orders values: first by kind, then by content. It returns a
+// negative, zero, or positive number. Float NaNs order before all other
+// floats so sorting is total.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		return int(v.kind) - int(o.kind)
+	}
+	switch v.kind {
+	case Int, Bool:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		}
+		return 0
+	case String:
+		return strings.Compare(v.s, o.s)
+	case Float:
+		a, b := v.f, o.f
+		an, bn := math.IsNaN(a), math.IsNaN(b)
+		switch {
+		case an && bn:
+			return 0
+		case an:
+			return -1
+		case bn:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// String renders the value for debugging and golden traces.
+func (v Value) String() string {
+	switch v.kind {
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case String:
+		return v.s
+	case Float:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case Bool:
+		return strconv.FormatBool(v.i != 0)
+	}
+	return "?"
+}
+
+// appendEncoded appends a self-delimiting byte encoding of v to dst. The
+// encoding is injective per kind, so encoded tuples compare equal exactly
+// when the tuples do.
+func (v Value) appendEncoded(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case Int, Bool:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(v.i))
+		dst = append(dst, buf[:]...)
+	case Float:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.f))
+		dst = append(dst, buf[:]...)
+	case String:
+		var buf [4]byte
+		binary.BigEndian.PutUint32(buf[:], uint32(len(v.s)))
+		dst = append(dst, buf[:]...)
+		dst = append(dst, v.s...)
+	}
+	return dst
+}

@@ -1,0 +1,169 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if got := IntVal(42).Int(); got != 42 {
+		t.Errorf("IntVal(42).Int() = %d", got)
+	}
+	if got := StringVal("abc").Str(); got != "abc" {
+		t.Errorf("StringVal(abc).Str() = %q", got)
+	}
+	if got := FloatVal(2.5).Float(); got != 2.5 {
+		t.Errorf("FloatVal(2.5).Float() = %v", got)
+	}
+	if !BoolVal(true).Bool() || BoolVal(false).Bool() {
+		t.Error("BoolVal round-trip failed")
+	}
+}
+
+func TestValueKind(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want Type
+	}{
+		{IntVal(1), Int},
+		{StringVal("x"), String},
+		{FloatVal(1), Float},
+		{BoolVal(true), Bool},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.want {
+			t.Errorf("Kind(%v) = %v, want %v", c.v, c.v.Kind(), c.want)
+		}
+	}
+}
+
+func TestValueAccessorPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic calling Int() on a String value")
+		}
+	}()
+	_ = StringVal("x").Int()
+}
+
+func TestVConversion(t *testing.T) {
+	if V(7) != IntVal(7) {
+		t.Error("V(int) mismatch")
+	}
+	if V(int64(7)) != IntVal(7) {
+		t.Error("V(int64) mismatch")
+	}
+	if V("s") != StringVal("s") {
+		t.Error("V(string) mismatch")
+	}
+	if V(1.5) != FloatVal(1.5) {
+		t.Error("V(float64) mismatch")
+	}
+	if V(true) != BoolVal(true) {
+		t.Error("V(bool) mismatch")
+	}
+	if V(IntVal(3)) != IntVal(3) {
+		t.Error("V(Value) should be identity")
+	}
+}
+
+func TestVPanicsOnUnsupported(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsupported literal")
+		}
+	}()
+	_ = V(struct{}{})
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int // sign
+	}{
+		{IntVal(1), IntVal(2), -1},
+		{IntVal(2), IntVal(2), 0},
+		{IntVal(3), IntVal(2), 1},
+		{StringVal("a"), StringVal("b"), -1},
+		{StringVal("b"), StringVal("b"), 0},
+		{FloatVal(1.5), FloatVal(2.5), -1},
+		{FloatVal(math.NaN()), FloatVal(0), -1},
+		{FloatVal(math.NaN()), FloatVal(math.NaN()), 0},
+		{BoolVal(false), BoolVal(true), -1},
+		{IntVal(100), StringVal("a"), -1}, // kinds order Int < String
+	}
+	for _, c := range cases {
+		got := c.a.Compare(c.b)
+		if sign(got) != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want sign %d", c.a, c.b, got, c.want)
+		}
+		if sign(c.b.Compare(c.a)) != -c.want {
+			t.Errorf("Compare(%v, %v) not antisymmetric", c.b, c.a)
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{IntVal(-3), "-3"},
+		{StringVal("hi"), "hi"},
+		{FloatVal(0.5), "0.5"},
+		{BoolVal(true), "true"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestEncodingInjective(t *testing.T) {
+	// Strings that could collide under naive concatenation must not collide
+	// under the length-prefixed encoding.
+	a := T("ab", "c")
+	b := T("a", "bc")
+	if a.Key() == b.Key() {
+		t.Error("length-prefixed encoding collided on string split")
+	}
+	// Int vs Float with same bits must differ by kind byte.
+	c := T(0)
+	d := T(0.0)
+	if c.Key() == d.Key() {
+		t.Error("encoding collided across kinds")
+	}
+}
+
+func TestEncodingInjectiveProperty(t *testing.T) {
+	f := func(a1, b1 int64, a2, b2 string) bool {
+		t1 := T(a1, a2)
+		t2 := T(b1, b2)
+		return (t1.Key() == t2.Key()) == t1.Equal(t2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if Int.String() != "int" || String.String() != "string" ||
+		Float.String() != "float" || Bool.String() != "bool" {
+		t.Error("Type.String mismatch")
+	}
+	if Type(99).String() == "" {
+		t.Error("unknown type should render non-empty")
+	}
+}

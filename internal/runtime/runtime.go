@@ -1,0 +1,270 @@
+// Package runtime executes the warehouse architecture with real
+// concurrency: every process (cluster, integrator, view managers, merge
+// process(es), warehouse) runs as its own goroutine, exactly the
+// "separate concurrent process" design of the paper's Figure 1.
+//
+// Message channels guarantee FIFO per sender→receiver edge and nothing
+// else — the delivery model the paper's algorithms assume (§4: "messages
+// from the same process must arrive in the order sent"). An optional
+// per-edge jitter delays whole edges by random amounts, shaking out
+// cross-edge orderings without ever violating per-edge FIFO.
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whips/internal/msg"
+)
+
+type envelope struct {
+	to string
+	m  any
+}
+
+// Network runs a set of nodes as goroutines.
+type Network struct {
+	nodes   map[string]msg.Node
+	inboxes map[string]chan envelope
+
+	mu     sync.Mutex
+	edges  map[string]chan envelope
+	jitter func(from, to string) time.Duration
+	remote func(to string, m any)
+
+	wg      sync.WaitGroup
+	edgeWG  sync.WaitGroup
+	timerWG sync.WaitGroup
+	stop    chan struct{}
+	started bool
+	stopped bool
+
+	// inFlight counts messages that have been accepted for delivery but
+	// whose handling (including enqueueing the handler's own outputs) has
+	// not finished — the quiescence measure Drain waits on.
+	inFlight atomic.Int64
+
+	buffer int
+}
+
+// Option configures the network.
+type Option func(*Network)
+
+// WithJitter delays each sender→receiver edge by a per-message random
+// duration drawn from fn. Order within an edge is preserved (the delay
+// applies to the head of the edge queue), so the paper's delivery model
+// still holds.
+func WithJitter(fn func(from, to string) time.Duration) Option {
+	return func(n *Network) { n.jitter = fn }
+}
+
+// WithSeededJitter is WithJitter with a uniform 0..max duration from a
+// seeded source. Handy for reproducible-ish chaos tests.
+func WithSeededJitter(seed int64, max time.Duration) Option {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return WithJitter(func(string, string) time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		if max <= 0 {
+			return 0
+		}
+		return time.Duration(rng.Int63n(int64(max)))
+	})
+}
+
+// WithBuffer sets the inbox buffer size (default 1024).
+func WithBuffer(n int) Option { return func(net *Network) { net.buffer = n } }
+
+// WithRemote routes messages addressed to nodes this network does not host
+// through send — the hook the wire bridge plugs into so processes can span
+// machines. Without it, an unknown destination panics.
+func WithRemote(send func(to string, m any)) Option {
+	return func(net *Network) { net.remote = send }
+}
+
+// New builds a network over the given nodes.
+func New(nodes []msg.Node, opts ...Option) *Network {
+	n := &Network{
+		nodes:   make(map[string]msg.Node, len(nodes)),
+		inboxes: make(map[string]chan envelope, len(nodes)),
+		edges:   make(map[string]chan envelope),
+		stop:    make(chan struct{}),
+		buffer:  1024,
+	}
+	for _, node := range nodes {
+		if _, dup := n.nodes[node.ID()]; dup {
+			panic(fmt.Sprintf("runtime: duplicate node id %q", node.ID()))
+		}
+		n.nodes[node.ID()] = node
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	for id := range n.nodes {
+		n.inboxes[id] = make(chan envelope, n.buffer)
+	}
+	return n
+}
+
+// Start launches one goroutine per node.
+func (n *Network) Start() {
+	if n.started {
+		panic("runtime: Start called twice")
+	}
+	n.started = true
+	for id, node := range n.nodes {
+		inbox := n.inboxes[id]
+		node := node
+		from := id
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			for {
+				select {
+				case <-n.stop:
+					return
+				case env := <-inbox:
+					outs := node.Handle(env.m, time.Now().UnixNano())
+					n.route(from, outs)
+					// The outputs are counted before this message is
+					// released, so the in-flight count can never dip to
+					// zero mid-cascade.
+					n.inFlight.Add(-1)
+				}
+			}
+		}()
+	}
+}
+
+// Inject delivers a message from the outside (the driver) to a node.
+func (n *Network) Inject(to string, m any) {
+	n.inFlight.Add(1)
+	n.deliver("driver", to, m)
+}
+
+func (n *Network) route(from string, outs []msg.Outbound) {
+	for _, o := range outs {
+		n.inFlight.Add(1)
+		if o.Delay > 0 {
+			o := o
+			n.timerWG.Add(1)
+			timer := time.AfterFunc(time.Duration(o.Delay), func() {
+				defer n.timerWG.Done()
+				select {
+				case <-n.stop:
+					n.inFlight.Add(-1)
+				default:
+					n.deliver(from, o.To, o.Msg)
+				}
+			})
+			_ = timer
+			continue
+		}
+		n.deliver(from, o.To, o.Msg)
+	}
+}
+
+func (n *Network) deliver(from, to string, m any) {
+	inbox, ok := n.inboxes[to]
+	if !ok {
+		if n.remote != nil {
+			// Hand off to the remote transport; this network's in-flight
+			// accounting ends here.
+			n.remote(to, m)
+			n.inFlight.Add(-1)
+			return
+		}
+		panic(fmt.Sprintf("runtime: message from %q to unknown node %q: %T", from, to, m))
+	}
+	if n.jitter == nil {
+		select {
+		case inbox <- envelope{to: to, m: m}:
+		case <-n.stop:
+		}
+		return
+	}
+	// Per-edge sequencer: a single goroutine drains the edge in order,
+	// sleeping the jitter before each delivery.
+	edge := n.edge(from, to, inbox)
+	select {
+	case edge <- envelope{to: to, m: m}:
+	case <-n.stop:
+	}
+}
+
+func (n *Network) edge(from, to string, inbox chan envelope) chan envelope {
+	key := from + "→" + to
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ch, ok := n.edges[key]; ok {
+		return ch
+	}
+	ch := make(chan envelope, n.buffer)
+	n.edges[key] = ch
+	n.edgeWG.Add(1)
+	go func() {
+		defer n.edgeWG.Done()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case env := <-ch:
+				d := n.jitter(from, to)
+				if d > 0 {
+					select {
+					case <-time.After(d):
+					case <-n.stop:
+						return
+					}
+				}
+				select {
+				case inbox <- env:
+				case <-n.stop:
+					return
+				}
+			}
+		}
+	}()
+	return ch
+}
+
+// Drain blocks until no message is in flight anywhere in the network (all
+// inboxes empty, all handlers returned, no timers pending) or the timeout
+// elapses; it reports whether quiescence was reached. Note that quiescence
+// is about MESSAGES: a view manager holding updates below a batching
+// boundary is quiescent yet not fresh.
+func (n *Network) Drain(timeout time.Duration) bool {
+	return WaitUntil(timeout, func() bool { return n.inFlight.Load() == 0 })
+}
+
+// Stop terminates all goroutines. Pending messages are dropped.
+func (n *Network) Stop() {
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	close(n.stop)
+	n.wg.Wait()
+	n.edgeWG.Wait()
+	n.timerWG.Wait()
+}
+
+// WaitUntil polls cond until it holds or the timeout elapses; it reports
+// whether the condition held. Drivers use it to wait for quiescence (e.g.
+// the warehouse reaching a sequence number).
+func WaitUntil(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}

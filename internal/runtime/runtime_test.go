@@ -1,0 +1,192 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"whips/internal/msg"
+)
+
+// sink records deliveries thread-safely.
+type sink struct {
+	id string
+	mu sync.Mutex
+	ms []string
+}
+
+func (s *sink) ID() string { return s.id }
+
+func (s *sink) Handle(m any, now int64) []msg.Outbound {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ms = append(s.ms, fmt.Sprint(m))
+	return nil
+}
+
+func (s *sink) got() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.ms...)
+}
+
+// relay forwards every message to a target, optionally with a delay.
+type relay struct {
+	id     string
+	to     string
+	delay  int64
+	prefix string
+}
+
+func (r *relay) ID() string { return r.id }
+
+func (r *relay) Handle(m any, now int64) []msg.Outbound {
+	return []msg.Outbound{{To: r.to, Msg: r.prefix + fmt.Sprint(m), Delay: r.delay}}
+}
+
+func TestNetworkDeliversAndStops(t *testing.T) {
+	s := &sink{id: "sink"}
+	r := &relay{id: "relay", to: "sink"}
+	n := New([]msg.Node{s, r})
+	n.Start()
+	defer n.Stop()
+	for i := 0; i < 10; i++ {
+		n.Inject("relay", i)
+	}
+	if !WaitUntil(2*time.Second, func() bool { return len(s.got()) == 10 }) {
+		t.Fatalf("delivered %d", len(s.got()))
+	}
+}
+
+func TestNetworkFIFOPerSender(t *testing.T) {
+	s := &sink{id: "sink"}
+	r := &relay{id: "relay", to: "sink"}
+	n := New([]msg.Node{s, r})
+	n.Start()
+	defer n.Stop()
+	for i := 0; i < 200; i++ {
+		n.Inject("relay", fmt.Sprintf("%04d", i))
+	}
+	if !WaitUntil(2*time.Second, func() bool { return len(s.got()) == 200 }) {
+		t.Fatalf("delivered %d", len(s.got()))
+	}
+	got := s.got()
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("reordered: %s before %s", got[i-1], got[i])
+		}
+	}
+}
+
+func TestNetworkFIFOUnderJitter(t *testing.T) {
+	s := &sink{id: "sink"}
+	r := &relay{id: "relay", to: "sink"}
+	n := New([]msg.Node{s, r}, WithSeededJitter(3, 200*time.Microsecond))
+	n.Start()
+	defer n.Stop()
+	for i := 0; i < 100; i++ {
+		n.Inject("relay", fmt.Sprintf("%04d", i))
+	}
+	if !WaitUntil(5*time.Second, func() bool { return len(s.got()) == 100 }) {
+		t.Fatalf("delivered %d", len(s.got()))
+	}
+	got := s.got()
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("jitter reordered an edge: %s before %s", got[i-1], got[i])
+		}
+	}
+}
+
+func TestNetworkDelayedSelfMessages(t *testing.T) {
+	s := &sink{id: "sink"}
+	r := &relay{id: "relay", to: "sink", delay: int64(2 * time.Millisecond)}
+	n := New([]msg.Node{s, r})
+	n.Start()
+	defer n.Stop()
+	start := time.Now()
+	n.Inject("relay", "x")
+	if !WaitUntil(2*time.Second, func() bool { return len(s.got()) == 1 }) {
+		t.Fatal("not delivered")
+	}
+	if time.Since(start) < 2*time.Millisecond {
+		t.Error("delay not honoured")
+	}
+}
+
+func TestNetworkStopIsIdempotent(t *testing.T) {
+	s := &sink{id: "sink"}
+	n := New([]msg.Node{s})
+	n.Start()
+	n.Stop()
+	n.Stop()
+}
+
+func TestNetworkPanicsOnDuplicateAndUnknown(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate node must panic")
+			}
+		}()
+		New([]msg.Node{&sink{id: "a"}, &sink{id: "a"}})
+	}()
+	n := New([]msg.Node{&sink{id: "a"}})
+	n.Start()
+	defer n.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown destination must panic")
+		}
+	}()
+	n.Inject("ghost", "x")
+}
+
+func TestNetworkDoubleStartPanics(t *testing.T) {
+	n := New([]msg.Node{&sink{id: "a"}})
+	n.Start()
+	defer n.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Error("double start must panic")
+		}
+	}()
+	n.Start()
+}
+
+func TestWaitUntilTimesOut(t *testing.T) {
+	start := time.Now()
+	if WaitUntil(5*time.Millisecond, func() bool { return false }) {
+		t.Error("should time out")
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("returned early")
+	}
+	if !WaitUntil(time.Second, func() bool { return true }) {
+		t.Error("immediate condition should succeed")
+	}
+}
+
+func TestNetworkDrain(t *testing.T) {
+	s := &sink{id: "sink"}
+	slow := &relay{id: "relay", to: "sink", delay: int64(2 * time.Millisecond)}
+	n := New([]msg.Node{s, slow})
+	n.Start()
+	defer n.Stop()
+	for i := 0; i < 5; i++ {
+		n.Inject("relay", i)
+	}
+	if !n.Drain(2 * time.Second) {
+		t.Fatal("network did not drain")
+	}
+	// Quiescence implies every message (including the delayed relays)
+	// reached the sink.
+	if got := len(s.got()); got != 5 {
+		t.Errorf("after drain: delivered %d", got)
+	}
+	// An idle network drains immediately.
+	if !n.Drain(time.Millisecond) {
+		t.Error("idle network should report drained")
+	}
+}

@@ -1,0 +1,166 @@
+// Package sim is a deterministic discrete-event simulator over the same
+// msg.Node processes the goroutine runtime executes. Virtual time, seeded
+// latency models, and strictly ordered event delivery make performance
+// experiments (view freshness, merge bottleneck — the study §7 of the
+// paper proposes) exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"whips/internal/msg"
+)
+
+// event is one scheduled delivery.
+type event struct {
+	at   int64
+	seq  int64 // tiebreaker: scheduling order
+	from string
+	to   string
+	m    any
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Latency models the message delay on an edge. It must be deterministic
+// given its own state (e.g. a seeded RNG captured in the closure).
+type Latency func(from, to string) int64
+
+// ConstantLatency returns d for every edge.
+func ConstantLatency(d int64) Latency { return func(string, string) int64 { return d } }
+
+// UniformLatency draws uniformly from [min,max) with a seeded source.
+func UniformLatency(seed, min, max int64) Latency {
+	rng := rand.New(rand.NewSource(seed))
+	return func(string, string) int64 {
+		if max <= min {
+			return min
+		}
+		return min + rng.Int63n(max-min)
+	}
+}
+
+// Sim is the simulator.
+type Sim struct {
+	nodes     map[string]msg.Node
+	queue     eventHeap
+	seq       int64
+	now       int64
+	latency   Latency
+	delivered int64
+	// fifoAt tracks, per edge, the delivery time of the edge's last message
+	// so random latencies can never reorder an edge (the model the paper's
+	// algorithms assume).
+	fifoAt map[string]int64
+}
+
+// New builds a simulator over nodes with the given latency model (nil means
+// zero latency).
+func New(nodes []msg.Node, latency Latency) *Sim {
+	if latency == nil {
+		latency = ConstantLatency(0)
+	}
+	s := &Sim{
+		nodes:   make(map[string]msg.Node, len(nodes)),
+		latency: latency,
+		fifoAt:  make(map[string]int64),
+	}
+	for _, n := range nodes {
+		if _, dup := s.nodes[n.ID()]; dup {
+			panic(fmt.Sprintf("sim: duplicate node id %q", n.ID()))
+		}
+		s.nodes[n.ID()] = n
+	}
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() int64 { return s.now }
+
+// Delivered returns how many messages have been delivered.
+func (s *Sim) Delivered() int64 { return s.delivered }
+
+// InjectAt schedules a driver message for virtual time at.
+func (s *Sim) InjectAt(at int64, to string, m any) {
+	if at < s.now {
+		at = s.now
+	}
+	s.push(&event{at: at, from: "driver", to: to, m: m})
+}
+
+func (s *Sim) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+// schedule queues an outbound message with edge latency and FIFO clamping.
+func (s *Sim) schedule(from string, o msg.Outbound) {
+	at := s.now
+	if o.Delay > 0 {
+		// Self-timers bypass the latency model.
+		at += o.Delay
+	} else {
+		at += s.latency(from, o.To)
+		key := from + "→" + o.To
+		if last := s.fifoAt[key]; at < last {
+			at = last
+		}
+		s.fifoAt[key] = at
+	}
+	s.push(&event{at: at, from: from, to: o.To, m: o.Msg})
+}
+
+// Step delivers the next event; it reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	if e.at > s.now {
+		s.now = e.at
+	}
+	node, ok := s.nodes[e.to]
+	if !ok {
+		panic(fmt.Sprintf("sim: message from %q to unknown node %q: %T", e.from, e.to, e.m))
+	}
+	s.delivered++
+	for _, o := range node.Handle(e.m, s.now) {
+		s.schedule(e.to, o)
+	}
+	return true
+}
+
+// Run drains the event queue completely and returns the final virtual time.
+func (s *Sim) Run() int64 {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil delivers events with timestamps ≤ t, then sets the clock to t.
+func (s *Sim) RunUntil(t int64) {
+	for s.queue.Len() > 0 && s.queue[0].at <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// QueueLen returns the number of undelivered events (for liveness checks in
+// tests).
+func (s *Sim) QueueLen() int { return s.queue.Len() }

@@ -1,0 +1,67 @@
+package source
+
+import (
+	"whips/internal/msg"
+)
+
+// Node wraps a Cluster as a message-driven process. It accepts:
+//
+//   - msg.ExecuteTxn: commits the transaction and reports the numbered
+//     update to the integrator — the "Updates" arrows of Figure 1.
+//   - msg.QueryRequest: evaluates a view manager's query, at a versioned
+//     state (AsOf ≥ 0; 0 is the initial state) or at the current drifting
+//     state (AsOf == msg.QueryCurrent, autonomous-source behaviour), and
+//     replies to the requester.
+type Node struct {
+	cluster *Cluster
+}
+
+// NewNode wraps cluster.
+func NewNode(cluster *Cluster) *Node { return &Node{cluster: cluster} }
+
+// Cluster exposes the wrapped cluster.
+func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// ID implements msg.Node.
+func (n *Node) ID() string { return msg.NodeCluster }
+
+// Handle implements msg.Node.
+func (n *Node) Handle(m any, now int64) []msg.Outbound {
+	switch req := m.(type) {
+	case msg.ExecuteTxn:
+		var u msg.Update
+		var err error
+		if req.Source == "" {
+			u, err = n.cluster.ExecuteGlobal(req.Writes...)
+		} else {
+			u, err = n.cluster.Execute(req.Source, req.Writes...)
+		}
+		if err != nil {
+			// A rejected transaction never happened; there is nothing to
+			// report downstream. The driver observes failures through the
+			// synchronous Cluster API when it needs to.
+			return nil
+		}
+		return []msg.Outbound{msg.Send(msg.NodeIntegrator, u)}
+	case msg.QueryRequest:
+		resp := msg.QueryResponse{ID: req.ID}
+		if req.AsOf >= 0 {
+			d, err := n.cluster.EvalAt(req.Expr, req.AsOf)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Result, resp.AtSeq = d, req.AsOf
+			}
+		} else {
+			d, at, err := n.cluster.EvalAtCurrent(req.Expr)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Result, resp.AtSeq = d, at
+			}
+		}
+		return []msg.Outbound{msg.Send(req.From, resp)}
+	default:
+		return nil
+	}
+}

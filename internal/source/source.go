@@ -1,0 +1,333 @@
+// Package source implements the data-source substrate: a set of autonomous
+// sources holding base relations, executing serializable transactions, and
+// reporting updates to the integrator (paper §2.1).
+//
+// The paper assumes the execution of source transactions is serializable
+// and equivalent to a schedule U1, U2, ... Uf. Cluster is that schedule
+// made concrete: every transaction, on whichever source, commits through
+// the cluster and receives the next global sequence number. Sources answer
+// view-manager queries at their *current* state (autonomy — this is what
+// forces compensation in view managers); the cluster additionally offers
+// versioned as-of reads, which snapshot-based view managers use and which
+// the consistency checker uses as its oracle.
+package source
+
+import (
+	"fmt"
+	"sync"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+// versionedRelation is a relation plus the recent deltas that produced it,
+// so past states can be reconstructed by rolling back.
+type versionedRelation struct {
+	current *relation.Relation
+	// history holds the applied deltas in commit order; rolling the current
+	// state back through the suffix with seq > target yields the state at
+	// target.
+	history []versionEntry
+}
+
+type versionEntry struct {
+	seq   msg.UpdateID
+	delta *relation.Delta
+}
+
+// Cluster is the collection of sources plus the global serializable
+// schedule. It is safe for concurrent use.
+type Cluster struct {
+	mu        sync.Mutex
+	relations map[string]*versionedRelation
+	owner     map[string]msg.SourceID // relation -> source
+	sources   map[msg.SourceID]bool
+	seq       msg.UpdateID
+	floor     msg.UpdateID // oldest reconstructable state
+	log       []msg.Update // committed updates, seq floor+1..seq
+	clock     func() int64
+}
+
+// NewCluster returns an empty cluster. clock provides commit timestamps for
+// freshness metrics; nil means "always zero".
+func NewCluster(clock func() int64) *Cluster {
+	if clock == nil {
+		clock = func() int64 { return 0 }
+	}
+	return &Cluster{
+		relations: make(map[string]*versionedRelation),
+		owner:     make(map[string]msg.SourceID),
+		sources:   make(map[msg.SourceID]bool),
+		clock:     clock,
+	}
+}
+
+// AddSource registers a source.
+func (c *Cluster) AddSource(id msg.SourceID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sources[id] = true
+}
+
+// CreateRelation creates an empty base relation owned by source. The
+// initial contents count as state 0 (before U1).
+func (c *Cluster) CreateRelation(source msg.SourceID, name string, schema *relation.Schema) error {
+	return c.LoadRelation(source, name, relation.New(schema))
+}
+
+// LoadRelation installs initial contents for a new base relation.
+func (c *Cluster) LoadRelation(source msg.SourceID, name string, r *relation.Relation) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.sources[source] {
+		return fmt.Errorf("source: unknown source %q", source)
+	}
+	if _, dup := c.relations[name]; dup {
+		return fmt.Errorf("source: relation %q already exists", name)
+	}
+	if c.seq != 0 {
+		return fmt.Errorf("source: relations must be loaded before any transaction commits")
+	}
+	c.relations[name] = &versionedRelation{current: r.Clone()}
+	c.owner[name] = source
+	return nil
+}
+
+// Owner returns the source owning a relation.
+func (c *Cluster) Owner(name string) (msg.SourceID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.owner[name]
+	return s, ok
+}
+
+// Relations returns the names of all base relations (unordered).
+func (c *Cluster) Relations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.relations))
+	for n := range c.relations {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Schema returns a base relation's schema.
+func (c *Cluster) Schema(name string) (*relation.Schema, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vr, ok := c.relations[name]
+	if !ok {
+		return nil, fmt.Errorf("source: unknown relation %q", name)
+	}
+	return vr.current.Schema(), nil
+}
+
+// Execute commits a transaction on a single source (§2: "transactions span
+// a single source"). All writes must hit relations of that source. It
+// returns the numbered update report.
+func (c *Cluster) Execute(source msg.SourceID, writes ...msg.Write) (msg.Update, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.sources[source] {
+		return msg.Update{}, fmt.Errorf("source: unknown source %q", source)
+	}
+	for _, w := range writes {
+		if c.owner[w.Relation] != source {
+			return msg.Update{}, fmt.Errorf("source: relation %q is not owned by source %q", w.Relation, source)
+		}
+	}
+	return c.commitLocked(source, writes)
+}
+
+// ExecuteGlobal commits a transaction that may span sources (§6.2). The
+// multi-database machinery that would make this possible in reality is out
+// of scope; what matters to MVC is that the update report carries all
+// writes under one sequence number.
+func (c *Cluster) ExecuteGlobal(writes ...msg.Write) (msg.Update, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range writes {
+		if _, ok := c.owner[w.Relation]; !ok {
+			return msg.Update{}, fmt.Errorf("source: unknown relation %q", w.Relation)
+		}
+	}
+	return c.commitLocked("", writes)
+}
+
+func (c *Cluster) commitLocked(source msg.SourceID, writes []msg.Write) (msg.Update, error) {
+	if len(writes) == 0 {
+		return msg.Update{}, fmt.Errorf("source: empty transaction")
+	}
+	// Validate the whole transaction first: commit must be atomic.
+	staged := make(map[string]*relation.Relation)
+	for _, w := range writes {
+		vr := c.relations[w.Relation]
+		r, ok := staged[w.Relation]
+		if !ok {
+			r = vr.current.Clone()
+			staged[w.Relation] = r
+		}
+		if err := r.Apply(w.Delta); err != nil {
+			return msg.Update{}, fmt.Errorf("source: transaction aborted: %w", err)
+		}
+	}
+	c.seq++
+	u := msg.Update{Seq: c.seq, Source: source, CommitAt: c.clock()}
+	for _, w := range writes {
+		d := w.Delta.Clone()
+		u.Writes = append(u.Writes, msg.Write{Relation: w.Relation, Delta: d})
+		vr := c.relations[w.Relation]
+		vr.history = append(vr.history, versionEntry{seq: c.seq, delta: d})
+	}
+	for name, r := range staged {
+		c.relations[name].current = r
+	}
+	c.log = append(c.log, u)
+	return u, nil
+}
+
+// Seq returns the sequence number of the most recent committed transaction.
+func (c *Cluster) Seq() msg.UpdateID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seq
+}
+
+// Current returns a snapshot of a relation's current contents and the
+// global sequence number it reflects.
+func (c *Cluster) Current(name string) (*relation.Relation, msg.UpdateID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vr, ok := c.relations[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("source: unknown relation %q", name)
+	}
+	return vr.current.Clone(), c.seq, nil
+}
+
+// AsOf reconstructs a relation's contents as of the state after update seq
+// committed (seq 0 = initial state). It fails if that state has been
+// truncated.
+func (c *Cluster) AsOf(name string, seq msg.UpdateID) (*relation.Relation, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.asOfLocked(name, seq)
+}
+
+func (c *Cluster) asOfLocked(name string, seq msg.UpdateID) (*relation.Relation, error) {
+	vr, ok := c.relations[name]
+	if !ok {
+		return nil, fmt.Errorf("source: unknown relation %q", name)
+	}
+	if seq > c.seq {
+		return nil, fmt.Errorf("source: state %d is in the future (current %d)", seq, c.seq)
+	}
+	if seq < c.floor {
+		return nil, fmt.Errorf("source: state %d has been truncated (floor %d)", seq, c.floor)
+	}
+	r := vr.current.Clone()
+	for i := len(vr.history) - 1; i >= 0 && vr.history[i].seq > seq; i-- {
+		if err := r.Apply(vr.history[i].delta.Negate()); err != nil {
+			return nil, fmt.Errorf("source: rollback of %q past update %d: %w", name, vr.history[i].seq, err)
+		}
+	}
+	return r, nil
+}
+
+// TruncateBefore releases version history older than seq: states < seq stop
+// being reconstructable. Use it as a low-water mark once every consumer has
+// passed seq.
+func (c *Cluster) TruncateBefore(seq msg.UpdateID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if seq <= c.floor {
+		return
+	}
+	if seq > c.seq {
+		seq = c.seq
+	}
+	for _, vr := range c.relations {
+		cut := 0
+		for cut < len(vr.history) && vr.history[cut].seq <= seq {
+			cut++
+		}
+		vr.history = append([]versionEntry(nil), vr.history[cut:]...)
+	}
+	if n := int(seq - c.floor); n > 0 && n <= len(c.log) {
+		c.log = append([]msg.Update(nil), c.log[n:]...)
+	}
+	c.floor = seq
+}
+
+// HistorySize returns the total number of retained version entries, for
+// observability and truncation tests.
+func (c *Cluster) HistorySize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, vr := range c.relations {
+		n += len(vr.history)
+	}
+	return n
+}
+
+// Log returns the retained committed updates in order.
+func (c *Cluster) Log() []msg.Update {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]msg.Update(nil), c.log...)
+}
+
+// asOfDB adapts the cluster to expr.Database at a fixed state.
+type asOfDB struct {
+	c   *Cluster
+	seq msg.UpdateID
+}
+
+// Relation implements expr.Database.
+func (db asOfDB) Relation(name string) (*relation.Relation, error) {
+	return db.c.AsOf(name, db.seq)
+}
+
+// DatabaseAt returns an expr.Database view of the cluster at the state
+// after update seq.
+func (c *Cluster) DatabaseAt(seq msg.UpdateID) expr.Database { return asOfDB{c: c, seq: seq} }
+
+// currentDB adapts the cluster's live state to expr.Database. Reads are not
+// mutually consistent across calls — exactly the autonomy problem view
+// managers must compensate for — so it is only used inside a single
+// locked evaluation via EvalAtCurrent.
+type currentDB struct{ rels map[string]*relation.Relation }
+
+func (db currentDB) Relation(name string) (*relation.Relation, error) {
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("source: unknown relation %q", name)
+	}
+	return r, nil
+}
+
+// EvalAtCurrent evaluates e at the cluster's current state, atomically, and
+// reports which state that was. This models a query answered by the
+// sources "now": by the time the answer reaches the view manager, more
+// updates may have committed.
+func (c *Cluster) EvalAtCurrent(e expr.Expr) (*relation.Delta, msg.UpdateID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rels := make(map[string]*relation.Relation, len(c.relations))
+	for n, vr := range c.relations {
+		rels[n] = vr.current
+	}
+	d, err := expr.EvalSigned(e, currentDB{rels: rels})
+	if err != nil {
+		return nil, 0, err
+	}
+	return d, c.seq, nil
+}
+
+// EvalAt evaluates e at the state after update seq.
+func (c *Cluster) EvalAt(e expr.Expr, seq msg.UpdateID) (*relation.Delta, error) {
+	return expr.EvalSigned(e, c.DatabaseAt(seq))
+}

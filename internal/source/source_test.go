@@ -1,0 +1,345 @@
+package source
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+var (
+	rSchema = relation.MustSchema("A:int", "B:int")
+	sSchema = relation.MustSchema("B:int", "C:int")
+)
+
+func newTestCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c := NewCluster(nil)
+	c.AddSource("src1")
+	c.AddSource("src2")
+	if err := c.CreateRelation("src1", "R", rSchema); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateRelation("src2", "S", sSchema); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func ins(rel string, s *relation.Schema, vals ...any) msg.Write {
+	return msg.Write{Relation: rel, Delta: relation.InsertDelta(s, relation.T(vals...))}
+}
+
+func TestClusterExecuteNumbersSequentially(t *testing.T) {
+	c := newTestCluster(t)
+	u1, err := c.Execute("src1", ins("R", rSchema, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := c.Execute("src2", ins("S", sSchema, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1.Seq != 1 || u2.Seq != 2 || c.Seq() != 2 {
+		t.Errorf("seqs = %d, %d, cluster=%d", u1.Seq, u2.Seq, c.Seq())
+	}
+	if u1.Source != "src1" || len(u1.Writes) != 1 || u1.Writes[0].Relation != "R" {
+		t.Errorf("update report = %+v", u1)
+	}
+	cur, at, err := c.Current("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 2 || !cur.Contains(relation.T(1, 2)) {
+		t.Errorf("current R = %v at %d", cur, at)
+	}
+}
+
+func TestClusterOwnership(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := c.Execute("src1", ins("S", sSchema, 1, 1)); err == nil {
+		t.Error("writing another source's relation must fail")
+	}
+	if _, err := c.Execute("nope", ins("R", rSchema, 1, 1)); err == nil {
+		t.Error("unknown source must fail")
+	}
+	if _, err := c.Execute("src1"); err == nil {
+		t.Error("empty transaction must fail")
+	}
+	if owner, ok := c.Owner("R"); !ok || owner != "src1" {
+		t.Errorf("Owner(R) = %v %v", owner, ok)
+	}
+}
+
+func TestClusterAtomicAbort(t *testing.T) {
+	c := newTestCluster(t)
+	// Second write deletes a tuple that does not exist: whole txn aborts.
+	w1 := ins("R", rSchema, 1, 1)
+	w2 := msg.Write{Relation: "R", Delta: relation.DeleteDelta(rSchema, relation.T(9, 9))}
+	if _, err := c.Execute("src1", w1, w2); err == nil {
+		t.Fatal("invalid transaction must abort")
+	}
+	if c.Seq() != 0 {
+		t.Error("aborted transaction must not consume a sequence number")
+	}
+	cur, _, _ := c.Current("R")
+	if !cur.Empty() {
+		t.Error("aborted transaction must not leave partial writes")
+	}
+}
+
+func TestClusterExecuteGlobal(t *testing.T) {
+	c := newTestCluster(t)
+	u, err := c.ExecuteGlobal(ins("R", rSchema, 1, 2), ins("S", sSchema, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Seq != 1 || len(u.Writes) != 2 || u.Source != "" {
+		t.Errorf("global update = %+v", u)
+	}
+	if got := u.Relations(); len(got) != 2 || got[0] != "R" || got[1] != "S" {
+		t.Errorf("Relations() = %v", got)
+	}
+	if _, err := c.ExecuteGlobal(ins("Z", rSchema, 1, 2)); err == nil {
+		t.Error("unknown relation must fail")
+	}
+}
+
+func TestClusterAsOf(t *testing.T) {
+	c := newTestCluster(t)
+	mustExec := func(w msg.Write) {
+		t.Helper()
+		if _, err := c.Execute(c.mustOwner(t, w.Relation), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExec(ins("R", rSchema, 1, 1))                                                          // U1
+	mustExec(ins("R", rSchema, 2, 2))                                                          // U2
+	mustExec(msg.Write{Relation: "R", Delta: relation.DeleteDelta(rSchema, relation.T(1, 1))}) // U3
+
+	want := map[msg.UpdateID][]relation.Tuple{
+		0: {},
+		1: {relation.T(1, 1)},
+		2: {relation.T(1, 1), relation.T(2, 2)},
+		3: {relation.T(2, 2)},
+	}
+	for seq, tuples := range want {
+		r, err := c.AsOf("R", seq)
+		if err != nil {
+			t.Fatalf("AsOf(%d): %v", seq, err)
+		}
+		if !r.Equal(relation.FromTuples(rSchema, tuples...)) {
+			t.Errorf("AsOf(%d) = %v, want %v", seq, r, tuples)
+		}
+	}
+	if _, err := c.AsOf("R", 99); err == nil {
+		t.Error("future state must fail")
+	}
+	if _, err := c.AsOf("Z", 0); err == nil {
+		t.Error("unknown relation must fail")
+	}
+}
+
+// mustOwner is a test helper resolving a relation's source.
+func (c *Cluster) mustOwner(t *testing.T, rel string) msg.SourceID {
+	t.Helper()
+	s, ok := c.Owner(rel)
+	if !ok {
+		t.Fatalf("no owner for %q", rel)
+	}
+	return s
+}
+
+func TestClusterTruncate(t *testing.T) {
+	c := newTestCluster(t)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Execute("src1", ins("R", rSchema, i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.HistorySize() != 5 {
+		t.Fatalf("history = %d", c.HistorySize())
+	}
+	c.TruncateBefore(3)
+	if c.HistorySize() != 2 {
+		t.Errorf("history after truncate = %d", c.HistorySize())
+	}
+	if _, err := c.AsOf("R", 2); err == nil {
+		t.Error("truncated state must fail")
+	}
+	if _, err := c.AsOf("R", 3); err != nil {
+		t.Errorf("floor state must remain readable: %v", err)
+	}
+	if got := len(c.Log()); got != 2 {
+		t.Errorf("log after truncate = %d", got)
+	}
+	// Truncating backwards or past the end is a no-op / clamp.
+	c.TruncateBefore(1)
+	c.TruncateBefore(99)
+	if _, err := c.AsOf("R", 5); err != nil {
+		t.Errorf("current state must survive truncation: %v", err)
+	}
+}
+
+func TestClusterLoadAfterCommitFails(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := c.Execute("src1", ins("R", rSchema, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateRelation("src1", "Late", rSchema); err == nil {
+		t.Error("late relation creation should fail")
+	}
+	if err := c.CreateRelation("src1", "R", rSchema); err == nil {
+		t.Error("duplicate relation should fail")
+	}
+	if err := c.CreateRelation("ghost", "X", rSchema); err == nil {
+		t.Error("unknown source should fail")
+	}
+}
+
+func TestClusterEvalAtCurrentAndDatabaseAt(t *testing.T) {
+	c := newTestCluster(t)
+	v := expr.MustJoin(expr.Scan("R", rSchema), expr.Scan("S", sSchema))
+	if _, err := c.Execute("src1", ins("R", rSchema, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute("src2", ins("S", sSchema, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	d, at, err := c.EvalAtCurrent(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 2 || d.Count(relation.T(1, 2, 3)) != 1 {
+		t.Errorf("EvalAtCurrent = %v at %d", d, at)
+	}
+	// At state 1, S is empty: join empty.
+	d1, err := c.EvalAt(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d1.Empty() {
+		t.Errorf("EvalAt(1) = %v", d1)
+	}
+	// DatabaseAt is a stable snapshot view.
+	r, err := c.DatabaseAt(1).Relation("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(relation.T(1, 2)) {
+		t.Errorf("DatabaseAt(1).R = %v", r)
+	}
+}
+
+func TestClusterClockStampsUpdates(t *testing.T) {
+	now := int64(100)
+	c := NewCluster(func() int64 { return now })
+	c.AddSource("s")
+	if err := c.CreateRelation("s", "R", rSchema); err != nil {
+		t.Fatal(err)
+	}
+	u, err := c.Execute("s", ins("R", rSchema, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.CommitAt != 100 {
+		t.Errorf("CommitAt = %d", u.CommitAt)
+	}
+}
+
+func TestNodeExecuteAndQuery(t *testing.T) {
+	c := newTestCluster(t)
+	n := NewNode(c)
+	if n.ID() != msg.NodeCluster {
+		t.Errorf("node id = %q", n.ID())
+	}
+	out := n.Handle(msg.ExecuteTxn{Source: "src1", Writes: []msg.Write{ins("R", rSchema, 1, 2)}}, 0)
+	if len(out) != 1 || out[0].To != msg.NodeIntegrator {
+		t.Fatalf("outbound = %+v", out)
+	}
+	u := out[0].Msg.(msg.Update)
+	if u.Seq != 1 {
+		t.Errorf("update seq = %d", u.Seq)
+	}
+	// Failed execution produces no report.
+	out = n.Handle(msg.ExecuteTxn{Source: "src1", Writes: []msg.Write{ins("S", sSchema, 1, 1)}}, 0)
+	if len(out) != 0 {
+		t.Errorf("failed txn emitted %v", out)
+	}
+	// Global txn via empty source.
+	out = n.Handle(msg.ExecuteTxn{Writes: []msg.Write{ins("S", sSchema, 2, 3)}}, 0)
+	if len(out) != 1 {
+		t.Fatalf("global txn outbound = %v", out)
+	}
+
+	// Current-state query.
+	q := expr.Scan("R", rSchema)
+	out = n.Handle(msg.QueryRequest{ID: 7, From: "vm:V1", Expr: q, AsOf: msg.QueryCurrent}, 0)
+	if len(out) != 1 || out[0].To != "vm:V1" {
+		t.Fatalf("query outbound = %+v", out)
+	}
+	resp := out[0].Msg.(msg.QueryResponse)
+	if resp.ID != 7 || resp.AtSeq != 2 || resp.Result.Count(relation.T(1, 2)) != 1 || resp.Err != "" {
+		t.Errorf("query response = %+v", resp)
+	}
+	// As-of query.
+	out = n.Handle(msg.QueryRequest{ID: 8, From: "vm:V1", Expr: q, AsOf: 1}, 0)
+	resp = out[0].Msg.(msg.QueryResponse)
+	if resp.AtSeq != 1 || resp.Result.Count(relation.T(1, 2)) != 1 {
+		t.Errorf("as-of response = %+v", resp)
+	}
+	// Query error surfaces in Err.
+	out = n.Handle(msg.QueryRequest{ID: 9, From: "vm:V1", Expr: expr.Scan("Z", rSchema)}, 0)
+	resp = out[0].Msg.(msg.QueryResponse)
+	if resp.Err == "" {
+		t.Error("query of unknown relation should set Err")
+	}
+	// Unknown messages are ignored.
+	if out := n.Handle("garbage", 0); out != nil {
+		t.Errorf("garbage produced %v", out)
+	}
+}
+
+// Property: AsOf(i) equals replaying the first i updates from the initial
+// state, for random update histories.
+func TestAsOfMatchesReplayProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCluster(nil)
+		c.AddSource("s")
+		if err := c.CreateRelation("s", "R", rSchema); err != nil {
+			return false
+		}
+		replay := []*relation.Relation{relation.New(rSchema)}
+		cur := relation.New(rSchema)
+		for i := 0; i < 15; i++ {
+			d := relation.NewDelta(rSchema)
+			tu := relation.T(rng.Intn(3), rng.Intn(3))
+			if rng.Intn(2) == 0 && cur.Count(tu) > 0 {
+				d.Add(tu, -1)
+			} else {
+				d.Add(tu, 1)
+			}
+			if _, err := c.Execute("s", msg.Write{Relation: "R", Delta: d}); err != nil {
+				return false
+			}
+			if err := cur.Apply(d); err != nil {
+				return false
+			}
+			replay = append(replay, cur.Clone())
+		}
+		for i := 0; i <= 15; i++ {
+			got, err := c.AsOf("R", msg.UpdateID(i))
+			if err != nil || !got.Equal(replay[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

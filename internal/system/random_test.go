@@ -1,0 +1,169 @@
+package system_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"whips/internal/consistency"
+	"whips/internal/msg"
+	"whips/internal/sim"
+	"whips/internal/system"
+	"whips/internal/workload"
+)
+
+// TestRandomSystemConfigurations is the generative end-to-end oracle test:
+// a random manager fleet, random optimization flags, random commit
+// strategy, random latencies and a random workload — run deterministically
+// under the simulator and judged by the §2 checker. The achieved level
+// must be at least what the weakest manager guarantees (§6.3), and every
+// run must converge.
+func TestRandomSystemConfigurations(t *testing.T) {
+	kinds := []system.ManagerKind{
+		system.Complete, system.CompleteQuery, system.Batching,
+		system.QueryBatching, system.Refresh, system.CompleteN, system.Convergent,
+	}
+	commits := []system.CommitKind{system.Sequential, system.Dependency, system.Batched}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		views := workload.PaperViews(system.Complete)
+		weakest := msg.Complete
+		boundary := false
+		for i := range views {
+			k := kinds[rng.Intn(len(kinds))]
+			views[i].Manager = k
+			views[i].Param = 2 + rng.Intn(3)
+			if k == system.Refresh || k == system.CompleteN {
+				boundary = true
+			}
+			if rng.Intn(2) == 0 {
+				d := int64(50_000 + rng.Intn(300_000))
+				views[i].ComputeDelay = func(int) int64 { return d }
+			}
+			if rng.Intn(4) == 0 && (k == system.Batching || k == system.Refresh || k == system.Convergent) {
+				views[i].StageData = true
+			}
+			if k.Level() < weakest {
+				weakest = k.Level()
+			}
+		}
+		cfg := system.Config{
+			Sources:           workload.PaperSources(),
+			Views:             views,
+			Commit:            commits[rng.Intn(len(commits))],
+			BatchSize:         1 + rng.Intn(4),
+			FlushAfter:        200_000,
+			RelevanceFilter:   rng.Intn(2) == 0,
+			RelayRelevantSets: rng.Intn(2) == 0,
+			LogStates:         true,
+		}
+		sys, err := system.Build(cfg)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		s := sim.New(sys.Nodes(), sim.UniformLatency(seed^0x77, 1_000, 60_000))
+		gen := workload.NewGenerator(seed, workload.PaperSources())
+		n := 20 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			src, writes := gen.Txn()
+			s.InjectAt(int64(i)*int64(20_000+rng.Intn(200_000)), msg.NodeCluster,
+				msg.ExecuteTxn{Source: src, Writes: writes})
+		}
+		s.Run()
+
+		rep, err := consistency.Check(sys.Cluster, sys.Views, sys.Warehouse.Log())
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		// Boundary managers (refresh/complete-N) legitimately hold their
+		// tails below the final source state; drive extra aligned updates
+		// would complicate the oracle, so only demand convergence of the
+		// states that did commit: strongness without convergence is vacuous
+		// — instead check the achieved level on the prefix by requiring
+		// Strong for strong fleets ONLY when the run converged.
+		expectLevel := weakest
+		if cfg.Commit == system.Batched && expectLevel > msg.Strong {
+			expectLevel = msg.Strong // §4.3: batching forfeits completeness
+		}
+		if !rep.Convergent && !boundary {
+			t.Errorf("seed %d: non-boundary run must converge: %+v (%s)\nconfig: %s",
+				seed, rep, rep.Violation, describe(cfg))
+			return false
+		}
+		if rep.Convergent && rep.Level() < expectLevel {
+			t.Errorf("seed %d: level %v < expected %v (%s)\nconfig: %s",
+				seed, rep.Level(), expectLevel, rep.Violation, describe(cfg))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func describe(cfg system.Config) string {
+	out := fmt.Sprintf("commit=%v filter=%v relay=%v batch=%d views=[",
+		cfg.Commit, cfg.RelevanceFilter, cfg.RelayRelevantSets, cfg.BatchSize)
+	for _, v := range cfg.Views {
+		out += fmt.Sprintf("%s:%v(param=%d,staged=%v) ", v.ID, v.Manager, v.Param, v.StageData)
+	}
+	return out + "]"
+}
+
+// TestSoakLargeWorkload pushes 3000 updates through a mixed fleet with
+// every optimization enabled, under the deterministic simulator, and
+// verifies strong consistency end-to-end. Skipped with -short.
+func TestSoakLargeWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	views := workload.PaperViews(system.Complete)
+	views[0].Manager = system.Batching
+	views[0].ComputeDelay = func(int) int64 { return 150_000 }
+	views[1].Manager = system.Batching
+	views[1].ComputeDelay = func(int) int64 { return 70_000 }
+	views[1].StageData = true
+	cfg := system.Config{
+		Sources:           workload.PaperSources(),
+		Views:             views,
+		Commit:            system.Dependency,
+		RelevanceFilter:   true,
+		RelayRelevantSets: true,
+		OptimizeViews:     true,
+		LogStates:         true,
+	}
+	sys, err := system.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sys.Nodes(), sim.UniformLatency(9, 1_000, 80_000))
+	gen := workload.NewGenerator(9, workload.PaperSources())
+	const n = 3000
+	for i := 0; i < n; i++ {
+		src, writes := gen.Txn()
+		s.InjectAt(int64(i)*60_000, msg.NodeCluster, msg.ExecuteTxn{Source: src, Writes: writes})
+	}
+	s.Run()
+	rep, err := consistency.Check(sys.Cluster, sys.Views, sys.Warehouse.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Strong {
+		t.Errorf("soak run must be strong: convergent=%v weak=%v (%s)",
+			rep.Convergent, rep.Weak, rep.Violation)
+	}
+	if sys.Warehouse.Applied() == 0 || sys.Warehouse.PendingCount() != 0 {
+		t.Errorf("warehouse: applied=%d pending=%d",
+			sys.Warehouse.Applied(), sys.Warehouse.PendingCount())
+	}
+	for _, m := range sys.Merges {
+		if st := m.Stats(); st.RowsLive != 0 || st.HeldALs != 0 {
+			t.Errorf("merge not drained: %+v", st)
+		}
+	}
+}

@@ -1,0 +1,491 @@
+// Package system assembles the full warehouse architecture of Figure 1 —
+// source cluster, integrator, one view manager per view, one or more merge
+// processes, and the warehouse — as a set of msg.Node processes plus the
+// bookkeeping drivers need (freshness targets per view).
+//
+// The same assembly runs under the goroutine runtime (the public whips
+// facade) and under the deterministic simulator (the benchmark harness).
+package system
+
+import (
+	"fmt"
+	"sync"
+
+	"whips/internal/expr"
+	"whips/internal/integrator"
+	"whips/internal/merge"
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/source"
+	"whips/internal/viewmgr"
+	"whips/internal/warehouse"
+)
+
+// ManagerKind selects a view-manager implementation (§3.3, §6.3).
+type ManagerKind uint8
+
+// Available view manager kinds.
+const (
+	// Complete: one AL per update from self-maintained replicas.
+	Complete ManagerKind = iota
+	// CompleteQuery: one AL per update via versioned source queries.
+	CompleteQuery
+	// Batching: strongly consistent Strobe-style batching of intertwined
+	// updates (requires a ComputeDelay to actually batch).
+	Batching
+	// QueryBatching: strongly consistent diff-shipping via source queries.
+	QueryBatching
+	// Refresh: §6.3 periodic refresh every Param updates.
+	Refresh
+	// CompleteN: §6.3 complete-N with N = Param.
+	CompleteN
+	// Convergent: §6.3 convergence-only.
+	Convergent
+)
+
+// String names the kind.
+func (k ManagerKind) String() string {
+	switch k {
+	case Complete:
+		return "complete"
+	case CompleteQuery:
+		return "complete-query"
+	case Batching:
+		return "batching"
+	case QueryBatching:
+		return "query-batching"
+	case Refresh:
+		return "refresh"
+	case CompleteN:
+		return "complete-N"
+	case Convergent:
+		return "convergent"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Level returns the consistency level a kind guarantees.
+func (k ManagerKind) Level() msg.Level {
+	switch k {
+	case Complete, CompleteQuery:
+		return msg.Complete
+	case Convergent:
+		return msg.Convergent
+	default:
+		return msg.Strong
+	}
+}
+
+// CommitKind selects a §4.3 commit strategy.
+type CommitKind uint8
+
+// Available commit strategies.
+const (
+	Sequential CommitKind = iota
+	Dependency
+	Batched
+	// Immediate performs no commit-order control: the §4.3 hazard baseline.
+	Immediate
+)
+
+// String names the commit strategy.
+func (k CommitKind) String() string {
+	switch k {
+	case Sequential:
+		return "sequential"
+	case Dependency:
+		return "dependency"
+	case Batched:
+		return "batched"
+	case Immediate:
+		return "immediate"
+	}
+	return fmt.Sprintf("commit(%d)", uint8(k))
+}
+
+// ViewDef declares one warehouse view.
+type ViewDef struct {
+	ID      msg.ViewID
+	Expr    expr.Expr
+	Manager ManagerKind
+	// Param is the N of CompleteN / period of Refresh.
+	Param int
+	// ComputeDelay models delta-computation cost for replica-based
+	// managers (nanoseconds as a function of batch size).
+	ComputeDelay func(updates int) int64
+	// StageData enables §6.3 coordinate-commit-only data transfer
+	// (honoured by Refresh managers): deltas ship directly to the
+	// warehouse and the merge process sees only commit tokens.
+	StageData bool
+}
+
+// SourceDef declares one source and its initial base relations.
+type SourceDef struct {
+	ID        msg.SourceID
+	Relations map[string]*relation.Relation
+}
+
+// Config assembles a system.
+type Config struct {
+	Sources []SourceDef
+	Views   []ViewDef
+	// Algorithm overrides the merge algorithm; nil selects by weakest
+	// manager level (§6.3).
+	Algorithm *merge.Algorithm
+	// Commit selects the §4.3 strategy.
+	Commit CommitKind
+	// BatchSize / FlushAfter parameterize the Batched strategy.
+	BatchSize  int
+	FlushAfter int64
+	// DistributedMerge partitions views into merge groups (§6.1).
+	DistributedMerge bool
+	// RelevanceFilter enables ref-[7] irrelevant-update filtering.
+	RelevanceFilter bool
+	// EmptyRelevantSets forwards updates relevant to no view as empty rows.
+	EmptyRelevantSets bool
+	// RelayRelevantSets enables §3.2's alternative routing: RELᵢ rides
+	// with one designated view manager's update copy instead of being sent
+	// to the merge process directly.
+	RelayRelevantSets bool
+	// OptimizeViews rewrites every view definition through expr.Optimize
+	// (selection pushdown, column pruning) before managers are built.
+	OptimizeViews bool
+	// LogStates records the warehouse state sequence for the checker.
+	LogStates bool
+	// Clock supplies commit timestamps (defaults to zero; the runtime and
+	// simulator install their own).
+	Clock func() int64
+	// WarehouseExecDelay models warehouse transaction scheduling (§4.3
+	// hazard demonstrations).
+	WarehouseExecDelay func(msg.WarehouseTxn) int64
+	// CommitObserver is invoked on every warehouse commit.
+	CommitObserver func(warehouse.CommitInfo)
+}
+
+// System is the assembled set of processes.
+type System struct {
+	Cluster    *source.Cluster
+	Integrator *integrator.Integrator
+	Warehouse  *warehouse.Warehouse
+	Merges     []*merge.Merge
+	Managers   map[msg.ViewID]viewmgr.Manager
+	Groups     map[msg.ViewID]int
+	Algorithm  merge.Algorithm
+	Views      map[msg.ViewID]expr.Expr
+
+	matcher *integrator.Matcher
+
+	mu sync.Mutex
+	// Freshness expectations. An update is expected to reach every view it
+	// is relevant to — but a boundary manager (complete-N, refresh) only
+	// emits at multiples of its boundary, and MVC then legitimately holds
+	// the update back from EVERY relevant view. Such expectations stay
+	// dormant until each boundary view involved has crossed the update.
+	relevantCount map[msg.ViewID]int
+	boundary      map[msg.ViewID]int // emit boundary (complete-N N, refresh period)
+	outstanding   []*expectation
+	dormant       map[msg.ViewID][]*expectation // keyed by the boundary views holding them
+}
+
+// expectation records that update Seq must eventually be reflected by all
+// Views; Holds counts boundary views that have not yet crossed it.
+type expectation struct {
+	Seq   msg.UpdateID
+	Views []msg.ViewID
+	Holds int
+}
+
+// Build assembles the system.
+func Build(cfg Config) (*System, error) {
+	if len(cfg.Sources) == 0 {
+		return nil, fmt.Errorf("system: at least one source is required")
+	}
+	if len(cfg.Views) == 0 {
+		return nil, fmt.Errorf("system: at least one view is required")
+	}
+	cluster := source.NewCluster(cfg.Clock)
+	for _, s := range cfg.Sources {
+		cluster.AddSource(s.ID)
+		for name, rel := range s.Relations {
+			if err := cluster.LoadRelation(s.ID, name, rel); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if cfg.OptimizeViews {
+		optimized := make([]ViewDef, len(cfg.Views))
+		copy(optimized, cfg.Views)
+		for i := range optimized {
+			optimized[i].Expr = expr.Optimize(optimized[i].Expr)
+		}
+		cfg.Views = optimized
+	}
+	views := make(map[msg.ViewID]expr.Expr, len(cfg.Views))
+	levels := make([]msg.Level, 0, len(cfg.Views))
+	for _, v := range cfg.Views {
+		if _, dup := views[v.ID]; dup {
+			return nil, fmt.Errorf("system: duplicate view id %q", v.ID)
+		}
+		views[v.ID] = v.Expr
+		levels = append(levels, v.Manager.Level())
+		for _, rel := range v.Expr.BaseRelations() {
+			if _, ok := cluster.Owner(rel); !ok {
+				return nil, fmt.Errorf("system: view %s reads unknown base relation %q", v.ID, rel)
+			}
+		}
+	}
+
+	algorithm := merge.ForLevel(levels...)
+	if cfg.Algorithm != nil {
+		algorithm = *cfg.Algorithm
+	}
+
+	groups := make(map[msg.ViewID]int, len(cfg.Views))
+	nGroups := 1
+	if cfg.DistributedMerge {
+		groups = merge.Partition(views)
+		if err := merge.CheckPartition(views, groups); err != nil {
+			return nil, err
+		}
+		nGroups = merge.Groups(groups)
+	} else {
+		for id := range views {
+			groups[id] = 0
+		}
+	}
+
+	infos := make([]integrator.ViewInfo, 0, len(cfg.Views))
+	for _, v := range cfg.Views {
+		infos = append(infos, integrator.ViewInfo{ID: v.ID, Expr: v.Expr, MergeGroup: groups[v.ID]})
+	}
+	var iopts []integrator.Option
+	if cfg.RelevanceFilter {
+		iopts = append(iopts, integrator.WithRelevanceFilter())
+	}
+	if cfg.EmptyRelevantSets {
+		iopts = append(iopts, integrator.WithEmptyRelevantSets())
+	}
+	if cfg.RelayRelevantSets {
+		iopts = append(iopts, integrator.WithRelayedRelevantSets())
+	}
+	integ := integrator.New(infos, iopts...)
+
+	initDB := cluster.DatabaseAt(0)
+	sys := &System{
+		Cluster:       cluster,
+		Integrator:    integ,
+		Managers:      make(map[msg.ViewID]viewmgr.Manager, len(cfg.Views)),
+		Groups:        groups,
+		Algorithm:     algorithm,
+		Views:         views,
+		matcher:       integ.Matcher(),
+		relevantCount: make(map[msg.ViewID]int),
+		boundary:      make(map[msg.ViewID]int),
+		dormant:       make(map[msg.ViewID][]*expectation),
+	}
+
+	initial := make(map[msg.ViewID]*relation.Relation, len(cfg.Views))
+	for _, v := range cfg.Views {
+		val, err := expr.Eval(v.Expr, initDB)
+		if err != nil {
+			return nil, fmt.Errorf("system: initializing view %s: %w", v.ID, err)
+		}
+		initial[v.ID] = val
+
+		mc := viewmgr.Config{
+			View:         v.ID,
+			Expr:         v.Expr,
+			Merge:        msg.NodeMerge(groups[v.ID]),
+			ComputeDelay: v.ComputeDelay,
+			StageData:    v.StageData,
+		}
+		var mgr viewmgr.Manager
+		switch v.Manager {
+		case Complete:
+			mgr, err = viewmgr.NewComplete(mc, initDB)
+		case CompleteQuery:
+			mgr = viewmgr.NewCompleteQuery(mc)
+		case Batching:
+			mgr, err = viewmgr.NewBatching(mc, initDB)
+		case QueryBatching:
+			mgr = viewmgr.NewQueryBatching(mc, val)
+		case Refresh:
+			mgr, err = viewmgr.NewRefresh(mc, initDB, max(v.Param, 1))
+			sys.boundary[v.ID] = max(v.Param, 1)
+		case CompleteN:
+			mgr, err = viewmgr.NewCompleteN(mc, initDB, max(v.Param, 1))
+			sys.boundary[v.ID] = max(v.Param, 1)
+		case Convergent:
+			mgr, err = viewmgr.NewConvergent(mc, initDB)
+		default:
+			err = fmt.Errorf("system: unknown manager kind %v", v.Manager)
+		}
+		if err != nil {
+			return nil, err
+		}
+		sys.Managers[v.ID] = mgr
+	}
+
+	var whOpts []warehouse.Option
+	if cfg.LogStates {
+		whOpts = append(whOpts, warehouse.WithStateLog())
+	}
+	if cfg.WarehouseExecDelay != nil {
+		whOpts = append(whOpts, warehouse.WithExecDelay(cfg.WarehouseExecDelay))
+	}
+	if cfg.CommitObserver != nil {
+		whOpts = append(whOpts, warehouse.WithCommitObserver(cfg.CommitObserver))
+	}
+	sys.Warehouse = warehouse.New(initial, whOpts...)
+
+	for g := 0; g < nGroups; g++ {
+		var strat merge.Strategy
+		self := msg.NodeMerge(g)
+		switch cfg.Commit {
+		case Sequential:
+			strat = merge.NewSequential(self, g)
+		case Dependency:
+			strat = merge.NewDependency(self, g)
+		case Batched:
+			flush := cfg.FlushAfter
+			if flush == 0 {
+				flush = 1_000_000 // 1ms default so partial batches drain
+			}
+			strat = merge.NewBatched(self, g, max(cfg.BatchSize, 1), flush)
+		case Immediate:
+			strat = merge.NewImmediate(self, g)
+		default:
+			return nil, fmt.Errorf("system: unknown commit strategy %v", cfg.Commit)
+		}
+		var mopts []merge.Option
+		if cfg.RelayRelevantSets {
+			mopts = append(mopts, merge.WithRelayedRELs())
+		}
+		sys.Merges = append(sys.Merges, merge.New(g, algorithm, strat, mopts...))
+	}
+	return sys, nil
+}
+
+// Nodes returns every process of the system.
+func (s *System) Nodes() []msg.Node {
+	nodes := []msg.Node{source.NewNode(s.Cluster), s.Integrator, s.Warehouse}
+	for _, m := range s.Merges {
+		nodes = append(nodes, m)
+	}
+	for _, mgr := range s.Managers {
+		nodes = append(nodes, mgr)
+	}
+	return nodes
+}
+
+// TrackUpdate records an executed update for freshness expectations.
+// Drivers call it for every update they feed the integrator.
+func (s *System) TrackUpdate(u msg.Update) {
+	rel := s.matcher.Match(u)
+	if len(rel) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	views := make([]msg.ViewID, 0, len(rel))
+	for id := range rel {
+		views = append(views, id)
+		s.relevantCount[id]++
+	}
+	// Opportunistically prune satisfied expectations so drivers that never
+	// poll Fresh() do not accumulate them without bound.
+	if len(s.outstanding) > 0 && len(s.outstanding)%256 == 0 {
+		upto := s.Warehouse.Upto()
+		live := s.outstanding[:0]
+		for _, e := range s.outstanding {
+			done := true
+			for _, id := range e.Views {
+				if upto[id] < e.Seq {
+					done = false
+					break
+				}
+			}
+			if !done {
+				live = append(live, e)
+			}
+		}
+		s.outstanding = live
+	}
+	e := &expectation{Seq: u.Seq, Views: views}
+	var crossed []msg.ViewID
+	for _, id := range views {
+		b := s.boundary[id]
+		if b <= 1 {
+			continue
+		}
+		if s.relevantCount[id]%b == 0 {
+			crossed = append(crossed, id)
+		} else {
+			// This boundary view holds the update until its next boundary.
+			e.Holds++
+			s.dormant[id] = append(s.dormant[id], e)
+		}
+	}
+	if e.Holds == 0 {
+		s.outstanding = append(s.outstanding, e)
+	}
+	// A boundary view crossing its boundary releases every update it was
+	// holding (its covering list reaches u.Seq).
+	for _, id := range crossed {
+		held := s.dormant[id]
+		s.dormant[id] = nil
+		for _, d := range held {
+			d.Holds--
+			if d.Holds == 0 {
+				s.outstanding = append(s.outstanding, d)
+			}
+		}
+	}
+}
+
+// FreshTargets returns, per view, the newest update the view is expected
+// to eventually reflect.
+func (s *System) FreshTargets() map[msg.ViewID]msg.UpdateID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[msg.ViewID]msg.UpdateID)
+	for _, e := range s.outstanding {
+		for _, id := range e.Views {
+			if e.Seq > out[id] {
+				out[id] = e.Seq
+			}
+		}
+	}
+	return out
+}
+
+// Fresh reports whether the warehouse has satisfied every active
+// expectation; satisfied ones are pruned.
+func (s *System) Fresh() bool {
+	upto := s.Warehouse.Upto()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := s.outstanding[:0]
+	for _, e := range s.outstanding {
+		done := true
+		for _, id := range e.Views {
+			if upto[id] < e.Seq {
+				done = false
+				break
+			}
+		}
+		if !done {
+			live = append(live, e)
+		}
+	}
+	s.outstanding = live
+	return len(live) == 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

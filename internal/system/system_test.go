@@ -1,0 +1,259 @@
+package system_test
+
+import (
+	"testing"
+
+	"whips/internal/consistency"
+	"whips/internal/expr"
+	"whips/internal/merge"
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/sim"
+	"whips/internal/system"
+	"whips/internal/workload"
+)
+
+func buildPaper(t *testing.T, kind system.ManagerKind, mut func(*system.Config)) *system.System {
+	t.Helper()
+	cfg := system.Config{
+		Sources:   workload.PaperSources(),
+		Views:     workload.PaperViews(kind),
+		LogStates: true,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	sys, err := system.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// drive runs n generated updates through the system under the simulator
+// and drains it.
+func drive(t *testing.T, sys *system.System, seed int64, n int, latency sim.Latency) *sim.Sim {
+	t.Helper()
+	s := sim.New(sys.Nodes(), latency)
+	gen := workload.NewGenerator(seed, workload.PaperSources())
+	for i := 0; i < n; i++ {
+		src, writes := gen.Txn()
+		s.InjectAt(int64(i)*50_000, msg.NodeCluster, msg.ExecuteTxn{Source: src, Writes: writes})
+	}
+	s.Run()
+	return s
+}
+
+func TestBuildSelectsAlgorithmFromLevels(t *testing.T) {
+	if got := buildPaper(t, system.Complete, nil).Algorithm; got != merge.SPA {
+		t.Errorf("complete → %v", got)
+	}
+	if got := buildPaper(t, system.Batching, nil).Algorithm; got != merge.PA {
+		t.Errorf("batching → %v", got)
+	}
+	if got := buildPaper(t, system.Convergent, nil).Algorithm; got != merge.Forward {
+		t.Errorf("convergent → %v", got)
+	}
+	forced := merge.PA
+	sys := buildPaper(t, system.Complete, func(c *system.Config) { c.Algorithm = &forced })
+	if sys.Algorithm != merge.PA {
+		t.Errorf("override ignored: %v", sys.Algorithm)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := system.Build(system.Config{}); err == nil {
+		t.Error("empty config must fail")
+	}
+	if _, err := system.Build(system.Config{Sources: workload.PaperSources()}); err == nil {
+		t.Error("no views must fail")
+	}
+	cfg := system.Config{Sources: workload.PaperSources(), Views: workload.PaperViews(system.Complete)}
+	cfg.Views = append(cfg.Views, cfg.Views[0])
+	if _, err := system.Build(cfg); err == nil {
+		t.Error("duplicate view must fail")
+	}
+	cfg = system.Config{Sources: workload.PaperSources(), Views: []system.ViewDef{{
+		ID: "V", Expr: expr.Scan("Ghost", workload.RSchema), Manager: system.Complete,
+	}}}
+	if _, err := system.Build(cfg); err == nil {
+		t.Error("unknown base relation must fail")
+	}
+	cfg = system.Config{Sources: workload.PaperSources(), Views: workload.PaperViews(system.Complete), Commit: system.CommitKind(99)}
+	if _, err := system.Build(cfg); err == nil {
+		t.Error("unknown commit strategy must fail")
+	}
+	cfg = system.Config{Sources: workload.PaperSources(), Views: []system.ViewDef{{
+		ID: "V", Expr: expr.Scan("R", workload.RSchema), Manager: system.ManagerKind(99),
+	}}}
+	if _, err := system.Build(cfg); err == nil {
+		t.Error("unknown manager kind must fail")
+	}
+}
+
+func TestKindAndCommitStrings(t *testing.T) {
+	kinds := map[system.ManagerKind]string{
+		system.Complete: "complete", system.CompleteQuery: "complete-query", system.Batching: "batching",
+		system.QueryBatching: "query-batching", system.Refresh: "refresh", system.CompleteN: "complete-N",
+		system.Convergent: "convergent",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%v != %s", k, want)
+		}
+	}
+	commits := map[system.CommitKind]string{
+		system.Sequential: "sequential", system.Dependency: "dependency", system.Batched: "batched", system.Immediate: "immediate",
+	}
+	for k, want := range commits {
+		if k.String() != want {
+			t.Errorf("%v != %s", k, want)
+		}
+	}
+	if system.ManagerKind(99).String() == "" || system.CommitKind(99).String() == "" {
+		t.Error("unknown kinds should render")
+	}
+}
+
+func TestLevelsOfKinds(t *testing.T) {
+	if system.Complete.Level() != msg.Complete || system.CompleteQuery.Level() != msg.Complete {
+		t.Error("complete kinds")
+	}
+	if system.Batching.Level() != msg.Strong || system.Refresh.Level() != msg.Strong ||
+		system.CompleteN.Level() != msg.Strong || system.QueryBatching.Level() != msg.Strong {
+		t.Error("strong kinds")
+	}
+	if system.Convergent.Level() != msg.Convergent {
+		t.Error("convergent kind")
+	}
+}
+
+func TestSimulatedRunAllManagerKinds(t *testing.T) {
+	for _, kind := range []system.ManagerKind{system.Complete, system.CompleteQuery, system.Batching, system.QueryBatching, system.Convergent} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			sys := buildPaper(t, kind, nil)
+			drive(t, sys, 5, 30, sim.UniformLatency(5, 1_000, 40_000))
+			rep, err := consistency.Check(sys.Cluster, sys.Views, sys.Warehouse.Log())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := kind.Level()
+			if rep.Level() < want {
+				t.Errorf("level = %v, want ≥ %v (%s)", rep.Level(), want, rep.Violation)
+			}
+			if !rep.Convergent {
+				t.Errorf("must converge: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestFreshTargetsTracking(t *testing.T) {
+	sys := buildPaper(t, system.CompleteN, func(c *system.Config) {
+		c.Views[0].Param = 2 // V1 complete-2
+		c.Views[1].Manager = system.Complete
+	})
+	mk := func(seq msg.UpdateID) msg.Update {
+		return msg.Update{Seq: seq, Writes: []msg.Write{{
+			Relation: "S",
+			Delta:    relation.InsertDelta(workload.SSchema, relation.T(int(seq), int(seq))),
+		}}}
+	}
+	sys.TrackUpdate(mk(1))
+	targets := sys.FreshTargets()
+	// V1 (complete-2) holds update 1 below its boundary — and MVC then
+	// holds it back from V2 as well, so no expectation is active yet.
+	if len(targets) != 0 {
+		t.Errorf("targets = %v, want none while the boundary view holds", targets)
+	}
+	if !sys.Fresh() {
+		t.Error("no active expectations yet")
+	}
+	// Update 2 crosses V1's boundary: both updates become expected of both
+	// views.
+	sys.TrackUpdate(mk(2))
+	targets = sys.FreshTargets()
+	if targets["V1"] != 2 || targets["V2"] != 2 {
+		t.Errorf("targets = %v", targets)
+	}
+	if sys.Fresh() {
+		t.Error("nothing applied yet; must not be fresh")
+	}
+}
+
+// TestImmediateHazardDeterministic demonstrates §4.3: without commit-order
+// control, a warehouse that schedules transactions in its own order can
+// commit WT_j before WT_i (j > i, overlapping views) and expose an invalid
+// state. The exec-delay model makes the first transaction slow and the
+// rest fast, deterministically reordering the commits.
+func TestImmediateHazardDeterministic(t *testing.T) {
+	run := func(commit system.CommitKind) consistency.Report {
+		slowFirst := func(txn msg.WarehouseTxn) int64 {
+			if len(txn.Rows) > 0 && txn.Rows[0] == 1 {
+				return 1_000_000 // the first update's txn stalls inside the DBMS
+			}
+			return 1_000
+		}
+		sys, err := system.Build(system.Config{
+			Sources:            workload.PaperSources(),
+			Views:              workload.PaperViews(system.Complete),
+			Commit:             commit,
+			LogStates:          true,
+			WarehouseExecDelay: slowFirst,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sim.New(sys.Nodes(), nil)
+		// Two S updates: both views affected by both updates, so WT2
+		// depends on WT1.
+		for i := 1; i <= 2; i++ {
+			s.InjectAt(int64(i), msg.NodeCluster, msg.ExecuteTxn{Source: "src1", Writes: []msg.Write{{
+				Relation: "S",
+				Delta:    relation.InsertDelta(workload.SSchema, relation.T(i, 3)),
+			}}})
+		}
+		s.Run()
+		rep, err := consistency.Check(sys.Cluster, sys.Views, sys.Warehouse.Log())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	// system.Immediate: WT2 commits before WT1 → order violated. (The warehouse
+	// still converges because deltas commute.)
+	if rep := run(system.Immediate); rep.Strong {
+		t.Errorf("immediate strategy under reordering DBMS must violate order: %+v", rep)
+	} else if !rep.Convergent {
+		t.Errorf("immediate strategy must still converge: %+v", rep)
+	}
+	// system.Sequential and system.Dependency control commit order and stay complete.
+	if rep := run(system.Sequential); !rep.Complete {
+		t.Errorf("sequential must stay complete: %+v (%s)", rep, rep.Violation)
+	}
+	if rep := run(system.Dependency); !rep.Complete {
+		t.Errorf("dependency must stay complete: %+v (%s)", rep, rep.Violation)
+	}
+}
+
+func TestDistributedMergeBuild(t *testing.T) {
+	srcs, views := workload.DisjointViews(3, system.Complete, nil)
+	sys, err := system.Build(system.Config{Sources: srcs, Views: views, DistributedMerge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Merges) != 3 {
+		t.Errorf("merges = %d", len(sys.Merges))
+	}
+	// Shared-relation views cannot be split: Partition collapses them into
+	// one group, so building still succeeds with a single merge.
+	srcs2, views2 := workload.SharedViews(3, system.Complete, nil)
+	sys2, err := system.Build(system.Config{Sources: srcs2, Views: views2, DistributedMerge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys2.Merges) != 1 {
+		t.Errorf("shared views should collapse to one merge, got %d", len(sys2.Merges))
+	}
+}

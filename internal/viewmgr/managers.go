@@ -1,0 +1,235 @@
+package viewmgr
+
+import (
+	"fmt"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+// Complete is a complete view manager (§2.2): it processes one update at a
+// time and generates one action list per relevant update, so the warehouse
+// can visit every source state. Deltas are computed from self-maintained
+// replicas.
+type Complete struct {
+	b batcher
+}
+
+// NewComplete builds a complete manager; init must present the base
+// relations at state 0.
+func NewComplete(cfg Config, init expr.Database) (*Complete, error) {
+	reps, err := newReplicas(cfg.Expr, init)
+	if err != nil {
+		return nil, err
+	}
+	m := &Complete{b: batcher{cfg: cfg, reps: reps, level: msg.Complete}}
+	m.b.take = func(queued int) int {
+		if queued > 0 {
+			return 1
+		}
+		return 0
+	}
+	m.b.encode = singleAL(cfg, msg.Complete)
+	return m, nil
+}
+
+// Level returns the manager's consistency level.
+func (m *Complete) Level() msg.Level { return msg.Complete }
+
+// ID implements msg.Node.
+func (m *Complete) ID() string { return m.b.id() }
+
+// Handle implements msg.Node.
+func (m *Complete) Handle(in any, now int64) []msg.Outbound { return m.b.handle(in, now) }
+
+// Batching is a strongly consistent view manager (§2.2, §5): while it is
+// busy computing, arriving updates queue up, and the whole backlog is then
+// processed as one batch covered by a single action list — exactly the
+// intertwined-update batching that makes the Painting Algorithm necessary.
+// With zero compute delay it degenerates to a complete manager.
+type Batching struct {
+	b batcher
+}
+
+// NewBatching builds a batching (Strobe-style) manager.
+func NewBatching(cfg Config, init expr.Database) (*Batching, error) {
+	reps, err := newReplicas(cfg.Expr, init)
+	if err != nil {
+		return nil, err
+	}
+	m := &Batching{b: batcher{cfg: cfg, reps: reps, level: msg.Strong}}
+	m.b.take = func(queued int) int { return queued }
+	m.b.encode = singleAL(cfg, msg.Strong)
+	return m, nil
+}
+
+// Level returns the manager's consistency level.
+func (m *Batching) Level() msg.Level { return msg.Strong }
+
+// ID implements msg.Node.
+func (m *Batching) ID() string { return m.b.id() }
+
+// Handle implements msg.Node.
+func (m *Batching) Handle(in any, now int64) []msg.Outbound { return m.b.handle(in, now) }
+
+// CompleteN is §6.3's complete-N manager: it processes exactly N relevant
+// updates at a time, so the warehouse view is consistent after every Nth
+// update. Fewer than N queued updates wait for more to arrive.
+type CompleteN struct {
+	b batcher
+	n int
+}
+
+// NewCompleteN builds a complete-N manager.
+func NewCompleteN(cfg Config, init expr.Database, n int) (*CompleteN, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("viewmgr: complete-N needs N ≥ 1, got %d", n)
+	}
+	reps, err := newReplicas(cfg.Expr, init)
+	if err != nil {
+		return nil, err
+	}
+	m := &CompleteN{b: batcher{cfg: cfg, reps: reps, level: msg.Strong, immediateRel: true}, n: n}
+	m.b.take = func(queued int) int {
+		if queued >= n {
+			return n
+		}
+		return 0
+	}
+	m.b.encode = singleAL(cfg, msg.Strong)
+	return m, nil
+}
+
+// Level returns the manager's consistency level. Complete-N is strongly
+// consistent from the merge process's point of view.
+func (m *CompleteN) Level() msg.Level { return msg.Strong }
+
+// ID implements msg.Node.
+func (m *CompleteN) ID() string { return m.b.id() }
+
+// Handle implements msg.Node.
+func (m *CompleteN) Handle(in any, now int64) []msg.Outbound { return m.b.handle(in, now) }
+
+// Refresh is §6.3's periodic-refresh manager: every period relevant
+// updates it recomputes the view from its replicas and ships the
+// difference from what it last sent ("delete the entire old view and
+// insert tuples of the new view", expressed as the equivalent diff so the
+// warehouse can apply it incrementally). It appears to the merge process
+// as an ordinary strongly consistent manager.
+type Refresh struct {
+	cfg      Config
+	reps     *replicas
+	period   int
+	pending  int
+	from     msg.UpdateID
+	lastSent *relation.Relation
+}
+
+// NewRefresh builds a refresh manager that refreshes every period updates.
+func NewRefresh(cfg Config, init expr.Database, period int) (*Refresh, error) {
+	if period < 1 {
+		return nil, fmt.Errorf("viewmgr: refresh needs period ≥ 1, got %d", period)
+	}
+	reps, err := newReplicas(cfg.Expr, init)
+	if err != nil {
+		return nil, err
+	}
+	initial, err := expr.Eval(cfg.Expr, reps)
+	if err != nil {
+		return nil, err
+	}
+	return &Refresh{cfg: cfg, reps: reps, period: period, from: 1, lastSent: initial}, nil
+}
+
+// Level returns the manager's consistency level.
+func (m *Refresh) Level() msg.Level { return msg.Strong }
+
+// ID implements msg.Node.
+func (m *Refresh) ID() string { return msg.NodeViewManager(m.cfg.View) }
+
+// Handle implements msg.Node.
+func (m *Refresh) Handle(in any, now int64) []msg.Outbound {
+	u, ok := in.(msg.Update)
+	if !ok {
+		return nil
+	}
+	relOut := relayREL(m.cfg, u)
+	if m.pending == 0 {
+		m.from = u.Seq
+	}
+	if err := m.reps.apply(u); err != nil {
+		panic(fmt.Sprintf("viewmgr: %s: %v", m.cfg.View, err))
+	}
+	m.pending++
+	if m.pending < m.period {
+		return relOut
+	}
+	cur, err := expr.Eval(m.cfg.Expr, m.reps)
+	if err != nil {
+		panic(fmt.Sprintf("viewmgr: %s: recompute: %v", m.cfg.View, err))
+	}
+	diff := cur.DiffFrom(m.lastSent)
+	m.lastSent = cur
+	m.pending = 0
+	al := msg.ActionList{
+		View:  m.cfg.View,
+		From:  m.from,
+		Upto:  u.Seq,
+		Level: msg.Strong,
+	}
+	if m.cfg.StageData {
+		// §6.3: a refresh can move a lot of data. Ship it straight to the
+		// warehouse; the merge process coordinates the commit only.
+		al.Staged = true
+		relOut = append(relOut, msg.Send(msg.NodeWarehouse, msg.StageDelta{
+			View: m.cfg.View, Upto: u.Seq, Delta: diff,
+		}))
+	} else {
+		al.Delta = diff
+	}
+	return append(relOut, msg.Send(m.cfg.Merge, al))
+}
+
+// Convergent is §6.3's convergence-only manager: it batches like Batching,
+// but ships a multi-update batch as two action lists — deletions first,
+// then insertions — so the warehouse passes through an intermediate state
+// that corresponds to no source state. The final state is correct;
+// intermediate ones need not be. Deleting first is always safe: the net
+// batch delta keeps every count non-negative, and removing insertions
+// only lowers counts the deletions never touch below zero.
+type Convergent struct {
+	b batcher
+}
+
+// NewConvergent builds a convergence-only manager.
+func NewConvergent(cfg Config, init expr.Database) (*Convergent, error) {
+	reps, err := newReplicas(cfg.Expr, init)
+	if err != nil {
+		return nil, err
+	}
+	m := &Convergent{b: batcher{cfg: cfg, reps: reps, level: msg.Convergent}}
+	m.b.take = func(queued int) int { return queued }
+	m.b.encode = func(batch []msg.Update, delta *relation.Delta) []msg.ActionList {
+		first, last := batch[0].Seq, batch[len(batch)-1].Seq
+		ins, del := delta.Split()
+		if len(batch) == 1 || del.Empty() || ins.Empty() {
+			return []msg.ActionList{{View: cfg.View, From: first, Upto: last, Delta: delta, Level: msg.Convergent}}
+		}
+		mid := batch[len(batch)-2].Seq
+		return []msg.ActionList{
+			{View: cfg.View, From: first, Upto: mid, Delta: del, Level: msg.Convergent},
+			{View: cfg.View, From: last, Upto: last, Delta: ins, Level: msg.Convergent},
+		}
+	}
+	return m, nil
+}
+
+// Level returns the manager's consistency level.
+func (m *Convergent) Level() msg.Level { return msg.Convergent }
+
+// ID implements msg.Node.
+func (m *Convergent) ID() string { return m.b.id() }
+
+// Handle implements msg.Node.
+func (m *Convergent) Handle(in any, now int64) []msg.Outbound { return m.b.handle(in, now) }

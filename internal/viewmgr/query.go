@@ -1,0 +1,230 @@
+package viewmgr
+
+import (
+	"fmt"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+// CompleteQuery is a complete view manager that holds no replicas: for each
+// update it queries the sources for the base relations it needs and
+// computes the delta view-manager-side. The sources answer versioned
+// (as-of) reads; this substitutes for the ECA/Strobe compensation machinery
+// of the single-view papers ([16,17]) while producing the identical action
+// list stream — one list per relevant update, each consistent with the
+// source state right after that update (see DESIGN.md substitutions).
+//
+// Queries are asynchronous, so the manager exhibits the paper's §1.1
+// problem 2: delta computation takes time, and updates pile up behind it.
+type CompleteQuery struct {
+	cfg     Config
+	queue   []msg.Update
+	nextQID msg.QueryID
+	// inflight query bookkeeping for the head-of-queue update.
+	pending map[msg.QueryID]string // qid -> relation name
+	results map[string]*relation.Relation
+	rels    relCarrier
+}
+
+// NewCompleteQuery builds a query-based complete manager.
+func NewCompleteQuery(cfg Config) *CompleteQuery {
+	return &CompleteQuery{cfg: cfg}
+}
+
+// Level returns the manager's consistency level.
+func (m *CompleteQuery) Level() msg.Level { return msg.Complete }
+
+// ID implements msg.Node.
+func (m *CompleteQuery) ID() string { return msg.NodeViewManager(m.cfg.View) }
+
+// Handle implements msg.Node.
+func (m *CompleteQuery) Handle(in any, now int64) []msg.Outbound {
+	switch t := in.(type) {
+	case msg.Update:
+		m.rels.collect(t)
+		m.queue = append(m.queue, t)
+		if m.pending != nil {
+			return nil
+		}
+		return m.startHead()
+	case msg.QueryResponse:
+		return m.onResponse(t)
+	default:
+		return nil
+	}
+}
+
+// startHead issues the snapshot queries for the head-of-queue update: every
+// base relation, as of the state just before the update.
+func (m *CompleteQuery) startHead() []msg.Outbound {
+	if len(m.queue) == 0 {
+		return nil
+	}
+	u := m.queue[0]
+	m.pending = make(map[msg.QueryID]string)
+	m.results = make(map[string]*relation.Relation)
+	var out []msg.Outbound
+	for _, rel := range m.cfg.Expr.BaseRelations() {
+		m.nextQID++
+		qid := m.nextQID
+		m.pending[qid] = rel
+		sch := scanSchema(m.cfg.Expr, rel)
+		out = append(out, msg.Send(msg.NodeCluster, msg.QueryRequest{
+			ID:   qid,
+			From: m.ID(),
+			Expr: expr.Scan(rel, sch),
+			AsOf: u.Seq - 1,
+		}))
+	}
+	return out
+}
+
+func (m *CompleteQuery) onResponse(resp msg.QueryResponse) []msg.Outbound {
+	rel, ok := m.pending[resp.ID]
+	if !ok {
+		return nil // stale response from an abandoned round
+	}
+	if resp.Err != "" {
+		panic(fmt.Sprintf("viewmgr: %s: source query failed: %s", m.cfg.View, resp.Err))
+	}
+	delete(m.pending, resp.ID)
+	r, err := deltaToRelation(resp.Result)
+	if err != nil {
+		panic(fmt.Sprintf("viewmgr: %s: %v", m.cfg.View, err))
+	}
+	m.results[rel] = r
+	if len(m.pending) > 0 {
+		return nil
+	}
+	// All base relations collected at state u.Seq-1: compute the delta.
+	u := m.queue[0]
+	m.queue = m.queue[1:]
+	db := expr.MapDB(m.results)
+	m.pending, m.results = nil, nil
+	delta, err := expr.DeltaWrites(m.cfg.Expr, msg.ExprWrites(u.Writes), db)
+	if err != nil {
+		panic(fmt.Sprintf("viewmgr: %s: delta of update %d: %v", m.cfg.View, u.Seq, err))
+	}
+	als := m.rels.attach([]msg.ActionList{{
+		View:  m.cfg.View,
+		From:  u.Seq,
+		Upto:  u.Seq,
+		Delta: delta,
+		Level: msg.Complete,
+	}})
+	out := []msg.Outbound{msg.Send(m.cfg.Merge, als[0])}
+	return append(out, m.startHead()...)
+}
+
+// QueryBatching is a strongly consistent manager that recomputes the view
+// at its knowledge frontier by querying the sources, then ships the
+// difference from what it last sent. While a query is in flight further
+// updates accumulate; the next recomputation covers them all in one action
+// list — so query latency alone produces the intertwined batches of §5.
+type QueryBatching struct {
+	cfg      Config
+	nextQID  msg.QueryID
+	inflight bool
+	qid      msg.QueryID
+	target   msg.UpdateID // frontier being queried
+	frontier msg.UpdateID // newest update received
+	dirty    bool
+	sentUpto msg.UpdateID
+	lastSent *relation.Relation
+	rels     relCarrier
+}
+
+// NewQueryBatching builds the manager. initial must be the view contents
+// at state 0.
+func NewQueryBatching(cfg Config, initial *relation.Relation) *QueryBatching {
+	return &QueryBatching{cfg: cfg, lastSent: initial.Clone()}
+}
+
+// Level returns the manager's consistency level.
+func (m *QueryBatching) Level() msg.Level { return msg.Strong }
+
+// ID implements msg.Node.
+func (m *QueryBatching) ID() string { return msg.NodeViewManager(m.cfg.View) }
+
+// Handle implements msg.Node.
+func (m *QueryBatching) Handle(in any, now int64) []msg.Outbound {
+	switch t := in.(type) {
+	case msg.Update:
+		m.rels.collect(t)
+		m.frontier = t.Seq
+		m.dirty = true
+		return m.pump()
+	case msg.QueryResponse:
+		if !m.inflight || t.ID != m.qid {
+			return nil
+		}
+		if t.Err != "" {
+			panic(fmt.Sprintf("viewmgr: %s: source query failed: %s", m.cfg.View, t.Err))
+		}
+		m.inflight = false
+		cur, err := deltaToRelation(t.Result)
+		if err != nil {
+			panic(fmt.Sprintf("viewmgr: %s: %v", m.cfg.View, err))
+		}
+		als := m.rels.attach([]msg.ActionList{{
+			View:  m.cfg.View,
+			From:  m.sentUpto + 1,
+			Upto:  m.target,
+			Delta: cur.DiffFrom(m.lastSent),
+			Level: msg.Strong,
+		}})
+		m.lastSent = cur
+		m.sentUpto = m.target
+		out := []msg.Outbound{msg.Send(m.cfg.Merge, als[0])}
+		return append(out, m.pump()...)
+	default:
+		return nil
+	}
+}
+
+func (m *QueryBatching) pump() []msg.Outbound {
+	if m.inflight || !m.dirty {
+		return nil
+	}
+	m.dirty = false
+	m.target = m.frontier
+	m.nextQID++
+	m.qid = m.nextQID
+	m.inflight = true
+	return []msg.Outbound{msg.Send(msg.NodeCluster, msg.QueryRequest{
+		ID:   m.qid,
+		From: m.ID(),
+		Expr: m.cfg.Expr,
+		AsOf: m.target,
+	})}
+}
+
+// scanSchema finds the schema a view expression uses for a base relation.
+func scanSchema(e expr.Expr, rel string) *relation.Schema {
+	schemas := expr.ScanSchemas(e)
+	s, ok := schemas[rel]
+	if !ok {
+		panic(fmt.Sprintf("viewmgr: expression does not read %q", rel))
+	}
+	return s
+}
+
+// deltaToRelation converts a non-negative signed bag to a relation.
+func deltaToRelation(d *relation.Delta) (*relation.Relation, error) {
+	r := relation.New(d.Schema())
+	var bad error
+	d.Each(func(t relation.Tuple, n int64) bool {
+		if n < 0 {
+			bad = fmt.Errorf("query returned negative multiplicity %d for %v", n, t)
+			return false
+		}
+		bad = r.Insert(t, n)
+		return bad == nil
+	})
+	if bad != nil {
+		return nil, bad
+	}
+	return r, nil
+}

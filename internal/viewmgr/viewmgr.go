@@ -1,0 +1,271 @@
+// Package viewmgr implements the view managers of the WHIPS architecture
+// (paper §3.3): one concurrent process per materialized view, receiving the
+// relevant source updates from the integrator, computing the view's action
+// lists, and sending them to the merge process.
+//
+// The merge algorithms only care about each manager's consistency level
+// (§6.3), so the package offers a fleet of managers spanning the paper's
+// taxonomy:
+//
+//   - Complete: one action list per update, computed from self-maintained
+//     local replicas of the base relations (refs [4,11]).
+//   - CompleteQuery: one action list per update, computed by querying the
+//     sources (versioned reads stand in for the single-view compensation
+//     machinery of ECA/Strobe — see DESIGN.md substitutions).
+//   - Batching: strongly consistent; a busy manager batches the updates
+//     that arrived while it was computing into a single action list — the
+//     Strobe-style behaviour that motivates the Painting Algorithm (§5).
+//   - QueryBatching: strongly consistent; recomputes the view at its
+//     knowledge frontier via source queries and ships diffs; query latency
+//     makes batches of intertwined updates arise naturally.
+//   - Refresh: §6.3 periodic refresh, shipped as a diff every N updates.
+//   - CompleteN: §6.3 complete-N; one action list per N updates.
+//   - Convergent: §6.3 convergence-only; batch deltas are shipped as
+//     separate delete and insert action lists, so intermediate warehouse
+//     states may match no source state.
+//
+// Every manager sends an action list even when its delta is empty (§3.3:
+// "If an action list happens to be empty, it is still sent").
+package viewmgr
+
+import (
+	"fmt"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+// Manager is a view manager: a message-driven process with a declared
+// consistency level (§6.3) that the merge process's algorithm choice
+// depends on.
+type Manager interface {
+	msg.Node
+	Level() msg.Level
+}
+
+// Config is the common view-manager configuration.
+type Config struct {
+	View  msg.ViewID
+	Expr  expr.Expr
+	Merge string // node id of the coordinating merge process
+	// ComputeDelay models the cost of delta computation: the manager is
+	// busy for the returned duration and updates arriving meanwhile queue
+	// up. nil means instantaneous.
+	ComputeDelay func(updates int) int64
+	// StageData ships deltas directly to the warehouse and sends the merge
+	// process a commit token only (§6.3 coordinate-commit-only mode, for
+	// managers whose lists are large — currently honoured by Refresh).
+	StageData bool
+}
+
+func (c *Config) delay(n int) int64 {
+	if c.ComputeDelay == nil {
+		return 0
+	}
+	return c.ComputeDelay(n)
+}
+
+// replicas is the self-maintained local copy of the base relations a view
+// reads (refs [4,11]): because the integrator forwards every update that
+// can possibly affect the view, applying those updates locally keeps the
+// copies exactly as fresh as the manager's knowledge frontier, and no
+// query back to the sources is ever needed.
+//
+// Tuples discarded by the integrator's irrelevance filter never enter the
+// replicas; that is sound, because a tuple provably unable to contribute
+// to the view cannot contribute to any future delta either.
+type replicas struct {
+	db  map[string]*relation.Relation
+	seq msg.UpdateID
+}
+
+func newReplicas(e expr.Expr, init expr.Database) (*replicas, error) {
+	r := &replicas{db: make(map[string]*relation.Relation)}
+	for _, name := range e.BaseRelations() {
+		rel, err := init.Relation(name)
+		if err != nil {
+			return nil, fmt.Errorf("viewmgr: seeding replica of %q: %w", name, err)
+		}
+		r.db[name] = rel.Clone()
+	}
+	return r, nil
+}
+
+// Relation implements expr.Database.
+func (r *replicas) Relation(name string) (*relation.Relation, error) {
+	rel, ok := r.db[name]
+	if !ok {
+		return nil, fmt.Errorf("viewmgr: no replica of %q", name)
+	}
+	return rel, nil
+}
+
+// apply advances the replicas by one update.
+func (r *replicas) apply(u msg.Update) error {
+	for _, w := range u.Writes {
+		rel, ok := r.db[w.Relation]
+		if !ok {
+			continue // write on a relation this view does not read
+		}
+		if err := rel.Apply(w.Delta); err != nil {
+			return fmt.Errorf("viewmgr: replica of %q diverged at update %d: %w", w.Relation, u.Seq, err)
+		}
+	}
+	r.seq = u.Seq
+	return nil
+}
+
+// deltaForUpdates composes the view delta for a run of updates, evaluating
+// each write at the state its predecessors produced, and advances the
+// replicas past them.
+func deltaForUpdates(e expr.Expr, reps *replicas, batch []msg.Update) (*relation.Delta, error) {
+	total := relation.NewDelta(e.Schema())
+	for _, u := range batch {
+		d, err := expr.DeltaWrites(e, msg.ExprWrites(u.Writes), reps)
+		if err != nil {
+			return nil, err
+		}
+		if err := total.Merge(d); err != nil {
+			return nil, err
+		}
+		if err := reps.apply(u); err != nil {
+			return nil, err
+		}
+	}
+	return total, nil
+}
+
+// workDone is the self-message ending a simulated computation.
+type workDone struct {
+	als []msg.ActionList
+}
+
+// batcher is the shared skeleton of the replica-based managers: it queues
+// incoming updates, lets a policy choose how many to take per computation,
+// models computation latency with a busy period, and emits the resulting
+// action lists when the work completes.
+type batcher struct {
+	cfg    Config
+	reps   *replicas
+	busy   bool
+	queue  []msg.Update
+	level  msg.Level
+	take   func(queued int) int // how many updates to process now (0 = wait)
+	encode func(batch []msg.Update, delta *relation.Delta) []msg.ActionList
+	// rels piggybacks carried RELᵢ sets onto outgoing lists; immediateRel
+	// relays them on receipt instead (complete-N may hold updates below
+	// its boundary indefinitely, which would starve other views).
+	rels         relCarrier
+	immediateRel bool
+}
+
+func (b *batcher) id() string { return msg.NodeViewManager(b.cfg.View) }
+
+// relayREL forwards a carried RELᵢ (§3.2 alternative routing) to the merge
+// process as its own message. Managers that may hold updates indefinitely
+// (complete-N below its boundary, refresh below its period) must use it so
+// other views' coordination is never starved; managers that always answer
+// an update with a list use relCarrier instead and piggyback the sets onto
+// the next list — the message saving of §3.2's alternative.
+func relayREL(cfg Config, u msg.Update) []msg.Outbound {
+	if u.Rel == nil {
+		return nil
+	}
+	return []msg.Outbound{msg.Send(cfg.Merge, *u.Rel)}
+}
+
+// relCarrier accumulates carried RELᵢ sets for piggybacking.
+type relCarrier struct {
+	pending []msg.RelevantSet
+}
+
+func (c *relCarrier) collect(u msg.Update) {
+	if u.Rel != nil {
+		c.pending = append(c.pending, *u.Rel)
+	}
+}
+
+// attach adds the pending sets to the first of the given action lists.
+func (c *relCarrier) attach(als []msg.ActionList) []msg.ActionList {
+	if len(c.pending) > 0 && len(als) > 0 {
+		als[0].Rels = c.pending
+		c.pending = nil
+	}
+	return als
+}
+
+func (b *batcher) handle(m any, now int64) []msg.Outbound {
+	switch t := m.(type) {
+	case msg.Update:
+		var out []msg.Outbound
+		if b.immediateRel {
+			out = relayREL(b.cfg, t)
+		} else {
+			b.rels.collect(t)
+		}
+		b.queue = append(b.queue, t)
+		if b.busy {
+			return out
+		}
+		return append(out, b.startWork()...)
+	case workDone:
+		b.busy = false
+		out := b.emit(t.als)
+		return append(out, b.startWork()...)
+	default:
+		return nil
+	}
+}
+
+func (b *batcher) startWork() []msg.Outbound {
+	n := b.take(len(b.queue))
+	if n <= 0 {
+		return nil
+	}
+	batch := append([]msg.Update(nil), b.queue[:n]...)
+	b.queue = append(b.queue[:0], b.queue[n:]...)
+	delta, err := deltaForUpdates(b.cfg.Expr, b.reps, batch)
+	if err != nil {
+		panic(fmt.Sprintf("viewmgr: %s: %v", b.cfg.View, err))
+	}
+	als := b.encode(batch, delta)
+	if d := b.cfg.delay(len(batch)); d > 0 {
+		b.busy = true
+		return []msg.Outbound{{To: b.id(), Msg: workDone{als: als}, Delay: d}}
+	}
+	out := b.emit(als)
+	return append(out, b.startWork()...)
+}
+
+// emit sends the computed action lists, attaching piggybacked RELs and —
+// in §6.3 coordinate-commit-only mode — staging each list's delta directly
+// at the warehouse while the merge process receives only a token.
+func (b *batcher) emit(als []msg.ActionList) []msg.Outbound {
+	als = b.rels.attach(als)
+	out := make([]msg.Outbound, 0, len(als)+1)
+	for _, al := range als {
+		if b.cfg.StageData {
+			out = append(out, msg.Send(msg.NodeWarehouse, msg.StageDelta{
+				View: al.View, Upto: al.Upto, Delta: al.Delta,
+			}))
+			al.Delta = nil
+			al.Staged = true
+		}
+		out = append(out, msg.Send(b.cfg.Merge, al))
+	}
+	return out
+}
+
+// singleAL encodes a batch as one action list at the given level.
+func singleAL(cfg Config, level msg.Level) func([]msg.Update, *relation.Delta) []msg.ActionList {
+	return func(batch []msg.Update, delta *relation.Delta) []msg.ActionList {
+		return []msg.ActionList{{
+			View:  cfg.View,
+			From:  batch[0].Seq,
+			Upto:  batch[len(batch)-1].Seq,
+			Delta: delta,
+			Level: level,
+		}}
+	}
+}

@@ -1,0 +1,544 @@
+package viewmgr
+
+import (
+	"testing"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/source"
+)
+
+var (
+	rSchema = relation.MustSchema("A:int", "B:int")
+	sSchema = relation.MustSchema("B:int", "C:int")
+	tSchema = relation.MustSchema("C:int", "D:int")
+)
+
+// rig wires one manager to a cluster node and collects its action lists,
+// pumping messages synchronously (including self-delayed ones, in order).
+type rig struct {
+	t       *testing.T
+	cluster *source.Cluster
+	node    *source.Node
+	mgr     Manager
+	als     []msg.ActionList
+}
+
+func newRig(t *testing.T, mk func(cfg Config, init expr.Database) Manager, e expr.Expr) *rig {
+	t.Helper()
+	c := source.NewCluster(nil)
+	c.AddSource("s1")
+	c.AddSource("s2")
+	if err := c.CreateRelation("s1", "R", rSchema); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateRelation("s1", "S", sSchema); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateRelation("s2", "T", tSchema); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{View: "V", Expr: e, Merge: "merge:0"}
+	mgr := mk(cfg, c.DatabaseAt(0))
+	return &rig{t: t, cluster: c, node: source.NewNode(c), mgr: mgr}
+}
+
+// exec commits a write and feeds the update to the manager, draining all
+// resulting traffic.
+func (r *rig) exec(rel string, d *relation.Delta) {
+	r.t.Helper()
+	owner, _ := r.cluster.Owner(rel)
+	u, err := r.cluster.Execute(owner, msg.Write{Relation: rel, Delta: d})
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.pump(r.mgr.Handle(u, 0))
+}
+
+func (r *rig) pump(outs []msg.Outbound) {
+	r.t.Helper()
+	for len(outs) > 0 {
+		var next []msg.Outbound
+		for _, o := range outs {
+			switch o.To {
+			case msg.NodeCluster:
+				next = append(next, r.node.Handle(o.Msg, 0)...)
+			case "vm:V":
+				next = append(next, r.mgr.Handle(o.Msg, 0)...)
+			case "merge:0":
+				r.als = append(r.als, o.Msg.(msg.ActionList))
+			default:
+				r.t.Fatalf("unexpected destination %q", o.To)
+			}
+		}
+		outs = next
+	}
+}
+
+// expectView replays the collected ALs onto the initial view contents and
+// compares with evaluating the expression at the current source state.
+func (r *rig) expectView(e expr.Expr) {
+	r.t.Helper()
+	got, err := expr.Eval(e, r.cluster.DatabaseAt(0))
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	for _, al := range r.als {
+		if err := got.Apply(al.Delta); err != nil {
+			r.t.Fatalf("applying %s: %v", al, err)
+		}
+	}
+	want, err := expr.Eval(e, r.cluster.DatabaseAt(r.cluster.Seq()))
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		r.t.Errorf("replayed view = %v, want %v", got, want)
+	}
+}
+
+func ins(s *relation.Schema, vals ...any) *relation.Delta {
+	return relation.InsertDelta(s, relation.T(vals...))
+}
+
+func del(s *relation.Schema, vals ...any) *relation.Delta {
+	return relation.DeleteDelta(s, relation.T(vals...))
+}
+
+func v1() expr.Expr { return expr.MustJoin(expr.Scan("R", rSchema), expr.Scan("S", sSchema)) }
+
+func TestCompleteManagerOneALPerUpdate(t *testing.T) {
+	r := newRig(t, func(cfg Config, init expr.Database) Manager {
+		m, err := NewComplete(cfg, init)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}, v1())
+	if r.mgr.Level() != msg.Complete || r.mgr.ID() != "vm:V" {
+		t.Errorf("level/id = %v %q", r.mgr.Level(), r.mgr.ID())
+	}
+	r.exec("R", ins(rSchema, 1, 2))
+	r.exec("S", ins(sSchema, 2, 3))
+	r.exec("S", del(sSchema, 2, 3))
+	if len(r.als) != 3 {
+		t.Fatalf("ALs = %d, want 3 (one per update)", len(r.als))
+	}
+	for i, al := range r.als {
+		if al.From != al.Upto || al.Upto != msg.UpdateID(i+1) {
+			t.Errorf("AL %d covers %d..%d", i, al.From, al.Upto)
+		}
+		if al.Level != msg.Complete {
+			t.Errorf("AL level = %v", al.Level)
+		}
+	}
+	if r.als[1].Delta.Count(relation.T(1, 2, 3)) != 1 {
+		t.Errorf("AL2 = %v", r.als[1].Delta)
+	}
+	if r.als[2].Delta.Count(relation.T(1, 2, 3)) != -1 {
+		t.Errorf("AL3 = %v", r.als[2].Delta)
+	}
+	r.expectView(v1())
+}
+
+func TestCompleteManagerEmptyALStillSent(t *testing.T) {
+	r := newRig(t, func(cfg Config, init expr.Database) Manager {
+		m, err := NewComplete(cfg, init)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}, v1())
+	// An R tuple that joins nothing still produces (an empty) AL: §3.3.
+	r.exec("R", ins(rSchema, 9, 9))
+	if len(r.als) != 1 || !r.als[0].Delta.Empty() {
+		t.Fatalf("empty AL must be sent: %v", r.als)
+	}
+}
+
+func TestCompleteManagerBusyDelaysButDoesNotBatch(t *testing.T) {
+	c := source.NewCluster(nil)
+	c.AddSource("s1")
+	_ = c.CreateRelation("s1", "S", sSchema)
+	cfg := Config{View: "V", Expr: expr.Scan("S", sSchema), Merge: "merge:0",
+		ComputeDelay: func(n int) int64 { return 50 }}
+	m, err := NewComplete(cfg, c.DatabaseAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, _ := c.Execute("s1", msg.Write{Relation: "S", Delta: ins(sSchema, 1, 1)})
+	u2, _ := c.Execute("s1", msg.Write{Relation: "S", Delta: ins(sSchema, 2, 2)})
+	out := m.Handle(u1, 0)
+	// Busy: the AL is deferred via a self-message.
+	if len(out) != 1 || out[0].To != "vm:V" || out[0].Delay != 50 {
+		t.Fatalf("busy defer = %+v", out)
+	}
+	// Second update queues; no new work starts.
+	if out2 := m.Handle(u2, 10); len(out2) != 0 {
+		t.Fatalf("queued update should not emit: %v", out2)
+	}
+	// Work completes: AL1 emitted, next update starts (another defer).
+	out = m.Handle(out[0].Msg, 50)
+	var als []msg.ActionList
+	var defers []msg.Outbound
+	for _, o := range out {
+		if al, ok := o.Msg.(msg.ActionList); ok {
+			als = append(als, al)
+		} else {
+			defers = append(defers, o)
+		}
+	}
+	if len(als) != 1 || als[0].Upto != 1 {
+		t.Fatalf("first AL = %v", als)
+	}
+	if len(defers) != 1 {
+		t.Fatalf("second update should start work: %v", out)
+	}
+	out = m.Handle(defers[0].Msg, 100)
+	if len(out) != 1 {
+		t.Fatalf("second AL expected: %v", out)
+	}
+	if al := out[0].Msg.(msg.ActionList); al.From != 2 || al.Upto != 2 {
+		t.Errorf("second AL covers %d..%d — complete managers must not batch", al.From, al.Upto)
+	}
+}
+
+func TestBatchingManagerBatchesWhileBusy(t *testing.T) {
+	c := source.NewCluster(nil)
+	c.AddSource("s1")
+	_ = c.CreateRelation("s1", "S", sSchema)
+	cfg := Config{View: "V", Expr: expr.Scan("S", sSchema), Merge: "merge:0",
+		ComputeDelay: func(n int) int64 { return 50 }}
+	m, err := NewBatching(cfg, c.DatabaseAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Level() != msg.Strong {
+		t.Errorf("level = %v", m.Level())
+	}
+	var us []msg.Update
+	for i := 0; i < 3; i++ {
+		u, _ := c.Execute("s1", msg.Write{Relation: "S", Delta: ins(sSchema, i, i)})
+		us = append(us, u)
+	}
+	out := m.Handle(us[0], 0)      // starts work on batch {U1}
+	m.Handle(us[1], 10)            // queue
+	m.Handle(us[2], 20)            // queue
+	out = m.Handle(out[0].Msg, 50) // work done: AL1 out, batch {U2,U3} starts
+	var al msg.ActionList
+	var deferred msg.Outbound
+	for _, o := range out {
+		if a, ok := o.Msg.(msg.ActionList); ok {
+			al = a
+		} else {
+			deferred = o
+		}
+	}
+	if al.From != 1 || al.Upto != 1 {
+		t.Fatalf("first AL = %v", al)
+	}
+	out = m.Handle(deferred.Msg, 100)
+	al = out[0].Msg.(msg.ActionList)
+	if al.From != 2 || al.Upto != 3 {
+		t.Errorf("batched AL covers %d..%d, want 2..3", al.From, al.Upto)
+	}
+	if al.Delta.Count(relation.T(1, 1)) != 1 || al.Delta.Count(relation.T(2, 2)) != 1 {
+		t.Errorf("batched delta = %v", al.Delta)
+	}
+}
+
+func TestCompleteNManager(t *testing.T) {
+	r := newRig(t, func(cfg Config, init expr.Database) Manager {
+		m, err := NewCompleteN(cfg, init, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}, v1())
+	for i := 0; i < 7; i++ {
+		r.exec("S", ins(sSchema, i, i))
+	}
+	// 7 updates → 2 ALs at boundaries 3 and 6; the 7th waits.
+	if len(r.als) != 2 {
+		t.Fatalf("ALs = %d, want 2", len(r.als))
+	}
+	if r.als[0].From != 1 || r.als[0].Upto != 3 || r.als[1].From != 4 || r.als[1].Upto != 6 {
+		t.Errorf("AL ranges = %v", r.als)
+	}
+	if _, err := NewCompleteN(Config{View: "V", Expr: v1()}, nil, 0); err == nil {
+		t.Error("N<1 must fail")
+	}
+}
+
+func TestRefreshManagerDiffs(t *testing.T) {
+	r := newRig(t, func(cfg Config, init expr.Database) Manager {
+		m, err := NewRefresh(cfg, init, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}, v1())
+	if r.mgr.Level() != msg.Strong {
+		t.Errorf("level = %v", r.mgr.Level())
+	}
+	r.exec("R", ins(rSchema, 1, 2))
+	if len(r.als) != 0 {
+		t.Fatal("no AL before the period boundary")
+	}
+	r.exec("S", ins(sSchema, 2, 3))
+	if len(r.als) != 1 {
+		t.Fatalf("ALs = %d", len(r.als))
+	}
+	al := r.als[0]
+	if al.From != 1 || al.Upto != 2 {
+		t.Errorf("refresh AL covers %d..%d", al.From, al.Upto)
+	}
+	if al.Delta.Count(relation.T(1, 2, 3)) != 1 {
+		t.Errorf("refresh delta = %v", al.Delta)
+	}
+	// Deleting everything: next boundary ships the inverse diff.
+	r.exec("S", del(sSchema, 2, 3))
+	r.exec("R", del(rSchema, 1, 2))
+	if len(r.als) != 2 || r.als[1].Delta.Count(relation.T(1, 2, 3)) != -1 {
+		t.Errorf("second refresh AL = %v", r.als)
+	}
+	r.expectView(v1())
+	if _, err := NewRefresh(Config{View: "V", Expr: v1()}, nil, 0); err == nil {
+		t.Error("period<1 must fail")
+	}
+}
+
+func TestConvergentManagerSplitsBatches(t *testing.T) {
+	c := source.NewCluster(nil)
+	c.AddSource("s1")
+	_ = c.CreateRelation("s1", "S", sSchema)
+	cfg := Config{View: "V", Expr: expr.Scan("S", sSchema), Merge: "merge:0",
+		ComputeDelay: func(n int) int64 { return 50 }}
+	m, err := NewConvergent(cfg, c.DatabaseAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Level() != msg.Convergent {
+		t.Errorf("level = %v", m.Level())
+	}
+	// Seed a tuple so the batch has a deletion.
+	u0, _ := c.Execute("s1", msg.Write{Relation: "S", Delta: ins(sSchema, 0, 0)})
+	out := m.Handle(u0, 0)
+	u1, _ := c.Execute("s1", msg.Write{Relation: "S", Delta: del(sSchema, 0, 0)})
+	u2, _ := c.Execute("s1", msg.Write{Relation: "S", Delta: ins(sSchema, 2, 2)})
+	m.Handle(u1, 1)
+	m.Handle(u2, 2)
+	out = m.Handle(out[0].Msg, 50) // finish batch {U1}: AL + start batch {U2,U3}
+	var deferred msg.Outbound
+	for _, o := range out {
+		if _, ok := o.Msg.(workDone); ok {
+			deferred = o
+		}
+	}
+	out = m.Handle(deferred.Msg, 100)
+	if len(out) != 2 {
+		t.Fatalf("multi-update batch with deletes+inserts should split into 2 ALs: %v", out)
+	}
+	del1 := out[0].Msg.(msg.ActionList)
+	ins1 := out[1].Msg.(msg.ActionList)
+	if del1.Upto != 2 || ins1.Upto != 3 {
+		t.Errorf("split uptos = %d, %d", del1.Upto, ins1.Upto)
+	}
+	if del1.Delta.Count(relation.T(0, 0)) != -1 || ins1.Delta.Count(relation.T(2, 2)) != 1 {
+		t.Errorf("split deltas = %v / %v", del1.Delta, ins1.Delta)
+	}
+}
+
+func TestCompleteQueryManagerMatchesReplica(t *testing.T) {
+	r := newRig(t, func(cfg Config, init expr.Database) Manager {
+		return NewCompleteQuery(cfg)
+	}, v1())
+	r.exec("R", ins(rSchema, 1, 2))
+	r.exec("S", ins(sSchema, 2, 3))
+	r.exec("S", ins(sSchema, 2, 9))
+	r.exec("R", del(rSchema, 1, 2))
+	if len(r.als) != 4 {
+		t.Fatalf("ALs = %d", len(r.als))
+	}
+	r.expectView(v1())
+}
+
+func TestQueryBatchingManagerDiffs(t *testing.T) {
+	c := source.NewCluster(nil)
+	c.AddSource("s1")
+	_ = c.CreateRelation("s1", "R", rSchema)
+	_ = c.CreateRelation("s1", "S", sSchema)
+	e := v1()
+	initial, _ := expr.Eval(e, c.DatabaseAt(0))
+	m := NewQueryBatching(Config{View: "V", Expr: e, Merge: "merge:0"}, initial)
+	node := source.NewNode(c)
+
+	u1, _ := c.Execute("s1", msg.Write{Relation: "R", Delta: ins(rSchema, 1, 2)})
+	u2, _ := c.Execute("s1", msg.Write{Relation: "S", Delta: ins(sSchema, 2, 3)})
+
+	// First update triggers a query for state 1.
+	out := m.Handle(u1, 0)
+	if len(out) != 1 {
+		t.Fatalf("expected query, got %v", out)
+	}
+	q := out[0].Msg.(msg.QueryRequest)
+	if q.AsOf != 1 {
+		t.Errorf("AsOf = %d", q.AsOf)
+	}
+	// Second update arrives while the query is in flight.
+	if o := m.Handle(u2, 1); len(o) != 0 {
+		t.Fatalf("in-flight: %v", o)
+	}
+	// Answer arrives: AL for 1..1, then a new query for state 2.
+	resp := node.Handle(q, 0)[0].Msg.(msg.QueryResponse)
+	out = m.Handle(resp, 2)
+	if len(out) != 2 {
+		t.Fatalf("want AL + next query, got %v", out)
+	}
+	al := out[0].Msg.(msg.ActionList)
+	if al.From != 1 || al.Upto != 1 || !al.Delta.Empty() {
+		t.Errorf("first AL = %v %v", al, al.Delta)
+	}
+	q2 := out[1].Msg.(msg.QueryRequest)
+	resp2 := node.Handle(q2, 0)[0].Msg.(msg.QueryResponse)
+	out = m.Handle(resp2, 3)
+	al2 := out[0].Msg.(msg.ActionList)
+	if al2.From != 2 || al2.Upto != 2 || al2.Delta.Count(relation.T(1, 2, 3)) != 1 {
+		t.Errorf("second AL = %v %v", al2, al2.Delta)
+	}
+	// Stale or duplicate responses are ignored.
+	if o := m.Handle(resp, 4); len(o) != 0 {
+		t.Errorf("stale response produced %v", o)
+	}
+}
+
+func TestManagersIgnoreUnknownMessages(t *testing.T) {
+	init := expr.MapDB{"S": relation.New(sSchema)}
+	cfg := Config{View: "V", Expr: expr.Scan("S", sSchema), Merge: "merge:0"}
+	c, _ := NewComplete(cfg, init)
+	b, _ := NewBatching(cfg, init)
+	refresh, _ := NewRefresh(cfg, init, 1)
+	cq := NewCompleteQuery(cfg)
+	qb := NewQueryBatching(cfg, relation.New(sSchema))
+	for _, m := range []Manager{c, b, refresh, cq, qb} {
+		if out := m.Handle("garbage", 0); out != nil {
+			t.Errorf("%s produced %v on garbage", m.ID(), out)
+		}
+	}
+}
+
+func TestReplicaDivergencePanics(t *testing.T) {
+	init := expr.MapDB{"S": relation.New(sSchema)}
+	cfg := Config{View: "V", Expr: expr.Scan("S", sSchema), Merge: "merge:0"}
+	m, _ := NewComplete(cfg, init)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("deleting a tuple absent from the replica must panic")
+		}
+	}()
+	m.Handle(msg.Update{Seq: 1, Writes: []msg.Write{{Relation: "S", Delta: del(sSchema, 9, 9)}}}, 0)
+}
+
+func TestNewManagerErrors(t *testing.T) {
+	cfg := Config{View: "V", Expr: expr.Scan("S", sSchema), Merge: "merge:0"}
+	bad := expr.MapDB{} // missing S
+	if _, err := NewComplete(cfg, bad); err == nil {
+		t.Error("missing base relation must fail")
+	}
+	if _, err := NewBatching(cfg, bad); err == nil {
+		t.Error("missing base relation must fail")
+	}
+	if _, err := NewConvergent(cfg, bad); err == nil {
+		t.Error("missing base relation must fail")
+	}
+	if _, err := NewRefresh(cfg, bad, 1); err == nil {
+		t.Error("missing base relation must fail")
+	}
+}
+
+func TestManagerAccessors(t *testing.T) {
+	init := expr.MapDB{"S": relation.New(sSchema)}
+	cfg := Config{View: "V", Expr: expr.Scan("S", sSchema), Merge: "merge:0"}
+	b, _ := NewBatching(cfg, init)
+	cn, _ := NewCompleteN(cfg, init, 2)
+	cv, _ := NewConvergent(cfg, init)
+	rf, _ := NewRefresh(cfg, init, 1)
+	cq := NewCompleteQuery(cfg)
+	qb := NewQueryBatching(cfg, relation.New(sSchema))
+	for _, m := range []Manager{b, cn, cv, rf, cq, qb} {
+		if m.ID() != "vm:V" {
+			t.Errorf("%T id = %q", m, m.ID())
+		}
+	}
+	if cq.Level() != msg.Complete || qb.Level() != msg.Strong || cn.Level() != msg.Strong {
+		t.Error("levels")
+	}
+}
+
+func TestRelayCarrierPiggybacksOnAL(t *testing.T) {
+	c := source.NewCluster(nil)
+	c.AddSource("s1")
+	_ = c.CreateRelation("s1", "S", sSchema)
+	cfg := Config{View: "V", Expr: expr.Scan("S", sSchema), Merge: "merge:0"}
+	m, _ := NewComplete(cfg, c.DatabaseAt(0))
+	u, _ := c.Execute("s1", msg.Write{Relation: "S", Delta: ins(sSchema, 1, 1)})
+	u.Rel = &msg.RelevantSet{Seq: u.Seq, Views: []msg.ViewID{"V"}}
+	out := m.Handle(u, 0)
+	if len(out) != 1 {
+		t.Fatalf("outbound = %v", out)
+	}
+	al := out[0].Msg.(msg.ActionList)
+	if len(al.Rels) != 1 || al.Rels[0].Seq != u.Seq {
+		t.Errorf("REL not piggybacked: %+v", al)
+	}
+}
+
+func TestCompleteNRelaysRELImmediately(t *testing.T) {
+	c := source.NewCluster(nil)
+	c.AddSource("s1")
+	_ = c.CreateRelation("s1", "S", sSchema)
+	cfg := Config{View: "V", Expr: expr.Scan("S", sSchema), Merge: "merge:0"}
+	m, _ := NewCompleteN(cfg, c.DatabaseAt(0), 3)
+	u, _ := c.Execute("s1", msg.Write{Relation: "S", Delta: ins(sSchema, 1, 1)})
+	u.Rel = &msg.RelevantSet{Seq: u.Seq, Views: []msg.ViewID{"V"}}
+	out := m.Handle(u, 0)
+	// Below the boundary: no AL, but the REL must go out on its own.
+	if len(out) != 1 {
+		t.Fatalf("outbound = %v", out)
+	}
+	if rel, ok := out[0].Msg.(msg.RelevantSet); !ok || rel.Seq != u.Seq {
+		t.Errorf("REL not relayed immediately: %+v", out[0].Msg)
+	}
+}
+
+func TestRefreshStageDataMode(t *testing.T) {
+	c := source.NewCluster(nil)
+	c.AddSource("s1")
+	_ = c.CreateRelation("s1", "S", sSchema)
+	cfg := Config{View: "V", Expr: expr.Scan("S", sSchema), Merge: "merge:0", StageData: true}
+	m, err := NewRefresh(cfg, c.DatabaseAt(0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, _ := c.Execute("s1", msg.Write{Relation: "S", Delta: ins(sSchema, 1, 1)})
+	u2, _ := c.Execute("s1", msg.Write{Relation: "S", Delta: ins(sSchema, 2, 2)})
+	if out := m.Handle(u1, 0); len(out) != 0 {
+		t.Fatalf("below period: %v", out)
+	}
+	out := m.Handle(u2, 0)
+	if len(out) != 2 {
+		t.Fatalf("want StageDelta + token AL, got %v", out)
+	}
+	sd, ok := out[0].Msg.(msg.StageDelta)
+	if !ok || out[0].To != msg.NodeWarehouse {
+		t.Fatalf("first outbound should stage data at the warehouse: %+v", out[0])
+	}
+	if sd.Upto != 2 || sd.Delta.Count(relation.T(1, 1)) != 1 || sd.Delta.Count(relation.T(2, 2)) != 1 {
+		t.Errorf("staged delta = %+v", sd)
+	}
+	al := out[1].Msg.(msg.ActionList)
+	if !al.Staged || al.Delta != nil || al.Upto != 2 || out[1].To != "merge:0" {
+		t.Errorf("token AL = %+v", al)
+	}
+}

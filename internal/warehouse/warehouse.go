@@ -1,0 +1,445 @@
+// Package warehouse implements the warehouse DBMS substrate: it stores the
+// materialized views, applies maintenance transactions atomically, enforces
+// commit-order dependencies declared by the merge process (§4.3), and logs
+// the warehouse state sequence that the consistency checker judges.
+package warehouse
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+// StateRecord is one element of the warehouse state sequence Wseq: the
+// (vector) state after one maintenance transaction committed (§2.3).
+type StateRecord struct {
+	Txn      msg.TxnID
+	Rows     []msg.UpdateID
+	Upto     map[msg.ViewID]msg.UpdateID
+	Views    map[msg.ViewID]*relation.Relation // deep clones
+	CommitAt int64
+}
+
+// CommitInfo is passed to commit observers.
+type CommitInfo struct {
+	Txn   msg.WarehouseTxn
+	Now   int64
+	Upto  map[msg.ViewID]msg.UpdateID
+	Views []msg.ViewID
+}
+
+// Warehouse is the view store. It implements msg.Node; reads are safe from
+// other goroutines.
+type Warehouse struct {
+	mu        sync.Mutex
+	views     map[msg.ViewID]*relation.Relation
+	upto      map[msg.ViewID]msg.UpdateID
+	committed map[msg.TxnID]bool
+	// pending holds transactions whose declared dependencies have not all
+	// committed yet (dependency-tracked commit strategy).
+	pending map[msg.TxnID]pendingTxn
+	waiters map[msg.TxnID][]msg.TxnID // dep -> txns waiting on it
+
+	// staging holds out-of-band view deltas (§6.3 coordinate-commit-only
+	// mode) until the transaction referencing them commits; stageParked
+	// holds transactions whose staged data has not all arrived.
+	staging      map[string]*relation.Delta
+	stageParked  map[msg.TxnID]stagePark
+	stageWaiters map[string][]msg.TxnID
+
+	logStates bool
+	log       []StateRecord
+	applied   int64
+	onCommit  func(CommitInfo)
+
+	// execDelay, when set, defers the execution of each submitted
+	// transaction by the returned number of nanoseconds — a model of a
+	// warehouse DBMS that schedules transactions in its own order. With
+	// dependencies declared (or sequential submission) order is still
+	// correct; without them this is how §4.3's WT3-before-WT1 hazard is
+	// demonstrated.
+	execDelay func(msg.WarehouseTxn) int64
+}
+
+// Option configures a Warehouse.
+type Option func(*Warehouse)
+
+// WithStateLog records a deep clone of every view after each commit — the
+// warehouse state sequence the §2 definitions quantify over. Tests and
+// examples enable it; large benchmarks leave it off.
+func WithStateLog() Option { return func(w *Warehouse) { w.logStates = true } }
+
+// WithCommitObserver installs a callback invoked after each commit.
+func WithCommitObserver(fn func(CommitInfo)) Option {
+	return func(w *Warehouse) { w.onCommit = fn }
+}
+
+// WithExecDelay installs a transaction scheduling delay model.
+func WithExecDelay(fn func(msg.WarehouseTxn) int64) Option {
+	return func(w *Warehouse) { w.execDelay = fn }
+}
+
+type pendingTxn struct {
+	txn     msg.WarehouseTxn
+	from    string
+	missing map[msg.TxnID]bool
+}
+
+type stagePark struct {
+	txn     msg.WarehouseTxn
+	from    string
+	missing map[string]bool
+}
+
+func stageKey(v msg.ViewID, upto msg.UpdateID) string {
+	return fmt.Sprintf("%s@%d", v, upto)
+}
+
+// applyNow is the self-message used to model deferred execution.
+type applyNow struct {
+	txn  msg.WarehouseTxn
+	from string
+}
+
+// New returns a warehouse materializing the given views with the given
+// initial contents (state ws0). Initial contents are cloned.
+func New(initial map[msg.ViewID]*relation.Relation, opts ...Option) *Warehouse {
+	w := &Warehouse{
+		views:        make(map[msg.ViewID]*relation.Relation, len(initial)),
+		upto:         make(map[msg.ViewID]msg.UpdateID, len(initial)),
+		committed:    make(map[msg.TxnID]bool),
+		pending:      make(map[msg.TxnID]pendingTxn),
+		waiters:      make(map[msg.TxnID][]msg.TxnID),
+		staging:      make(map[string]*relation.Delta),
+		stageParked:  make(map[msg.TxnID]stagePark),
+		stageWaiters: make(map[string][]msg.TxnID),
+	}
+	for id, r := range initial {
+		w.views[id] = r.Clone()
+		w.upto[id] = 0
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	if w.logStates {
+		w.log = append(w.log, w.snapshotLocked(0, nil, 0))
+	}
+	return w
+}
+
+// ID implements msg.Node.
+func (w *Warehouse) ID() string { return msg.NodeWarehouse }
+
+// Handle implements msg.Node. It accepts submitTxn envelopes (via Submit)
+// and its own deferred-execution messages.
+func (w *Warehouse) Handle(m any, now int64) []msg.Outbound {
+	switch t := m.(type) {
+	case msg.SubmitTxn:
+		if w.execDelay != nil {
+			if d := w.execDelay(t.Txn); d > 0 {
+				return []msg.Outbound{{To: w.ID(), Msg: applyNow{txn: t.Txn, from: t.From}, Delay: d}}
+			}
+		}
+		return w.tryApply(t.Txn, t.From, now)
+	case applyNow:
+		return w.tryApply(t.txn, t.from, now)
+	case msg.StageDelta:
+		return w.onStageDelta(t, now)
+	default:
+		return nil
+	}
+}
+
+// onStageDelta stores out-of-band data and releases transactions that were
+// parked waiting for it.
+func (w *Warehouse) onStageDelta(s msg.StageDelta, now int64) []msg.Outbound {
+	w.mu.Lock()
+	key := stageKey(s.View, s.Upto)
+	w.staging[key] = s.Delta
+	ids := w.stageWaiters[key]
+	delete(w.stageWaiters, key)
+	var ready []stagePark
+	for _, id := range ids {
+		p, ok := w.stageParked[id]
+		if !ok {
+			continue
+		}
+		delete(p.missing, key)
+		if len(p.missing) == 0 {
+			delete(w.stageParked, id)
+			ready = append(ready, p)
+		} else {
+			w.stageParked[id] = p
+		}
+	}
+	w.mu.Unlock()
+	var out []msg.Outbound
+	for _, p := range ready {
+		out = append(out, w.tryApply(p.txn, p.from, now)...)
+	}
+	return out
+}
+
+func (w *Warehouse) tryApply(t msg.WarehouseTxn, from string, now int64) []msg.Outbound {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if missing := w.missingDepsLocked(t); len(missing) > 0 {
+		p := pendingTxn{txn: t, from: from, missing: make(map[msg.TxnID]bool, len(missing))}
+		for _, d := range missing {
+			p.missing[d] = true
+			w.waiters[d] = append(w.waiters[d], t.ID)
+		}
+		w.pending[t.ID] = p
+		return nil
+	}
+	if park, held := w.missingStageLocked(t, from); held {
+		w.stageParked[t.ID] = park
+		return nil
+	}
+	var out []msg.Outbound
+	out = w.commitLocked(t, from, now, out)
+	return out
+}
+
+// missingStageLocked checks whether every staged write's data has arrived;
+// if not it returns the park record and registers the waiters.
+func (w *Warehouse) missingStageLocked(t msg.WarehouseTxn, from string) (stagePark, bool) {
+	var missing map[string]bool
+	for _, vw := range t.Writes {
+		if !vw.Staged {
+			continue
+		}
+		key := stageKey(vw.View, vw.Upto)
+		if _, ok := w.staging[key]; ok {
+			continue
+		}
+		if missing == nil {
+			missing = make(map[string]bool)
+		}
+		if !missing[key] {
+			missing[key] = true
+			w.stageWaiters[key] = append(w.stageWaiters[key], t.ID)
+		}
+	}
+	if missing == nil {
+		return stagePark{}, false
+	}
+	return stagePark{txn: t, from: from, missing: missing}, true
+}
+
+func (w *Warehouse) missingDepsLocked(t msg.WarehouseTxn) []msg.TxnID {
+	var missing []msg.TxnID
+	for _, d := range t.DependsOn {
+		if !w.committed[d] {
+			missing = append(missing, d)
+		}
+	}
+	return missing
+}
+
+// commitLocked applies t atomically, acknowledges it, and cascades to any
+// pending transactions it unblocks.
+func (w *Warehouse) commitLocked(t msg.WarehouseTxn, from string, now int64, out []msg.Outbound) []msg.Outbound {
+	// Resolve staged writes (data shipped out-of-band) and validate all
+	// writes first so a bad transaction cannot half-apply.
+	scratch := make(map[msg.ViewID]*relation.Relation)
+	for _, vw := range t.Writes {
+		delta := vw.Delta
+		if vw.Staged {
+			key := stageKey(vw.View, vw.Upto)
+			d, ok := w.staging[key]
+			if !ok {
+				panic(fmt.Sprintf("warehouse: transaction %d references unstaged data %s", t.ID, key))
+			}
+			delete(w.staging, key)
+			delta = d
+		}
+		r, ok := scratch[vw.View]
+		if !ok {
+			base, exists := w.views[vw.View]
+			if !exists {
+				panic(fmt.Sprintf("warehouse: transaction %d writes unknown view %q", t.ID, vw.View))
+			}
+			r = base.Clone()
+			scratch[vw.View] = r
+		}
+		if err := r.Apply(delta); err != nil {
+			panic(fmt.Sprintf("warehouse: transaction %d is inconsistent with view %q: %v", t.ID, vw.View, err))
+		}
+	}
+	for id, r := range scratch {
+		w.views[id] = r
+	}
+	for _, vw := range t.Writes {
+		if vw.Upto > w.upto[vw.View] {
+			w.upto[vw.View] = vw.Upto
+		}
+	}
+	w.committed[t.ID] = true
+	w.applied++
+	if w.logStates {
+		w.log = append(w.log, w.snapshotLocked(t.ID, t.Rows, now))
+	}
+	if w.onCommit != nil {
+		info := CommitInfo{Txn: t, Now: now, Upto: make(map[msg.ViewID]msg.UpdateID), Views: t.Views()}
+		for _, v := range info.Views {
+			info.Upto[v] = w.upto[v]
+		}
+		w.onCommit(info)
+	}
+	if from != "" {
+		out = append(out, msg.Send(from, msg.CommitAck{ID: t.ID}))
+	}
+	// Cascade: newly unblocked pending transactions commit in txn-id order
+	// for determinism. A released transaction may still be waiting for
+	// out-of-band staged data (§6.3), in which case it parks there instead
+	// of committing.
+	waiters := w.waiters[t.ID]
+	delete(w.waiters, t.ID)
+	sort.Slice(waiters, func(i, j int) bool { return waiters[i] < waiters[j] })
+	for _, id := range waiters {
+		p, ok := w.pending[id]
+		if !ok {
+			continue
+		}
+		delete(p.missing, t.ID)
+		if len(p.missing) > 0 {
+			w.pending[id] = p
+			continue
+		}
+		delete(w.pending, id)
+		if park, held := w.missingStageLocked(p.txn, p.from); held {
+			w.stageParked[p.txn.ID] = park
+			continue
+		}
+		out = w.commitLocked(p.txn, p.from, now, out)
+	}
+	return out
+}
+
+func (w *Warehouse) snapshotLocked(txn msg.TxnID, rows []msg.UpdateID, now int64) StateRecord {
+	rec := StateRecord{
+		Txn:      txn,
+		Rows:     append([]msg.UpdateID(nil), rows...),
+		Upto:     make(map[msg.ViewID]msg.UpdateID, len(w.upto)),
+		Views:    make(map[msg.ViewID]*relation.Relation, len(w.views)),
+		CommitAt: now,
+	}
+	for id, r := range w.views {
+		rec.Views[id] = r.Clone()
+		rec.Upto[id] = w.upto[id]
+	}
+	return rec
+}
+
+// Read returns a consistent snapshot of the named views: all clones are
+// taken under one lock, so a reader can never observe a half-applied
+// maintenance transaction — the warehouse-side guarantee MVC builds on.
+func (w *Warehouse) Read(ids ...msg.ViewID) (map[msg.ViewID]*relation.Relation, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[msg.ViewID]*relation.Relation, len(ids))
+	for _, id := range ids {
+		r, ok := w.views[id]
+		if !ok {
+			return nil, fmt.Errorf("warehouse: unknown view %q", id)
+		}
+		out[id] = r.Clone()
+	}
+	return out, nil
+}
+
+// ReadAll snapshots every view.
+func (w *Warehouse) ReadAll() map[msg.ViewID]*relation.Relation {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[msg.ViewID]*relation.Relation, len(w.views))
+	for id, r := range w.views {
+		out[id] = r.Clone()
+	}
+	return out
+}
+
+// Upto returns the sequence number each view has reached.
+func (w *Warehouse) Upto() map[msg.ViewID]msg.UpdateID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[msg.ViewID]msg.UpdateID, len(w.upto))
+	for id, u := range w.upto {
+		out[id] = u
+	}
+	return out
+}
+
+// MinUpto returns the lowest sequence number any view has reached — the
+// freshness low-water mark.
+func (w *Warehouse) MinUpto() msg.UpdateID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	first := true
+	var m msg.UpdateID
+	for _, u := range w.upto {
+		if first || u < m {
+			m, first = u, false
+		}
+	}
+	return m
+}
+
+// Applied returns how many maintenance transactions have committed.
+func (w *Warehouse) Applied() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.applied
+}
+
+// PendingCount returns how many submitted transactions are blocked on
+// dependencies.
+func (w *Warehouse) PendingCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pending)
+}
+
+// Log returns the recorded warehouse state sequence (empty unless
+// WithStateLog).
+func (w *Warehouse) Log() []StateRecord {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]StateRecord(nil), w.log...)
+}
+
+// States returns how many warehouse states have been recorded (the initial
+// state plus one per committed transaction), or zero without WithStateLog.
+func (w *Warehouse) States() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.log)
+}
+
+// ReadAt returns a mutually consistent snapshot of the named views as of
+// recorded state index (0 = initial state) — the historical-query side of
+// warehousing (§1: "storing historical data"). Requires WithStateLog.
+func (w *Warehouse) ReadAt(state int, ids ...msg.ViewID) (map[msg.ViewID]*relation.Relation, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.logStates {
+		return nil, fmt.Errorf("warehouse: historical reads require the state log")
+	}
+	if state < 0 || state >= len(w.log) {
+		return nil, fmt.Errorf("warehouse: state %d out of range [0,%d)", state, len(w.log))
+	}
+	rec := w.log[state]
+	out := make(map[msg.ViewID]*relation.Relation, len(ids))
+	for _, id := range ids {
+		r, ok := rec.Views[id]
+		if !ok {
+			return nil, fmt.Errorf("warehouse: unknown view %q", id)
+		}
+		out[id] = r.Clone()
+	}
+	return out, nil
+}

@@ -1,0 +1,389 @@
+package warehouse
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+var vSchema = relation.MustSchema("X:int")
+
+func initialViews() map[msg.ViewID]*relation.Relation {
+	return map[msg.ViewID]*relation.Relation{
+		"V1": relation.New(vSchema),
+		"V2": relation.FromTuples(vSchema, relation.T(0)),
+	}
+}
+
+func txn(id msg.TxnID, deps []msg.TxnID, writes ...msg.ViewWrite) msg.SubmitTxn {
+	return msg.SubmitTxn{
+		Txn:  msg.WarehouseTxn{ID: id, Rows: []msg.UpdateID{msg.UpdateID(id)}, Writes: writes, DependsOn: deps},
+		From: "merge:0",
+	}
+}
+
+func write(v msg.ViewID, upto msg.UpdateID, val int) msg.ViewWrite {
+	return msg.ViewWrite{View: v, Upto: upto, Delta: relation.InsertDelta(vSchema, relation.T(val))}
+}
+
+func TestWarehouseAppliesAndAcks(t *testing.T) {
+	w := New(initialViews())
+	if w.ID() != msg.NodeWarehouse {
+		t.Errorf("id = %q", w.ID())
+	}
+	out := w.Handle(txn(1, nil, write("V1", 1, 10), write("V2", 1, 20)), 5)
+	if len(out) != 1 {
+		t.Fatalf("outbound = %v", out)
+	}
+	ack, ok := out[0].Msg.(msg.CommitAck)
+	if !ok || ack.ID != 1 || out[0].To != "merge:0" {
+		t.Fatalf("ack = %+v", out[0])
+	}
+	views, err := w.Read("V1", "V2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !views["V1"].Contains(relation.T(10)) || !views["V2"].Contains(relation.T(20)) {
+		t.Errorf("views = %v", views)
+	}
+	if got := w.Upto(); got["V1"] != 1 || got["V2"] != 1 {
+		t.Errorf("upto = %v", got)
+	}
+	if w.Applied() != 1 {
+		t.Errorf("applied = %d", w.Applied())
+	}
+}
+
+func TestWarehouseDependencyOrdering(t *testing.T) {
+	w := New(initialViews())
+	// Txn 2 depends on 1 but arrives first: it must wait.
+	out := w.Handle(txn(2, []msg.TxnID{1}, write("V1", 2, 2)), 0)
+	if len(out) != 0 {
+		t.Fatalf("dependent txn must hold, got %v", out)
+	}
+	if w.PendingCount() != 1 {
+		t.Errorf("pending = %d", w.PendingCount())
+	}
+	views, _ := w.Read("V1")
+	if views["V1"].Contains(relation.T(2)) {
+		t.Error("dependent txn applied early")
+	}
+	// Txn 1 arrives: both commit, in order, with both acks emitted.
+	out = w.Handle(txn(1, nil, write("V1", 1, 1)), 0)
+	if len(out) != 2 {
+		t.Fatalf("want 2 acks, got %v", out)
+	}
+	if out[0].Msg.(msg.CommitAck).ID != 1 || out[1].Msg.(msg.CommitAck).ID != 2 {
+		t.Errorf("ack order = %v", out)
+	}
+	if w.PendingCount() != 0 {
+		t.Errorf("pending = %d", w.PendingCount())
+	}
+	if w.MinUpto() != 0 { // V2 untouched
+		t.Errorf("MinUpto = %d", w.MinUpto())
+	}
+}
+
+func TestWarehouseDependencyCascade(t *testing.T) {
+	w := New(initialViews())
+	// Chain 3→2→1 arriving in reverse.
+	w.Handle(txn(3, []msg.TxnID{2}, write("V1", 3, 3)), 0)
+	w.Handle(txn(2, []msg.TxnID{1}, write("V1", 2, 2)), 0)
+	out := w.Handle(txn(1, nil, write("V1", 1, 1)), 0)
+	if len(out) != 3 {
+		t.Fatalf("cascade should commit all three, got %d acks", len(out))
+	}
+	ids := []msg.TxnID{}
+	for _, o := range out {
+		ids = append(ids, o.Msg.(msg.CommitAck).ID)
+	}
+	if !reflect.DeepEqual(ids, []msg.TxnID{1, 2, 3}) {
+		t.Errorf("commit order = %v", ids)
+	}
+	// Multi-dependency: txn 5 waits for both 4 and 3 (3 already committed).
+	w.Handle(txn(5, []msg.TxnID{4, 3}, write("V1", 5, 5)), 0)
+	if w.PendingCount() != 1 {
+		t.Errorf("pending = %d", w.PendingCount())
+	}
+	out = w.Handle(txn(4, nil, write("V2", 4, 4)), 0)
+	if len(out) != 2 {
+		t.Errorf("txn 4 should release txn 5: %v", out)
+	}
+}
+
+func TestWarehouseStateLog(t *testing.T) {
+	w := New(initialViews(), WithStateLog())
+	log := w.Log()
+	if len(log) != 1 || log[0].Txn != 0 {
+		t.Fatalf("initial log = %+v", log)
+	}
+	w.Handle(txn(1, nil, write("V1", 1, 1)), 42)
+	log = w.Log()
+	if len(log) != 2 {
+		t.Fatalf("log length = %d", len(log))
+	}
+	rec := log[1]
+	if rec.Txn != 1 || rec.CommitAt != 42 || !rec.Views["V1"].Contains(relation.T(1)) {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.Upto["V1"] != 1 || rec.Upto["V2"] != 0 {
+		t.Errorf("upto = %v", rec.Upto)
+	}
+	// Log snapshots are deep: mutating the warehouse later must not change
+	// recorded states.
+	w.Handle(txn(2, nil, write("V1", 2, 2)), 0)
+	if w.Log()[1].Views["V1"].Contains(relation.T(2)) {
+		t.Error("log snapshot aliases live view")
+	}
+}
+
+func TestWarehouseCommitObserver(t *testing.T) {
+	var calls []CommitInfo
+	w := New(initialViews(), WithCommitObserver(func(i CommitInfo) { calls = append(calls, i) }))
+	w.Handle(txn(1, nil, write("V1", 7, 1)), 99)
+	if len(calls) != 1 {
+		t.Fatalf("observer calls = %d", len(calls))
+	}
+	if calls[0].Now != 99 || calls[0].Upto["V1"] != 7 || len(calls[0].Views) != 1 {
+		t.Errorf("observer info = %+v", calls[0])
+	}
+}
+
+func TestWarehouseExecDelay(t *testing.T) {
+	w := New(initialViews(), WithExecDelay(func(msg.WarehouseTxn) int64 { return 100 }))
+	out := w.Handle(txn(1, nil, write("V1", 1, 1)), 0)
+	// The txn is deferred via a self-message with the delay.
+	if len(out) != 1 || out[0].To != w.ID() || out[0].Delay != 100 {
+		t.Fatalf("deferred = %+v", out)
+	}
+	if w.Applied() != 0 {
+		t.Error("txn applied before its delay")
+	}
+	out = w.Handle(out[0].Msg, 100)
+	if len(out) != 1 || w.Applied() != 1 {
+		t.Errorf("after delay: %v applied=%d", out, w.Applied())
+	}
+}
+
+func TestWarehousePanicsOnCorruptTxn(t *testing.T) {
+	w := New(initialViews())
+	bad := txn(1, nil, msg.ViewWrite{View: "V1", Upto: 1,
+		Delta: relation.DeleteDelta(vSchema, relation.T(99))})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inconsistent txn should panic (pipeline invariant violation)")
+		}
+	}()
+	w.Handle(bad, 0)
+}
+
+func TestWarehousePanicsOnUnknownView(t *testing.T) {
+	w := New(initialViews())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown view should panic")
+		}
+	}()
+	w.Handle(txn(1, nil, write("ghost", 1, 1)), 0)
+}
+
+func TestWarehouseReadErrorsAndReadAll(t *testing.T) {
+	w := New(initialViews())
+	if _, err := w.Read("nope"); err == nil {
+		t.Error("unknown view read must fail")
+	}
+	all := w.ReadAll()
+	if len(all) != 2 {
+		t.Errorf("ReadAll = %v", all)
+	}
+	// Snapshots are isolated.
+	_ = all["V1"].Insert(relation.T(42), 1)
+	views, _ := w.Read("V1")
+	if views["V1"].Contains(relation.T(42)) {
+		t.Error("ReadAll snapshot aliases live view")
+	}
+}
+
+func TestWarehouseConcurrentReaders(t *testing.T) {
+	w := New(initialViews(), WithStateLog())
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			views, err := w.Read("V1", "V2")
+			if err != nil || views["V1"] == nil {
+				t.Error("read failed")
+				return
+			}
+		}
+	}()
+	for i := 1; i <= 100; i++ {
+		w.Handle(txn(msg.TxnID(i), nil, write("V1", msg.UpdateID(i), i)), 0)
+	}
+	close(stop)
+	wg.Wait()
+	if w.Applied() != 100 {
+		t.Errorf("applied = %d", w.Applied())
+	}
+}
+
+func TestWarehouseUnknownMessageIgnored(t *testing.T) {
+	w := New(initialViews())
+	if out := w.Handle("garbage", 0); out != nil {
+		t.Errorf("garbage produced %v", out)
+	}
+}
+
+func TestWarehouseEmptyTxn(t *testing.T) {
+	w := New(initialViews(), WithStateLog())
+	out := w.Handle(msg.SubmitTxn{Txn: msg.WarehouseTxn{ID: 1, Rows: []msg.UpdateID{1}}, From: "merge:0"}, 0)
+	if len(out) != 1 {
+		t.Fatalf("empty txn should still ack: %v", out)
+	}
+	if len(w.Log()) != 2 {
+		t.Error("empty txn should be logged as a state")
+	}
+}
+
+func TestWarehouseStagedDataBeforeTxn(t *testing.T) {
+	w := New(initialViews(), WithStateLog())
+	// Data arrives first, then the transaction referencing it.
+	w.Handle(msg.StageDelta{View: "V1", Upto: 3,
+		Delta: relation.InsertDelta(vSchema, relation.T(7))}, 0)
+	out := w.Handle(msg.SubmitTxn{Txn: msg.WarehouseTxn{
+		ID: 1, Rows: []msg.UpdateID{3},
+		Writes: []msg.ViewWrite{{View: "V1", Upto: 3, Staged: true}},
+	}, From: "merge:0"}, 0)
+	if len(out) != 1 {
+		t.Fatalf("txn should commit immediately: %v", out)
+	}
+	views, _ := w.Read("V1")
+	if !views["V1"].Contains(relation.T(7)) {
+		t.Errorf("staged delta not applied: %v", views["V1"])
+	}
+}
+
+func TestWarehouseTxnWaitsForStagedData(t *testing.T) {
+	w := New(initialViews())
+	// Transaction first: it must park until the data lands.
+	out := w.Handle(msg.SubmitTxn{Txn: msg.WarehouseTxn{
+		ID: 1, Rows: []msg.UpdateID{3},
+		Writes: []msg.ViewWrite{
+			{View: "V1", Upto: 3, Staged: true},
+			{View: "V2", Upto: 3, Delta: relation.InsertDelta(vSchema, relation.T(9))},
+		},
+	}, From: "merge:0"}, 0)
+	if len(out) != 0 || w.Applied() != 0 {
+		t.Fatalf("txn must park on missing staged data: %v", out)
+	}
+	// Inline (V2) part must not have been half-applied.
+	views, _ := w.Read("V2")
+	if views["V2"].Contains(relation.T(9)) {
+		t.Fatal("parked txn half-applied")
+	}
+	out = w.Handle(msg.StageDelta{View: "V1", Upto: 3,
+		Delta: relation.InsertDelta(vSchema, relation.T(7))}, 0)
+	if len(out) != 1 || w.Applied() != 1 {
+		t.Fatalf("staged arrival should commit the txn: %v", out)
+	}
+	views, _ = w.Read("V1", "V2")
+	if !views["V1"].Contains(relation.T(7)) || !views["V2"].Contains(relation.T(9)) {
+		t.Errorf("views = %v", views)
+	}
+}
+
+func TestWarehouseStagedWithDependencies(t *testing.T) {
+	w := New(initialViews())
+	// Txn 2 depends on txn 1 AND has staged data; both must be satisfied.
+	w.Handle(msg.StageDelta{View: "V1", Upto: 2,
+		Delta: relation.InsertDelta(vSchema, relation.T(2))}, 0)
+	out := w.Handle(msg.SubmitTxn{Txn: msg.WarehouseTxn{
+		ID: 2, DependsOn: []msg.TxnID{1},
+		Writes: []msg.ViewWrite{{View: "V1", Upto: 2, Staged: true}},
+	}, From: "merge:0"}, 0)
+	if len(out) != 0 {
+		t.Fatal("must wait for dependency")
+	}
+	out = w.Handle(txn(1, nil, write("V1", 1, 1)), 0)
+	if len(out) != 2 || w.Applied() != 2 {
+		t.Fatalf("dependency commit should release staged txn: %v", out)
+	}
+}
+
+func TestWarehouseHistoricalReads(t *testing.T) {
+	w := New(initialViews(), WithStateLog())
+	w.Handle(txn(1, nil, write("V1", 1, 1)), 0)
+	w.Handle(txn(2, nil, write("V1", 2, 2)), 0)
+	if w.States() != 3 {
+		t.Fatalf("states = %d", w.States())
+	}
+	at0, err := w.ReadAt(0, "V1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !at0["V1"].Empty() {
+		t.Errorf("state 0 V1 = %v", at0["V1"])
+	}
+	at1, _ := w.ReadAt(1, "V1")
+	if !at1["V1"].Contains(relation.T(1)) || at1["V1"].Contains(relation.T(2)) {
+		t.Errorf("state 1 V1 = %v", at1["V1"])
+	}
+	// Snapshot isolation: mutating the returned clone leaves history intact.
+	_ = at1["V1"].Insert(relation.T(99), 1)
+	again, _ := w.ReadAt(1, "V1")
+	if again["V1"].Contains(relation.T(99)) {
+		t.Error("historical read aliases the log")
+	}
+	if _, err := w.ReadAt(9, "V1"); err == nil {
+		t.Error("out-of-range state must fail")
+	}
+	if _, err := w.ReadAt(0, "ghost"); err == nil {
+		t.Error("unknown view must fail")
+	}
+	plain := New(initialViews())
+	if _, err := plain.ReadAt(0, "V1"); err == nil {
+		t.Error("historical reads need the state log")
+	}
+}
+
+// TestWarehouseDependencyReleaseWaitsForStagedData covers the interaction
+// the generative system test uncovered: a transaction blocked on a
+// dependency must STILL wait for its out-of-band staged data once the
+// dependency commits.
+func TestWarehouseDependencyReleaseWaitsForStagedData(t *testing.T) {
+	w := New(initialViews())
+	// Txn 2: depends on txn 1 AND references staged data not yet arrived.
+	out := w.Handle(msg.SubmitTxn{Txn: msg.WarehouseTxn{
+		ID: 2, DependsOn: []msg.TxnID{1},
+		Writes: []msg.ViewWrite{{View: "V1", Upto: 2, Staged: true}},
+	}, From: "merge:0"}, 0)
+	if len(out) != 0 {
+		t.Fatal("txn 2 must wait for its dependency")
+	}
+	// Txn 1 commits: txn 2 is released from dependency parking but must
+	// now park on staging, NOT commit (the old bug panicked here).
+	out = w.Handle(txn(1, nil, write("V1", 1, 1)), 0)
+	if len(out) != 1 || w.Applied() != 1 {
+		t.Fatalf("only txn 1 should commit: %v applied=%d", out, w.Applied())
+	}
+	// Staged data arrives: txn 2 commits.
+	out = w.Handle(msg.StageDelta{View: "V1", Upto: 2,
+		Delta: relation.InsertDelta(vSchema, relation.T(2))}, 0)
+	if len(out) != 1 || w.Applied() != 2 {
+		t.Fatalf("staged arrival should commit txn 2: %v applied=%d", out, w.Applied())
+	}
+	views, _ := w.Read("V1")
+	if !views["V1"].Contains(relation.T(1)) || !views["V1"].Contains(relation.T(2)) {
+		t.Errorf("V1 = %v", views["V1"])
+	}
+}

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+func init() {
+	gob.Register(Update{})
+	gob.Register(RelevantSet{})
+	gob.Register(ActionList{})
+	gob.Register(StageDelta{})
+	gob.Register(CommitAck{})
+	gob.Register(SubmitTxn{})
+}
+
+// Bridge carries protocol messages over one byte stream (a TCP connection,
+// a net.Pipe in tests) using gob framing. Writes are serialized, so the
+// stream preserves per-sender order — the FIFO property the merge
+// algorithms require.
+type Bridge struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	dec *gob.Decoder
+	c   io.ReadWriteCloser
+}
+
+// NewBridge wraps a connection.
+func NewBridge(c io.ReadWriteCloser) *Bridge {
+	return &Bridge{enc: gob.NewEncoder(c), dec: gob.NewDecoder(c), c: c}
+}
+
+// Send encodes one protocol message addressed to a node on the far side.
+func (b *Bridge) Send(to string, m any) error {
+	wm, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.enc.Encode(Envelope{To: to, Msg: wm}); err != nil {
+		return fmt.Errorf("wire: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// Receive blocks for the next message from the far side.
+func (b *Bridge) Receive() (to string, m any, err error) {
+	var env Envelope
+	if err := b.dec.Decode(&env); err != nil {
+		return "", nil, err
+	}
+	dm, err := Decode(env.Msg)
+	if err != nil {
+		return "", nil, err
+	}
+	return env.To, dm, nil
+}
+
+// Pump decodes messages until the stream ends, delivering each via fn.
+// io.EOF (and closed-connection errors after Close) end the loop silently;
+// other errors are returned.
+func (b *Bridge) Pump(fn func(to string, m any)) error {
+	for {
+		to, m, err := b.Receive()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			if ne, ok := err.(net.Error); ok && !ne.Timeout() {
+				return nil
+			}
+			return err
+		}
+		fn(to, m)
+	}
+}
+
+// Close closes the underlying stream.
+func (b *Bridge) Close() error { return b.c.Close() }

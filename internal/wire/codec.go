@@ -1,0 +1,371 @@
+// Package wire serializes the maintenance protocol so parts of the
+// architecture can run in separate OS processes connected by TCP — the
+// paper's "view managers may reside on different machines".
+//
+// The codec covers the messages remote replica-based view managers and
+// remote merge processes exchange: updates and RELᵢ sets in, action lists
+// (with piggybacked RELᵢ sets), staged deltas and warehouse transactions
+// out, commit acks back. Query expressions (msg.QueryRequest) are not
+// serialized — query-based managers are control-plane-adjacent and run
+// next to the sources; encoding an expression tree is possible but out of
+// scope here, and Encode rejects such messages loudly instead of silently
+// dropping them.
+package wire
+
+import (
+	"fmt"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+// Value is the wire form of relation.Value.
+type Value struct {
+	Kind uint8
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// Tuple is the wire form of relation.Tuple.
+type Tuple []Value
+
+// Attr is the wire form of a schema attribute.
+type Attr struct {
+	Name string
+	Kind uint8
+}
+
+// Schema is the wire form of relation.Schema.
+type Schema []Attr
+
+// Entry is one signed counted tuple of a Delta.
+type Entry struct {
+	Tuple Tuple
+	Count int64
+}
+
+// Delta is the wire form of relation.Delta.
+type Delta struct {
+	Schema  Schema
+	Entries []Entry
+}
+
+// Write is the wire form of msg.Write.
+type Write struct {
+	Relation string
+	Delta    Delta
+}
+
+// RelevantSet is the wire form of msg.RelevantSet.
+type RelevantSet struct {
+	Seq      int64
+	Views    []string
+	CommitAt int64
+}
+
+// Update is the wire form of msg.Update.
+type Update struct {
+	Seq      int64
+	Source   string
+	Writes   []Write
+	CommitAt int64
+	Rel      *RelevantSet
+}
+
+// ActionList is the wire form of msg.ActionList. HasDelta distinguishes a
+// staged token (nil delta) from an empty delta.
+type ActionList struct {
+	View     string
+	From     int64
+	Upto     int64
+	HasDelta bool
+	Delta    Delta
+	Level    uint8
+	Rels     []RelevantSet
+	Staged   bool
+}
+
+// StageDelta is the wire form of msg.StageDelta.
+type StageDelta struct {
+	View  string
+	Upto  int64
+	Delta Delta
+}
+
+// CommitAck is the wire form of msg.CommitAck.
+type CommitAck struct {
+	ID int64
+}
+
+// ViewWrite is the wire form of msg.ViewWrite.
+type ViewWrite struct {
+	View     string
+	Upto     int64
+	HasDelta bool
+	Delta    Delta
+	Staged   bool
+}
+
+// SubmitTxn is the wire form of msg.SubmitTxn, so merge processes can run
+// remotely from the warehouse.
+type SubmitTxn struct {
+	ID        int64
+	Rows      []int64
+	Writes    []ViewWrite
+	DependsOn []int64
+	CommitAt  int64
+	From      string
+}
+
+// Envelope is one routed message on the wire.
+type Envelope struct {
+	To  string
+	Msg any
+}
+
+// ---------------------------------------------------------------- values
+
+func encodeValue(v relation.Value) Value {
+	w := Value{Kind: uint8(v.Kind())}
+	switch v.Kind() {
+	case relation.Int:
+		w.I = v.Int()
+	case relation.Float:
+		w.F = v.Float()
+	case relation.String:
+		w.S = v.Str()
+	case relation.Bool:
+		w.B = v.Bool()
+	}
+	return w
+}
+
+func decodeValue(w Value) (relation.Value, error) {
+	switch relation.Type(w.Kind) {
+	case relation.Int:
+		return relation.IntVal(w.I), nil
+	case relation.Float:
+		return relation.FloatVal(w.F), nil
+	case relation.String:
+		return relation.StringVal(w.S), nil
+	case relation.Bool:
+		return relation.BoolVal(w.B), nil
+	default:
+		return relation.Value{}, fmt.Errorf("wire: unknown value kind %d", w.Kind)
+	}
+}
+
+func encodeTuple(t relation.Tuple) Tuple {
+	out := make(Tuple, len(t))
+	for i, v := range t {
+		out[i] = encodeValue(v)
+	}
+	return out
+}
+
+func decodeTuple(w Tuple) (relation.Tuple, error) {
+	out := make(relation.Tuple, len(w))
+	for i, v := range w {
+		dv, err := decodeValue(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = dv
+	}
+	return out, nil
+}
+
+// EncodeSchema converts a schema to wire form.
+func EncodeSchema(s *relation.Schema) Schema {
+	out := make(Schema, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		a := s.Attr(i)
+		out[i] = Attr{Name: a.Name, Kind: uint8(a.Type)}
+	}
+	return out
+}
+
+// DecodeSchema converts a wire schema back. Schemas are interned per
+// decoder elsewhere; here each call allocates.
+func DecodeSchema(w Schema) (*relation.Schema, error) {
+	attrs := make([]relation.Attr, len(w))
+	for i, a := range w {
+		if a.Kind > uint8(relation.Bool) {
+			return nil, fmt.Errorf("wire: unknown attribute kind %d", a.Kind)
+		}
+		attrs[i] = relation.Attr{Name: a.Name, Type: relation.Type(a.Kind)}
+	}
+	return relation.NewSchema(attrs...), nil
+}
+
+// EncodeDelta converts a delta to wire form with deterministic entry order.
+func EncodeDelta(d *relation.Delta) Delta {
+	out := Delta{Schema: EncodeSchema(d.Schema())}
+	d.EachSorted(func(t relation.Tuple, n int64) bool {
+		out.Entries = append(out.Entries, Entry{Tuple: encodeTuple(t), Count: n})
+		return true
+	})
+	return out
+}
+
+// DecodeDelta converts a wire delta back.
+func DecodeDelta(w Delta) (*relation.Delta, error) {
+	sch, err := DecodeSchema(w.Schema)
+	if err != nil {
+		return nil, err
+	}
+	d := relation.NewDelta(sch)
+	for _, e := range w.Entries {
+		t, err := decodeTuple(e.Tuple)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.AddChecked(t, e.Count); err != nil {
+			return nil, fmt.Errorf("wire: corrupt delta entry: %w", err)
+		}
+	}
+	return d, nil
+}
+
+// ---------------------------------------------------------------- messages
+
+func encodeRel(r msg.RelevantSet) RelevantSet {
+	views := make([]string, len(r.Views))
+	for i, v := range r.Views {
+		views[i] = string(v)
+	}
+	return RelevantSet{Seq: int64(r.Seq), Views: views, CommitAt: r.CommitAt}
+}
+
+func decodeRel(w RelevantSet) msg.RelevantSet {
+	views := make([]msg.ViewID, len(w.Views))
+	for i, v := range w.Views {
+		views[i] = msg.ViewID(v)
+	}
+	return msg.RelevantSet{Seq: msg.UpdateID(w.Seq), Views: views, CommitAt: w.CommitAt}
+}
+
+// Encode converts a protocol message to its wire form. Unsupported message
+// types (notably query traffic) return an error.
+func Encode(m any) (any, error) {
+	switch t := m.(type) {
+	case msg.Update:
+		out := Update{Seq: int64(t.Seq), Source: string(t.Source), CommitAt: t.CommitAt}
+		for _, w := range t.Writes {
+			out.Writes = append(out.Writes, Write{Relation: w.Relation, Delta: EncodeDelta(w.Delta)})
+		}
+		if t.Rel != nil {
+			r := encodeRel(*t.Rel)
+			out.Rel = &r
+		}
+		return out, nil
+	case msg.RelevantSet:
+		return encodeRel(t), nil
+	case msg.ActionList:
+		out := ActionList{
+			View: string(t.View), From: int64(t.From), Upto: int64(t.Upto),
+			Level: uint8(t.Level), Staged: t.Staged,
+		}
+		if t.Delta != nil {
+			out.HasDelta = true
+			out.Delta = EncodeDelta(t.Delta)
+		}
+		for _, r := range t.Rels {
+			out.Rels = append(out.Rels, encodeRel(r))
+		}
+		return out, nil
+	case msg.StageDelta:
+		return StageDelta{View: string(t.View), Upto: int64(t.Upto), Delta: EncodeDelta(t.Delta)}, nil
+	case msg.CommitAck:
+		return CommitAck{ID: int64(t.ID)}, nil
+	case msg.SubmitTxn:
+		out := SubmitTxn{ID: int64(t.Txn.ID), CommitAt: t.Txn.CommitAt, From: t.From}
+		for _, r := range t.Txn.Rows {
+			out.Rows = append(out.Rows, int64(r))
+		}
+		for _, d := range t.Txn.DependsOn {
+			out.DependsOn = append(out.DependsOn, int64(d))
+		}
+		for _, w := range t.Txn.Writes {
+			vw := ViewWrite{View: string(w.View), Upto: int64(w.Upto), Staged: w.Staged}
+			if w.Delta != nil {
+				vw.HasDelta = true
+				vw.Delta = EncodeDelta(w.Delta)
+			}
+			out.Writes = append(out.Writes, vw)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("wire: message type %T is not serializable", m)
+	}
+}
+
+// Decode converts a wire message back to its protocol form.
+func Decode(m any) (any, error) {
+	switch t := m.(type) {
+	case Update:
+		out := msg.Update{Seq: msg.UpdateID(t.Seq), Source: msg.SourceID(t.Source), CommitAt: t.CommitAt}
+		for _, w := range t.Writes {
+			d, err := DecodeDelta(w.Delta)
+			if err != nil {
+				return nil, err
+			}
+			out.Writes = append(out.Writes, msg.Write{Relation: w.Relation, Delta: d})
+		}
+		if t.Rel != nil {
+			r := decodeRel(*t.Rel)
+			out.Rel = &r
+		}
+		return out, nil
+	case RelevantSet:
+		return decodeRel(t), nil
+	case ActionList:
+		out := msg.ActionList{
+			View: msg.ViewID(t.View), From: msg.UpdateID(t.From), Upto: msg.UpdateID(t.Upto),
+			Level: msg.Level(t.Level), Staged: t.Staged,
+		}
+		if t.HasDelta {
+			d, err := DecodeDelta(t.Delta)
+			if err != nil {
+				return nil, err
+			}
+			out.Delta = d
+		}
+		for _, r := range t.Rels {
+			out.Rels = append(out.Rels, decodeRel(r))
+		}
+		return out, nil
+	case StageDelta:
+		d, err := DecodeDelta(t.Delta)
+		if err != nil {
+			return nil, err
+		}
+		return msg.StageDelta{View: msg.ViewID(t.View), Upto: msg.UpdateID(t.Upto), Delta: d}, nil
+	case CommitAck:
+		return msg.CommitAck{ID: msg.TxnID(t.ID)}, nil
+	case SubmitTxn:
+		out := msg.SubmitTxn{From: t.From, Txn: msg.WarehouseTxn{ID: msg.TxnID(t.ID), CommitAt: t.CommitAt}}
+		for _, r := range t.Rows {
+			out.Txn.Rows = append(out.Txn.Rows, msg.UpdateID(r))
+		}
+		for _, d := range t.DependsOn {
+			out.Txn.DependsOn = append(out.Txn.DependsOn, msg.TxnID(d))
+		}
+		for _, w := range t.Writes {
+			vw := msg.ViewWrite{View: msg.ViewID(w.View), Upto: msg.UpdateID(w.Upto), Staged: w.Staged}
+			if w.HasDelta {
+				d, err := DecodeDelta(w.Delta)
+				if err != nil {
+					return nil, err
+				}
+				vw.Delta = d
+			}
+			out.Txn.Writes = append(out.Txn.Writes, vw)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown wire message type %T", m)
+	}
+}

@@ -1,0 +1,425 @@
+package wire
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"whips/internal/consistency"
+	"whips/internal/expr"
+	"whips/internal/integrator"
+	"whips/internal/merge"
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/runtime"
+	"whips/internal/source"
+	"whips/internal/viewmgr"
+	"whips/internal/warehouse"
+)
+
+var (
+	rSchema = relation.MustSchema("A:int", "B:int")
+	sSchema = relation.MustSchema("B:int", "C:int")
+)
+
+func TestCodecRoundTrips(t *testing.T) {
+	d := relation.NewDelta(rSchema)
+	d.Add(relation.T(1, 2), 3)
+	d.Add(relation.T(4, 5), -1)
+
+	cases := []any{
+		msg.Update{Seq: 7, Source: "src", CommitAt: 42,
+			Writes: []msg.Write{{Relation: "R", Delta: d}},
+			Rel:    &msg.RelevantSet{Seq: 7, Views: []msg.ViewID{"V1", "V2"}, CommitAt: 42}},
+		msg.RelevantSet{Seq: 9, Views: []msg.ViewID{"V1"}},
+		msg.ActionList{View: "V1", From: 3, Upto: 5, Delta: d, Level: msg.Strong,
+			Rels: []msg.RelevantSet{{Seq: 4, Views: []msg.ViewID{"V1"}}}},
+		msg.ActionList{View: "V1", From: 1, Upto: 1, Staged: true}, // nil delta token
+		msg.StageDelta{View: "V1", Upto: 5, Delta: d},
+		msg.CommitAck{ID: 11},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%T): %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%T): %v", in, err)
+		}
+		switch a := in.(type) {
+		case msg.Update:
+			b := out.(msg.Update)
+			if b.Seq != a.Seq || b.Source != a.Source || b.CommitAt != a.CommitAt ||
+				len(b.Writes) != len(a.Writes) || !b.Writes[0].Delta.Equal(a.Writes[0].Delta) ||
+				b.Rel == nil || b.Rel.Seq != a.Rel.Seq || len(b.Rel.Views) != 2 {
+				t.Errorf("update round trip: %+v vs %+v", a, b)
+			}
+		case msg.ActionList:
+			b := out.(msg.ActionList)
+			if b.View != a.View || b.From != a.From || b.Upto != a.Upto ||
+				b.Level != a.Level || b.Staged != a.Staged || len(b.Rels) != len(a.Rels) {
+				t.Errorf("AL round trip: %+v vs %+v", a, b)
+			}
+			if (a.Delta == nil) != (b.Delta == nil) {
+				t.Errorf("AL delta nil-ness lost: %+v vs %+v", a, b)
+			}
+			if a.Delta != nil && !b.Delta.Equal(a.Delta) {
+				t.Errorf("AL delta diverged: %v vs %v", a.Delta, b.Delta)
+			}
+		case msg.StageDelta:
+			b := out.(msg.StageDelta)
+			if b.View != a.View || b.Upto != a.Upto || !b.Delta.Equal(a.Delta) {
+				t.Errorf("stage round trip: %+v vs %+v", a, b)
+			}
+		case msg.CommitAck:
+			if out.(msg.CommitAck) != a {
+				t.Errorf("ack round trip: %+v vs %+v", a, out)
+			}
+		case msg.RelevantSet:
+			b := out.(msg.RelevantSet)
+			if b.Seq != a.Seq || len(b.Views) != len(a.Views) {
+				t.Errorf("rel round trip: %+v vs %+v", a, b)
+			}
+		}
+	}
+}
+
+func TestCodecRejectsQueries(t *testing.T) {
+	if _, err := Encode(msg.QueryRequest{Expr: expr.Scan("R", rSchema)}); err == nil {
+		t.Error("query requests must be rejected")
+	}
+	if _, err := Decode("garbage"); err == nil {
+		t.Error("unknown wire types must be rejected")
+	}
+}
+
+// Property: deltas of every value type survive the wire.
+func TestDeltaCodecProperty(t *testing.T) {
+	sch := relation.MustSchema("I:int", "S:string", "F:float", "B:bool")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := relation.NewDelta(sch)
+		for i := 0; i < rng.Intn(10); i++ {
+			d.Add(relation.T(rng.Intn(5), "x", float64(rng.Intn(5))/2, rng.Intn(2) == 0),
+				int64(rng.Intn(7)-3))
+		}
+		w := EncodeDelta(d)
+		back, err := DecodeDelta(w)
+		return err == nil && back.Equal(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildSplitSystem wires the paper scenario across TWO runtime networks
+// joined by a Bridge: the "warehouse site" hosts cluster, integrator,
+// merge and warehouse; the "manager site" hosts the two view managers.
+func buildSplitSystem(t *testing.T, connA, connB net.Conn) (
+	site1 *runtime.Network, site2 *runtime.Network,
+	cluster *source.Cluster, wh *warehouse.Warehouse, views map[msg.ViewID]expr.Expr,
+	inject func(u msg.Update), shutdown func()) {
+	t.Helper()
+
+	cluster = source.NewCluster(nil)
+	cluster.AddSource("src1")
+	cluster.AddSource("src2")
+	if err := cluster.LoadRelation("src1", "R", relation.FromTuples(rSchema, relation.T(1, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.CreateRelation("src1", "S", sSchema); err != nil {
+		t.Fatal(err)
+	}
+	views = map[msg.ViewID]expr.Expr{
+		"V1": expr.MustJoin(expr.Scan("R", rSchema), expr.Scan("S", sSchema)),
+		"V2": expr.MustProject(expr.Scan("S", sSchema), "C"),
+	}
+	integ := integrator.New([]integrator.ViewInfo{
+		{ID: "V1", Expr: views["V1"]},
+		{ID: "V2", Expr: views["V2"]},
+	})
+	initial := map[msg.ViewID]*relation.Relation{}
+	for id, e := range views {
+		v, err := expr.Eval(e, cluster.DatabaseAt(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		initial[id] = v
+	}
+	wh = warehouse.New(initial, warehouse.WithStateLog())
+	mp := merge.New(0, merge.SPA, merge.NewSequential(msg.NodeMerge(0), 0))
+
+	bridgeA := NewBridge(connA)
+	bridgeB := NewBridge(connB)
+
+	site1 = runtime.New(
+		[]msg.Node{source.NewNode(cluster), integ, mp, wh},
+		runtime.WithRemote(func(to string, m any) {
+			if err := bridgeA.Send(to, m); err != nil {
+				t.Errorf("site1 send: %v", err)
+			}
+		}),
+	)
+
+	vm1, err := viewmgr.NewComplete(viewmgr.Config{View: "V1", Expr: views["V1"], Merge: msg.NodeMerge(0)}, cluster.DatabaseAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm2, err := viewmgr.NewComplete(viewmgr.Config{View: "V2", Expr: views["V2"], Merge: msg.NodeMerge(0)}, cluster.DatabaseAt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	site2 = runtime.New(
+		[]msg.Node{vm1, vm2},
+		runtime.WithRemote(func(to string, m any) {
+			if err := bridgeB.Send(to, m); err != nil {
+				t.Errorf("site2 send: %v", err)
+			}
+		}),
+	)
+
+	site1.Start()
+	site2.Start()
+	done1 := make(chan struct{})
+	done2 := make(chan struct{})
+	go func() {
+		defer close(done1)
+		_ = bridgeA.Pump(func(to string, m any) { site1.Inject(to, m) })
+	}()
+	go func() {
+		defer close(done2)
+		_ = bridgeB.Pump(func(to string, m any) { site2.Inject(to, m) })
+	}()
+
+	inject = func(u msg.Update) { site1.Inject(msg.NodeIntegrator, u) }
+	shutdown = func() {
+		_ = bridgeA.Close()
+		_ = bridgeB.Close()
+		site1.Stop()
+		site2.Stop()
+		<-done1
+		<-done2
+	}
+	return site1, site2, cluster, wh, views, inject, shutdown
+}
+
+// TestSplitSitesOverPipe runs view managers on a separate network connected
+// by an in-memory pipe; the run must be complete under MVC.
+func TestSplitSitesOverPipe(t *testing.T) {
+	connA, connB := net.Pipe()
+	_, _, cluster, wh, views, inject, shutdown := buildSplitSystem(t, connA, connB)
+	defer shutdown()
+
+	rng := rand.New(rand.NewSource(5))
+	want := map[msg.ViewID]msg.UpdateID{}
+	for i := 0; i < 20; i++ {
+		var w msg.Write
+		onR := rng.Intn(2) == 0
+		if onR {
+			w = msg.Write{Relation: "R", Delta: relation.InsertDelta(rSchema, relation.T(rng.Intn(4), rng.Intn(4)))}
+		} else {
+			w = msg.Write{Relation: "S", Delta: relation.InsertDelta(sSchema, relation.T(rng.Intn(4), rng.Intn(4)))}
+		}
+		u, err := cluster.Execute("src1", w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if onR {
+			want["V1"] = u.Seq
+		} else {
+			want["V1"], want["V2"] = u.Seq, u.Seq
+		}
+		inject(u)
+	}
+	if !runtime.WaitUntil(10*time.Second, func() bool {
+		up := wh.Upto()
+		for id, w := range want {
+			if up[id] < w {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatalf("remote managers did not drain: upto=%v want=%v", wh.Upto(), want)
+	}
+	rep, err := consistency.Check(cluster, views, wh.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Errorf("cross-process run must be complete: %+v (%s)", rep, rep.Violation)
+	}
+}
+
+func allAt(up map[msg.ViewID]msg.UpdateID, want msg.UpdateID) bool {
+	for _, u := range up {
+		if u < want {
+			return false
+		}
+	}
+	return len(up) > 0
+}
+
+// TestSplitSitesOverTCP is the same split across a real localhost TCP
+// connection.
+func TestSplitSitesOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	connB, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	connA := <-accepted
+
+	_, _, cluster, wh, views, inject, shutdown := buildSplitSystem(t, connA, connB)
+	defer shutdown()
+
+	for i := 0; i < 15; i++ {
+		u, err := cluster.Execute("src1", msg.Write{
+			Relation: "S", Delta: relation.InsertDelta(sSchema, relation.T(i%3, i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inject(u)
+	}
+	if !runtime.WaitUntil(10*time.Second, func() bool { return allAt(wh.Upto(), 15) }) {
+		t.Fatalf("TCP-remote managers did not drain: upto=%v", wh.Upto())
+	}
+	rep, err := consistency.Check(cluster, views, wh.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Errorf("TCP run must be complete: %+v (%s)", rep, rep.Violation)
+	}
+}
+
+func TestSubmitTxnRoundTrip(t *testing.T) {
+	d := relation.InsertDelta(rSchema, relation.T(1, 2))
+	in := msg.SubmitTxn{
+		From: "merge:0",
+		Txn: msg.WarehouseTxn{
+			ID: 9, Rows: []msg.UpdateID{3, 4}, DependsOn: []msg.TxnID{7}, CommitAt: 55,
+			Writes: []msg.ViewWrite{
+				{View: "V1", Upto: 4, Delta: d},
+				{View: "V2", Upto: 4, Staged: true},
+			},
+		},
+	}
+	w, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outAny, err := Decode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := outAny.(msg.SubmitTxn)
+	if out.From != in.From || out.Txn.ID != in.Txn.ID || out.Txn.CommitAt != 55 ||
+		len(out.Txn.Rows) != 2 || len(out.Txn.DependsOn) != 1 || len(out.Txn.Writes) != 2 {
+		t.Fatalf("round trip: %+v", out)
+	}
+	if !out.Txn.Writes[0].Delta.Equal(d) || out.Txn.Writes[1].Delta != nil || !out.Txn.Writes[1].Staged {
+		t.Errorf("writes round trip: %+v", out.Txn.Writes)
+	}
+}
+
+// TestRemoteMergeSite places the MERGE PROCESS and view managers on the
+// remote site: the warehouse site keeps only cluster, integrator and
+// warehouse. Warehouse transactions and commit acks cross the wire.
+func TestRemoteMergeSite(t *testing.T) {
+	connA, connB := net.Pipe()
+	cluster := source.NewCluster(nil)
+	cluster.AddSource("src1")
+	if err := cluster.LoadRelation("src1", "R", relation.FromTuples(rSchema, relation.T(1, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.CreateRelation("src1", "S", sSchema); err != nil {
+		t.Fatal(err)
+	}
+	views := map[msg.ViewID]expr.Expr{
+		"V1": expr.MustJoin(expr.Scan("R", rSchema), expr.Scan("S", sSchema)),
+		"V2": expr.MustProject(expr.Scan("S", sSchema), "C"),
+	}
+	integ := integrator.New([]integrator.ViewInfo{
+		{ID: "V1", Expr: views["V1"]},
+		{ID: "V2", Expr: views["V2"]},
+	})
+	initial := map[msg.ViewID]*relation.Relation{}
+	for id, e := range views {
+		v, err := expr.Eval(e, cluster.DatabaseAt(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		initial[id] = v
+	}
+	wh := warehouse.New(initial, warehouse.WithStateLog())
+
+	bridgeA, bridgeB := NewBridge(connA), NewBridge(connB)
+	site1 := runtime.New(
+		[]msg.Node{source.NewNode(cluster), integ, wh},
+		runtime.WithRemote(func(to string, m any) {
+			if err := bridgeA.Send(to, m); err != nil {
+				t.Errorf("site1 send: %v", err)
+			}
+		}),
+	)
+	vm1, _ := viewmgr.NewComplete(viewmgr.Config{View: "V1", Expr: views["V1"], Merge: msg.NodeMerge(0)}, cluster.DatabaseAt(0))
+	vm2, _ := viewmgr.NewComplete(viewmgr.Config{View: "V2", Expr: views["V2"], Merge: msg.NodeMerge(0)}, cluster.DatabaseAt(0))
+	mp := merge.New(0, merge.SPA, merge.NewSequential(msg.NodeMerge(0), 0))
+	site2 := runtime.New(
+		[]msg.Node{vm1, vm2, mp},
+		runtime.WithRemote(func(to string, m any) {
+			if err := bridgeB.Send(to, m); err != nil {
+				t.Errorf("site2 send: %v", err)
+			}
+		}),
+	)
+	site1.Start()
+	site2.Start()
+	done1, done2 := make(chan struct{}), make(chan struct{})
+	go func() { defer close(done1); _ = bridgeA.Pump(func(to string, m any) { site1.Inject(to, m) }) }()
+	go func() { defer close(done2); _ = bridgeB.Pump(func(to string, m any) { site2.Inject(to, m) }) }()
+	defer func() {
+		_ = bridgeA.Close()
+		_ = bridgeB.Close()
+		site1.Stop()
+		site2.Stop()
+		<-done1
+		<-done2
+	}()
+
+	for i := 0; i < 15; i++ {
+		u, err := cluster.Execute("src1", msg.Write{
+			Relation: "S", Delta: relation.InsertDelta(sSchema, relation.T(i%3, i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		site1.Inject(msg.NodeIntegrator, u)
+	}
+	if !runtime.WaitUntil(10*time.Second, func() bool { return allAt(wh.Upto(), 15) }) {
+		t.Fatalf("remote merge did not drain: upto=%v", wh.Upto())
+	}
+	rep, err := consistency.Check(cluster, views, wh.Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Errorf("remote-merge run must be complete: %+v (%s)", rep, rep.Violation)
+	}
+}

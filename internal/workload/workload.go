@@ -1,0 +1,211 @@
+// Package workload generates source-update workloads for experiments and
+// randomized tests: the paper's running R/S/T schema, scalable many-view
+// configurations (shared-relation and disjoint-group variants), and an
+// update-stream generator that tracks live contents so deletions always
+// hit existing tuples.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/system"
+)
+
+// Paper schema: R(A,B) on src1, S(B,C) on src1, T(C,D) on src2.
+var (
+	RSchema = relation.MustSchema("A:int", "B:int")
+	SSchema = relation.MustSchema("B:int", "C:int")
+	TSchema = relation.MustSchema("C:int", "D:int")
+)
+
+// PaperSources returns the paper's two sources with R preloaded as in
+// Table 1 ([1 2]), S empty and T preloaded ([3 4]).
+func PaperSources() []system.SourceDef {
+	return []system.SourceDef{
+		{ID: "src1", Relations: map[string]*relation.Relation{
+			"R": relation.FromTuples(RSchema, relation.T(1, 2)),
+			"S": relation.New(SSchema),
+		}},
+		{ID: "src2", Relations: map[string]*relation.Relation{
+			"T": relation.FromTuples(TSchema, relation.T(3, 4)),
+		}},
+	}
+}
+
+// PaperViews returns V1 = R⋈S and V2 = S⋈T with the given manager kind.
+func PaperViews(kind system.ManagerKind) []system.ViewDef {
+	return []system.ViewDef{
+		{ID: "V1", Expr: expr.MustJoin(expr.Scan("R", RSchema), expr.Scan("S", SSchema)), Manager: kind},
+		{ID: "V2", Expr: expr.MustJoin(expr.Scan("S", SSchema), expr.Scan("T", TSchema)), Manager: kind},
+	}
+}
+
+// SharedViews builds k views that all read the shared relation S (each
+// with a different selection), so every S update is relevant to every
+// view — the worst case for the merge process.
+func SharedViews(k int, kind system.ManagerKind, delay func(int) int64) ([]system.SourceDef, []system.ViewDef) {
+	src := []system.SourceDef{{ID: "src1", Relations: map[string]*relation.Relation{
+		"S": relation.New(SSchema),
+	}}}
+	views := make([]system.ViewDef, k)
+	for i := 0; i < k; i++ {
+		views[i] = system.ViewDef{
+			ID:           msg.ViewID(fmt.Sprintf("V%d", i+1)),
+			Expr:         expr.MustSelect(expr.Scan("S", SSchema), expr.Cmp("C", expr.Ge, i%3)),
+			Manager:      kind,
+			ComputeDelay: delay,
+		}
+	}
+	return src, views
+}
+
+// DisjointViews builds k views over k disjoint relations S1..Sk — the
+// §6.1 configuration where distributed merge partitions perfectly.
+func DisjointViews(k int, kind system.ManagerKind, delay func(int) int64) ([]system.SourceDef, []system.ViewDef) {
+	rels := make(map[string]*relation.Relation, k)
+	views := make([]system.ViewDef, k)
+	for i := 0; i < k; i++ {
+		name := fmt.Sprintf("S%d", i+1)
+		rels[name] = relation.New(SSchema)
+		views[i] = system.ViewDef{
+			ID:           msg.ViewID(fmt.Sprintf("V%d", i+1)),
+			Expr:         expr.Scan(name, SSchema),
+			Manager:      kind,
+			ComputeDelay: delay,
+		}
+	}
+	return []system.SourceDef{{ID: "src1", Relations: rels}}, views
+}
+
+// SelectiveViews builds k views over the shared relation S, each with a
+// highly selective predicate (C = i), so most updates are provably
+// irrelevant to most views — the configuration where the ref-[7]
+// irrelevance filter pays off.
+func SelectiveViews(k int, kind system.ManagerKind, delay func(int) int64) ([]system.SourceDef, []system.ViewDef) {
+	src := []system.SourceDef{{ID: "src1", Relations: map[string]*relation.Relation{
+		"S": relation.New(SSchema),
+	}}}
+	views := make([]system.ViewDef, k)
+	for i := 0; i < k; i++ {
+		views[i] = system.ViewDef{
+			ID:           msg.ViewID(fmt.Sprintf("V%d", i+1)),
+			Expr:         expr.MustSelect(expr.Scan("S", SSchema), expr.Cmp("C", expr.Eq, i)),
+			Manager:      kind,
+			ComputeDelay: delay,
+		}
+	}
+	return src, views
+}
+
+// Generator produces a stream of valid source transactions. It mirrors the
+// contents of the relations it writes so deletions always target existing
+// tuples.
+type Generator struct {
+	rng  *rand.Rand
+	rels []genRel
+	// DeleteFraction is the probability a generated write is a deletion
+	// (when a tuple exists to delete).
+	DeleteFraction float64
+	// MultiWriteFraction is the probability a transaction carries two
+	// writes (§6.2).
+	MultiWriteFraction float64
+	// KeyRange bounds generated attribute values.
+	KeyRange int
+}
+
+type genRel struct {
+	name   string
+	schema *relation.Schema
+	source msg.SourceID
+	live   *relation.Relation
+}
+
+// NewGenerator builds a generator over the given relations. initial, when
+// non-nil, seeds the live mirror (must match the cluster's initial load).
+func NewGenerator(seed int64, sources []system.SourceDef) *Generator {
+	g := &Generator{rng: rand.New(rand.NewSource(seed)), DeleteFraction: 0.3, KeyRange: 6}
+	for _, s := range sources {
+		for name, rel := range s.Relations {
+			g.rels = append(g.rels, genRel{name: name, schema: rel.Schema(), source: s.ID, live: rel.Clone()})
+		}
+	}
+	// Deterministic order regardless of map iteration.
+	for i := 1; i < len(g.rels); i++ {
+		for j := i; j > 0 && g.rels[j].name < g.rels[j-1].name; j-- {
+			g.rels[j], g.rels[j-1] = g.rels[j-1], g.rels[j]
+		}
+	}
+	return g
+}
+
+// Restrict limits generated writes to the named relations (views may still
+// read others, which then never change — useful for boundary-aligned
+// workloads).
+func (g *Generator) Restrict(names ...string) {
+	keep := make(map[string]bool, len(names))
+	for _, n := range names {
+		keep[n] = true
+	}
+	var rels []genRel
+	for _, r := range g.rels {
+		if keep[r.name] {
+			rels = append(rels, r)
+		}
+	}
+	g.rels = rels
+}
+
+// Txn generates the next transaction: a source plus one or two writes.
+func (g *Generator) Txn() (msg.SourceID, []msg.Write) {
+	r := &g.rels[g.rng.Intn(len(g.rels))]
+	writes := []msg.Write{g.write(r)}
+	if g.rng.Float64() < g.MultiWriteFraction {
+		// Second write on a relation of the same source (§2 restricts a
+		// transaction to one source; ExecuteGlobal callers may ignore it).
+		for tries := 0; tries < 4; tries++ {
+			r2 := &g.rels[g.rng.Intn(len(g.rels))]
+			if r2.source == r.source {
+				writes = append(writes, g.write(r2))
+				break
+			}
+		}
+	}
+	return r.source, writes
+}
+
+func (g *Generator) write(r *genRel) msg.Write {
+	if g.rng.Float64() < g.DeleteFraction && !r.live.Empty() {
+		tuples := r.live.Tuples()
+		t := tuples[g.rng.Intn(len(tuples))]
+		if err := r.live.Delete(t, 1); err != nil {
+			panic(err)
+		}
+		return msg.Write{Relation: r.name, Delta: relation.DeleteDelta(r.schema, t)}
+	}
+	t := g.tuple(r.schema)
+	if err := r.live.Insert(t, 1); err != nil {
+		panic(err)
+	}
+	return msg.Write{Relation: r.name, Delta: relation.InsertDelta(r.schema, t)}
+}
+
+func (g *Generator) tuple(s *relation.Schema) relation.Tuple {
+	t := make(relation.Tuple, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		switch s.Attr(i).Type {
+		case relation.Int:
+			t[i] = relation.IntVal(int64(g.rng.Intn(g.KeyRange)))
+		case relation.String:
+			t[i] = relation.StringVal(fmt.Sprintf("k%d", g.rng.Intn(g.KeyRange)))
+		case relation.Float:
+			t[i] = relation.FloatVal(float64(g.rng.Intn(g.KeyRange)))
+		case relation.Bool:
+			t[i] = relation.BoolVal(g.rng.Intn(2) == 0)
+		}
+	}
+	return t
+}

@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/source"
+	"whips/internal/system"
+)
+
+func TestPaperSourcesAndViews(t *testing.T) {
+	srcs := PaperSources()
+	if len(srcs) != 2 {
+		t.Fatalf("sources = %d", len(srcs))
+	}
+	views := PaperViews(system.Complete)
+	if len(views) != 2 || views[0].ID != "V1" || views[1].ID != "V2" {
+		t.Fatalf("views = %+v", views)
+	}
+	bases := views[0].Expr.BaseRelations()
+	if len(bases) != 2 || bases[0] != "R" || bases[1] != "S" {
+		t.Errorf("V1 bases = %v", bases)
+	}
+}
+
+func TestSharedAndDisjointViews(t *testing.T) {
+	_, shared := SharedViews(5, system.Complete, nil)
+	if len(shared) != 5 {
+		t.Fatalf("shared = %d", len(shared))
+	}
+	for _, v := range shared {
+		if got := v.Expr.BaseRelations(); len(got) != 1 || got[0] != "S" {
+			t.Errorf("%s bases = %v", v.ID, got)
+		}
+	}
+	srcs, disjoint := DisjointViews(4, system.Complete, nil)
+	if len(disjoint) != 4 || len(srcs[0].Relations) != 4 {
+		t.Fatalf("disjoint = %d over %d relations", len(disjoint), len(srcs[0].Relations))
+	}
+	seen := map[string]bool{}
+	for _, v := range disjoint {
+		b := v.Expr.BaseRelations()[0]
+		if seen[b] {
+			t.Errorf("relation %s reused", b)
+		}
+		seen[b] = true
+	}
+}
+
+// TestGeneratorProducesValidTransactions replays a long generated stream
+// against a real cluster: every transaction must commit (deletes always
+// hit existing tuples).
+func TestGeneratorProducesValidTransactions(t *testing.T) {
+	srcs := PaperSources()
+	c := source.NewCluster(nil)
+	for _, s := range srcs {
+		c.AddSource(s.ID)
+		for name, rel := range s.Relations {
+			if err := c.LoadRelation(s.ID, name, rel); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g := NewGenerator(99, srcs)
+	g.DeleteFraction = 0.45
+	for i := 0; i < 500; i++ {
+		src, writes := g.Txn()
+		if _, err := c.Execute(src, writes...); err != nil {
+			t.Fatalf("generated txn %d rejected: %v", i, err)
+		}
+	}
+	if c.Seq() != 500 {
+		t.Errorf("committed = %d", c.Seq())
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	run := func() []string {
+		g := NewGenerator(7, PaperSources())
+		var out []string
+		for i := 0; i < 50; i++ {
+			src, writes := g.Txn()
+			out = append(out, fmt.Sprintf("%s:%s:%s", src, writes[0].Relation, writes[0].Delta))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorMultiWrite(t *testing.T) {
+	g := NewGenerator(3, PaperSources())
+	g.MultiWriteFraction = 1.0
+	multi := 0
+	for i := 0; i < 100; i++ {
+		src, writes := g.Txn()
+		if len(writes) == 2 {
+			multi++
+			// §2: both writes must belong to the same source.
+			for _, w := range writes {
+				owner := ownerOf(t, w.Relation)
+				if owner != src {
+					t.Fatalf("write on %s (source %s) in txn of source %s", w.Relation, owner, src)
+				}
+			}
+		}
+	}
+	if multi == 0 {
+		t.Error("no multi-write transactions generated")
+	}
+}
+
+func ownerOf(t *testing.T, rel string) msg.SourceID {
+	t.Helper()
+	for _, s := range PaperSources() {
+		if _, ok := s.Relations[rel]; ok {
+			return s.ID
+		}
+	}
+	t.Fatalf("unknown relation %s", rel)
+	return ""
+}
+
+func TestGeneratorCoversAllValueTypes(t *testing.T) {
+	// A schema with all four types exercises every tuple-generation arm.
+	sch := relation.MustSchema("I:int", "S:string", "F:float", "B:bool")
+	g := NewGenerator(1, []system.SourceDef{{ID: "s", Relations: map[string]*relation.Relation{
+		"Mixed": relation.New(sch),
+	}}})
+	for i := 0; i < 20; i++ {
+		src, writes := g.Txn()
+		if src != "s" || len(writes) == 0 {
+			t.Fatal("bad txn")
+		}
+		writes[0].Delta.Each(func(tu relation.Tuple, n int64) bool {
+			if err := tu.CheckSchema(sch); err != nil {
+				t.Fatalf("generated tuple invalid: %v", err)
+			}
+			return true
+		})
+	}
+}
+
+func TestViewBuilders(t *testing.T) {
+	srcs, sel := SelectiveViews(4, system.Complete, func(int) int64 { return 1 })
+	if len(sel) != 4 || len(srcs) != 1 {
+		t.Fatalf("selective = %d views", len(sel))
+	}
+	for i, v := range sel {
+		if v.ComputeDelay == nil || v.ComputeDelay(1) != 1 {
+			t.Errorf("view %d delay not wired", i)
+		}
+	}
+	// Each selective view matches a different C value.
+	seen := map[string]bool{}
+	for _, v := range sel {
+		s := v.Expr.String()
+		if seen[s] {
+			t.Errorf("duplicate selective view %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestGeneratorRestrict(t *testing.T) {
+	g := NewGenerator(5, PaperSources())
+	g.Restrict("S")
+	for i := 0; i < 50; i++ {
+		src, writes := g.Txn()
+		if src != "src1" || writes[0].Relation != "S" {
+			t.Fatalf("restricted generator produced %s/%s", src, writes[0].Relation)
+		}
+	}
+}

