@@ -2,13 +2,16 @@
 // processes — the paper's "view managers may reside on different machines"
 // made literal. The warehouse site hosts the sources, integrator, merge
 // process and warehouse; the manager site hosts the view managers. The two
-// talk the gob wire protocol over TCP.
+// talk the resumable gob wire protocol over TCP: connections reconnect
+// with exponential backoff, and sequence-numbered per-channel streams let
+// either process be killed and restarted mid-run without losing messages
+// or violating FIFO-per-channel.
 //
 // Terminal 1:
 //
-//	whipsnode -role warehouse -addr 127.0.0.1:7654 -updates 50
+//	whipsnode -role warehouse -addr 127.0.0.1:7654 -updates 50 -seed 1
 //
-// Terminal 2:
+// Terminal 2 (kill and restart freely; the run still finishes):
 //
 //	whipsnode -role managers -addr 127.0.0.1:7654
 package main
@@ -16,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
@@ -50,30 +54,35 @@ func main() {
 	role := flag.String("role", "", "warehouse or managers")
 	addr := flag.String("addr", "127.0.0.1:7654", "listen (warehouse) / dial (managers) address")
 	updates := flag.Int("updates", 50, "updates to run (warehouse role)")
+	seed := flag.Int64("seed", 1, "seed for the workload and all connection jitter")
+	pace := flag.Duration("pace", 0, "delay between injected updates (warehouse role)")
+	verbose := flag.Bool("v", false, "log connection lifecycle events")
 	flag.Parse()
 
 	switch *role {
 	case "warehouse":
-		runWarehouseSite(*addr, *updates)
+		runWarehouseSite(*addr, *updates, *seed, *pace, *verbose)
 	case "managers":
-		runManagerSite(*addr)
+		runManagerSite(*addr, *seed, *verbose)
 	default:
 		log.Fatalf("unknown -role %q (use warehouse or managers)", *role)
 	}
 }
 
-func runWarehouseSite(addr string, updates int) {
+func sessionLogf(verbose bool) func(string, ...any) {
+	if !verbose {
+		return nil
+	}
+	return log.Printf
+}
+
+func runWarehouseSite(addr string, updates int, seed int64, pace time.Duration, verbose bool) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer ln.Close()
-	fmt.Printf("warehouse site listening on %s; waiting for the manager site...\n", addr)
-	conn, err := ln.Accept()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("manager site connected from %s\n", conn.RemoteAddr())
+	fmt.Printf("warehouse site listening on %s (seed %d)\n", addr, seed)
 
 	cluster := source.NewCluster(func() int64 { return time.Now().UnixNano() })
 	cluster.AddSource("src1")
@@ -94,33 +103,55 @@ func runWarehouseSite(addr string, updates int) {
 	wh := warehouse.New(initial, warehouse.WithStateLog())
 	mp := merge.New(0, merge.SPA, merge.NewSequential(msg.NodeMerge(0), 0))
 
-	bridge := wire.NewBridge(conn)
-	net := runtime.New(
+	var rtnet *runtime.Network
+	sess := wire.NewSession(wire.SessionConfig{
+		Name:    "warehouse-site",
+		Deliver: func(from, to string, m any) { rtnet.Inject(to, m) },
+		Logf:    sessionLogf(verbose),
+	})
+	defer sess.Close()
+	rtnet = runtime.New(
 		[]msg.Node{source.NewNode(cluster), integ, mp, wh},
-		runtime.WithRemote(func(to string, m any) {
-			if err := bridge.Send(to, m); err != nil {
+		runtime.WithRemoteFrom(func(from, to string, m any) {
+			if err := sess.Send(from, to, m); err != nil {
 				log.Printf("send: %v", err)
 			}
 		}),
 	)
-	net.Start()
-	defer net.Stop()
-	go bridge.Pump(func(to string, m any) { net.Inject(to, m) })
+	rtnet.Start()
+	defer rtnet.Stop()
+	// Accept loop: each (re)connecting manager site replaces the previous
+	// connection; the session's Hello exchange resumes both directions.
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if verbose {
+				log.Printf("manager site connected from %s", conn.RemoteAddr())
+			}
+			sess.Attach(conn)
+		}
+	}()
 
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < updates; i++ {
 		u, err := cluster.Execute("src1", msg.Write{
 			Relation: "S",
 			Delta:    relation.InsertDelta(sSchema, relation.T(rng.Intn(6), rng.Intn(6))),
 		})
 		must(err)
-		net.Inject(msg.NodeIntegrator, u)
+		rtnet.Inject(msg.NodeIntegrator, u)
+		if pace > 0 {
+			time.Sleep(pace)
+		}
 	}
-	if !runtime.WaitUntil(30*time.Second, func() bool {
+	if !runtime.WaitUntil(60*time.Second, func() bool {
 		up := wh.Upto()
 		return up["V1"] >= msg.UpdateID(updates) && up["V2"] >= msg.UpdateID(updates)
 	}) {
-		log.Fatalf("remote managers did not drain: %v", wh.Upto())
+		log.Fatalf("remote managers did not drain: %v (seed %d)", wh.Upto(), seed)
 	}
 	rep, err := consistency.Check(cluster, vs, wh.Log())
 	must(err)
@@ -129,21 +160,20 @@ func runWarehouseSite(addr string, updates int) {
 	fmt.Printf("V1: %d rows  V2: %d rows\n", all["V1"].Cardinality(), all["V2"].Cardinality())
 	fmt.Printf("MVC: convergent=%v strong=%v complete=%v\n", rep.Convergent, rep.Strong, rep.Complete)
 	if !rep.Complete {
-		log.Fatal("expected complete MVC")
+		log.Fatalf("expected complete MVC (seed %d)", seed)
 	}
 	fmt.Println("OK")
 }
 
-func runManagerSite(addr string) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("manager site connected to %s; hosting view managers V1, V2\n", addr)
+func runManagerSite(addr string, seed int64, verbose bool) {
+	fmt.Printf("manager site hosting view managers V1, V2; dialing %s\n", addr)
 
 	vs := views()
 	// Replicas seed from the warehouse site's initial contents, which this
-	// demo fixes statically (R = {[1 2]}, S = ∅).
+	// demo fixes statically (R = {[1 2]}, S = ∅). A restarted manager site
+	// rebuilds from the same state and is replayed the full update stream
+	// by the warehouse site's session, regenerating identical action lists
+	// (deduplicated on the far side by sequence number).
 	init := expr.MapDB{
 		"R": relation.FromTuples(rSchema, relation.T(1, 2)),
 		"S": relation.New(sSchema),
@@ -153,22 +183,29 @@ func runManagerSite(addr string) {
 	vm2, err := viewmgr.NewComplete(viewmgr.Config{View: "V2", Expr: vs["V2"], Merge: msg.NodeMerge(0)}, init)
 	must(err)
 
-	bridge := wire.NewBridge(conn)
-	net := runtime.New(
+	var rtnet *runtime.Network
+	sess := wire.NewSession(wire.SessionConfig{
+		Name:    "manager-site",
+		Deliver: func(from, to string, m any) { rtnet.Inject(to, m) },
+		Dial: func() (io.ReadWriteCloser, error) {
+			return net.Dial("tcp", addr)
+		},
+		Backoff: wire.Backoff{Base: 20 * time.Millisecond, Max: time.Second, Seed: seed},
+		Logf:    sessionLogf(verbose),
+	})
+	defer sess.Close()
+	rtnet = runtime.New(
 		[]msg.Node{vm1, vm2},
-		runtime.WithRemote(func(to string, m any) {
-			if err := bridge.Send(to, m); err != nil {
+		runtime.WithRemoteFrom(func(from, to string, m any) {
+			if err := sess.Send(from, to, m); err != nil {
 				log.Printf("send: %v", err)
 			}
 		}),
 	)
-	net.Start()
-	defer net.Stop()
+	rtnet.Start()
+	defer rtnet.Stop()
 	fmt.Println("maintaining views; ctrl-c to stop")
-	if err := bridge.Pump(func(to string, m any) { net.Inject(to, m) }); err != nil {
-		log.Printf("pump: %v", err)
-	}
-	fmt.Println("warehouse site disconnected; shutting down")
+	select {}
 }
 
 func must(err error) {

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freePort grabs an ephemeral localhost port.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "whipsnode")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestKillRestartManagerSite is the acceptance scenario: the manager-site
+// process is SIGKILLed mid-run and restarted from scratch. The wire
+// session's reconnect + full-stream replay must still deliver a
+// consistency-checker-verified (complete MVC) warehouse state.
+func TestKillRestartManagerSite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bin := buildBinary(t)
+	addr := freePort(t)
+
+	var whOut bytes.Buffer
+	wh := exec.Command(bin,
+		"-role", "warehouse", "-addr", addr,
+		"-updates", "60", "-seed", "7", "-pace", "3ms")
+	wh.Stdout = &whOut
+	wh.Stderr = &whOut
+	if err := wh.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer wh.Process.Kill()
+
+	startManager := func() *exec.Cmd {
+		m := exec.Command(bin, "-role", "managers", "-addr", addr, "-seed", "3")
+		m.Stdout = os.Stderr
+		m.Stderr = os.Stderr
+		if err := m.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	mgr := startManager()
+	// Let the run get properly underway, then kill -9 the manager site.
+	time.Sleep(80 * time.Millisecond)
+	if err := mgr.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Wait()
+	t.Log("manager site killed; restarting")
+
+	mgr2 := startManager()
+	defer func() {
+		mgr2.Process.Kill()
+		mgr2.Wait()
+	}()
+
+	done := make(chan error, 1)
+	go func() { done <- wh.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("warehouse site failed: %v\n%s", err, whOut.String())
+		}
+	case <-time.After(90 * time.Second):
+		wh.Process.Kill()
+		t.Fatalf("warehouse site did not finish\n%s", whOut.String())
+	}
+
+	out := whOut.String()
+	if !strings.Contains(out, "complete=true") || !strings.Contains(out, "\nOK\n") {
+		t.Fatalf("warehouse did not verify complete MVC:\n%s", out)
+	}
+	t.Logf("warehouse output:\n%s", out)
+}
+
+// TestCleanRunNoFaults is the same two-process run without any kill — the
+// baseline the fault run is measured against.
+func TestCleanRunNoFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bin := buildBinary(t)
+	addr := freePort(t)
+
+	var whOut bytes.Buffer
+	wh := exec.Command(bin, "-role", "warehouse", "-addr", addr, "-updates", "30", "-seed", "5")
+	wh.Stdout = &whOut
+	wh.Stderr = &whOut
+	if err := wh.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer wh.Process.Kill()
+
+	mgr := exec.Command(bin, "-role", "managers", "-addr", addr)
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		mgr.Process.Kill()
+		mgr.Wait()
+	}()
+
+	done := make(chan error, 1)
+	go func() { done <- wh.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("warehouse site failed: %v\n%s", err, whOut.String())
+		}
+	case <-time.After(60 * time.Second):
+		wh.Process.Kill()
+		t.Fatalf("warehouse site did not finish\n%s", whOut.String())
+	}
+	if !strings.Contains(whOut.String(), "complete=true") {
+		t.Fatalf("expected complete MVC:\n%s", whOut.String())
+	}
+}

@@ -1,0 +1,63 @@
+// Package examples_test builds and runs every example binary end to end,
+// asserting each exits 0 and prints its expected final-state line — the
+// examples double as integration tests of the whole maintenance pipeline.
+package examples_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// finalLines maps each example directory to the line its successful run
+// ends with.
+var finalLines = map[string]string{
+	"quickstart":  "OK: multiple view consistency preserved",
+	"bank":        "OK: every customer snapshot balanced",
+	"dashboard":   "OK: aggregates, filtered detail, and staged refresh stayed mutually consistent",
+	"distributed": "OK: per-group coordination preserved consistency with two merge processes",
+	"multisource": "OK: cross-source transactions applied atomically at the warehouse",
+	"promotion":   "OK",
+}
+
+func TestExamplesRunToCompletion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs OS processes")
+	}
+	for dir, want := range finalLines {
+		dir, want := dir, want
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), dir)
+			build := exec.Command("go", "build", "-o", bin, "./"+dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build ./%s: %v\n%s", dir, err, out)
+			}
+			cmd := exec.Command(bin)
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				defer close(done)
+				out, runErr = cmd.CombinedOutput()
+			}()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Minute):
+				cmd.Process.Kill()
+				<-done
+				t.Fatalf("%s did not finish:\n%s", dir, out)
+			}
+			if runErr != nil {
+				t.Fatalf("%s exited nonzero: %v\n%s", dir, runErr, out)
+			}
+			lines := strings.Split(strings.TrimRight(string(out), "\n"), "\n")
+			last := lines[len(lines)-1]
+			if last != want {
+				t.Fatalf("%s final line = %q, want %q\nfull output:\n%s", dir, last, want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,236 @@
+package merge_test
+
+import (
+	"fmt"
+	"testing"
+
+	"whips/internal/msg"
+	"whips/internal/sched"
+	"whips/internal/system"
+	"whips/internal/workload"
+)
+
+// This property test generalizes the paper's Example 4 — the schedule on
+// which SPA breaks down when managers batch — beyond its single
+// hand-written trace: under every explored interleaving of a batching
+// fleet, PA must never apply a row that is white (a relevant view's
+// action list has not arrived) or red-dependent (an earlier unapplied
+// list from the same manager, or another row of the same intertwined
+// batch, is left out of the transaction).
+//
+// The check needs no VUT internals: it is phrased entirely over the
+// message streams crossing the merge process — a spy records the RELᵢ
+// sets and action-list ranges flowing in, and a stub warehouse validates
+// every transaction flowing out.
+
+// mergeSpy wraps the merge process, recording its inputs.
+type mergeSpy struct {
+	inner msg.Node
+	rels  map[msg.UpdateID][]msg.ViewID
+	// alFrom maps (view, upto) to the list's From — msg.ViewWrite carries
+	// no From, so transactions are joined back to ranges through this.
+	alFrom map[viewUpto]msg.UpdateID
+}
+
+type viewUpto struct {
+	view msg.ViewID
+	upto msg.UpdateID
+}
+
+func (s *mergeSpy) ID() string { return s.inner.ID() }
+
+func (s *mergeSpy) Handle(in any, now int64) []msg.Outbound {
+	switch t := in.(type) {
+	case msg.RelevantSet:
+		s.rels[t.Seq] = append([]msg.ViewID(nil), t.Views...)
+	case msg.ActionList:
+		s.alFrom[viewUpto{t.View, t.Upto}] = t.From
+	}
+	return s.inner.Handle(in, now)
+}
+
+// checkerWarehouse stands in for the warehouse: it acks every transaction
+// and validates the white/red-dependency property against the spy's
+// record of what the merge process has seen.
+type checkerWarehouse struct {
+	spy     *mergeSpy
+	applied map[msg.UpdateID]bool
+	lastUp  map[msg.ViewID]msg.UpdateID
+	errs    []error
+}
+
+func (c *checkerWarehouse) ID() string { return msg.NodeWarehouse }
+
+func (c *checkerWarehouse) failf(format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf(format, args...))
+}
+
+func (c *checkerWarehouse) Handle(in any, now int64) []msg.Outbound {
+	st, ok := in.(msg.SubmitTxn)
+	if !ok {
+		return nil
+	}
+	txn := st.Txn
+	inTxn := map[msg.UpdateID]bool{}
+	for _, i := range txn.Rows {
+		if c.applied[i] {
+			c.failf("row %d applied twice (second time by WT%d)", i, txn.ID)
+		}
+		c.applied[i] = true
+		inTxn[i] = true
+	}
+	// Property 1 (no white application): every row needs a covering action
+	// list IN THIS transaction for each of its relevant views.
+	for _, i := range txn.Rows {
+		rel, known := c.spy.rels[i]
+		if !known {
+			c.failf("WT%d applies row %d before its REL reached the merge process", txn.ID, i)
+			continue
+		}
+		for _, v := range rel {
+			covered := false
+			for _, w := range txn.Writes {
+				if w.View != v {
+					continue
+				}
+				from, ok := c.spy.alFrom[viewUpto{v, w.Upto}]
+				if !ok {
+					c.failf("WT%d carries write (%s,%d) for a list the merge never received", txn.ID, v, w.Upto)
+					continue
+				}
+				if from <= i && i <= w.Upto {
+					covered = true
+				}
+			}
+			if !covered {
+				c.failf("WT%d applies row %d while view %s's covering action list is missing (white application)", txn.ID, i, v)
+			}
+		}
+	}
+	for _, w := range txn.Writes {
+		from, ok := c.spy.alFrom[viewUpto{w.View, w.Upto}]
+		if !ok {
+			c.failf("WT%d write (%s,%d) has no recorded action list", txn.ID, w.View, w.Upto)
+			continue
+		}
+		// Property 2 (no red-dependency violation): one manager's lists
+		// apply in generation order with no gaps — From is the list's first
+		// covered row, so it must lie past the frontier, and no row relevant
+		// to this view may fall in the gap between frontier and From.
+		if from <= c.lastUp[w.View] {
+			c.failf("WT%d re-applies %s rows: list [%d,%d] overlaps frontier %d",
+				txn.ID, w.View, from, w.Upto, c.lastUp[w.View])
+		}
+		for j := c.lastUp[w.View] + 1; j < from; j++ {
+			for _, v := range c.spy.rels[j] {
+				if v == w.View {
+					c.failf("WT%d applies %s's list [%d,%d] skipping earlier relevant row %d — an unapplied list was left behind",
+						txn.ID, w.View, from, w.Upto, j)
+				}
+			}
+		}
+		c.lastUp[w.View] = w.Upto
+		// Property 3 (intertwined batches are atomic): every update the
+		// list covers and that is relevant to this view commits in the
+		// same transaction.
+		for i := from; i <= w.Upto; i++ {
+			for _, v := range c.spy.rels[i] {
+				if v == w.View && !inTxn[i] {
+					c.failf("WT%d applies %s's batch [%d,%d] without row %d — batch split", txn.ID, w.View, from, w.Upto, i)
+				}
+			}
+		}
+	}
+	return []msg.Outbound{msg.Send(st.From, msg.CommitAck{ID: txn.ID})}
+}
+
+// paPropertyFleet is the batching PA fleet with the warehouse replaced by
+// the checker and the merge process wrapped by the spy.
+func paPropertyFleet(updates int, dataSeed int64) sched.Factory {
+	return func() (*sched.Harness, error) {
+		views := workload.PaperViews(system.Batching)
+		for i := range views {
+			views[i].ComputeDelay = func(n int) int64 { return int64(n) }
+		}
+		sys, err := system.Build(system.Config{
+			Sources: workload.PaperSources(),
+			Views:   views,
+			Commit:  system.Sequential,
+		})
+		if err != nil {
+			return nil, err
+		}
+		spy := &mergeSpy{
+			inner:  sys.Merges[0],
+			rels:   map[msg.UpdateID][]msg.ViewID{},
+			alFrom: map[viewUpto]msg.UpdateID{},
+		}
+		checker := &checkerWarehouse{
+			spy:     spy,
+			applied: map[msg.UpdateID]bool{},
+			lastUp:  map[msg.ViewID]msg.UpdateID{},
+		}
+		var nodes []msg.Node
+		for _, n := range sys.Nodes() {
+			switch n.ID() {
+			case msg.NodeMerge(0):
+				nodes = append(nodes, spy)
+			case msg.NodeWarehouse:
+				nodes = append(nodes, checker)
+			default:
+				nodes = append(nodes, n)
+			}
+		}
+		gen := workload.NewGenerator(dataSeed, workload.PaperSources())
+		var inject []msg.Outbound
+		for i := 0; i < updates; i++ {
+			src, writes := gen.Txn()
+			inject = append(inject, msg.Send(msg.NodeCluster, msg.ExecuteTxn{Source: src, Writes: writes}))
+		}
+		return &sched.Harness{
+			Nodes:  nodes,
+			Inject: inject,
+			Check: func() error {
+				if len(checker.errs) > 0 {
+					return checker.errs[0]
+				}
+				for i := 1; i <= updates; i++ {
+					if !checker.applied[msg.UpdateID(i)] {
+						return fmt.Errorf("row %d never applied", i)
+					}
+				}
+				return nil
+			},
+		}, nil
+	}
+}
+
+// TestPANeverAppliesWhiteOrRedDependentRows explores randomized and
+// systematic schedules of the batching fleet; the message-level property
+// must hold on every one.
+func TestPANeverAppliesWhiteOrRedDependentRows(t *testing.T) {
+	seeds := 400
+	if testing.Short() {
+		seeds = 40
+	}
+	res, err := sched.Explore(paPropertyFleet(5, 21), sched.Options{Seed: 9000, Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("random exploration: %v", res.Violation)
+	}
+
+	maxSchedules := 800
+	if testing.Short() {
+		maxSchedules = 80
+	}
+	res, err = sched.Explore(paPropertyFleet(3, 4), sched.Options{DFS: true, MaxSchedules: maxSchedules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("DFS exploration: %v", res.Violation)
+	}
+	t.Logf("DFS explored %d schedules, %d deliveries", res.Schedules, res.Deliveries)
+}

@@ -32,8 +32,9 @@ type Network struct {
 
 	mu     sync.Mutex
 	edges  map[string]chan envelope
-	jitter func(from, to string) time.Duration
-	remote func(to string, m any)
+	jitter     func(from, to string) time.Duration
+	remote     func(to string, m any)
+	remoteFrom func(from, to string, m any)
 
 	wg      sync.WaitGroup
 	edgeWG  sync.WaitGroup
@@ -84,6 +85,14 @@ func WithBuffer(n int) Option { return func(net *Network) { net.buffer = n } }
 // machines. Without it, an unknown destination panics.
 func WithRemote(send func(to string, m any)) Option {
 	return func(net *Network) { net.remote = send }
+}
+
+// WithRemoteFrom is WithRemote with the sending node's id included — the
+// hook wire sessions need, since their FIFO-and-resume unit is the
+// sender→receiver channel, not the connection. Takes precedence over
+// WithRemote when both are set.
+func WithRemoteFrom(send func(from, to string, m any)) Option {
+	return func(net *Network) { net.remoteFrom = send }
 }
 
 // New builds a network over the given nodes.
@@ -171,6 +180,11 @@ func (n *Network) route(from string, outs []msg.Outbound) {
 func (n *Network) deliver(from, to string, m any) {
 	inbox, ok := n.inboxes[to]
 	if !ok {
+		if n.remoteFrom != nil {
+			n.remoteFrom(from, to, m)
+			n.inFlight.Add(-1)
+			return
+		}
 		if n.remote != nil {
 			// Hand off to the remote transport; this network's in-flight
 			// accounting ends here.

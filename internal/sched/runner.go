@@ -1,0 +1,370 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"whips/internal/msg"
+)
+
+// pending is one undelivered message.
+type pending struct {
+	from, to string
+	m        any
+}
+
+// edgeQ is one FIFO edge queue.
+type edgeQ struct {
+	key   string
+	to    string
+	queue []pending
+	// stalledUntil pauses the edge (delay-spike fault) until the step.
+	stalledUntil int
+	// flipped marks the FlipEdge hook as spent.
+	flipped bool
+}
+
+// delivered records one delivery into a node's input log, for crash
+// replay. now is the logical time the node saw.
+type delivered struct {
+	m   any
+	now int64
+}
+
+// runner executes one schedule.
+type runner struct {
+	h     *Harness
+	opts  Options
+	nodes map[string]msg.Node
+
+	edges   map[string]*edgeQ
+	edgeIDs []string // sorted keys of edges that ever existed
+	timerN  int
+
+	crashed      map[string]bool
+	stalledUntil map[string]int
+	history      map[string][]delivered
+
+	chooser   func(nChoices int) int
+	faults    []Fault // planned faults, fired by step
+	faultDraw func(*runner) []Fault
+
+	step           int
+	choices        []int
+	branching      []int
+	recordedFaults []Fault
+	keepTrace      bool
+	trace          []string
+}
+
+func newRunner(h *Harness, opts Options) *runner {
+	r := &runner{
+		h:            h,
+		opts:         opts,
+		nodes:        make(map[string]msg.Node, len(h.Nodes)),
+		edges:        make(map[string]*edgeQ),
+		crashed:      make(map[string]bool),
+		stalledUntil: make(map[string]int),
+		history:      make(map[string][]delivered),
+	}
+	for _, n := range h.Nodes {
+		if _, dup := r.nodes[n.ID()]; dup {
+			panic(fmt.Sprintf("sched: duplicate node id %q", n.ID()))
+		}
+		r.nodes[n.ID()] = n
+	}
+	for _, o := range h.Inject {
+		r.enqueue("driver", o.To, o.Msg)
+	}
+	return r
+}
+
+func (r *runner) nodeIDs() []string {
+	ids := make([]string, 0, len(r.nodes))
+	for id := range r.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// activeEdges returns the sorted keys of edges with pending messages.
+func (r *runner) activeEdges() []string {
+	var keys []string
+	for _, k := range r.edgeIDs {
+		if len(r.edges[k].queue) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func (r *runner) enqueue(from, to string, m any) {
+	key := from + "→" + to
+	e := r.edges[key]
+	if e == nil {
+		e = &edgeQ{key: key, to: to}
+		r.edges[key] = e
+		r.edgeIDs = insertSorted(r.edgeIDs, key)
+	}
+	e.queue = append(e.queue, pending{from: from, to: to, m: m})
+}
+
+// enqueueTimer models Outbound.Delay > 0: in the runtime a timer bypasses
+// every edge, so here it becomes its own singleton edge, deliverable at
+// any later point.
+func (r *runner) enqueueTimer(from, to string, m any) {
+	r.timerN++
+	key := fmt.Sprintf("timer#%04d:%s", r.timerN, to)
+	e := &edgeQ{key: key, to: to}
+	e.queue = append(e.queue, pending{from: from, to: to, m: m})
+	r.edges[key] = e
+	r.edgeIDs = insertSorted(r.edgeIDs, key)
+}
+
+func insertSorted(s []string, k string) []string {
+	n := sort.SearchStrings(s, k)
+	s = append(s, "")
+	copy(s[n+1:], s[n:])
+	s[n] = k
+	return s
+}
+
+// enabled returns the sorted keys of edges whose head message can be
+// delivered now: non-empty queue, target alive and not stalled, edge not
+// stalled.
+func (r *runner) enabled() []string {
+	var keys []string
+	for _, k := range r.edgeIDs {
+		e := r.edges[k]
+		if len(e.queue) == 0 || e.stalledUntil > r.step {
+			continue
+		}
+		if r.crashed[e.to] || r.stalledUntil[e.to] > r.step {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// blocked reports whether undelivered messages exist at all (used to
+// distinguish quiescence from a fault-induced block).
+func (r *runner) pendingCount() int {
+	n := 0
+	for _, e := range r.edges {
+		n += len(e.queue)
+	}
+	return n
+}
+
+// applyFaults fires every planned fault scheduled at or before the current
+// step, then draws random faults.
+func (r *runner) applyFaults() error {
+	fire := func(f Fault) error {
+		switch f.Kind {
+		case Crash:
+			if r.crashed[f.Node] {
+				return nil
+			}
+			if r.h.Rebuild[f.Node] == nil {
+				return fmt.Errorf("sched: crash of %q but no Rebuild registered", f.Node)
+			}
+			r.crashed[f.Node] = true
+			r.tracef("@%d crash %s", r.step, f.Node)
+		case Restart:
+			if !r.crashed[f.Node] {
+				return nil
+			}
+			node := r.h.Rebuild[f.Node]()
+			if node.ID() != f.Node {
+				return fmt.Errorf("sched: Rebuild(%q) returned node %q", f.Node, node.ID())
+			}
+			// State replay: the recovered process re-reads its durable
+			// input log; outputs are suppressed (already routed live).
+			for _, d := range r.history[f.Node] {
+				node.Handle(d.m, d.now)
+			}
+			r.nodes[f.Node] = node
+			r.crashed[f.Node] = false
+			r.tracef("@%d restart %s (replayed %d inputs)", r.step, f.Node, len(r.history[f.Node]))
+		case Stall:
+			until := f.Step + f.Dur
+			if until > r.stalledUntil[f.Node] {
+				r.stalledUntil[f.Node] = until
+			}
+			r.tracef("@%d stall %s until %d", r.step, f.Node, until)
+		case EdgeStall:
+			if e := r.edges[f.Edge]; e != nil {
+				until := f.Step + f.Dur
+				if until > e.stalledUntil {
+					e.stalledUntil = until
+				}
+				r.tracef("@%d edge-stall %s until %d", r.step, f.Edge, f.Step+f.Dur)
+			}
+		}
+		r.recordedFaults = append(r.recordedFaults, Fault{
+			Step: r.step, Kind: f.Kind, Node: f.Node, Edge: f.Edge, Dur: f.Dur,
+		})
+		return nil
+	}
+	rest := r.faults[:0]
+	for _, f := range r.faults {
+		if f.Step <= r.step {
+			if err := fire(f); err != nil {
+				return err
+			}
+			continue
+		}
+		rest = append(rest, f)
+	}
+	r.faults = rest
+	if r.faultDraw != nil {
+		for _, f := range r.faultDraw(r) {
+			if f.Step <= r.step {
+				if err := fire(f); err != nil {
+					return err
+				}
+			} else {
+				r.faults = append(r.faults, f)
+			}
+		}
+	}
+	return nil
+}
+
+// forceEarliestRecovery fires the earliest pending Restart/stall expiry
+// when every edge is blocked by faults, so fault plans cannot deadlock the
+// run. It reports whether anything was unblocked.
+func (r *runner) forceEarliestRecovery() bool {
+	best := -1
+	for _, f := range r.faults {
+		if f.Kind == Restart && (best < 0 || f.Step < best) {
+			best = f.Step
+		}
+	}
+	for _, until := range r.stalledUntil {
+		if until > r.step && (best < 0 || until < best) {
+			best = until
+		}
+	}
+	for _, e := range r.edges {
+		if len(e.queue) > 0 && e.stalledUntil > r.step && (best < 0 || e.stalledUntil < best) {
+			best = e.stalledUntil
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	// Advance logical time to the recovery point.
+	if best > r.step {
+		r.step = best
+	}
+	return true
+}
+
+func (r *runner) tracef(format string, args ...any) {
+	if r.keepTrace {
+		r.trace = append(r.trace, fmt.Sprintf(format, args...))
+	}
+}
+
+// run executes the schedule to quiescence and returns the first invariant
+// violation (or nil). Panics inside node handlers — the merge process
+// asserts protocol invariants with panics — are converted to violations.
+func (r *runner) run() (verr error) {
+	defer func() {
+		if p := recover(); p != nil {
+			verr = fmt.Errorf("node panic at step %d: %v", r.step, p)
+		}
+	}()
+	for ; r.step < r.opts.maxSteps(); r.step++ {
+		if err := r.applyFaults(); err != nil {
+			return err
+		}
+		enabled := r.enabled()
+		if len(enabled) == 0 {
+			if r.pendingCount() == 0 && len(r.faults) == 0 {
+				break // quiescent
+			}
+			if r.forceEarliestRecovery() {
+				r.step-- // re-enter the loop at the advanced step
+				continue
+			}
+			if r.pendingCount() == 0 {
+				break // only unreachable faults remain
+			}
+			return fmt.Errorf("deadlock at step %d: %d messages pending, no enabled edge", r.step, r.pendingCount())
+		}
+		c := r.chooser(len(enabled))
+		if c < 0 || c >= len(enabled) {
+			c = 0
+		}
+		r.choices = append(r.choices, c)
+		r.branching = append(r.branching, len(enabled))
+		e := r.edges[enabled[c]]
+		p := r.pop(e)
+		node := r.nodes[p.to]
+		if node == nil {
+			return fmt.Errorf("message from %q to unknown node %q: %T", p.from, p.to, p.m)
+		}
+		now := int64(r.step + 1)
+		r.tracef("@%d %s→%s %s", r.step, p.from, p.to, renderMsg(p.m))
+		r.history[p.to] = append(r.history[p.to], delivered{m: p.m, now: now})
+		for _, o := range node.Handle(p.m, now) {
+			if o.Delay > 0 {
+				r.enqueueTimer(p.to, o.To, o.Msg)
+				continue
+			}
+			r.enqueue(p.to, o.To, o.Msg)
+		}
+	}
+	if r.pendingCount() > 0 {
+		return fmt.Errorf("schedule did not quiesce within %d steps (%d messages pending)",
+			r.opts.maxSteps(), r.pendingCount())
+	}
+	if r.h.Check != nil {
+		if err := r.h.Check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pop removes the edge's head — or, once, its second message when the
+// FlipEdge ordering-bug hook targets this edge and two messages are
+// queued.
+func (r *runner) pop(e *edgeQ) pending {
+	if r.opts.FlipEdge == e.key && !e.flipped && len(e.queue) >= 2 {
+		e.flipped = true
+		p := e.queue[1]
+		e.queue = append(e.queue[:1], e.queue[2:]...)
+		r.tracef("@%d FLIP on %s: delivering out of order", r.step, e.key)
+		return p
+	}
+	p := e.queue[0]
+	e.queue = e.queue[1:]
+	return p
+}
+
+// renderMsg renders a message compactly for schedule traces.
+func renderMsg(m any) string {
+	switch t := m.(type) {
+	case msg.Update:
+		return fmt.Sprintf("U%d", t.Seq)
+	case msg.RelevantSet:
+		return fmt.Sprintf("REL%d%s", t.Seq, msg.ViewList(t.Views))
+	case msg.ActionList:
+		return t.String()
+	case msg.SubmitTxn:
+		return fmt.Sprintf("WT%d rows=%v", t.Txn.ID, t.Txn.Rows)
+	case msg.CommitAck:
+		return fmt.Sprintf("ack(WT%d)", t.ID)
+	case msg.ExecuteTxn:
+		return fmt.Sprintf("exec@%s", t.Source)
+	case msg.StageDelta:
+		return fmt.Sprintf("stage(%s,%d)", t.View, t.Upto)
+	default:
+		return fmt.Sprintf("%T", m)
+	}
+}

@@ -1,0 +1,433 @@
+// Package sched is a deterministic schedule explorer for the pure
+// msg.Node state machines: it drives the same process implementations the
+// goroutine runtime and the discrete-event simulator execute through
+// systematically enumerated (bounded DFS) and seed-randomized message
+// interleavings, and checks every terminal trace against the paper's
+// theorems — SPA completeness (Thm 4.1), PA strong consistency (Thm 5.1)
+// — and the §5 invariants.
+//
+// The delivery model is exactly the one the paper's algorithms assume:
+// messages on one sender→receiver edge arrive in send order (FIFO per
+// edge), and nothing else is guaranteed. The explorer's nondeterminism is
+// therefore a single repeated choice: which edge's head message to deliver
+// next. Self-scheduled timers (Outbound.Delay > 0) bypass edges in the
+// real runtime, so each becomes its own singleton "edge" that can fire at
+// any point — a strictly larger behaviour space than any real clock.
+//
+// Fault injection rides on the same choice sequence: node crashes with
+// input-log replay on restart, view-manager stalls, and per-edge delay
+// spikes are schedule events, so a failing run — faults included — replays
+// exactly from its recorded decisions. Every random draw flows from one
+// explicit seed, and that seed is part of every failure report.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"whips/internal/msg"
+)
+
+// Harness is one explorable fleet: the nodes, the driver's initial
+// messages, an invariant check to run at quiescence, and (optionally) a
+// way to rebuild crashed nodes from their initial state.
+type Harness struct {
+	// Nodes are the processes. Handle must be deterministic in the
+	// delivered message sequence (the msg.Node contract).
+	Nodes []msg.Node
+	// Rebuild returns a fresh, initial-state instance of a node; only
+	// nodes present here are eligible for crash faults. The explorer
+	// restores a restarted node by replaying its full delivered-input log
+	// (with outputs suppressed — they were already routed), modelling a
+	// process that recovers its state from a durable input log.
+	Rebuild map[string]func() msg.Node
+	// Inject is the driver's initial message sequence, delivered FIFO per
+	// driver→destination edge, interleaved freely with everything else.
+	Inject []msg.Outbound
+	// Check runs at quiescence (all queues empty) and returns nil if the
+	// terminal trace satisfies every invariant.
+	Check func() error
+}
+
+// Factory builds a fresh harness for one schedule. Explorers run many
+// schedules; each needs untouched node state.
+type Factory func() (*Harness, error)
+
+// FaultKind enumerates the injectable failures.
+type FaultKind uint8
+
+// Injectable failure kinds.
+const (
+	// Crash removes the node; its pending and future inbound messages
+	// queue up (reliable channels). A matching Restart rebuilds the node
+	// and replays its input log.
+	Crash FaultKind = iota
+	// Restart recovers a crashed node via Harness.Rebuild + input replay.
+	Restart
+	// Stall pauses a node for Dur delivery steps without losing state —
+	// the "view manager stalls" scenario.
+	Stall
+	// EdgeStall pauses one edge (Edge field) for Dur delivery steps — a
+	// message-delay spike that still preserves the edge's FIFO order.
+	EdgeStall
+)
+
+// String names the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Restart:
+		return "restart"
+	case Stall:
+		return "stall"
+	case EdgeStall:
+		return "edge-stall"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
+// Fault is one schedule-time failure event.
+type Fault struct {
+	Step int // delivery step before which the fault fires
+	Kind FaultKind
+	Node string // Crash / Restart / Stall target
+	Edge string // EdgeStall target ("from→to")
+	Dur  int    // Stall / EdgeStall duration in delivery steps
+}
+
+// String renders the fault for traces.
+func (f Fault) String() string {
+	switch f.Kind {
+	case EdgeStall:
+		return fmt.Sprintf("@%d %v %s for %d", f.Step, f.Kind, f.Edge, f.Dur)
+	case Stall:
+		return fmt.Sprintf("@%d %v %s for %d", f.Step, f.Kind, f.Node, f.Dur)
+	default:
+		return fmt.Sprintf("@%d %v %s", f.Step, f.Kind, f.Node)
+	}
+}
+
+// Options configures an exploration.
+type Options struct {
+	// Seed is the base seed for randomized scheduling and fault drawing.
+	// Schedule s uses Seed+s. Every failure report names the exact seed.
+	Seed int64
+	// Seeds is the number of randomized schedules to run (random mode).
+	Seeds int
+	// DFS switches to systematic enumeration of interleavings in
+	// lexicographic order, up to MaxSchedules schedules.
+	DFS bool
+	// MaxSchedules bounds DFS enumeration (default 2000).
+	MaxSchedules int
+	// MaxSteps bounds one schedule's deliveries (default 100000); hitting
+	// the bound is reported as a liveness violation.
+	MaxSteps int
+	// FaultRate is the per-step probability of drawing a fault in random
+	// mode (crashes, stalls, edge stalls). Zero disables faults.
+	FaultRate float64
+	// Faults is an explicit fault plan, applied in every schedule (useful
+	// with DFS, which draws no random faults).
+	Faults []Fault
+	// FlipEdge is a test-only ordering-bug hook: the first time the named
+	// edge holds two or more messages, the second is delivered before the
+	// first — a single FIFO violation. Used to prove the explorer catches
+	// ordering bugs.
+	FlipEdge string
+	// Progress, when set, is called after every schedule.
+	Progress func(done int)
+}
+
+func (o Options) maxSteps() int {
+	if o.MaxSteps <= 0 {
+		return 100000
+	}
+	return o.MaxSteps
+}
+
+func (o Options) maxSchedules() int {
+	if o.MaxSchedules <= 0 {
+		return 2000
+	}
+	return o.MaxSchedules
+}
+
+// Violation describes one failing schedule, with everything needed to
+// replay it: the seed it was drawn from, the concrete decision sequence,
+// and the fault plan.
+type Violation struct {
+	Err     error
+	Seed    int64   // seed of the failing schedule (random mode; -1 for DFS)
+	Choices []int   // decision sequence (index into sorted enabled edges)
+	Faults  []Fault // concrete faults of the failing schedule
+	// Trace is the minimized failing schedule's delivery log.
+	Trace []string
+	// Minimized reports how many deliveries the minimized schedule has.
+	Minimized int
+}
+
+func (v *Violation) String() string {
+	if v == nil {
+		return "no violation"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariant violation: %v\n", v.Err)
+	if v.Seed >= 0 {
+		fmt.Fprintf(&b, "replay seed: %d\n", v.Seed)
+	} else {
+		fmt.Fprintf(&b, "found by DFS enumeration\n")
+	}
+	fmt.Fprintf(&b, "decision sequence (%d choices): %v\n", len(v.Choices), v.Choices)
+	if len(v.Faults) > 0 {
+		fmt.Fprintf(&b, "faults:\n")
+		for _, f := range v.Faults {
+			fmt.Fprintf(&b, "  %v\n", f)
+		}
+	}
+	fmt.Fprintf(&b, "minimal failing schedule (%d deliveries):\n", v.Minimized)
+	for _, l := range v.Trace {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	return b.String()
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	Schedules  int
+	Deliveries int64
+	Violation  *Violation
+}
+
+// Explore runs schedules from the factory until the budget is exhausted or
+// a violation is found. The first violation is minimized and returned.
+func Explore(f Factory, opts Options) (Result, error) {
+	if opts.DFS {
+		return exploreDFS(f, opts)
+	}
+	return exploreRandom(f, opts)
+}
+
+func exploreRandom(f Factory, opts Options) (Result, error) {
+	var res Result
+	n := opts.Seeds
+	if n <= 0 {
+		n = 1
+	}
+	for s := 0; s < n; s++ {
+		seed := opts.Seed + int64(s)
+		h, err := f()
+		if err != nil {
+			return res, err
+		}
+		r := newRunner(h, opts)
+		rng := rand.New(rand.NewSource(seed))
+		r.chooser = func(nChoices int) int { return rng.Intn(nChoices) }
+		if opts.FaultRate > 0 {
+			r.faultDraw = randomFaults(rng, opts.FaultRate, h)
+		}
+		r.faults = append(r.faults, opts.Faults...)
+		verr := r.run()
+		res.Schedules++
+		res.Deliveries += int64(r.step)
+		if opts.Progress != nil {
+			opts.Progress(res.Schedules)
+		}
+		if verr != nil {
+			res.Violation = minimize(f, opts, r, verr, seed)
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// exploreDFS enumerates decision vectors in lexicographic order: run with
+// the current prefix (zero-extended), record the branching factor at every
+// step, then advance the deepest advanceable digit. This visits every
+// interleaving of the (finite) message set, up to MaxSchedules.
+func exploreDFS(f Factory, opts Options) (Result, error) {
+	var res Result
+	prefix := []int{}
+	for res.Schedules < opts.maxSchedules() {
+		h, err := f()
+		if err != nil {
+			return res, err
+		}
+		r := newRunner(h, opts)
+		r.chooser = prefixChooser(r, prefix)
+		r.faults = append(r.faults, opts.Faults...)
+		verr := r.run()
+		res.Schedules++
+		res.Deliveries += int64(r.step)
+		if opts.Progress != nil {
+			opts.Progress(res.Schedules)
+		}
+		if verr != nil {
+			res.Violation = minimize(f, opts, r, verr, -1)
+			return res, nil
+		}
+		// Advance to the next decision vector.
+		next := append([]int(nil), r.choices...)
+		i := len(next) - 1
+		for i >= 0 && next[i]+1 >= r.branching[i] {
+			i--
+		}
+		if i < 0 {
+			return res, nil // space exhausted
+		}
+		next[i]++
+		prefix = next[:i+1]
+	}
+	return res, nil
+}
+
+func prefixChooser(r *runner, prefix []int) func(int) int {
+	return func(nChoices int) int {
+		if s := len(r.choices); s < len(prefix) {
+			c := prefix[s]
+			if c >= nChoices {
+				c = nChoices - 1
+			}
+			return c
+		}
+		return 0
+	}
+}
+
+// randomFaults draws faults from the schedule's rng: crash a rebuildable
+// node (restart drawn a few steps later), stall a node, or stall an edge.
+func randomFaults(rng *rand.Rand, rate float64, h *Harness) func(r *runner) []Fault {
+	var rebuildable []string
+	for id := range h.Rebuild {
+		rebuildable = append(rebuildable, id)
+	}
+	sort.Strings(rebuildable)
+	return func(r *runner) []Fault {
+		if rng.Float64() >= rate {
+			return nil
+		}
+		dur := 1 + rng.Intn(20)
+		switch rng.Intn(3) {
+		case 0:
+			if len(rebuildable) == 0 {
+				return nil
+			}
+			id := rebuildable[rng.Intn(len(rebuildable))]
+			if r.crashed[id] {
+				return nil
+			}
+			return []Fault{
+				{Step: r.step, Kind: Crash, Node: id},
+				{Step: r.step + dur, Kind: Restart, Node: id},
+			}
+		case 1:
+			ids := r.nodeIDs()
+			id := ids[rng.Intn(len(ids))]
+			if r.crashed[id] {
+				return nil
+			}
+			return []Fault{{Step: r.step, Kind: Stall, Node: id, Dur: dur}}
+		default:
+			keys := r.activeEdges()
+			if len(keys) == 0 {
+				return nil
+			}
+			return []Fault{{Step: r.step, Kind: EdgeStall, Edge: keys[rng.Intn(len(keys))], Dur: dur}}
+		}
+	}
+}
+
+// minimize shrinks a failing schedule by canonicalizing decisions: each
+// nonzero choice is tried at zero (the first-enabled-edge schedule), then
+// the fault list is pruned, greedily keeping every simplification that
+// still fails. The result is replayed once more to produce the trace.
+func minimize(f Factory, opts Options, failed *runner, verr error, seed int64) *Violation {
+	choices := append([]int(nil), failed.choices...)
+	faults := append([]Fault(nil), failed.recordedFaults...)
+
+	replay := func(ch []int, fs []Fault, wantTrace bool) (*runner, error) {
+		h, err := f()
+		if err != nil {
+			return nil, nil
+		}
+		r := newRunner(h, opts)
+		r.chooser = func(nChoices int) int {
+			if s := len(r.choices); s < len(ch) {
+				c := ch[s]
+				if c >= nChoices {
+					c = nChoices - 1
+				}
+				return c
+			}
+			return 0
+		}
+		r.faults = fs
+		r.keepTrace = wantTrace
+		return r, r.run()
+	}
+
+	// Drop faults one at a time. A Crash is always dropped together with
+	// its matching Restart — keeping an unmatched Crash would manufacture
+	// a spurious never-quiesces violation; a Restart is never dropped
+	// alone for the same reason.
+	for i := 0; i < len(faults); {
+		if faults[i].Kind == Restart {
+			i++
+			continue
+		}
+		drop := map[int]bool{i: true}
+		if faults[i].Kind == Crash {
+			for j := i + 1; j < len(faults); j++ {
+				if faults[j].Kind == Restart && faults[j].Node == faults[i].Node {
+					drop[j] = true
+					break
+				}
+			}
+		}
+		trial := make([]Fault, 0, len(faults)-len(drop))
+		for j, f := range faults {
+			if !drop[j] {
+				trial = append(trial, f)
+			}
+		}
+		if _, err := replay(choices, trial, false); err != nil {
+			faults = trial
+			continue
+		}
+		i++
+	}
+	// Canonicalize choices back-to-front; a zero suffix then truncates.
+	for i := len(choices) - 1; i >= 0; i-- {
+		if choices[i] == 0 {
+			continue
+		}
+		trial := append([]int(nil), choices...)
+		trial[i] = 0
+		if _, err := replay(trial, faults, false); err != nil {
+			choices = trial
+		}
+	}
+	for len(choices) > 0 && choices[len(choices)-1] == 0 {
+		choices = choices[:len(choices)-1]
+	}
+
+	r, err := replay(choices, faults, true)
+	v := &Violation{Seed: seed, Choices: choices, Faults: faults}
+	if r == nil || err == nil {
+		// Defensive: minimization lost the failure (a flaky invariant);
+		// fall back to the original schedule.
+		v.Err = verr
+		v.Choices = failed.choices
+		v.Faults = failed.recordedFaults
+		r2, err2 := replay(failed.choices, failed.recordedFaults, true)
+		if r2 != nil && err2 != nil {
+			v.Trace, v.Minimized = r2.trace, r2.step
+		}
+		return v
+	}
+	v.Err = err
+	v.Trace = r.trace
+	v.Minimized = r.step
+	return v
+}

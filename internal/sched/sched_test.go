@@ -1,0 +1,185 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func scale(t *testing.T, full int) int {
+	if testing.Short() {
+		return full / 10
+	}
+	return full
+}
+
+// TestDFSSPAComplete enumerates interleavings systematically: every
+// explored schedule of a complete-manager fleet must satisfy Thm 4.1 and
+// the §5 invariants.
+func TestDFSSPAComplete(t *testing.T) {
+	res, err := Explore(Fleet(FleetConfig{Algo: "spa", Updates: 2, Seed: 11}), Options{
+		DFS:          true,
+		MaxSchedules: scale(t, 1500),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("DFS found a violation:\n%v", res.Violation)
+	}
+	if res.Schedules < 10 {
+		t.Fatalf("DFS explored only %d schedules", res.Schedules)
+	}
+	t.Logf("DFS: %d schedules, %d deliveries", res.Schedules, res.Deliveries)
+}
+
+// TestDFSPAStrong does the same for the batching fleet under PA (Thm 5.1).
+func TestDFSPAStrong(t *testing.T) {
+	res, err := Explore(Fleet(FleetConfig{Algo: "pa", Updates: 2, Seed: 7}), Options{
+		DFS:          true,
+		MaxSchedules: scale(t, 1000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("DFS found a violation:\n%v", res.Violation)
+	}
+	t.Logf("DFS: %d schedules, %d deliveries", res.Schedules, res.Deliveries)
+}
+
+// TestRandomSchedules runs seed-randomized interleavings for both fleets.
+func TestRandomSchedules(t *testing.T) {
+	for _, algo := range []string{"spa", "pa"} {
+		res, err := Explore(Fleet(FleetConfig{Algo: algo, Updates: 5, Seed: 3}), Options{
+			Seed:  1000,
+			Seeds: scale(t, 300),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("%s: %v", algo, res.Violation)
+		}
+	}
+}
+
+// TestCrashRestartFaults injects crash/restart (with input-log replay),
+// node stalls and edge delay spikes; consistency must survive every one.
+func TestCrashRestartFaults(t *testing.T) {
+	for _, algo := range []string{"spa", "pa"} {
+		res, err := Explore(Fleet(FleetConfig{Algo: algo, Updates: 4, Seed: 9, Crashable: true}), Options{
+			Seed:      5000,
+			Seeds:     scale(t, 200),
+			FaultRate: 0.08,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("%s with faults: %v", algo, res.Violation)
+		}
+	}
+}
+
+// TestExplicitFaultPlan crashes each rebuildable node at a fixed point of
+// a DFS exploration (deterministic plans, no randomness).
+func TestExplicitFaultPlan(t *testing.T) {
+	for _, node := range []string{"vm:V1", "vm:V2", "merge:0"} {
+		res, err := Explore(Fleet(FleetConfig{Algo: "spa", Updates: 3, Seed: 2, Crashable: true}), Options{
+			DFS:          true,
+			MaxSchedules: scale(t, 300),
+			Faults: []Fault{
+				{Step: 5, Kind: Crash, Node: node},
+				{Step: 12, Kind: Restart, Node: node},
+				{Step: 3, Kind: Stall, Node: "warehouse", Dur: 6},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("crash of %s: %v", node, res.Violation)
+		}
+	}
+}
+
+// TestFlipEdgeBugCaught proves the harness catches ordering bugs: a single
+// deliberate FIFO violation on a view manager's channel must surface as an
+// invariant violation with a replayable seed and a minimized schedule.
+func TestFlipEdgeBugCaught(t *testing.T) {
+	opts := Options{
+		Seed:     42,
+		Seeds:    100,
+		FlipEdge: "vm:V1→merge:0",
+	}
+	res, err := Explore(Fleet(FleetConfig{Algo: "spa", Updates: 4, Seed: 1}), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("deliberate FIFO violation was not caught")
+	}
+	v := res.Violation
+	if v.Seed < opts.Seed || v.Seed >= opts.Seed+int64(opts.Seeds) {
+		t.Fatalf("violation seed %d outside explored range", v.Seed)
+	}
+	if len(v.Trace) == 0 || v.Minimized == 0 {
+		t.Fatalf("violation carries no minimized schedule: %+v", v)
+	}
+	if !strings.Contains(v.String(), "replay seed") {
+		t.Fatalf("violation report does not name the seed:\n%v", v)
+	}
+	// Replayability: the recorded decision sequence must reproduce the
+	// failure deterministically.
+	h, err := Fleet(FleetConfig{Algo: "spa", Updates: 4, Seed: 1})()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRunner(h, opts)
+	choices := v.Choices
+	r.chooser = func(n int) int {
+		if s := len(r.choices); s < len(choices) {
+			if choices[s] < n {
+				return choices[s]
+			}
+			return n - 1
+		}
+		return 0
+	}
+	r.faults = v.Faults
+	if err := r.run(); err == nil {
+		t.Fatal("minimized schedule did not reproduce the violation")
+	}
+	t.Logf("caught and minimized to %d deliveries:\n%v", v.Minimized, v)
+}
+
+// TestSeedDeterminism: identical seeds must produce identical schedules,
+// decision by decision — the property every failure report relies on.
+func TestSeedDeterminism(t *testing.T) {
+	run := func() ([]int, []string) {
+		h, err := Fleet(FleetConfig{Algo: "pa", Updates: 3, Seed: 5, Crashable: true})()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{FaultRate: 0.05}
+		r := newRunner(h, opts)
+		rng := rand.New(rand.NewSource(777))
+		r.chooser = func(n int) int { return rng.Intn(n) }
+		r.faultDraw = randomFaults(rng, opts.FaultRate, h)
+		r.keepTrace = true
+		if err := r.run(); err != nil {
+			t.Fatalf("unexpected violation: %v", err)
+		}
+		return r.choices, r.trace
+	}
+	c1, t1 := run()
+	c2, t2 := run()
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatalf("choices diverged:\n%v\n%v", c1, c2)
+	}
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatalf("traces diverged:\n%v\n%v", t1, t2)
+	}
+}

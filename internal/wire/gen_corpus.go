@@ -1,0 +1,71 @@
+//go:build ignore
+
+// Regenerates the checked-in seed corpus for FuzzEncodeDecode:
+//
+//	cd internal/wire && go run gen_corpus.go
+//
+// Each corpus file is one gob-framed Envelope in the "go test fuzz v1"
+// encoding, covering every serializable protocol message kind.
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/wire"
+)
+
+func main() {
+	rs := relation.MustSchema("A:int", "B:int")
+	mixed := relation.MustSchema("I:int", "S:string", "F:float", "B:bool")
+	d := relation.NewDelta(rs)
+	d.Add(relation.T(1, 2), 3)
+	d.Add(relation.T(4, 5), -1)
+	dm := relation.NewDelta(mixed)
+	dm.Add(relation.T(7, "x", 1.5, true), 2)
+
+	seeds := map[string]any{
+		"update": msg.Update{Seq: 7, Source: "src1", CommitAt: 42,
+			Writes: []msg.Write{{Relation: "R", Delta: d}},
+			Rel:    &msg.RelevantSet{Seq: 7, Views: []msg.ViewID{"V1", "V2"}, CommitAt: 42}},
+		"relevant-set": msg.RelevantSet{Seq: 9, Views: []msg.ViewID{"V1"}, CommitAt: 3},
+		"action-list": msg.ActionList{View: "V1", From: 3, Upto: 5, Delta: dm, Level: msg.Strong,
+			Rels: []msg.RelevantSet{{Seq: 4, Views: []msg.ViewID{"V1"}}}},
+		"action-list-staged": msg.ActionList{View: "V2", From: 1, Upto: 1, Staged: true},
+		"stage-delta":        msg.StageDelta{View: "V1", Upto: 5, Delta: d},
+		"commit-ack":         msg.CommitAck{ID: 11},
+		"warehouse-txn": msg.SubmitTxn{From: "merge:0", Txn: msg.WarehouseTxn{
+			ID: 9, Rows: []msg.UpdateID{3, 4}, DependsOn: []msg.TxnID{7}, CommitAt: 55,
+			Writes: []msg.ViewWrite{
+				{View: "V1", Upto: 4, Delta: d},
+				{View: "V2", Upto: 4, Staged: true},
+			}}},
+	}
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzEncodeDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	for name, m := range seeds {
+		w, err := wire.Encode(m)
+		if err != nil {
+			panic(err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(wire.Envelope{To: "vm:V1", Msg: w}); err != nil {
+			panic(err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(buf.String()))
+		path := filepath.Join(dir, "seed-"+name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
