@@ -6,54 +6,126 @@
 //
 // Usage:
 //
-//	mvcbench [-exp all|freshness|bottleneck|commit|distributed|promptness|overhead]
-//	         [-updates N] [-seed N]
+//	mvcbench [-exp all|freshness|bottleneck|straggler|commit|distributed|
+//	          promptness|overhead|filter|relay|staged|managers]
+//	         [-updates N] [-seed N] [-csv] [-json]
+//
+// -json writes the selected experiment's tables to BENCH_<exp>.json
+// (seed, updates, and every row) instead of rendering to stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"whips/internal/harness"
 )
 
+// experiment names one runnable -exp value. The ordered slice below is the
+// single source of truth for the usage string and the unknown-flag listing.
+type experiment struct {
+	name string
+	run  func(seed int64, updates int) []harness.Table
+}
+
+func one(f func(int64, int) harness.Table) func(int64, int) []harness.Table {
+	return func(seed int64, updates int) []harness.Table {
+		return []harness.Table{f(seed, updates)}
+	}
+}
+
+var experiments = []experiment{
+	{"all", harness.AllExperiments},
+	{"freshness", one(harness.FreshnessVsLoad)},
+	{"bottleneck", one(harness.MergeBottleneck)},
+	{"straggler", one(harness.StragglerVUT)},
+	{"commit", one(harness.CommitStrategies)},
+	{"distributed", one(harness.DistributedMergeScaling)},
+	{"promptness", one(harness.Promptness)},
+	{"overhead", one(harness.AlgorithmOverhead)},
+	{"filter", one(harness.FilterAblation)},
+	{"relay", one(harness.RelayAblation)},
+	{"staged", one(harness.StagedTransfer)},
+	{"managers", one(harness.ManagerComparison)},
+}
+
+func names() []string {
+	out := make([]string, len(experiments))
+	for i, e := range experiments {
+		out[i] = e.name
+	}
+	return out
+}
+
+// benchJSON is the -json output shape: enough to regenerate or diff a run.
+type benchJSON struct {
+	Experiment string       `json:"experiment"`
+	Seed       int64        `json:"seed"`
+	Updates    int          `json:"updates"`
+	Tables     []benchTable `json:"tables"`
+}
+
+type benchTable struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   string     `json:"notes,omitempty"`
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, freshness, bottleneck, straggler, commit, distributed, promptness, overhead, filter, relay, staged, managers")
+	exp := flag.String("exp", "all", "experiment: "+strings.Join(names(), ", "))
 	updates := flag.Int("updates", 200, "source transactions per run")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "write results to BENCH_<exp>.json instead of stdout")
 	seed := flag.Int64("seed", 1, "workload and latency seed")
 	flag.Parse()
 
 	var tables []harness.Table
-	switch *exp {
-	case "all":
-		tables = harness.AllExperiments(*seed, *updates)
-	case "freshness":
-		tables = []harness.Table{harness.FreshnessVsLoad(*seed, *updates)}
-	case "bottleneck":
-		tables = []harness.Table{harness.MergeBottleneck(*seed, *updates)}
-	case "commit":
-		tables = []harness.Table{harness.CommitStrategies(*seed, *updates)}
-	case "distributed":
-		tables = []harness.Table{harness.DistributedMergeScaling(*seed, *updates)}
-	case "promptness":
-		tables = []harness.Table{harness.Promptness(*seed, *updates)}
-	case "straggler":
-		tables = []harness.Table{harness.StragglerVUT(*seed, *updates)}
-	case "overhead":
-		tables = []harness.Table{harness.AlgorithmOverhead(*seed, *updates)}
-	case "filter":
-		tables = []harness.Table{harness.FilterAblation(*seed, *updates)}
-	case "relay":
-		tables = []harness.Table{harness.RelayAblation(*seed, *updates)}
-	case "staged":
-		tables = []harness.Table{harness.StagedTransfer(*seed, *updates)}
-	case "managers":
-		tables = []harness.Table{harness.ManagerComparison(*seed, *updates)}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+	found := false
+	for _, e := range experiments {
+		if e.name == *exp {
+			tables = e.run(*seed, *updates)
+			found = true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available experiments:\n", *exp)
+		for _, n := range names() {
+			fmt.Fprintf(os.Stderr, "  %s\n", n)
+		}
 		os.Exit(2)
+	}
+
+	if *jsonOut {
+		out := benchJSON{Experiment: *exp, Seed: *seed, Updates: *updates}
+		for _, t := range tables {
+			out.Tables = append(out.Tables, benchTable{
+				ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes,
+			})
+		}
+		path := fmt.Sprintf("BENCH_%s.json", *exp)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mvcbench: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "mvcbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "mvcbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d tables)\n", path, len(out.Tables))
+		return
 	}
 
 	if !*csv {

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 
+	"whips/internal/obs"
 	"whips/internal/sched"
 )
 
@@ -37,15 +38,56 @@ func main() {
 	faults := flag.Float64("faults", 0, "per-step fault probability (crash/restart, stalls, delay spikes)")
 	flipEdge := flag.String("flip-edge", "", "deliberate-bug hook: violate FIFO once on this edge (e.g. 'vm:V1→merge:0')")
 	maxSteps := flag.Int("max-steps", 0, "per-schedule delivery bound (0 = default)")
+	trace := flag.String("trace", "", "write per-stage JSONL trace events here (\"-\" for stderr) and print end-to-end freshness (virtual time) at exit")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
+
+	// -trace: every explored schedule streams its stage events to the JSONL
+	// sink, separated by "schedule" marker records. Update sequence numbers
+	// restart at 1 each schedule, so end-to-end spans are computed per
+	// schedule (the factory wrapper cuts the event stream at each rebuild)
+	// and summarized together at exit. Timestamps are virtual simulator
+	// time, not wall clock.
+	var spans []obs.Span
+	var mem *obs.MemorySink
+	var pipe *obs.Pipeline
+	var jsonl func(obs.Event)
+	var schedule int64
+	if *trace != "" {
+		out := os.Stderr
+		if *trace != "-" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mvcexplore: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			out = f
+		}
+		jsonl = obs.JSONLSink(out)
+		pipe = obs.NewPipeline()
+	}
 
 	factory := sched.Fleet(sched.FleetConfig{
 		Algo:      *algo,
 		Updates:   *updates,
 		Seed:      *dataSeed,
 		Crashable: *faults > 0,
+		Obs:       pipe,
 	})
+	if pipe != nil {
+		inner := factory
+		factory = func() (*sched.Harness, error) {
+			if mem != nil {
+				spans = append(spans, obs.EndToEnd(mem.Events())...)
+			}
+			schedule++
+			mem = &obs.MemorySink{}
+			pipe.Tracer = obs.NewTracer(jsonl, mem.Sink())
+			jsonl(obs.Event{Node: "explorer", Stage: "schedule", N: schedule})
+			return inner()
+		}
+	}
 	opts := sched.Options{
 		Seed:         *seed,
 		Seeds:        *seeds,
@@ -82,6 +124,10 @@ func main() {
 	}
 	fmt.Printf("explored %d schedules (%d deliveries) of the %s fleet, %d updates, %s\n",
 		res.Schedules, res.Deliveries, *algo, *updates, mode)
+	if mem != nil {
+		spans = append(spans, obs.EndToEnd(mem.Events())...)
+		fmt.Printf("%s (virtual time)\n", obs.Summarize(spans))
+	}
 	if res.Violation != nil {
 		fmt.Println(res.Violation.String())
 		os.Exit(1)

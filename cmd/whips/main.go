@@ -8,7 +8,12 @@
 //
 //	whips [-managers complete|query|batching|querybatch|refresh|completeN|convergent]
 //	      [-commit sequential|dependency|batched] [-updates N] [-seed N]
-//	      [-distributed] [-filter] [-batch N] [-jitter duration]
+//	      [-distributed] [-filter] [-batch N] [-jitter duration] [-trace file]
+//
+// -trace writes one JSONL trace event per pipeline stage each update
+// passes through (commit → route → al → rel → submit → wh_commit) to the
+// given file ("-" for stderr) and prints an end-to-end freshness summary
+// at exit.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"time"
 
 	"whips"
+	"whips/internal/obs"
 	"whips/internal/workload"
 )
 
@@ -33,6 +39,7 @@ func main() {
 	batch := flag.Int("batch", 4, "batch size for -commit batched")
 	jitter := flag.Duration("jitter", 200*time.Microsecond, "random per-edge message delay")
 	param := flag.Int("param", 2, "N for completeN / period for refresh")
+	trace := flag.String("trace", "", "write per-stage JSONL trace events here (\"-\" for stderr) and print end-to-end freshness at exit")
 	flag.Parse()
 
 	kind, ok := map[string]whips.ManagerKind{
@@ -58,6 +65,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Observability: metrics always collect (they are cheap); the tracer
+	// and its end-of-run freshness summary only exist under -trace.
+	pipe := obs.NewPipeline()
+	var mem *obs.MemorySink
+	if *trace != "" {
+		out := os.Stderr
+		if *trace != "-" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		mem = &obs.MemorySink{}
+		pipe.Tracer = obs.NewTracer(obs.JSONLSink(out), mem.Sink())
+	}
+
 	views := workload.PaperViews(kind)
 	for i := range views {
 		views[i].Param = *param
@@ -74,6 +99,7 @@ func main() {
 		LogStates:         true,
 		Jitter:            *jitter,
 		Seed:              *seed,
+		Obs:               pipe,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -118,5 +144,10 @@ func main() {
 	}
 	for id, v := range rep.PerView {
 		fmt.Printf("  %s: convergent=%v strong=%v complete=%v\n", id, v.Convergent, v.Strong, v.Complete)
+	}
+
+	if mem != nil {
+		spans := obs.EndToEnd(mem.Events())
+		fmt.Printf("\n%s\n", obs.Summarize(spans))
 	}
 }

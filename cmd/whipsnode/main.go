@@ -14,6 +14,13 @@
 // Terminal 2 (kill and restart freely; the run still finishes):
 //
 //	whipsnode -role managers -addr 127.0.0.1:7654
+//
+// Either role takes -debug host:port to serve live observability over
+// HTTP: /metrics (Prometheus text), /metrics.json, /debug/vars (expvar),
+// /healthz, /debug/vut (the live View Update Table as JSON, warehouse
+// role), and /debug/pprof. The warehouse role's -linger keeps the process
+// (and its debug server) alive after the run completes, so scripts can
+// scrape final metrics.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"whips/internal/integrator"
 	"whips/internal/merge"
 	"whips/internal/msg"
+	"whips/internal/obs"
 	"whips/internal/relation"
 	"whips/internal/runtime"
 	"whips/internal/source"
@@ -56,14 +64,16 @@ func main() {
 	updates := flag.Int("updates", 50, "updates to run (warehouse role)")
 	seed := flag.Int64("seed", 1, "seed for the workload and all connection jitter")
 	pace := flag.Duration("pace", 0, "delay between injected updates (warehouse role)")
+	debug := flag.String("debug", "", "serve /metrics, /healthz, /debug/vut and pprof on this host:port")
+	linger := flag.Duration("linger", 0, "keep running (and serving -debug) this long after the run completes (warehouse role)")
 	verbose := flag.Bool("v", false, "log connection lifecycle events")
 	flag.Parse()
 
 	switch *role {
 	case "warehouse":
-		runWarehouseSite(*addr, *updates, *seed, *pace, *verbose)
+		runWarehouseSite(*addr, *updates, *seed, *pace, *debug, *linger, *verbose)
 	case "managers":
-		runManagerSite(*addr, *seed, *verbose)
+		runManagerSite(*addr, *seed, *debug, *verbose)
 	default:
 		log.Fatalf("unknown -role %q (use warehouse or managers)", *role)
 	}
@@ -76,7 +86,7 @@ func sessionLogf(verbose bool) func(string, ...any) {
 	return log.Printf
 }
 
-func runWarehouseSite(addr string, updates int, seed int64, pace time.Duration, verbose bool) {
+func runWarehouseSite(addr string, updates int, seed int64, pace time.Duration, debug string, linger time.Duration, verbose bool) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatal(err)
@@ -84,7 +94,10 @@ func runWarehouseSite(addr string, updates int, seed int64, pace time.Duration, 
 	defer ln.Close()
 	fmt.Printf("warehouse site listening on %s (seed %d)\n", addr, seed)
 
+	pipe := obs.NewPipeline()
+
 	cluster := source.NewCluster(func() int64 { return time.Now().UnixNano() })
+	cluster.SetObs(pipe)
 	cluster.AddSource("src1")
 	must(cluster.LoadRelation("src1", "R", relation.FromTuples(rSchema, relation.T(1, 2))))
 	must(cluster.CreateRelation("src1", "S", sSchema))
@@ -93,21 +106,33 @@ func runWarehouseSite(addr string, updates int, seed int64, pace time.Duration, 
 	integ := integrator.New([]integrator.ViewInfo{
 		{ID: "V1", Expr: vs["V1"]},
 		{ID: "V2", Expr: vs["V2"]},
-	})
+	}, integrator.WithObs(pipe))
 	initial := map[msg.ViewID]*relation.Relation{}
 	for id, e := range vs {
 		v, err := expr.Eval(e, cluster.DatabaseAt(0))
 		must(err)
 		initial[id] = v
 	}
-	wh := warehouse.New(initial, warehouse.WithStateLog())
-	mp := merge.New(0, merge.SPA, merge.NewSequential(msg.NodeMerge(0), 0))
+	wh := warehouse.New(initial, warehouse.WithStateLog(), warehouse.WithObs(pipe))
+	mp := merge.New(0, merge.SPA, merge.NewSequential(msg.NodeMerge(0), 0), merge.WithObs(pipe))
+
+	dbg, err := obs.ServeDebug(debug, obs.DebugServer{
+		Reg:  pipe.Reg(),
+		Role: "warehouse",
+		VUT:  func() any { return []merge.VUTSnapshot{mp.SnapshotVUT()} },
+	})
+	must(err)
+	if dbg != nil {
+		fmt.Printf("debug server on http://%s (metrics, healthz, debug/vut, debug/pprof)\n", debug)
+		defer dbg.Close()
+	}
 
 	var rtnet *runtime.Network
 	sess := wire.NewSession(wire.SessionConfig{
 		Name:    "warehouse-site",
 		Deliver: func(from, to string, m any) { rtnet.Inject(to, m) },
 		Logf:    sessionLogf(verbose),
+		Obs:     pipe,
 	})
 	defer sess.Close()
 	rtnet = runtime.New(
@@ -117,6 +142,7 @@ func runWarehouseSite(addr string, updates int, seed int64, pace time.Duration, 
 				log.Printf("send: %v", err)
 			}
 		}),
+		runtime.WithObs(pipe),
 	)
 	rtnet.Start()
 	defer rtnet.Stop()
@@ -163,10 +189,22 @@ func runWarehouseSite(addr string, updates int, seed int64, pace time.Duration, 
 		log.Fatalf("expected complete MVC (seed %d)", seed)
 	}
 	fmt.Println("OK")
+	if linger > 0 {
+		fmt.Printf("lingering %v for metric scrapes\n", linger)
+		time.Sleep(linger)
+	}
 }
 
-func runManagerSite(addr string, seed int64, verbose bool) {
+func runManagerSite(addr string, seed int64, debug string, verbose bool) {
 	fmt.Printf("manager site hosting view managers V1, V2; dialing %s\n", addr)
+
+	pipe := obs.NewPipeline()
+	dbg, err := obs.ServeDebug(debug, obs.DebugServer{Reg: pipe.Reg(), Role: "managers"})
+	must(err)
+	if dbg != nil {
+		fmt.Printf("debug server on http://%s (metrics, healthz, debug/pprof)\n", debug)
+		defer dbg.Close()
+	}
 
 	vs := views()
 	// Replicas seed from the warehouse site's initial contents, which this
@@ -178,9 +216,9 @@ func runManagerSite(addr string, seed int64, verbose bool) {
 		"R": relation.FromTuples(rSchema, relation.T(1, 2)),
 		"S": relation.New(sSchema),
 	}
-	vm1, err := viewmgr.NewComplete(viewmgr.Config{View: "V1", Expr: vs["V1"], Merge: msg.NodeMerge(0)}, init)
+	vm1, err := viewmgr.NewComplete(viewmgr.Config{View: "V1", Expr: vs["V1"], Merge: msg.NodeMerge(0), Obs: pipe}, init)
 	must(err)
-	vm2, err := viewmgr.NewComplete(viewmgr.Config{View: "V2", Expr: vs["V2"], Merge: msg.NodeMerge(0)}, init)
+	vm2, err := viewmgr.NewComplete(viewmgr.Config{View: "V2", Expr: vs["V2"], Merge: msg.NodeMerge(0), Obs: pipe}, init)
 	must(err)
 
 	var rtnet *runtime.Network
@@ -192,6 +230,7 @@ func runManagerSite(addr string, seed int64, verbose bool) {
 		},
 		Backoff: wire.Backoff{Base: 20 * time.Millisecond, Max: time.Second, Seed: seed},
 		Logf:    sessionLogf(verbose),
+		Obs:     pipe,
 	})
 	defer sess.Close()
 	rtnet = runtime.New(
@@ -201,6 +240,7 @@ func runManagerSite(addr string, seed int64, verbose bool) {
 				log.Printf("send: %v", err)
 			}
 		}),
+		runtime.WithObs(pipe),
 	)
 	rtnet.Start()
 	defer rtnet.Stop()

@@ -10,6 +10,7 @@ import (
 
 	"whips/internal/expr"
 	"whips/internal/msg"
+	"whips/internal/obs"
 )
 
 // ViewInfo describes one registered view from the integrator's perspective.
@@ -33,6 +34,11 @@ type Integrator struct {
 	groups   map[int]bool
 	lastSeq  msg.UpdateID
 	received int64
+
+	obsp     *obs.Pipeline
+	updates  *obs.Counter
+	emptyRel *obs.Counter
+	fanout   *obs.Histogram
 }
 
 // Option configures the integrator.
@@ -42,6 +48,7 @@ type opts struct {
 	filter       bool
 	sendEmptyRel bool
 	relayRel     bool
+	obsp         *obs.Pipeline
 }
 
 // WithRelevanceFilter enables per-tuple irrelevance filtering (paper's
@@ -53,6 +60,9 @@ func WithEmptyRelevantSets() Option { return func(o *opts) { o.sendEmptyRel = tr
 
 // WithRelayedRelevantSets enables §3.2's alternative REL routing.
 func WithRelayedRelevantSets() Option { return func(o *opts) { o.relayRel = true } }
+
+// WithObs attaches the observability pipeline.
+func WithObs(p *obs.Pipeline) Option { return func(o *opts) { o.obsp = p } }
 
 // New builds an integrator for the given views.
 func New(views []ViewInfo, options ...Option) *Integrator {
@@ -68,6 +78,13 @@ func New(views []ViewInfo, options ...Option) *Integrator {
 	}
 	for _, v := range views {
 		in.groups[v.MergeGroup] = true
+	}
+	if o.obsp != nil {
+		in.obsp = o.obsp
+		r := o.obsp.Reg()
+		in.updates = r.Counter("integrator_updates_total")
+		in.emptyRel = r.Counter("integrator_empty_rel_total")
+		in.fanout = r.Histogram("integrator_fanout", obs.SizeBuckets())
 	}
 	return in
 }
@@ -103,6 +120,21 @@ func (in *Integrator) Handle(m any, now int64) []msg.Outbound {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	in.updates.Inc()
+	in.fanout.Observe(int64(len(ids)))
+	if len(ids) == 0 {
+		in.emptyRel.Inc()
+	}
+	if in.obsp.Tracing() {
+		views := make([]string, len(ids))
+		for i, id := range ids {
+			views[i] = string(id)
+		}
+		in.obsp.Trace(obs.Event{
+			TS: now, Node: in.ID(), Stage: obs.StageRoute,
+			Seq: int64(u.Seq), Views: views,
+		})
+	}
 
 	// §3.2 step 3: send RELᵢ to each merge process coordinating a relevant
 	// view, restricted to that group's views.

@@ -22,9 +22,12 @@ package merge
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"whips/internal/msg"
+	"whips/internal/obs"
 )
 
 // Algorithm selects the coordination algorithm.
@@ -115,6 +118,14 @@ type row struct {
 	views    []msg.ViewID // sorted, for deterministic iteration
 	// wt is WTᵢ: the action lists collected for this row.
 	wt []heldAL
+	// Promptness bookkeeping (§4.4). createdAt is REL arrival; readyAt is
+	// when the last white entry turned red (every needed list present);
+	// unblockAt is the newest state change that made the row a dispatch
+	// candidate. The promptness gap at submission — time the row sat
+	// applicable but unapplied — is now minus the later of the two.
+	createdAt int64
+	readyAt   int64
+	unblockAt int64
 }
 
 type heldAL struct {
@@ -229,6 +240,13 @@ type Stats struct {
 	// DeltaTuples counts tuple changes flowing through the merge process —
 	// zero for §6.3 staged (out-of-band) lists, whose data bypasses it.
 	DeltaTuples int64
+	// Promptness gap (§4.4): per submitted transaction, the time between
+	// the moment its rows became applicable and the submission. The
+	// painting algorithms are prompt, so the gap is 0 whenever cascades
+	// run synchronously (same Handle call, same clock reading).
+	PromptGapCount int64
+	PromptGapSum   int64
+	PromptGapMax   int64
 }
 
 // TraceEvent is emitted (when tracing is enabled) after each state change,
@@ -244,6 +262,11 @@ type TraceEvent struct {
 
 // Merge is the merge process. It implements msg.Node.
 type Merge struct {
+	// mu makes the public inspection surface (Stats, RenderVUT,
+	// VUTSnapshot) safe against the node goroutine running Handle — the
+	// debug HTTP server and whips.Stats() read from other goroutines.
+	mu sync.Mutex
+
 	group     int
 	algorithm Algorithm
 	strategy  Strategy
@@ -270,6 +293,47 @@ type Merge struct {
 
 	stats Stats
 	trace func(TraceEvent)
+
+	obsp *obs.Pipeline
+	mo   mergeObs
+}
+
+// mergeObs holds the merge process's metric handles, resolved once at
+// construction. All fields are nil (no-op) without WithObs.
+type mergeObs struct {
+	rels, als, txns  *obs.Counter
+	rowsTotal        *obs.Counter
+	paintWR, paintRG *obs.Counter
+	deltaTuples      *obs.Counter
+	live, liveMax    *obs.Gauge
+	heldALs          *obs.Gauge
+	hold, residency  *obs.Histogram
+	promptGap        *obs.Histogram
+	txnWrites        *obs.Histogram
+	alTransport      *obs.Histogram
+}
+
+func newMergeObs(p *obs.Pipeline, group int) mergeObs {
+	r := p.Reg()
+	g := strconv.Itoa(group)
+	lat, size := obs.LatencyBuckets(), obs.SizeBuckets()
+	return mergeObs{
+		rels:        r.Counter("merge_rels_total", "group", g),
+		als:         r.Counter("merge_als_total", "group", g),
+		txns:        r.Counter("merge_txns_total", "group", g),
+		rowsTotal:   r.Counter("merge_vut_rows_total", "group", g),
+		paintWR:     r.Counter("merge_paint_white_red_total", "group", g),
+		paintRG:     r.Counter("merge_paint_red_gray_total", "group", g),
+		deltaTuples: r.Counter("merge_delta_tuples_total", "group", g),
+		live:        r.Gauge("merge_vut_live", "group", g),
+		liveMax:     r.Gauge("merge_vut_live_max", "group", g),
+		heldALs:     r.Gauge("merge_held_als", "group", g),
+		hold:        r.Histogram("merge_hold_ns", lat, "group", g),
+		residency:   r.Histogram("merge_vut_residency_ns", lat, "group", g),
+		promptGap:   r.Histogram("merge_prompt_gap_ns", lat, "group", g),
+		txnWrites:   r.Histogram("merge_txn_writes", size, "group", g),
+		alTransport: r.Histogram("merge_al_transport_ns", lat, "group", g),
+	}
 }
 
 // Option configures a Merge.
@@ -286,6 +350,10 @@ func WithRelayedRELs() Option {
 	}
 }
 
+// WithObs attaches the observability pipeline: per-group metrics plus
+// per-update trace events keyed by the update sequence number.
+func WithObs(p *obs.Pipeline) Option { return func(m *Merge) { m.obsp = p } }
+
 // New builds a merge process for group (0 for single-merge systems) running
 // algorithm with the given commit strategy. strategy must not be shared
 // between merge processes.
@@ -301,6 +369,9 @@ func New(group int, algorithm Algorithm, strategy Strategy, opts ...Option) *Mer
 	for _, o := range opts {
 		o(m)
 	}
+	if m.obsp != nil {
+		m.mo = newMergeObs(m.obsp, group)
+	}
 	return m
 }
 
@@ -310,8 +381,11 @@ func (m *Merge) ID() string { return msg.NodeMerge(m.group) }
 // Algorithm returns the configured algorithm.
 func (m *Merge) Algorithm() Algorithm { return m.algorithm }
 
-// Stats returns a copy of the counters.
+// Stats returns a copy of the counters. Safe to call concurrently with
+// the node goroutine.
 func (m *Merge) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	s := m.stats
 	s.RowsLive = len(m.rows)
 	return s
@@ -319,6 +393,8 @@ func (m *Merge) Stats() Stats {
 
 // Handle implements msg.Node.
 func (m *Merge) Handle(in any, now int64) []msg.Outbound {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	switch t := in.(type) {
 	case msg.RelevantSet:
 		return m.onRelevantSet(t, now)
@@ -337,6 +413,13 @@ func (m *Merge) Handle(in any, now int64) []msg.Outbound {
 // receives RELi") and processes any buffered action lists for it.
 func (m *Merge) onRelevantSet(rel msg.RelevantSet, now int64) []msg.Outbound {
 	m.stats.RELsReceived++
+	m.mo.rels.Inc()
+	if m.obsp.Tracing() {
+		m.obsp.Trace(obs.Event{
+			TS: now, Node: m.ID(), Stage: obs.StageREL,
+			Seq: int64(rel.Seq), Views: viewNames(rel.Views),
+		})
+	}
 	if m.algorithm == Forward {
 		return nil
 	}
@@ -360,10 +443,12 @@ func (m *Merge) onRelevantSet(rel msg.RelevantSet, now int64) []msg.Outbound {
 		m.relFrontier = rel.Seq
 	}
 	r := &row{
-		seq:      rel.Seq,
-		commitAt: rel.CommitAt,
-		entries:  make(map[msg.ViewID]*entry, len(rel.Views)),
-		views:    append([]msg.ViewID(nil), rel.Views...),
+		seq:       rel.Seq,
+		commitAt:  rel.CommitAt,
+		entries:   make(map[msg.ViewID]*entry, len(rel.Views)),
+		views:     append([]msg.ViewID(nil), rel.Views...),
+		createdAt: now,
+		unblockAt: now,
 	}
 	sort.Slice(r.views, func(i, j int) bool { return r.views[i] < r.views[j] })
 	allGray := true
@@ -381,6 +466,7 @@ func (m *Merge) onRelevantSet(rel msg.RelevantSet, now int64) []msg.Outbound {
 				col.reds = addSorted(col.reds, rel.Seq)
 				joined = append(joined, rng.upto)
 				allGray = false
+				m.mo.paintWR.Inc() // born red: the covering list subsumed white
 			} else {
 				r.entries[v] = &entry{color: Gray, state: rng.upto}
 			}
@@ -390,11 +476,15 @@ func (m *Merge) onRelevantSet(rel msg.RelevantSet, now int64) []msg.Outbound {
 		col.whites = addSorted(col.whites, rel.Seq)
 		allGray = false
 	}
+	m.markReady(r, now) // rows born without white entries are ready at once
 	m.rows[rel.Seq] = r
 	m.insertRowSeq(rel.Seq)
 	if len(m.rows) > m.stats.MaxRowsLive {
 		m.stats.MaxRowsLive = len(m.rows)
 	}
+	m.mo.rowsTotal.Inc()
+	m.mo.live.Set(int64(len(m.rows)))
+	m.mo.liveMax.SetMax(int64(len(m.rows)))
 	m.emitTrace("rel", rel.Seq, "", nil)
 
 	// Drain every column's waiting queue: lists process strictly in
@@ -455,6 +545,17 @@ func (m *Merge) onActionList(al msg.ActionList, now int64) []msg.Outbound {
 		return append(out, m.onActionList(al, now)...)
 	}
 	m.stats.ALsReceived++
+	m.mo.als.Inc()
+	if al.EmittedAt > 0 && now >= al.EmittedAt {
+		m.mo.alTransport.Observe(now - al.EmittedAt)
+	}
+	if m.obsp.Tracing() {
+		m.obsp.Trace(obs.Event{
+			TS: now, Node: m.ID(), Stage: obs.StageALRecv,
+			Seq: int64(al.Upto), View: string(al.View),
+			From: int64(al.From), Upto: int64(al.Upto),
+		})
+	}
 	h := heldAL{al: al, receivedAt: now}
 	if m.algorithm == Forward {
 		// §6.3: pass along everything; convergence only.
@@ -468,6 +569,7 @@ func (m *Merge) onActionList(al msg.ActionList, now int64) []msg.Outbound {
 		// processing out of generation order would mis-cover white rows.
 		col.waiting = append(col.waiting, h)
 		m.stats.HeldALs++
+		m.mo.heldALs.Set(m.stats.HeldALs)
 		m.emitTrace("al", al.Upto, al.View, nil)
 		return nil
 	}
@@ -498,6 +600,8 @@ func (m *Merge) processAction(h heldAL, now int64) []msg.Outbound {
 		}
 		e.color = Red
 		col.reds = addSorted(col.reds, al.Upto)
+		m.mo.paintWR.Inc()
+		m.markReady(r, now)
 	case PA:
 		// §5: the list covers every white row ≤ i in this column; they all
 		// turn red with state = i. The covered range is remembered so a
@@ -507,10 +611,13 @@ func (m *Merge) processAction(h heldAL, now int64) []msg.Outbound {
 			panic(fmt.Sprintf("merge: duplicate %s", al))
 		}
 		for _, w := range col.takeWhitesUpTo(al.Upto) {
-			we := m.rows[w].entries[al.View]
+			wr := m.rows[w]
+			we := wr.entries[al.View]
 			we.color = Red
 			we.state = al.Upto
 			col.reds = addSorted(col.reds, w)
+			m.mo.paintWR.Inc()
+			m.markReady(wr, now)
 		}
 		col.covered = append(col.covered, coveredRange{from: al.From, upto: al.Upto})
 	}
@@ -527,12 +634,29 @@ func (m *Merge) drainColumn(col *column, now int64) []msg.Outbound {
 		h := col.waiting[0]
 		col.waiting = col.waiting[1:]
 		m.stats.HeldALs--
+		m.mo.heldALs.Set(m.stats.HeldALs)
 		out = append(out, m.processAction(h, now)...)
 	}
 	return out
 }
 
-// dispatchRow runs the algorithm-specific ProcessRow entry point.
+// markReady stamps the moment the row's last white entry disappeared —
+// from then on only cross-row dependencies can hold it back.
+func (m *Merge) markReady(r *row, now int64) {
+	if r.readyAt != 0 {
+		return
+	}
+	for _, v := range r.views {
+		if r.entries[v].color == White {
+			return
+		}
+	}
+	r.readyAt = now
+}
+
+// dispatchRow runs the algorithm-specific ProcessRow entry point. The
+// per-row unblockAt stamp lives inside spaProcessRow/paTryRow so cascade
+// recursion (which bypasses dispatchRow) is stamped too.
 func (m *Merge) dispatchRow(i msg.UpdateID, now int64) []msg.Outbound {
 	switch m.algorithm {
 	case SPA:
@@ -567,6 +691,7 @@ func (m *Merge) purgeRow(i msg.UpdateID) {
 	if n < len(m.rowSeqs) && m.rowSeqs[n] == i {
 		m.rowSeqs = append(m.rowSeqs[:n], m.rowSeqs[n+1:]...)
 	}
+	m.mo.live.Set(int64(len(m.rows)))
 	m.emitTrace("purge", i, "", nil)
 }
 
@@ -585,6 +710,7 @@ func (m *Merge) submitRows(now int64, rows []msg.UpdateID, held []heldAL, _ msg.
 		writes = append(writes, msg.ViewWrite{View: h.al.View, Upto: h.al.Upto, Delta: h.al.Delta, Staged: h.al.Staged})
 		if !h.al.Staged {
 			m.stats.DeltaTuples += h.al.Delta.Size()
+			m.mo.deltaTuples.Add(h.al.Delta.Size())
 		}
 		m.stats.HoldCount++
 		lat := now - h.receivedAt
@@ -592,6 +718,42 @@ func (m *Merge) submitRows(now int64, rows []msg.UpdateID, held []heldAL, _ msg.
 		if lat > m.stats.HoldMax {
 			m.stats.HoldMax = lat
 		}
+		m.mo.hold.Observe(lat)
+	}
+	// Promptness gap (§4.4): time since the last state change that made
+	// this transaction's rows applicable. The painting algorithms cascade
+	// synchronously within one Handle call, so the gap is 0 on every
+	// conforming trace; a positive gap means eligible work sat in the VUT.
+	var eligibleAt int64
+	sawRow := false
+	for _, i := range rows {
+		if r := m.rows[i]; r != nil {
+			sawRow = true
+			if r.readyAt > eligibleAt {
+				eligibleAt = r.readyAt
+			}
+			if r.unblockAt > eligibleAt {
+				eligibleAt = r.unblockAt
+			}
+			m.mo.residency.Observe(now - r.createdAt)
+		}
+	}
+	if sawRow {
+		gap := now - eligibleAt
+		m.stats.PromptGapCount++
+		m.stats.PromptGapSum += gap
+		if gap > m.stats.PromptGapMax {
+			m.stats.PromptGapMax = gap
+		}
+		m.mo.promptGap.Observe(gap)
+	}
+	m.mo.txns.Inc()
+	m.mo.txnWrites.Observe(int64(len(writes)))
+	if m.obsp.Tracing() {
+		m.obsp.Trace(obs.Event{
+			TS: now, Node: m.ID(), Stage: obs.StageSubmit,
+			Rows: seqInts(rows), N: int64(len(writes)),
+		})
 	}
 	// CommitAt carries the earliest source commit covered, for freshness
 	// accounting downstream.
@@ -644,7 +806,14 @@ func mergeDeltas(writes []msg.ViewWrite) []msg.ViewWrite {
 
 // RenderVUT renders the live VUT like the paper's tables: one line per row,
 // entries as w/r/g (black shown as b), with PA states as (color,state).
+// Safe to call concurrently with the node goroutine.
 func (m *Merge) RenderVUT() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.renderVUTLocked()
+}
+
+func (m *Merge) renderVUTLocked() string {
 	views := make([]msg.ViewID, 0, len(m.cols))
 	for v := range m.cols {
 		views = append(views, v)
@@ -676,5 +845,73 @@ func (m *Merge) emitTrace(kind string, seq msg.UpdateID, view msg.ViewID, rows [
 	if m.trace == nil {
 		return
 	}
-	m.trace(TraceEvent{Kind: kind, Seq: seq, View: view, Rows: rows, VUT: m.RenderVUT()})
+	m.trace(TraceEvent{Kind: kind, Seq: seq, View: view, Rows: rows, VUT: m.renderVUTLocked()})
+}
+
+// VUTRow is one live VUT row in a VUTSnapshot.
+type VUTRow struct {
+	Seq       int64             `json:"seq"`
+	CommitAt  int64             `json:"commit_at"`
+	CreatedAt int64             `json:"created_at"`
+	Entries   map[string]string `json:"entries"` // view -> w/r/g (PA: "r@state")
+	HeldALs   int               `json:"held_als"`
+}
+
+// VUTSnapshot is a point-in-time JSON-friendly copy of the live
+// ViewUpdateTable, served by whipsnode's /debug/vut endpoint.
+type VUTSnapshot struct {
+	Group       int      `json:"group"`
+	Algorithm   string   `json:"algorithm"`
+	Rows        []VUTRow `json:"rows"`
+	WaitingALs  int64    `json:"waiting_als"`
+	RELFrontier int64    `json:"rel_frontier"`
+}
+
+// SnapshotVUT copies the live VUT. Safe to call concurrently with the
+// node goroutine.
+func (m *Merge) SnapshotVUT() VUTSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := VUTSnapshot{
+		Group:       m.group,
+		Algorithm:   m.algorithm.String(),
+		Rows:        []VUTRow{},
+		WaitingALs:  m.stats.HeldALs,
+		RELFrontier: int64(m.relFrontier),
+	}
+	for _, i := range m.rowSeqs {
+		r := m.rows[i]
+		vr := VUTRow{
+			Seq:       int64(i),
+			CommitAt:  r.commitAt,
+			CreatedAt: r.createdAt,
+			Entries:   make(map[string]string, len(r.entries)),
+			HeldALs:   len(r.wt),
+		}
+		for v, e := range r.entries {
+			c := e.color.String()
+			if m.algorithm == PA && e.state != 0 {
+				c = fmt.Sprintf("%s@%d", c, e.state)
+			}
+			vr.Entries[string(v)] = c
+		}
+		s.Rows = append(s.Rows, vr)
+	}
+	return s
+}
+
+func viewNames(vs []msg.ViewID) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = string(v)
+	}
+	return out
+}
+
+func seqInts(vs []msg.UpdateID) []int64 {
+	out := make([]int64, len(vs))
+	for i, v := range vs {
+		out[i] = int64(v)
+	}
+	return out
 }

@@ -1,0 +1,153 @@
+package merge
+
+import (
+	"reflect"
+	"testing"
+
+	"whips/internal/msg"
+	"whips/internal/obs"
+)
+
+// TestSPAPromptnessGapZero replays the paper's §4 worked example (Example
+// 3) with wall-clock time advancing between messages and asserts the
+// measured promptness gap is exactly zero for every submitted transaction:
+// SPA dispatches and painting cascades run synchronously inside the Handle
+// call that completes a row, so no row ever sits applicable-but-unapplied
+// across a clock tick (§4.4 promptness).
+func TestSPAPromptnessGapZero(t *testing.T) {
+	rec := &recorder{}
+	pipe := obs.NewPipeline()
+	mem := &obs.MemorySink{}
+	pipe.Tracer = obs.NewTracer(mem.Sink())
+	m := New(0, SPA, rec, WithObs(pipe))
+
+	// Same feed as TestExample3SPATrace, but each message arrives at a
+	// strictly later time.
+	now := int64(1_000)
+	step := func(x any) {
+		now += 50_000 // 50µs between arrivals
+		m.Handle(x, now)
+	}
+	step(rel(1, "V1", "V2"))
+	step(al("V2", 1, 1))
+	step(rel(2, "V3"))
+	step(rel(3, "V2"))
+	step(al("V3", 2, 2))
+	step(al("V2", 3, 3))
+	step(al("V1", 1, 1))
+
+	if got := rowsOf(rec); !reflect.DeepEqual(got, [][]msg.UpdateID{{2}, {1}, {3}}) {
+		t.Fatalf("apply order = %v, want [[2] [1] [3]]", got)
+	}
+
+	st := m.Stats()
+	if st.PromptGapCount != 3 {
+		t.Errorf("PromptGapCount = %d, want 3", st.PromptGapCount)
+	}
+	if st.PromptGapSum != 0 || st.PromptGapMax != 0 {
+		t.Errorf("promptness gap nonzero: sum=%d max=%d (SPA must apply rows the instant they become applicable)",
+			st.PromptGapSum, st.PromptGapMax)
+	}
+
+	snap := pipe.Reg().Snapshot()
+	hist, ok := snap.Histograms[`merge_prompt_gap_ns{group="0"}`]
+	if !ok {
+		t.Fatalf("merge_prompt_gap_ns histogram missing; have %v", snap.Histograms)
+	}
+	if hist.Count != 3 || hist.Sum != 0 || hist.Max != 0 {
+		t.Errorf("prompt gap histogram = %+v, want count=3 sum=0 max=0", hist)
+	}
+
+	// The trace must carry one rel event per update and submit/wh-bound
+	// events whose Rows reconstruct the apply order.
+	var rels, submits int
+	var submitted [][]int64
+	for _, e := range mem.Events() {
+		switch e.Stage {
+		case obs.StageREL:
+			rels++
+		case obs.StageSubmit:
+			submits++
+			submitted = append(submitted, e.Rows)
+		}
+	}
+	if rels != 3 || submits != 3 {
+		t.Errorf("trace: rels=%d submits=%d, want 3/3", rels, submits)
+	}
+	if !reflect.DeepEqual(submitted, [][]int64{{2}, {1}, {3}}) {
+		t.Errorf("traced submit rows = %v", submitted)
+	}
+}
+
+// TestMergeObsCounters sanity-checks the remaining merge metrics on the
+// same example: REL/AL totals, paint transitions, and the VUT live gauge
+// returning to zero.
+func TestMergeObsCounters(t *testing.T) {
+	rec := &recorder{}
+	pipe := obs.NewPipeline()
+	m := New(0, SPA, rec, WithObs(pipe))
+	feed(t, m, rel(1, "V1", "V2"))
+	feed(t, m, al("V2", 1, 1))
+	feed(t, m, al("V1", 1, 1))
+
+	snap := pipe.Reg().Snapshot()
+	g := func(kind, name string) int64 {
+		key := name + `{group="0"}`
+		switch kind {
+		case "c":
+			return snap.Counters[key]
+		case "g":
+			return snap.Gauges[key]
+		}
+		return -1
+	}
+	if v := g("c", "merge_rels_total"); v != 1 {
+		t.Errorf("merge_rels_total = %d", v)
+	}
+	if v := g("c", "merge_als_total"); v != 2 {
+		t.Errorf("merge_als_total = %d", v)
+	}
+	if v := g("c", "merge_vut_rows_total"); v != 1 {
+		t.Errorf("merge_vut_rows_total = %d", v)
+	}
+	if v := g("c", "merge_paint_white_red_total"); v != 2 {
+		t.Errorf("merge_paint_white_red_total = %d", v)
+	}
+	if v := g("c", "merge_txns_total"); v != 1 {
+		t.Errorf("merge_txns_total = %d", v)
+	}
+	if v := g("g", "merge_vut_live"); v != 0 {
+		t.Errorf("merge_vut_live = %d, want 0 after purge", v)
+	}
+	if v := g("g", "merge_vut_live_max"); v != 1 {
+		t.Errorf("merge_vut_live_max = %d", v)
+	}
+}
+
+// TestSnapshotVUT exercises the structured VUT snapshot the debug server
+// serves: live rows with entry colors, then empty after completion.
+func TestSnapshotVUT(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, SPA, rec)
+	feed(t, m, rel(1, "V1", "V2"), al("V2", 1, 1))
+
+	s := m.SnapshotVUT()
+	if s.Group != 0 || s.Algorithm != "SPA" {
+		t.Errorf("snapshot header = %+v", s)
+	}
+	if len(s.Rows) != 1 || s.Rows[0].Seq != 1 {
+		t.Fatalf("snapshot rows = %+v", s.Rows)
+	}
+	ents := s.Rows[0].Entries
+	if ents["V1"] != "w" || ents["V2"] != "r" {
+		t.Errorf("entries = %v", ents)
+	}
+	if s.Rows[0].HeldALs != 1 {
+		t.Errorf("HeldALs = %d", s.Rows[0].HeldALs)
+	}
+
+	feed(t, m, al("V1", 1, 1))
+	if s := m.SnapshotVUT(); len(s.Rows) != 0 {
+		t.Errorf("VUT should be empty, got %+v", s.Rows)
+	}
+}

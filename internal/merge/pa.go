@@ -21,6 +21,11 @@ import (
 // and lines 6–10 run once, after the closure fully verifies. The applied
 // transactions are identical on every trace the paper works out.
 func (m *Merge) paTryRow(i msg.UpdateID, now int64) ([]msg.Outbound, bool) {
+	if r := m.rows[i]; r != nil {
+		// Promptness bookkeeping: the attempt itself marks the newest
+		// enabling state change for this row's dependency set.
+		r.unblockAt = now
+	}
 	m.resetApplyRows()
 	if !m.paVerify(i) {
 		m.resetApplyRows()
@@ -113,6 +118,7 @@ func (m *Merge) paApply(now int64) []msg.Outbound {
 				continue
 			}
 			e.color = Gray
+			m.mo.paintRG.Inc()
 			m.col(v).removeRed(j)
 		}
 		held = append(held, rj.wt...)

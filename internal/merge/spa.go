@@ -9,6 +9,10 @@ func (m *Merge) spaProcessRow(i msg.UpdateID, now int64) []msg.Outbound {
 	if r == nil {
 		return nil
 	}
+	// Every painting attempt is triggered by a state change at `now` in the
+	// row's dependency set; the promptness gap measures submission time
+	// against the LAST such enabling change.
+	r.unblockAt = now
 	// Frontier guard (§3.2 relayed routing): beyond the contiguous-REL
 	// frontier, an update's full relevant-view set may be unknown, so
 	// nothing there may commit yet.
@@ -47,6 +51,7 @@ func (m *Merge) spaProcessRow(i msg.UpdateID, now int64) []msg.Outbound {
 			continue
 		}
 		e.color = Gray
+		m.mo.paintRG.Inc()
 		col := m.col(v)
 		col.removeRed(i)
 		// Precompute line 5's nextRed(i, x) now, while the column state is

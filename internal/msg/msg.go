@@ -131,6 +131,11 @@ type ActionList struct {
 	// from the view manager to the warehouse (StageDelta) and the merge
 	// process coordinates the commit only. Delta is nil.
 	Staged bool
+	// EmittedAt is the view manager's clock when the list was sent; the
+	// merge process uses it for transport-latency metrics. Zero when the
+	// producer has no observability attached. Only meaningful when sender
+	// and receiver share a clock domain.
+	EmittedAt int64
 }
 
 // String renders AL^view_upto for traces.

@@ -1,0 +1,87 @@
+// HTTP debug surface: /metrics (Prometheus text), /metrics.json and
+// /debug/vars (expvar JSON), /healthz, /debug/vut (live ViewUpdateTable
+// snapshot supplied by the host binary), and net/http/pprof.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// DebugServer configures NewDebugMux.
+type DebugServer struct {
+	Reg  *Registry
+	Role string
+	// VUT returns JSON-marshalable snapshots of the live ViewUpdateTables,
+	// one per merge process. Nil disables /debug/vut.
+	VUT func() any
+
+	start time.Time
+}
+
+var expvarOnce sync.Once
+
+// NewDebugMux builds the debug handler tree. Safe to call more than once
+// per process: the expvar publication of the registry is done once, with
+// whichever registry came first (binaries run one registry per process).
+func NewDebugMux(cfg DebugServer) *http.ServeMux {
+	cfg.start = time.Now()
+	expvarOnce.Do(func() {
+		reg := cfg.Reg
+		expvar.Publish("whips", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.Reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cfg.Reg.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"ok":        true,
+			"role":      cfg.Role,
+			"uptime_ns": time.Since(cfg.start).Nanoseconds(),
+		})
+	})
+	if cfg.VUT != nil {
+		mux.HandleFunc("/debug/vut", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(cfg.VUT())
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug listens on addr and serves the debug mux in a background
+// goroutine, returning the server for shutdown. An empty addr is a no-op.
+func ServeDebug(addr string, cfg DebugServer) (*http.Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	srv := &http.Server{Addr: addr, Handler: NewDebugMux(cfg)}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

@@ -1,0 +1,438 @@
+// Package obs is the zero-dependency observability layer for the WHIPS
+// pipeline: counters, gauges and fixed-bucket histograms collected in a
+// snapshot-able Registry, plus a structured trace sink (trace.go) keyed by
+// the causal trace ID every protocol message already carries — the global
+// update sequence number.
+//
+// Everything is built for unconditional instrumentation: all instrument
+// methods are safe on nil receivers, so pipeline components can hold nil
+// handles when observability is off and still call Inc/Observe on hot
+// paths without branching. A nil *Registry returns nil instruments and a
+// nil *Pipeline drops trace events, making the whole layer a no-op unless
+// a driver opts in.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adds n (negative to decrement).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// SetMax raises the gauge to n if n is larger — a high-water mark.
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with v <= bounds[i] (and > bounds[i-1]); one extra
+// overflow bucket counts v > bounds[len-1]. Observations are lock-free.
+type Histogram struct {
+	family string
+	labels string // rendered label pairs without the le label, may be ""
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1, last = +Inf
+	sum    atomic.Int64
+	count  atomic.Int64
+	max    atomic.Int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Snapshot returns a consistent-enough copy for reporting. (Individual
+// fields are read atomically; the histogram keeps filling concurrently.)
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.count.Load(),
+		Max:    h.max.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"` // len(Bounds)+1; last bucket is +Inf
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+	Max    int64   `json:"max"`
+}
+
+// Mean returns the average observation, or 0 with no observations.
+func (s HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// inside the containing bucket. The overflow bucket reports Max.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range s.Counts {
+		if seen+c < rank {
+			seen += c
+			continue
+		}
+		if i == len(s.Bounds) { // overflow bucket
+			return s.Max
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-seen)/c
+	}
+	return s.Max
+}
+
+// LatencyBuckets are nanosecond bounds spanning 1µs..10s, suitable for
+// every latency metric in the pipeline (virtual sim time uses the same
+// int64 scale, so the buckets degrade gracefully there too).
+func LatencyBuckets() []int64 {
+	return []int64{
+		1_000, 10_000, 100_000, 500_000, // 1µs..500µs
+		1_000_000, 5_000_000, 10_000_000, 50_000_000, // 1ms..50ms
+		100_000_000, 500_000_000, 1_000_000_000, 10_000_000_000, // 100ms..10s
+	}
+}
+
+// SizeBuckets are count-valued bounds for batch sizes, fan-outs, txn
+// write-sets and queue depths.
+func SizeBuckets() []int64 {
+	return []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
+}
+
+// Registry holds named instruments. Get-or-create lookups take a mutex;
+// components should resolve handles once at construction and use the
+// lock-free instruments on hot paths.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// fullName renders name{k="v",...} from alternating key,value pairs.
+func fullName(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list for %q: %v", name, labels))
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the named counter, creating it on first use. Labels are
+// alternating key,value pairs baked into the metric identity. Nil-safe:
+// a nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := fullName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := fullName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use. Bounds must be sorted ascending.
+func (r *Registry) Histogram(name string, bounds []int64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := fullName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[key]
+	if !ok {
+		h = &Histogram{
+			family: name,
+			labels: strings.TrimSuffix(strings.TrimPrefix(key[len(name):], "{"), "}"),
+			bounds: append([]int64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.hists[key] = h
+	}
+	return h
+}
+
+// Snapshot is a deterministic (sorted-key) copy of every instrument.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies all instruments. Map iteration order is irrelevant to
+// determinism: consumers (JSON marshal, WritePrometheus) sort keys.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.Snapshot()
+	}
+	return s
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format. Counter keys already carrying {label="..."} pairs render as-is;
+// histograms get cumulative _bucket{le="..."} series plus _sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	typed := map[string]string{}
+	famOf := func(key string) string {
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			return key[:i]
+		}
+		return key
+	}
+	writeType := func(fam, typ string) {
+		if typed[fam] == "" {
+			fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ)
+			typed[fam] = typ
+		}
+	}
+	for _, key := range sortedKeys(s.Counters) {
+		writeType(famOf(key), "counter")
+		fmt.Fprintf(w, "%s %d\n", key, s.Counters[key])
+	}
+	for _, key := range sortedKeys(s.Gauges) {
+		writeType(famOf(key), "gauge")
+		fmt.Fprintf(w, "%s %d\n", key, s.Gauges[key])
+	}
+	for _, key := range sortedKeys(s.Histograms) {
+		fam := famOf(key)
+		labels := strings.TrimSuffix(strings.TrimPrefix(key[len(fam):], "{"), "}")
+		writeType(fam, "histogram")
+		hs := s.Histograms[key]
+		var cum int64
+		series := func(le string, n int64) {
+			if labels == "" {
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", fam, le, n)
+			} else {
+				fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", fam, labels, le, n)
+			}
+		}
+		for i, b := range hs.Bounds {
+			cum += hs.Counts[i]
+			series(fmt.Sprintf("%d", b), cum)
+		}
+		if len(hs.Counts) > 0 {
+			cum += hs.Counts[len(hs.Counts)-1]
+		}
+		series("+Inf", cum)
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		fmt.Fprintf(w, "%s_sum%s %d\n", fam, suffix, hs.Sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", fam, suffix, hs.Count)
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Pipeline bundles the metrics registry and the trace sink handed to every
+// pipeline component. A nil *Pipeline is fully inert.
+type Pipeline struct {
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+// NewPipeline builds a pipeline with a fresh registry and no tracer.
+func NewPipeline() *Pipeline { return &Pipeline{Registry: NewRegistry()} }
+
+// Reg returns the registry (nil when the pipeline is nil).
+func (p *Pipeline) Reg() *Registry {
+	if p == nil {
+		return nil
+	}
+	return p.Registry
+}
+
+// Tracing reports whether trace events should be constructed at all —
+// callers guard Event literals with it to keep the off path allocation
+// free.
+func (p *Pipeline) Tracing() bool {
+	return p != nil && p.Tracer != nil && p.Tracer.enabled()
+}
+
+// Trace emits one event; inert on a nil pipeline or absent tracer.
+func (p *Pipeline) Trace(e Event) {
+	if p == nil {
+		return
+	}
+	p.Tracer.Emit(e)
+}

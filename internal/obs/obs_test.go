@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// --- instruments under concurrency (run with -race) -----------------------
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total")
+	g := r.Gauge("depth")
+	h := r.Histogram("lat_ns", LatencyBuckets())
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				g.SetMax(int64(w*per + i))
+				h.Observe(int64(i) * 1_000)
+			}
+		}()
+	}
+	// Snapshot and render concurrently with the writers: must not race.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			r.Snapshot()
+			r.WritePrometheus(&bytes.Buffer{})
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	hs := h.Snapshot()
+	if hs.Count != workers*per {
+		t.Errorf("histogram count = %d, want %d", hs.Count, workers*per)
+	}
+	if hs.Max != (per-1)*1_000 {
+		t.Errorf("histogram max = %d, want %d", hs.Max, (per-1)*1_000)
+	}
+}
+
+// --- registry identity and snapshot determinism ---------------------------
+
+func TestRegistryIdentityAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "view", "V1")
+	b := r.Counter("x_total", "view", "V1")
+	if a != b {
+		t.Fatal("same name+labels must resolve to the same counter")
+	}
+	if r.Counter("x_total", "view", "V2") == a {
+		t.Fatal("different labels must resolve to a different counter")
+	}
+	a.Add(3)
+	r.Gauge("g").Set(7)
+	r.Histogram("h", SizeBuckets()).Observe(5)
+
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("back-to-back snapshots differ")
+	}
+	if s1.Counters[`x_total{view="V1"}`] != 3 {
+		t.Errorf("snapshot counters = %v", s1.Counters)
+	}
+	// Snapshot must round-trip through JSON (the /metrics.json path).
+	if _, err := json.Marshal(s1); err != nil {
+		t.Fatalf("snapshot not JSON-serializable: %v", err)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var p *Pipeline
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.SetMax(2)
+	g.Add(3)
+	h.Observe(9)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil instruments must read zero")
+	}
+	if p.Tracing() {
+		t.Error("nil pipeline must not trace")
+	}
+	p.Trace(Event{Stage: StageCommit})
+	if p.Reg() != nil {
+		t.Error("nil pipeline registry must be nil (instruments stay nil-safe)")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	r := NewRegistry()
+	hist := r.Histogram("d", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 15, 15, 500, 2000} {
+		hist.Observe(v)
+	}
+	s := hist.Snapshot()
+	if s.Count != 5 || s.Sum != 2535 || s.Max != 2000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if m := s.Mean(); m != 507 {
+		t.Errorf("mean = %d", m)
+	}
+	if q := s.Quantile(0); q > 10 {
+		t.Errorf("q0 = %d, want within first bucket", q)
+	}
+	if q := s.Quantile(1); q < 1000 {
+		t.Errorf("q1 = %d, want in overflow bucket", q)
+	}
+}
+
+// --- Prometheus text rendering --------------------------------------------
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "view", "V1").Add(2)
+	r.Counter("reqs_total", "view", "V2").Add(4)
+	r.Gauge("live").Set(11)
+	h := r.Histogram("lat", []int64{100, 200})
+	h.Observe(50)
+	h.Observe(150)
+	h.Observe(999)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		`reqs_total{view="V1"} 2`,
+		`reqs_total{view="V2"} 4`,
+		"# TYPE live gauge",
+		"live 11",
+		"# TYPE lat histogram",
+		`lat_bucket{le="100"} 1`,
+		`lat_bucket{le="200"} 2`,
+		`lat_bucket{le="+Inf"} 3`,
+		"lat_sum 1199",
+		"lat_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// The TYPE line for a family must appear exactly once even with
+	// multiple label sets.
+	if n := strings.Count(out, "# TYPE reqs_total"); n != 1 {
+		t.Errorf("TYPE reqs_total appears %d times", n)
+	}
+}
+
+// --- tracing ---------------------------------------------------------------
+
+func TestTracerSinksAndChains(t *testing.T) {
+	var buf bytes.Buffer
+	mem := &MemorySink{}
+	tr := NewTracer(JSONLSink(&buf), mem.Sink())
+	evs := []Event{
+		{TS: 10, Node: "cluster", Stage: StageCommit, Seq: 1, N: 2},
+		{TS: 12, Node: "integrator", Stage: StageRoute, Seq: 1, Views: []string{"V1"}},
+		{TS: 13, Node: "merge:0", Stage: StageREL, Seq: 1},
+		{TS: 14, Node: "vm:V1", Stage: StageAL, Seq: 1, View: "V1"},
+		{TS: 15, Node: "merge:0", Stage: StageALRecv, Seq: 1, View: "V1"},
+		{TS: 20, Node: "merge:0", Stage: StageSubmit, Txn: 1, Rows: []int64{1}},
+		{TS: 30, Node: "warehouse", Stage: StageWHCommit, Txn: 1, Rows: []int64{1}},
+	}
+	for _, e := range evs {
+		tr.Emit(e)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(evs) {
+		t.Fatalf("JSONL lines = %d, want %d", len(lines), len(evs))
+	}
+	var first Event
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Stage != StageCommit || first.Seq != 1 {
+		t.Errorf("first JSONL event = %+v", first)
+	}
+
+	chains := Chains(mem.Events())
+	if len(chains[1]) != len(evs) {
+		t.Fatalf("chain for seq 1 has %d events, want %d", len(chains[1]), len(evs))
+	}
+
+	spans := EndToEnd(mem.Events())
+	if len(spans) != 1 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	sp := spans[0]
+	if !sp.Complete || sp.CommitTS != 10 || sp.AppliedTS != 30 || sp.Freshness != 20 {
+		t.Errorf("span = %+v", sp)
+	}
+	sum := Summarize(spans)
+	if sum.Updates != 1 || sum.Complete != 1 || sum.Mean != 20 || sum.Max != 20 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if !strings.Contains(sum.String(), "1 complete chains") {
+		t.Errorf("summary string = %q", sum.String())
+	}
+}
+
+func TestEndToEndIncomplete(t *testing.T) {
+	// An update that never reaches the warehouse: span present, not
+	// complete, no applied timestamp.
+	spans := EndToEnd([]Event{
+		{TS: 1, Stage: StageCommit, Seq: 7},
+		{TS: 2, Stage: StageRoute, Seq: 7},
+	})
+	if len(spans) != 1 || spans[0].Complete || spans[0].AppliedTS >= 0 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	sum := Summarize(spans)
+	if sum.Updates != 1 || sum.Complete != 0 || sum.Mean != 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestFullNamePanicsOnOddLabels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label list must panic")
+		}
+	}()
+	NewRegistry().Counter("x", "k")
+}

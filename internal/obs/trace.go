@@ -1,0 +1,222 @@
+// Structured update tracing. Every protocol message in the pipeline
+// already carries the global source-commit sequence number (msg.UpdateID),
+// which doubles as the causal trace ID: each lifecycle stage emits one
+// Event stamped with it, and an offline pass (Chains, EndToEnd) rebuilds a
+// per-update journey source → integrator → view manager → merge →
+// warehouse and computes end-to-end freshness on live runs.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Stage names, in causal order along the pipeline. A single update's
+// complete chain visits every one of these at least once (an update
+// relevant to no view stops after "route").
+const (
+	StageCommit   = "commit"    // source cluster committed the transaction
+	StageRoute    = "route"     // integrator fanned the REL out
+	StageAL       = "al"        // view manager emitted an action list
+	StageREL      = "rel"       // merge received the relevant set (VUT row born)
+	StageALRecv   = "al_recv"   // merge received an action list
+	StageSubmit   = "submit"    // merge submitted VUT rows as a warehouse txn
+	StageWHCommit = "wh_commit" // warehouse atomically applied the txn
+)
+
+// Event is one trace record. Seq carries the causal trace ID where a
+// single update is concerned; Rows carries the full set of update IDs for
+// batch-scoped stages (submit, wh_commit). TS is the emitting node's
+// clock (time.Now().UnixNano() under internal/runtime, virtual time under
+// internal/sim), so cross-stage deltas are only meaningful within one
+// clock domain.
+type Event struct {
+	TS    int64    `json:"ts"`
+	Node  string   `json:"node"`
+	Stage string   `json:"stage"`
+	Seq   int64    `json:"seq,omitempty"`
+	View  string   `json:"view,omitempty"`
+	From  int64    `json:"from,omitempty"`
+	Upto  int64    `json:"upto,omitempty"`
+	Txn   int64    `json:"txn,omitempty"`
+	Rows  []int64  `json:"rows,omitempty"`
+	Views []string `json:"views,omitempty"`
+	N     int64    `json:"n,omitempty"` // stage-specific size (writes, delta tuples, batch len)
+}
+
+// Tracer serializes events to one or more sinks. Emit takes a mutex —
+// tracing is a debugging tool, not a hot-path facility.
+type Tracer struct {
+	mu    sync.Mutex
+	sinks []func(Event)
+}
+
+// NewTracer builds a tracer fanning out to the given sinks.
+func NewTracer(sinks ...func(Event)) *Tracer { return &Tracer{sinks: sinks} }
+
+func (t *Tracer) enabled() bool { return t != nil && len(t.sinks) > 0 }
+
+// Emit delivers e to every sink. Nil-safe.
+func (t *Tracer) Emit(e Event) {
+	if t == nil || len(t.sinks) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.sinks {
+		s(e)
+	}
+}
+
+// JSONLSink returns a sink writing one JSON object per line to w. The
+// caller owns w's lifetime; Tracer.Emit serializes concurrent writes.
+func JSONLSink(w io.Writer) func(Event) {
+	enc := json.NewEncoder(w)
+	return func(e Event) { _ = enc.Encode(e) }
+}
+
+// MemorySink accumulates events in order for offline analysis.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Sink returns the function to register with NewTracer.
+func (m *MemorySink) Sink() func(Event) {
+	return func(e Event) {
+		m.mu.Lock()
+		m.events = append(m.events, e)
+		m.mu.Unlock()
+	}
+}
+
+// Events copies the accumulated events.
+func (m *MemorySink) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// Chains groups events by update ID. Batch-scoped events (submit,
+// wh_commit) are attributed to every update ID in Rows. Events with
+// neither Seq nor Rows are dropped. Each chain keeps arrival order.
+func Chains(events []Event) map[int64][]Event {
+	out := map[int64][]Event{}
+	for _, e := range events {
+		switch {
+		case len(e.Rows) > 0:
+			for _, seq := range e.Rows {
+				out[seq] = append(out[seq], e)
+			}
+		case e.Seq != 0:
+			out[e.Seq] = append(out[e.Seq], e)
+		}
+	}
+	return out
+}
+
+// Span is one update's end-to-end timing.
+type Span struct {
+	Seq       int64 `json:"seq"`
+	CommitTS  int64 `json:"commit_ts"`
+	AppliedTS int64 `json:"applied_ts"`
+	Freshness int64 `json:"freshness"` // AppliedTS - CommitTS
+	Complete  bool  `json:"complete"`  // saw every stage commit..wh_commit
+}
+
+// EndToEnd computes per-update spans from a trace. An update counts as
+// Complete when its chain visits commit, route, al, rel, submit and
+// wh_commit (al_recv is implied by submit). Freshness is the gap between
+// the first wh_commit containing the update and its source commit —
+// warehouse txns apply whole VUT rows atomically, so the first containing
+// txn is the moment every view reflects the update.
+func EndToEnd(events []Event) []Span {
+	chains := Chains(events)
+	seqs := make([]int64, 0, len(chains))
+	for seq := range chains {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	spans := make([]Span, 0, len(seqs))
+	for _, seq := range seqs {
+		sp := Span{Seq: seq, AppliedTS: -1}
+		stages := map[string]bool{}
+		for _, e := range chains[seq] {
+			stages[e.Stage] = true
+			switch e.Stage {
+			case StageCommit:
+				sp.CommitTS = e.TS
+			case StageWHCommit:
+				if sp.AppliedTS < 0 {
+					sp.AppliedTS = e.TS
+				}
+			}
+		}
+		if sp.AppliedTS >= 0 {
+			sp.Freshness = sp.AppliedTS - sp.CommitTS
+		}
+		sp.Complete = stages[StageCommit] && stages[StageRoute] &&
+			stages[StageAL] && stages[StageREL] &&
+			stages[StageSubmit] && stages[StageWHCommit]
+		spans = append(spans, sp)
+	}
+	return spans
+}
+
+// FreshnessSummary aggregates spans for the end-of-run report.
+type FreshnessSummary struct {
+	Updates  int   `json:"updates"`
+	Complete int   `json:"complete"`
+	Mean     int64 `json:"mean_ns"`
+	P50      int64 `json:"p50_ns"`
+	P95      int64 `json:"p95_ns"`
+	Max      int64 `json:"max_ns"`
+}
+
+// Summarize reduces spans (only those with an applied timestamp count
+// toward latency statistics).
+func Summarize(spans []Span) FreshnessSummary {
+	s := FreshnessSummary{Updates: len(spans)}
+	var lat []int64
+	var sum int64
+	for _, sp := range spans {
+		if sp.Complete {
+			s.Complete++
+		}
+		if sp.AppliedTS >= 0 {
+			lat = append(lat, sp.Freshness)
+			sum += sp.Freshness
+		}
+	}
+	if len(lat) == 0 {
+		return s
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	s.Mean = sum / int64(len(lat))
+	s.P50 = lat[(len(lat)-1)/2]
+	s.P95 = lat[(len(lat)-1)*95/100]
+	s.Max = lat[len(lat)-1]
+	return s
+}
+
+// String renders the summary for terminal output.
+func (s FreshnessSummary) String() string {
+	return fmt.Sprintf("traced %d updates (%d complete chains): freshness mean=%s p50=%s p95=%s max=%s",
+		s.Updates, s.Complete, ns(s.Mean), ns(s.P50), ns(s.P95), ns(s.Max))
+}
+
+func ns(v int64) string {
+	switch {
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.2fs", float64(v)/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	case v >= 1_000:
+		return fmt.Sprintf("%.1fµs", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}

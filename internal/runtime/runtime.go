@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"whips/internal/msg"
+	"whips/internal/obs"
 )
 
 type envelope struct {
@@ -30,8 +31,8 @@ type Network struct {
 	nodes   map[string]msg.Node
 	inboxes map[string]chan envelope
 
-	mu     sync.Mutex
-	edges  map[string]chan envelope
+	mu         sync.Mutex
+	edges      map[string]chan envelope
 	jitter     func(from, to string) time.Duration
 	remote     func(to string, m any)
 	remoteFrom func(from, to string, m any)
@@ -49,6 +50,11 @@ type Network struct {
 	inFlight atomic.Int64
 
 	buffer int
+
+	msgs       *obs.Counter
+	remoteMsgs *obs.Counter
+	inFlightG  *obs.Gauge
+	queueDepth *obs.Histogram
 }
 
 // Option configures the network.
@@ -93,6 +99,18 @@ func WithRemote(send func(to string, m any)) Option {
 // WithRemote when both are set.
 func WithRemoteFrom(send func(from, to string, m any)) Option {
 	return func(net *Network) { net.remoteFrom = send }
+}
+
+// WithObs attaches transport metrics: messages delivered, messages handed
+// to the remote hook, the in-flight count and per-delivery inbox depth.
+func WithObs(p *obs.Pipeline) Option {
+	return func(net *Network) {
+		r := p.Reg()
+		net.msgs = r.Counter("rt_msgs_total")
+		net.remoteMsgs = r.Counter("rt_remote_msgs_total")
+		net.inFlightG = r.Gauge("rt_inflight")
+		net.queueDepth = r.Histogram("rt_queue_depth", obs.SizeBuckets())
+	}
 }
 
 // New builds a network over the given nodes.
@@ -178,9 +196,11 @@ func (n *Network) route(from string, outs []msg.Outbound) {
 }
 
 func (n *Network) deliver(from, to string, m any) {
+	n.inFlightG.Set(n.inFlight.Load())
 	inbox, ok := n.inboxes[to]
 	if !ok {
 		if n.remoteFrom != nil {
+			n.remoteMsgs.Inc()
 			n.remoteFrom(from, to, m)
 			n.inFlight.Add(-1)
 			return
@@ -188,12 +208,15 @@ func (n *Network) deliver(from, to string, m any) {
 		if n.remote != nil {
 			// Hand off to the remote transport; this network's in-flight
 			// accounting ends here.
+			n.remoteMsgs.Inc()
 			n.remote(to, m)
 			n.inFlight.Add(-1)
 			return
 		}
 		panic(fmt.Sprintf("runtime: message from %q to unknown node %q: %T", from, to, m))
 	}
+	n.msgs.Inc()
+	n.queueDepth.Observe(int64(len(inbox)))
 	if n.jitter == nil {
 		select {
 		case inbox <- envelope{to: to, m: m}:

@@ -11,6 +11,7 @@ import (
 	"whips/internal/consistency"
 	"whips/internal/merge"
 	"whips/internal/msg"
+	"whips/internal/obs"
 	"whips/internal/system"
 	"whips/internal/viewmgr"
 	"whips/internal/warehouse"
@@ -31,6 +32,10 @@ type FleetConfig struct {
 	// Crashable registers Rebuild hooks for the view managers and the
 	// merge process, enabling crash/restart faults.
 	Crashable bool
+	// Obs attaches an observability pipeline to the fleet's processes.
+	// Rebuilt (post-crash) nodes share the same pipeline, so counters
+	// accumulate across incarnations.
+	Obs *obs.Pipeline
 }
 
 // Fleet returns a Factory building fresh paper-schema fleets.
@@ -68,6 +73,7 @@ func buildFleet(cfg FleetConfig) (*Harness, error) {
 		Views:     views,
 		Commit:    system.Sequential,
 		LogStates: true,
+		Obs:       cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -103,6 +109,7 @@ func buildFleet(cfg FleetConfig) (*Harness, error) {
 				Expr:         v.Expr,
 				Merge:        msg.NodeMerge(0),
 				ComputeDelay: v.ComputeDelay,
+				Obs:          cfg.Obs,
 			}
 			h.Rebuild[msg.NodeViewManager(v.ID)] = func() msg.Node {
 				var m viewmgr.Manager
@@ -120,7 +127,11 @@ func buildFleet(cfg FleetConfig) (*Harness, error) {
 		}
 		algo := sys.Algorithm
 		h.Rebuild[msg.NodeMerge(0)] = func() msg.Node {
-			m := merge.New(0, algo, merge.NewSequential(msg.NodeMerge(0), 0))
+			var mopts []merge.Option
+			if cfg.Obs != nil {
+				mopts = append(mopts, merge.WithObs(cfg.Obs))
+			}
+			m := merge.New(0, algo, merge.NewSequential(msg.NodeMerge(0), 0), mopts...)
 			live.merge = m
 			return m
 		}

@@ -18,6 +18,7 @@ import (
 
 	"whips/internal/expr"
 	"whips/internal/msg"
+	"whips/internal/obs"
 	"whips/internal/relation"
 )
 
@@ -47,6 +48,10 @@ type Cluster struct {
 	floor     msg.UpdateID // oldest reconstructable state
 	log       []msg.Update // committed updates, seq floor+1..seq
 	clock     func() int64
+
+	obsp      *obs.Pipeline
+	txns      *obs.Counter
+	txnWrites *obs.Histogram
 }
 
 // NewCluster returns an empty cluster. clock provides commit timestamps for
@@ -61,6 +66,18 @@ func NewCluster(clock func() int64) *Cluster {
 		sources:   make(map[msg.SourceID]bool),
 		clock:     clock,
 	}
+}
+
+// SetObs attaches the observability pipeline: per-commit metrics plus one
+// "commit" trace event per transaction, stamped with the commit clock.
+// Call before the workload starts.
+func (c *Cluster) SetObs(p *obs.Pipeline) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.obsp = p
+	r := p.Reg()
+	c.txns = r.Counter("source_txns_total")
+	c.txnWrites = r.Histogram("source_txn_writes", obs.SizeBuckets())
 }
 
 // AddSource registers a source.
@@ -185,6 +202,14 @@ func (c *Cluster) commitLocked(source msg.SourceID, writes []msg.Write) (msg.Upd
 		c.relations[name].current = r
 	}
 	c.log = append(c.log, u)
+	c.txns.Inc()
+	c.txnWrites.Observe(int64(len(writes)))
+	if c.obsp.Tracing() {
+		c.obsp.Trace(obs.Event{
+			TS: u.CommitAt, Node: msg.NodeCluster, Stage: obs.StageCommit,
+			Seq: int64(u.Seq), N: int64(len(writes)),
+		})
+	}
 	return u, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"whips/internal/integrator"
 	"whips/internal/merge"
 	"whips/internal/msg"
+	"whips/internal/obs"
 	"whips/internal/relation"
 	"whips/internal/source"
 	"whips/internal/viewmgr"
@@ -160,6 +161,11 @@ type Config struct {
 	WarehouseExecDelay func(msg.WarehouseTxn) int64
 	// CommitObserver is invoked on every warehouse commit.
 	CommitObserver func(warehouse.CommitInfo)
+	// Obs attaches an observability pipeline to every process: pipeline
+	// metrics land in its registry, and when tracing is enabled each
+	// update's journey (commit → route → al → rel → submit → wh_commit)
+	// is emitted as trace events keyed by sequence number.
+	Obs *obs.Pipeline
 }
 
 // System is the assembled set of processes.
@@ -204,6 +210,9 @@ func Build(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("system: at least one view is required")
 	}
 	cluster := source.NewCluster(cfg.Clock)
+	if cfg.Obs != nil {
+		cluster.SetObs(cfg.Obs)
+	}
 	for _, s := range cfg.Sources {
 		cluster.AddSource(s.ID)
 		for name, rel := range s.Relations {
@@ -269,6 +278,9 @@ func Build(cfg Config) (*System, error) {
 	if cfg.RelayRelevantSets {
 		iopts = append(iopts, integrator.WithRelayedRelevantSets())
 	}
+	if cfg.Obs != nil {
+		iopts = append(iopts, integrator.WithObs(cfg.Obs))
+	}
 	integ := integrator.New(infos, iopts...)
 
 	initDB := cluster.DatabaseAt(0)
@@ -299,6 +311,7 @@ func Build(cfg Config) (*System, error) {
 			Merge:        msg.NodeMerge(groups[v.ID]),
 			ComputeDelay: v.ComputeDelay,
 			StageData:    v.StageData,
+			Obs:          cfg.Obs,
 		}
 		var mgr viewmgr.Manager
 		switch v.Manager {
@@ -337,6 +350,9 @@ func Build(cfg Config) (*System, error) {
 	if cfg.CommitObserver != nil {
 		whOpts = append(whOpts, warehouse.WithCommitObserver(cfg.CommitObserver))
 	}
+	if cfg.Obs != nil {
+		whOpts = append(whOpts, warehouse.WithObs(cfg.Obs))
+	}
 	sys.Warehouse = warehouse.New(initial, whOpts...)
 
 	for g := 0; g < nGroups; g++ {
@@ -361,6 +377,9 @@ func Build(cfg Config) (*System, error) {
 		var mopts []merge.Option
 		if cfg.RelayRelevantSets {
 			mopts = append(mopts, merge.WithRelayedRELs())
+		}
+		if cfg.Obs != nil {
+			mopts = append(mopts, merge.WithObs(cfg.Obs))
 		}
 		sys.Merges = append(sys.Merges, merge.New(g, algorithm, strat, mopts...))
 	}

@@ -23,7 +23,7 @@ func NewComplete(cfg Config, init expr.Database) (*Complete, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Complete{b: batcher{cfg: cfg, reps: reps, level: msg.Complete}}
+	m := &Complete{b: batcher{cfg: cfg, reps: reps, level: msg.Complete, ob: newVMObs(cfg)}}
 	m.b.take = func(queued int) int {
 		if queued > 0 {
 			return 1
@@ -58,7 +58,7 @@ func NewBatching(cfg Config, init expr.Database) (*Batching, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Batching{b: batcher{cfg: cfg, reps: reps, level: msg.Strong}}
+	m := &Batching{b: batcher{cfg: cfg, reps: reps, level: msg.Strong, ob: newVMObs(cfg)}}
 	m.b.take = func(queued int) int { return queued }
 	m.b.encode = singleAL(cfg, msg.Strong)
 	return m, nil
@@ -90,7 +90,7 @@ func NewCompleteN(cfg Config, init expr.Database, n int) (*CompleteN, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &CompleteN{b: batcher{cfg: cfg, reps: reps, level: msg.Strong, immediateRel: true}, n: n}
+	m := &CompleteN{b: batcher{cfg: cfg, reps: reps, level: msg.Strong, immediateRel: true, ob: newVMObs(cfg)}, n: n}
 	m.b.take = func(queued int) int {
 		if queued >= n {
 			return n
@@ -124,6 +124,9 @@ type Refresh struct {
 	pending  int
 	from     msg.UpdateID
 	lastSent *relation.Relation
+
+	ob         vmObs
+	batchStart int64 // arrival time of the period's first update
 }
 
 // NewRefresh builds a refresh manager that refreshes every period updates.
@@ -139,7 +142,7 @@ func NewRefresh(cfg Config, init expr.Database, period int) (*Refresh, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Refresh{cfg: cfg, reps: reps, period: period, from: 1, lastSent: initial}, nil
+	return &Refresh{cfg: cfg, reps: reps, period: period, from: 1, lastSent: initial, ob: newVMObs(cfg)}, nil
 }
 
 // Level returns the manager's consistency level.
@@ -155,8 +158,10 @@ func (m *Refresh) Handle(in any, now int64) []msg.Outbound {
 		return nil
 	}
 	relOut := relayREL(m.cfg, u)
+	m.ob.updates.Inc()
 	if m.pending == 0 {
 		m.from = u.Seq
+		m.batchStart = now
 	}
 	if err := m.reps.apply(u); err != nil {
 		panic(fmt.Sprintf("viewmgr: %s: %v", m.cfg.View, err))
@@ -171,6 +176,7 @@ func (m *Refresh) Handle(in any, now int64) []msg.Outbound {
 	}
 	diff := cur.DiffFrom(m.lastSent)
 	m.lastSent = cur
+	batch := m.pending
 	m.pending = 0
 	al := msg.ActionList{
 		View:  m.cfg.View,
@@ -178,6 +184,7 @@ func (m *Refresh) Handle(in any, now int64) []msg.Outbound {
 		Upto:  u.Seq,
 		Level: msg.Strong,
 	}
+	m.ob.emitAL(&al, m.ID(), now, m.batchStart, batch)
 	if m.cfg.StageData {
 		// §6.3: a refresh can move a lot of data. Ship it straight to the
 		// warehouse; the merge process coordinates the commit only.
@@ -208,7 +215,7 @@ func NewConvergent(cfg Config, init expr.Database) (*Convergent, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Convergent{b: batcher{cfg: cfg, reps: reps, level: msg.Convergent}}
+	m := &Convergent{b: batcher{cfg: cfg, reps: reps, level: msg.Convergent, ob: newVMObs(cfg)}}
 	m.b.take = func(queued int) int { return queued }
 	m.b.encode = func(batch []msg.Update, delta *relation.Delta) []msg.ActionList {
 		first, last := batch[0].Seq, batch[len(batch)-1].Seq

@@ -19,18 +19,20 @@ import (
 // Queries are asynchronous, so the manager exhibits the paper's §1.1
 // problem 2: delta computation takes time, and updates pile up behind it.
 type CompleteQuery struct {
-	cfg     Config
-	queue   []msg.Update
-	nextQID msg.QueryID
+	cfg      Config
+	queue    []msg.Update
+	arrivals []int64 // arrivals[i] is when queue[i] arrived
+	nextQID  msg.QueryID
 	// inflight query bookkeeping for the head-of-queue update.
 	pending map[msg.QueryID]string // qid -> relation name
 	results map[string]*relation.Relation
 	rels    relCarrier
+	ob      vmObs
 }
 
 // NewCompleteQuery builds a query-based complete manager.
 func NewCompleteQuery(cfg Config) *CompleteQuery {
-	return &CompleteQuery{cfg: cfg}
+	return &CompleteQuery{cfg: cfg, ob: newVMObs(cfg)}
 }
 
 // Level returns the manager's consistency level.
@@ -45,12 +47,15 @@ func (m *CompleteQuery) Handle(in any, now int64) []msg.Outbound {
 	case msg.Update:
 		m.rels.collect(t)
 		m.queue = append(m.queue, t)
+		m.arrivals = append(m.arrivals, now)
+		m.ob.updates.Inc()
+		m.ob.queueDepth.Observe(int64(len(m.queue)))
 		if m.pending != nil {
 			return nil
 		}
 		return m.startHead()
 	case msg.QueryResponse:
-		return m.onResponse(t)
+		return m.onResponse(t, now)
 	default:
 		return nil
 	}
@@ -81,7 +86,7 @@ func (m *CompleteQuery) startHead() []msg.Outbound {
 	return out
 }
 
-func (m *CompleteQuery) onResponse(resp msg.QueryResponse) []msg.Outbound {
+func (m *CompleteQuery) onResponse(resp msg.QueryResponse, now int64) []msg.Outbound {
 	rel, ok := m.pending[resp.ID]
 	if !ok {
 		return nil // stale response from an abandoned round
@@ -100,7 +105,9 @@ func (m *CompleteQuery) onResponse(resp msg.QueryResponse) []msg.Outbound {
 	}
 	// All base relations collected at state u.Seq-1: compute the delta.
 	u := m.queue[0]
+	firstArrival := m.arrivals[0]
 	m.queue = m.queue[1:]
+	m.arrivals = m.arrivals[1:]
 	db := expr.MapDB(m.results)
 	m.pending, m.results = nil, nil
 	delta, err := expr.DeltaWrites(m.cfg.Expr, msg.ExprWrites(u.Writes), db)
@@ -114,6 +121,7 @@ func (m *CompleteQuery) onResponse(resp msg.QueryResponse) []msg.Outbound {
 		Delta: delta,
 		Level: msg.Complete,
 	}})
+	m.ob.emitAL(&als[0], m.ID(), now, firstArrival, 1)
 	out := []msg.Outbound{msg.Send(m.cfg.Merge, als[0])}
 	return append(out, m.startHead()...)
 }
@@ -134,12 +142,17 @@ type QueryBatching struct {
 	sentUpto msg.UpdateID
 	lastSent *relation.Relation
 	rels     relCarrier
+	ob       vmObs
+	// dirtySince is the arrival of the oldest un-queried update;
+	// queryFirst captures it when the in-flight query starts.
+	dirtySince int64
+	queryFirst int64
 }
 
 // NewQueryBatching builds the manager. initial must be the view contents
 // at state 0.
 func NewQueryBatching(cfg Config, initial *relation.Relation) *QueryBatching {
-	return &QueryBatching{cfg: cfg, lastSent: initial.Clone()}
+	return &QueryBatching{cfg: cfg, lastSent: initial.Clone(), ob: newVMObs(cfg)}
 }
 
 // Level returns the manager's consistency level.
@@ -154,7 +167,11 @@ func (m *QueryBatching) Handle(in any, now int64) []msg.Outbound {
 	case msg.Update:
 		m.rels.collect(t)
 		m.frontier = t.Seq
+		if !m.dirty {
+			m.dirtySince = now
+		}
 		m.dirty = true
+		m.ob.updates.Inc()
 		return m.pump()
 	case msg.QueryResponse:
 		if !m.inflight || t.ID != m.qid {
@@ -175,6 +192,7 @@ func (m *QueryBatching) Handle(in any, now int64) []msg.Outbound {
 			Delta: cur.DiffFrom(m.lastSent),
 			Level: msg.Strong,
 		}})
+		m.ob.emitAL(&als[0], m.ID(), now, m.queryFirst, int(m.target-m.sentUpto))
 		m.lastSent = cur
 		m.sentUpto = m.target
 		out := []msg.Outbound{msg.Send(m.cfg.Merge, als[0])}
@@ -190,6 +208,7 @@ func (m *QueryBatching) pump() []msg.Outbound {
 	}
 	m.dirty = false
 	m.target = m.frontier
+	m.queryFirst = m.dirtySince
 	m.nextQID++
 	m.qid = m.nextQID
 	m.inflight = true

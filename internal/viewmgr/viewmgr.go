@@ -33,6 +33,7 @@ import (
 
 	"whips/internal/expr"
 	"whips/internal/msg"
+	"whips/internal/obs"
 	"whips/internal/relation"
 )
 
@@ -57,6 +58,61 @@ type Config struct {
 	// process a commit token only (§6.3 coordinate-commit-only mode, for
 	// managers whose lists are large — currently honoured by Refresh).
 	StageData bool
+	// Obs attaches the observability pipeline: per-view metrics plus trace
+	// events for every emitted action list.
+	Obs *obs.Pipeline
+}
+
+// vmObs holds a manager's metric handles, resolved once at construction.
+// All fields are nil (no-op) without Config.Obs.
+type vmObs struct {
+	p          *obs.Pipeline
+	updates    *obs.Counter
+	als        *obs.Counter
+	batchSize  *obs.Histogram
+	genLatency *obs.Histogram
+	queueDepth *obs.Histogram
+}
+
+func newVMObs(cfg Config) vmObs {
+	r := cfg.Obs.Reg()
+	v := string(cfg.View)
+	return vmObs{
+		p:          cfg.Obs,
+		updates:    r.Counter("vm_updates_total", "view", v),
+		als:        r.Counter("vm_als_total", "view", v),
+		batchSize:  r.Histogram("vm_batch_updates", obs.SizeBuckets(), "view", v),
+		genLatency: r.Histogram("vm_gen_latency_ns", obs.LatencyBuckets(), "view", v),
+		queueDepth: r.Histogram("vm_queue_depth", obs.SizeBuckets(), "view", v),
+	}
+}
+
+// emitAL records one outgoing action list: counters, generation latency
+// (first covered update's arrival to emission), a trace event, and the
+// EmittedAt stamp the merge process turns into transport latency. The
+// stamp is only applied with observability attached, keeping golden
+// simulator traces byte-identical otherwise.
+func (o *vmObs) emitAL(al *msg.ActionList, node string, now, firstArrival int64, batch int) {
+	if o.p == nil {
+		return
+	}
+	al.EmittedAt = now
+	o.als.Inc()
+	o.batchSize.Observe(int64(batch))
+	if firstArrival > 0 && now >= firstArrival {
+		o.genLatency.Observe(now - firstArrival)
+	}
+	if o.p.Tracing() {
+		var n int64
+		if al.Delta != nil {
+			n = al.Delta.Size()
+		}
+		o.p.Trace(obs.Event{
+			TS: now, Node: node, Stage: obs.StageAL,
+			Seq: int64(al.Upto), View: string(al.View),
+			From: int64(al.From), Upto: int64(al.Upto), N: n,
+		})
+	}
 }
 
 func (c *Config) delay(n int) int64 {
@@ -139,6 +195,10 @@ func deltaForUpdates(e expr.Expr, reps *replicas, batch []msg.Update) (*relation
 // workDone is the self-message ending a simulated computation.
 type workDone struct {
 	als []msg.ActionList
+	// firstArrival is when the batch's earliest update arrived, carried
+	// through the busy period for generation-latency accounting.
+	firstArrival int64
+	batch        int
 }
 
 // batcher is the shared skeleton of the replica-based managers: it queues
@@ -158,6 +218,10 @@ type batcher struct {
 	// its boundary indefinitely, which would starve other views).
 	rels         relCarrier
 	immediateRel bool
+
+	ob vmObs
+	// arrivals mirrors queue: arrivals[i] is when queue[i] arrived.
+	arrivals []int64
 }
 
 func (b *batcher) id() string { return msg.NodeViewManager(b.cfg.View) }
@@ -205,26 +269,31 @@ func (b *batcher) handle(m any, now int64) []msg.Outbound {
 			b.rels.collect(t)
 		}
 		b.queue = append(b.queue, t)
+		b.arrivals = append(b.arrivals, now)
+		b.ob.updates.Inc()
+		b.ob.queueDepth.Observe(int64(len(b.queue)))
 		if b.busy {
 			return out
 		}
-		return append(out, b.startWork()...)
+		return append(out, b.startWork(now)...)
 	case workDone:
 		b.busy = false
-		out := b.emit(t.als)
-		return append(out, b.startWork()...)
+		out := b.emit(t.als, now, t.firstArrival, t.batch)
+		return append(out, b.startWork(now)...)
 	default:
 		return nil
 	}
 }
 
-func (b *batcher) startWork() []msg.Outbound {
+func (b *batcher) startWork(now int64) []msg.Outbound {
 	n := b.take(len(b.queue))
 	if n <= 0 {
 		return nil
 	}
 	batch := append([]msg.Update(nil), b.queue[:n]...)
 	b.queue = append(b.queue[:0], b.queue[n:]...)
+	firstArrival := b.arrivals[0]
+	b.arrivals = append(b.arrivals[:0], b.arrivals[n:]...)
 	delta, err := deltaForUpdates(b.cfg.Expr, b.reps, batch)
 	if err != nil {
 		panic(fmt.Sprintf("viewmgr: %s: %v", b.cfg.View, err))
@@ -232,19 +301,20 @@ func (b *batcher) startWork() []msg.Outbound {
 	als := b.encode(batch, delta)
 	if d := b.cfg.delay(len(batch)); d > 0 {
 		b.busy = true
-		return []msg.Outbound{{To: b.id(), Msg: workDone{als: als}, Delay: d}}
+		return []msg.Outbound{{To: b.id(), Msg: workDone{als: als, firstArrival: firstArrival, batch: len(batch)}, Delay: d}}
 	}
-	out := b.emit(als)
-	return append(out, b.startWork()...)
+	out := b.emit(als, now, firstArrival, len(batch))
+	return append(out, b.startWork(now)...)
 }
 
 // emit sends the computed action lists, attaching piggybacked RELs and —
 // in §6.3 coordinate-commit-only mode — staging each list's delta directly
 // at the warehouse while the merge process receives only a token.
-func (b *batcher) emit(als []msg.ActionList) []msg.Outbound {
+func (b *batcher) emit(als []msg.ActionList, now, firstArrival int64, batch int) []msg.Outbound {
 	als = b.rels.attach(als)
 	out := make([]msg.Outbound, 0, len(als)+1)
 	for _, al := range als {
+		b.ob.emitAL(&al, b.id(), now, firstArrival, batch)
 		if b.cfg.StageData {
 			out = append(out, msg.Send(msg.NodeWarehouse, msg.StageDelta{
 				View: al.View, Upto: al.Upto, Delta: al.Delta,

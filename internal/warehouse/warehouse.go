@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"whips/internal/msg"
+	"whips/internal/obs"
 	"whips/internal/relation"
 )
 
@@ -62,6 +63,14 @@ type Warehouse struct {
 	// correct; without them this is how §4.3's WT3-before-WT1 hazard is
 	// demonstrated.
 	execDelay func(msg.WarehouseTxn) int64
+
+	obsp       *obs.Pipeline
+	txns       *obs.Counter
+	viewWrites *obs.Counter
+	txnWrites  *obs.Histogram
+	freshness  *obs.Histogram
+	pendingG   *obs.Gauge
+	stageParkG *obs.Gauge
 }
 
 // Option configures a Warehouse.
@@ -80,6 +89,21 @@ func WithCommitObserver(fn func(CommitInfo)) Option {
 // WithExecDelay installs a transaction scheduling delay model.
 func WithExecDelay(fn func(msg.WarehouseTxn) int64) Option {
 	return func(w *Warehouse) { w.execDelay = fn }
+}
+
+// WithObs attaches the observability pipeline: commit metrics plus a
+// wh_commit trace event per applied transaction.
+func WithObs(p *obs.Pipeline) Option {
+	return func(w *Warehouse) {
+		w.obsp = p
+		r := p.Reg()
+		w.txns = r.Counter("wh_txns_total")
+		w.viewWrites = r.Counter("wh_view_writes_total")
+		w.txnWrites = r.Histogram("wh_txn_writes", obs.SizeBuckets())
+		w.freshness = r.Histogram("wh_freshness_ns", obs.LatencyBuckets())
+		w.pendingG = r.Gauge("wh_pending_txns")
+		w.stageParkG = r.Gauge("wh_stage_parked_txns")
+	}
 }
 
 type pendingTxn struct {
@@ -193,10 +217,12 @@ func (w *Warehouse) tryApply(t msg.WarehouseTxn, from string, now int64) []msg.O
 			w.waiters[d] = append(w.waiters[d], t.ID)
 		}
 		w.pending[t.ID] = p
+		w.pendingG.Set(int64(len(w.pending)))
 		return nil
 	}
 	if park, held := w.missingStageLocked(t, from); held {
 		w.stageParked[t.ID] = park
+		w.stageParkG.Set(int64(len(w.stageParked)))
 		return nil
 	}
 	var out []msg.Outbound
@@ -280,6 +306,26 @@ func (w *Warehouse) commitLocked(t msg.WarehouseTxn, from string, now int64, out
 	}
 	w.committed[t.ID] = true
 	w.applied++
+	w.txns.Inc()
+	w.viewWrites.Add(int64(len(t.Writes)))
+	w.txnWrites.Observe(int64(len(t.Writes)))
+	if t.CommitAt > 0 && now >= t.CommitAt {
+		// End-to-end freshness: source commit of the oldest covered update
+		// to warehouse apply. Only meaningful within one clock domain.
+		w.freshness.Observe(now - t.CommitAt)
+	}
+	w.pendingG.Set(int64(len(w.pending)))
+	w.stageParkG.Set(int64(len(w.stageParked)))
+	if w.obsp.Tracing() {
+		rows := make([]int64, len(t.Rows))
+		for i, r := range t.Rows {
+			rows[i] = int64(r)
+		}
+		w.obsp.Trace(obs.Event{
+			TS: now, Node: w.ID(), Stage: obs.StageWHCommit,
+			Txn: int64(t.ID), Rows: rows, N: int64(len(t.Writes)),
+		})
+	}
 	if w.logStates {
 		w.log = append(w.log, w.snapshotLocked(t.ID, t.Rows, now))
 	}

@@ -77,14 +77,15 @@ type Update struct {
 // ActionList is the wire form of msg.ActionList. HasDelta distinguishes a
 // staged token (nil delta) from an empty delta.
 type ActionList struct {
-	View     string
-	From     int64
-	Upto     int64
-	HasDelta bool
-	Delta    Delta
-	Level    uint8
-	Rels     []RelevantSet
-	Staged   bool
+	View      string
+	From      int64
+	Upto      int64
+	HasDelta  bool
+	Delta     Delta
+	Level     uint8
+	Rels      []RelevantSet
+	Staged    bool
+	EmittedAt int64
 }
 
 // StageDelta is the wire form of msg.StageDelta.
@@ -266,7 +267,7 @@ func Encode(m any) (any, error) {
 	case msg.ActionList:
 		out := ActionList{
 			View: string(t.View), From: int64(t.From), Upto: int64(t.Upto),
-			Level: uint8(t.Level), Staged: t.Staged,
+			Level: uint8(t.Level), Staged: t.Staged, EmittedAt: t.EmittedAt,
 		}
 		if t.Delta != nil {
 			out.HasDelta = true
@@ -324,7 +325,7 @@ func Decode(m any) (any, error) {
 	case ActionList:
 		out := msg.ActionList{
 			View: msg.ViewID(t.View), From: msg.UpdateID(t.From), Upto: msg.UpdateID(t.Upto),
-			Level: msg.Level(t.Level), Staged: t.Staged,
+			Level: msg.Level(t.Level), Staged: t.Staged, EmittedAt: t.EmittedAt,
 		}
 		if t.HasDelta {
 			d, err := DecodeDelta(t.Delta)

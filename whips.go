@@ -36,6 +36,7 @@ import (
 	"whips/internal/consistency"
 	"whips/internal/merge"
 	"whips/internal/msg"
+	"whips/internal/obs"
 	"whips/internal/relation"
 	"whips/internal/runtime"
 	"whips/internal/source"
@@ -77,6 +78,11 @@ type Config struct {
 	// Algorithm forces a merge algorithm; nil selects automatically from
 	// the weakest manager level (§6.3).
 	Algorithm *Algorithm
+	// Obs attaches an observability pipeline: every process records its
+	// metrics in the pipeline's registry, and when a tracer is attached
+	// each update's journey through the pipeline is emitted as trace
+	// events (see internal/obs).
+	Obs *obs.Pipeline
 }
 
 // System is a running WHIPS warehouse.
@@ -106,6 +112,7 @@ func New(cfg Config) (*System, error) {
 		LogStates:         cfg.LogStates,
 		Clock:             func() int64 { return time.Now().UnixNano() },
 		Algorithm:         cfg.Algorithm,
+		Obs:               cfg.Obs,
 	}
 	sys, err := system.Build(scfg)
 	if err != nil {
@@ -114,6 +121,9 @@ func New(cfg Config) (*System, error) {
 	var opts []runtime.Option
 	if cfg.Jitter > 0 {
 		opts = append(opts, runtime.WithSeededJitter(cfg.Seed, cfg.Jitter))
+	}
+	if cfg.Obs != nil {
+		opts = append(opts, runtime.WithObs(cfg.Obs))
 	}
 	net := runtime.New(sys.Nodes(), opts...)
 	// Source version history is needed by the consistency checker; without
