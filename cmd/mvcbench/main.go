@@ -7,8 +7,12 @@
 // Usage:
 //
 //	mvcbench [-exp all|freshness|bottleneck|straggler|commit|distributed|
-//	          promptness|overhead|filter|relay|staged|managers]
+//	          promptness|overhead|filter|relay|staged|managers|throughput]
 //	         [-updates N] [-seed N] [-csv] [-json]
+//
+// All experiments except throughput run on the simulator; throughput runs
+// the goroutine runtime and measures wall-clock scaling of the view-manager
+// worker pool (see Config.Workers).
 //
 // -json writes the selected experiment's tables to BENCH_<exp>.json
 // (seed, updates, and every row) instead of rendering to stdout.
@@ -50,6 +54,7 @@ var experiments = []experiment{
 	{"relay", one(harness.RelayAblation)},
 	{"staged", one(harness.StagedTransfer)},
 	{"managers", one(harness.ManagerComparison)},
+	{"throughput", one(harness.Throughput)},
 }
 
 func names() []string {

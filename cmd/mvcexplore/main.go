@@ -25,6 +25,7 @@ import (
 
 	"whips/internal/obs"
 	"whips/internal/sched"
+	"whips/internal/viewmgr"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 	faults := flag.Float64("faults", 0, "per-step fault probability (crash/restart, stalls, delay spikes)")
 	flipEdge := flag.String("flip-edge", "", "deliberate-bug hook: violate FIFO once on this edge (e.g. 'vm:V1→merge:0')")
 	maxSteps := flag.Int("max-steps", 0, "per-schedule delivery bound (0 = default)")
+	workers := flag.Int("workers", 0, "view-manager worker pool size shared across schedules (0/1 = serial); the pool stays in deterministic scatter-gather mode, so schedules replay identically")
 	trace := flag.String("trace", "", "write per-stage JSONL trace events here (\"-\" for stderr) and print end-to-end freshness (virtual time) at exit")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
@@ -68,11 +70,17 @@ func main() {
 		pipe = obs.NewPipeline()
 	}
 
+	var pool *viewmgr.Pool
+	if *workers > 1 {
+		pool = viewmgr.NewPool(*workers)
+		defer pool.Close()
+	}
 	factory := sched.Fleet(sched.FleetConfig{
 		Algo:      *algo,
 		Updates:   *updates,
 		Seed:      *dataSeed,
 		Crashable: *faults > 0,
+		Pool:      pool,
 		Obs:       pipe,
 	})
 	if pipe != nil {

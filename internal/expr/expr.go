@@ -138,14 +138,65 @@ type Write struct {
 	Delta    *relation.Delta
 }
 
+// StepDB presents a base Database with a sequence of write-deltas applied
+// on top, advancing one write at a time. Unlike chaining fresh OverlayDBs
+// (which re-clones the base relation — dropping its indexes — and replays
+// the whole accumulated delta at every step), a StepDB clones each written
+// relation once and then applies only the marginal delta per step, so
+// persistent indexes built by EnsureIndex survive across the incremental
+// applies. It is the multi-write-transaction plumbing of DeltaWrites.
+//
+// A StepDB belongs to one evaluation on one goroutine; the base database
+// is only ever read.
+type StepDB struct {
+	base Database
+	rels map[string]*relation.Relation
+}
+
+// NewStepDB returns a StepDB over base with no writes applied yet.
+func NewStepDB(base Database) *StepDB { return &StepDB{base: base} }
+
+// Relation implements Database.
+func (s *StepDB) Relation(name string) (*relation.Relation, error) {
+	if r, ok := s.rels[name]; ok {
+		return r, nil
+	}
+	return s.base.Relation(name)
+}
+
+// Advance applies one more write on top of the current state. A relation
+// the base database cannot resolve is one no expression evaluated against
+// this StepDB reads (view-manager replicas only hold the relations their
+// view mentions), so its writes are irrelevant and skipped.
+func (s *StepDB) Advance(name string, d *relation.Delta) error {
+	if d.Empty() {
+		return nil
+	}
+	r, ok := s.rels[name]
+	if !ok {
+		base, err := s.base.Relation(name)
+		if err != nil {
+			return nil
+		}
+		r = base.Clone()
+		if s.rels == nil {
+			s.rels = make(map[string]*relation.Relation)
+		}
+		s.rels[name] = r
+	}
+	if err := r.Apply(d); err != nil {
+		return fmt.Errorf("expr: advancing overlay of %q: %w", name, err)
+	}
+	return nil
+}
+
 // DeltaWrites computes the view change for a whole transaction: writes are
 // applied in order, each delta evaluated at the state produced by its
 // predecessors. db is the state before the first write.
 func DeltaWrites(e Expr, writes []Write, db Database) (*relation.Delta, error) {
 	total := relation.NewDelta(e.Schema())
-	applied := make(map[string]*relation.Delta)
+	cur := NewStepDB(db)
 	for _, w := range writes {
-		cur := &OverlayDB{Base: db, Deltas: applied}
 		step, err := Delta(e, w.Relation, w.Delta, cur)
 		if err != nil {
 			return nil, err
@@ -153,23 +204,9 @@ func DeltaWrites(e Expr, writes []Write, db Database) (*relation.Delta, error) {
 		if err := total.Merge(step); err != nil {
 			return nil, err
 		}
-		acc := applied[w.Relation]
-		if acc == nil {
-			acc = relation.NewDelta(w.Delta.Schema())
-		} else {
-			acc = acc.Clone()
-		}
-		if err := acc.Merge(w.Delta); err != nil {
+		if err := cur.Advance(w.Relation, w.Delta); err != nil {
 			return nil, err
 		}
-		// Copy-on-write of the map so OverlayDB caches built for earlier
-		// steps are not invalidated behind their backs.
-		next := make(map[string]*relation.Delta, len(applied)+1)
-		for k, v := range applied {
-			next[k] = v
-		}
-		next[w.Relation] = acc
-		applied = next
 	}
 	return total, nil
 }

@@ -289,30 +289,25 @@ func (j *JoinExpr) String() string { return fmt.Sprintf("(%s join %s)", j.left, 
 // multiply (signed), which is exactly the bilinear behaviour the counting
 // algorithm's join delta rule relies on.
 func (j *JoinExpr) joinBags(l, r *relation.Delta) *relation.Delta {
-	out := relation.NewDelta(j.schema)
 	if l.Empty() || r.Empty() {
-		return out
+		return relation.NewDelta(j.schema)
 	}
-	lIdx := make([]int, len(j.shared))
-	rIdx := make([]int, len(j.shared))
-	for i, name := range j.shared {
-		li, _ := j.left.Schema().Index(name)
-		ri, _ := j.right.Schema().Index(name)
-		lIdx[i], rIdx[i] = li, ri
-	}
+	out := relation.NewDeltaCap(j.schema, l.Distinct())
+	lIdx, rIdx := j.sharedIdx()
 	type rEntry struct {
 		t relation.Tuple
 		n int64
 	}
-	index := make(map[string][]rEntry)
+	index := make(map[string][]rEntry, r.Distinct())
+	var key []byte
 	r.Each(func(t relation.Tuple, n int64) bool {
-		k := t.Project(rIdx).Key()
-		index[k] = append(index[k], rEntry{t, n})
+		key = t.AppendProjectedKey(key[:0], rIdx)
+		index[string(key)] = append(index[string(key)], rEntry{t, n})
 		return true
 	})
 	l.Each(func(lt relation.Tuple, ln int64) bool {
-		k := lt.Project(lIdx).Key()
-		for _, re := range index[k] {
+		key = lt.AppendProjectedKey(key[:0], lIdx)
+		for _, re := range index[string(key)] {
 			out.Add(lt.Concat(re.t.Project(j.rightKeep)), ln*re.n)
 		}
 		return true
@@ -446,8 +441,10 @@ func (j *JoinExpr) probeSide(db Database, side Expr, sideIdx, otherIdx []int,
 		return false, fmt.Errorf("expr: relation %q has schema %s, expression expects %s",
 			scan.name, r.Schema(), scan.schema)
 	}
+	var key []byte
 	d.Each(func(dt relation.Tuple, dn int64) bool {
-		r.LookupEach(sideIdx, dt.Project(otherIdx), func(pt relation.Tuple, pn int64) bool {
+		key = dt.AppendProjectedKey(key[:0], otherIdx)
+		r.LookupKeyEach(sideIdx, string(key), func(pt relation.Tuple, pn int64) bool {
 			for _, f := range filters {
 				if !f(pt) {
 					return true

@@ -1,0 +1,157 @@
+// throughput.go is the one wall-clock experiment in the harness: it runs
+// the real goroutine runtime (not the simulator) to measure how the view
+// managers' shared worker pool converts compute concurrency into update
+// throughput and freshness. Every other experiment is deterministic; this
+// one measures actual elapsed time, so its absolute numbers vary across
+// machines while the scaling shape (more workers → more overlap) is stable.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/runtime"
+	"whips/internal/system"
+	"whips/internal/warehouse"
+	"whips/internal/workload"
+)
+
+// throughputCost is the modeled per-update compute cost (ns). It dominates
+// the real evaluation work by orders of magnitude, so the measurement
+// exercises latency overlap — the thing worker count governs — rather than
+// raw CPU, and scales the same on any machine.
+const throughputCost = 200_000
+
+// Throughput is experiment W1: updates/sec and p99 freshness versus worker
+// count and view count, on the goroutine runtime. Every update fans out to
+// every view (all views read the shared relation S) and every view models
+// 200µs of compute per update, so total modeled work per update grows with
+// the view count. With one worker all busy periods serialize; with W
+// workers up to W views compute at once, so throughput scales toward W
+// until the view count (or the merge/warehouse path) caps it.
+func Throughput(seed int64, updates int) Table {
+	t := Table{
+		ID:      "W1",
+		Title:   "update throughput and p99 freshness vs worker-pool size (wall clock)",
+		Columns: []string{"views", "workers", "duration", "tput/s", "speedup", "p99 lag"},
+		Notes: fmt.Sprintf("goroutine runtime, batching managers, %dµs modeled compute per update per view; speedup is vs the 1-worker row",
+			throughputCost/1000),
+	}
+	if updates <= 0 {
+		updates = 200
+	}
+	for _, views := range []int{4, 8} {
+		var base float64
+		for _, workers := range []int{1, 2, 4} {
+			r := runThroughput(seed, updates, views, workers)
+			tput := float64(updates) / (float64(r.duration) / 1e9)
+			if workers == 1 {
+				base = tput
+			}
+			speedup := "1.00x"
+			if base > 0 {
+				speedup = fmt.Sprintf("%.2fx", tput/base)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(views),
+				fmt.Sprint(workers),
+				fmt.Sprintf("%.1fms", float64(r.duration)/1e6),
+				fmt.Sprintf("%.0f", tput),
+				speedup,
+				fmt.Sprintf("%.1fms", float64(r.p99)/1e6),
+			})
+		}
+	}
+	return t
+}
+
+type throughputResult struct {
+	duration int64 // wall ns from first inject to full freshness
+	p99      int64 // wall ns commit→apply lag, 99th percentile
+}
+
+func runThroughput(seed int64, updates, views, workers int) throughputResult {
+	ss := relation.MustSchema("B:int", "C:int")
+	src := system.SourceDef{ID: "src", Relations: map[string]*relation.Relation{
+		"S": relation.FromTuples(ss, relation.T(1, 10), relation.T(2, 20)),
+	}}
+	vdefs := make([]system.ViewDef, views)
+	for i := range vdefs {
+		vdefs[i] = system.ViewDef{
+			ID:           msg.ViewID(fmt.Sprintf("V%d", i+1)),
+			Expr:         expr.Scan("S", ss),
+			Manager:      system.Batching,
+			ComputeDelay: func(n int) int64 { return int64(n) * throughputCost },
+		}
+	}
+
+	type commitRec struct {
+		rows []msg.UpdateID
+		now  int64
+	}
+	var cmu sync.Mutex
+	var commits []commitRec
+	sys, err := system.Build(system.Config{
+		Sources: []system.SourceDef{src},
+		Views:   vdefs,
+		Commit:  system.Sequential,
+		Workers: workers,
+		Clock:   func() int64 { return time.Now().UnixNano() },
+		CommitObserver: func(info warehouse.CommitInfo) {
+			cmu.Lock()
+			commits = append(commits, commitRec{rows: info.Txn.Rows, now: info.Now})
+			cmu.Unlock()
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("harness: throughput: %v", err))
+	}
+	net := runtime.New(sys.Nodes())
+	sys.Pool.Bind(net.Inject, net.Reserve)
+	net.Start()
+	defer func() {
+		net.Stop()
+		sys.Close()
+	}()
+
+	gen := workload.NewGenerator(seed, []system.SourceDef{src})
+	start := time.Now()
+	for i := 0; i < updates; i++ {
+		_, writes := gen.Txn()
+		u, err := sys.Cluster.Execute("src", writes...)
+		if err != nil {
+			panic(fmt.Sprintf("harness: throughput: %v", err))
+		}
+		sys.TrackUpdate(u)
+		net.Inject(msg.NodeIntegrator, u)
+	}
+	if !runtime.WaitUntil(time.Minute, sys.Fresh) {
+		panic("harness: throughput: system failed to reach freshness within 1m")
+	}
+	res := throughputResult{duration: time.Since(start).Nanoseconds()}
+
+	commitAt := make(map[msg.UpdateID]int64)
+	for _, u := range sys.Cluster.Log() {
+		commitAt[u.Seq] = u.CommitAt
+	}
+	var lags []int64
+	cmu.Lock()
+	defer cmu.Unlock()
+	for _, c := range commits {
+		for _, row := range c.rows {
+			if at, ok := commitAt[row]; ok {
+				lags = append(lags, c.now-at)
+			}
+		}
+	}
+	if len(lags) > 0 {
+		sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+		res.p99 = lags[(len(lags)*99)/100]
+	}
+	return res
+}

@@ -1,0 +1,158 @@
+package merge
+
+import (
+	"testing"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+// Regression: Pending must count the popped-but-unacknowledged transaction.
+// A Sequential strategy with one txn in flight and an empty queue is not
+// quiescent — reporting 0 under-reported merge_held_als accounting by one
+// for the whole round trip.
+func TestSequentialPendingCountsInflight(t *testing.T) {
+	s := NewSequential("merge:0", 0)
+	out := s.Submit(txnFor("V1"), 0)
+	if len(submitted(out)) != 1 {
+		t.Fatal("first submit must go out")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending with one txn in flight = %d, want 1", s.Pending())
+	}
+	s.OnAck(1, 0)
+	if s.Pending() != 0 {
+		t.Errorf("Pending after ack = %d, want 0", s.Pending())
+	}
+}
+
+func TestBatchedPendingCountsInflight(t *testing.T) {
+	b := NewBatched("merge:0", 0, 1, 0) // every submit flushes immediately
+	out := submitted(b.Submit(txnFor("V1"), 0))
+	if len(out) != 1 {
+		t.Fatal("batch of 1 must flush")
+	}
+	if b.Pending() != 1 {
+		t.Errorf("Pending with one BWT in flight = %d, want 1", b.Pending())
+	}
+	// Buffered + queued + in flight all count.
+	b2 := NewBatched("merge:0", 0, 2, 0)
+	b2.Submit(txnFor("V1"), 0)
+	first := submitted(b2.Submit(txnFor("V1"), 0)) // flush → in flight
+	if len(first) != 1 {
+		t.Fatal("second txn must flush the batch")
+	}
+	b2.Submit(txnFor("V2"), 0)
+	b2.Submit(txnFor("V2"), 0) // second BWT queues behind the in-flight one
+	b2.Submit(txnFor("V3"), 0) // buffered below the batch boundary
+	if b2.Pending() != 3 {
+		t.Errorf("Pending = %d, want 3 (1 in flight + 1 queued + 1 buffered)", b2.Pending())
+	}
+}
+
+// Regression: a stale or duplicate ack (wire retransmit, crash/restart
+// rebuild) must not release the next transaction early — §4.3 sequential
+// ordering allows at most one transaction outstanding.
+func TestSequentialStaleAckIgnored(t *testing.T) {
+	s := NewSequential("merge:0", 0)
+	s.Submit(txnFor("V1"), 0) // id 1 in flight
+	s.Submit(txnFor("V2"), 0) // id 2 queued
+	s.Submit(txnFor("V3"), 0) // id 3 queued
+	// An ack for a transaction that was never in flight is dropped.
+	if got := submitted(s.OnAck(99, 0)); len(got) != 0 {
+		t.Fatalf("unknown ack released %+v", got)
+	}
+	// The real ack releases id 2.
+	got := submitted(s.OnAck(1, 0))
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("after genuine ack: %+v", got)
+	}
+	// A duplicate of the old ack must not release id 3 while 2 is in flight.
+	if got := submitted(s.OnAck(1, 0)); len(got) != 0 {
+		t.Fatalf("duplicate ack released %+v while txn 2 was in flight", got)
+	}
+	if got := submitted(s.OnAck(2, 0)); len(got) != 1 || got[0].ID != 3 {
+		t.Fatalf("after second genuine ack: %+v", got)
+	}
+	// An ack with nothing in flight is also dropped.
+	s.OnAck(3, 0)
+	if got := submitted(s.OnAck(3, 0)); len(got) != 0 {
+		t.Fatalf("idle duplicate ack released %+v", got)
+	}
+}
+
+func TestBatchedStaleAckIgnored(t *testing.T) {
+	b := NewBatched("merge:0", 0, 1, 0)
+	first := submitted(b.Submit(txnFor("V1"), 0))
+	if len(first) != 1 {
+		t.Fatal("first BWT must go out")
+	}
+	b.Submit(txnFor("V2"), 0) // queues behind the in-flight BWT
+	if got := submitted(b.OnAck(first[0].ID+7, 0)); len(got) != 0 {
+		t.Fatalf("mismatched ack released %+v", got)
+	}
+	second := submitted(b.OnAck(first[0].ID, 0))
+	if len(second) != 1 {
+		t.Fatal("matching ack must release the queued BWT")
+	}
+	if got := submitted(b.OnAck(first[0].ID, 0)); len(got) != 0 {
+		t.Fatalf("duplicate ack released %+v while a BWT was in flight", got)
+	}
+}
+
+// mergeDeltas accumulates same-view writes into a single clone; the deltas
+// of the incoming action lists must never be mutated, and the accumulation
+// must be linear (clone-once), not clone-per-write.
+func TestMergeDeltasDoesNotMutateInputs(t *testing.T) {
+	mk := func(v int) msg.ViewWrite {
+		return msg.ViewWrite{View: "V1", Upto: msg.UpdateID(v),
+			Delta: relation.InsertDelta(alSchema, relation.T(v))}
+	}
+	writes := []msg.ViewWrite{mk(1), mk(2), mk(3), mk(4)}
+	out := mergeDeltas(writes)
+	if len(out) != 1 {
+		t.Fatalf("merged writes = %d, want 1", len(out))
+	}
+	if out[0].Upto != 4 {
+		t.Errorf("merged Upto = %d, want 4", out[0].Upto)
+	}
+	for v := 1; v <= 4; v++ {
+		if out[0].Delta.Count(relation.T(v)) != 1 {
+			t.Errorf("merged delta missing tuple %d: %v", v, out[0].Delta)
+		}
+	}
+	// The originals each still hold exactly their own tuple.
+	for i, w := range writes {
+		if w.Delta.Distinct() != 1 || w.Delta.Count(relation.T(i+1)) != 1 {
+			t.Errorf("input write %d mutated: %v", i, w.Delta)
+		}
+	}
+	// Staged writes break mergeability and are passed through untouched.
+	staged := msg.ViewWrite{View: "V1", Upto: 5, Staged: true}
+	out = mergeDeltas([]msg.ViewWrite{mk(1), staged, mk(2), mk(3)})
+	if len(out) != 3 {
+		t.Fatalf("staged split: %d writes, want 3", len(out))
+	}
+	if out[2].Delta.Count(relation.T(2)) != 1 || out[2].Delta.Count(relation.T(3)) != 1 {
+		t.Errorf("post-staged accumulation wrong: %v", out[2].Delta)
+	}
+}
+
+// Regression: submitRows must take the CommitAt minimum over the rows still
+// present in the VUT. Anchored to rows[0], a purged first row left CommitAt
+// at 0 and the warehouse's CommitAt > 0 guard dropped the freshness sample.
+func TestSubmitRowsCommitAtSkipsPurgedFirstRow(t *testing.T) {
+	rec := &recorder{}
+	m := New(0, SPA, rec)
+	// Row 1 was purged; rows 2 and 3 are live with known commit stamps.
+	m.rows[2] = &row{seq: 2, commitAt: 70}
+	m.rows[3] = &row{seq: 3, commitAt: 40}
+	held := []heldAL{{al: al("V1", 2, 3)}}
+	m.submitRows(0, []msg.UpdateID{1, 2, 3}, held, "V1")
+	if len(rec.txns) != 1 {
+		t.Fatalf("submitted %d txns, want 1", len(rec.txns))
+	}
+	if got := rec.txns[0].CommitAt; got != 40 {
+		t.Errorf("CommitAt = %d, want 40 (min over present rows)", got)
+	}
+}

@@ -756,11 +756,16 @@ func (m *Merge) submitRows(now int64, rows []msg.UpdateID, held []heldAL, _ msg.
 		})
 	}
 	// CommitAt carries the earliest source commit covered, for freshness
-	// accounting downstream.
+	// accounting downstream. The minimum is over the rows still present in
+	// the VUT, wherever they sit in the slice: anchoring it to rows[0]
+	// would leave CommitAt at 0 whenever the first id was already purged,
+	// and the warehouse's CommitAt > 0 guard would drop the sample.
 	commitAt := int64(0)
-	for k, i := range rows {
-		if r := m.rows[i]; r != nil && (k == 0 || r.commitAt < commitAt) {
+	first := true
+	for _, i := range rows {
+		if r := m.rows[i]; r != nil && (first || r.commitAt < commitAt) {
 			commitAt = r.commitAt
+			first = false
 		}
 	}
 	txn := msg.WarehouseTxn{
@@ -781,18 +786,27 @@ func (m *Merge) submitRows(now int64, rows []msg.UpdateID, held []heldAL, _ msg.
 func mergeDeltas(writes []msg.ViewWrite) []msg.ViewWrite {
 	byView := make(map[msg.ViewID]int)
 	var out []msg.ViewWrite
+	// owned[k] marks out[k].Delta as a private accumulator: the incoming
+	// deltas belong to their action lists and must never be mutated, so the
+	// first merge into a view clones once and every later write merges into
+	// that same clone — not clone-per-write, which is quadratic in batch
+	// size.
+	var owned []bool
 	for _, w := range writes {
 		if w.Staged {
 			delete(byView, w.View) // later writes must not merge across it
 			out = append(out, w)
+			owned = append(owned, false)
 			continue
 		}
 		if k, ok := byView[w.View]; ok {
-			d := out[k].Delta.Clone()
-			if err := d.Merge(w.Delta); err != nil {
+			if !owned[k] {
+				out[k].Delta = out[k].Delta.Clone()
+				owned[k] = true
+			}
+			if err := out[k].Delta.Merge(w.Delta); err != nil {
 				panic(fmt.Sprintf("merge: batching incompatible deltas for view %s: %v", w.View, err))
 			}
-			out[k].Delta = d
 			if w.Upto > out[k].Upto {
 				out[k].Upto = w.Upto
 			}
@@ -800,6 +814,7 @@ func mergeDeltas(writes []msg.ViewWrite) []msg.ViewWrite {
 		}
 		byView[w.View] = len(out)
 		out = append(out, w)
+		owned = append(owned, false)
 	}
 	return out
 }

@@ -57,10 +57,14 @@ func (a *idAlloc) take() msg.TxnID {
 // commit acknowledgment — §4.3's "most straightforward way". Correct with
 // no warehouse support, at the cost of a full round trip per transaction.
 type Sequential struct {
-	self     string
-	ids      idAlloc
-	queue    []msg.WarehouseTxn
-	inflight bool
+	self  string
+	ids   idAlloc
+	queue []msg.WarehouseTxn
+	// inflight is the id of the submitted-but-unacknowledged transaction
+	// (0 = none; real ids are always positive). Keeping the id rather than
+	// a flag lets OnAck reject stale or duplicate acknowledgments, which
+	// wire retransmits and crash/restart rebuilds can produce.
+	inflight msg.TxnID
 }
 
 // NewSequential builds the strategy for the merge process with node id
@@ -79,25 +83,37 @@ func (s *Sequential) Submit(txn msg.WarehouseTxn, now int64) []msg.Outbound {
 	return s.pump()
 }
 
-// OnAck implements Strategy.
+// OnAck implements Strategy. An ack that does not match the in-flight
+// transaction is stale (retransmit, rebuild) and must not release the next
+// transaction early — doing so would break §4.3 sequential ordering.
 func (s *Sequential) OnAck(id msg.TxnID, now int64) []msg.Outbound {
-	s.inflight = false
+	if s.inflight == 0 || id != s.inflight {
+		return nil
+	}
+	s.inflight = 0
 	return s.pump()
 }
 
 // OnTimer implements Strategy.
 func (s *Sequential) OnTimer(strategyTimer, int64) []msg.Outbound { return nil }
 
-// Pending implements Strategy.
-func (s *Sequential) Pending() int { return len(s.queue) }
+// Pending implements Strategy. The in-flight transaction has been accepted
+// but not yet acknowledged, so it counts toward the merge-side backlog.
+func (s *Sequential) Pending() int {
+	n := len(s.queue)
+	if s.inflight != 0 {
+		n++
+	}
+	return n
+}
 
 func (s *Sequential) pump() []msg.Outbound {
-	if s.inflight || len(s.queue) == 0 {
+	if s.inflight != 0 || len(s.queue) == 0 {
 		return nil
 	}
 	txn := s.queue[0]
 	s.queue = s.queue[1:]
-	s.inflight = true
+	s.inflight = txn.ID
 	return []msg.Outbound{msg.Send(msg.NodeWarehouse, msg.SubmitTxn{Txn: txn, From: s.self})}
 }
 
@@ -241,7 +257,10 @@ type Batched struct {
 	flushAfter int64 // ns; 0 disables the timer
 	buf        []msg.WarehouseTxn
 	queue      []msg.WarehouseTxn
-	inflight   bool
+	// inflight is the id of the submitted-but-unacknowledged BWT (0 =
+	// none), kept so stale or duplicate acks cannot release the next batch
+	// early; BWTs depend on each other exactly as their constituent WTs.
+	inflight   msg.TxnID
 	timerGen   int64
 	timerArmed bool
 }
@@ -281,14 +300,25 @@ func (b *Batched) OnTimer(t strategyTimer, now int64) []msg.Outbound {
 	return b.flush()
 }
 
-// OnAck implements Strategy.
+// OnAck implements Strategy. Acks not matching the in-flight BWT are
+// stale and dropped (see Sequential.OnAck).
 func (b *Batched) OnAck(id msg.TxnID, now int64) []msg.Outbound {
-	b.inflight = false
+	if b.inflight == 0 || id != b.inflight {
+		return nil
+	}
+	b.inflight = 0
 	return b.pump()
 }
 
-// Pending implements Strategy.
-func (b *Batched) Pending() int { return len(b.buf) + len(b.queue) }
+// Pending implements Strategy: buffered transactions, queued batches, and
+// the in-flight batch are all accepted-but-uncommitted backlog.
+func (b *Batched) Pending() int {
+	n := len(b.buf) + len(b.queue)
+	if b.inflight != 0 {
+		n++
+	}
+	return n
+}
 
 func (b *Batched) flush() []msg.Outbound {
 	b.timerArmed = false
@@ -311,11 +341,11 @@ func (b *Batched) flush() []msg.Outbound {
 }
 
 func (b *Batched) pump() []msg.Outbound {
-	if b.inflight || len(b.queue) == 0 {
+	if b.inflight != 0 || len(b.queue) == 0 {
 		return nil
 	}
 	t := b.queue[0]
 	b.queue = b.queue[1:]
-	b.inflight = true
+	b.inflight = t.ID
 	return []msg.Outbound{msg.Send(msg.NodeWarehouse, msg.SubmitTxn{Txn: t, From: b.self})}
 }

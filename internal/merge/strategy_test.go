@@ -46,7 +46,8 @@ func TestSequentialStrategy(t *testing.T) {
 	if got := submitted(s.Submit(txnFor("V3"), 0)); len(got) != 0 {
 		t.Fatal("third submit should queue")
 	}
-	if s.Pending() != 2 {
+	// One in flight plus two queued: all three are accepted but uncommitted.
+	if s.Pending() != 3 {
 		t.Errorf("Pending = %d", s.Pending())
 	}
 	// Each ack releases exactly one.

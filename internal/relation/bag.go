@@ -19,6 +19,10 @@ type bagEntry struct {
 
 func newBag() bag { return bag{entries: make(map[string]*bagEntry)} }
 
+// newBagCap is newBag with a capacity hint, for hot paths that know how
+// many distinct tuples they are about to produce.
+func newBagCap(n int) bag { return bag{entries: make(map[string]*bagEntry, n)} }
+
 // add adjusts the count of t by n, removing the entry if it reaches zero.
 // It returns the new count.
 func (b *bag) add(t Tuple, n int64) int64 {

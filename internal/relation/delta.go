@@ -20,6 +20,16 @@ func NewDelta(schema *Schema) *Delta {
 	return &Delta{schema: schema, data: newBag()}
 }
 
+// NewDeltaCap is NewDelta with a capacity hint: the delta preallocates room
+// for n distinct tuples. Join and diff hot paths use it to avoid rehashing
+// while accumulating large results.
+func NewDeltaCap(schema *Schema, n int) *Delta {
+	if n < 0 {
+		n = 0
+	}
+	return &Delta{schema: schema, data: newBagCap(n)}
+}
+
 // InsertDelta builds a delta inserting each tuple once.
 func InsertDelta(schema *Schema, tuples ...Tuple) *Delta {
 	d := NewDelta(schema)

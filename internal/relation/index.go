@@ -23,31 +23,47 @@ func indexName(cols []int) string {
 	return strings.Join(parts, ",")
 }
 
-func (ix *index) add(e *bagEntry) {
-	k := e.tuple.Project(ix.cols).Key()
-	b := ix.buckets[k]
+func (ix *index) add(e *bagEntry, scratch []byte) []byte {
+	scratch = e.tuple.AppendProjectedKey(scratch[:0], ix.cols)
+	b := ix.buckets[string(scratch)]
 	if b == nil {
 		b = make(map[string]*bagEntry)
-		ix.buckets[k] = b
+		ix.buckets[string(scratch)] = b
 	}
 	b[e.tuple.Key()] = e
+	return scratch
 }
 
-func (ix *index) remove(e *bagEntry) {
-	k := e.tuple.Project(ix.cols).Key()
-	if b := ix.buckets[k]; b != nil {
+func (ix *index) remove(e *bagEntry, scratch []byte) []byte {
+	scratch = e.tuple.AppendProjectedKey(scratch[:0], ix.cols)
+	if b := ix.buckets[string(scratch)]; b != nil {
 		delete(b, e.tuple.Key())
 		if len(b) == 0 {
-			delete(ix.buckets, k)
+			delete(ix.buckets, string(scratch))
 		}
 	}
+	return scratch
 }
 
 // EnsureIndex builds (if absent) a persistent hash index over the given
 // column positions and keeps it maintained across mutations. Cloning drops
 // indexes; they rebuild lazily on the clone's first lookup.
+//
+// EnsureIndex (and the Lookup methods that call it) may be invoked from
+// several goroutines at once, as happens when a view-manager worker pool
+// probes shared base replicas concurrently; index creation is guarded so
+// concurrent READERS are safe with each other. Mutations remain exclusive
+// to the relation's owner, exactly as documented on Relation.
 func (r *Relation) EnsureIndex(cols []int) {
 	name := indexName(cols)
+	r.imu.RLock()
+	_, ok := r.indexes[name]
+	r.imu.RUnlock()
+	if ok {
+		return
+	}
+	r.imu.Lock()
+	defer r.imu.Unlock()
 	if r.indexes == nil {
 		r.indexes = make(map[string]*index)
 	}
@@ -55,19 +71,34 @@ func (r *Relation) EnsureIndex(cols []int) {
 		return
 	}
 	ix := &index{cols: append([]int(nil), cols...), buckets: make(map[string]map[string]*bagEntry)}
+	var scratch []byte
 	for _, e := range r.data.entries {
-		ix.add(e)
+		scratch = ix.add(e, scratch)
 	}
 	r.indexes[name] = ix
+}
+
+// lookupIndex returns the (built) index over cols.
+func (r *Relation) lookupIndex(cols []int) *index {
+	r.EnsureIndex(cols)
+	r.imu.RLock()
+	defer r.imu.RUnlock()
+	return r.indexes[indexName(cols)]
 }
 
 // LookupEach calls fn for every tuple whose projection onto cols equals
 // key, with its multiplicity. It builds the index on first use. Iteration
 // stops early if fn returns false. fn must not mutate the relation.
 func (r *Relation) LookupEach(cols []int, key Tuple, fn func(t Tuple, n int64) bool) {
-	r.EnsureIndex(cols)
-	ix := r.indexes[indexName(cols)]
-	for _, e := range ix.buckets[key.Key()] {
+	r.LookupKeyEach(cols, key.Key(), fn)
+}
+
+// LookupKeyEach is LookupEach with the probe key already encoded (via
+// Tuple.AppendProjectedKey), so a caller probing many times can reuse one
+// key buffer instead of materializing a projected tuple per probe.
+func (r *Relation) LookupKeyEach(cols []int, key string, fn func(t Tuple, n int64) bool) {
+	ix := r.lookupIndex(cols)
+	for _, e := range ix.buckets[key] {
 		if !fn(e.tuple, e.count) {
 			return
 		}
@@ -77,8 +108,7 @@ func (r *Relation) LookupEach(cols []int, key Tuple, fn func(t Tuple, n int64) b
 // LookupSorted is LookupEach in deterministic (sorted-tuple) order; golden
 // tests and traces use it where iteration order matters.
 func (r *Relation) LookupSorted(cols []int, key Tuple, fn func(t Tuple, n int64) bool) {
-	r.EnsureIndex(cols)
-	ix := r.indexes[indexName(cols)]
+	ix := r.lookupIndex(cols)
 	b := ix.buckets[key.Key()]
 	entries := make([]*bagEntry, 0, len(b))
 	for _, e := range b {
@@ -95,6 +125,8 @@ func (r *Relation) LookupSorted(cols []int, key Tuple, fn func(t Tuple, n int64)
 // Indexed reports whether an index exists on the given columns (for tests
 // and observability).
 func (r *Relation) Indexed(cols []int) bool {
+	r.imu.RLock()
+	defer r.imu.RUnlock()
 	_, ok := r.indexes[indexName(cols)]
 	return ok
 }
@@ -107,12 +139,13 @@ func (r *Relation) indexUpdate(prev, cur *bagEntry) {
 	if r.indexes == nil || prev == cur {
 		return
 	}
+	var scratch []byte
 	for _, ix := range r.indexes {
 		if prev != nil {
-			ix.remove(prev)
+			scratch = ix.remove(prev, scratch)
 		}
 		if cur != nil {
-			ix.add(cur)
+			scratch = ix.add(cur, scratch)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Relation is a bag-semantics (counted multiset) relation instance with a
@@ -10,11 +11,18 @@ import (
 // maintenance diverged from the base data.
 //
 // Relation is not safe for concurrent mutation; the processes that own
-// relations (sources, warehouse) serialize access.
+// relations (sources, warehouse) serialize access. Concurrent READERS are
+// safe with each other — including the Lookup methods, which may lazily
+// build an index under imu — so a worker pool may probe a shared relation
+// from many goroutines as long as nobody mutates it meanwhile.
 type Relation struct {
-	schema  *Schema
-	data    bag
-	card    int64 // total multiplicity
+	schema *Schema
+	data   bag
+	card   int64 // total multiplicity
+
+	// imu guards the indexes map so concurrent lookups can race on the
+	// lazy index build; see EnsureIndex.
+	imu     sync.RWMutex
 	indexes map[string]*index
 }
 
@@ -155,7 +163,7 @@ func (r *Relation) Equal(o *Relation) bool {
 
 // DiffFrom returns the delta that transforms old into r, i.e. r - old.
 func (r *Relation) DiffFrom(old *Relation) *Delta {
-	d := NewDelta(r.schema)
+	d := NewDeltaCap(r.schema, r.Distinct()+old.Distinct())
 	for _, e := range r.data.entries {
 		d.Add(e.tuple, e.count)
 	}
@@ -168,7 +176,7 @@ func (r *Relation) DiffFrom(old *Relation) *Delta {
 // AsDelta returns the relation's contents as an all-positive delta
 // (useful for "insert everything" refresh action lists).
 func (r *Relation) AsDelta() *Delta {
-	d := NewDelta(r.schema)
+	d := NewDeltaCap(r.schema, r.Distinct())
 	for _, e := range r.data.entries {
 		d.Add(e.tuple, e.count)
 	}

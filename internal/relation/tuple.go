@@ -53,6 +53,17 @@ func (t Tuple) Compare(o Tuple) int {
 	return len(t) - len(o)
 }
 
+// AppendProjectedKey appends the injective key encoding of the tuple's
+// projection onto idx to buf and returns the extended slice. It is
+// equivalent to t.Project(idx).Key() without materializing the projected
+// tuple — hot join and index paths reuse one buffer across many tuples.
+func (t Tuple) AppendProjectedKey(buf []byte, idx []int) []byte {
+	for _, j := range idx {
+		buf = t[j].appendEncoded(buf)
+	}
+	return buf
+}
+
 // Project returns the tuple restricted to the given positions.
 func (t Tuple) Project(idx []int) Tuple {
 	out := make(Tuple, len(idx))

@@ -55,6 +55,7 @@ type Network struct {
 	remoteMsgs *obs.Counter
 	inFlightG  *obs.Gauge
 	queueDepth *obs.Histogram
+	drainBatch *obs.Histogram
 }
 
 // Option configures the network.
@@ -110,6 +111,7 @@ func WithObs(p *obs.Pipeline) Option {
 		net.remoteMsgs = r.Counter("rt_remote_msgs_total")
 		net.inFlightG = r.Gauge("rt_inflight")
 		net.queueDepth = r.Histogram("rt_queue_depth", obs.SizeBuckets())
+		net.drainBatch = r.Histogram("rt_drain_batch", obs.SizeBuckets())
 	}
 }
 
@@ -137,7 +139,12 @@ func New(nodes []msg.Node, opts ...Option) *Network {
 	return n
 }
 
-// Start launches one goroutine per node.
+// Start launches one goroutine per node. Each node loop blocks for one
+// message, then drains whatever else its inbox already holds without going
+// back through the scheduler — batched draining keeps a hot node's cache
+// warm and collapses per-message wakeups under load. Every message is still
+// handled one at a time, outputs routed before its in-flight count is
+// released, so the quiescence invariant is untouched.
 func (n *Network) Start() {
 	if n.started {
 		panic("runtime: Start called twice")
@@ -150,17 +157,34 @@ func (n *Network) Start() {
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
+			handle := func(env envelope) {
+				outs := node.Handle(env.m, time.Now().UnixNano())
+				n.route(from, outs)
+				// The outputs are counted before this message is
+				// released, so the in-flight count can never dip to
+				// zero mid-cascade.
+				n.inFlight.Add(-1)
+			}
 			for {
 				select {
 				case <-n.stop:
 					return
 				case env := <-inbox:
-					outs := node.Handle(env.m, time.Now().UnixNano())
-					n.route(from, outs)
-					// The outputs are counted before this message is
-					// released, so the in-flight count can never dip to
-					// zero mid-cascade.
-					n.inFlight.Add(-1)
+					handle(env)
+					batch := int64(1)
+				drain:
+					for {
+						select {
+						case <-n.stop:
+							return
+						case env := <-inbox:
+							handle(env)
+							batch++
+						default:
+							break drain
+						}
+					}
+					n.drainBatch.Observe(batch)
 				}
 			}
 		}()
@@ -171,6 +195,20 @@ func (n *Network) Start() {
 func (n *Network) Inject(to string, m any) {
 	n.inFlight.Add(1)
 	n.deliver("driver", to, m)
+}
+
+// Reserve marks one unit of out-of-band work (e.g. a view-manager pool
+// computation) as in flight, so Drain cannot observe quiescence while it
+// runs. The returned release is idempotent. Call Reserve synchronously
+// inside the handler that schedules the work and release only after its
+// result has been re-injected, and the never-dip-to-zero invariant carries
+// over to pool work.
+func (n *Network) Reserve() func() {
+	n.inFlight.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() { n.inFlight.Add(-1) })
+	}
 }
 
 func (n *Network) route(from string, outs []msg.Outbound) {

@@ -190,3 +190,82 @@ func TestNetworkDrain(t *testing.T) {
 		t.Error("idle network should report drained")
 	}
 }
+
+func TestNetworkReserveBlocksDrain(t *testing.T) {
+	s := &sink{id: "sink"}
+	n := New([]msg.Node{s})
+	n.Start()
+	defer n.Stop()
+
+	release := n.Reserve()
+	// A reservation counts as in-flight work: Drain must not report
+	// quiescence while it is held.
+	if n.Drain(20 * time.Millisecond) {
+		t.Fatal("drained while a reservation was outstanding")
+	}
+	release()
+	if !n.Drain(2 * time.Second) {
+		t.Fatal("did not drain after release")
+	}
+	// Releases are idempotent: calling again must not push the in-flight
+	// count negative (which would let Drain lie about later work).
+	release()
+	release()
+	n.Inject("sink", "x")
+	if !n.Drain(2 * time.Second) {
+		t.Fatal("did not drain after injection")
+	}
+	if got := len(s.got()); got != 1 {
+		t.Errorf("delivered %d, want 1", got)
+	}
+}
+
+// TestNetworkReserveCoversWorkerHandoff models the pool's use of Reserve:
+// a node hands work to an outside goroutine, which injects the result and
+// only then releases. Drain must wait for the whole handoff.
+func TestNetworkReserveCoversWorkerHandoff(t *testing.T) {
+	s := &sink{id: "sink"}
+	n := New([]msg.Node{s})
+	n.Start()
+	defer n.Stop()
+
+	release := n.Reserve()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		n.Inject("sink", "result")
+		release()
+	}()
+	if !n.Drain(2 * time.Second) {
+		t.Fatal("network did not drain")
+	}
+	if got := len(s.got()); got != 1 {
+		t.Errorf("after drain: delivered %d, want the worker's result", got)
+	}
+}
+
+// TestNetworkBatchedDrainDeliversAll floods a node's inbox so the batched
+// drain loop takes multiple messages per wakeup, and checks nothing is
+// lost or reordered.
+func TestNetworkBatchedDrainDeliversAll(t *testing.T) {
+	s := &sink{id: "sink"}
+	r := &relay{id: "relay", to: "sink"}
+	n := New([]msg.Node{s, r})
+	n.Start()
+	defer n.Stop()
+	const total = 500
+	for i := 0; i < total; i++ {
+		n.Inject("relay", fmt.Sprintf("%04d", i))
+	}
+	if !n.Drain(5 * time.Second) {
+		t.Fatal("network did not drain")
+	}
+	got := s.got()
+	if len(got) != total {
+		t.Fatalf("delivered %d of %d", len(got), total)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("batched drain reordered: %s before %s", got[i-1], got[i])
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"whips/internal/merge"
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+// ackFaultWarehouse is a faulty warehouse: for every submitted transaction
+// it immediately sends a bogus acknowledgment for a transaction id that was
+// never issued (a stale retransmit, as a crash/rebuild or wire duplicate
+// can produce), then acknowledges the real id later — twice. A §4.3
+// sequential strategy that matches acks against its in-flight id shrugs
+// all of that off; one that treats any ack as "the warehouse is free"
+// releases the next transaction while the previous one is still
+// uncommitted, which this stub observes as outstanding > 1.
+type ackFaultWarehouse struct {
+	outstanding int
+	maxOut      int
+	submissions map[msg.TxnID]int
+	rowsSeen    map[msg.UpdateID]int
+}
+
+// ackDue is the stub's self-scheduled timer carrying the genuine ack; the
+// Delay turns it into its own schedule edge, so the explorer interleaves
+// it freely with the stale ack and later submissions.
+type ackDue struct {
+	id   msg.TxnID
+	from string
+}
+
+func newAckFaultWarehouse() *ackFaultWarehouse {
+	return &ackFaultWarehouse{
+		submissions: make(map[msg.TxnID]int),
+		rowsSeen:    make(map[msg.UpdateID]int),
+	}
+}
+
+func (w *ackFaultWarehouse) ID() string { return msg.NodeWarehouse }
+
+func (w *ackFaultWarehouse) Handle(in any, now int64) []msg.Outbound {
+	switch t := in.(type) {
+	case msg.SubmitTxn:
+		w.outstanding++
+		if w.outstanding > w.maxOut {
+			w.maxOut = w.outstanding
+		}
+		w.submissions[t.Txn.ID]++
+		for _, row := range t.Txn.Rows {
+			w.rowsSeen[row]++
+		}
+		return []msg.Outbound{
+			// Stale ack for an id that was never issued, racing ahead of
+			// the real commit.
+			msg.Send(t.From, msg.CommitAck{ID: t.Txn.ID + 997}),
+			{To: msg.NodeWarehouse, Msg: ackDue{id: t.Txn.ID, from: t.From}, Delay: 1},
+		}
+	case ackDue:
+		w.outstanding--
+		// Genuine ack, duplicated — the second must be dropped too.
+		return []msg.Outbound{
+			msg.Send(t.from, msg.CommitAck{ID: t.id}),
+			msg.Send(t.from, msg.CommitAck{ID: t.id}),
+		}
+	default:
+		return nil
+	}
+}
+
+// ackFaultFleet wires one merge process against the faulty warehouse and
+// feeds it updates relevant to a single view, so ready transactions stream
+// out in sequence and the strategy's in-flight discipline carries the
+// whole §4.3 ordering guarantee.
+func ackFaultFleet(updates int, strat func() merge.Strategy, algo merge.Algorithm) Factory {
+	schema := relation.MustSchema("X:int")
+	return func() (*Harness, error) {
+		wh := newAckFaultWarehouse()
+		// live tracks the current merge instance: a crash fault replaces
+		// the node via Rebuild, and Check must inspect the replacement.
+		live := struct{ m *merge.Merge }{merge.New(0, algo, strat())}
+		m := live.m
+		var inject []msg.Outbound
+		for i := 1; i <= updates; i++ {
+			seq := msg.UpdateID(i)
+			inject = append(inject,
+				msg.Send(m.ID(), msg.RelevantSet{Seq: seq, Views: []msg.ViewID{"V1"}}),
+				msg.Send(m.ID(), msg.ActionList{
+					View:  "V1",
+					From:  seq,
+					Upto:  seq,
+					Delta: relation.InsertDelta(schema, relation.T(i)),
+					Level: msg.Complete,
+				}),
+			)
+		}
+		return &Harness{
+			Nodes: []msg.Node{m, wh},
+			Rebuild: map[string]func() msg.Node{
+				m.ID(): func() msg.Node {
+					live.m = merge.New(0, algo, strat())
+					return live.m
+				},
+			},
+			Inject: inject,
+			Check: func() error {
+				if wh.maxOut > 1 {
+					return fmt.Errorf("sequential ordering broken: %d transactions in flight at once (a stale or duplicate ack released the next transaction early)", wh.maxOut)
+				}
+				if wh.outstanding != 0 {
+					return fmt.Errorf("%d transactions never acknowledged", wh.outstanding)
+				}
+				for id, n := range wh.submissions {
+					if n != 1 {
+						return fmt.Errorf("transaction %d submitted %d times", id, n)
+					}
+				}
+				for i := 1; i <= updates; i++ {
+					if n := wh.rowsSeen[msg.UpdateID(i)]; n != 1 {
+						return fmt.Errorf("update %d applied %d times at the warehouse", i, n)
+					}
+				}
+				st := live.m.Stats()
+				if st.HeldALs != 0 || st.RowsLive != 0 {
+					return fmt.Errorf("merge not drained: %d ALs held, %d rows live", st.HeldALs, st.RowsLive)
+				}
+				return nil
+			},
+		}, nil
+	}
+}
+
+func exploreAckFault(t *testing.T, f Factory) {
+	t.Helper()
+	// Systematic: every interleaving of stale acks, genuine acks,
+	// duplicates, and fresh submissions, up to the schedule budget.
+	res, err := Explore(f, Options{DFS: true, MaxSchedules: scale(t, 2000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("DFS:\n%s", res.Violation)
+	}
+	// Randomized with injected process faults on top: merge crashes with
+	// input-log replay regenerate exactly the retransmit storms the
+	// in-flight id matching exists to survive.
+	res, err = Explore(f, Options{Seed: 7, Seeds: scale(t, 400), FaultRate: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("random+faults:\n%s", res.Violation)
+	}
+}
+
+func TestSequentialSurvivesStaleAndDuplicateAcks(t *testing.T) {
+	exploreAckFault(t, ackFaultFleet(3, func() merge.Strategy {
+		return merge.NewSequential(msg.NodeMerge(0), 0)
+	}, merge.SPA))
+}
+
+func TestBatchedSurvivesStaleAndDuplicateAcks(t *testing.T) {
+	exploreAckFault(t, ackFaultFleet(4, func() merge.Strategy {
+		return merge.NewBatched(msg.NodeMerge(0), 0, 2, 0)
+	}, merge.SPA))
+}

@@ -32,6 +32,12 @@ type FleetConfig struct {
 	// Crashable registers Rebuild hooks for the view managers and the
 	// merge process, enabling crash/restart faults.
 	Crashable bool
+	// Pool shares a view-manager worker pool across fleets, so the
+	// explorer can exercise the parallel delta path under every schedule.
+	// The pool stays unbound (Map mode only): Handle still returns each
+	// manager's finished work synchronously, so schedules remain
+	// deterministic and replayable. The caller owns and closes it.
+	Pool *viewmgr.Pool
 	// Obs attaches an observability pipeline to the fleet's processes.
 	// Rebuilt (post-crash) nodes share the same pipeline, so counters
 	// accumulate across incarnations.
@@ -73,6 +79,7 @@ func buildFleet(cfg FleetConfig) (*Harness, error) {
 		Views:     views,
 		Commit:    system.Sequential,
 		LogStates: true,
+		Pool:      cfg.Pool,
 		Obs:       cfg.Obs,
 	})
 	if err != nil {
@@ -109,6 +116,7 @@ func buildFleet(cfg FleetConfig) (*Harness, error) {
 				Expr:         v.Expr,
 				Merge:        msg.NodeMerge(0),
 				ComputeDelay: v.ComputeDelay,
+				Pool:         cfg.Pool,
 				Obs:          cfg.Obs,
 			}
 			h.Rebuild[msg.NodeViewManager(v.ID)] = func() msg.Node {

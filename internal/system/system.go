@@ -161,6 +161,17 @@ type Config struct {
 	WarehouseExecDelay func(msg.WarehouseTxn) int64
 	// CommitObserver is invoked on every warehouse commit.
 	CommitObserver func(warehouse.CommitInfo)
+	// Workers sizes a worker pool shared by all view managers for their
+	// delta computations (see viewmgr.Pool). 0 keeps the pure-latency
+	// model: busy periods are timers, so every view's modeled compute
+	// overlaps freely. N >= 1 models N compute units: at most N busy
+	// periods make progress at once. The pool is owned by the System —
+	// drivers call Close when done.
+	Workers int
+	// Pool supplies an existing pool instead, overriding Workers. The
+	// System does not own it; the caller closes it. The schedule explorer
+	// uses this to share one pool across thousands of rebuilt fleets.
+	Pool *viewmgr.Pool
 	// Obs attaches an observability pipeline to every process: pipeline
 	// metrics land in its registry, and when tracing is enabled each
 	// update's journey (commit → route → al → rel → submit → wh_commit)
@@ -178,6 +189,11 @@ type System struct {
 	Groups     map[msg.ViewID]int
 	Algorithm  merge.Algorithm
 	Views      map[msg.ViewID]expr.Expr
+	// Pool is the view managers' shared worker pool (nil when serial).
+	Pool *viewmgr.Pool
+	// ownedPool marks a pool Build created from Config.Workers, which
+	// Close shuts down.
+	ownedPool bool
 
 	matcher *integrator.Matcher
 
@@ -283,6 +299,16 @@ func Build(cfg Config) (*System, error) {
 	}
 	integ := integrator.New(infos, iopts...)
 
+	pool := cfg.Pool
+	ownedPool := false
+	if pool == nil && cfg.Workers > 0 {
+		pool = viewmgr.NewPool(cfg.Workers)
+		ownedPool = true
+	}
+	if cfg.Obs != nil {
+		pool.SetObs(cfg.Obs.Reg())
+	}
+
 	initDB := cluster.DatabaseAt(0)
 	sys := &System{
 		Cluster:       cluster,
@@ -292,6 +318,8 @@ func Build(cfg Config) (*System, error) {
 		Algorithm:     algorithm,
 		Views:         views,
 		matcher:       integ.Matcher(),
+		Pool:          pool,
+		ownedPool:     ownedPool,
 		relevantCount: make(map[msg.ViewID]int),
 		boundary:      make(map[msg.ViewID]int),
 		dormant:       make(map[msg.ViewID][]*expectation),
@@ -311,6 +339,7 @@ func Build(cfg Config) (*System, error) {
 			Merge:        msg.NodeMerge(groups[v.ID]),
 			ComputeDelay: v.ComputeDelay,
 			StageData:    v.StageData,
+			Pool:         pool,
 			Obs:          cfg.Obs,
 		}
 		var mgr viewmgr.Manager
@@ -384,6 +413,16 @@ func Build(cfg Config) (*System, error) {
 		sys.Merges = append(sys.Merges, merge.New(g, algorithm, strat, mopts...))
 	}
 	return sys, nil
+}
+
+// Close releases resources the System owns — currently the worker pool
+// created from Config.Workers. A pool supplied via Config.Pool is the
+// caller's to close. Safe to call on a serial system and safe to call
+// twice.
+func (s *System) Close() {
+	if s.ownedPool {
+		s.Pool.Close()
+	}
 }
 
 // Nodes returns every process of the system.

@@ -1,0 +1,172 @@
+package viewmgr
+
+import (
+	"sync"
+
+	"whips/internal/obs"
+)
+
+// Pool is a bounded worker pool shared by the view managers for the
+// order-independent part of their work: evaluating per-update view deltas.
+// The coordination state machines stay pure and deterministic — the pool
+// only ever executes commutative delta evaluations whose results are
+// re-sequenced into update order before any message is emitted, so the
+// action-list stream a manager produces is byte-identical with 1 worker or
+// 16.
+//
+// The pool runs in one of two modes:
+//
+//   - Unbound (Map only): deltaForUpdates scatters its per-update
+//     evaluations across the workers and gathers the results in index
+//     order. Used by the simulator and the schedule explorer, where Handle
+//     must return the finished work synchronously.
+//   - Bound (Bind called): under the goroutine runtime, a manager's whole
+//     batch computation — the modeled compute latency plus the evaluation
+//     itself — is handed to a worker via Go, and the finished workDone is
+//     injected back into the network as an ordinary message. Worker count
+//     then governs how many views can overlap their compute latency, which
+//     is the paper's motivation for concurrent view managers (§3.3).
+type Pool struct {
+	workers int
+	tasks   chan func()
+	wg      sync.WaitGroup
+	once    sync.Once
+
+	// Bound-mode hooks (see Bind). inject delivers a finished computation
+	// back into the runtime; reserve keeps the runtime's in-flight
+	// accounting nonzero while a computation is outstanding, so Drain
+	// cannot observe false quiescence.
+	inject  func(to string, m any)
+	reserve func() func()
+
+	// Metric handles; all nil (no-op) until SetObs.
+	depth   *obs.Gauge // tasks queued but not yet picked up
+	busy    *obs.Gauge // tasks currently executing
+	total   *obs.Counter
+	gWorker *obs.Gauge
+}
+
+// NewPool starts a pool with the given number of workers (clamped to at
+// least 1). Close must be called to release them.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, tasks: make(chan func(), 1024)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				p.depth.Add(-1)
+				p.busy.Add(1)
+				task()
+				p.busy.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 0
+	}
+	return p.workers
+}
+
+// SetObs registers the pool's gauges: queue depth, busy workers, total
+// tasks, and configured size.
+func (p *Pool) SetObs(r *obs.Registry) {
+	if p == nil || r == nil {
+		return
+	}
+	p.depth = r.Gauge("vm_pool_depth")
+	p.busy = r.Gauge("vm_pool_busy")
+	p.total = r.Counter("vm_pool_tasks_total")
+	p.gWorker = r.Gauge("vm_pool_workers")
+	p.gWorker.Set(int64(p.workers))
+}
+
+// Bind switches the pool into bound mode: Go becomes available, delivering
+// finished computations via inject. reserve (optional) is called
+// synchronously inside Go and its release after the result is injected, so
+// the runtime's in-flight count never dips to zero while work is in a
+// worker's hands.
+func (p *Pool) Bind(inject func(to string, m any), reserve func() func()) {
+	if p == nil {
+		return
+	}
+	p.inject = inject
+	p.reserve = reserve
+}
+
+// submit enqueues a task, running it inline if the queue is full — the
+// pool degrades to caller-runs under overload instead of deadlocking.
+func (p *Pool) submit(task func()) {
+	p.total.Add(1)
+	p.depth.Add(1)
+	select {
+	case p.tasks <- task:
+	default:
+		p.depth.Add(-1)
+		p.busy.Add(1)
+		task()
+		p.busy.Add(-1)
+	}
+}
+
+// Map runs fn(0..n-1) across the pool and returns when all calls have
+// finished. A nil pool (or trivial sizes) runs serially, so callers need no
+// branching. fn must be safe to call concurrently for distinct indexes.
+func (p *Pool) Map(n int, fn func(i int)) {
+	if p == nil || n <= 1 || p.workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.submit(func() {
+			defer wg.Done()
+			fn(i)
+		})
+	}
+	wg.Wait()
+}
+
+// Go hands compute to a worker and injects its result to node `to` when
+// done. It reports false — and does nothing — when the pool is not bound,
+// in which case the caller must fall back to its synchronous path. The
+// runtime reservation is taken before Go returns, so the caller's Handle
+// still holds the in-flight guarantee when it hands control back.
+func (p *Pool) Go(to string, compute func() any) bool {
+	if p == nil || p.inject == nil {
+		return false
+	}
+	release := func() {}
+	if p.reserve != nil {
+		release = p.reserve()
+	}
+	p.submit(func() {
+		p.inject(to, compute())
+		release()
+	})
+	return true
+}
+
+// Close shuts the pool down after in-flight tasks finish. Safe to call
+// twice; a closed pool must not be used again.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() {
+		close(p.tasks)
+		p.wg.Wait()
+	})
+}

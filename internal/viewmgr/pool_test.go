@@ -1,0 +1,298 @@
+package viewmgr
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+var (
+	poolRS = relation.MustSchema("A:int", "B:int")
+	poolSS = relation.MustSchema("B:int", "C:int")
+)
+
+// poolFixture builds V = R⋈S replicas plus a batch of n updates whose
+// writes intertwine inserts and deletes on both relations, so every
+// prefix state differs and any mis-sequencing shows up in the total.
+func poolFixture(t *testing.T, n int) (expr.Expr, *replicas, []msg.Update) {
+	t.Helper()
+	e := expr.MustJoin(expr.Scan("R", poolRS), expr.Scan("S", poolSS))
+	init := expr.MapDB{
+		"R": relation.FromTuples(poolRS, relation.T(1, 2), relation.T(3, 2)),
+		"S": relation.FromTuples(poolSS, relation.T(2, 10)),
+	}
+	reps, err := newReplicas(e, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]msg.Update, n)
+	for i := range batch {
+		var w []msg.Write
+		switch i % 3 {
+		case 0:
+			w = append(w, msg.Write{Relation: "S", Delta: relation.InsertDelta(poolSS, relation.T(2, 100+i))})
+		case 1:
+			w = append(w,
+				msg.Write{Relation: "R", Delta: relation.InsertDelta(poolRS, relation.T(10+i, 2))},
+				msg.Write{Relation: "S", Delta: relation.InsertDelta(poolSS, relation.T(2, 200+i))})
+		case 2:
+			// Delete the tuple inserted two updates earlier: only correct
+			// if update i really sees the state updates 0..i-1 produced.
+			w = append(w, msg.Write{Relation: "S", Delta: relation.DeleteDelta(poolSS, relation.T(2, 100+i-2))})
+		}
+		batch[i] = msg.Update{Seq: msg.UpdateID(i + 1), Writes: w}
+	}
+	return e, reps, batch
+}
+
+// TestDeltaForUpdatesParallelMatchesSerial is the tentpole's determinism
+// guarantee: the scatter-gathered delta and the post-batch replica state
+// must be identical to the serial computation's, for every worker count.
+func TestDeltaForUpdatesParallelMatchesSerial(t *testing.T) {
+	const updates = 12
+	eS, repsS, batchS := poolFixture(t, updates)
+	want, err := deltaForUpdates(eS, repsS, batchS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			pool := NewPool(workers)
+			defer pool.Close()
+			e, reps, batch := poolFixture(t, updates)
+			got, err := deltaForUpdates(e, reps, batch, pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Errorf("parallel delta diverged:\n got %v\nwant %v", got, want)
+			}
+			for name, rel := range reps.db {
+				if !rel.Equal(repsS.db[name]) {
+					t.Errorf("replica %q diverged:\n got %v\nwant %v", name, rel, repsS.db[name])
+				}
+			}
+			if reps.seq != repsS.seq {
+				t.Errorf("replica seq = %d, want %d", reps.seq, repsS.seq)
+			}
+		})
+	}
+}
+
+// TestPoolMapConcurrentSharedLookups hammers lazy index builds on a shared
+// relation from many workers at once — the -race regression test for the
+// Relation.imu guard.
+func TestPoolMapConcurrentSharedLookups(t *testing.T) {
+	pool := NewPool(8)
+	defer pool.Close()
+	shared := relation.New(poolSS)
+	for i := 0; i < 200; i++ {
+		if err := shared.Insert(relation.T(i%7, i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var hits atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.Map(64, func(i int) {
+				shared.LookupEach([]int{0}, relation.T(i%7), func(relation.Tuple, int64) bool {
+					hits.Add(1)
+					return true
+				})
+			})
+		}()
+	}
+	wg.Wait()
+	if hits.Load() == 0 {
+		t.Fatal("no lookups ran")
+	}
+	if !shared.Indexed([]int{0}) {
+		t.Fatal("index was not built")
+	}
+}
+
+// TestPoolMapSerialFallbacks: nil pools and trivial sizes run inline.
+func TestPoolMapSerialFallbacks(t *testing.T) {
+	var ran int
+	(*Pool)(nil).Map(3, func(int) { ran++ })
+	if ran != 3 {
+		t.Fatalf("nil pool ran %d of 3", ran)
+	}
+	p := NewPool(1)
+	defer p.Close()
+	ran = 0
+	p.Map(3, func(int) { ran++ })
+	if ran != 3 {
+		t.Fatalf("1-worker pool ran %d of 3", ran)
+	}
+}
+
+// TestPoolGoInjectsAndReleases: bound mode must run the computation on a
+// worker, inject the result, and only then release the reservation.
+func TestPoolGoInjectsAndReleases(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+
+	if ok := pool.Go("x", func() any { return 1 }); ok {
+		t.Fatal("unbound pool must refuse Go")
+	}
+	if ok := (*Pool)(nil).Go("x", func() any { return 1 }); ok {
+		t.Fatal("nil pool must refuse Go")
+	}
+
+	type got struct {
+		to       string
+		m        any
+		released bool
+	}
+	var mu sync.Mutex
+	var reserved, released int
+	results := make(chan got, 1)
+	pool.Bind(
+		func(to string, m any) {
+			mu.Lock()
+			rel := released
+			mu.Unlock()
+			results <- got{to: to, m: m, released: rel > 0}
+		},
+		func() func() {
+			mu.Lock()
+			reserved++
+			mu.Unlock()
+			return func() {
+				mu.Lock()
+				released++
+				mu.Unlock()
+			}
+		},
+	)
+	if ok := pool.Go("vm:V1", func() any { return workDone{batch: 3} }); !ok {
+		t.Fatal("bound pool refused Go")
+	}
+	mu.Lock()
+	if reserved != 1 {
+		t.Fatalf("reservation not taken synchronously: reserved=%d", reserved)
+	}
+	mu.Unlock()
+	r := <-results
+	if r.to != "vm:V1" {
+		t.Errorf("injected to %q", r.to)
+	}
+	if wd, ok := r.m.(workDone); !ok || wd.batch != 3 {
+		t.Errorf("injected %#v", r.m)
+	}
+	if r.released {
+		t.Error("reservation released before the result was injected")
+	}
+	pool.Close() // waits for the worker, so the release has happened
+	mu.Lock()
+	defer mu.Unlock()
+	if released != 1 {
+		t.Errorf("released=%d after Close, want 1", released)
+	}
+}
+
+// TestBatcherAsyncBusyPeriod drives a Batching manager whose pool is bound
+// to a fake runtime: startWork must hand the busy period to a worker,
+// arrive back as workDone, and produce the same action lists the
+// synchronous path does.
+func TestBatcherAsyncBusyPeriod(t *testing.T) {
+	build := func(pool *Pool) (Manager, expr.Database) {
+		init := expr.MapDB{
+			"R": relation.FromTuples(poolRS, relation.T(1, 2)),
+			"S": relation.FromTuples(poolSS, relation.T(2, 10)),
+		}
+		m, err := NewBatching(Config{
+			View:         "V1",
+			Expr:         expr.MustJoin(expr.Scan("R", poolRS), expr.Scan("S", poolSS)),
+			Merge:        "merge:0",
+			ComputeDelay: func(n int) int64 { return 1 }, // any positive delay
+			Pool:         pool,
+		}, init)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, init
+	}
+	upd := func(i int) msg.Update {
+		return msg.Update{Seq: msg.UpdateID(i), Writes: []msg.Write{
+			{Relation: "S", Delta: relation.InsertDelta(poolSS, relation.T(2, 100+i))},
+		}}
+	}
+
+	// Synchronous reference: delays surface as delayed self-messages.
+	ref, _ := build(nil)
+	var refALs []msg.ActionList
+	pump := func(m Manager, in any, sink *[]msg.ActionList) []msg.Outbound {
+		var pending []msg.Outbound
+		for _, o := range m.Handle(in, 0) {
+			if o.To == "merge:0" {
+				*sink = append(*sink, o.Msg.(msg.ActionList))
+			} else {
+				pending = append(pending, o)
+			}
+		}
+		return pending
+	}
+	var q []msg.Outbound
+	for i := 1; i <= 3; i++ {
+		q = append(q, pump(ref, upd(i), &refALs)...)
+	}
+	for len(q) > 0 {
+		o := q[0]
+		q = append(q[:0:0], q[1:]...)
+		q = append(q, pump(ref, o.Msg, &refALs)...)
+	}
+
+	// Async: a bound pool executes the busy periods; the fake inject
+	// feeds workDone back through Handle exactly as the runtime would.
+	sleepSave := sleepNs
+	sleepNs = func(int64) {}
+	defer func() { sleepNs = sleepSave }()
+	pool := NewPool(2)
+	defer pool.Close()
+	async, _ := build(pool)
+	var mu sync.Mutex
+	var asyncALs []msg.ActionList
+	done := make(chan struct{}, 16)
+	pool.Bind(func(to string, m any) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, o := range async.Handle(m, 0) {
+			if o.To == "merge:0" {
+				asyncALs = append(asyncALs, o.Msg.(msg.ActionList))
+			}
+		}
+		done <- struct{}{}
+	}, nil)
+	mu.Lock()
+	for i := 1; i <= 3; i++ {
+		if outs := async.Handle(upd(i), 0); len(outs) != 0 {
+			t.Fatalf("async path emitted %v from Handle(update)", outs)
+		}
+	}
+	mu.Unlock()
+	<-done // first batch (update 1)
+	<-done // second batch (updates 2+3, batched while busy)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(asyncALs) != len(refALs) {
+		t.Fatalf("async emitted %d lists, sync %d", len(asyncALs), len(refALs))
+	}
+	for i := range refALs {
+		if asyncALs[i].From != refALs[i].From || asyncALs[i].Upto != refALs[i].Upto ||
+			!asyncALs[i].Delta.Equal(refALs[i].Delta) {
+			t.Errorf("list %d diverged:\n got %+v\nwant %+v", i, asyncALs[i], refALs[i])
+		}
+	}
+}

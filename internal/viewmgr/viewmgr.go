@@ -30,6 +30,7 @@ package viewmgr
 
 import (
 	"fmt"
+	"time"
 
 	"whips/internal/expr"
 	"whips/internal/msg"
@@ -58,6 +59,12 @@ type Config struct {
 	// process a commit token only (§6.3 coordinate-commit-only mode, for
 	// managers whose lists are large — currently honoured by Refresh).
 	StageData bool
+	// Pool, when set, parallelizes the order-independent delta work: batch
+	// evaluations scatter across its workers (and, when the pool is bound
+	// to a runtime, whole busy periods run off the node goroutine). nil
+	// keeps everything serial. Either way the emitted action-list stream is
+	// identical; see Pool.
+	Pool *Pool
 	// Obs attaches the observability pipeline: per-view metrics plus trace
 	// events for every emitted action list.
 	Obs *obs.Pipeline
@@ -172,10 +179,79 @@ func (r *replicas) apply(u msg.Update) error {
 	return nil
 }
 
+// prefixDB presents the (shared, read-only during a scatter) replicas with
+// the writes of a batch prefix applied on top. Each worker owns one, so the
+// lazy clones are private; the shared replicas are only ever read.
+type prefixDB struct {
+	base   expr.Database
+	prefix []msg.Update
+	rels   map[string]*relation.Relation
+}
+
+// Relation implements expr.Database.
+func (p *prefixDB) Relation(name string) (*relation.Relation, error) {
+	if r, ok := p.rels[name]; ok {
+		return r, nil
+	}
+	base, err := p.base.Relation(name)
+	if err != nil {
+		return nil, err
+	}
+	r := base
+	cloned := false
+	for _, u := range p.prefix {
+		for _, w := range u.Writes {
+			if w.Relation != name || w.Delta.Empty() {
+				continue
+			}
+			if !cloned {
+				r = base.Clone()
+				cloned = true
+			}
+			if err := r.Apply(w.Delta); err != nil {
+				return nil, fmt.Errorf("viewmgr: prefix state of %q diverged at update %d: %w", name, u.Seq, err)
+			}
+		}
+	}
+	if p.rels == nil {
+		p.rels = make(map[string]*relation.Relation)
+	}
+	p.rels[name] = r
+	return r, nil
+}
+
 // deltaForUpdates composes the view delta for a run of updates, evaluating
 // each write at the state its predecessors produced, and advances the
 // replicas past them.
-func deltaForUpdates(e expr.Expr, reps *replicas, batch []msg.Update) (*relation.Delta, error) {
+//
+// With a multi-worker pool the per-update evaluations scatter across the
+// workers — update i evaluated against the replicas plus updates 0..i-1 via
+// a private prefixDB — and the results are gathered and merged in update
+// order, so the total is the same signed bag the serial loop produces
+// (delta composition is addition, and each evaluation sees exactly the
+// state its predecessors left). Replicas advance serially after the gather.
+func deltaForUpdates(e expr.Expr, reps *replicas, batch []msg.Update, pool *Pool) (*relation.Delta, error) {
+	if pool.Workers() > 1 && len(batch) > 1 {
+		deltas := make([]*relation.Delta, len(batch))
+		errs := make([]error, len(batch))
+		pool.Map(len(batch), func(i int) {
+			db := &prefixDB{base: reps, prefix: batch[:i]}
+			deltas[i], errs[i] = expr.DeltaWrites(e, msg.ExprWrites(batch[i].Writes), db)
+		})
+		total := relation.NewDelta(e.Schema())
+		for i, u := range batch {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			if err := total.Merge(deltas[i]); err != nil {
+				return nil, err
+			}
+			if err := reps.apply(u); err != nil {
+				return nil, err
+			}
+		}
+		return total, nil
+	}
 	total := relation.NewDelta(e.Schema())
 	for _, u := range batch {
 		d, err := expr.DeltaWrites(e, msg.ExprWrites(u.Writes), reps)
@@ -294,18 +370,45 @@ func (b *batcher) startWork(now int64) []msg.Outbound {
 	b.queue = append(b.queue[:0], b.queue[n:]...)
 	firstArrival := b.arrivals[0]
 	b.arrivals = append(b.arrivals[:0], b.arrivals[n:]...)
-	delta, err := deltaForUpdates(b.cfg.Expr, b.reps, batch)
+	d := b.cfg.delay(len(batch))
+	if d > 0 {
+		// A bound pool takes the whole busy period — the modeled latency
+		// plus the evaluation — off the node goroutine; the finished
+		// workDone comes back as an ordinary message. The busy flag is the
+		// only state touched before the handoff, so the state machine is as
+		// pure as in the synchronous branch: while busy, this manager's
+		// replicas and queue are untouched by the worker except through the
+		// closure below, and nothing else runs until workDone arrives.
+		e, reps, encode, view := b.cfg.Expr, b.reps, b.encode, b.cfg.View
+		started := b.cfg.Pool.Go(b.id(), func() any {
+			sleepNs(d)
+			delta, err := deltaForUpdates(e, reps, batch, nil)
+			if err != nil {
+				panic(fmt.Sprintf("viewmgr: %s: %v", view, err))
+			}
+			return workDone{als: encode(batch, delta), firstArrival: firstArrival, batch: len(batch)}
+		})
+		if started {
+			b.busy = true
+			return nil
+		}
+	}
+	delta, err := deltaForUpdates(b.cfg.Expr, b.reps, batch, b.cfg.Pool)
 	if err != nil {
 		panic(fmt.Sprintf("viewmgr: %s: %v", b.cfg.View, err))
 	}
 	als := b.encode(batch, delta)
-	if d := b.cfg.delay(len(batch)); d > 0 {
+	if d > 0 {
 		b.busy = true
 		return []msg.Outbound{{To: b.id(), Msg: workDone{als: als, firstArrival: firstArrival, batch: len(batch)}, Delay: d}}
 	}
 	out := b.emit(als, now, firstArrival, len(batch))
 	return append(out, b.startWork(now)...)
 }
+
+// sleepNs is the bound-mode realization of a modeled compute delay; a
+// package variable so pool tests can run without wall-clock waits.
+var sleepNs = func(d int64) { time.Sleep(time.Duration(d)) }
 
 // emit sends the computed action lists, attaching piggybacked RELs and —
 // in §6.3 coordinate-commit-only mode — staging each list's delta directly

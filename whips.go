@@ -68,6 +68,15 @@ type Config struct {
 	// OptimizeViews rewrites view definitions (selection pushdown, column
 	// pruning) before building managers; semantics are unchanged.
 	OptimizeViews bool
+	// Workers sizes the view managers' shared worker pool. 0 (default)
+	// keeps the pure-latency model: ComputeDelay busy periods are timers
+	// and overlap freely. N >= 1 models N compute units — delta
+	// computations (including their modeled busy period) run on the pool,
+	// so at most N views make compute progress at once; worker count then
+	// governs how much compute latency the views can overlap. Either way
+	// every view's action-list stream — and so every consistency
+	// guarantee — is unchanged.
+	Workers int
 	// LogStates records the warehouse state sequence so Consistency()
 	// can judge the run. Costs a deep view clone per transaction.
 	LogStates bool
@@ -112,6 +121,7 @@ func New(cfg Config) (*System, error) {
 		LogStates:         cfg.LogStates,
 		Clock:             func() int64 { return time.Now().UnixNano() },
 		Algorithm:         cfg.Algorithm,
+		Workers:           cfg.Workers,
 		Obs:               cfg.Obs,
 	}
 	sys, err := system.Build(scfg)
@@ -126,6 +136,10 @@ func New(cfg Config) (*System, error) {
 		opts = append(opts, runtime.WithObs(cfg.Obs))
 	}
 	net := runtime.New(sys.Nodes(), opts...)
+	// Bind the worker pool to the runtime so busy periods run on workers
+	// and their results come back as ordinary messages, with the network's
+	// in-flight accounting covering the gap.
+	sys.Pool.Bind(net.Inject, net.Reserve)
 	// Source version history is needed by the consistency checker; without
 	// state logging it can be garbage collected as views catch up.
 	return &System{sys: sys, net: net, gcEnabled: !cfg.LogStates}, nil
@@ -151,6 +165,7 @@ func (s *System) Stop() {
 	}
 	s.stopped = true
 	s.net.Stop()
+	s.sys.Close()
 }
 
 // Execute runs a transaction on one source (§2.1's single-source updates)

@@ -950,3 +950,53 @@ func TestSystemStats(t *testing.T) {
 		t.Errorf("upto = %v", st.Upto)
 	}
 }
+
+// TestRandomWorkloadWithWorkerPool runs the paper workloads with a bound
+// worker pool (Config.Workers > 0), so view-manager busy periods execute
+// on pool workers and re-enter the network as injected messages. The
+// consistency guarantees must be exactly those of the serial runs: the
+// pool only relocates where the order-independent delta work executes.
+func TestRandomWorkloadWithWorkerPool(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("batching-PA-workers=%d", workers), func(t *testing.T) {
+			cfg := paperConfig(Batching)
+			for i := range cfg.Views {
+				cfg.Views[i].ComputeDelay = func(n int) int64 { return 200_000 } // 0.2ms
+			}
+			cfg.Jitter = 200 * time.Microsecond
+			cfg.Seed = int64(workers)
+			cfg.Workers = workers
+			sys := startSystem(t, cfg)
+			runWorkload(t, sys, int64(workers), 40)
+			waitFresh(t, sys)
+			rep, err := sys.Consistency()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Strong {
+				t.Errorf("PA with a %d-worker pool must stay strongly consistent: %+v (violation: %s)",
+					workers, rep, rep.Violation)
+			}
+		})
+		t.Run(fmt.Sprintf("complete-SPA-workers=%d", workers), func(t *testing.T) {
+			cfg := paperConfig(Complete)
+			for i := range cfg.Views {
+				cfg.Views[i].ComputeDelay = func(n int) int64 { return 100_000 }
+			}
+			cfg.Seed = int64(workers)
+			cfg.Workers = workers
+			sys := startSystem(t, cfg)
+			runWorkload(t, sys, int64(workers)+10, 30)
+			waitFresh(t, sys)
+			rep, err := sys.Consistency()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Complete {
+				t.Errorf("SPA with a %d-worker pool must stay complete: %+v (violation: %s)",
+					workers, rep, rep.Violation)
+			}
+		})
+	}
+}
