@@ -15,24 +15,39 @@
 //
 //	whipsnode -role managers -addr 127.0.0.1:7654
 //
+// With -data-dir the warehouse site is durable: every input (locally
+// executed update or frame received from the manager site) is written to a
+// write-ahead log before it takes effect, and -snapshot-every updates a
+// checkpoint captures the full site state — cluster, integrator, merge,
+// warehouse, and wire-session resume state. kill -9 the warehouse site and
+// restart it with the same flags: it recovers from the newest snapshot,
+// replays the WAL suffix deterministically, and finishes the run with the
+// exact same views. -fsync picks the append sync policy, -supervise
+// restarts the site in-process after a crash, and -crash-after injects one
+// for testing.
+//
 // Either role takes -debug host:port to serve live observability over
 // HTTP: /metrics (Prometheus text), /metrics.json, /debug/vars (expvar),
-// /healthz, /debug/vut (the live View Update Table as JSON, warehouse
-// role), and /debug/pprof. The warehouse role's -linger keeps the process
-// (and its debug server) alive after the run completes, so scripts can
-// scrape final metrics.
+// /healthz (503 "recovering" during WAL replay), /debug/vut (the live View
+// Update Table as JSON, warehouse role), and /debug/pprof. The warehouse
+// role's -linger keeps the process (and its debug server) alive after the
+// run completes, so scripts can scrape final metrics.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"math/rand"
 	"net"
+	"os"
+	"sync/atomic"
 	"time"
 
 	"whips/internal/consistency"
+	"whips/internal/durable"
 	"whips/internal/expr"
 	"whips/internal/integrator"
 	"whips/internal/merge"
@@ -58,6 +73,21 @@ func views() map[msg.ViewID]expr.Expr {
 	}
 }
 
+type warehouseOpts struct {
+	addr       string
+	updates    int
+	seed       int64
+	pace       time.Duration
+	debug      string
+	linger     time.Duration
+	verbose    bool
+	dataDir    string
+	fsync      durable.FsyncPolicy
+	snapEvery  int
+	crashAfter int
+	supervise  bool
+}
+
 func main() {
 	role := flag.String("role", "", "warehouse or managers")
 	addr := flag.String("addr", "127.0.0.1:7654", "listen (warehouse) / dial (managers) address")
@@ -67,11 +97,25 @@ func main() {
 	debug := flag.String("debug", "", "serve /metrics, /healthz, /debug/vut and pprof on this host:port")
 	linger := flag.Duration("linger", 0, "keep running (and serving -debug) this long after the run completes (warehouse role)")
 	verbose := flag.Bool("v", false, "log connection lifecycle events")
+	dataDir := flag.String("data-dir", "", "enable durability: WAL + snapshots in this directory (warehouse role)")
+	fsyncStr := flag.String("fsync", "always", "WAL sync policy: always, batch, or never (with -data-dir)")
+	snapEvery := flag.Int("snapshot-every", 10, "checkpoint after this many updates (with -data-dir; 0 = never)")
+	crashAfter := flag.Int("crash-after", 0, "crash after executing this many updates (testing; 0 = never)")
+	supervise := flag.Bool("supervise", false, "restart the warehouse site in-process after a crash (with -data-dir)")
 	flag.Parse()
 
+	fsync, err := durable.ParseFsyncPolicy(*fsyncStr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	switch *role {
 	case "warehouse":
-		runWarehouseSite(*addr, *updates, *seed, *pace, *debug, *linger, *verbose)
+		runWarehouseSite(warehouseOpts{
+			addr: *addr, updates: *updates, seed: *seed, pace: *pace,
+			debug: *debug, linger: *linger, verbose: *verbose,
+			dataDir: *dataDir, fsync: fsync, snapEvery: *snapEvery,
+			crashAfter: *crashAfter, supervise: *supervise,
+		})
 	case "managers":
 		runManagerSite(*addr, *seed, *debug, *verbose)
 	default:
@@ -86,15 +130,97 @@ func sessionLogf(verbose bool) func(string, ...any) {
 	return log.Printf
 }
 
-func runWarehouseSite(addr string, updates int, seed int64, pace time.Duration, debug string, linger time.Duration, verbose bool) {
-	ln, err := net.Listen("tcp", addr)
+// warehouseSite is the per-process state shared across in-process restart
+// attempts: the listener, pipeline, and debug server live here; each
+// attempt rebuilds everything else from the data directory.
+type warehouseSite struct {
+	opts warehouseOpts
+	pipe *obs.Pipeline
+	sess atomic.Pointer[wire.Session]
+	host atomic.Pointer[durable.Host]
+	mp   atomic.Pointer[merge.Merge]
+}
+
+func runWarehouseSite(o warehouseOpts) {
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer ln.Close()
-	fmt.Printf("warehouse site listening on %s (seed %d)\n", addr, seed)
+	fmt.Printf("warehouse site listening on %s (seed %d)\n", o.addr, o.seed)
 
-	pipe := obs.NewPipeline()
+	site := &warehouseSite{opts: o, pipe: obs.NewPipeline()}
+	dbg, err := obs.ServeDebug(o.debug, obs.DebugServer{
+		Reg:  site.pipe.Reg(),
+		Role: "warehouse",
+		VUT: func() any {
+			if mp := site.mp.Load(); mp != nil {
+				return []merge.VUTSnapshot{mp.SnapshotVUT()}
+			}
+			return []merge.VUTSnapshot{}
+		},
+		Health: func() (string, bool) {
+			if h := site.host.Load(); h != nil && h.Recovering() {
+				return "recovering", false
+			}
+			return "serving", true
+		},
+	})
+	must(err)
+	if dbg != nil {
+		fmt.Printf("debug server on http://%s (metrics, healthz, debug/vut, debug/pprof)\n", o.debug)
+		defer dbg.Close()
+	}
+
+	// Accept loop: each (re)connecting manager site attaches to the current
+	// attempt's session; connections racing an in-process restart are
+	// closed and the peer's backoff redial finds the new session.
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s := site.sess.Load()
+			if s == nil {
+				conn.Close()
+				continue
+			}
+			if o.verbose {
+				log.Printf("manager site connected from %s", conn.RemoteAddr())
+			}
+			s.Attach(conn)
+		}
+	}()
+
+	for {
+		err := site.attempt()
+		if err == nil {
+			break
+		}
+		if !o.supervise || o.dataDir == "" {
+			log.Fatalf("warehouse site: %v", err)
+		}
+		log.Printf("warehouse site crashed: %v; recovering from %s", err, o.dataDir)
+	}
+	if o.linger > 0 {
+		fmt.Printf("lingering %v for metric scrapes\n", o.linger)
+		time.Sleep(o.linger)
+	}
+}
+
+// attempt builds and runs the warehouse site once. A durable attempt
+// recovers from the data directory first; a crash (injected or panic)
+// returns an error so the supervisor can run another attempt.
+func (site *warehouseSite) attempt() (err error) {
+	o := site.opts
+	pipe := site.pipe
+	defer func() {
+		site.sess.Store(nil)
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
 
 	cluster := source.NewCluster(func() int64 { return time.Now().UnixNano() })
 	cluster.SetObs(pipe)
@@ -115,28 +241,53 @@ func runWarehouseSite(addr string, updates int, seed int64, pace time.Duration, 
 	}
 	wh := warehouse.New(initial, warehouse.WithStateLog(), warehouse.WithObs(pipe))
 	mp := merge.New(0, merge.SPA, merge.NewSequential(msg.NodeMerge(0), 0), merge.WithObs(pipe))
+	site.mp.Store(mp)
 
-	dbg, err := obs.ServeDebug(debug, obs.DebugServer{
-		Reg:  pipe.Reg(),
-		Role: "warehouse",
-		VUT:  func() any { return []merge.VUTSnapshot{mp.SnapshotVUT()} },
-	})
-	must(err)
-	if dbg != nil {
-		fmt.Printf("debug server on http://%s (metrics, healthz, debug/vut, debug/pprof)\n", debug)
-		defer dbg.Close()
+	// The store opens before the session so that teardown (LIFO defers)
+	// closes the session first: a late frame racing the unwind then hits a
+	// live store or — once the store is closed — a benign ErrClosed drop,
+	// never a write on a closed file.
+	var store *durable.Store
+	if o.dataDir != "" {
+		st, serr := durable.Open(durable.StoreConfig{Dir: o.dataDir, Fsync: o.fsync, Logf: log.Printf, Obs: pipe})
+		must(serr)
+		store = st
+		defer store.Close()
 	}
 
 	var rtnet *runtime.Network
-	sess := wire.NewSession(wire.SessionConfig{
-		Name:    "warehouse-site",
-		Deliver: func(from, to string, m any) { rtnet.Inject(to, m) },
-		Logf:    sessionLogf(verbose),
-		Obs:     pipe,
-	})
+	var host *durable.Host
+	scfg := wire.SessionConfig{Name: "warehouse-site", Logf: sessionLogf(o.verbose), Obs: pipe}
+	var sess *wire.Session
+	if o.dataDir != "" {
+		// Durable receive path: WAL-append the frame, then advance the
+		// session watermark and inject — all inside the host's ingestion
+		// lock, so checkpoints and durable acks are exact.
+		scfg.DeliverSeq = func(from, to string, seq uint64, m any) {
+			ierr := host.IngestFrame(from, to, seq, m, func() {
+				sess.SetLastRecv(from, to, seq)
+				rtnet.Inject(to, m)
+			})
+			switch {
+			case ierr == nil:
+			case errors.Is(ierr, durable.ErrClosed):
+				// This attempt is tearing down; the frame was not logged
+				// and the watermark did not advance, so the peer will
+				// resend it to the next attempt's session.
+				if o.verbose {
+					log.Printf("durable: dropped frame %s→%s %d during teardown", from, to, seq)
+				}
+			default:
+				log.Fatalf("durable: frame %s→%s %d: %v", from, to, seq, ierr)
+			}
+		}
+	} else {
+		scfg.Deliver = func(from, to string, m any) { rtnet.Inject(to, m) }
+	}
+	sess = wire.NewSession(scfg)
 	defer sess.Close()
-	rtnet = runtime.New(
-		[]msg.Node{source.NewNode(cluster), integ, mp, wh},
+	nodes := []msg.Node{source.NewNode(cluster), integ, mp, wh}
+	rtnet = runtime.New(nodes,
 		runtime.WithRemoteFrom(func(from, to string, m any) {
 			if err := sess.Send(from, to, m); err != nil {
 				log.Printf("send: %v", err)
@@ -144,55 +295,107 @@ func runWarehouseSite(addr string, updates int, seed int64, pace time.Duration, 
 		}),
 		runtime.WithObs(pipe),
 	)
+
+	if o.dataDir != "" {
+		nodeMap := map[string]msg.Node{}
+		for _, n := range nodes {
+			nodeMap[n.ID()] = n
+		}
+		host = durable.NewHost(durable.HostConfig{
+			Store: store,
+			Nodes: nodeMap,
+			Parts: map[string]durable.Durable{
+				msg.NodeCluster:    cluster,
+				msg.NodeIntegrator: integ,
+				msg.NodeWarehouse:  wh,
+				msg.NodeMerge(0):   mp,
+				"session":          sess,
+			},
+			Remote: func(from, to string, m any) {
+				if err := sess.Send(from, to, m); err != nil {
+					log.Printf("replay send: %v", err)
+				}
+			},
+			OnExec:          func(u msg.Update) error { return cluster.Replay(u) },
+			OnFrame:         sess.SetLastRecv,
+			AfterCheckpoint: sess.AckDurable,
+			Logf:            log.Printf,
+			Obs:             pipe,
+		})
+		site.host.Store(host)
+		must(host.Recover())
+		if seq := cluster.Seq(); seq > 0 {
+			fmt.Printf("recovered to seq %d from %s\n", seq, o.dataDir)
+		}
+	}
+
 	rtnet.Start()
 	defer rtnet.Stop()
-	// Accept loop: each (re)connecting manager site replaces the previous
-	// connection; the session's Hello exchange resumes both directions.
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			if verbose {
-				log.Printf("manager site connected from %s", conn.RemoteAddr())
-			}
-			sess.Attach(conn)
-		}
-	}()
+	site.sess.Store(sess)
 
-	rng := rand.New(rand.NewSource(seed))
-	for i := 0; i < updates; i++ {
-		u, err := cluster.Execute("src1", msg.Write{
-			Relation: "S",
-			Delta:    relation.InsertDelta(sSchema, relation.T(rng.Intn(6), rng.Intn(6))),
-		})
-		must(err)
-		rtnet.Inject(msg.NodeIntegrator, u)
-		if pace > 0 {
-			time.Sleep(pace)
+	rng := rand.New(rand.NewSource(o.seed))
+	start := 0
+	if o.dataDir != "" {
+		// Resume the workload where the recovered schedule ends; the rng
+		// draws two values per update, so fast-forward it in lockstep.
+		start = int(cluster.Seq())
+		for i := 0; i < start; i++ {
+			rng.Intn(6)
+			rng.Intn(6)
+		}
+	}
+	for i := start; i < o.updates; i++ {
+		exec := func() (msg.Update, error) {
+			return cluster.Execute("src1", msg.Write{
+				Relation: "S",
+				Delta:    relation.InsertDelta(sSchema, relation.T(rng.Intn(6), rng.Intn(6))),
+			})
+		}
+		if host != nil {
+			_, err := host.IngestExec(msg.NodeIntegrator, exec, func(u msg.Update) {
+				rtnet.Inject(msg.NodeIntegrator, u)
+			})
+			must(err)
+			if o.snapEvery > 0 && (i+1)%o.snapEvery == 0 {
+				if cerr := host.Checkpoint(func() bool { return rtnet.Drain(10 * time.Second) }); cerr != nil {
+					log.Printf("checkpoint at %d: %v", i+1, cerr)
+				} else if o.verbose {
+					log.Printf("checkpoint at %d", i+1)
+				}
+			}
+		} else {
+			u, err := exec()
+			must(err)
+			rtnet.Inject(msg.NodeIntegrator, u)
+		}
+		if o.crashAfter > 0 && i+1 == o.crashAfter {
+			if o.supervise {
+				panic(fmt.Sprintf("injected crash after %d updates", i+1))
+			}
+			log.Printf("crash-after %d: hard exit", o.crashAfter)
+			os.Exit(3)
+		}
+		if o.pace > 0 {
+			time.Sleep(o.pace)
 		}
 	}
 	if !runtime.WaitUntil(60*time.Second, func() bool {
 		up := wh.Upto()
-		return up["V1"] >= msg.UpdateID(updates) && up["V2"] >= msg.UpdateID(updates)
+		return up["V1"] >= msg.UpdateID(o.updates) && up["V2"] >= msg.UpdateID(o.updates)
 	}) {
-		log.Fatalf("remote managers did not drain: %v (seed %d)", wh.Upto(), seed)
+		log.Fatalf("remote managers did not drain: %v (seed %d)", wh.Upto(), o.seed)
 	}
-	rep, err := consistency.Check(cluster, vs, wh.Log())
-	must(err)
+	rep, cerr := consistency.Check(cluster, vs, wh.Log())
+	must(cerr)
 	all := wh.ReadAll()
-	fmt.Printf("%d updates maintained by REMOTE view managers\n", updates)
+	fmt.Printf("%d updates maintained by REMOTE view managers\n", o.updates)
 	fmt.Printf("V1: %d rows  V2: %d rows\n", all["V1"].Cardinality(), all["V2"].Cardinality())
 	fmt.Printf("MVC: convergent=%v strong=%v complete=%v\n", rep.Convergent, rep.Strong, rep.Complete)
 	if !rep.Complete {
-		log.Fatalf("expected complete MVC (seed %d)", seed)
+		log.Fatalf("expected complete MVC (seed %d)", o.seed)
 	}
 	fmt.Println("OK")
-	if linger > 0 {
-		fmt.Printf("lingering %v for metric scrapes\n", linger)
-		time.Sleep(linger)
-	}
+	return nil
 }
 
 func runManagerSite(addr string, seed int64, debug string, verbose bool) {

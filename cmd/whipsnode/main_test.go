@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -98,6 +103,190 @@ func TestKillRestartManagerSite(t *testing.T) {
 		t.Fatalf("warehouse did not verify complete MVC:\n%s", out)
 	}
 	t.Logf("warehouse output:\n%s", out)
+}
+
+// waitFinish waits for a warehouse process to exit cleanly, failing with
+// its output otherwise.
+func waitFinish(t *testing.T, wh *exec.Cmd, out *bytes.Buffer, timeout time.Duration) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- wh.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("warehouse site failed: %v\n%s", err, out.String())
+		}
+	case <-time.After(timeout):
+		wh.Process.Kill()
+		t.Fatalf("warehouse site did not finish\n%s", out.String())
+	}
+}
+
+// viewLine extracts the final "V1: n rows  V2: m rows" line.
+func viewLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "V1: ") {
+			return line
+		}
+	}
+	t.Fatalf("no view summary in output:\n%s", out)
+	return ""
+}
+
+// TestKillRestartWarehouseSiteDurable is the durability acceptance
+// scenario: the warehouse site runs with -data-dir, is SIGKILLed
+// mid-stream twice, and is restarted from its WAL + snapshots each time.
+// The finished run must report complete MVC and the exact views of an
+// uninterrupted baseline, and the manager site's retained-frame buffer
+// must have been shrunk by the checkpoint acks.
+func TestKillRestartWarehouseSiteDurable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bin := buildBinary(t)
+	const updates, seed = 80, 7
+
+	// Baseline: same workload, no durability, no faults.
+	baseAddr := freePort(t)
+	var baseOut bytes.Buffer
+	base := exec.Command(bin, "-role", "warehouse", "-addr", baseAddr,
+		"-updates", fmt.Sprint(updates), "-seed", fmt.Sprint(seed))
+	base.Stdout, base.Stderr = &baseOut, &baseOut
+	if err := base.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer base.Process.Kill()
+	baseMgr := exec.Command(bin, "-role", "managers", "-addr", baseAddr)
+	if err := baseMgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { baseMgr.Process.Kill(); baseMgr.Wait() }()
+	waitFinish(t, base, &baseOut, 60*time.Second)
+	baseline := viewLine(t, baseOut.String())
+
+	// Fault run: durable warehouse, killed and restarted twice.
+	addr := freePort(t)
+	mgrDebug := freePort(t)
+	dataDir := filepath.Join(t.TempDir(), "wh-data")
+	startWarehouse := func() (*exec.Cmd, *bytes.Buffer) {
+		var out bytes.Buffer
+		wh := exec.Command(bin, "-role", "warehouse", "-addr", addr,
+			"-updates", fmt.Sprint(updates), "-seed", fmt.Sprint(seed),
+			"-pace", "4ms", "-data-dir", dataDir, "-snapshot-every", "7")
+		wh.Stdout, wh.Stderr = &out, &out
+		if err := wh.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return wh, &out
+	}
+
+	wh, whOut := startWarehouse()
+	defer wh.Process.Kill()
+	mgr := exec.Command(bin, "-role", "managers", "-addr", addr, "-debug", mgrDebug)
+	mgr.Stdout, mgr.Stderr = os.Stderr, os.Stderr
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { mgr.Process.Kill(); mgr.Wait() }()
+
+	for round := 0; round < 2; round++ {
+		time.Sleep(time.Duration(90+round*40) * time.Millisecond)
+		if wh.ProcessState != nil {
+			break // finished before we could kill it; still verifies below
+		}
+		if err := wh.Process.Signal(syscall.SIGKILL); err != nil {
+			t.Fatal(err)
+		}
+		wh.Wait()
+		t.Logf("warehouse site killed (round %d); output so far:\n%s", round+1, whOut.String())
+		wh, whOut = startWarehouse()
+		defer wh.Process.Kill()
+	}
+
+	waitFinish(t, wh, whOut, 90*time.Second)
+	out := whOut.String()
+	if !strings.Contains(out, "recovered to seq ") {
+		t.Fatalf("restarted warehouse did not recover from WAL:\n%s", out)
+	}
+	if !strings.Contains(out, "complete=true") || !strings.Contains(out, "\nOK\n") {
+		t.Fatalf("durable run did not verify complete MVC:\n%s", out)
+	}
+	if got := viewLine(t, out); got != baseline {
+		t.Fatalf("views diverged from no-crash baseline:\n got %q\nwant %q", got, baseline)
+	}
+
+	// Checkpoint acks must have pruned the manager site's retained frames:
+	// full retention would hold 2 frames per update (one action list per
+	// view); durable acks cut it to roughly the suffix after the last
+	// checkpoint.
+	retained := scrapeGauge(t, mgrDebug, "wire_retained_frames")
+	if retained >= updates {
+		t.Fatalf("manager retained %d frames; checkpoint acks should keep it well under %d", retained, updates)
+	}
+	t.Logf("manager retained frames after run: %d (full retention would be %d)", retained, 2*updates)
+}
+
+// scrapeGauge reads one metric value from a debug server's Prometheus
+// endpoint, tolerating label sets.
+func scrapeGauge(t *testing.T, addr, name string) int {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape %s: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	re := regexp.MustCompile(`(?m)^` + name + `(?:\{[^}]*\})? (\d+)`)
+	m := re.FindSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric %s not found in:\n%s", name, body)
+	}
+	v, err := strconv.Atoi(string(m[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestSupervisedCrashRestart exercises the in-process restart loop: an
+// injected crash mid-run is recovered without process replacement.
+func TestSupervisedCrashRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	bin := buildBinary(t)
+	addr := freePort(t)
+	dataDir := filepath.Join(t.TempDir(), "wh-data")
+
+	var whOut bytes.Buffer
+	wh := exec.Command(bin, "-role", "warehouse", "-addr", addr,
+		"-updates", "40", "-seed", "11",
+		"-data-dir", dataDir, "-snapshot-every", "6",
+		"-crash-after", "17", "-supervise")
+	wh.Stdout, wh.Stderr = &whOut, &whOut
+	if err := wh.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer wh.Process.Kill()
+
+	mgr := exec.Command(bin, "-role", "managers", "-addr", addr)
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { mgr.Process.Kill(); mgr.Wait() }()
+
+	waitFinish(t, wh, &whOut, 90*time.Second)
+	out := whOut.String()
+	if !strings.Contains(out, "injected crash after 17 updates") {
+		t.Fatalf("crash was not injected:\n%s", out)
+	}
+	if !strings.Contains(out, "recovered to seq ") {
+		t.Fatalf("supervisor did not recover:\n%s", out)
+	}
+	if !strings.Contains(out, "complete=true") || !strings.Contains(out, "\nOK\n") {
+		t.Fatalf("supervised run did not verify complete MVC:\n%s", out)
+	}
 }
 
 // TestCleanRunNoFaults is the same two-process run without any kill — the

@@ -1,0 +1,187 @@
+package whips_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"whips"
+)
+
+// durableConfig builds a two-relation join system with durability rooted
+// at dir.
+func durableConfig(dir string, snapshotEvery int) whips.Config {
+	rs := whips.MustSchema("A:int", "B:int")
+	ss := whips.MustSchema("B:int", "C:int")
+	return whips.Config{
+		Sources: []whips.SourceDef{{ID: "src", Relations: map[string]*whips.Relation{
+			"R": whips.FromTuples(rs, whips.T(1, 10)),
+			"S": whips.NewRelation(ss),
+		}}},
+		Views: []whips.ViewDef{
+			{ID: "V1", Expr: whips.MustJoin(whips.Scan("R", rs), whips.Scan("S", ss)), Manager: whips.Complete},
+			{ID: "V2", Expr: whips.Scan("S", ss), Manager: whips.Batching},
+		},
+		LogStates: true,
+		Durable:   &whips.DurableOptions{Dir: dir, Fsync: whips.FsyncNever, SnapshotEvery: snapshotEvery},
+	}
+}
+
+func durableDrive(t *testing.T, sys *whips.System, from, to int) {
+	t.Helper()
+	rs := whips.MustSchema("A:int", "B:int")
+	ss := whips.MustSchema("B:int", "C:int")
+	for i := from; i < to; i++ {
+		var err error
+		if i%3 == 0 {
+			_, err = sys.Execute("src", whips.Insert("R", rs, whips.T(i, i%5)))
+		} else {
+			_, err = sys.Execute("src", whips.Insert("S", ss, whips.T(i%5, i)))
+		}
+		if err != nil {
+			t.Fatalf("execute %d: %v", i, err)
+		}
+	}
+	if !sys.WaitFresh(10 * time.Second) {
+		t.Fatalf("system did not become fresh")
+	}
+}
+
+// TestDurableRecovery drives updates through a durable system, reopens
+// the data directory, and checks the recovered warehouse matches: same
+// views, consistent state sequence, and the pipeline still works.
+func TestDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	sys, err := whips.New(durableConfig(dir, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	durableDrive(t, sys, 2, 30)
+	want := sys.ReadAll()
+	sys.Stop()
+
+	// Reopen: snapshot restore + WAL-suffix replay happens inside New.
+	sys2, err := whips.New(durableConfig(dir, 0))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer sys2.Stop()
+	got := sys2.ReadAll()
+	for v, r := range want {
+		if !r.Equal(got[v]) {
+			t.Fatalf("view %s after recovery:\n got %v\nwant %v", v, got[v], r)
+		}
+	}
+	rep, err := sys2.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatalf("recovered run not consistent: %+v", rep)
+	}
+
+	// The recovered system keeps working.
+	sys2.Start()
+	durableDrive(t, sys2, 30, 40)
+	rep, err = sys2.Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete {
+		t.Fatalf("post-recovery run not consistent: %+v", rep)
+	}
+}
+
+// TestDurableReplayDeterministic recovers the same data directory twice
+// and requires byte-identical marshaled state.
+func TestDurableReplayDeterministic(t *testing.T) {
+	dir := t.TempDir()
+
+	sys, err := whips.New(durableConfig(dir, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	durableDrive(t, sys, 2, 25)
+	sys.Stop()
+
+	recover := func() []byte {
+		s, err := whips.New(durableConfig(dir, 0))
+		if err != nil {
+			t.Fatalf("recovery: %v", err)
+		}
+		defer s.Stop()
+		b, err := s.StateBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := recover()
+	b := recover()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two recoveries differ: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// BenchmarkDurableRecovery measures recovery time (whips.New on an
+// existing data directory: snapshot restore + WAL-suffix replay) as a
+// function of WAL suffix length — the D1 table in EXPERIMENTS.md. The
+// data directory is prepared once per WAL length with checkpoints
+// disabled, so every record is in the replay suffix.
+func BenchmarkDurableRecovery(b *testing.B) {
+	rs := whips.MustSchema("A:int", "B:int")
+	ss := whips.MustSchema("B:int", "C:int")
+	for _, walLen := range []int{25, 100, 400} {
+		b.Run(fmt.Sprintf("wal=%d", walLen), func(b *testing.B) {
+			dir := b.TempDir()
+			sys, err := whips.New(durableConfig(dir, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Start()
+			for i := 2; i < 2+walLen; i++ {
+				if i%3 == 0 {
+					_, err = sys.Execute("src", whips.Insert("R", rs, whips.T(i, i%5)))
+				} else {
+					_, err = sys.Execute("src", whips.Insert("S", ss, whips.T(i%5, i)))
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !sys.WaitFresh(10 * time.Second) {
+				b.Fatal("system did not become fresh")
+			}
+			sys.Stop()
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := whips.New(durableConfig(dir, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Stop()
+			}
+		})
+	}
+}
+
+// TestDurableRejectsUnsupported checks the configurations durability
+// cannot honor are refused up front.
+func TestDurableRejectsUnsupported(t *testing.T) {
+	cfg := durableConfig(t.TempDir(), 0)
+	cfg.Workers = 2
+	if _, err := whips.New(cfg); err == nil {
+		t.Fatal("expected error for Workers > 0")
+	}
+
+	cfg = durableConfig(t.TempDir(), 0)
+	cfg.Views[0].Manager = whips.CompleteQuery
+	if _, err := whips.New(cfg); err == nil {
+		t.Fatal("expected error for query-based manager")
+	}
+}

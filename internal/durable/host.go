@@ -1,0 +1,400 @@
+package durable
+
+import (
+	"bytes"
+	"container/heap"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whips/internal/msg"
+	"whips/internal/obs"
+	"whips/internal/wire"
+)
+
+// Durable is node state that can round-trip through a snapshot. Restoring
+// marshaled state must be behaviorally transparent: the restored node
+// handles any subsequent message exactly as the original would have.
+type Durable interface {
+	MarshalState() ([]byte, error)
+	RestoreState([]byte) error
+}
+
+// Record kinds. Exec records are source transactions this process
+// executed locally (the warehouse site drives its own cluster); frame
+// records are messages received from peers over a wire.Session, tagged
+// with the channel sequence so recovery can advance the session's
+// dedup watermark.
+const (
+	RecExec  uint8 = 1
+	RecFrame uint8 = 2
+)
+
+// Record is one WAL entry: an input the process must re-consume on
+// recovery. Msg holds the wire form (codec.go), which gob already knows.
+type Record struct {
+	Kind uint8
+	From string
+	To   string
+	Seq  uint64
+	Msg  any
+}
+
+// EncodeRecord frames a record for Store.Append.
+func EncodeRecord(r Record) ([]byte, error) {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(r); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeRecord parses a WAL payload.
+func DecodeRecord(b []byte) (Record, error) {
+	var r Record
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&r)
+	return r, err
+}
+
+// HostConfig wires a Host to one process's nodes and transport.
+type HostConfig struct {
+	// Store is the process's data directory.
+	Store *Store
+	// Nodes are the local msg.Node processes by ID; replay drives their
+	// Handle directly under a deterministic virtual clock.
+	Nodes map[string]msg.Node
+	// Parts are the named state parts captured in each snapshot —
+	// typically the local nodes plus "cluster" and "session". Part names
+	// must be stable across restarts.
+	Parts map[string]Durable
+	// Remote routes replay outputs addressed to nodes this process does
+	// not host (normally wire.Session.Send, which regenerates the
+	// retained outbound stream with the same sequence numbers).
+	Remote func(from, to string, m any)
+	// OnExec re-commits a replayed source transaction into the local
+	// cluster before it is injected downstream.
+	OnExec func(u msg.Update) error
+	// OnFrame is called for each replayed peer frame (normally
+	// wire.Session.SetLastRecv), so the post-recovery Hello asks the
+	// peer only for the un-logged suffix.
+	OnFrame func(from, to string, seq uint64)
+	// AfterCheckpoint runs after each successful checkpoint (normally
+	// wire.Session.AckDurable, letting peers free retained frames).
+	AfterCheckpoint func()
+	// Logf, when set, receives recovery diagnostics.
+	Logf func(format string, args ...any)
+	// Obs, when set, attaches replay metrics to its registry.
+	Obs *obs.Pipeline
+}
+
+// Host coordinates durability for one process: inputs are WAL-appended
+// before they take effect (IngestExec/IngestFrame hold a shared lock),
+// checkpoints marshal all parts under the exclusive lock, and Recover
+// rebuilds the process from snapshot + WAL replay.
+type Host struct {
+	cfg HostConfig
+	// mu orders ingestion against checkpoints: many inputs may land
+	// concurrently (RLock), but a checkpoint (Lock) sees either all of
+	// an input's effects — cluster commit, WAL record, delivery — or
+	// none of them.
+	mu         sync.RWMutex
+	recovering atomic.Bool
+
+	replayRecords *obs.Counter
+	replayNs      *obs.Histogram
+}
+
+// NewHost builds a host. Call Recover before attaching transports or
+// starting runtimes.
+func NewHost(cfg HostConfig) *Host {
+	h := &Host{cfg: cfg}
+	if cfg.Obs != nil {
+		r := cfg.Obs.Reg()
+		h.replayRecords = r.Counter("durable_replay_records")
+		h.replayNs = r.Histogram("durable_replay_ns", obs.LatencyBuckets())
+	}
+	return h
+}
+
+func (h *Host) logf(format string, args ...any) {
+	if h.cfg.Logf != nil {
+		h.cfg.Logf(format, args...)
+	}
+}
+
+// Recovering reports whether WAL replay is in progress (surfaced by
+// /healthz as "recovering").
+func (h *Host) Recovering() bool { return h.recovering.Load() }
+
+// part is one named state blob in a snapshot; slices sorted by Name keep
+// snapshots deterministic.
+type part struct {
+	Name  string
+	State []byte
+}
+
+// marshalParts captures every configured part, sorted by name.
+func (h *Host) marshalParts() ([]byte, error) {
+	names := make([]string, 0, len(h.cfg.Parts))
+	for name := range h.cfg.Parts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]part, 0, len(names))
+	for _, name := range names {
+		b, err := h.cfg.Parts[name].MarshalState()
+		if err != nil {
+			return nil, fmt.Errorf("durable: marshal part %q: %w", name, err)
+		}
+		parts = append(parts, part{Name: name, State: b})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(parts); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (h *Host) restoreParts(b []byte) error {
+	var parts []part
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&parts); err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	for _, p := range parts {
+		d := h.cfg.Parts[p.Name]
+		if d == nil {
+			return fmt.Errorf("durable: snapshot has part %q but host does not", p.Name)
+		}
+		if err := d.RestoreState(p.State); err != nil {
+			return fmt.Errorf("durable: restore part %q: %w", p.Name, err)
+		}
+		seen[p.Name] = true
+	}
+	for name := range h.cfg.Parts {
+		if !seen[name] {
+			return fmt.Errorf("durable: host part %q missing from snapshot", name)
+		}
+	}
+	return nil
+}
+
+// StateBytes marshals the current snapshot payload without writing it —
+// used by determinism tests to compare two recoveries byte for byte.
+func (h *Host) StateBytes() ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.marshalParts()
+}
+
+// IngestExec runs one locally driven source transaction durably: execute
+// commits it (returning the update), the update is WAL-appended, and
+// deliver injects it downstream — all under the shared lock, so a
+// checkpoint can never observe the commit without the WAL record.
+func (h *Host) IngestExec(to string, execute func() (msg.Update, error), deliver func(u msg.Update)) (msg.Update, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	u, err := execute()
+	if err != nil {
+		return u, err
+	}
+	wm, err := wire.Encode(u)
+	if err != nil {
+		return u, err
+	}
+	payload, err := EncodeRecord(Record{Kind: RecExec, To: to, Msg: wm})
+	if err != nil {
+		return u, err
+	}
+	if _, err := h.cfg.Store.Append(payload); err != nil {
+		return u, err
+	}
+	if deliver != nil {
+		deliver(u)
+	}
+	return u, nil
+}
+
+// IngestFrame durably logs one peer frame, then delivers it. Wire it as
+// the session's DeliverSeq.
+func (h *Host) IngestFrame(from, to string, seq uint64, m any, deliver func()) error {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	wm, err := wire.Encode(m)
+	if err != nil {
+		return err
+	}
+	payload, err := EncodeRecord(Record{Kind: RecFrame, From: from, To: to, Seq: seq, Msg: wm})
+	if err != nil {
+		return err
+	}
+	if _, err := h.cfg.Store.Append(payload); err != nil {
+		return err
+	}
+	if deliver != nil {
+		deliver()
+	}
+	return nil
+}
+
+// Checkpoint quiesces the process (drain must return true once no work is
+// in flight), snapshots every part, rolls and prunes the WAL, and
+// notifies peers. Ingestion blocks for the duration.
+func (h *Host) Checkpoint(drain func() bool) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if drain != nil && !drain() {
+		return fmt.Errorf("durable: checkpoint aborted: process did not quiesce")
+	}
+	state, err := h.marshalParts()
+	if err != nil {
+		return err
+	}
+	if err := h.cfg.Store.Checkpoint(state); err != nil {
+		return err
+	}
+	if h.cfg.AfterCheckpoint != nil {
+		h.cfg.AfterCheckpoint()
+	}
+	return nil
+}
+
+// recordSpacing is the virtual-time gap between consecutive WAL records
+// during replay. Self-scheduled timers (Outbound.Delay) land at their
+// original nanosecond offsets relative to the record that armed them, so
+// replay interleaving is a pure function of the WAL — never of wall
+// clocks — and two recoveries from the same directory are identical.
+const recordSpacing = int64(time.Millisecond)
+
+// Recover restores the newest valid snapshot and replays the WAL suffix
+// through the local nodes under the deterministic pump. Call once, before
+// the process goes live.
+func (h *Host) Recover() (err error) {
+	h.recovering.Store(true)
+	defer h.recovering.Store(false)
+	start := time.Now()
+	defer func() {
+		if h.replayNs != nil {
+			h.replayNs.Observe(time.Since(start).Nanoseconds())
+		}
+	}()
+	state, records := h.cfg.Store.Recover()
+	if state != nil {
+		if err := h.restoreParts(state); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("durable: replay panic: %v", p)
+		}
+	}()
+	p := &pump{nodes: h.cfg.Nodes, remote: h.cfg.Remote, logf: h.logf}
+	for i, payload := range records {
+		r, err := DecodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("durable: WAL record %d: %w", i, err)
+		}
+		at := int64(i+1) * recordSpacing
+		m, err := wire.Decode(r.Msg)
+		if err != nil {
+			return fmt.Errorf("durable: WAL record %d: %w", i, err)
+		}
+		switch r.Kind {
+		case RecExec:
+			u, ok := m.(msg.Update)
+			if !ok {
+				return fmt.Errorf("durable: WAL record %d: exec holds %T", i, m)
+			}
+			if h.cfg.OnExec != nil {
+				if err := h.cfg.OnExec(u); err != nil {
+					return fmt.Errorf("durable: WAL record %d: %w", i, err)
+				}
+			}
+			p.push(at, "wal", r.To, u)
+		case RecFrame:
+			if h.cfg.OnFrame != nil {
+				h.cfg.OnFrame(r.From, r.To, r.Seq)
+			}
+			p.push(at, r.From, r.To, m)
+		default:
+			return fmt.Errorf("durable: WAL record %d: unknown kind %d", i, r.Kind)
+		}
+	}
+	n := len(records)
+	if err := p.run(); err != nil {
+		return err
+	}
+	if h.replayRecords != nil {
+		h.replayRecords.Add(int64(n))
+	}
+	if n > 0 || state != nil {
+		h.logf("durable: recovered %d snapshot parts + %d WAL records", len(h.cfg.Parts), n)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- pump
+
+// pumpItem is one scheduled delivery in the replay pump.
+type pumpItem struct {
+	at       int64
+	ord      int // insertion order; ties on at keep FIFO
+	from, to string
+	m        any
+}
+
+type pumpHeap []pumpItem
+
+func (h pumpHeap) Len() int { return len(h) }
+func (h pumpHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].ord < h[j].ord
+}
+func (h pumpHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *pumpHeap) Push(x any)        { *h = append(*h, x.(pumpItem)) }
+func (h *pumpHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// pump is a single-threaded discrete-event executor: deliveries happen in
+// (virtual time, insertion order), node outputs cascade at the same
+// instant (or after their timer delay), and outputs addressed to nodes
+// this process does not host are routed out through remote.
+type pump struct {
+	nodes  map[string]msg.Node
+	remote func(from, to string, m any)
+	logf   func(string, ...any)
+	q      pumpHeap
+	ord    int
+}
+
+func (p *pump) push(at int64, from, to string, m any) {
+	heap.Push(&p.q, pumpItem{at: at, ord: p.ord, from: from, to: to, m: m})
+	p.ord++
+}
+
+func (p *pump) run() error {
+	for p.q.Len() > 0 {
+		it := heap.Pop(&p.q).(pumpItem)
+		node := p.nodes[it.to]
+		if node == nil {
+			if p.remote == nil {
+				return fmt.Errorf("durable: replay output to %q but no remote route", it.to)
+			}
+			p.remote(it.from, it.to, it.m)
+			continue
+		}
+		for _, o := range node.Handle(it.m, it.at) {
+			at := it.at
+			if o.Delay > 0 {
+				at += o.Delay
+			}
+			p.push(at, it.to, o.To, o.Msg)
+		}
+	}
+	return nil
+}

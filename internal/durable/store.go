@@ -1,0 +1,300 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"whips/internal/obs"
+)
+
+// ErrClosed is returned by Append and Checkpoint after Close. A host being
+// torn down can race late frame deliveries from a still-draining session;
+// callers detect this error and drop the frame (it was never logged, so the
+// watermark does not advance and the peer will resend it).
+var ErrClosed = errors.New("durable: store is closed")
+
+// StoreConfig configures a Store.
+type StoreConfig struct {
+	// Dir is the node's data directory; created if absent.
+	Dir string
+	// Fsync controls when WAL appends reach stable storage.
+	Fsync FsyncPolicy
+	// Keep is how many snapshots to retain (older ones and the WAL
+	// segments they cover are pruned at checkpoint). Minimum 2, so a
+	// corrupt latest snapshot always has a fallback.
+	Keep int
+	// Logf, when set, receives recovery diagnostics.
+	Logf func(format string, args ...any)
+	// Obs, when set, attaches durability metrics to its registry.
+	Obs *obs.Pipeline
+}
+
+// storeObs holds the store's instruments; nil-safe no-ops without a
+// pipeline.
+type storeObs struct {
+	walBytes    *obs.Gauge
+	walRecords  *obs.Counter
+	snapAge     *obs.Gauge
+	checkpoints *obs.Counter
+}
+
+func newStoreObs(p *obs.Pipeline) storeObs {
+	if p == nil {
+		return storeObs{}
+	}
+	r := p.Reg()
+	return storeObs{
+		walBytes:    r.Gauge("durable_wal_bytes"),
+		walRecords:  r.Counter("durable_wal_records_total"),
+		snapAge:     r.Gauge("durable_snapshot_age"),
+		checkpoints: r.Counter("durable_checkpoints_total"),
+	}
+}
+
+// Store owns one node's data directory: a segmented WAL of input records
+// and a small set of state snapshots. Open scans the directory once —
+// truncating a torn WAL tail, picking the newest valid snapshot — and the
+// results are served by Recover.
+type Store struct {
+	cfg StoreConfig
+	ob  storeObs
+
+	mu       sync.Mutex
+	seg      *os.File // active segment, positioned at its end
+	segStart uint64   // global index of the active segment's first record
+	count    uint64   // total valid records across all segments
+	covered  uint64   // records covered by the recovered snapshot
+	walBytes int64    // live WAL bytes across retained segments
+
+	snapState []byte   // recovered snapshot payload (nil = cold start)
+	replay    [][]byte // WAL records at global index >= covered
+}
+
+// Open opens (or initializes) a data directory and performs the recovery
+// scan. The returned store is ready for Append.
+func Open(cfg StoreConfig) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("durable: StoreConfig.Dir is required")
+	}
+	if cfg.Keep < 2 {
+		cfg.Keep = 2
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{cfg: cfg, ob: newStoreObs(cfg.Obs)}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// scan restores the store's in-memory view of the directory: the newest
+// valid snapshot (falling back past corrupt ones), every WAL record at or
+// above its covered count, and the append position. Only the final segment
+// may be torn — truncated in place; a short segment earlier in the chain
+// means records are missing and recovery must not silently skip them.
+func (s *Store) scan() error {
+	snaps, err := listSnapshots(s.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		state, err := readSnapshot(s.cfg.Dir, snaps[i])
+		if err != nil {
+			s.logf("durable: snapshot %d unusable, falling back: %v", snaps[i], err)
+			continue
+		}
+		s.snapState, s.covered = state, snaps[i]
+		break
+	}
+
+	segs, err := listSegments(s.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	next := s.covered // next global index we expect to read for replay
+	s.count = s.covered
+	for i, first := range segs {
+		path := filepath.Join(s.cfg.Dir, segmentName(first))
+		records, validLen, err := readSegment(path)
+		if err != nil {
+			return err
+		}
+		if fi, err := os.Stat(path); err == nil && fi.Size() > validLen {
+			if i != len(segs)-1 {
+				return fmt.Errorf("durable: segment %s corrupt at offset %d with later segments present", segmentName(first), validLen)
+			}
+			s.logf("durable: truncating torn tail of %s at %d (was %d bytes)", segmentName(first), validLen, fi.Size())
+			if err := os.Truncate(path, validLen); err != nil {
+				return err
+			}
+		}
+		end := first + uint64(len(records))
+		if i+1 < len(segs) && end != segs[i+1] {
+			return fmt.Errorf("durable: segment %s holds %d records but next segment starts at %d", segmentName(first), len(records), segs[i+1])
+		}
+		s.walBytes += validLen
+		if end > s.count {
+			s.count = end
+		}
+		// Collect the replay suffix; segments wholly below the snapshot
+		// are retained only until the next checkpoint prunes them.
+		for j, rec := range records {
+			if first+uint64(j) >= next {
+				s.replay = append(s.replay, rec)
+				next = first + uint64(j) + 1
+			}
+		}
+	}
+
+	// Open the active segment: the last existing one, or a fresh one.
+	start := s.count
+	if len(segs) > 0 {
+		start = segs[len(segs)-1]
+	}
+	f, err := os.OpenFile(filepath.Join(s.cfg.Dir, segmentName(start)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.seg, s.segStart = f, start
+	s.ob.walBytes.Set(s.walBytes)
+	s.ob.snapAge.Set(int64(s.count - s.covered))
+	return nil
+}
+
+// Recover returns the scanned snapshot state (nil on cold start) and the
+// WAL records to replay after restoring it.
+func (s *Store) Recover() (state []byte, records [][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapState, s.replay
+}
+
+// Append durably logs one input record and returns its global index.
+func (s *Store) Append(payload []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg == nil {
+		return 0, ErrClosed
+	}
+	n, err := appendRecord(s.seg, payload)
+	if err != nil {
+		return 0, err
+	}
+	if s.cfg.Fsync == FsyncAlways {
+		if err := s.seg.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	idx := s.count
+	s.count++
+	s.walBytes += n
+	s.ob.walBytes.Set(s.walBytes)
+	s.ob.walRecords.Inc()
+	s.ob.snapAge.Set(int64(s.count - s.covered))
+	return idx, nil
+}
+
+// Records reports how many records the WAL has ever held (the next global
+// index), and Covered how many the newest snapshot includes.
+func (s *Store) Records() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.count }
+
+// Covered reports the newest snapshot's covered record count.
+func (s *Store) Covered() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.covered }
+
+// WALBytes reports the live WAL size across retained segments.
+func (s *Store) WALBytes() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.walBytes }
+
+// Checkpoint writes a snapshot covering every record appended so far,
+// rolls the WAL onto a fresh segment, and prunes snapshots/segments no
+// retained snapshot needs. The caller must ensure state reflects all
+// appended records (quiesce first).
+func (s *Store) Checkpoint(state []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg == nil {
+		return ErrClosed
+	}
+	if s.cfg.Fsync != FsyncNever {
+		if err := s.seg.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := writeSnapshot(s.cfg.Dir, s.count, state, s.cfg.Fsync); err != nil {
+		return err
+	}
+	s.covered = s.count
+	// Roll the WAL so pruning is whole-segment deletion.
+	if s.segStart != s.count {
+		f, err := os.OpenFile(filepath.Join(s.cfg.Dir, segmentName(s.count)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		s.seg.Close()
+		s.seg, s.segStart = f, s.count
+	}
+	s.prune()
+	s.ob.checkpoints.Inc()
+	s.ob.snapAge.Set(0)
+	s.ob.walBytes.Set(s.walBytes)
+	return nil
+}
+
+// prune deletes snapshots beyond the retention count and WAL segments
+// entirely below the oldest retained snapshot. Best-effort: a failed
+// delete only costs disk.
+func (s *Store) prune() {
+	snaps, err := listSnapshots(s.cfg.Dir)
+	if err != nil {
+		return
+	}
+	if len(snaps) > s.cfg.Keep {
+		for _, c := range snaps[:len(snaps)-s.cfg.Keep] {
+			os.Remove(filepath.Join(s.cfg.Dir, snapshotName(c)))
+		}
+		snaps = snaps[len(snaps)-s.cfg.Keep:]
+	}
+	floor := snaps[0] // oldest retained snapshot's covered count
+	segs, err := listSegments(s.cfg.Dir)
+	if err != nil {
+		return
+	}
+	for i, first := range segs {
+		// A segment is disposable when the next segment starts at or
+		// below the floor (so every record here is < floor) and it is
+		// not the active segment.
+		if first == s.segStart || i+1 >= len(segs) || segs[i+1] > floor {
+			continue
+		}
+		path := filepath.Join(s.cfg.Dir, segmentName(first))
+		if fi, err := os.Stat(path); err == nil {
+			s.walBytes -= fi.Size()
+		}
+		os.Remove(path)
+	}
+}
+
+// Close syncs (per policy) and closes the active segment.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg == nil {
+		return nil
+	}
+	if s.cfg.Fsync != FsyncNever {
+		s.seg.Sync()
+	}
+	err := s.seg.Close()
+	s.seg = nil
+	return err
+}

@@ -1,0 +1,264 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// openT opens a store in dir with the never-sync test policy.
+func openT(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(StoreConfig{Dir: dir, Fsync: FsyncNever, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func appendN(t *testing.T, s *Store, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		if _, err := s.Append([]byte(fmt.Sprintf("record-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAppendRecoverRoundTrip writes records, closes, reopens, and checks
+// the replay set is complete and in order.
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	appendN(t, s, 0, 25)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir)
+	defer s2.Close()
+	state, records := s2.Recover()
+	if state != nil {
+		t.Fatalf("cold start returned snapshot state %q", state)
+	}
+	if len(records) != 25 {
+		t.Fatalf("recovered %d records, want 25", len(records))
+	}
+	for i, r := range records {
+		if want := fmt.Sprintf("record-%04d", i); string(r) != want {
+			t.Fatalf("record %d = %q, want %q", i, r, want)
+		}
+	}
+}
+
+// TestCheckpointReplaysSuffixOnly snapshots mid-stream and checks recovery
+// returns the snapshot plus only the records after it.
+func TestCheckpointReplaysSuffixOnly(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	appendN(t, s, 0, 10)
+	if err := s.Checkpoint([]byte("state@10")); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, s, 10, 5)
+	s.Close()
+
+	s2 := openT(t, dir)
+	defer s2.Close()
+	state, records := s2.Recover()
+	if string(state) != "state@10" {
+		t.Fatalf("recovered state %q, want %q", state, "state@10")
+	}
+	if len(records) != 5 {
+		t.Fatalf("recovered %d suffix records, want 5", len(records))
+	}
+	if string(records[0]) != "record-0010" {
+		t.Fatalf("suffix starts at %q, want record-0010", records[0])
+	}
+	if got := s2.Records(); got != 15 {
+		t.Fatalf("Records() = %d, want 15", got)
+	}
+}
+
+// TestTornTailTruncated simulates a crash mid-append: garbage (a torn
+// record) at the end of the last segment must be detected and truncated,
+// keeping every intact record.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	appendN(t, s, 0, 8)
+	s.Close()
+
+	// Tear the tail: append a header claiming more payload than follows.
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	last := filepath.Join(dir, segmentName(segs[len(segs)-1]))
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte{0xff, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 'p', 'a', 'r'}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(last)
+
+	s2 := openT(t, dir)
+	_, records := s2.Recover()
+	if len(records) != 8 {
+		t.Fatalf("recovered %d records after torn tail, want 8", len(records))
+	}
+	// The torn bytes must be gone from disk so the next append is framed
+	// at a valid offset.
+	after, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size()-int64(len(torn)) {
+		t.Fatalf("torn tail not truncated: %d bytes, want %d", after.Size(), before.Size()-int64(len(torn)))
+	}
+	appendN(t, s2, 8, 2)
+	s2.Close()
+
+	s3 := openT(t, dir)
+	defer s3.Close()
+	_, records = s3.Recover()
+	if len(records) != 10 {
+		t.Fatalf("recovered %d records after post-truncation appends, want 10", len(records))
+	}
+}
+
+// TestCorruptSnapshotFallsBack flips a byte in the newest snapshot; the
+// checksum must reject it and recovery must use the previous snapshot plus
+// a longer WAL suffix.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	appendN(t, s, 0, 6)
+	if err := s.Checkpoint([]byte("state@6")); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, s, 6, 6)
+	if err := s.Checkpoint([]byte("state@12")); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, s, 12, 3)
+	s.Close()
+
+	// Corrupt the newest snapshot's payload.
+	path := filepath.Join(dir, snapshotName(12))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0x5a
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir)
+	defer s2.Close()
+	state, records := s2.Recover()
+	if string(state) != "state@6" {
+		t.Fatalf("recovered state %q, want fallback %q", state, "state@6")
+	}
+	// Suffix must now start at record 6: the WAL retained the segments the
+	// older snapshot needs (Keep >= 2).
+	if len(records) != 9 {
+		t.Fatalf("recovered %d suffix records, want 9 (6..14)", len(records))
+	}
+	if string(records[0]) != "record-0006" {
+		t.Fatalf("suffix starts at %q, want record-0006", records[0])
+	}
+}
+
+// TestCheckpointPrunes verifies retention: old snapshots beyond Keep are
+// deleted, and WAL segments wholly below the oldest retained snapshot go
+// with them.
+func TestCheckpointPrunes(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	for ck := 0; ck < 5; ck++ {
+		appendN(t, s, ck*4, 4)
+		if err := s.Checkpoint([]byte(fmt.Sprintf("state@%d", (ck+1)*4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("retained %d snapshots %v, want 2", len(snaps), snaps)
+	}
+	if snaps[0] != 16 || snaps[1] != 20 {
+		t.Fatalf("retained snapshots %v, want [16 20]", snaps)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, first := range segs {
+		if first < 16 {
+			t.Fatalf("segment wal-%d survives below the oldest retained snapshot (16); segments: %v", first, segs)
+		}
+	}
+}
+
+// TestRecoverDeterministic opens the same directory twice; both recoveries
+// must return byte-identical snapshot state and record sets.
+func TestRecoverDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	appendN(t, s, 0, 9)
+	if err := s.Checkpoint([]byte("snap-state")); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, s, 9, 4)
+	s.Close()
+
+	read := func() ([]byte, [][]byte) {
+		st := openT(t, dir)
+		defer st.Close()
+		return st.Recover()
+	}
+	st1, rec1 := read()
+	st2, rec2 := read()
+	if !bytes.Equal(st1, st2) {
+		t.Fatalf("snapshot state differs between recoveries")
+	}
+	if len(rec1) != len(rec2) {
+		t.Fatalf("record counts differ: %d vs %d", len(rec1), len(rec2))
+	}
+	for i := range rec1 {
+		if !bytes.Equal(rec1[i], rec2[i]) {
+			t.Fatalf("record %d differs between recoveries", i)
+		}
+	}
+}
+
+// TestClosedStoreErrors verifies the teardown contract: Append and
+// Checkpoint on a closed store return ErrClosed, not a bare file error.
+func TestClosedStoreErrors(t *testing.T) {
+	s := openT(t, t.TempDir())
+	appendN(t, s, 0, 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("late")); err != ErrClosed {
+		t.Fatalf("Append after Close: %v, want ErrClosed", err)
+	}
+	if err := s.Checkpoint([]byte("late")); err != ErrClosed {
+		t.Fatalf("Checkpoint after Close: %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,35 @@
+package integrator
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"whips/internal/msg"
+)
+
+// integratorState is the durable form of an Integrator. The matcher and
+// routing tables are pure functions of the view definitions, rebuilt from
+// configuration on restart; only the FIFO watermark and the received
+// count are state.
+type integratorState struct {
+	LastSeq  int64
+	Received int64
+}
+
+// MarshalState implements durable.Durable.
+func (in *Integrator) MarshalState() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(integratorState{LastSeq: int64(in.lastSeq), Received: in.received})
+	return buf.Bytes(), err
+}
+
+// RestoreState implements durable.Durable.
+func (in *Integrator) RestoreState(b []byte) error {
+	var st integratorState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	in.lastSeq = msg.UpdateID(st.LastSeq)
+	in.received = st.Received
+	return nil
+}

@@ -22,6 +22,8 @@ func (r *recorder) OnAck(msg.TxnID, int64) []msg.Outbound       { return nil }
 func (r *recorder) OnTimer(strategyTimer, int64) []msg.Outbound { return nil }
 func (r *recorder) Pending() int                                { return 0 }
 func (r *recorder) Name() string                                { return "recorder" }
+func (r *recorder) MarshalState() ([]byte, error)               { return nil, nil }
+func (r *recorder) RestoreState([]byte) error                   { return nil }
 
 var alSchema = relation.MustSchema("X:int")
 

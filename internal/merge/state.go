@@ -1,0 +1,411 @@
+// state.go gives the merge process and its commit strategies durable
+// snapshots (internal/durable): the full VUT — rows, colors, held action
+// lists, per-view columns — plus relay bookkeeping, counters, and the
+// strategy's in-flight transactions. All slices are sorted so identical
+// states encode to identical bytes.
+package merge
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"whips/internal/msg"
+	"whips/internal/wire"
+)
+
+// encodeTxn round-trips a WarehouseTxn through its wire form.
+func encodeTxn(t msg.WarehouseTxn) (wire.SubmitTxn, error) {
+	wm, err := wire.Encode(msg.SubmitTxn{Txn: t})
+	if err != nil {
+		return wire.SubmitTxn{}, err
+	}
+	return wm.(wire.SubmitTxn), nil
+}
+
+func decodeTxn(w wire.SubmitTxn) (msg.WarehouseTxn, error) {
+	m, err := wire.Decode(w)
+	if err != nil {
+		return msg.WarehouseTxn{}, err
+	}
+	return m.(msg.SubmitTxn).Txn, nil
+}
+
+func encodeTxns(ts []msg.WarehouseTxn) ([]wire.SubmitTxn, error) {
+	out := make([]wire.SubmitTxn, 0, len(ts))
+	for _, t := range ts {
+		w, err := encodeTxn(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func decodeTxns(ws []wire.SubmitTxn) ([]msg.WarehouseTxn, error) {
+	var out []msg.WarehouseTxn
+	for _, w := range ws {
+		t, err := decodeTxn(w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func gobBytes(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobFrom(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// ---------------------------------------------------------------- strategies
+
+type sequentialState struct {
+	Next     int64
+	Queue    []wire.SubmitTxn
+	Inflight int64
+}
+
+// MarshalState implements Strategy.
+func (s *Sequential) MarshalState() ([]byte, error) {
+	q, err := encodeTxns(s.queue)
+	if err != nil {
+		return nil, err
+	}
+	return gobBytes(sequentialState{Next: int64(s.ids.next), Queue: q, Inflight: int64(s.inflight)})
+}
+
+// RestoreState implements Strategy.
+func (s *Sequential) RestoreState(b []byte) error {
+	var st sequentialState
+	if err := gobFrom(b, &st); err != nil {
+		return err
+	}
+	q, err := decodeTxns(st.Queue)
+	if err != nil {
+		return err
+	}
+	s.ids.next = msg.TxnID(st.Next)
+	s.queue = q
+	s.inflight = msg.TxnID(st.Inflight)
+	return nil
+}
+
+type idOnlyState struct{ Next int64 }
+
+// MarshalState implements Strategy.
+func (c *Callback) MarshalState() ([]byte, error) { return gobBytes(idOnlyState{Next: int64(c.ids.next)}) }
+
+// RestoreState implements Strategy.
+func (c *Callback) RestoreState(b []byte) error {
+	var st idOnlyState
+	if err := gobFrom(b, &st); err != nil {
+		return err
+	}
+	c.ids.next = msg.TxnID(st.Next)
+	return nil
+}
+
+// MarshalState implements Strategy.
+func (s *Immediate) MarshalState() ([]byte, error) { return gobBytes(idOnlyState{Next: int64(s.ids.next)}) }
+
+// RestoreState implements Strategy.
+func (s *Immediate) RestoreState(b []byte) error {
+	var st idOnlyState
+	if err := gobFrom(b, &st); err != nil {
+		return err
+	}
+	s.ids.next = msg.TxnID(st.Next)
+	return nil
+}
+
+type dependencyState struct {
+	Next        int64
+	Uncommitted []depEntryState
+}
+
+type depEntryState struct {
+	ID    int64
+	Views []string
+}
+
+// MarshalState implements Strategy.
+func (d *Dependency) MarshalState() ([]byte, error) {
+	st := dependencyState{Next: int64(d.ids.next)}
+	for id, vs := range d.uncommitted {
+		e := depEntryState{ID: int64(id)}
+		for _, v := range vs {
+			e.Views = append(e.Views, string(v))
+		}
+		st.Uncommitted = append(st.Uncommitted, e)
+	}
+	sort.Slice(st.Uncommitted, func(i, j int) bool { return st.Uncommitted[i].ID < st.Uncommitted[j].ID })
+	return gobBytes(st)
+}
+
+// RestoreState implements Strategy.
+func (d *Dependency) RestoreState(b []byte) error {
+	var st dependencyState
+	if err := gobFrom(b, &st); err != nil {
+		return err
+	}
+	d.ids.next = msg.TxnID(st.Next)
+	d.uncommitted = make(map[msg.TxnID][]msg.ViewID, len(st.Uncommitted))
+	for _, e := range st.Uncommitted {
+		var vs []msg.ViewID
+		for _, v := range e.Views {
+			vs = append(vs, msg.ViewID(v))
+		}
+		d.uncommitted[msg.TxnID(e.ID)] = vs
+	}
+	return nil
+}
+
+type batchedState struct {
+	Next       int64
+	Buf        []wire.SubmitTxn
+	Queue      []wire.SubmitTxn
+	Inflight   int64
+	TimerGen   int64
+	TimerArmed bool
+}
+
+// MarshalState implements Strategy.
+func (b *Batched) MarshalState() ([]byte, error) {
+	buf, err := encodeTxns(b.buf)
+	if err != nil {
+		return nil, err
+	}
+	q, err := encodeTxns(b.queue)
+	if err != nil {
+		return nil, err
+	}
+	return gobBytes(batchedState{
+		Next: int64(b.ids.next), Buf: buf, Queue: q,
+		Inflight: int64(b.inflight), TimerGen: b.timerGen, TimerArmed: b.timerArmed,
+	})
+}
+
+// RestoreState implements Strategy.
+func (b *Batched) RestoreState(bs []byte) error {
+	var st batchedState
+	if err := gobFrom(bs, &st); err != nil {
+		return err
+	}
+	buf, err := decodeTxns(st.Buf)
+	if err != nil {
+		return err
+	}
+	q, err := decodeTxns(st.Queue)
+	if err != nil {
+		return err
+	}
+	b.ids.next = msg.TxnID(st.Next)
+	b.buf, b.queue = buf, q
+	b.inflight = msg.TxnID(st.Inflight)
+	b.timerGen, b.timerArmed = st.TimerGen, st.TimerArmed
+	return nil
+}
+
+// ---------------------------------------------------------------- merge
+
+type heldALState struct {
+	AL         wire.ActionList
+	ReceivedAt int64
+}
+
+func encodeHeld(hs []heldAL) ([]heldALState, error) {
+	var out []heldALState
+	for _, h := range hs {
+		wm, err := wire.Encode(h.al)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, heldALState{AL: wm.(wire.ActionList), ReceivedAt: h.receivedAt})
+	}
+	return out, nil
+}
+
+func decodeHeld(ws []heldALState) ([]heldAL, error) {
+	var out []heldAL
+	for _, w := range ws {
+		m, err := wire.Decode(w.AL)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, heldAL{al: m.(msg.ActionList), receivedAt: w.ReceivedAt})
+	}
+	return out, nil
+}
+
+type entryState struct {
+	View  string
+	Color uint8
+	State int64
+}
+
+type rowState struct {
+	Seq       int64
+	CommitAt  int64
+	Entries   []entryState
+	WT        []heldALState
+	CreatedAt int64
+	ReadyAt   int64
+	UnblockAt int64
+}
+
+type colState struct {
+	View    string
+	Whites  []int64
+	Reds    []int64
+	Waiting []heldALState
+	Covered [][2]int64
+}
+
+type mergeState struct {
+	Rows        []rowState
+	Cols        []colState
+	RelSeen     []int64
+	RelFrontier int64
+	Stats       Stats
+	Strategy    []byte
+}
+
+func seqsOut(s []msg.UpdateID) []int64 {
+	out := make([]int64, len(s))
+	for i, v := range s {
+		out[i] = int64(v)
+	}
+	return out
+}
+
+func seqsIn(s []int64) []msg.UpdateID {
+	var out []msg.UpdateID
+	for _, v := range s {
+		out = append(out, msg.UpdateID(v))
+	}
+	return out
+}
+
+// MarshalState implements durable.Durable. The transient PA apply-set is
+// excluded: it is built and reset within a single Handle call.
+func (m *Merge) MarshalState() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := mergeState{RelFrontier: int64(m.relFrontier), Stats: m.stats}
+	for _, seq := range m.rowSeqs {
+		r := m.rows[seq]
+		rs := rowState{
+			Seq: int64(r.seq), CommitAt: r.commitAt,
+			CreatedAt: r.createdAt, ReadyAt: r.readyAt, UnblockAt: r.unblockAt,
+		}
+		for _, v := range r.views {
+			e := r.entries[v]
+			rs.Entries = append(rs.Entries, entryState{View: string(v), Color: uint8(e.color), State: int64(e.state)})
+		}
+		wt, err := encodeHeld(r.wt)
+		if err != nil {
+			return nil, err
+		}
+		rs.WT = wt
+		st.Rows = append(st.Rows, rs)
+	}
+	views := make([]string, 0, len(m.cols))
+	for v := range m.cols {
+		views = append(views, string(v))
+	}
+	sort.Strings(views)
+	for _, v := range views {
+		c := m.cols[msg.ViewID(v)]
+		cs := colState{View: v, Whites: seqsOut(c.whites), Reds: seqsOut(c.reds)}
+		w, err := encodeHeld(c.waiting)
+		if err != nil {
+			return nil, err
+		}
+		cs.Waiting = w
+		for _, cr := range c.covered {
+			cs.Covered = append(cs.Covered, [2]int64{int64(cr.from), int64(cr.upto)})
+		}
+		st.Cols = append(st.Cols, cs)
+	}
+	for seq := range m.relSeen {
+		st.RelSeen = append(st.RelSeen, int64(seq))
+	}
+	sort.Slice(st.RelSeen, func(i, j int) bool { return st.RelSeen[i] < st.RelSeen[j] })
+	sb, err := m.strategy.MarshalState()
+	if err != nil {
+		return nil, err
+	}
+	st.Strategy = sb
+	return gobBytes(st)
+}
+
+// RestoreState implements durable.Durable. The merge must have been built
+// with the same algorithm, group, and strategy kind as the one that
+// marshaled the state.
+func (m *Merge) RestoreState(b []byte) error {
+	var st mergeState
+	if err := gobFrom(b, &st); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rows = make(map[msg.UpdateID]*row, len(st.Rows))
+	m.rowSeqs = nil
+	for _, rs := range st.Rows {
+		r := &row{
+			seq: msg.UpdateID(rs.Seq), commitAt: rs.CommitAt,
+			entries:   make(map[msg.ViewID]*entry, len(rs.Entries)),
+			createdAt: rs.CreatedAt, readyAt: rs.ReadyAt, unblockAt: rs.UnblockAt,
+		}
+		for _, es := range rs.Entries {
+			v := msg.ViewID(es.View)
+			r.entries[v] = &entry{color: Color(es.Color), state: msg.UpdateID(es.State)}
+			r.views = append(r.views, v)
+		}
+		wt, err := decodeHeld(rs.WT)
+		if err != nil {
+			return err
+		}
+		r.wt = wt
+		m.rows[r.seq] = r
+		m.rowSeqs = append(m.rowSeqs, r.seq)
+	}
+	m.cols = make(map[msg.ViewID]*column, len(st.Cols))
+	for _, cs := range st.Cols {
+		c := &column{whites: seqsIn(cs.Whites), reds: seqsIn(cs.Reds)}
+		w, err := decodeHeld(cs.Waiting)
+		if err != nil {
+			return err
+		}
+		c.waiting = w
+		for _, cr := range cs.Covered {
+			c.covered = append(c.covered, coveredRange{from: msg.UpdateID(cr[0]), upto: msg.UpdateID(cr[1])})
+		}
+		m.cols[msg.ViewID(cs.View)] = c
+	}
+	if m.relayMode {
+		m.relSeen = make(map[msg.UpdateID]bool, len(st.RelSeen))
+		for _, s := range st.RelSeen {
+			m.relSeen[msg.UpdateID(s)] = true
+		}
+	}
+	m.relFrontier = msg.UpdateID(st.RelFrontier)
+	m.stats = st.Stats
+	m.applySet = make(map[msg.UpdateID]bool)
+	m.applyList = nil
+	if err := m.strategy.RestoreState(st.Strategy); err != nil {
+		return fmt.Errorf("merge: restore strategy %q: %w", m.strategy.Name(), err)
+	}
+	return nil
+}

@@ -26,6 +26,11 @@ type Strategy interface {
 	Pending() int
 	// Name identifies the strategy in reports.
 	Name() string
+	// MarshalState/RestoreState capture the strategy's in-flight state —
+	// id allocator, queued and unacknowledged transactions — for durable
+	// snapshots (see internal/durable).
+	MarshalState() ([]byte, error)
+	RestoreState([]byte) error
 }
 
 // strategyTimer is the self-message strategies use for delayed flushes.

@@ -20,6 +20,10 @@ type DebugServer struct {
 	// VUT returns JSON-marshalable snapshots of the live ViewUpdateTables,
 	// one per merge process. Nil disables /debug/vut.
 	VUT func() any
+	// Health, when set, supplies /healthz's status. ok=false (for example
+	// while WAL replay is in progress) serves HTTP 503 so load balancers
+	// hold traffic until recovery finishes; status is reported either way.
+	Health func() (status string, ok bool)
 
 	start time.Time
 }
@@ -48,9 +52,17 @@ func NewDebugMux(cfg DebugServer) *http.ServeMux {
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		status, ok := "serving", true
+		if cfg.Health != nil {
+			status, ok = cfg.Health()
+		}
 		w.Header().Set("Content-Type", "application/json")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
 		_ = json.NewEncoder(w).Encode(map[string]any{
-			"ok":        true,
+			"ok":        ok,
+			"status":    status,
 			"role":      cfg.Role,
 			"uptime_ns": time.Since(cfg.start).Nanoseconds(),
 		})

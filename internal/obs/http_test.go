@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// TestHealthzRecovering checks /healthz serves 503 + "recovering" while
+// the host reports recovery in progress, and flips to 200 after.
+func TestHealthzRecovering(t *testing.T) {
+	var recovering atomic.Bool
+	recovering.Store(true)
+	mux := NewDebugMux(DebugServer{
+		Reg:  NewRegistry(),
+		Role: "warehouse",
+		Health: func() (string, bool) {
+			if recovering.Load() {
+				return "recovering", false
+			}
+			return "serving", true
+		},
+	})
+
+	get := func() (int, map[string]any) {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		var body map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("healthz body: %v", err)
+		}
+		return rec.Code, body
+	}
+
+	code, body := get()
+	if code != 503 {
+		t.Fatalf("recovering healthz code = %d, want 503", code)
+	}
+	if body["status"] != "recovering" || body["ok"] != false {
+		t.Fatalf("recovering healthz body = %v", body)
+	}
+
+	recovering.Store(false)
+	code, body = get()
+	if code != 200 {
+		t.Fatalf("healthy healthz code = %d, want 200", code)
+	}
+	if body["status"] != "serving" || body["ok"] != true {
+		t.Fatalf("healthy healthz body = %v", body)
+	}
+}
+
+// TestHealthzDefault keeps the no-hook behavior: 200 and ok=true.
+func TestHealthzDefault(t *testing.T) {
+	mux := NewDebugMux(DebugServer{Reg: NewRegistry(), Role: "x"})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthz code = %d, want 200", rec.Code)
+	}
+}

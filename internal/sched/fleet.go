@@ -32,6 +32,10 @@ type FleetConfig struct {
 	// Crashable registers Rebuild hooks for the view managers and the
 	// merge process, enabling crash/restart faults.
 	Crashable bool
+	// StateRestore recovers crashed nodes from checkpointed state
+	// (MarshalState at crash, RestoreState on restart) instead of input-log
+	// replay — the durable-snapshot recovery model. Requires Crashable.
+	StateRestore bool
 	// Pool shares a view-manager worker pool across fleets, so the
 	// explorer can exercise the parallel delta path under every schedule.
 	// The pool stays unbound (Map mode only): Handle still returns each
@@ -102,9 +106,10 @@ func buildFleet(cfg FleetConfig) (*Harness, error) {
 	// rather than the pre-crash one.
 	live := &liveNodes{merge: sys.Merges[0]}
 	h := &Harness{
-		Nodes:  sys.Nodes(),
-		Inject: inject,
-		Check:  fleetCheck(cfg.Algo, wantLevel, sys, live),
+		Nodes:        sys.Nodes(),
+		Inject:       inject,
+		Check:        fleetCheck(cfg.Algo, wantLevel, sys, live),
+		StateRestore: cfg.StateRestore,
 	}
 	if cfg.Crashable {
 		h.Rebuild = map[string]func() msg.Node{}

@@ -44,6 +44,7 @@ type runner struct {
 	crashed      map[string]bool
 	stalledUntil map[string]int
 	history      map[string][]delivered
+	snapshots    map[string][]byte // StateRestore: state captured at crash
 
 	chooser   func(nChoices int) int
 	faults    []Fault // planned faults, fired by step
@@ -66,6 +67,7 @@ func newRunner(h *Harness, opts Options) *runner {
 		crashed:      make(map[string]bool),
 		stalledUntil: make(map[string]int),
 		history:      make(map[string][]delivered),
+		snapshots:    make(map[string][]byte),
 	}
 	for _, n := range h.Nodes {
 		if _, dup := r.nodes[n.ID()]; dup {
@@ -170,6 +172,20 @@ func (r *runner) applyFaults() error {
 			if r.h.Rebuild[f.Node] == nil {
 				return fmt.Errorf("sched: crash of %q but no Rebuild registered", f.Node)
 			}
+			delete(r.snapshots, f.Node)
+			if r.h.StateRestore {
+				// A crash loses nothing durable: the WAL holds every
+				// delivered input, so the state at the crash instant is
+				// exactly what recovery reconstructs. Capture it here; a
+				// failed capture (busy node) falls back to input replay.
+				if sn, ok := r.nodes[f.Node].(StateNode); ok {
+					if b, err := sn.MarshalState(); err == nil {
+						r.snapshots[f.Node] = b
+					} else {
+						r.tracef("@%d crash %s: state capture failed (%v); will replay input log", r.step, f.Node, err)
+					}
+				}
+			}
 			r.crashed[f.Node] = true
 			r.tracef("@%d crash %s", r.step, f.Node)
 		case Restart:
@@ -180,14 +196,27 @@ func (r *runner) applyFaults() error {
 			if node.ID() != f.Node {
 				return fmt.Errorf("sched: Rebuild(%q) returned node %q", f.Node, node.ID())
 			}
-			// State replay: the recovered process re-reads its durable
-			// input log; outputs are suppressed (already routed live).
-			for _, d := range r.history[f.Node] {
-				node.Handle(d.m, d.now)
+			if b, ok := r.snapshots[f.Node]; ok {
+				// Checkpoint restore: rebuild and load the captured state.
+				sn, ok2 := node.(StateNode)
+				if !ok2 {
+					return fmt.Errorf("sched: Rebuild(%q) node does not implement StateNode", f.Node)
+				}
+				if err := sn.RestoreState(b); err != nil {
+					return fmt.Errorf("sched: restore %q: %v", f.Node, err)
+				}
+				delete(r.snapshots, f.Node)
+				r.tracef("@%d restart %s (restored checkpoint state)", r.step, f.Node)
+			} else {
+				// Input replay: the recovered process re-reads its durable
+				// input log; outputs are suppressed (already routed live).
+				for _, d := range r.history[f.Node] {
+					node.Handle(d.m, d.now)
+				}
+				r.tracef("@%d restart %s (replayed %d inputs)", r.step, f.Node, len(r.history[f.Node]))
 			}
 			r.nodes[f.Node] = node
 			r.crashed[f.Node] = false
-			r.tracef("@%d restart %s (replayed %d inputs)", r.step, f.Node, len(r.history[f.Node]))
 		case Stall:
 			until := f.Step + f.Dur
 			if until > r.stalledUntil[f.Node] {

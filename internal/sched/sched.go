@@ -49,6 +49,23 @@ type Harness struct {
 	// Check runs at quiescence (all queues empty) and returns nil if the
 	// terminal trace satisfies every invariant.
 	Check func() error
+	// StateRestore switches crash recovery from input-log replay to
+	// checkpoint restore: at the crash the live node's state is captured via
+	// StateNode.MarshalState, and the restart rebuilds the node and calls
+	// RestoreState instead of replaying its delivered-input history. Nodes
+	// that do not implement StateNode — or whose capture fails (e.g. a busy
+	// batcher) — fall back to input-log replay for that crash. Running the
+	// same schedule in both modes must be indistinguishable; the
+	// transparency test holds the durable snapshot path to that.
+	StateRestore bool
+}
+
+// StateNode is the optional checkpoint interface a node implements to
+// support StateRestore recovery (structurally identical to
+// system.StateNode).
+type StateNode interface {
+	MarshalState() ([]byte, error)
+	RestoreState([]byte) error
 }
 
 // Factory builds a fresh harness for one schedule. Explorers run many

@@ -83,6 +83,58 @@ func TestCrashRestartFaults(t *testing.T) {
 	}
 }
 
+// TestStateRestoreTransparent holds checkpoint recovery to the replay
+// standard: recovering a crashed node by RestoreState(MarshalState()) must
+// be indistinguishable from replaying its delivered-input log. Both modes
+// run the same seeds and fault draws; every schedule must satisfy the
+// invariant battery, and the two explorations must make delivery-for-
+// delivery identical progress (recovery mode consumes no randomness, so
+// any divergence means restored state differs from replayed state).
+func TestStateRestoreTransparent(t *testing.T) {
+	for _, algo := range []string{"spa", "pa"} {
+		opts := Options{Seed: 7100, Seeds: scale(t, 150), FaultRate: 0.08}
+		replay, err := Explore(Fleet(FleetConfig{Algo: algo, Updates: 4, Seed: 9, Crashable: true}), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replay.Violation != nil {
+			t.Fatalf("%s replay mode: %v", algo, replay.Violation)
+		}
+		restore, err := Explore(Fleet(FleetConfig{Algo: algo, Updates: 4, Seed: 9, Crashable: true, StateRestore: true}), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if restore.Violation != nil {
+			t.Fatalf("%s state-restore mode: %v", algo, restore.Violation)
+		}
+		if replay.Schedules != restore.Schedules || replay.Deliveries != restore.Deliveries {
+			t.Fatalf("%s: recovery modes diverged: replay %d schedules/%d deliveries, restore %d/%d",
+				algo, replay.Schedules, replay.Deliveries, restore.Schedules, restore.Deliveries)
+		}
+	}
+}
+
+// TestStateRestoreExplicitPlan crashes each rebuildable node at a fixed
+// point under checkpoint recovery (deterministic DFS, no randomness).
+func TestStateRestoreExplicitPlan(t *testing.T) {
+	for _, node := range []string{"vm:V1", "vm:V2", "merge:0"} {
+		res, err := Explore(Fleet(FleetConfig{Algo: "pa", Updates: 3, Seed: 2, Crashable: true, StateRestore: true}), Options{
+			DFS:          true,
+			MaxSchedules: scale(t, 200),
+			Faults: []Fault{
+				{Step: 5, Kind: Crash, Node: node},
+				{Step: 12, Kind: Restart, Node: node},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("checkpoint recovery of %s: %v", node, res.Violation)
+		}
+	}
+}
+
 // TestExplicitFaultPlan crashes each rebuildable node at a fixed point of
 // a DFS exploration (deterministic plans, no randomness).
 func TestExplicitFaultPlan(t *testing.T) {

@@ -1,0 +1,156 @@
+package source
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/wire"
+)
+
+// Replay re-commits an update recovered from a durable WAL. Unlike
+// Execute it preserves the recorded sequence number and commit timestamp,
+// so the rebuilt schedule — which the consistency checker uses as its
+// oracle — is identical to the original.
+func (c *Cluster) Replay(u msg.Update) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if u.Seq != c.seq+1 {
+		return fmt.Errorf("source: replay of update %d but schedule is at %d", u.Seq, c.seq)
+	}
+	staged := make(map[string]*relation.Relation)
+	for _, w := range u.Writes {
+		vr, ok := c.relations[w.Relation]
+		if !ok {
+			return fmt.Errorf("source: replay writes unknown relation %q", w.Relation)
+		}
+		r, ok2 := staged[w.Relation]
+		if !ok2 {
+			r = vr.current.Clone()
+			staged[w.Relation] = r
+		}
+		if err := r.Apply(w.Delta); err != nil {
+			return fmt.Errorf("source: replay of update %d: %w", u.Seq, err)
+		}
+	}
+	c.seq = u.Seq
+	for _, w := range u.Writes {
+		d := w.Delta.Clone()
+		vr := c.relations[w.Relation]
+		vr.history = append(vr.history, versionEntry{seq: c.seq, delta: d})
+	}
+	for name, r := range staged {
+		c.relations[name].current = r
+	}
+	c.log = append(c.log, u)
+	c.txns.Inc()
+	c.txnWrites.Observe(int64(len(u.Writes)))
+	return nil
+}
+
+// clusterState is the durable form of a Cluster. Relation slices are
+// sorted by name so the encoding is deterministic.
+type clusterState struct {
+	Seq       int64
+	Floor     int64
+	Sources   []string
+	Relations []relState
+	Log       []wire.Update
+}
+
+type relState struct {
+	Name    string
+	Owner   string
+	Current wire.Rel
+	History []histEntry
+}
+
+type histEntry struct {
+	Seq   int64
+	Delta wire.Delta
+}
+
+// MarshalState implements durable.Durable: the full schedule state —
+// current relations, rollback history, retained log — because the
+// consistency checker reconstructs every past source state from it.
+func (c *Cluster) MarshalState() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := clusterState{Seq: int64(c.seq), Floor: int64(c.floor)}
+	for s := range c.sources {
+		st.Sources = append(st.Sources, string(s))
+	}
+	sort.Strings(st.Sources)
+	names := make([]string, 0, len(c.relations))
+	for n := range c.relations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		vr := c.relations[n]
+		rs := relState{Name: n, Owner: string(c.owner[n]), Current: wire.EncodeRelation(vr.current)}
+		for _, h := range vr.history {
+			rs.History = append(rs.History, histEntry{Seq: int64(h.seq), Delta: wire.EncodeDelta(h.delta)})
+		}
+		st.Relations = append(st.Relations, rs)
+	}
+	for _, u := range c.log {
+		wu, err := wire.Encode(u)
+		if err != nil {
+			return nil, err
+		}
+		st.Log = append(st.Log, wu.(wire.Update))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements durable.Durable, replacing the cluster's
+// contents with the snapshot's.
+func (c *Cluster) RestoreState(b []byte) error {
+	var st clusterState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq = msg.UpdateID(st.Seq)
+	c.floor = msg.UpdateID(st.Floor)
+	c.sources = make(map[msg.SourceID]bool, len(st.Sources))
+	for _, s := range st.Sources {
+		c.sources[msg.SourceID(s)] = true
+	}
+	c.relations = make(map[string]*versionedRelation, len(st.Relations))
+	c.owner = make(map[string]msg.SourceID, len(st.Relations))
+	for _, rs := range st.Relations {
+		cur, err := wire.DecodeRelation(rs.Current)
+		if err != nil {
+			return fmt.Errorf("source: restore relation %q: %w", rs.Name, err)
+		}
+		vr := &versionedRelation{current: cur}
+		for _, h := range rs.History {
+			d, err := wire.DecodeDelta(h.Delta)
+			if err != nil {
+				return fmt.Errorf("source: restore history of %q: %w", rs.Name, err)
+			}
+			vr.history = append(vr.history, versionEntry{seq: msg.UpdateID(h.Seq), delta: d})
+		}
+		c.relations[rs.Name] = vr
+		c.owner[rs.Name] = msg.SourceID(rs.Owner)
+	}
+	c.log = nil
+	for _, wu := range st.Log {
+		m, err := wire.Decode(wu)
+		if err != nil {
+			return err
+		}
+		c.log = append(c.log, m.(msg.Update))
+	}
+	return nil
+}

@@ -415,6 +415,39 @@ func Build(cfg Config) (*System, error) {
 	return sys, nil
 }
 
+// StateNode is the durable-state contract (mirrors durable.Durable):
+// a process that can snapshot its full state to bytes and restore it.
+type StateNode interface {
+	MarshalState() ([]byte, error)
+	RestoreState([]byte) error
+}
+
+// DurableNodes returns every process that supports durable snapshots,
+// keyed by its msg node name (the cluster under msg.NodeCluster even
+// though the snapshot captures the *source.Cluster behind the node
+// wrapper). The second result lists processes that do NOT support
+// state capture — query-based view managers rebuild nothing and hold
+// no state, so drivers may either reject the configuration or accept
+// that those managers restart cold.
+func (s *System) DurableNodes() (map[string]StateNode, []string) {
+	parts := make(map[string]StateNode)
+	var missing []string
+	parts[msg.NodeCluster] = s.Cluster
+	parts[msg.NodeIntegrator] = s.Integrator
+	parts[msg.NodeWarehouse] = s.Warehouse
+	for _, m := range s.Merges {
+		parts[m.ID()] = m
+	}
+	for id, mgr := range s.Managers {
+		if sn, ok := mgr.(StateNode); ok {
+			parts[msg.NodeViewManager(id)] = sn
+		} else {
+			missing = append(missing, msg.NodeViewManager(id))
+		}
+	}
+	return parts, missing
+}
+
 // Close releases resources the System owns — currently the worker pool
 // created from Config.Workers. A pool supplied via Config.Pool is the
 // caller's to close. Safe to call on a serial system and safe to call

@@ -1,0 +1,178 @@
+// state.go gives the replica-based managers durable snapshots
+// (internal/durable): base-relation replicas, the queued-update backlog,
+// and carried RELᵢ sets. Checkpoints are taken at quiescence, so a busy
+// manager (work in flight on a pool or timer) refuses to marshal rather
+// than silently dropping the in-progress batch.
+package viewmgr
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/wire"
+)
+
+type namedRel struct {
+	Name string
+	Rel  wire.Rel
+}
+
+func encodeReplicas(r *replicas) []namedRel {
+	names := make([]string, 0, len(r.db))
+	for n := range r.db {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]namedRel, 0, len(names))
+	for _, n := range names {
+		out = append(out, namedRel{Name: n, Rel: wire.EncodeRelation(r.db[n])})
+	}
+	return out
+}
+
+func decodeReplicas(r *replicas, nrs []namedRel, seq int64) error {
+	r.db = make(map[string]*relation.Relation, len(nrs))
+	for _, nr := range nrs {
+		rel, err := wire.DecodeRelation(nr.Rel)
+		if err != nil {
+			return fmt.Errorf("viewmgr: restore replica %q: %w", nr.Name, err)
+		}
+		r.db[nr.Name] = rel
+	}
+	r.seq = msg.UpdateID(seq)
+	return nil
+}
+
+type batcherState struct {
+	Reps     []namedRel
+	RepSeq   int64
+	Queue    []wire.Update
+	Arrivals []int64
+	Rels     []wire.RelevantSet
+}
+
+func (b *batcher) marshalState() ([]byte, error) {
+	if b.busy {
+		return nil, fmt.Errorf("viewmgr: %s busy — checkpoint requires quiescence", b.cfg.View)
+	}
+	st := batcherState{Reps: encodeReplicas(b.reps), RepSeq: int64(b.reps.seq), Arrivals: append([]int64(nil), b.arrivals...)}
+	for _, u := range b.queue {
+		wu, err := wire.Encode(u)
+		if err != nil {
+			return nil, err
+		}
+		st.Queue = append(st.Queue, wu.(wire.Update))
+	}
+	for _, r := range b.rels.pending {
+		wr, err := wire.Encode(r)
+		if err != nil {
+			return nil, err
+		}
+		st.Rels = append(st.Rels, wr.(wire.RelevantSet))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (b *batcher) restoreState(bs []byte) error {
+	var st batcherState
+	if err := gob.NewDecoder(bytes.NewReader(bs)).Decode(&st); err != nil {
+		return err
+	}
+	if err := decodeReplicas(b.reps, st.Reps, st.RepSeq); err != nil {
+		return err
+	}
+	b.busy = false
+	b.queue = nil
+	for _, wu := range st.Queue {
+		m, err := wire.Decode(wu)
+		if err != nil {
+			return err
+		}
+		b.queue = append(b.queue, m.(msg.Update))
+	}
+	b.arrivals = append([]int64(nil), st.Arrivals...)
+	b.rels.pending = nil
+	for _, wr := range st.Rels {
+		m, err := wire.Decode(wr)
+		if err != nil {
+			return err
+		}
+		b.rels.pending = append(b.rels.pending, m.(msg.RelevantSet))
+	}
+	return nil
+}
+
+// MarshalState implements durable.Durable.
+func (m *Complete) MarshalState() ([]byte, error) { return m.b.marshalState() }
+
+// RestoreState implements durable.Durable.
+func (m *Complete) RestoreState(b []byte) error { return m.b.restoreState(b) }
+
+// MarshalState implements durable.Durable.
+func (m *Batching) MarshalState() ([]byte, error) { return m.b.marshalState() }
+
+// RestoreState implements durable.Durable.
+func (m *Batching) RestoreState(b []byte) error { return m.b.restoreState(b) }
+
+// MarshalState implements durable.Durable.
+func (m *CompleteN) MarshalState() ([]byte, error) { return m.b.marshalState() }
+
+// RestoreState implements durable.Durable.
+func (m *CompleteN) RestoreState(b []byte) error { return m.b.restoreState(b) }
+
+// MarshalState implements durable.Durable.
+func (m *Convergent) MarshalState() ([]byte, error) { return m.b.marshalState() }
+
+// RestoreState implements durable.Durable.
+func (m *Convergent) RestoreState(b []byte) error { return m.b.restoreState(b) }
+
+type refreshState struct {
+	Reps       []namedRel
+	RepSeq     int64
+	Pending    int
+	From       int64
+	LastSent   wire.Rel
+	BatchStart int64
+}
+
+// MarshalState implements durable.Durable.
+func (m *Refresh) MarshalState() ([]byte, error) {
+	st := refreshState{
+		Reps: encodeReplicas(m.reps), RepSeq: int64(m.reps.seq),
+		Pending: m.pending, From: int64(m.from),
+		LastSent: wire.EncodeRelation(m.lastSent), BatchStart: m.batchStart,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements durable.Durable.
+func (m *Refresh) RestoreState(b []byte) error {
+	var st refreshState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	if err := decodeReplicas(m.reps, st.Reps, st.RepSeq); err != nil {
+		return err
+	}
+	last, err := wire.DecodeRelation(st.LastSent)
+	if err != nil {
+		return err
+	}
+	m.pending = st.Pending
+	m.from = msg.UpdateID(st.From)
+	m.lastSent = last
+	m.batchStart = st.BatchStart
+	return nil
+}

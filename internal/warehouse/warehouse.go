@@ -52,6 +52,8 @@ type Warehouse struct {
 	stageWaiters map[string][]msg.TxnID
 
 	logStates bool
+	logCap    int // 0 = unbounded
+	logBase   int // global index of log[0] (ring-buffer window start)
 	log       []StateRecord
 	applied   int64
 	onCommit  func(CommitInfo)
@@ -80,6 +82,20 @@ type Option func(*Warehouse)
 // warehouse state sequence the §2 definitions quantify over. Tests and
 // examples enable it; large benchmarks leave it off.
 func WithStateLog() Option { return func(w *Warehouse) { w.logStates = true } }
+
+// WithStateLogCap is WithStateLog bounded to a ring of the most recent n
+// states (plus whatever preceded them having been dropped): each commit
+// beyond the cap evicts the oldest record, so long-running nodes stop
+// growing without bound. ReadAt keeps its index semantics over the
+// retained window; States still counts every state ever recorded.
+func WithStateLogCap(n int) Option {
+	return func(w *Warehouse) {
+		w.logStates = true
+		if n > 0 {
+			w.logCap = n
+		}
+	}
+}
 
 // WithCommitObserver installs a callback invoked after each commit.
 func WithCommitObserver(fn func(CommitInfo)) Option {
@@ -327,7 +343,14 @@ func (w *Warehouse) commitLocked(t msg.WarehouseTxn, from string, now int64, out
 		})
 	}
 	if w.logStates {
-		w.log = append(w.log, w.snapshotLocked(t.ID, t.Rows, now))
+		rec := w.snapshotLocked(t.ID, t.Rows, now)
+		if w.logCap > 0 && len(w.log) >= w.logCap {
+			copy(w.log, w.log[1:])
+			w.log[len(w.log)-1] = rec
+			w.logBase++
+		} else {
+			w.log = append(w.log, rec)
+		}
 	}
 	if w.onCommit != nil {
 		info := CommitInfo{Txn: t, Now: now, Upto: make(map[msg.ViewID]msg.UpdateID), Views: t.Views()}
@@ -460,10 +483,12 @@ func (w *Warehouse) Log() []StateRecord {
 
 // States returns how many warehouse states have been recorded (the initial
 // state plus one per committed transaction), or zero without WithStateLog.
+// With WithStateLogCap the count includes evicted records; only the most
+// recent window remains readable.
 func (w *Warehouse) States() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return len(w.log)
+	return w.logBase + len(w.log)
 }
 
 // ReadAt returns a mutually consistent snapshot of the named views as of
@@ -475,10 +500,13 @@ func (w *Warehouse) ReadAt(state int, ids ...msg.ViewID) (map[msg.ViewID]*relati
 	if !w.logStates {
 		return nil, fmt.Errorf("warehouse: historical reads require the state log")
 	}
-	if state < 0 || state >= len(w.log) {
-		return nil, fmt.Errorf("warehouse: state %d out of range [0,%d)", state, len(w.log))
+	if state < 0 || state >= w.logBase+len(w.log) {
+		return nil, fmt.Errorf("warehouse: state %d out of range [0,%d)", state, w.logBase+len(w.log))
 	}
-	rec := w.log[state]
+	if state < w.logBase {
+		return nil, fmt.Errorf("warehouse: state %d evicted from the capped log (window starts at %d)", state, w.logBase)
+	}
+	rec := w.log[state-w.logBase]
 	out := make(map[msg.ViewID]*relation.Relation, len(ids))
 	for _, id := range ids {
 		r, ok := rec.Views[id]

@@ -2,6 +2,7 @@ package warehouse
 
 import (
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -137,6 +138,50 @@ func TestWarehouseStateLog(t *testing.T) {
 	w.Handle(txn(2, nil, write("V1", 2, 2)), 0)
 	if w.Log()[1].Views["V1"].Contains(relation.T(2)) {
 		t.Error("log snapshot aliases live view")
+	}
+}
+
+func TestWarehouseStateLogCap(t *testing.T) {
+	w := New(initialViews(), WithStateLogCap(3))
+	for i := 1; i <= 8; i++ {
+		w.Handle(txn(msg.TxnID(i), nil, write("V1", msg.UpdateID(i), i)), int64(i))
+	}
+	// 9 states ever (initial + 8 commits); only the newest 3 retained.
+	if got := w.States(); got != 9 {
+		t.Fatalf("States() = %d, want 9 (evicted records still counted)", got)
+	}
+	if got := len(w.Log()); got != 3 {
+		t.Fatalf("retained %d records, want cap 3", got)
+	}
+	// ReadAt keeps global index semantics over the retained window.
+	at8, err := w.ReadAt(8, "V1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !at8["V1"].Contains(relation.T(8)) {
+		t.Errorf("state 8 = %v", at8["V1"])
+	}
+	at6, err := w.ReadAt(6, "V1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at6["V1"].Contains(relation.T(7)) || !at6["V1"].Contains(relation.T(6)) {
+		t.Errorf("state 6 = %v", at6["V1"])
+	}
+	// Evicted and out-of-range indexes fail distinctly.
+	if _, err := w.ReadAt(2, "V1"); err == nil || !strings.Contains(err.Error(), "evicted") {
+		t.Errorf("ReadAt(2) = %v, want evicted error", err)
+	}
+	if _, err := w.ReadAt(9, "V1"); err == nil || strings.Contains(err.Error(), "evicted") {
+		t.Errorf("ReadAt(9) = %v, want out-of-range error", err)
+	}
+	// The ring keeps sliding: one more commit evicts state 6.
+	w.Handle(txn(9, nil, write("V1", 9, 9)), 9)
+	if _, err := w.ReadAt(6, "V1"); err == nil {
+		t.Error("state 6 still readable after sliding past the cap")
+	}
+	if _, err := w.ReadAt(9, "V1"); err != nil {
+		t.Errorf("newest state unreadable: %v", err)
 	}
 }
 

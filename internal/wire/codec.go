@@ -52,6 +52,14 @@ type Delta struct {
 	Entries []Entry
 }
 
+// Rel is the wire form of a whole relation.Relation — used by durable
+// snapshots, which persist materialized state (replicas, warehouse views)
+// alongside the protocol messages above.
+type Rel struct {
+	Schema  Schema
+	Entries []Entry
+}
+
 // Write is the wire form of msg.Write.
 type Write struct {
 	Relation string
@@ -228,6 +236,37 @@ func DecodeDelta(w Delta) (*relation.Delta, error) {
 		}
 	}
 	return d, nil
+}
+
+// EncodeRelation converts a full relation to wire form with deterministic
+// entry order (tuples sorted), so identical relations encode to identical
+// bytes — the property durable-recovery determinism tests rely on.
+func EncodeRelation(r *relation.Relation) Rel {
+	out := Rel{Schema: EncodeSchema(r.Schema())}
+	r.EachSorted(func(t relation.Tuple, n int64) bool {
+		out.Entries = append(out.Entries, Entry{Tuple: encodeTuple(t), Count: n})
+		return true
+	})
+	return out
+}
+
+// DecodeRelation converts a wire relation back.
+func DecodeRelation(w Rel) (*relation.Relation, error) {
+	sch, err := DecodeSchema(w.Schema)
+	if err != nil {
+		return nil, err
+	}
+	r := relation.New(sch)
+	for _, e := range w.Entries {
+		t, err := decodeTuple(e.Tuple)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Insert(t, e.Count); err != nil {
+			return nil, fmt.Errorf("wire: corrupt relation entry: %w", err)
+		}
+	}
+	return r, nil
 }
 
 // ---------------------------------------------------------------- messages

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"encoding/gob"
 	"io"
 	"math/rand"
@@ -39,10 +40,19 @@ type Hello struct {
 	LastRecv map[string]uint64
 }
 
+// Ack tells the peer which frame sequences this side has made durable
+// (checkpointed) per channel. The peer drops retained frames at or below
+// the acked sequence: once a frame is inside the receiver's snapshot or
+// WAL it can never be asked for again, so retaining it only burns memory.
+type Ack struct {
+	LastRecv map[string]uint64
+}
+
 // packet is the one value type framed on a session stream.
 type packet struct {
 	Hello *Hello
 	Frame *Frame
+	Ack   *Ack
 }
 
 // Backoff shapes the dialer's reconnect schedule. All randomness (the
@@ -75,6 +85,21 @@ type SessionConfig struct {
 	// Deliver receives each in-order, deduplicated protocol message.
 	// It runs on the session's reader goroutine and may call Send.
 	Deliver func(from, to string, m any)
+	// DeliverSeq, when set, is used instead of Deliver and additionally
+	// receives the frame's channel sequence number — durable hosts log
+	// the (channel, seq) pair so recovery can dedupe retransmits. The
+	// implementation owns the received watermark: it must call
+	// SetLastRecv(from, to, seq) once the frame is durably logged (and
+	// treat a failed log append as fatal), otherwise the frame is
+	// redelivered after the next reconnect.
+	DeliverSeq func(from, to string, seq uint64, m any)
+	// RetainLimit, when positive, caps the retained outbound frames per
+	// channel: the oldest unacknowledged frames beyond the cap are
+	// dropped (counted by wire_retained_dropped_total). A dropped frame
+	// can no longer be retransmitted, so a peer replaying from below the
+	// cap loses it — use only when peers checkpoint durably or replay
+	// from their own logs. Zero keeps the seed behavior: full retention.
+	RetainLimit int
 	// Dial, when set, makes this the active side: the session dials,
 	// and redials with exponential backoff + jitter whenever the
 	// connection drops. When nil the session is passive and connections
@@ -104,6 +129,7 @@ type sessObs struct {
 	retransmit *obs.Counter
 	dupDrops   *obs.Counter
 	writeFails *obs.Counter
+	retDrops   *obs.Counter
 	retained   *obs.Gauge
 	held       *obs.Gauge
 }
@@ -122,6 +148,7 @@ func newSessObs(p *obs.Pipeline, name string) sessObs {
 		retransmit: r.Counter("wire_retransmits_total", l...),
 		dupDrops:   r.Counter("wire_dup_drops_total", l...),
 		writeFails: r.Counter("wire_write_failures_total", l...),
+		retDrops:   r.Counter("wire_retained_dropped_total", l...),
 		retained:   r.Gauge("wire_retained_frames", l...),
 		held:       r.Gauge("wire_held_frames", l...),
 	}
@@ -197,6 +224,12 @@ func (s *Session) Send(from, to string, m any) error {
 	f := Frame{From: from, To: to, Seq: s.nextSeq[key], Msg: wm}
 	s.out[key] = append(s.out[key], f)
 	s.ob.retained.Add(1)
+	if lim := s.cfg.RetainLimit; lim > 0 && len(s.out[key]) > lim {
+		drop := len(s.out[key]) - lim
+		s.out[key] = append([]Frame(nil), s.out[key][drop:]...)
+		s.ob.retDrops.Add(int64(drop))
+		s.ob.retained.Add(int64(-drop))
+	}
 	conn, enc := s.conn, s.enc
 	// The peer already holds everything at or below its announced
 	// LastRecv — a restarted sender regenerating its deterministic
@@ -342,6 +375,8 @@ func (s *Session) reader(conn io.ReadWriteCloser, dec *gob.Decoder, dead chan st
 			s.onHello(conn, *p.Hello)
 		case p.Frame != nil:
 			s.onFrame(*p.Frame)
+		case p.Ack != nil:
+			s.onAck(*p.Ack)
 		}
 	}
 }
@@ -408,16 +443,21 @@ func (s *Session) onFrame(f Frame) {
 		s.mu.Unlock()
 		return // gap: an older frame is still in flight on another path
 	}
+	// Collect the contiguous run without committing lastRecv yet. The
+	// watermark advances per frame at delivery: a durable receiver
+	// (DeliverSeq) advances it via SetLastRecv inside its WAL-append
+	// critical section, so a checkpointed (and acked) sequence is never
+	// ahead of what the WAL actually holds.
 	ready := []Frame{f}
-	s.lastRecv[key] = f.Seq
+	cursor := f.Seq
 	for {
-		nxt, ok := s.hold[key][s.lastRecv[key]+1]
+		nxt, ok := s.hold[key][cursor+1]
 		if !ok {
 			break
 		}
 		delete(s.hold[key], nxt.Seq)
 		s.ob.held.Add(-1)
-		s.lastRecv[key] = nxt.Seq
+		cursor = nxt.Seq
 		ready = append(ready, nxt)
 	}
 	s.mu.Unlock()
@@ -425,12 +465,164 @@ func (s *Session) onFrame(f Frame) {
 		m, err := Decode(fr.Msg)
 		if err != nil {
 			s.logf("wire: dropping undecodable frame on %s seq %d: %v", key, fr.Seq, err)
+			s.SetLastRecv(fr.From, fr.To, fr.Seq)
 			continue
 		}
-		if s.cfg.Deliver != nil {
+		switch {
+		case s.cfg.DeliverSeq != nil:
+			s.cfg.DeliverSeq(fr.From, fr.To, fr.Seq, m)
+		case s.cfg.Deliver != nil:
+			s.SetLastRecv(fr.From, fr.To, fr.Seq)
 			s.cfg.Deliver(fr.From, fr.To, m)
+		default:
+			s.SetLastRecv(fr.From, fr.To, fr.Seq)
 		}
 	}
+}
+
+// onAck prunes retained frames the peer has made durable: anything at or
+// below the acked sequence is inside the peer's snapshot or WAL and will
+// never be requested again.
+func (s *Session) onAck(a Ack) {
+	s.mu.Lock()
+	dropped := 0
+	for key, upto := range a.LastRecv {
+		fs := s.out[key]
+		n := 0
+		for n < len(fs) && fs[n].Seq <= upto {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		dropped += n
+		if n == len(fs) {
+			delete(s.out, key)
+		} else {
+			s.out[key] = append([]Frame(nil), fs[n:]...)
+		}
+	}
+	s.mu.Unlock()
+	if dropped > 0 {
+		s.ob.retDrops.Add(int64(dropped))
+		s.ob.retained.Add(int64(-dropped))
+		s.logf("wire: durable ack pruned %d retained frames", dropped)
+	}
+}
+
+// AckDurable tells the peer which sequences this side has checkpointed —
+// everything contiguously received so far — so the peer can free its
+// retained-frame buffer. Call after a successful durable checkpoint. A
+// lost ack is harmless (the peer just retains longer); the next
+// checkpoint's ack covers it.
+func (s *Session) AckDurable() {
+	s.mu.Lock()
+	if len(s.lastRecv) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	a := Ack{LastRecv: make(map[string]uint64, len(s.lastRecv))}
+	for k, v := range s.lastRecv {
+		a.LastRecv[k] = v
+	}
+	conn, enc := s.conn, s.enc
+	s.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	s.write(conn, enc, packet{Ack: &a})
+}
+
+// SetLastRecv advances the highest contiguously received sequence for a
+// channel without delivering anything — recovery uses it while replaying
+// WAL-logged frames, so the post-restart Hello asks the peer only for the
+// un-logged suffix and replayed frames are deduplicated like live ones.
+func (s *Session) SetLastRecv(from, to string, seq uint64) {
+	key := from + "→" + to
+	s.mu.Lock()
+	if seq > s.lastRecv[key] {
+		s.lastRecv[key] = seq
+	}
+	for hseq := range s.hold[key] {
+		if hseq <= s.lastRecv[key] {
+			delete(s.hold[key], hseq)
+			s.ob.held.Add(-1)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// sessChan is one channel's entry in the marshaled session state; slices
+// sorted by Key keep the encoding deterministic (gob maps are not).
+type sessChan struct {
+	Key    string
+	Seq    uint64
+	Frames []Frame
+}
+
+// sessionState is the durable form of a Session's resume state.
+type sessionState struct {
+	NextSeq  []sessChan // Seq used
+	LastRecv []sessChan // Seq used
+	Out      []sessChan // Frames used
+}
+
+// MarshalState captures the session's resume state — outbound sequence
+// counters, received watermarks, and retained frames — for inclusion in a
+// durable snapshot. The encoding is deterministic.
+func (s *Session) MarshalState() ([]byte, error) {
+	s.mu.Lock()
+	st := sessionState{}
+	for k, v := range s.nextSeq {
+		st.NextSeq = append(st.NextSeq, sessChan{Key: k, Seq: v})
+	}
+	for k, v := range s.lastRecv {
+		st.LastRecv = append(st.LastRecv, sessChan{Key: k, Seq: v})
+	}
+	for k, fs := range s.out {
+		st.Out = append(st.Out, sessChan{Key: k, Frames: append([]Frame(nil), fs...)})
+	}
+	s.mu.Unlock()
+	sort.Slice(st.NextSeq, func(i, j int) bool { return st.NextSeq[i].Key < st.NextSeq[j].Key })
+	sort.Slice(st.LastRecv, func(i, j int) bool { return st.LastRecv[i].Key < st.LastRecv[j].Key })
+	sort.Slice(st.Out, func(i, j int) bool { return st.Out[i].Key < st.Out[j].Key })
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState restores resume state captured by MarshalState. Call
+// before Attach/dial so the first Hello announces the restored watermarks.
+func (s *Session) RestoreState(b []byte) error {
+	var st sessionState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	retained := 0
+	for _, fs := range s.out {
+		retained -= len(fs)
+	}
+	s.out = map[string][]Frame{}
+	s.nextSeq = map[string]uint64{}
+	s.lastRecv = map[string]uint64{}
+	for _, c := range st.NextSeq {
+		s.nextSeq[c.Key] = c.Seq
+	}
+	for _, c := range st.LastRecv {
+		s.lastRecv[c.Key] = c.Seq
+	}
+	for _, c := range st.Out {
+		if len(c.Frames) > 0 {
+			s.out[c.Key] = append([]Frame(nil), c.Frames...)
+			retained += len(c.Frames)
+		}
+	}
+	s.ob.retained.Add(int64(retained))
+	return nil
 }
 
 func (s *Session) write(conn io.ReadWriteCloser, enc *gob.Encoder, p packet) {

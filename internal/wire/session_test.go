@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"whips/internal/msg"
+	"whips/internal/obs"
 )
 
 // recorder collects delivered messages per channel, in arrival order.
@@ -180,6 +181,90 @@ func TestSessionReplaysRestartedPeerFromZero(t *testing.T) {
 	waitCount(t, recA, 7)
 	time.Sleep(20 * time.Millisecond) // would surface late duplicates
 	wantOrdered(t, recA.channel("vm:V1→merge:0"), 7)
+}
+
+// TestAckDurablePrunesRetained exercises the checkpoint-ack path: once the
+// receiver reports its watermarks durable, the sender's retained-frame
+// buffer shrinks to the unacked suffix and the drop counter records it.
+func TestAckDurablePrunesRetained(t *testing.T) {
+	pipe := obs.NewPipeline()
+	rec := newRecorder()
+	sa := NewSession(SessionConfig{Name: "a", Obs: pipe})
+	sb := NewSession(SessionConfig{Name: "b", Deliver: rec.deliver})
+	defer sa.Close()
+	defer sb.Close()
+
+	ca, cb := tcpPair(t)
+	sa.Attach(ca)
+	sb.Attach(cb)
+
+	for i := 1; i <= 12; i++ {
+		if err := sa.Send("integrator", "vm:V1", msg.CommitAck{ID: msg.TxnID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCount(t, rec, 12)
+	if got := sa.Retained(); got != 12 {
+		t.Fatalf("retained %d frames before ack, want 12 (full retention)", got)
+	}
+
+	// The receiver checkpoints: everything received so far is durable.
+	sb.AckDurable()
+	deadline := time.Now().Add(5 * time.Second)
+	for sa.Retained() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("retained frames not pruned by durable ack: %d left", sa.Retained())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	drops := pipe.Reg().Counter("wire_retained_dropped_total", "site", "a").Value()
+	if drops != 12 {
+		t.Fatalf("wire_retained_dropped_total = %d, want 12", drops)
+	}
+
+	// Later frames are retained afresh; a second checkpoint prunes them too.
+	for i := 13; i <= 15; i++ {
+		sa.Send("integrator", "vm:V1", msg.CommitAck{ID: msg.TxnID(i)})
+	}
+	waitCount(t, rec, 15)
+	sb.AckDurable()
+	deadline = time.Now().Add(5 * time.Second)
+	for sa.Retained() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("second durable ack did not prune: %d left", sa.Retained())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRetainLimitCapsDeadPeer bounds memory against a peer that never
+// comes back: with RetainLimit set, a disconnected sender's per-channel
+// buffer stays capped and the overflow is counted, not accumulated.
+func TestRetainLimitCapsDeadPeer(t *testing.T) {
+	pipe := obs.NewPipeline()
+	sa := NewSession(SessionConfig{Name: "a", Obs: pipe, RetainLimit: 5})
+	defer sa.Close()
+
+	// No connection ever: the peer is dead. Send far past the cap.
+	for i := 1; i <= 40; i++ {
+		if err := sa.Send("integrator", "vm:V1", msg.CommitAck{ID: msg.TxnID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sa.Retained(); got != 5 {
+		t.Fatalf("retained %d frames, want cap 5", got)
+	}
+	drops := pipe.Reg().Counter("wire_retained_dropped_total", "site", "a").Value()
+	if drops != 35 {
+		t.Fatalf("wire_retained_dropped_total = %d, want 35", drops)
+	}
+	// The cap is per channel: a second channel gets its own window.
+	for i := 1; i <= 7; i++ {
+		sa.Send("integrator", "vm:V2", msg.CommitAck{ID: msg.TxnID(i)})
+	}
+	if got := sa.Retained(); got != 10 {
+		t.Fatalf("retained %d frames across two channels, want 10", got)
+	}
 }
 
 // TestSessionDialBackoff exercises the active side: dial fails several

@@ -1,4 +1,4 @@
-package wire
+package wire_test
 
 import (
 	"math/rand"
@@ -17,6 +17,7 @@ import (
 	"whips/internal/source"
 	"whips/internal/viewmgr"
 	"whips/internal/warehouse"
+	. "whips/internal/wire"
 )
 
 var (

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test: run the two-process whipsnode fleet twice with
+# the same workload — once uninterrupted (the baseline) and once with the
+# warehouse site kill -9'd mid-run and restarted from its WAL + snapshots.
+# The recovered run must report complete MVC and finish with exactly the
+# baseline's views. Used by CI; runnable locally from anywhere in the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=${ADDR:-127.0.0.1:7655}
+UPDATES=${UPDATES:-80}
+SEED=${SEED:-7}
+BIN=$(mktemp -d)/whipsnode
+DATA=$(mktemp -d)/wh-data
+BASE_LOG=$(mktemp)
+FAULT_LOG=$(mktemp)
+
+cleanup() {
+    kill "${WH_PID:-}" "${MG_PID:-}" 2>/dev/null || true
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/whipsnode
+
+run_managers() {
+    "$BIN" -role managers -addr "$ADDR" &
+    MG_PID=$!
+}
+
+echo "== baseline: no faults, no durability =="
+"$BIN" -role warehouse -addr "$ADDR" -updates "$UPDATES" -seed "$SEED" >"$BASE_LOG" 2>&1 &
+WH_PID=$!
+sleep 0.5
+run_managers
+wait "$WH_PID"
+kill "$MG_PID" 2>/dev/null || true
+wait "$MG_PID" 2>/dev/null || true
+BASELINE=$(grep '^V1: ' "$BASE_LOG")
+echo "baseline views: $BASELINE"
+
+echo "== fault run: durable warehouse, kill -9 mid-stream =="
+start_warehouse() {
+    "$BIN" -role warehouse -addr "$ADDR" -updates "$UPDATES" -seed "$SEED" \
+        -pace 5ms -data-dir "$DATA" -snapshot-every 7 >>"$FAULT_LOG" 2>&1 &
+    WH_PID=$!
+}
+start_warehouse
+sleep 0.1
+run_managers
+sleep 0.15
+if kill -0 "$WH_PID" 2>/dev/null; then
+    kill -9 "$WH_PID"
+    wait "$WH_PID" 2>/dev/null || true
+    echo "warehouse site killed; restarting from $DATA"
+    start_warehouse
+fi
+if ! wait "$WH_PID"; then
+    echo "FAIL: recovered warehouse run exited nonzero" >&2
+    cat "$FAULT_LOG" >&2
+    exit 1
+fi
+
+echo "== verdict =="
+if ! grep -q 'recovered to seq ' "$FAULT_LOG"; then
+    echo "FAIL: restarted warehouse did not recover from the WAL" >&2
+    cat "$FAULT_LOG" >&2
+    exit 1
+fi
+if ! grep -q 'complete=true' "$FAULT_LOG" || ! grep -q '^OK$' "$FAULT_LOG"; then
+    echo "FAIL: recovered run did not verify complete MVC" >&2
+    cat "$FAULT_LOG" >&2
+    exit 1
+fi
+RECOVERED=$(grep '^V1: ' "$FAULT_LOG")
+if [ "$RECOVERED" != "$BASELINE" ]; then
+    echo "FAIL: views diverged from baseline" >&2
+    echo "  baseline:  $BASELINE" >&2
+    echo "  recovered: $RECOVERED" >&2
+    cat "$FAULT_LOG" >&2
+    exit 1
+fi
+grep -E 'recovered to seq |^V1: |complete=' "$FAULT_LOG"
+echo "crash smoke OK"

@@ -1,6 +1,7 @@
 package whips
 
 import (
+	"whips/internal/durable"
 	"whips/internal/expr"
 	"whips/internal/merge"
 	"whips/internal/msg"
@@ -81,6 +82,22 @@ const (
 	Dependency = system.Dependency
 	Batched    = system.Batched
 )
+
+// FsyncPolicy controls when durable appends reach stable storage.
+type FsyncPolicy = durable.FsyncPolicy
+
+// Fsync policies for Config.Durable.
+const (
+	// FsyncAlways syncs every WAL append (no committed update is lost).
+	FsyncAlways = durable.FsyncAlways
+	// FsyncBatch syncs at checkpoints only; a crash may lose the tail.
+	FsyncBatch = durable.FsyncBatch
+	// FsyncNever leaves syncing to the OS (tests and benchmarks).
+	FsyncNever = durable.FsyncNever
+)
+
+// ParseFsyncPolicy parses "always", "batch", or "never".
+var ParseFsyncPolicy = durable.ParseFsyncPolicy
 
 // Merge algorithms.
 const (

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"whips/internal/consistency"
+	"whips/internal/durable"
 	"whips/internal/merge"
 	"whips/internal/msg"
 	"whips/internal/obs"
@@ -92,6 +93,25 @@ type Config struct {
 	// each update's journey through the pipeline is emitted as trace
 	// events (see internal/obs).
 	Obs *obs.Pipeline
+	// Durable enables crash recovery: every executed update is written to
+	// a write-ahead log before it enters the pipeline, and Checkpoint (or
+	// SnapshotEvery) persists full system snapshots. A fresh New against
+	// the same directory restores the snapshot and replays the WAL suffix.
+	// Requires Workers == 0 and no query-based managers, and disables
+	// source-history garbage collection.
+	Durable *DurableOptions
+}
+
+// DurableOptions configures Config.Durable.
+type DurableOptions struct {
+	// Dir is the data directory holding WAL segments and snapshots.
+	Dir string
+	// Fsync selects when appends reach stable storage (default FsyncAlways).
+	Fsync FsyncPolicy
+	// SnapshotEvery checkpoints automatically after that many executed
+	// updates; 0 means only explicit Checkpoint calls snapshot. Automatic
+	// checkpoints quiesce the pipeline (best effort, bounded wait).
+	SnapshotEvery int
 }
 
 // System is a running WHIPS warehouse.
@@ -104,6 +124,11 @@ type System struct {
 	stopped   bool
 	sinceGC   int
 	gcEnabled bool
+
+	host      *durable.Host
+	store     *durable.Store
+	snapEvery int
+	sinceSnap int
 }
 
 // New assembles a system. Call Start to launch its processes.
@@ -128,6 +153,49 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	s := &System{sys: sys, gcEnabled: !cfg.LogStates && cfg.Durable == nil}
+	if cfg.Durable != nil {
+		if cfg.Workers > 0 {
+			return nil, fmt.Errorf("whips: durable mode requires Workers == 0 — worker pools break replay determinism")
+		}
+		parts, missing := sys.DurableNodes()
+		if len(missing) > 0 {
+			return nil, fmt.Errorf("whips: durable mode cannot snapshot query-based managers %v", missing)
+		}
+		store, err := durable.Open(durable.StoreConfig{Dir: cfg.Durable.Dir, Fsync: cfg.Durable.Fsync, Obs: cfg.Obs})
+		if err != nil {
+			return nil, err
+		}
+		nodes := make(map[string]msg.Node)
+		for _, n := range sys.Nodes() {
+			nodes[n.ID()] = n
+		}
+		dparts := make(map[string]durable.Durable, len(parts))
+		for name, p := range parts {
+			dparts[name] = p
+		}
+		s.store = store
+		s.snapEvery = cfg.Durable.SnapshotEvery
+		s.host = durable.NewHost(durable.HostConfig{
+			Store: store,
+			Nodes: nodes,
+			Parts: dparts,
+			OnExec: func(u msg.Update) error {
+				if err := sys.Cluster.Replay(u); err != nil {
+					return err
+				}
+				sys.TrackUpdate(u)
+				return nil
+			},
+			Obs: cfg.Obs,
+		})
+		// Replay before the runtime launches: the pump drives the same node
+		// objects the network will own, single-threaded and virtually timed.
+		if err := s.host.Recover(); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
 	var opts []runtime.Option
 	if cfg.Jitter > 0 {
 		opts = append(opts, runtime.WithSeededJitter(cfg.Seed, cfg.Jitter))
@@ -135,14 +203,15 @@ func New(cfg Config) (*System, error) {
 	if cfg.Obs != nil {
 		opts = append(opts, runtime.WithObs(cfg.Obs))
 	}
-	net := runtime.New(sys.Nodes(), opts...)
+	s.net = runtime.New(sys.Nodes(), opts...)
 	// Bind the worker pool to the runtime so busy periods run on workers
 	// and their results come back as ordinary messages, with the network's
 	// in-flight accounting covering the gap.
-	sys.Pool.Bind(net.Inject, net.Reserve)
+	sys.Pool.Bind(s.net.Inject, s.net.Reserve)
 	// Source version history is needed by the consistency checker; without
-	// state logging it can be garbage collected as views catch up.
-	return &System{sys: sys, net: net, gcEnabled: !cfg.LogStates}, nil
+	// state logging it can be garbage collected as views catch up. Durable
+	// runs keep it too: trim timing is not reproduced by WAL replay.
+	return s, nil
 }
 
 // Start launches every process goroutine.
@@ -166,6 +235,9 @@ func (s *System) Stop() {
 	s.stopped = true
 	s.net.Stop()
 	s.sys.Close()
+	if s.store != nil {
+		s.store.Close()
+	}
 }
 
 // Execute runs a transaction on one source (§2.1's single-source updates)
@@ -174,17 +246,72 @@ func (s *System) Stop() {
 func (s *System) Execute(src SourceID, writes ...Write) (UpdateID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.execLocked(func() (msg.Update, error) { return s.sys.Cluster.Execute(src, writes...) })
+}
+
+// execLocked commits one source transaction and feeds it to the
+// integrator. Under durability the commit, the WAL append, and the
+// injection happen atomically with respect to checkpoints.
+func (s *System) execLocked(execute func() (msg.Update, error)) (UpdateID, error) {
 	if !s.started || s.stopped {
 		return 0, fmt.Errorf("whips: system is not running")
 	}
-	u, err := s.sys.Cluster.Execute(src, writes...)
+	deliver := func(u msg.Update) {
+		s.sys.TrackUpdate(u)
+		s.net.Inject(msg.NodeIntegrator, u)
+	}
+	if s.host != nil {
+		u, err := s.host.IngestExec(msg.NodeIntegrator, execute, deliver)
+		if err != nil {
+			return 0, err
+		}
+		s.maybeSnapshotLocked()
+		return u.Seq, nil
+	}
+	u, err := execute()
 	if err != nil {
 		return 0, err
 	}
-	s.sys.TrackUpdate(u)
-	s.net.Inject(msg.NodeIntegrator, u)
+	deliver(u)
 	s.maybeTrimLocked()
 	return u.Seq, nil
+}
+
+// maybeSnapshotLocked checkpoints after every Config.Durable.SnapshotEvery
+// executed updates. Best effort: if the pipeline does not quiesce within
+// the bounded wait the snapshot is skipped and retried a period later.
+func (s *System) maybeSnapshotLocked() {
+	if s.snapEvery <= 0 {
+		return
+	}
+	s.sinceSnap++
+	if s.sinceSnap < s.snapEvery {
+		return
+	}
+	s.sinceSnap = 0
+	_ = s.host.Checkpoint(func() bool { return s.net.Drain(5 * time.Second) })
+}
+
+// Checkpoint quiesces the pipeline (bounded by timeout) and writes a
+// durable snapshot; the WAL prefix it covers is pruned and subsequent
+// recovery starts from it. Requires Config.Durable.
+func (s *System) Checkpoint(timeout time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.host == nil {
+		return fmt.Errorf("whips: durability is not enabled")
+	}
+	return s.host.Checkpoint(func() bool { return s.net.Drain(timeout) })
+}
+
+// StateBytes marshals the full durable state without persisting it.
+// Recovery-determinism tests compare two recoveries byte for byte.
+// Requires Config.Durable.
+func (s *System) StateBytes() ([]byte, error) {
+	if s.host == nil {
+		return nil, fmt.Errorf("whips: durability is not enabled")
+	}
+	return s.host.StateBytes()
 }
 
 // maybeTrimLocked periodically releases source version history below the
@@ -206,17 +333,7 @@ func (s *System) maybeTrimLocked() {
 func (s *System) ExecuteGlobal(writes ...Write) (UpdateID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.started || s.stopped {
-		return 0, fmt.Errorf("whips: system is not running")
-	}
-	u, err := s.sys.Cluster.ExecuteGlobal(writes...)
-	if err != nil {
-		return 0, err
-	}
-	s.sys.TrackUpdate(u)
-	s.net.Inject(msg.NodeIntegrator, u)
-	s.maybeTrimLocked()
-	return u.Seq, nil
+	return s.execLocked(func() (msg.Update, error) { return s.sys.Cluster.ExecuteGlobal(writes...) })
 }
 
 // Settle blocks until no message is in flight anywhere in the system —
