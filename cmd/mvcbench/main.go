@@ -55,6 +55,7 @@ var experiments = []experiment{
 	{"staged", one(harness.StagedTransfer)},
 	{"managers", one(harness.ManagerComparison)},
 	{"throughput", one(harness.Throughput)},
+	{"readload", one(harness.ReadLoad)},
 }
 
 func names() []string {

@@ -35,6 +35,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -42,7 +43,9 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -53,6 +56,7 @@ import (
 	"whips/internal/merge"
 	"whips/internal/msg"
 	"whips/internal/obs"
+	"whips/internal/query"
 	"whips/internal/relation"
 	"whips/internal/runtime"
 	"whips/internal/source"
@@ -139,6 +143,59 @@ type warehouseSite struct {
 	sess atomic.Pointer[wire.Session]
 	host atomic.Pointer[durable.Host]
 	mp   atomic.Pointer[merge.Merge]
+	wh   atomic.Pointer[warehouse.Warehouse]
+	qe   atomic.Pointer[query.Engine]
+}
+
+// serveQuery handles GET /query?view=...&where=...&cols=...&group=...&agg=...
+// (&state=N for historical epochs), evaluating against the current
+// attempt's warehouse snapshots via the epoch-cached query engine.
+func (site *warehouseSite) serveQuery(w http.ResponseWriter, r *http.Request) {
+	qe, wh := site.qe.Load(), site.wh.Load()
+	if qe == nil || wh == nil {
+		http.Error(w, "warehouse not ready", http.StatusServiceUnavailable)
+		return
+	}
+	p := r.URL.Query()
+	snap := wh.Snapshot()
+	historical := p.Get("state") != ""
+	if historical {
+		n, err := strconv.Atoi(p.Get("state"))
+		if err != nil {
+			http.Error(w, "bad state parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if snap, err = wh.SnapshotAt(n); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	spec, err := query.ParseSpec(p.Get("view"), p.Get("where"), p.Get("cols"), p.Get("group"), p.Get("agg"), snap)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var res query.Result
+	if historical {
+		res, err = qe.RunAt(snap, spec)
+	} else {
+		res, err = qe.Run(spec)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cols, rows := query.Rows(res.Rel)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{
+		"view":    res.View,
+		"epoch":   res.Epoch,
+		"cached":  res.Cached,
+		"columns": cols,
+		"rows":    rows,
+	})
 }
 
 func runWarehouseSite(o warehouseOpts) {
@@ -165,10 +222,11 @@ func runWarehouseSite(o warehouseOpts) {
 			}
 			return "serving", true
 		},
+		Query: site.serveQuery,
 	})
 	must(err)
 	if dbg != nil {
-		fmt.Printf("debug server on http://%s (metrics, healthz, debug/vut, debug/pprof)\n", o.debug)
+		fmt.Printf("debug server on http://%s (metrics, healthz, query, debug/vut, debug/pprof)\n", o.debug)
 		defer dbg.Close()
 	}
 
@@ -240,6 +298,10 @@ func (site *warehouseSite) attempt() (err error) {
 		initial[id] = v
 	}
 	wh := warehouse.New(initial, warehouse.WithStateLog(), warehouse.WithObs(pipe))
+	site.wh.Store(wh)
+	site.qe.Store(query.New(wh,
+		query.WithClock(func() int64 { return time.Now().UnixNano() }),
+		query.WithObs(pipe)))
 	mp := merge.New(0, merge.SPA, merge.NewSequential(msg.NodeMerge(0), 0), merge.WithObs(pipe))
 	site.mp.Store(mp)
 

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"whips/internal/msg"
+	"whips/internal/query"
+	"whips/internal/relation"
+	"whips/internal/warehouse"
+)
+
+// queryResp mirrors serveQuery's JSON body.
+type queryResp struct {
+	View    string   `json:"view"`
+	Epoch   int64    `json:"epoch"`
+	Cached  bool     `json:"cached"`
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+}
+
+func getQuery(t *testing.T, site *warehouseSite, target string) (int, queryResp, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", target, nil)
+	rec := httptest.NewRecorder()
+	site.serveQuery(rec, req)
+	var body queryResp
+	if rec.Code == 200 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+		}
+	}
+	return rec.Code, body, rec.Body.String()
+}
+
+// TestServeQuery drives the /query debug handler directly against a
+// warehouseSite, covering the not-ready, current-epoch, historical, and
+// bad-parameter paths.
+func TestServeQuery(t *testing.T) {
+	site := &warehouseSite{}
+
+	// Before any attempt stores a warehouse, /query must 503.
+	if code, _, _ := getQuery(t, site, "/query?view=V1"); code != 503 {
+		t.Fatalf("not-ready code = %d, want 503", code)
+	}
+
+	sch := relation.MustSchema("A:int", "B:int")
+	wh := warehouse.New(map[msg.ViewID]*relation.Relation{
+		"V1": relation.FromTuples(sch, relation.T(1, 2), relation.T(3, 4)),
+	}, warehouse.WithStateLog())
+	site.wh.Store(wh)
+	site.qe.Store(query.New(wh))
+
+	code, body, raw := getQuery(t, site, "/query?view=V1&where=A>=3")
+	if code != 200 {
+		t.Fatalf("code = %d: %s", code, raw)
+	}
+	if body.View != "V1" || body.Epoch != 0 || body.Cached {
+		t.Fatalf("body = %+v", body)
+	}
+	if len(body.Rows) != 1 || body.Rows[0][0] != float64(3) {
+		t.Fatalf("rows = %v", body.Rows)
+	}
+
+	// Second identical request is answered from the epoch cache.
+	if _, body, _ := getQuery(t, site, "/query?view=V1&where=A>=3"); !body.Cached {
+		t.Fatal("repeat query not served from cache")
+	}
+
+	// A commit advances the epoch; state=0 pins the historical snapshot.
+	wh.Handle(msg.SubmitTxn{Txn: msg.WarehouseTxn{
+		ID:     1,
+		Rows:   []msg.UpdateID{1},
+		Writes: []msg.ViewWrite{{View: "V1", Upto: 1, Delta: relation.InsertDelta(sch, relation.T(5, 6))}},
+	}}, 1)
+	if _, body, _ := getQuery(t, site, "/query?view=V1"); body.Epoch != 1 || len(body.Rows) != 3 {
+		t.Fatalf("current body = %+v", body)
+	}
+	if _, body, _ := getQuery(t, site, "/query?view=V1&state=0"); body.Epoch != 0 || len(body.Rows) != 2 {
+		t.Fatalf("historical body = %+v", body)
+	}
+
+	// Aggregation through the URL surface.
+	code, body, raw = getQuery(t, site, "/query?view=V1&agg=count,sum(A)")
+	if code != 200 || len(body.Rows) != 1 {
+		t.Fatalf("agg code=%d body=%+v raw=%s", code, body, raw)
+	}
+	if body.Rows[0][0] != float64(3) || body.Rows[0][1] != float64(9) {
+		t.Fatalf("agg rows = %v", body.Rows)
+	}
+
+	// Bad parameters are 400s, not panics.
+	for _, target := range []string{
+		"/query",                       // missing view
+		"/query?view=ghost",            // unknown view
+		"/query?view=V1&where=Z=1",     // unknown attribute
+		"/query?view=V1&state=nope",    // unparsable state
+		"/query?view=V1&state=99",      // out-of-range state
+		"/query?view=V1&agg=median(A)", // unknown aggregate
+	} {
+		if code, _, raw := getQuery(t, site, target); code != 400 {
+			t.Errorf("%s code = %d (%s), want 400", target, code, raw)
+		}
+	}
+}

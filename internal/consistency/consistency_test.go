@@ -319,9 +319,13 @@ func TestFinalMatches(t *testing.T) {
 	if err != nil || !ok {
 		t.Errorf("FinalMatches = %v, %v", ok, err)
 	}
-	// Perturb one view.
+	// Perturb one view. ReadAll returns frozen snapshot relations, so the
+	// perturbation goes through a mutable clone.
 	bad := f.wh.ReadAll()
-	_ = bad["V1"].Insert(relation.T(5, 5, 5), 1)
+	bad["V1"] = bad["V1"].Clone()
+	if err := bad["V1"].Insert(relation.T(5, 5, 5), 1); err != nil {
+		t.Fatal(err)
+	}
 	ok, err = FinalMatches(f.cluster, f.views, bad)
 	if err != nil || ok {
 		t.Errorf("perturbed FinalMatches = %v, %v", ok, err)

@@ -1,0 +1,149 @@
+// readload.go is the second wall-clock experiment: it measures the
+// warehouse's aggregate read throughput under live maintenance, comparing
+// the lock-free epoch-snapshot read path against the retained mutex+clone
+// baseline. Like Throughput (W1) it runs real goroutines and real elapsed
+// time, so absolute numbers vary across machines while the shape — snapshot
+// reads scale with reader count, clone reads serialize on the warehouse
+// mutex and pay a deep copy per read — is stable.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/warehouse"
+)
+
+// readLoadWindow is the wall-clock measurement window per cell. Long enough
+// to amortize goroutine start/stop, short enough that the full experiment
+// (2 modes × 3 reader counts) stays under a second.
+const readLoadWindow = 120 * time.Millisecond
+
+// readLoadCard is the seeded view cardinality. Big enough that the
+// baseline's per-read deep clone costs real work (the regime the epoch
+// snapshot is designed to eliminate), small enough to build instantly.
+const readLoadCard = 2000
+
+// ReadLoad is experiment W2: aggregate reads/sec versus reader-goroutine
+// count for the two read paths, with a feeder goroutine committing
+// maintenance transactions throughout. Each reader loops ReadAll (or
+// ReadAllMutexClone) as fast as it can for a fixed window. The snapshot
+// path is one atomic pointer load per read, so its aggregate throughput
+// scales with cores and its commit latency is unaffected by readers; the
+// clone path serializes readers and commits on one mutex and deep-copies
+// every view per read.
+func ReadLoad(seed int64, updates int) Table {
+	t := Table{
+		ID:      "W2",
+		Title:   "warehouse read throughput vs reader count (wall clock)",
+		Columns: []string{"mode", "readers", "reads/s", "speedup", "commit µs"},
+		Notes: fmt.Sprintf("%d-tuple view, %v window per cell, live maintenance commits; speedup is vs mutex-clone at the same reader count",
+			readLoadCard, readLoadWindow),
+	}
+	baseline := map[int]float64{}
+	for _, mode := range []string{"mutex-clone", "snapshot"} {
+		for _, readers := range []int{1, 2, 4} {
+			r := runReadLoad(seed, mode, readers)
+			rate := float64(r.reads) / (float64(r.elapsed) / 1e9)
+			speedup := "1.00x"
+			if mode == "mutex-clone" {
+				baseline[readers] = rate
+			} else if b := baseline[readers]; b > 0 {
+				speedup = fmt.Sprintf("%.2fx", rate/b)
+			}
+			t.Rows = append(t.Rows, []string{
+				mode,
+				fmt.Sprint(readers),
+				fmt.Sprintf("%.0f", rate),
+				speedup,
+				fmt.Sprintf("%.1f", float64(r.commitNS)/1e3),
+			})
+		}
+	}
+	return t
+}
+
+type readLoadResult struct {
+	reads    int64 // total ReadAll calls completed across readers
+	elapsed  int64 // wall ns of the measurement window
+	commitNS int64 // mean ns per maintenance commit during the window
+}
+
+func runReadLoad(seed int64, mode string, readers int) readLoadResult {
+	sch := relation.MustSchema("A:int", "B:int")
+	tuples := make([]relation.Tuple, readLoadCard)
+	for i := range tuples {
+		tuples[i] = relation.T(i, i%17)
+	}
+	w := warehouse.New(map[msg.ViewID]*relation.Relation{
+		"V": relation.FromTuples(sch, tuples...),
+	}, warehouse.WithStateLogCap(64))
+
+	read := w.ReadAll
+	if mode == "mutex-clone" {
+		read = w.ReadAllMutexClone
+	}
+
+	var (
+		reads   atomic.Int64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		commits int64
+		totalNS int64
+	)
+	// Feeder: a steady maintenance load of single-tuple commits, paced so
+	// the commit rate itself (not reader interference) stays constant
+	// across modes. The pace leaves the mutex mostly free, so any commit
+	// slowdown in the table is reader-induced contention.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		id := msg.TxnID(seed%1000 + 1)
+		next := readLoadCard
+		for !stop.Load() {
+			t0 := time.Now()
+			w.Handle(msg.SubmitTxn{Txn: msg.WarehouseTxn{
+				ID:   id,
+				Rows: []msg.UpdateID{msg.UpdateID(id)},
+				Writes: []msg.ViewWrite{{
+					View:  "V",
+					Upto:  msg.UpdateID(id),
+					Delta: relation.InsertDelta(sch, relation.T(next, next%17)),
+				}},
+			}}, t0.UnixNano())
+			totalNS += time.Since(t0).Nanoseconds()
+			commits++
+			id++
+			next++
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n int64
+			for !stop.Load() {
+				vs := read()
+				if len(vs) != 1 {
+					panic("harness: readload: wrong view count")
+				}
+				n++
+			}
+			reads.Add(n)
+		}()
+	}
+	start := time.Now()
+	time.Sleep(readLoadWindow)
+	stop.Store(true)
+	wg.Wait()
+	res := readLoadResult{reads: reads.Load(), elapsed: time.Since(start).Nanoseconds()}
+	if commits > 0 {
+		res.commitNS = totalNS / commits
+	}
+	return res
+}

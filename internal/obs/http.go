@@ -24,6 +24,9 @@ type DebugServer struct {
 	// while WAL replay is in progress) serves HTTP 503 so load balancers
 	// hold traffic until recovery finishes; status is reported either way.
 	Health func() (status string, ok bool)
+	// Query, when set, serves /query — the host binary supplies a handler
+	// that evaluates ad-hoc queries against its warehouse snapshots.
+	Query http.HandlerFunc
 
 	start time.Time
 }
@@ -67,6 +70,9 @@ func NewDebugMux(cfg DebugServer) *http.ServeMux {
 			"uptime_ns": time.Since(cfg.start).Nanoseconds(),
 		})
 	})
+	if cfg.Query != nil {
+		mux.HandleFunc("/query", cfg.Query)
+	}
 	if cfg.VUT != nil {
 		mux.HandleFunc("/debug/vut", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,171 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/warehouse"
+)
+
+// ParseSpec builds a Spec from the string parameters of the HTTP debug
+// endpoint, type-checking attribute names and literal values against the
+// view's schema in snap:
+//
+//	view:  view name (required)
+//	where: comma-separated clauses "attr OP literal", ANDed; OP is one of
+//	       = != < <= > >= ; literals are typed by the attribute's schema
+//	       type (strings may be double-quoted)
+//	cols:  comma-separated projection columns
+//	group: comma-separated group-by columns
+//	agg:   comma-separated aggregates "count" or "op(attr)" with op one of
+//	       count sum min max avg; output columns are named "count" and
+//	       "op_attr"
+func ParseSpec(view, where, cols, group, agg string, snap *warehouse.Snapshot) (Spec, error) {
+	if view == "" {
+		return Spec{}, fmt.Errorf("query: missing view parameter")
+	}
+	rel, ok := snap.Relation(msg.ViewID(view))
+	if !ok {
+		return Spec{}, fmt.Errorf("query: unknown view %q (have %s)", view, strings.Join(SortedViews(snap), ", "))
+	}
+	spec := Spec{View: msg.ViewID(view)}
+	schema := rel.Schema()
+	if where != "" {
+		var preds []expr.Pred
+		for _, clause := range strings.Split(where, ",") {
+			p, err := parseClause(strings.TrimSpace(clause), schema)
+			if err != nil {
+				return Spec{}, err
+			}
+			preds = append(preds, p)
+		}
+		if len(preds) == 1 {
+			spec.Where = preds[0]
+		} else {
+			spec.Where = expr.And(preds...)
+		}
+	}
+	spec.Columns = splitList(cols)
+	spec.GroupBy = splitList(group)
+	if agg != "" {
+		for _, a := range strings.Split(agg, ",") {
+			as, err := parseAgg(strings.TrimSpace(a))
+			if err != nil {
+				return Spec{}, err
+			}
+			spec.Aggs = append(spec.Aggs, as)
+		}
+	}
+	return spec, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ops in prefix-safe order: two-character operators first so "a>=3" does
+// not parse as ">" with literal "=3".
+var ops = []struct {
+	sym string
+	op  expr.CmpOp
+}{
+	{"!=", expr.Ne}, {">=", expr.Ge}, {"<=", expr.Le},
+	{"=", expr.Eq}, {">", expr.Gt}, {"<", expr.Lt},
+}
+
+func parseClause(clause string, schema *relation.Schema) (expr.Pred, error) {
+	for _, o := range ops {
+		i := strings.Index(clause, o.sym)
+		if i <= 0 {
+			continue
+		}
+		attr := strings.TrimSpace(clause[:i])
+		lit := strings.TrimSpace(clause[i+len(o.sym):])
+		idx, ok := schema.Index(attr)
+		if !ok {
+			return nil, fmt.Errorf("query: unknown attribute %q in where clause (schema %s)", attr, schema)
+		}
+		v, err := parseLiteral(lit, schema.Attr(idx).Type)
+		if err != nil {
+			return nil, fmt.Errorf("query: clause %q: %w", clause, err)
+		}
+		return expr.Cmp(attr, o.op, v), nil
+	}
+	return nil, fmt.Errorf("query: cannot parse where clause %q (want attr OP literal)", clause)
+}
+
+func parseLiteral(lit string, t relation.Type) (relation.Value, error) {
+	switch t {
+	case relation.Int:
+		n, err := strconv.ParseInt(lit, 10, 64)
+		if err != nil {
+			return relation.Value{}, fmt.Errorf("bad int literal %q", lit)
+		}
+		return relation.IntVal(n), nil
+	case relation.Float:
+		f, err := strconv.ParseFloat(lit, 64)
+		if err != nil {
+			return relation.Value{}, fmt.Errorf("bad float literal %q", lit)
+		}
+		return relation.FloatVal(f), nil
+	case relation.Bool:
+		b, err := strconv.ParseBool(lit)
+		if err != nil {
+			return relation.Value{}, fmt.Errorf("bad bool literal %q", lit)
+		}
+		return relation.BoolVal(b), nil
+	default: // String
+		if len(lit) >= 2 && lit[0] == '"' {
+			s, err := strconv.Unquote(lit)
+			if err != nil {
+				return relation.Value{}, fmt.Errorf("bad string literal %s", lit)
+			}
+			return relation.StringVal(s), nil
+		}
+		return relation.StringVal(lit), nil
+	}
+}
+
+func parseAgg(a string) (expr.AggSpec, error) {
+	name, attr := a, ""
+	if i := strings.Index(a, "("); i > 0 && strings.HasSuffix(a, ")") {
+		name = a[:i]
+		attr = strings.TrimSpace(a[i+1 : len(a)-1])
+	}
+	var op expr.AggOp
+	switch strings.ToLower(name) {
+	case "count":
+		op = expr.Count
+	case "sum":
+		op = expr.Sum
+	case "min":
+		op = expr.Min
+	case "max":
+		op = expr.Max
+	case "avg":
+		op = expr.Avg
+	default:
+		return expr.AggSpec{}, fmt.Errorf("query: unknown aggregate %q", name)
+	}
+	if op != expr.Count && attr == "" {
+		return expr.AggSpec{}, fmt.Errorf("query: aggregate %q needs an attribute, e.g. %s(X)", name, name)
+	}
+	as := strings.ToLower(name)
+	if attr != "" {
+		as += "_" + attr
+	}
+	return expr.AggSpec{Op: op, Attr: attr, As: as}, nil
+}

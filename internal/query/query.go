@@ -1,0 +1,347 @@
+// Package query is the warehouse's read-serving layer: selection,
+// projection, and aggregation evaluated directly against the immutable
+// epoch snapshots the warehouse publishes (§1 — the warehouse exists to be
+// queried; §2.3 — every answer comes from exactly one state ws_i, so a
+// query can never observe a half-applied maintenance transaction).
+//
+// Queries reuse the internal/expr algebra, so a query is compiled into the
+// same Scan→Select→Project/Aggregate trees that define views, and evaluate
+// lock-free: the only shared mutable state is the engine's result cache,
+// an LRU keyed by the query's canonical form and invalidated by epoch.
+package query
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/obs"
+	"whips/internal/relation"
+	"whips/internal/warehouse"
+)
+
+// Spec is one query: a view, an optional selection predicate, and either a
+// projection (Columns) or a grouped aggregation (GroupBy/Aggs). Columns and
+// aggregation are mutually exclusive.
+type Spec struct {
+	View    msg.ViewID
+	Where   expr.Pred // nil = no filter
+	Columns []string  // projection; empty = all columns
+	GroupBy []string
+	Aggs    []expr.AggSpec
+}
+
+// Key returns the spec's canonical cache key. Every component is quoted or
+// delimited so distinct specs cannot collide.
+func (s Spec) Key() string {
+	var b strings.Builder
+	b.WriteString(strconv.Quote(string(s.View)))
+	b.WriteString("|w=")
+	if s.Where != nil {
+		b.WriteString(s.Where.String())
+	}
+	b.WriteString("|c=")
+	for _, c := range s.Columns {
+		b.WriteString(strconv.Quote(c))
+	}
+	b.WriteString("|g=")
+	for _, g := range s.GroupBy {
+		b.WriteString(strconv.Quote(g))
+	}
+	b.WriteString("|a=")
+	for _, a := range s.Aggs {
+		fmt.Fprintf(&b, "%s(%s):%s;", a.Op, strconv.Quote(a.Attr), strconv.Quote(a.As))
+	}
+	return b.String()
+}
+
+// Result is a query answer. Rel is frozen: it may be cached and shared
+// with other callers, so it must not be mutated.
+type Result struct {
+	View   msg.ViewID
+	Epoch  int64 // warehouse epoch the answer reflects
+	Rel    *relation.Relation
+	Cached bool
+}
+
+// Source supplies the current published snapshot; *warehouse.Warehouse
+// satisfies it.
+type Source interface {
+	Snapshot() *warehouse.Snapshot
+}
+
+// Engine evaluates Specs against a Source's snapshots with an LRU result
+// cache. Safe for concurrent use: evaluation is lock-free over frozen
+// snapshots, and only cache bookkeeping takes the engine mutex.
+type Engine struct {
+	src   Source
+	clock func() int64
+
+	mu    sync.Mutex
+	lru   *list.List // front = most recently used
+	items map[string]*list.Element
+	cap   int
+
+	total    *obs.Counter
+	hits     *obs.Counter
+	misses   *obs.Counter
+	entriesG *obs.Gauge
+	evalNS   *obs.Histogram
+	snapAge  *obs.Histogram
+	epochLag *obs.Gauge
+}
+
+type cacheEntry struct {
+	key   string
+	epoch int64
+	res   Result
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithCacheSize bounds the result cache to n entries (default 128; 0
+// disables caching).
+func WithCacheSize(n int) Option { return func(e *Engine) { e.cap = n } }
+
+// WithClock sets the clock used for snapshot-age observations. It should
+// be the same clock domain as the warehouse's commit timestamps.
+func WithClock(fn func() int64) Option { return func(e *Engine) { e.clock = fn } }
+
+// WithObs attaches query-serving metrics: queries served, cache hit/miss
+// counters (hit ratio), evaluation latency, snapshot age at answer time,
+// and the epoch lag of historical answers.
+func WithObs(p *obs.Pipeline) Option {
+	return func(e *Engine) {
+		r := p.Reg()
+		e.total = r.Counter("query_total")
+		e.hits = r.Counter("query_cache_hits_total")
+		e.misses = r.Counter("query_cache_misses_total")
+		e.entriesG = r.Gauge("query_cache_entries")
+		e.evalNS = r.Histogram("query_eval_ns", obs.LatencyBuckets())
+		e.snapAge = r.Histogram("query_snapshot_age_ns", obs.LatencyBuckets())
+		e.epochLag = r.Gauge("query_epoch_lag")
+	}
+}
+
+// New returns an engine serving queries from src.
+func New(src Source, opts ...Option) *Engine {
+	e := &Engine{
+		src:   src,
+		cap:   128,
+		lru:   list.New(),
+		items: make(map[string]*list.Element),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Run answers spec against the current epoch snapshot, consulting the
+// cache. A cached answer is served only if its epoch matches the current
+// snapshot's epoch exactly — any committed maintenance transaction since
+// it was computed invalidates it.
+func (e *Engine) Run(spec Spec) (Result, error) {
+	snap := e.src.Snapshot()
+	key := spec.Key()
+	if res, ok := e.cacheGet(key, snap.Epoch); ok {
+		e.total.Inc()
+		e.hits.Inc()
+		e.observeAge(snap)
+		return res, nil
+	}
+	res, err := e.RunAt(snap, spec)
+	if err != nil {
+		return Result{}, err
+	}
+	e.misses.Inc()
+	e.cachePut(key, res)
+	return res, nil
+}
+
+// RunAt answers spec against an explicit snapshot (for example one from
+// Warehouse.SnapshotAt) without touching the cache: historical epochs
+// would otherwise evict the hot current-epoch entries.
+func (e *Engine) RunAt(snap *warehouse.Snapshot, spec Spec) (Result, error) {
+	start := e.now()
+	ex, db, err := Compile(spec, snap)
+	if err != nil {
+		return Result{}, err
+	}
+	rel, err := expr.Eval(ex, db)
+	if err != nil {
+		return Result{}, err
+	}
+	rel.Freeze()
+	e.total.Inc()
+	if e.evalNS != nil && start > 0 {
+		e.evalNS.Observe(e.now() - start)
+	}
+	e.observeAge(snap)
+	if cur := e.src.Snapshot(); cur != nil {
+		e.epochLag.Set(cur.Epoch - snap.Epoch)
+	}
+	return Result{View: spec.View, Epoch: snap.Epoch, Rel: rel}, nil
+}
+
+// Compile builds the expression tree and the snapshot-backed database for
+// spec. The tree is Scan → (Select) → (Project | Aggregate).
+func Compile(spec Spec, snap *warehouse.Snapshot) (expr.Expr, expr.Database, error) {
+	base, ok := snap.Relation(spec.View)
+	if !ok {
+		return nil, nil, fmt.Errorf("query: unknown view %q", spec.View)
+	}
+	var ex expr.Expr = expr.Scan(string(spec.View), base.Schema())
+	if spec.Where != nil {
+		sel, err := expr.Select(ex, spec.Where)
+		if err != nil {
+			return nil, nil, fmt.Errorf("query: %w", err)
+		}
+		ex = sel
+	}
+	grouped := len(spec.GroupBy) > 0 || len(spec.Aggs) > 0
+	if grouped && len(spec.Columns) > 0 {
+		return nil, nil, fmt.Errorf("query: Columns and GroupBy/Aggs are mutually exclusive")
+	}
+	switch {
+	case grouped:
+		agg, err := expr.Aggregate(ex, spec.GroupBy, spec.Aggs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("query: %w", err)
+		}
+		ex = agg
+	case len(spec.Columns) > 0:
+		prj, err := expr.Project(ex, spec.Columns...)
+		if err != nil {
+			return nil, nil, fmt.Errorf("query: %w", err)
+		}
+		ex = prj
+	}
+	return ex, expr.MapDB{string(spec.View): base}, nil
+}
+
+func (e *Engine) now() int64 {
+	if e.clock == nil {
+		return 0
+	}
+	return e.clock()
+}
+
+func (e *Engine) observeAge(snap *warehouse.Snapshot) {
+	if e.snapAge == nil || snap.CommitAt <= 0 {
+		return
+	}
+	if now := e.now(); now > snap.CommitAt {
+		e.snapAge.Observe(now - snap.CommitAt)
+	}
+}
+
+func (e *Engine) cacheGet(key string, epoch int64) (Result, bool) {
+	if e.cap <= 0 {
+		return Result{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.items[key]
+	if !ok {
+		return Result{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.epoch != epoch {
+		// Stale epoch: drop it now; the caller will recompute and re-put.
+		e.lru.Remove(el)
+		delete(e.items, key)
+		e.entriesG.Set(int64(len(e.items)))
+		return Result{}, false
+	}
+	e.lru.MoveToFront(el)
+	res := ent.res
+	res.Cached = true
+	return res, true
+}
+
+func (e *Engine) cachePut(key string, res Result) {
+	if e.cap <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.items[key]; ok {
+		el.Value = &cacheEntry{key: key, epoch: res.Epoch, res: res}
+		e.lru.MoveToFront(el)
+		return
+	}
+	e.items[key] = e.lru.PushFront(&cacheEntry{key: key, epoch: res.Epoch, res: res})
+	for e.lru.Len() > e.cap {
+		old := e.lru.Back()
+		e.lru.Remove(old)
+		delete(e.items, old.Value.(*cacheEntry).key)
+	}
+	e.entriesG.Set(int64(len(e.items)))
+}
+
+// CacheLen reports how many results are cached (for tests and gauges).
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.items)
+}
+
+// Rows renders a frozen result relation as sorted rows of native Go
+// values, with one extra "_count" column when a tuple's multiplicity
+// exceeds one — the JSON-friendly shape the debug endpoint serves.
+func Rows(rel *relation.Relation) (columns []string, rows [][]any) {
+	columns = append(columns, rel.Schema().Names()...)
+	rel.EachSorted(func(t relation.Tuple, n int64) bool {
+		row := make([]any, len(t))
+		for i, v := range t {
+			row[i] = native(v)
+		}
+		if n != 1 {
+			row = append(row, n)
+		}
+		rows = append(rows, row)
+		return true
+	})
+	// Only add the _count column name if some row carried one.
+	for _, r := range rows {
+		if len(r) > len(columns) {
+			columns = append(columns, "_count")
+			break
+		}
+	}
+	return columns, rows
+}
+
+func native(v relation.Value) any {
+	switch v.Kind() {
+	case relation.Int:
+		return v.Int()
+	case relation.String:
+		return v.Str()
+	case relation.Float:
+		return v.Float()
+	case relation.Bool:
+		return v.Bool()
+	default:
+		return v.String()
+	}
+}
+
+// SortedViews lists a snapshot's views — a convenience for endpoints that
+// enumerate what can be queried.
+func SortedViews(snap *warehouse.Snapshot) []string {
+	ids := snap.Views()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,289 @@
+package query
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/warehouse"
+)
+
+var qSchema = relation.MustSchema("A:int", "B:string", "N:int")
+
+func newWarehouse(t *testing.T) *warehouse.Warehouse {
+	t.Helper()
+	v := relation.FromTuples(qSchema,
+		relation.T(1, "x", 10),
+		relation.T(2, "x", 20),
+		relation.T(3, "y", 30),
+	)
+	return warehouse.New(map[msg.ViewID]*relation.Relation{"V": v}, warehouse.WithStateLog())
+}
+
+func commit(t *testing.T, w *warehouse.Warehouse, id msg.TxnID, tup relation.Tuple) {
+	t.Helper()
+	w.Handle(msg.SubmitTxn{Txn: msg.WarehouseTxn{
+		ID:     id,
+		Rows:   []msg.UpdateID{msg.UpdateID(id)},
+		Writes: []msg.ViewWrite{{View: "V", Upto: msg.UpdateID(id), Delta: relation.InsertDelta(qSchema, tup)}},
+	}}, int64(id))
+}
+
+func TestQuerySelectProject(t *testing.T) {
+	w := newWarehouse(t)
+	e := New(w)
+	res, err := e.Run(Spec{View: "V", Where: expr.Cmp("B", expr.Eq, "x"), Columns: []string{"A"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 0 || res.Cached {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Rel.Cardinality() != 2 || !res.Rel.Contains(relation.T(1)) || !res.Rel.Contains(relation.T(2)) {
+		t.Fatalf("rel = %v", res.Rel)
+	}
+	if !res.Rel.Frozen() {
+		t.Fatal("result relation not frozen")
+	}
+	// Full-view query, no filter.
+	all, err := e.Run(Spec{View: "V"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Rel.Cardinality() != 3 {
+		t.Fatalf("all = %v", all.Rel)
+	}
+	if _, err := e.Run(Spec{View: "ghost"}); err == nil || !strings.Contains(err.Error(), "unknown view") {
+		t.Fatalf("ghost view err = %v", err)
+	}
+	if _, err := e.Run(Spec{View: "V", Columns: []string{"A"}, GroupBy: []string{"B"}}); err == nil {
+		t.Fatal("Columns+GroupBy accepted")
+	}
+}
+
+func TestQueryAggregate(t *testing.T) {
+	w := newWarehouse(t)
+	e := New(w)
+	res, err := e.Run(Spec{
+		View:    "V",
+		GroupBy: []string{"B"},
+		Aggs: []expr.AggSpec{
+			{Op: expr.Count, As: "count"},
+			{Op: expr.Sum, Attr: "N", As: "sum_N"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rel.Cardinality() != 2 {
+		t.Fatalf("groups = %v", res.Rel)
+	}
+	if !res.Rel.Contains(relation.T("x", 2, 30)) || !res.Rel.Contains(relation.T("y", 1, 30)) {
+		t.Fatalf("agg rows = %v", res.Rel)
+	}
+}
+
+func TestQueryCacheEpochInvalidation(t *testing.T) {
+	w := newWarehouse(t)
+	e := New(w)
+	spec := Spec{View: "V", Where: expr.Cmp("A", expr.Ge, 2)}
+	r1, err := e.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Fatal("first run claimed cached")
+	}
+	r2, err := e.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached || r2.Epoch != r1.Epoch {
+		t.Fatalf("second run = %+v", r2)
+	}
+	if r2.Rel != r1.Rel {
+		t.Fatal("cache returned a different relation object")
+	}
+	// A commit advances the epoch and must invalidate the entry.
+	commit(t, w, 1, relation.T(9, "x", 90))
+	r3, err := e.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Cached || r3.Epoch != 1 {
+		t.Fatalf("post-commit run = %+v", r3)
+	}
+	if r3.Rel.Cardinality() != 3 { // A in {2,3,9}
+		t.Fatalf("post-commit rel = %v", r3.Rel)
+	}
+	// And the fresh answer caches again.
+	r4, _ := e.Run(spec)
+	if !r4.Cached {
+		t.Fatal("refreshed answer not cached")
+	}
+}
+
+func TestQueryCacheLRUEviction(t *testing.T) {
+	w := newWarehouse(t)
+	e := New(w, WithCacheSize(2))
+	specs := []Spec{
+		{View: "V", Where: expr.Cmp("A", expr.Eq, 1)},
+		{View: "V", Where: expr.Cmp("A", expr.Eq, 2)},
+		{View: "V", Where: expr.Cmp("A", expr.Eq, 3)},
+	}
+	for _, s := range specs {
+		if _, err := e.Run(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.CacheLen(); got != 2 {
+		t.Fatalf("cache len = %d, want 2", got)
+	}
+	// The oldest entry (A=1) was evicted; A=3 is cached.
+	if r, _ := e.Run(specs[0]); r.Cached {
+		t.Fatal("evicted entry served from cache")
+	}
+	if r, _ := e.Run(specs[2]); !r.Cached {
+		t.Fatal("recent entry not cached")
+	}
+	// Cap 0 disables caching entirely.
+	off := New(w, WithCacheSize(0))
+	off.Run(specs[0])
+	if r, _ := off.Run(specs[0]); r.Cached || off.CacheLen() != 0 {
+		t.Fatalf("cache disabled but hit: %+v len %d", r, off.CacheLen())
+	}
+}
+
+func TestQueryHistoricalSnapshot(t *testing.T) {
+	w := newWarehouse(t)
+	e := New(w)
+	commit(t, w, 1, relation.T(7, "z", 70))
+	old, err := w.SnapshotAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunAt(old, Spec{View: "V"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 0 || res.Rel.Contains(relation.T(7, "z", 70)) {
+		t.Fatalf("historical res = %+v %v", res, res.Rel)
+	}
+	// Historical answers stay out of the cache.
+	if e.CacheLen() != 0 {
+		t.Fatalf("RunAt polluted cache: %d entries", e.CacheLen())
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	w := newWarehouse(t)
+	snap := w.Snapshot()
+	spec, err := ParseSpec("V", "A>=2,B=x", "", "", "", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(w)
+	res, err := e.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rel.Cardinality() != 1 || !res.Rel.Contains(relation.T(2, "x", 20)) {
+		t.Fatalf("parsed where = %v", res.Rel)
+	}
+	spec, err = ParseSpec("V", "", "", "B", "count,sum(N)", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Aggs) != 2 || spec.Aggs[0].As != "count" || spec.Aggs[1].As != "sum_N" {
+		t.Fatalf("aggs = %+v", spec.Aggs)
+	}
+	if _, err := e.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []struct{ view, where, cols, group, agg string }{
+		{"", "", "", "", ""},              // missing view
+		{"ghost", "", "", "", ""},         // unknown view
+		{"V", "Z=1", "", "", ""},          // unknown attribute
+		{"V", "A=x", "", "", ""},          // type mismatch
+		{"V", "A", "", "", ""},            // no operator
+		{"V", "", "", "", "median(N)"},    // unknown aggregate
+		{"V", "", "", "", "sum"},          // sum without attribute
+	} {
+		if _, err := ParseSpec(bad.view, bad.where, bad.cols, bad.group, bad.agg, snap); err == nil {
+			t.Errorf("ParseSpec(%+v) accepted", bad)
+		}
+	}
+}
+
+func TestRowsRendering(t *testing.T) {
+	r := relation.New(relation.MustSchema("A:int", "B:string"))
+	if err := r.Insert(relation.T(1, "x"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(relation.T(2, "y"), 3); err != nil {
+		t.Fatal(err)
+	}
+	cols, rows := Rows(r)
+	if len(cols) != 3 || cols[2] != "_count" {
+		t.Fatalf("cols = %v", cols)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0] != int64(1) || rows[0][1] != "x" || len(rows[0]) != 2 {
+		t.Errorf("row0 = %v", rows[0])
+	}
+	if rows[1][2] != int64(3) {
+		t.Errorf("row1 = %v", rows[1])
+	}
+}
+
+// TestQueryConcurrentWithCommits runs queries from many goroutines while
+// commits stream in; with -race this exercises the lock-free snapshot read
+// under the cache's epoch invalidation.
+func TestQueryConcurrentWithCommits(t *testing.T) {
+	w := newWarehouse(t)
+	e := New(w)
+	spec := Spec{View: "V", Where: expr.Cmp("B", expr.Eq, "x")}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastEpoch int64 = -1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := e.Run(spec)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Epoch < lastEpoch {
+					t.Errorf("answer epoch went backwards: %d after %d", res.Epoch, lastEpoch)
+					return
+				}
+				lastEpoch = res.Epoch
+			}
+		}()
+	}
+	for i := 1; i <= 200; i++ {
+		commit(t, w, msg.TxnID(i), relation.T(int64(100+i), "x", int64(i)))
+	}
+	close(stop)
+	wg.Wait()
+	res, err := e.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 200 || res.Rel.Cardinality() != 202 {
+		t.Fatalf("final res epoch %d card %d", res.Epoch, res.Rel.Cardinality())
+	}
+}

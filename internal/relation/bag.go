@@ -10,6 +10,10 @@ import (
 // counts to be positive; Delta allows any non-zero signed count.
 type bag struct {
 	entries map[string]*bagEntry
+	// cow marks a copy-on-write bag: its entry pointers are shared with a
+	// frozen parent, so add must replace an entry before changing its count
+	// rather than mutating it in place.
+	cow bool
 }
 
 type bagEntry struct {
@@ -37,6 +41,12 @@ func (b *bag) add(t Tuple, n int64) int64 {
 	if e == nil {
 		e = &bagEntry{tuple: t.Clone()}
 		b.entries[k] = e
+	} else if b.cow {
+		// The entry may be shared with a frozen snapshot: replace it so the
+		// count change cannot be observed through the parent. Index
+		// maintenance sees prev != cur and rehomes the pointer.
+		e = &bagEntry{tuple: e.tuple, count: e.count}
+		b.entries[k] = e
 	}
 	e.count += n
 	if e.count == 0 {
@@ -57,6 +67,17 @@ func (b *bag) clone() bag {
 	out := bag{entries: make(map[string]*bagEntry, len(b.entries))}
 	for k, e := range b.entries {
 		out.entries[k] = &bagEntry{tuple: e.tuple, count: e.count}
+	}
+	return out
+}
+
+// cloneCOW returns a copy-on-write copy: the map is fresh but the entry
+// pointers are shared with the receiver, which the caller promises is (or
+// is about to become) immutable. O(distinct) map copy, zero entry allocs.
+func (b *bag) cloneCOW() bag {
+	out := bag{entries: make(map[string]*bagEntry, len(b.entries)), cow: true}
+	for k, e := range b.entries {
+		out.entries[k] = e
 	}
 	return out
 }

@@ -19,6 +19,7 @@ type Relation struct {
 	schema *Schema
 	data   bag
 	card   int64 // total multiplicity
+	frozen bool  // immutable: mutators fail, sharing is safe
 
 	// imu guards the indexes map so concurrent lookups can race on the
 	// lazy index build; see EnsureIndex.
@@ -47,8 +48,35 @@ func FromTuples(schema *Schema, tuples ...Tuple) *Relation {
 // Schema returns the relation's schema.
 func (r *Relation) Schema() *Schema { return r.schema }
 
+// ErrFrozen is returned by mutators invoked on a frozen relation.
+var ErrFrozen = fmt.Errorf("relation: frozen (published snapshots are immutable; use MutableCopy or Clone)")
+
+// Freeze marks the relation immutable. After Freeze, Insert/Delete/Apply
+// return ErrFrozen, so the relation may be shared freely across goroutines
+// and snapshots. Freezing is one-way; derive a writable relation with
+// MutableCopy (copy-on-write) or Clone (deep). Freeze returns r.
+func (r *Relation) Freeze() *Relation {
+	r.frozen = true
+	return r
+}
+
+// Frozen reports whether the relation has been frozen.
+func (r *Relation) Frozen() bool { return r.frozen }
+
+// MutableCopy returns an unfrozen copy that shares tuple storage with r via
+// copy-on-write: only the entries a later mutation touches are duplicated.
+// The receiver must be (or be about to become) immutable — the warehouse
+// freezes every published relation, then derives the next version from it
+// with MutableCopy. Indexes are not copied; they rebuild lazily.
+func (r *Relation) MutableCopy() *Relation {
+	return &Relation{schema: r.schema, data: r.data.cloneCOW(), card: r.card}
+}
+
 // Insert adds n (>0) copies of t.
 func (r *Relation) Insert(t Tuple, n int64) error {
+	if r.frozen {
+		return ErrFrozen
+	}
 	if n <= 0 {
 		return fmt.Errorf("relation: Insert multiplicity must be positive, got %d", n)
 	}
@@ -62,6 +90,9 @@ func (r *Relation) Insert(t Tuple, n int64) error {
 // Delete removes n (>0) copies of t. It is an error to remove more copies
 // than present.
 func (r *Relation) Delete(t Tuple, n int64) error {
+	if r.frozen {
+		return ErrFrozen
+	}
 	if n <= 0 {
 		return fmt.Errorf("relation: Delete multiplicity must be positive, got %d", n)
 	}
@@ -81,6 +112,9 @@ func (r *Relation) Delete(t Tuple, n int64) error {
 func (r *Relation) Apply(d *Delta) error {
 	if d == nil {
 		return nil
+	}
+	if r.frozen {
+		return ErrFrozen
 	}
 	if !r.schema.Equal(d.schema) {
 		return fmt.Errorf("relation: delta schema %s does not match relation schema %s", d.schema, r.schema)

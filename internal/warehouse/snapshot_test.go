@@ -1,0 +1,265 @@
+package warehouse
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+func TestSnapshotEpochAndImmutability(t *testing.T) {
+	w := New(initialViews())
+	s0 := w.Snapshot()
+	if s0.Epoch != 0 || s0.Txn != 0 {
+		t.Fatalf("initial snapshot = %+v", s0)
+	}
+	if r, ok := s0.Relation("V2"); !ok || !r.Contains(relation.T(0)) {
+		t.Fatalf("initial V2 = %v, %v", r, ok)
+	}
+	w.Handle(txn(1, nil, write("V1", 1, 10)), 7)
+	s1 := w.Snapshot()
+	if s1.Epoch != 1 || s1.Txn != 1 || s1.CommitAt != 7 {
+		t.Fatalf("snapshot after commit = %+v", s1)
+	}
+	if s1.Upto("V1") != 1 || s1.Upto("V2") != 0 {
+		t.Fatalf("upto = %d/%d", s1.Upto("V1"), s1.Upto("V2"))
+	}
+	// The old epoch is untouched: its V1 is still empty and frozen.
+	r0, _ := s0.Relation("V1")
+	if !r0.Empty() {
+		t.Fatalf("epoch-0 V1 changed by a later commit: %v", r0)
+	}
+	if !r0.Frozen() {
+		t.Fatal("published relation not frozen")
+	}
+	if err := r0.Insert(relation.T(99), 1); err == nil {
+		t.Fatal("published relation accepted a mutation")
+	}
+	if got := s1.Views(); len(got) != 2 || got[0] != "V1" || got[1] != "V2" {
+		t.Fatalf("Views() = %v", got)
+	}
+}
+
+func TestSnapshotMinUptoAndZeroViews(t *testing.T) {
+	w := New(initialViews())
+	if m, ok := w.MinUpto(); !ok || m != 0 {
+		t.Fatalf("MinUpto = %d, %v", m, ok)
+	}
+	w.Handle(txn(1, nil, write("V1", 5, 1), write("V2", 3, 2)), 0)
+	if m, ok := w.MinUpto(); !ok || m != 3 {
+		t.Fatalf("MinUpto after commit = %d, %v", m, ok)
+	}
+	// A warehouse with no views is vacuously caught up, not stuck at zero:
+	// ok must be false so callers can substitute the source frontier.
+	empty := New(nil)
+	if _, ok := empty.MinUpto(); ok {
+		t.Fatal("zero-view MinUpto reported ok = true")
+	}
+}
+
+func TestLogRecordsDoNotAliasInternalState(t *testing.T) {
+	w := New(initialViews(), WithStateLog())
+	w.Handle(txn(1, nil, write("V1", 1, 1)), 0)
+	got := w.Log()
+	// Corrupt everything mutable on the returned records.
+	got[1].Upto["V1"] = 999
+	got[1].Views["V1"] = relation.FromTuples(vSchema, relation.T(777))
+	got[1].Rows[0] = 888
+	delete(got[0].Views, "V2")
+
+	fresh := w.Log()
+	if fresh[1].Upto["V1"] != 1 {
+		t.Errorf("internal Upto map aliased: %v", fresh[1].Upto)
+	}
+	if !fresh[1].Views["V1"].Contains(relation.T(1)) || fresh[1].Views["V1"].Contains(relation.T(777)) {
+		t.Errorf("internal Views map aliased: %v", fresh[1].Views["V1"])
+	}
+	if fresh[1].Rows[0] != 1 {
+		t.Errorf("internal Rows slice aliased: %v", fresh[1].Rows)
+	}
+	if _, ok := fresh[0].Views["V2"]; !ok {
+		t.Error("deleting from a returned record's map reached the log")
+	}
+}
+
+func TestStageKeyCollisionRegression(t *testing.T) {
+	// Under the old "%s@%d" encoding these two coordinates collided:
+	// ("V@1@2", 3) and ("V@1", 23) both encoded to "V@1@23".
+	if stageKey("V@1@2", 3) == stageKey("V@1", 23) {
+		t.Fatalf("stageKey ambiguous: %q", stageKey("V@1@2", 3))
+	}
+	views := map[msg.ViewID]*relation.Relation{
+		"V@1@2": relation.New(vSchema),
+		"V@1":   relation.New(vSchema),
+	}
+	w := New(views)
+	// A txn waits for staged data for view "V@1@2" upto 3.
+	staged := msg.SubmitTxn{
+		Txn: msg.WarehouseTxn{
+			ID:     1,
+			Rows:   []msg.UpdateID{3},
+			Writes: []msg.ViewWrite{{View: "V@1@2", Upto: 3, Staged: true}},
+		},
+		From: "merge:0",
+	}
+	if out := w.Handle(staged, 0); len(out) != 0 {
+		t.Fatalf("staged txn committed without data: %v", out)
+	}
+	// Colliding-coordinate data for the OTHER view arrives: it must not
+	// release the parked transaction (it used to, corrupting "V@1@2" with
+	// "V@1"'s delta).
+	other := relation.InsertDelta(vSchema, relation.T(23))
+	if out := w.Handle(msg.StageDelta{View: "V@1", Upto: 23, Delta: other}, 0); len(out) != 0 {
+		t.Fatalf("collision released parked txn: %v", out)
+	}
+	if w.Applied() != 0 {
+		t.Fatal("txn committed on colliding staged data")
+	}
+	// The real data commits it, applying the right delta to the right view.
+	mine := relation.InsertDelta(vSchema, relation.T(3))
+	out := w.Handle(msg.StageDelta{View: "V@1@2", Upto: 3, Delta: mine}, 0)
+	if len(out) != 1 {
+		t.Fatalf("want 1 ack, got %v", out)
+	}
+	all := w.ReadAll()
+	if !all["V@1@2"].Contains(relation.T(3)) || all["V@1@2"].Cardinality() != 1 {
+		t.Errorf("V@1@2 = %v", all["V@1@2"])
+	}
+	if !all["V@1"].Empty() {
+		t.Errorf("V@1 = %v, want empty", all["V@1"])
+	}
+}
+
+func TestReadAtEvictionBoundaries(t *testing.T) {
+	w := New(initialViews(), WithStateLogCap(4))
+	for i := 1; i <= 10; i++ {
+		w.Handle(txn(msg.TxnID(i), nil, write("V1", msg.UpdateID(i), i)), int64(i))
+	}
+	// 11 states ever (initial + 10), cap 4: retained window is [7, 10],
+	// so logBase == 7.
+	if got := w.States(); got != 11 {
+		t.Fatalf("States() = %d, want 11", got)
+	}
+	if got := len(w.Log()); got != 4 {
+		t.Fatalf("retained = %d, want 4", got)
+	}
+	// state == logBase: first retained record, readable.
+	at7, err := w.ReadAt(7, "V1")
+	if err != nil {
+		t.Fatalf("ReadAt(logBase) = %v", err)
+	}
+	if !at7["V1"].Contains(relation.T(7)) || at7["V1"].Contains(relation.T(8)) {
+		t.Errorf("state 7 = %v", at7["V1"])
+	}
+	// state == logBase-1: just evicted; distinct error from out-of-range.
+	if _, err := w.ReadAt(6, "V1"); err == nil || !strings.Contains(err.Error(), "evicted") {
+		t.Errorf("ReadAt(logBase-1) = %v, want evicted error", err)
+	}
+	if _, err := w.ReadAt(11, "V1"); err == nil || strings.Contains(err.Error(), "evicted") {
+		t.Errorf("ReadAt(states) = %v, want out-of-range error", err)
+	}
+	if _, err := w.ReadAt(-1, "V1"); err == nil {
+		t.Error("ReadAt(-1) succeeded")
+	}
+	// SnapshotAt mirrors ReadAt's window semantics.
+	if _, err := w.SnapshotAt(6); err == nil || !strings.Contains(err.Error(), "evicted") {
+		t.Errorf("SnapshotAt(6) = %v, want evicted error", err)
+	}
+	s, err := w.SnapshotAt(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch != 9 || s.Upto("V1") != 9 {
+		t.Fatalf("SnapshotAt(9) = %+v upto %d", s, s.Upto("V1"))
+	}
+	if r, _ := s.Relation("V1"); !r.Frozen() || r.Contains(relation.T(10)) {
+		t.Errorf("historical snapshot relation wrong: %v", r)
+	}
+	// Wraparound accounting: States() keeps counting, window keeps sliding.
+	w.Handle(txn(11, nil, write("V1", 11, 11)), 11)
+	if got := w.States(); got != 12 {
+		t.Errorf("States() after wrap = %d, want 12", got)
+	}
+	if _, err := w.ReadAt(7, "V1"); err == nil {
+		t.Error("state 7 still readable after one more eviction")
+	}
+	if _, err := w.ReadAt(8, "V1"); err != nil {
+		t.Errorf("new window start unreadable: %v", err)
+	}
+}
+
+// TestConcurrentLockFreeReads hammers the lock-free read path from many
+// goroutines while commits stream in, under -race. Every view of the state
+// must be internally consistent: V1's cardinality equals its watermark
+// (txn i inserts exactly tuple i), and epochs observed by one reader never
+// go backwards.
+func TestConcurrentLockFreeReads(t *testing.T) {
+	w := New(initialViews(), WithStateLogCap(8))
+	const commits = 400
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	check := func(epoch int64, card, upto int64) error {
+		if card != upto {
+			return fmt.Errorf("epoch %d: V1 cardinality %d != upto %d (torn read)", epoch, card, upto)
+		}
+		return nil
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastEpoch int64 = -1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := w.Snapshot()
+				if s.Epoch < lastEpoch {
+					t.Errorf("epoch went backwards: %d after %d", s.Epoch, lastEpoch)
+					return
+				}
+				lastEpoch = s.Epoch
+				r, _ := s.Relation("V1")
+				if err := check(s.Epoch, r.Cardinality(), int64(s.Upto("V1"))); err != nil {
+					t.Error(err)
+					return
+				}
+				views, err := w.Read("V1", "V2")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Exercise the concurrent lazy-index path on shared frozen
+				// relations too.
+				views["V1"].LookupEach([]int{0}, relation.T(1).Project([]int{0}), func(relation.Tuple, int64) bool { return true })
+				all := w.ReadAll()
+				if len(all) != 2 {
+					t.Errorf("ReadAll = %d views", len(all))
+					return
+				}
+				if m, ok := w.MinUpto(); !ok || m > msg.UpdateID(commits) {
+					t.Errorf("MinUpto = %d, %v", m, ok)
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i <= commits; i++ {
+		w.Handle(txn(msg.TxnID(i), nil, write("V1", msg.UpdateID(i), i)), int64(i))
+	}
+	close(stop)
+	wg.Wait()
+	s := w.Snapshot()
+	if s.Epoch != commits {
+		t.Fatalf("final epoch = %d, want %d", s.Epoch, commits)
+	}
+	r, _ := s.Relation("V1")
+	if r.Cardinality() != commits {
+		t.Fatalf("final V1 cardinality = %d", r.Cardinality())
+	}
+}

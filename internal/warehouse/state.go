@@ -68,7 +68,9 @@ func decodeViewMap(vs []viewState) (map[msg.ViewID]*relation.Relation, map[msg.V
 		if err != nil {
 			return nil, nil, fmt.Errorf("warehouse: restore view %q: %w", v.View, err)
 		}
-		views[msg.ViewID(v.View)] = r
+		// Restored states re-enter the frozen/COW regime immediately: both
+		// the live views and the log records are published as immutable.
+		views[msg.ViewID(v.View)] = r.Freeze()
 		upto[msg.ViewID(v.View)] = msg.UpdateID(v.Upto)
 	}
 	return views, upto, nil
@@ -219,6 +221,12 @@ func (w *Warehouse) RestoreState(b []byte) error {
 		w.log = append(w.log, rec)
 	}
 	w.applied = st.Applied
+	var lastTxn msg.TxnID
+	var lastAt int64
+	if n := len(w.log); n > 0 {
+		lastTxn, lastAt = w.log[n-1].Txn, w.log[n-1].CommitAt
+	}
+	w.publishLocked(lastTxn, lastAt)
 	w.pendingG.Set(int64(len(w.pending)))
 	w.stageParkG.Set(int64(len(w.stageParked)))
 	return nil

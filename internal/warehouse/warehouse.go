@@ -7,7 +7,9 @@ package warehouse
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"whips/internal/msg"
 	"whips/internal/obs"
@@ -16,12 +18,62 @@ import (
 
 // StateRecord is one element of the warehouse state sequence Wseq: the
 // (vector) state after one maintenance transaction committed (§2.3).
+// Relations are frozen and shared with the epoch snapshots, so recording a
+// state is O(#views) map work, not a deep copy.
 type StateRecord struct {
 	Txn      msg.TxnID
 	Rows     []msg.UpdateID
 	Upto     map[msg.ViewID]msg.UpdateID
-	Views    map[msg.ViewID]*relation.Relation // deep clones
+	Views    map[msg.ViewID]*relation.Relation // frozen, shared
 	CommitAt int64
+}
+
+// Snapshot is one immutable published warehouse state ws_i (§2.3). Commit
+// builds the next snapshot copy-on-write and swaps it in atomically, so any
+// number of readers can serve from a snapshot lock-free while maintenance
+// continues; every relation in it is frozen and must not be mutated (derive
+// a writable copy with Relation.Clone or Relation.MutableCopy).
+type Snapshot struct {
+	// Epoch counts committed maintenance transactions: 0 is the initial
+	// state, and each commit publishes exactly one new epoch. With the
+	// state log enabled, Epoch equals the record's state index for ReadAt.
+	Epoch    int64
+	Txn      msg.TxnID // transaction that produced this state (0 = initial)
+	CommitAt int64     // warehouse clock at commit (0 = initial)
+
+	views map[msg.ViewID]*relation.Relation
+	upto  map[msg.ViewID]msg.UpdateID
+}
+
+// Relation returns the named view's frozen relation.
+func (s *Snapshot) Relation(id msg.ViewID) (*relation.Relation, bool) {
+	r, ok := s.views[id]
+	return r, ok
+}
+
+// Views returns the view names in sorted order.
+func (s *Snapshot) Views() []msg.ViewID {
+	out := make([]msg.ViewID, 0, len(s.views))
+	for id := range s.views {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Upto returns the sequence number the named view has reached in this state.
+func (s *Snapshot) Upto(id msg.ViewID) msg.UpdateID { return s.upto[id] }
+
+// MinUpto returns the lowest sequence number any view in this state has
+// reached. ok is false when the snapshot holds no views at all: such a
+// warehouse is vacuously caught up with its sources, not infinitely stale.
+func (s *Snapshot) MinUpto() (m msg.UpdateID, ok bool) {
+	for _, u := range s.upto {
+		if !ok || u < m {
+			m, ok = u, true
+		}
+	}
+	return m, ok
 }
 
 // CommitInfo is passed to commit observers.
@@ -33,10 +85,15 @@ type CommitInfo struct {
 }
 
 // Warehouse is the view store. It implements msg.Node; reads are safe from
-// other goroutines.
+// other goroutines and — via the published epoch snapshot — lock-free, so
+// they never contend with maintenance commits.
 type Warehouse struct {
+	// snap is the current published state. Swapped (never mutated) under
+	// mu; loaded without any lock by the read path.
+	snap atomic.Pointer[Snapshot]
+
 	mu        sync.Mutex
-	views     map[msg.ViewID]*relation.Relation
+	views     map[msg.ViewID]*relation.Relation // frozen; next commit derives COW copies
 	upto      map[msg.ViewID]msg.UpdateID
 	committed map[msg.TxnID]bool
 	// pending holds transactions whose declared dependencies have not all
@@ -73,6 +130,8 @@ type Warehouse struct {
 	freshness  *obs.Histogram
 	pendingG   *obs.Gauge
 	stageParkG *obs.Gauge
+	reads      *obs.Counter
+	epochG     *obs.Gauge
 }
 
 // Option configures a Warehouse.
@@ -119,6 +178,8 @@ func WithObs(p *obs.Pipeline) Option {
 		w.freshness = r.Histogram("wh_freshness_ns", obs.LatencyBuckets())
 		w.pendingG = r.Gauge("wh_pending_txns")
 		w.stageParkG = r.Gauge("wh_stage_parked_txns")
+		w.reads = r.Counter("wh_reads_total")
+		w.epochG = r.Gauge("wh_epoch")
 	}
 }
 
@@ -134,8 +195,12 @@ type stagePark struct {
 	missing map[string]bool
 }
 
+// stageKey encodes a (view, upto) staging coordinate. The view name is
+// quoted so a ViewID containing '@' (or any other byte) cannot collide with
+// a different view's key: `"a@1"@23` and `"a@1@2"@3` stay distinct, whereas
+// the old `%s@%d` encoding mapped both to `a@1@23`.
 func stageKey(v msg.ViewID, upto msg.UpdateID) string {
-	return fmt.Sprintf("%s@%d", v, upto)
+	return strconv.Quote(string(v)) + "@" + strconv.FormatInt(int64(upto), 10)
 }
 
 // applyNow is the self-message used to model deferred execution.
@@ -158,17 +223,41 @@ func New(initial map[msg.ViewID]*relation.Relation, opts ...Option) *Warehouse {
 		stageWaiters: make(map[string][]msg.TxnID),
 	}
 	for id, r := range initial {
-		w.views[id] = r.Clone()
+		w.views[id] = r.Clone().Freeze()
 		w.upto[id] = 0
 	}
 	for _, o := range opts {
 		o(w)
 	}
+	w.publishLocked(0, 0)
 	if w.logStates {
 		w.log = append(w.log, w.snapshotLocked(0, nil, 0))
 	}
 	return w
 }
+
+// publishLocked swaps in a new epoch snapshot reflecting the current views
+// and watermarks. Epoch is the applied-transaction count. Callers hold mu
+// (or are inside New/RestoreState before the warehouse is shared).
+func (w *Warehouse) publishLocked(txn msg.TxnID, now int64) {
+	s := &Snapshot{
+		Epoch:    w.applied,
+		Txn:      txn,
+		CommitAt: now,
+		views:    make(map[msg.ViewID]*relation.Relation, len(w.views)),
+		upto:     make(map[msg.ViewID]msg.UpdateID, len(w.upto)),
+	}
+	for id, r := range w.views {
+		s.views[id] = r
+		s.upto[id] = w.upto[id]
+	}
+	w.snap.Store(s)
+	w.epochG.Set(s.Epoch)
+}
+
+// Snapshot returns the current published epoch snapshot: an immutable,
+// mutually consistent view of the whole warehouse. Lock-free.
+func (w *Warehouse) Snapshot() *Snapshot { return w.snap.Load() }
 
 // ID implements msg.Node.
 func (w *Warehouse) ID() string { return msg.NodeWarehouse }
@@ -305,7 +394,10 @@ func (w *Warehouse) commitLocked(t msg.WarehouseTxn, from string, now int64, out
 			if !exists {
 				panic(fmt.Sprintf("warehouse: transaction %d writes unknown view %q", t.ID, vw.View))
 			}
-			r = base.Clone()
+			// Copy-on-write off the frozen published version: only the
+			// entries this transaction touches are duplicated, and untouched
+			// views are not copied at all.
+			r = base.MutableCopy()
 			scratch[vw.View] = r
 		}
 		if err := r.Apply(delta); err != nil {
@@ -313,7 +405,7 @@ func (w *Warehouse) commitLocked(t msg.WarehouseTxn, from string, now int64, out
 		}
 	}
 	for id, r := range scratch {
-		w.views[id] = r
+		w.views[id] = r.Freeze()
 	}
 	for _, vw := range t.Writes {
 		if vw.Upto > w.upto[vw.View] {
@@ -322,6 +414,7 @@ func (w *Warehouse) commitLocked(t msg.WarehouseTxn, from string, now int64, out
 	}
 	w.committed[t.ID] = true
 	w.applied++
+	w.publishLocked(t.ID, now)
 	w.txns.Inc()
 	w.viewWrites.Add(int64(len(t.Writes)))
 	w.txnWrites.Observe(int64(len(t.Writes)))
@@ -398,72 +491,81 @@ func (w *Warehouse) snapshotLocked(txn msg.TxnID, rows []msg.UpdateID, now int64
 		CommitAt: now,
 	}
 	for id, r := range w.views {
-		rec.Views[id] = r.Clone()
+		rec.Views[id] = r // frozen: sharing is safe, no deep clone
 		rec.Upto[id] = w.upto[id]
 	}
 	return rec
 }
 
-// Read returns a consistent snapshot of the named views: all clones are
-// taken under one lock, so a reader can never observe a half-applied
-// maintenance transaction — the warehouse-side guarantee MVC builds on.
+// Read returns a mutually consistent view of the named relations, served
+// lock-free from the current epoch snapshot: a reader can never observe a
+// half-applied maintenance transaction — the warehouse-side guarantee MVC
+// builds on — and never contends with commits. The returned relations are
+// frozen and shared; callers that need to mutate must Clone (or
+// MutableCopy) them.
 func (w *Warehouse) Read(ids ...msg.ViewID) (map[msg.ViewID]*relation.Relation, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	s := w.snap.Load()
 	out := make(map[msg.ViewID]*relation.Relation, len(ids))
 	for _, id := range ids {
-		r, ok := w.views[id]
+		r, ok := s.views[id]
 		if !ok {
 			return nil, fmt.Errorf("warehouse: unknown view %q", id)
 		}
-		out[id] = r.Clone()
+		out[id] = r
 	}
+	w.reads.Inc()
 	return out, nil
 }
 
-// ReadAll snapshots every view.
+// ReadAll returns every view from the current epoch snapshot, lock-free.
+// The relations are frozen and shared (see Read).
 func (w *Warehouse) ReadAll() map[msg.ViewID]*relation.Relation {
+	s := w.snap.Load()
+	out := make(map[msg.ViewID]*relation.Relation, len(s.views))
+	for id, r := range s.views {
+		out[id] = r
+	}
+	w.reads.Inc()
+	return out
+}
+
+// ReadAllMutexClone is the pre-snapshot read path — deep clones of every
+// view taken under the maintenance mutex. It is retained only as the
+// baseline that `mvcbench -exp readload` compares the lock-free snapshot
+// path against; new code should use Read/ReadAll/Snapshot.
+func (w *Warehouse) ReadAllMutexClone() map[msg.ViewID]*relation.Relation {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	out := make(map[msg.ViewID]*relation.Relation, len(w.views))
 	for id, r := range w.views {
 		out[id] = r.Clone()
 	}
+	w.reads.Inc()
 	return out
 }
 
-// Upto returns the sequence number each view has reached.
+// Upto returns the sequence number each view has reached, lock-free from
+// the current epoch snapshot.
 func (w *Warehouse) Upto() map[msg.ViewID]msg.UpdateID {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	out := make(map[msg.ViewID]msg.UpdateID, len(w.upto))
-	for id, u := range w.upto {
+	s := w.snap.Load()
+	out := make(map[msg.ViewID]msg.UpdateID, len(s.upto))
+	for id, u := range s.upto {
 		out[id] = u
 	}
 	return out
 }
 
-// MinUpto returns the lowest sequence number any view has reached — the
-// freshness low-water mark.
-func (w *Warehouse) MinUpto() msg.UpdateID {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	first := true
-	var m msg.UpdateID
-	for _, u := range w.upto {
-		if first || u < m {
-			m, first = u, false
-		}
-	}
-	return m
+// MinUpto returns the freshness low-water mark: the lowest sequence number
+// any view has reached. ok is false when the warehouse materializes no
+// views at all — such a warehouse is vacuously caught up, and callers must
+// not treat it as stuck at update zero (the old signature's failure mode).
+func (w *Warehouse) MinUpto() (msg.UpdateID, bool) {
+	return w.snap.Load().MinUpto()
 }
 
-// Applied returns how many maintenance transactions have committed.
-func (w *Warehouse) Applied() int64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.applied
-}
+// Applied returns how many maintenance transactions have committed (the
+// current epoch), lock-free.
+func (w *Warehouse) Applied() int64 { return w.snap.Load().Epoch }
 
 // PendingCount returns how many submitted transactions are blocked on
 // dependencies.
@@ -474,11 +576,30 @@ func (w *Warehouse) PendingCount() int {
 }
 
 // Log returns the recorded warehouse state sequence (empty unless
-// WithStateLog).
+// WithStateLog). Each record's Rows slice and Upto/Views maps are copies,
+// so a caller cannot corrupt the recorded Wseq that the consistency checker
+// judges; the relations themselves are frozen and shared.
 func (w *Warehouse) Log() []StateRecord {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return append([]StateRecord(nil), w.log...)
+	out := make([]StateRecord, len(w.log))
+	for i, rec := range w.log {
+		cp := StateRecord{
+			Txn:      rec.Txn,
+			Rows:     append([]msg.UpdateID(nil), rec.Rows...),
+			Upto:     make(map[msg.ViewID]msg.UpdateID, len(rec.Upto)),
+			Views:    make(map[msg.ViewID]*relation.Relation, len(rec.Views)),
+			CommitAt: rec.CommitAt,
+		}
+		for id, u := range rec.Upto {
+			cp.Upto[id] = u
+		}
+		for id, r := range rec.Views {
+			cp.Views[id] = r
+		}
+		out[i] = cp
+	}
+	return out
 }
 
 // States returns how many warehouse states have been recorded (the initial
@@ -513,7 +634,38 @@ func (w *Warehouse) ReadAt(state int, ids ...msg.ViewID) (map[msg.ViewID]*relati
 		if !ok {
 			return nil, fmt.Errorf("warehouse: unknown view %q", id)
 		}
-		out[id] = r.Clone()
+		out[id] = r // frozen, shared
 	}
+	w.reads.Inc()
 	return out, nil
+}
+
+// SnapshotAt returns the recorded state with the given index as a Snapshot,
+// for historical queries (§1 "storing historical data"). Same range and
+// eviction semantics as ReadAt. The snapshot's Epoch is the state index.
+func (w *Warehouse) SnapshotAt(state int) (*Snapshot, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.logStates {
+		return nil, fmt.Errorf("warehouse: historical reads require the state log")
+	}
+	if state < 0 || state >= w.logBase+len(w.log) {
+		return nil, fmt.Errorf("warehouse: state %d out of range [0,%d)", state, w.logBase+len(w.log))
+	}
+	if state < w.logBase {
+		return nil, fmt.Errorf("warehouse: state %d evicted from the capped log (window starts at %d)", state, w.logBase)
+	}
+	rec := w.log[state-w.logBase]
+	s := &Snapshot{
+		Epoch:    int64(state),
+		Txn:      rec.Txn,
+		CommitAt: rec.CommitAt,
+		views:    make(map[msg.ViewID]*relation.Relation, len(rec.Views)),
+		upto:     make(map[msg.ViewID]msg.UpdateID, len(rec.Upto)),
+	}
+	for id, r := range rec.Views {
+		s.views[id] = r
+		s.upto[id] = rec.Upto[id]
+	}
+	return s, nil
 }

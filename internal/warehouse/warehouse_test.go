@@ -83,8 +83,8 @@ func TestWarehouseDependencyOrdering(t *testing.T) {
 	if w.PendingCount() != 0 {
 		t.Errorf("pending = %d", w.PendingCount())
 	}
-	if w.MinUpto() != 0 { // V2 untouched
-		t.Errorf("MinUpto = %d", w.MinUpto())
+	if m, ok := w.MinUpto(); !ok || m != 0 { // V2 untouched
+		t.Errorf("MinUpto = %d, %v", m, ok)
 	}
 }
 

@@ -5,8 +5,10 @@ import (
 	"whips/internal/expr"
 	"whips/internal/merge"
 	"whips/internal/msg"
+	"whips/internal/query"
 	"whips/internal/relation"
 	"whips/internal/system"
+	"whips/internal/warehouse"
 )
 
 // Re-exported identifier types.
@@ -49,6 +51,17 @@ type (
 	AggSpec = expr.AggSpec
 	// Database resolves base relation names for ad-hoc evaluation.
 	Database = expr.Database
+)
+
+// Re-exported read-serving layer.
+type (
+	// QuerySpec is an ad-hoc query over one view: selection, projection,
+	// or grouped aggregation.
+	QuerySpec = query.Spec
+	// QueryResult is a query answer; its relation is frozen (immutable).
+	QueryResult = query.Result
+	// WarehouseSnapshot is one immutable published warehouse epoch.
+	WarehouseSnapshot = warehouse.Snapshot
 )
 
 // Re-exported configuration types.

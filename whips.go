@@ -38,6 +38,7 @@ import (
 	"whips/internal/merge"
 	"whips/internal/msg"
 	"whips/internal/obs"
+	"whips/internal/query"
 	"whips/internal/relation"
 	"whips/internal/runtime"
 	"whips/internal/source"
@@ -118,6 +119,7 @@ type DurableOptions struct {
 type System struct {
 	sys *system.System
 	net *runtime.Network
+	qe  *query.Engine
 
 	mu        sync.Mutex
 	started   bool
@@ -154,6 +156,11 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{sys: sys, gcEnabled: !cfg.LogStates && cfg.Durable == nil}
+	qopts := []query.Option{query.WithClock(scfg.Clock)}
+	if cfg.Obs != nil {
+		qopts = append(qopts, query.WithObs(cfg.Obs))
+	}
+	s.qe = query.New(sys.Warehouse, qopts...)
 	if cfg.Durable != nil {
 		if cfg.Workers > 0 {
 			return nil, fmt.Errorf("whips: durable mode requires Workers == 0 — worker pools break replay determinism")
@@ -324,7 +331,14 @@ func (s *System) maybeTrimLocked() {
 		s.sinceGC++
 		if s.sinceGC >= 64 {
 			s.sinceGC = 0
-			s.sys.Cluster.TruncateBefore(s.sys.Warehouse.MinUpto())
+			m, ok := s.sys.Warehouse.MinUpto()
+			if !ok {
+				// No materialized views: the warehouse is vacuously caught
+				// up, so all source history below the current frontier is
+				// releasable (the old zero-value MinUpto pinned it forever).
+				m = s.sys.Cluster.Seq()
+			}
+			s.sys.Cluster.TruncateBefore(m)
 		}
 	}
 }
@@ -351,14 +365,16 @@ func (s *System) WaitFresh(timeout time.Duration) bool {
 	return runtime.WaitUntil(timeout, s.sys.Fresh)
 }
 
-// Read returns a mutually consistent snapshot of the named views: the
-// warehouse clones them under one lock, so the result can never expose a
-// half-applied maintenance transaction.
+// Read returns a mutually consistent view of the named relations, served
+// lock-free from the warehouse's current epoch snapshot, so the result can
+// never expose a half-applied maintenance transaction and never blocks
+// maintenance. The relations are frozen (immutable); Clone one to mutate.
 func (s *System) Read(views ...ViewID) (map[ViewID]*Relation, error) {
 	return s.sys.Warehouse.Read(views...)
 }
 
-// ReadAll snapshots every view.
+// ReadAll returns every view, lock-free from the current epoch snapshot.
+// The relations are frozen (immutable); Clone one to mutate.
 func (s *System) ReadAll() map[ViewID]*Relation { return s.sys.Warehouse.ReadAll() }
 
 // ReadAt returns the named views as of recorded warehouse state index
@@ -370,6 +386,26 @@ func (s *System) ReadAt(state int, views ...ViewID) (map[ViewID]*Relation, error
 
 // States reports how many warehouse states have been recorded.
 func (s *System) States() int { return s.sys.Warehouse.States() }
+
+// Query evaluates an ad-hoc selection/projection/aggregation over one view
+// against the current epoch snapshot, with an epoch-invalidated LRU result
+// cache. The answer's relation is frozen; Clone it to mutate.
+func (s *System) Query(spec QuerySpec) (QueryResult, error) { return s.qe.Run(spec) }
+
+// QueryAt evaluates spec against recorded warehouse state index (0 =
+// initial), bypassing the result cache. Requires Config.LogStates; same
+// window semantics as ReadAt.
+func (s *System) QueryAt(state int, spec QuerySpec) (QueryResult, error) {
+	snap, err := s.sys.Warehouse.SnapshotAt(state)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return s.qe.RunAt(snap, spec)
+}
+
+// Epoch returns the warehouse's current published epoch (the number of
+// committed maintenance transactions), lock-free.
+func (s *System) Epoch() int64 { return s.sys.Warehouse.Snapshot().Epoch }
 
 // Consistency judges the run against the §2 definitions. It requires
 // Config.LogStates.
