@@ -7,12 +7,14 @@
 // Usage:
 //
 //	mvcbench [-exp all|freshness|bottleneck|straggler|commit|distributed|
-//	          promptness|overhead|filter|relay|staged|managers|throughput]
+//	          promptness|overhead|filter|relay|staged|managers|throughput|
+//	          readload|replication]
 //	         [-updates N] [-seed N] [-csv] [-json]
 //
-// All experiments except throughput run on the simulator; throughput runs
-// the goroutine runtime and measures wall-clock scaling of the view-manager
-// worker pool (see Config.Workers).
+// Most experiments run on the simulator; throughput, readload, and
+// replication run the goroutine runtime and measure wall-clock scaling
+// (view-manager worker pool, warehouse read paths, and read replicas
+// streaming epochs over loopback TCP, respectively).
 //
 // -json writes the selected experiment's tables to BENCH_<exp>.json
 // (seed, updates, and every row) instead of rendering to stdout.
@@ -56,6 +58,7 @@ var experiments = []experiment{
 	{"managers", one(harness.ManagerComparison)},
 	{"throughput", one(harness.Throughput)},
 	{"readload", one(harness.ReadLoad)},
+	{"replication", one(harness.Replication)},
 }
 
 func names() []string {

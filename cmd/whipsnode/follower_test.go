@@ -1,0 +1,138 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"whips/internal/msg"
+	"whips/internal/obs"
+	"whips/internal/query"
+	"whips/internal/relation"
+	"whips/internal/repl"
+	"whips/internal/warehouse"
+	"whips/internal/wire"
+)
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestFollowerHealthCatchingUp pins the follower health semantics: until
+// the first replicated epoch publishes, /healthz answers 503 "catching up"
+// and /query answers 503; once the stream lands both serve, and /query
+// returns the replicated rows (current and historical epochs).
+func TestFollowerHealthCatchingUp(t *testing.T) {
+	rep := warehouse.NewReplica()
+	site := &followerSite{rep: rep, qe: query.New(rep)}
+	// The debug tree exactly as runFollowerSite wires it.
+	srv := httptest.NewServer(obs.NewDebugMux(obs.DebugServer{
+		Reg:  obs.NewPipeline().Reg(),
+		Role: "follower",
+		Health: func() (string, bool) {
+			if !site.rep.Ready() {
+				return "catching up", false
+			}
+			return "serving", true
+		},
+		Query: site.serveQuery,
+	}))
+	defer srv.Close()
+
+	// No epoch replicated yet: the follower must advertise that it cannot
+	// serve, on both endpoints.
+	code, body := httpGet(t, srv.URL+"/healthz")
+	if code != 503 || !strings.Contains(body, "catching up") {
+		t.Fatalf("healthz before catch-up = %d (%s), want 503 catching up", code, body)
+	}
+	if code, body = httpGet(t, srv.URL+"/query?view=V1"); code != 503 || !strings.Contains(body, "catching up") {
+		t.Fatalf("query before catch-up = %d (%s), want 503 catching up", code, body)
+	}
+
+	// Bring up a real primary, commit one epoch, and stream it across.
+	sch := relation.MustSchema("A:int", "B:int")
+	var prim *repl.Primary
+	wh := warehouse.New(map[msg.ViewID]*relation.Relation{
+		"V1": relation.FromTuples(sch, relation.T(1, 2)),
+	}, warehouse.WithStateLog(), warehouse.WithReplFeed(8, func(e msg.ReplEpoch) { prim.OnCommit(e) }))
+	prim = repl.NewPrimary(repl.PrimaryConfig{Warehouse: wh})
+	defer prim.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go prim.Serve(ln)
+	wh.Handle(msg.SubmitTxn{
+		Txn: msg.WarehouseTxn{ID: 1, Rows: []msg.UpdateID{1}, Writes: []msg.ViewWrite{
+			{View: "V1", Upto: 1, Delta: relation.InsertDelta(sch, relation.T(3, 4))},
+		}},
+		From: "merge:0",
+	}, 10)
+
+	fol := repl.NewFollower(repl.FollowerConfig{
+		Name:    "f-test",
+		Dial:    func() (io.ReadWriteCloser, error) { return net.Dial("tcp", ln.Addr().String()) },
+		Replica: rep,
+		Backoff: wire.Backoff{Base: 5 * time.Millisecond, Max: 100 * time.Millisecond, Seed: 1},
+	})
+	defer fol.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !rep.Ready() || rep.Epoch() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up (epoch %d)", rep.Epoch())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if code, body = httpGet(t, srv.URL+"/healthz"); code != 200 || !strings.Contains(body, "serving") {
+		t.Fatalf("healthz after catch-up = %d (%s), want 200 serving", code, body)
+	}
+	code, body = httpGet(t, srv.URL+"/query?view=V1")
+	if code != 200 || !strings.Contains(body, `"epoch": 1`) {
+		t.Fatalf("query after catch-up = %d (%s)", code, body)
+	}
+	if !strings.Contains(body, "3") || !strings.Contains(body, "4") {
+		t.Fatalf("query body missing replicated row [3 4]: %s", body)
+	}
+	// &state=N pins historical epochs from the replica's retained ring:
+	// stream one more epoch, then read the previous one back.
+	wh.Handle(msg.SubmitTxn{
+		Txn: msg.WarehouseTxn{ID: 2, Rows: []msg.UpdateID{2}, Writes: []msg.ViewWrite{
+			{View: "V1", Upto: 2, Delta: relation.InsertDelta(sch, relation.T(5, 6))},
+		}},
+		From: "merge:0",
+	}, 20)
+	for rep.Epoch() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("second epoch never replicated (epoch %d)", rep.Epoch())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	code, body = httpGet(t, srv.URL+"/query?view=V1&state=1")
+	if code != 200 || !strings.Contains(body, `"epoch": 1`) || strings.Contains(body, "5") {
+		t.Fatalf("historical query = %d (%s), want epoch 1 without row [5 6]", code, body)
+	}
+	// Epochs outside the retained window (0 predates the checkpoint
+	// install; 99 is the future) are explicit errors, not stale data.
+	if code, _ = httpGet(t, srv.URL+"/query?view=V1&state=0"); code != 400 {
+		t.Fatalf("pre-checkpoint historical query = %d, want 400", code)
+	}
+	if code, _ = httpGet(t, srv.URL+"/query?view=V1&state=99"); code != 400 {
+		t.Fatalf("out-of-window historical query = %d, want 400", code)
+	}
+}

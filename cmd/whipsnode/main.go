@@ -15,6 +15,18 @@
 //
 //	whipsnode -role managers -addr 127.0.0.1:7654
 //
+// With -repl-addr the warehouse site also serves the epoch replication
+// feed, and any number of read replicas can stream from it:
+//
+//	whipsnode -role follower -follow 127.0.0.1:7700 -name f1 -debug :8801
+//
+// A follower subscribes at whatever epoch it holds, catches up via epoch
+// deltas (or a full checkpoint when it is too far behind), then applies
+// every commit live and serves /query locally from the same immutable
+// snapshots the primary publishes. Its /healthz answers 503 "catching up"
+// until the first replicated epoch lands, and /metrics exports the
+// follower's staleness as repl_epoch_lag.
+//
 // With -data-dir the warehouse site is durable: every input (locally
 // executed update or frame received from the manager site) is written to a
 // write-ahead log before it takes effect, and -snapshot-every updates a
@@ -58,6 +70,7 @@ import (
 	"whips/internal/obs"
 	"whips/internal/query"
 	"whips/internal/relation"
+	"whips/internal/repl"
 	"whips/internal/runtime"
 	"whips/internal/source"
 	"whips/internal/viewmgr"
@@ -79,6 +92,7 @@ func views() map[msg.ViewID]expr.Expr {
 
 type warehouseOpts struct {
 	addr       string
+	replAddr   string
 	updates    int
 	seed       int64
 	pace       time.Duration
@@ -93,8 +107,11 @@ type warehouseOpts struct {
 }
 
 func main() {
-	role := flag.String("role", "", "warehouse or managers")
+	role := flag.String("role", "", "warehouse, managers, or follower")
 	addr := flag.String("addr", "127.0.0.1:7654", "listen (warehouse) / dial (managers) address")
+	replAddr := flag.String("repl-addr", "", "serve the epoch replication feed to followers on this host:port (warehouse role)")
+	follow := flag.String("follow", "", "primary replication address to stream epochs from (follower role)")
+	name := flag.String("name", "follower", "follower name, used in channel and metric labels (follower role)")
 	updates := flag.Int("updates", 50, "updates to run (warehouse role)")
 	seed := flag.Int64("seed", 1, "seed for the workload and all connection jitter")
 	pace := flag.Duration("pace", 0, "delay between injected updates (warehouse role)")
@@ -115,15 +132,20 @@ func main() {
 	switch *role {
 	case "warehouse":
 		runWarehouseSite(warehouseOpts{
-			addr: *addr, updates: *updates, seed: *seed, pace: *pace,
+			addr: *addr, replAddr: *replAddr, updates: *updates, seed: *seed, pace: *pace,
 			debug: *debug, linger: *linger, verbose: *verbose,
 			dataDir: *dataDir, fsync: fsync, snapEvery: *snapEvery,
 			crashAfter: *crashAfter, supervise: *supervise,
 		})
 	case "managers":
 		runManagerSite(*addr, *seed, *debug, *verbose)
+	case "follower":
+		if *follow == "" {
+			log.Fatal("follower role requires -follow <primary repl address>")
+		}
+		runFollowerSite(*name, *follow, *debug, *seed, *verbose)
 	default:
-		log.Fatalf("unknown -role %q (use warehouse or managers)", *role)
+		log.Fatalf("unknown -role %q (use warehouse, managers, or follower)", *role)
 	}
 }
 
@@ -145,6 +167,7 @@ type warehouseSite struct {
 	mp   atomic.Pointer[merge.Merge]
 	wh   atomic.Pointer[warehouse.Warehouse]
 	qe   atomic.Pointer[query.Engine]
+	prim atomic.Pointer[repl.Primary]
 }
 
 // serveQuery handles GET /query?view=...&where=...&cols=...&group=...&agg=...
@@ -230,6 +253,33 @@ func runWarehouseSite(o warehouseOpts) {
 		defer dbg.Close()
 	}
 
+	// Replication accept loop: each follower connection is handed to the
+	// current attempt's primary; during an in-process restart the follower's
+	// backoff redial finds the next attempt's primary and re-subscribes.
+	if o.replAddr != "" {
+		rln, rerr := net.Listen("tcp", o.replAddr)
+		must(rerr)
+		defer rln.Close()
+		fmt.Printf("replication feed on %s\n", o.replAddr)
+		go func() {
+			for {
+				conn, err := rln.Accept()
+				if err != nil {
+					return
+				}
+				p := site.prim.Load()
+				if p == nil {
+					conn.Close()
+					continue
+				}
+				if o.verbose {
+					log.Printf("follower connected from %s", conn.RemoteAddr())
+				}
+				p.Handle(conn)
+			}
+		}()
+	}
+
 	// Accept loop: each (re)connecting manager site attaches to the current
 	// attempt's session; connections racing an in-process restart are
 	// closed and the peer's backoff redial finds the new session.
@@ -265,6 +315,9 @@ func runWarehouseSite(o warehouseOpts) {
 		fmt.Printf("lingering %v for metric scrapes\n", o.linger)
 		time.Sleep(o.linger)
 	}
+	if p := site.prim.Swap(nil); p != nil {
+		p.Close()
+	}
 }
 
 // attempt builds and runs the warehouse site once. A durable attempt
@@ -297,8 +350,30 @@ func (site *warehouseSite) attempt() (err error) {
 		must(err)
 		initial[id] = v
 	}
-	wh := warehouse.New(initial, warehouse.WithStateLog(), warehouse.WithObs(pipe))
+	whOpts := []warehouse.Option{warehouse.WithStateLog(), warehouse.WithObs(pipe)}
+	if o.replAddr != "" {
+		// The feed closure indirects through the site pointer: recovery
+		// replay commits before this attempt's primary exists, and those
+		// epochs are (correctly) served to followers as a checkpoint.
+		whOpts = append(whOpts, warehouse.WithReplFeed(0, func(e msg.ReplEpoch) {
+			if p := site.prim.Load(); p != nil {
+				p.OnCommit(e)
+			}
+		}))
+	}
+	wh := warehouse.New(initial, whOpts...)
 	site.wh.Store(wh)
+	if o.replAddr != "" {
+		// The primary outlives the attempt on purpose: a completed run keeps
+		// serving followers through -linger. Only a superseding attempt (the
+		// supervised-crash path) tears the previous one down, severing its
+		// follower streams exactly like a process restart would; the final
+		// close happens after linger in runWarehouseSite.
+		prim := repl.NewPrimary(repl.PrimaryConfig{Warehouse: wh, Logf: sessionLogf(o.verbose), Obs: pipe})
+		if old := site.prim.Swap(prim); old != nil {
+			old.Close()
+		}
+	}
 	site.qe.Store(query.New(wh,
 		query.WithClock(func() int64 { return time.Now().UnixNano() }),
 		query.WithObs(pipe)))
@@ -510,6 +585,107 @@ func runManagerSite(addr string, seed int64, debug string, verbose bool) {
 	rtnet.Start()
 	defer rtnet.Stop()
 	fmt.Println("maintaining views; ctrl-c to stop")
+	select {}
+}
+
+// followerSite serves local queries from a replicated epoch stream.
+type followerSite struct {
+	rep *warehouse.Replica
+	qe  *query.Engine
+}
+
+// serveQuery mirrors the warehouse site's /query handler over the replica:
+// current-epoch queries run through the epoch-cached engine, and &state=N
+// pins a historical epoch from the replica's retained ring. Until the
+// first replicated epoch publishes there is nothing to serve — 503, same
+// signal as /healthz.
+func (site *followerSite) serveQuery(w http.ResponseWriter, r *http.Request) {
+	if !site.rep.Ready() {
+		http.Error(w, "catching up", http.StatusServiceUnavailable)
+		return
+	}
+	p := r.URL.Query()
+	snap := site.rep.Snapshot()
+	historical := p.Get("state") != ""
+	if historical {
+		n, err := strconv.ParseInt(p.Get("state"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad state parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if snap, err = site.rep.SnapshotAt(n); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	spec, err := query.ParseSpec(p.Get("view"), p.Get("where"), p.Get("cols"), p.Get("group"), p.Get("agg"), snap)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var res query.Result
+	if historical {
+		res, err = site.qe.RunAt(snap, spec)
+	} else {
+		res, err = site.qe.Run(spec)
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cols, rows := query.Rows(res.Rel)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{
+		"view":    res.View,
+		"epoch":   res.Epoch,
+		"cached":  res.Cached,
+		"columns": cols,
+		"rows":    rows,
+	})
+}
+
+func runFollowerSite(name, follow, debug string, seed int64, verbose bool) {
+	fmt.Printf("follower %q streaming epochs from %s\n", name, follow)
+
+	pipe := obs.NewPipeline()
+	rep := warehouse.NewReplica(warehouse.WithReplicaObs(pipe))
+	site := &followerSite{
+		rep: rep,
+		qe: query.New(rep,
+			query.WithClock(func() int64 { return time.Now().UnixNano() }),
+			query.WithObs(pipe)),
+	}
+	dbg, err := obs.ServeDebug(debug, obs.DebugServer{
+		Reg:  pipe.Reg(),
+		Role: "follower",
+		Health: func() (string, bool) {
+			if !rep.Ready() {
+				return "catching up", false
+			}
+			return "serving", true
+		},
+		Query: site.serveQuery,
+	})
+	must(err)
+	if dbg != nil {
+		fmt.Printf("debug server on http://%s (metrics, healthz, query, debug/pprof)\n", debug)
+		defer dbg.Close()
+	}
+
+	fol := repl.NewFollower(repl.FollowerConfig{
+		Name: name,
+		Dial: func() (io.ReadWriteCloser, error) {
+			return net.Dial("tcp", follow)
+		},
+		Replica: rep,
+		Backoff: wire.Backoff{Base: 20 * time.Millisecond, Max: time.Second, Seed: seed},
+		Logf:    sessionLogf(verbose),
+		Obs:     pipe,
+	})
+	defer fol.Close()
+	fmt.Println("serving replicated epochs; ctrl-c to stop")
 	select {}
 }
 

@@ -1,0 +1,194 @@
+// replication.go is the third wall-clock experiment: read-replica scaling.
+// A primary warehouse commits a live maintenance workload while 1→4
+// followers stream its epochs over loopback TCP and serve reads from their
+// own replicas. Aggregate read throughput should scale with follower count
+// — every follower reads its own atomic snapshot pointer, no shared lock,
+// no cross-process coordination — while the lag distribution shows how far
+// behind the primary's head each served epoch was.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/repl"
+	"whips/internal/warehouse"
+	"whips/internal/wire"
+)
+
+// replWindow is the wall-clock measurement window per follower count.
+const replWindow = 150 * time.Millisecond
+
+// replCard is the seeded view cardinality shipped in the catch-up
+// checkpoint — large enough that replication moves real data.
+const replCard = 2000
+
+// Replication is experiment W3: aggregate follower reads/sec and epoch lag
+// versus follower count, with the primary committing throughout. Scaling
+// is relative to the single-follower cell.
+func Replication(seed int64, updates int) Table {
+	t := Table{
+		ID:      "W3",
+		Title:   "read-replica throughput and epoch lag vs follower count (wall clock)",
+		Columns: []string{"followers", "readers", "reads/s", "scaling", "epochs", "lag p50", "lag p95", "lag max"},
+		Notes: fmt.Sprintf("%d-tuple seed view, %v window, 2 readers per follower, live commits streamed over loopback TCP; lag is primary head minus applied epoch at each apply. Aggregate reads/s is bounded by cores (followers share this machine): near-flat scaling means adding replicas costs nothing per replica, with each extra machine adding its own read capacity",
+			replCard, replWindow),
+	}
+	var base float64
+	for _, followers := range []int{1, 2, 4} {
+		r := runReplication(seed, followers)
+		rate := float64(r.reads) / (float64(r.elapsed) / 1e9)
+		scaling := "1.00x"
+		if followers == 1 {
+			base = rate
+		} else if base > 0 {
+			scaling = fmt.Sprintf("%.2fx", rate/base)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(followers),
+			fmt.Sprint(2 * followers),
+			fmt.Sprintf("%.0f", rate),
+			scaling,
+			fmt.Sprint(r.epochs),
+			fmt.Sprint(r.lagP50),
+			fmt.Sprint(r.lagP95),
+			fmt.Sprint(r.lagMax),
+		})
+	}
+	_ = updates
+	return t
+}
+
+type replResult struct {
+	reads   int64 // snapshot reads served across all followers
+	elapsed int64 // wall ns of the measurement window
+	epochs  int64 // epochs the primary committed during the window
+	lagP50  int64
+	lagP95  int64
+	lagMax  int64
+}
+
+func runReplication(seed int64, followers int) replResult {
+	sch := relation.MustSchema("A:int", "B:int")
+	tuples := make([]relation.Tuple, replCard)
+	for i := range tuples {
+		tuples[i] = relation.T(i, i%17)
+	}
+	var prim *repl.Primary
+	w := warehouse.New(map[msg.ViewID]*relation.Relation{
+		"V": relation.FromTuples(sch, tuples...),
+	}, warehouse.WithStateLogCap(64), warehouse.WithReplFeed(1024, func(e msg.ReplEpoch) {
+		prim.OnCommit(e)
+	}))
+	prim = repl.NewPrimary(repl.PrimaryConfig{Warehouse: w})
+	defer prim.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer ln.Close()
+	go prim.Serve(ln)
+	addr := ln.Addr().String()
+
+	var (
+		lagMu   sync.Mutex
+		lags    []int64
+		reads   atomic.Int64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		commits int64
+	)
+	reps := make([]*warehouse.Replica, followers)
+	fols := make([]*repl.Follower, followers)
+	for i := range reps {
+		rep := warehouse.NewReplica()
+		reps[i] = rep
+		fols[i] = repl.NewFollower(repl.FollowerConfig{
+			Name:    fmt.Sprintf("bench%d", i),
+			Dial:    func() (io.ReadWriteCloser, error) { return net.Dial("tcp", addr) },
+			Replica: rep,
+			Backoff: wire.Backoff{Base: 5 * time.Millisecond, Max: 100 * time.Millisecond, Seed: seed + int64(i)},
+			OnApply: func(applied, head int64) {
+				lagMu.Lock()
+				lags = append(lags, head-applied)
+				lagMu.Unlock()
+			},
+		})
+		defer fols[i].Close()
+	}
+	// Wait for every follower's catch-up checkpoint before the window
+	// opens, so the cell measures steady-state streaming, not join cost.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, rep := range reps {
+		for !rep.Ready() {
+			if time.Now().After(deadline) {
+				panic("harness: replication: follower never caught up")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Feeder: paced single-tuple commits, identical across cells so the
+	// replication load (not the commit rate) is the variable.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		id := msg.TxnID(seed%1000 + 1)
+		next := replCard
+		for !stop.Load() {
+			w.Handle(msg.SubmitTxn{Txn: msg.WarehouseTxn{
+				ID:   id,
+				Rows: []msg.UpdateID{msg.UpdateID(id)},
+				Writes: []msg.ViewWrite{{
+					View:  "V",
+					Upto:  msg.UpdateID(id),
+					Delta: relation.InsertDelta(sch, relation.T(next, next%17)),
+				}},
+			}}, time.Now().UnixNano())
+			commits++
+			id++
+			next++
+			time.Sleep(300 * time.Microsecond)
+		}
+	}()
+	for _, rep := range reps {
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(rep *warehouse.Replica) {
+				defer wg.Done()
+				var n int64
+				for !stop.Load() {
+					s := rep.Snapshot()
+					rel, ok := s.Relation("V")
+					if !ok || rel.Cardinality() < replCard {
+						panic("harness: replication: replica lost the view")
+					}
+					n++
+				}
+				reads.Add(n)
+			}(rep)
+		}
+	}
+	start := time.Now()
+	time.Sleep(replWindow)
+	stop.Store(true)
+	wg.Wait()
+
+	res := replResult{reads: reads.Load(), elapsed: time.Since(start).Nanoseconds(), epochs: commits}
+	lagMu.Lock()
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	if n := len(lags); n > 0 {
+		res.lagP50 = lags[n/2]
+		res.lagP95 = lags[n*95/100]
+		res.lagMax = lags[n-1]
+	}
+	lagMu.Unlock()
+	return res
+}

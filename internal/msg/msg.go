@@ -211,6 +211,57 @@ type ExecuteTxn struct {
 	Writes []Write
 }
 
+// ReplSubscribe opens (or resumes) a replication stream: a read-only
+// follower announces the highest warehouse epoch it has applied, and the
+// primary answers with either a full ReplSnapshot checkpoint (when the
+// follower is outside the retained epoch-delta window, or ahead of a
+// primary that recovered to an older epoch) or directly with the
+// ReplEpoch deltas the follower is missing, then streams each subsequent
+// commit live.
+type ReplSubscribe struct {
+	Follower string // follower name; channel identity and metrics label
+	Epoch    int64  // highest epoch applied (-1 = no state at all)
+}
+
+// ReplView is one materialized view inside a ReplSnapshot.
+type ReplView struct {
+	View ViewID
+	Rel  *relation.Relation
+	Upto UpdateID
+}
+
+// ReplSnapshot is a full-state catch-up checkpoint: every view of one
+// published warehouse epoch. A follower installing it discards whatever
+// state it had — the snapshot is the new truth.
+type ReplSnapshot struct {
+	Epoch    int64
+	Txn      TxnID
+	CommitAt int64
+	Head     int64 // primary's current epoch at send (lag = Head - Epoch)
+	Views    []ReplView
+}
+
+// ReplWrite is one view's change inside a ReplEpoch. Delta is always the
+// resolved data: staged (§6.3 out-of-band) writes are inlined by the
+// primary at commit, so a follower never sees staging machinery.
+type ReplWrite struct {
+	View  ViewID
+	Upto  UpdateID
+	Delta *relation.Delta
+}
+
+// ReplEpoch is one committed maintenance transaction as an epoch delta:
+// applying it to the epoch-(Epoch-1) state yields exactly the primary's
+// epoch-Epoch state. Epochs are dense — a follower applies Epoch only on
+// top of Epoch-1 and otherwise re-subscribes.
+type ReplEpoch struct {
+	Epoch    int64
+	Txn      TxnID
+	CommitAt int64
+	Head     int64 // primary's current epoch at send
+	Writes   []ReplWrite
+}
+
 // QueryCurrent, as a QueryRequest.AsOf value, asks for the sources'
 // current (drifting) state — the only thing truly autonomous sources can
 // answer, and the reason compensation machinery exists in single-view

@@ -1,0 +1,201 @@
+package repl
+
+import (
+	"io"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"whips/internal/msg"
+	"whips/internal/obs"
+	"whips/internal/warehouse"
+	"whips/internal/wire"
+)
+
+// FollowerConfig configures a Follower.
+type FollowerConfig struct {
+	// Name identifies this follower to the primary and names its wire
+	// channels.
+	Name string
+	// Dial opens a connection to the primary's replication listener.
+	Dial func() (io.ReadWriteCloser, error)
+	// Replica receives the stream; the caller serves queries from it.
+	Replica *warehouse.Replica
+	// Backoff shapes the reconnect schedule (seeded jitter).
+	Backoff wire.Backoff
+	// OnApply, when set, is invoked after every applied frame with the
+	// follower's epoch and the primary head that frame advertised. The
+	// replication bench samples lag through it.
+	OnApply func(applied, head int64)
+	// Logf, when set, receives replication lifecycle diagnostics.
+	Logf func(format string, args ...any)
+	// Obs, when set, attaches replication metrics (repl_epoch_lag etc.).
+	Obs *obs.Pipeline
+}
+
+// Follower maintains the replication stream into a Replica: it dials the
+// primary, subscribes at whatever epoch the replica already holds, applies
+// checkpoint and epoch frames, and re-subscribes (same connection) or
+// re-dials (seeded backoff) whenever the stream breaks. Each connection
+// gets a fresh wire session — stream resume is epoch-level, carried by the
+// ReplSubscribe handshake, so no transport state survives a reconnect.
+type Follower struct {
+	cfg  FollowerConfig
+	stop chan struct{}
+	done chan struct{}
+
+	lagG          *obs.Gauge
+	epochsApplied *obs.Counter
+	snapsApplied  *obs.Counter
+	resubscribes  *obs.Counter
+}
+
+// NewFollower builds and starts a follower's connection loop.
+func NewFollower(cfg FollowerConfig) *Follower {
+	f := &Follower{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if cfg.Obs != nil {
+		r := cfg.Obs.Reg()
+		l := []string{"follower", cfg.Name}
+		f.lagG = r.Gauge("repl_epoch_lag", l...)
+		f.epochsApplied = r.Counter("repl_epochs_applied_total", l...)
+		f.snapsApplied = r.Counter("repl_snapshots_applied_total", l...)
+		f.resubscribes = r.Counter("repl_resubscribes_total", l...)
+	}
+	go f.run()
+	return f
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+// Ready reports whether the replica can serve reads (first epoch
+// published). Follower /healthz gates on this.
+func (f *Follower) Ready() bool { return f.cfg.Replica.Ready() }
+
+// Close stops the connection loop and tears down the live session.
+func (f *Follower) Close() error {
+	select {
+	case <-f.stop:
+	default:
+		close(f.stop)
+	}
+	<-f.done
+	return nil
+}
+
+// run is the dial loop: connect, subscribe, stream until the connection
+// dies, back off, repeat.
+func (f *Follower) run() {
+	defer close(f.done)
+	rng := rand.New(rand.NewSource(f.cfg.Backoff.Seed))
+	delay := f.cfg.Backoff.Base
+	if delay <= 0 {
+		delay = 50 * time.Millisecond
+	}
+	maxDelay := f.cfg.Backoff.Max
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Second
+	}
+	base := delay
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		conn, err := f.cfg.Dial()
+		if err != nil {
+			d := delay + time.Duration(rng.Int63n(int64(delay)/2+1))
+			f.logf("repl: %s: dial failed: %v (retry in %v)", f.cfg.Name, err, d)
+			select {
+			case <-time.After(d):
+			case <-f.stop:
+				return
+			}
+			if delay *= 2; delay > maxDelay {
+				delay = maxDelay
+			}
+			continue
+		}
+		delay = base
+		var sess *wire.Session
+		// resubscribing guards the error path: an epoch gap triggers one
+		// re-subscribe, and frames already in flight for the stale stream
+		// are ignored until the primary answers it.
+		var resubscribing atomic.Bool
+		sess = wire.NewSession(wire.SessionConfig{
+			Name: f.cfg.Name,
+			Deliver: func(from, to string, m any) {
+				f.deliver(sess, &resubscribing, m)
+			},
+			Logf: f.cfg.Logf,
+			Obs:  f.cfg.Obs,
+		})
+		dead := sess.Attach(conn)
+		f.subscribe(sess)
+		select {
+		case <-dead:
+			f.logf("repl: %s: stream lost; reconnecting", f.cfg.Name)
+			sess.Close()
+		case <-f.stop:
+			sess.Close()
+			return
+		}
+	}
+}
+
+// subscribe (re)announces the replica's position to the primary.
+func (f *Follower) subscribe(sess *wire.Session) {
+	sub := msg.ReplSubscribe{Follower: f.cfg.Name, Epoch: f.cfg.Replica.Epoch()}
+	if err := sess.Send(f.cfg.Name, PrimaryName, sub); err != nil {
+		f.logf("repl: %s: subscribe: %v", f.cfg.Name, err)
+	}
+}
+
+func (f *Follower) deliver(sess *wire.Session, resubscribing *atomic.Bool, m any) {
+	switch e := m.(type) {
+	case msg.ReplSnapshot:
+		resubscribing.Store(false)
+		f.cfg.Replica.Install(e)
+		f.snapsApplied.Inc()
+		f.observe(e.Epoch, e.Head)
+		f.logf("repl: %s: installed checkpoint epoch %d (head %d)", f.cfg.Name, e.Epoch, e.Head)
+	case msg.ReplEpoch:
+		if resubscribing.Load() {
+			return // stale stream; wait for the re-subscribe answer
+		}
+		if err := f.cfg.Replica.ApplyEpoch(e); err != nil {
+			// Gap (or apply before checkpoint): announce our real position
+			// and let the primary repair the stream.
+			f.logf("repl: %s: %v; re-subscribing", f.cfg.Name, err)
+			f.resubscribes.Inc()
+			resubscribing.Store(true)
+			f.subscribe(sess)
+			return
+		}
+		f.epochsApplied.Inc()
+		f.observe(f.cfg.Replica.Epoch(), e.Head)
+	default:
+		f.logf("repl: %s: ignoring %T from primary", f.cfg.Name, m)
+	}
+}
+
+// observe records staleness: lag is the primary head the frame advertised
+// minus the epoch the replica now serves.
+func (f *Follower) observe(applied, head int64) {
+	lag := head - applied
+	if lag < 0 {
+		lag = 0
+	}
+	f.lagG.Set(lag)
+	if f.cfg.OnApply != nil {
+		f.cfg.OnApply(applied, head)
+	}
+}

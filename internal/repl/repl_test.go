@@ -1,0 +1,303 @@
+package repl
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/warehouse"
+	"whips/internal/wire"
+)
+
+var vSchema = relation.MustSchema("X:int")
+
+func initialViews() map[msg.ViewID]*relation.Relation {
+	return map[msg.ViewID]*relation.Relation{
+		"V1": relation.New(vSchema),
+		"V2": relation.FromTuples(vSchema, relation.T(0)),
+	}
+}
+
+// commit drives one maintenance transaction through a primary warehouse.
+func commit(w *warehouse.Warehouse, id, val int) {
+	w.Handle(msg.SubmitTxn{
+		Txn: msg.WarehouseTxn{
+			ID:   msg.TxnID(id),
+			Rows: []msg.UpdateID{msg.UpdateID(id)},
+			Writes: []msg.ViewWrite{
+				{View: "V1", Upto: msg.UpdateID(id), Delta: relation.InsertDelta(vSchema, relation.T(val))},
+				{View: "V2", Upto: msg.UpdateID(id), Delta: relation.InsertDelta(vSchema, relation.T(-val))},
+			},
+		},
+		From: "merge:0",
+	}, int64(id))
+}
+
+// testPrimary is a warehouse + replication primary on a loopback listener.
+type testPrimary struct {
+	w  *warehouse.Warehouse
+	p  *Primary
+	ln net.Listener
+}
+
+func newTestPrimary(t *testing.T, replCap int) *testPrimary {
+	t.Helper()
+	tp := &testPrimary{}
+	tp.w = warehouse.New(initialViews(), warehouse.WithStateLog(),
+		warehouse.WithReplFeed(replCap, func(e msg.ReplEpoch) { tp.p.OnCommit(e) }))
+	tp.p = NewPrimary(PrimaryConfig{Warehouse: tp.w, Logf: t.Logf})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.ln = ln
+	go tp.p.Serve(ln)
+	t.Cleanup(func() {
+		ln.Close()
+		tp.p.Close()
+	})
+	return tp
+}
+
+func (tp *testPrimary) addr() string { return tp.ln.Addr().String() }
+
+func dialer(addr string) func() (io.ReadWriteCloser, error) {
+	return func() (io.ReadWriteCloser, error) { return net.Dial("tcp", addr) }
+}
+
+func newTestFollower(t *testing.T, name, addr string, seed int64) (*warehouse.Replica, *Follower) {
+	t.Helper()
+	rep := warehouse.NewReplica()
+	f := NewFollower(FollowerConfig{
+		Name:    name,
+		Dial:    dialer(addr),
+		Replica: rep,
+		Backoff: wire.Backoff{Base: 5 * time.Millisecond, Max: 100 * time.Millisecond, Seed: seed},
+		Logf:    t.Logf,
+	})
+	t.Cleanup(func() { f.Close() })
+	return rep, f
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// judge asserts the consistency property the replication harness exists
+// for: the follower's current epoch — and every retained historical epoch —
+// is byte-identical (same fingerprint over the deterministic encoding) to
+// the primary's same-numbered epoch.
+func judge(t *testing.T, w *warehouse.Warehouse, rep *warehouse.Replica, label string) {
+	t.Helper()
+	fs := rep.Snapshot()
+	if fs == nil {
+		t.Fatalf("%s: follower has no state", label)
+	}
+	ps, err := w.SnapshotAt(int(fs.Epoch))
+	if err != nil {
+		t.Fatalf("%s: primary lost epoch %d: %v", label, fs.Epoch, err)
+	}
+	if got, want := Fingerprint(fs), Fingerprint(ps); got != want {
+		t.Fatalf("%s: epoch %d diverged: follower %s primary %s", label, fs.Epoch, got, want)
+	}
+	for e := int64(0); e <= fs.Epoch; e++ {
+		hs, err := rep.SnapshotAt(e)
+		if err != nil {
+			continue // outside the follower's retained window
+		}
+		ps, err := w.SnapshotAt(int(e))
+		if err != nil {
+			t.Fatalf("%s: primary lost epoch %d: %v", label, e, err)
+		}
+		if got, want := Fingerprint(hs), Fingerprint(ps); got != want {
+			t.Fatalf("%s: historical epoch %d diverged: follower %s primary %s", label, e, got, want)
+		}
+	}
+}
+
+func TestFollowersConvergeOverTCP(t *testing.T) {
+	tp := newTestPrimary(t, 1024)
+	for i := 1; i <= 10; i++ {
+		commit(tp.w, i, i)
+	}
+	// Both followers join after 10 epochs exist (catch-up), then live
+	// epochs stream in while they are attached.
+	repA, _ := newTestFollower(t, "fA", tp.addr(), 1)
+	repB, _ := newTestFollower(t, "fB", tp.addr(), 2)
+	waitFor(t, 5*time.Second, "catch-up", func() bool {
+		return repA.Epoch() == 10 && repB.Epoch() == 10
+	})
+	waitFor(t, 5*time.Second, "both followers registered", func() bool {
+		return tp.p.Followers() == 2
+	})
+	for i := 11; i <= 25; i++ {
+		commit(tp.w, i, i)
+	}
+	waitFor(t, 5*time.Second, "live stream", func() bool {
+		return repA.Epoch() == 25 && repB.Epoch() == 25
+	})
+	judge(t, tp.w, repA, "fA")
+	judge(t, tp.w, repB, "fB")
+}
+
+func TestLateJoinFallsBackToCheckpoint(t *testing.T) {
+	// Ring of 4: a follower joining after 50 epochs is far outside the
+	// delta window and must be served a full checkpoint.
+	tp := newTestPrimary(t, 4)
+	for i := 1; i <= 50; i++ {
+		commit(tp.w, i, i)
+	}
+	var installs int
+	rep := warehouse.NewReplica(warehouse.WithReplicaOnPublish(func(s *warehouse.Snapshot) {
+		if s.Epoch == 50 {
+			installs++
+		}
+	}))
+	f := NewFollower(FollowerConfig{
+		Name:    "late",
+		Dial:    dialer(tp.addr()),
+		Replica: rep,
+		Backoff: wire.Backoff{Base: 5 * time.Millisecond, Max: 100 * time.Millisecond, Seed: 3},
+		Logf:    t.Logf,
+	})
+	defer f.Close()
+	waitFor(t, 5*time.Second, "checkpoint install", func() bool { return rep.Epoch() == 50 })
+	// After the checkpoint the stream continues with plain deltas.
+	for i := 51; i <= 55; i++ {
+		commit(tp.w, i, i)
+	}
+	waitFor(t, 5*time.Second, "post-checkpoint stream", func() bool { return rep.Epoch() == 55 })
+	judge(t, tp.w, rep, "late")
+}
+
+func TestFollowerNotReadyBeforeFirstEpoch(t *testing.T) {
+	rep := warehouse.NewReplica()
+	f := NewFollower(FollowerConfig{
+		Name:    "orphan",
+		Dial:    func() (io.ReadWriteCloser, error) { return nil, fmt.Errorf("primary down") },
+		Replica: rep,
+		Backoff: wire.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond, Seed: 4},
+	})
+	defer f.Close()
+	time.Sleep(20 * time.Millisecond)
+	if f.Ready() || rep.Ready() {
+		t.Fatal("follower with no primary must not report ready")
+	}
+}
+
+func TestPrimaryCommitPathNeverBlocks(t *testing.T) {
+	// A wedged dispatcher (tiny feed depth, no draining) must not slow
+	// down commits: OnCommit drops to the ring and the dispatcher repairs.
+	w := warehouse.New(initialViews(), warehouse.WithStateLog())
+	p := &Primary{feedCh: make(chan msg.ReplEpoch, 1), stop: make(chan struct{}), subs: map[*wire.Session]*subscriber{}}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10_000; i++ {
+			p.OnCommit(msg.ReplEpoch{Epoch: int64(i)})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnCommit blocked on a full feed channel")
+	}
+	if !p.lost.Load() {
+		t.Fatal("overflow must mark the feed lossy")
+	}
+	_ = w
+}
+
+// onPublishRecorder collects every (epoch, fingerprint) a replica ever
+// publishes — the full set of states a follower could have served.
+type onPublishRecorder struct {
+	mu     sync.Mutex
+	states []*warehouse.Snapshot
+}
+
+func (r *onPublishRecorder) on(s *warehouse.Snapshot) {
+	r.mu.Lock()
+	r.states = append(r.states, s)
+	r.mu.Unlock()
+}
+
+// TestReplicationSoak is the -race soak from the harness checklist: four
+// followers join staggered while the primary commits a live workload.
+// Every epoch any follower ever published must be one the primary actually
+// published — same number, same fingerprint.
+func TestReplicationSoak(t *testing.T) {
+	const updates = 300
+	tp := newTestPrimary(t, 32)
+
+	recorders := make([]*onPublishRecorder, 4)
+	followers := make([]*Follower, 4)
+	for i := range recorders {
+		recorders[i] = &onPublishRecorder{}
+	}
+	var stopFeed sync.WaitGroup
+	stopFeed.Add(1)
+	go func() {
+		defer stopFeed.Done()
+		for i := 1; i <= updates; i++ {
+			commit(tp.w, i, i)
+			if i%75 == 0 {
+				// Stagger a follower join mid-workload: it catches up
+				// (checkpoint or deltas) while commits keep flowing.
+				idx := i/75 - 1
+				rep := warehouse.NewReplica(warehouse.WithReplicaOnPublish(recorders[idx].on))
+				followers[idx] = NewFollower(FollowerConfig{
+					Name:    fmt.Sprintf("soak%d", idx),
+					Dial:    dialer(tp.addr()),
+					Replica: rep,
+					Backoff: wire.Backoff{Base: 5 * time.Millisecond, Max: 100 * time.Millisecond, Seed: int64(idx)},
+					Logf:    t.Logf,
+				})
+			}
+		}
+	}()
+	stopFeed.Wait()
+	for _, f := range followers {
+		defer f.Close()
+	}
+	waitFor(t, 10*time.Second, "all followers at head", func() bool {
+		for _, f := range followers {
+			if f.cfg.Replica.Epoch() != updates {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Judge: every state any follower ever served exists on the primary
+	// with an identical fingerprint.
+	for i, rec := range recorders {
+		rec.mu.Lock()
+		states := rec.states
+		rec.mu.Unlock()
+		if len(states) == 0 {
+			t.Fatalf("follower %d never published", i)
+		}
+		for _, s := range states {
+			ps, err := tp.w.SnapshotAt(int(s.Epoch))
+			if err != nil {
+				t.Fatalf("follower %d published epoch %d the primary never had: %v", i, s.Epoch, err)
+			}
+			if got, want := Fingerprint(s), Fingerprint(ps); got != want {
+				t.Fatalf("follower %d epoch %d diverged: %s vs %s", i, s.Epoch, got, want)
+			}
+		}
+	}
+}

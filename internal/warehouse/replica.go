@@ -1,0 +1,215 @@
+package warehouse
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"whips/internal/msg"
+	"whips/internal/obs"
+	"whips/internal/relation"
+)
+
+// Replica is the follower-side warehouse: it holds the same frozen
+// materialized views as a primary Warehouse and publishes the same
+// immutable epoch Snapshots, but its only write path is the replication
+// stream — a full ReplSnapshot checkpoint installed at catch-up, then one
+// ReplEpoch delta per primary commit. Reads are lock-free exactly like the
+// primary's (Snapshot is an atomic pointer load), so a follower serves
+// queries at full speed while epochs stream in.
+//
+// A replica applies epoch E only on top of epoch E-1, with the same
+// copy-on-write + freeze discipline as Warehouse.commitLocked, so the
+// epoch-E state here is byte-identical (under the deterministic wire
+// encoding) to the primary's epoch-E state — the property the replication
+// consistency judge checks.
+type Replica struct {
+	epochG    *obs.Gauge
+	onPublish func(*Snapshot)
+	logCap    int
+
+	// snap is the current published state; nil until the first install.
+	snap atomic.Pointer[Snapshot]
+
+	mu      sync.Mutex
+	views   map[msg.ViewID]*relation.Relation // frozen
+	upto    map[msg.ViewID]msg.UpdateID
+	log     []*Snapshot // dense ring of recent epochs for historical reads
+	logBase int64       // epoch of log[0] (when non-empty)
+}
+
+// ReplicaOption configures a Replica.
+type ReplicaOption func(*Replica)
+
+// WithReplicaLogCap retains the most recent n published epochs for
+// historical reads (SnapshotAt). Default 64; 0 disables the ring.
+func WithReplicaLogCap(n int) ReplicaOption {
+	return func(r *Replica) { r.logCap = n }
+}
+
+// WithReplicaObs attaches the replica_epoch gauge.
+func WithReplicaObs(p *obs.Pipeline) ReplicaOption {
+	return func(r *Replica) { r.epochG = p.Reg().Gauge("replica_epoch") }
+}
+
+// WithReplicaOnPublish installs a callback invoked after every published
+// epoch — install or apply — with the new snapshot. Test harnesses use it
+// to fingerprint every state a follower could ever serve.
+func WithReplicaOnPublish(fn func(*Snapshot)) ReplicaOption {
+	return func(r *Replica) { r.onPublish = fn }
+}
+
+// NewReplica returns an empty replica: not Ready until the first
+// ReplSnapshot installs.
+func NewReplica(opts ...ReplicaOption) *Replica {
+	r := &Replica{logCap: 64}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Ready reports whether the replica has published at least one epoch and
+// can serve reads. Followers gate /healthz (503 "catching up") on this.
+func (r *Replica) Ready() bool { return r.snap.Load() != nil }
+
+// Snapshot returns the current published epoch snapshot, or nil before the
+// first install. Lock-free; satisfies query.Source.
+func (r *Replica) Snapshot() *Snapshot { return r.snap.Load() }
+
+// Epoch returns the current published epoch, or -1 before the first
+// install — the value a follower announces in ReplSubscribe.
+func (r *Replica) Epoch() int64 {
+	if s := r.snap.Load(); s != nil {
+		return s.Epoch
+	}
+	return -1
+}
+
+// Install resets the replica to a full checkpoint: whatever state it held
+// is discarded (this is also how a follower recovers from a primary that
+// itself recovered to an older epoch). The snapshot's relations are frozen
+// in place — the caller hands over ownership.
+func (r *Replica) Install(s msg.ReplSnapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.views = make(map[msg.ViewID]*relation.Relation, len(s.Views))
+	r.upto = make(map[msg.ViewID]msg.UpdateID, len(s.Views))
+	for _, v := range s.Views {
+		r.views[v.View] = v.Rel.Freeze()
+		r.upto[v.View] = v.Upto
+	}
+	r.publishLocked(s.Epoch, s.Txn, s.CommitAt, true)
+}
+
+// ApplyEpoch applies one replicated commit. A duplicate (epoch at or below
+// the current one) is skipped silently — a deterministic primary replaying
+// its stream regenerates identical deltas, so re-application is never
+// needed. A gap is an error: the follower must re-subscribe.
+func (r *Replica) ApplyEpoch(e msg.ReplEpoch) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.snap.Load()
+	if cur == nil {
+		return fmt.Errorf("replica: epoch %d before any checkpoint", e.Epoch)
+	}
+	if e.Epoch <= cur.Epoch {
+		return nil // duplicate of an already-applied epoch
+	}
+	if e.Epoch != cur.Epoch+1 {
+		return fmt.Errorf("replica: epoch gap: have %d, got %d", cur.Epoch, e.Epoch)
+	}
+	// Mirror Warehouse.commitLocked: validate everything against COW
+	// copies first, so a corrupt delta cannot half-apply.
+	scratch := make(map[msg.ViewID]*relation.Relation)
+	for _, w := range e.Writes {
+		rel, ok := scratch[w.View]
+		if !ok {
+			base, exists := r.views[w.View]
+			if !exists {
+				return fmt.Errorf("replica: epoch %d writes unknown view %q", e.Epoch, w.View)
+			}
+			rel = base.MutableCopy()
+			scratch[w.View] = rel
+		}
+		if w.Delta == nil {
+			return fmt.Errorf("replica: epoch %d write to %q carries no delta", e.Epoch, w.View)
+		}
+		if err := rel.Apply(w.Delta); err != nil {
+			return fmt.Errorf("replica: epoch %d is inconsistent with view %q: %w", e.Epoch, w.View, err)
+		}
+	}
+	for id, rel := range scratch {
+		r.views[id] = rel.Freeze()
+	}
+	for _, w := range e.Writes {
+		if w.Upto > r.upto[w.View] {
+			r.upto[w.View] = w.Upto
+		}
+	}
+	r.publishLocked(e.Epoch, e.Txn, e.CommitAt, false)
+	return nil
+}
+
+// publishLocked swaps in the new epoch snapshot and records it in the
+// historical ring. reset discards the ring (checkpoint installs break the
+// dense-epoch invariant SnapshotAt's index math relies on).
+func (r *Replica) publishLocked(epoch int64, txn msg.TxnID, commitAt int64, reset bool) {
+	s := &Snapshot{
+		Epoch:    epoch,
+		Txn:      txn,
+		CommitAt: commitAt,
+		views:    make(map[msg.ViewID]*relation.Relation, len(r.views)),
+		upto:     make(map[msg.ViewID]msg.UpdateID, len(r.upto)),
+	}
+	for id, rel := range r.views {
+		s.views[id] = rel
+		s.upto[id] = r.upto[id]
+	}
+	if reset {
+		r.log, r.logBase = nil, 0
+	}
+	if r.logCap > 0 {
+		if len(r.log) == 0 {
+			r.logBase = epoch
+		}
+		r.log = append(r.log, s)
+		if len(r.log) > r.logCap {
+			drop := len(r.log) - r.logCap
+			r.log = append([]*Snapshot(nil), r.log[drop:]...)
+			r.logBase += int64(drop)
+		}
+	}
+	r.snap.Store(s)
+	r.epochG.Set(epoch)
+	if r.onPublish != nil {
+		r.onPublish(s)
+	}
+}
+
+// SnapshotAt returns the retained historical snapshot with the given
+// epoch — the follower-side QueryAt. The window is the replica's recent
+// dense epoch ring; epochs before it (or before the last checkpoint
+// install) are gone.
+func (r *Replica) SnapshotAt(epoch int64) (*Snapshot, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.log) == 0 {
+		return nil, fmt.Errorf("replica: no epochs published")
+	}
+	if epoch < r.logBase || epoch >= r.logBase+int64(len(r.log)) {
+		return nil, fmt.Errorf("replica: epoch %d outside retained window [%d,%d]",
+			epoch, r.logBase, r.logBase+int64(len(r.log))-1)
+	}
+	return r.log[epoch-r.logBase], nil
+}
+
+// ReplMsg renders a published snapshot as the wire checkpoint a primary
+// ships for catch-up. head is the primary's current epoch.
+func (s *Snapshot) ReplMsg(head int64) msg.ReplSnapshot {
+	out := msg.ReplSnapshot{Epoch: s.Epoch, Txn: s.Txn, CommitAt: s.CommitAt, Head: head}
+	for _, id := range s.Views() {
+		out.Views = append(out.Views, msg.ReplView{View: id, Rel: s.views[id], Upto: s.upto[id]})
+	}
+	return out
+}

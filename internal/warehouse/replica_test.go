@@ -1,0 +1,236 @@
+package warehouse
+
+import (
+	"strings"
+	"testing"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+// feedTap collects every epoch a warehouse's replication feed emits.
+type feedTap struct{ epochs []msg.ReplEpoch }
+
+func (f *feedTap) on(e msg.ReplEpoch) { f.epochs = append(f.epochs, e) }
+
+// sameState asserts a replica snapshot matches a primary snapshot: epoch,
+// txn metadata, every view's contents, and every watermark.
+func sameState(t *testing.T, prim, repl *Snapshot) {
+	t.Helper()
+	if prim.Epoch != repl.Epoch || prim.Txn != repl.Txn || prim.CommitAt != repl.CommitAt {
+		t.Fatalf("header mismatch: primary (%d,%d,%d) replica (%d,%d,%d)",
+			prim.Epoch, prim.Txn, prim.CommitAt, repl.Epoch, repl.Txn, repl.CommitAt)
+	}
+	pv, rv := prim.Views(), repl.Views()
+	if len(pv) != len(rv) {
+		t.Fatalf("view sets differ: %v vs %v", pv, rv)
+	}
+	for _, id := range pv {
+		p, _ := prim.Relation(id)
+		r, ok := repl.Relation(id)
+		if !ok || !p.Equal(r) {
+			t.Fatalf("view %q differs at epoch %d", id, prim.Epoch)
+		}
+		if prim.Upto(id) != repl.Upto(id) {
+			t.Fatalf("upto(%q) = %d on replica, want %d", id, repl.Upto(id), prim.Upto(id))
+		}
+	}
+}
+
+func TestReplicaMirrorsPrimaryCommits(t *testing.T) {
+	tap := &feedTap{}
+	w := New(initialViews(), WithStateLog(), WithReplFeed(16, tap.on))
+
+	rep := NewReplica()
+	if rep.Ready() || rep.Epoch() != -1 || rep.Snapshot() != nil {
+		t.Fatal("fresh replica must be empty with epoch -1")
+	}
+	rep.Install(w.Snapshot().ReplMsg(w.ReplHead()))
+	if !rep.Ready() || rep.Epoch() != 0 {
+		t.Fatalf("after install: ready=%v epoch=%d", rep.Ready(), rep.Epoch())
+	}
+
+	// Commit a stream of transactions, including one with staged deltas
+	// resolved out of band, and mirror each feed epoch into the replica.
+	w.Handle(txn(1, nil, write("V1", 1, 10), write("V2", 1, 20)), 100)
+	w.Handle(txn(2, []msg.TxnID{1}, write("V1", 2, 11)), 200)
+	w.Handle(txn(3, nil, write("V2", 3, 21)), 300)
+	if len(tap.epochs) != 3 {
+		t.Fatalf("feed emitted %d epochs, want 3", len(tap.epochs))
+	}
+	for i, e := range tap.epochs {
+		if e.Epoch != int64(i+1) {
+			t.Fatalf("epoch[%d] = %d, want dense numbering", i, e.Epoch)
+		}
+		if err := rep.ApplyEpoch(e); err != nil {
+			t.Fatalf("apply epoch %d: %v", e.Epoch, err)
+		}
+		ps, err := w.SnapshotAt(int(e.Epoch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameState(t, ps, rep.Snapshot())
+	}
+	sameState(t, w.Snapshot(), rep.Snapshot())
+}
+
+func TestReplicaStagedDeltasAreResolvedInFeed(t *testing.T) {
+	tap := &feedTap{}
+	w := New(initialViews(), WithReplFeed(16, tap.on))
+	rep := NewReplica()
+	rep.Install(w.Snapshot().ReplMsg(0))
+
+	// A transaction whose write carries no inline delta: the data arrives
+	// as a staged delta first, so the feed must inline the resolved delta.
+	d := relation.InsertDelta(vSchema, relation.T(42))
+	w.Handle(msg.StageDelta{View: "V1", Upto: 7, Delta: d}, 0)
+	w.Handle(msg.SubmitTxn{
+		Txn: msg.WarehouseTxn{
+			ID:     7,
+			Rows:   []msg.UpdateID{7},
+			Writes: []msg.ViewWrite{{View: "V1", Upto: 7, Staged: true}},
+		},
+		From: "merge:0",
+	}, 0)
+	if len(tap.epochs) != 1 {
+		t.Fatalf("feed emitted %d epochs, want 1", len(tap.epochs))
+	}
+	e := tap.epochs[0]
+	if len(e.Writes) != 1 || e.Writes[0].Delta == nil || !e.Writes[0].Delta.Equal(d) {
+		t.Fatalf("feed epoch did not inline the staged delta: %+v", e.Writes)
+	}
+	if err := rep.ApplyEpoch(e); err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := rep.Snapshot().Relation("V1")
+	if !rel.Contains(relation.T(42)) {
+		t.Error("staged write did not reach the replica")
+	}
+}
+
+func TestReplicaRejectsGapsSkipsDuplicates(t *testing.T) {
+	tap := &feedTap{}
+	w := New(initialViews(), WithReplFeed(16, tap.on))
+	rep := NewReplica()
+
+	w.Handle(txn(1, nil, write("V1", 1, 1)), 0)
+	if err := rep.ApplyEpoch(tap.epochs[0]); err == nil || !strings.Contains(err.Error(), "before any checkpoint") {
+		t.Fatalf("apply before install = %v", err)
+	}
+	rep.Install(w.Snapshot().ReplMsg(w.ReplHead()))
+
+	w.Handle(txn(2, nil, write("V1", 2, 2)), 0)
+	w.Handle(txn(3, nil, write("V1", 3, 3)), 0)
+	// Gap: replica is at 1, epoch 3 skips 2.
+	if err := rep.ApplyEpoch(tap.epochs[2]); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("gap apply = %v", err)
+	}
+	if err := rep.ApplyEpoch(tap.epochs[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate: epochs at or below the current one are silently skipped.
+	if err := rep.ApplyEpoch(tap.epochs[1]); err != nil {
+		t.Fatalf("duplicate apply = %v", err)
+	}
+	if err := rep.ApplyEpoch(tap.epochs[0]); err != nil {
+		t.Fatalf("stale apply = %v", err)
+	}
+	if rep.Epoch() != 2 {
+		t.Fatalf("epoch = %d after dup skips, want 2", rep.Epoch())
+	}
+	if err := rep.ApplyEpoch(tap.epochs[2]); err != nil {
+		t.Fatal(err)
+	}
+	sameState(t, w.Snapshot(), rep.Snapshot())
+}
+
+func TestReplicaHistoricalRing(t *testing.T) {
+	tap := &feedTap{}
+	w := New(initialViews(), WithReplFeed(16, tap.on))
+	rep := NewReplica(WithReplicaLogCap(3))
+	rep.Install(w.Snapshot().ReplMsg(0))
+
+	for i := 1; i <= 6; i++ {
+		w.Handle(txn(msg.TxnID(i), nil, write("V1", msg.UpdateID(i), i)), int64(i))
+		if err := rep.ApplyEpoch(tap.epochs[i-1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cap 3 retains epochs 4..6; anything older (or future) is an error.
+	if _, err := rep.SnapshotAt(3); err == nil {
+		t.Error("evicted epoch should not be readable")
+	}
+	if _, err := rep.SnapshotAt(7); err == nil {
+		t.Error("future epoch should not be readable")
+	}
+	for e := int64(4); e <= 6; e++ {
+		s, err := rep.SnapshotAt(e)
+		if err != nil {
+			t.Fatalf("SnapshotAt(%d): %v", e, err)
+		}
+		if s.Epoch != e {
+			t.Fatalf("SnapshotAt(%d).Epoch = %d", e, s.Epoch)
+		}
+		rel, _ := s.Relation("V1")
+		if !rel.Contains(relation.T(int(e))) || rel.Contains(relation.T(int(e)+1)) {
+			t.Fatalf("epoch %d snapshot has wrong contents", e)
+		}
+	}
+	// A checkpoint install discards the ring: the dense-epoch window
+	// restarts at the installed epoch.
+	rep2 := NewReplica(WithReplicaLogCap(3))
+	rep2.Install(rep.Snapshot().ReplMsg(6))
+	if _, err := rep2.SnapshotAt(5); err == nil {
+		t.Error("pre-install epochs must not survive a checkpoint install")
+	}
+	if s, err := rep2.SnapshotAt(6); err != nil || s.Epoch != 6 {
+		t.Fatalf("SnapshotAt(6) after install = %v, %v", s, err)
+	}
+}
+
+func TestWarehouseReplSinceWindow(t *testing.T) {
+	w := New(initialViews(), WithReplFeed(3, nil))
+	if ds, ok := w.ReplSince(0); !ok || len(ds) != 0 {
+		t.Fatalf("empty warehouse at head: %v %v", ds, ok)
+	}
+	if _, ok := w.ReplSince(5); ok {
+		t.Fatal("asking beyond head must miss")
+	}
+	for i := 1; i <= 5; i++ {
+		w.Handle(txn(msg.TxnID(i), nil, write("V1", msg.UpdateID(i), i)), 0)
+	}
+	if w.ReplHead() != 5 {
+		t.Fatalf("head = %d", w.ReplHead())
+	}
+	// Cap 3 retains epochs 3..5: a follower at 2 can catch up by deltas,
+	// a follower at 1 cannot (epoch 2 was evicted).
+	ds, ok := w.ReplSince(2)
+	if !ok || len(ds) != 3 || ds[0].Epoch != 3 || ds[2].Epoch != 5 {
+		t.Fatalf("ReplSince(2) = %v %v", ds, ok)
+	}
+	if _, ok := w.ReplSince(1); ok {
+		t.Fatal("evicted window must force a checkpoint")
+	}
+	if ds, ok := w.ReplSince(5); !ok || len(ds) != 0 {
+		t.Fatalf("at head: %v %v", ds, ok)
+	}
+	// RestoreState clears the ring: the restored history must be served as
+	// a checkpoint, never as deltas from a previous process lifetime.
+	b, err := w.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := New(initialViews(), WithStateLog(), WithReplFeed(3, nil))
+	if err := w2.RestoreState(b); err != nil {
+		t.Fatal(err)
+	}
+	if w2.ReplHead() != 5 {
+		t.Fatalf("restored head = %d", w2.ReplHead())
+	}
+	if ds, ok := w2.ReplSince(5); !ok || len(ds) != 0 {
+		t.Fatalf("restored at head: %v %v", ds, ok)
+	}
+	if _, ok := w2.ReplSince(4); ok {
+		t.Fatal("restored warehouse must not serve pre-restart deltas")
+	}
+}

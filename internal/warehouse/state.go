@@ -221,6 +221,12 @@ func (w *Warehouse) RestoreState(b []byte) error {
 		w.log = append(w.log, rec)
 	}
 	w.applied = st.Applied
+	// The replication ring only ever covers epochs committed by this
+	// process: restored history is served to followers as a full snapshot,
+	// never as deltas, so the ring restarts empty at the restored epoch.
+	w.replMu.Lock()
+	w.replLog, w.replBase, w.replHead = nil, 0, st.Applied
+	w.replMu.Unlock()
 	var lastTxn msg.TxnID
 	var lastAt int64
 	if n := len(w.log); n > 0 {

@@ -115,6 +115,18 @@ type Warehouse struct {
 	applied   int64
 	onCommit  func(CommitInfo)
 
+	// Replication feed (WithReplFeed): a bounded ring of the most recent
+	// committed epoch deltas, with staged data resolved inline, serving
+	// follower catch-up; replMu is a leaf lock (taken under mu by commits,
+	// alone by ReplSince) so replication readers never contend with the
+	// maintenance path beyond the ring itself.
+	replMu   sync.Mutex
+	replCap  int
+	replBase int64 // epoch of replLog[0] (when non-empty)
+	replHead int64 // last epoch appended to the ring (or restored)
+	replLog  []msg.ReplEpoch
+	replFeed func(msg.ReplEpoch)
+
 	// execDelay, when set, defers the execution of each submitted
 	// transaction by the returned number of nanoseconds — a model of a
 	// warehouse DBMS that schedules transactions in its own order. With
@@ -164,6 +176,21 @@ func WithCommitObserver(fn func(CommitInfo)) Option {
 // WithExecDelay installs a transaction scheduling delay model.
 func WithExecDelay(fn func(msg.WarehouseTxn) int64) Option {
 	return func(w *Warehouse) { w.execDelay = fn }
+}
+
+// WithReplFeed enables the replication feed: each commit records its
+// resolved epoch delta in a ring of the most recent n epochs (ReplSince
+// serves follower catch-up from it) and, when fn is non-nil, hands the
+// delta to fn for live streaming. fn runs on the commit path and must not
+// block — hand off to a channel or goroutine (see internal/repl.Primary).
+func WithReplFeed(n int, fn func(msg.ReplEpoch)) Option {
+	return func(w *Warehouse) {
+		if n <= 0 {
+			n = 1024
+		}
+		w.replCap = n
+		w.replFeed = fn
+	}
 }
 
 // WithObs attaches the observability pipeline: commit metrics plus a
@@ -377,6 +404,7 @@ func (w *Warehouse) commitLocked(t msg.WarehouseTxn, from string, now int64, out
 	// Resolve staged writes (data shipped out-of-band) and validate all
 	// writes first so a bad transaction cannot half-apply.
 	scratch := make(map[msg.ViewID]*relation.Relation)
+	var replWrites []msg.ReplWrite
 	for _, vw := range t.Writes {
 		delta := vw.Delta
 		if vw.Staged {
@@ -387,6 +415,9 @@ func (w *Warehouse) commitLocked(t msg.WarehouseTxn, from string, now int64, out
 			}
 			delete(w.staging, key)
 			delta = d
+		}
+		if w.replCap > 0 {
+			replWrites = append(replWrites, msg.ReplWrite{View: vw.View, Upto: vw.Upto, Delta: delta})
 		}
 		r, ok := scratch[vw.View]
 		if !ok {
@@ -415,6 +446,9 @@ func (w *Warehouse) commitLocked(t msg.WarehouseTxn, from string, now int64, out
 	w.committed[t.ID] = true
 	w.applied++
 	w.publishLocked(t.ID, now)
+	if w.replCap > 0 {
+		w.replRecord(msg.ReplEpoch{Epoch: w.applied, Txn: t.ID, CommitAt: now, Writes: replWrites})
+	}
 	w.txns.Inc()
 	w.viewWrites.Add(int64(len(t.Writes)))
 	w.txnWrites.Observe(int64(len(t.Writes)))
@@ -480,6 +514,54 @@ func (w *Warehouse) commitLocked(t msg.WarehouseTxn, from string, now int64, out
 		out = w.commitLocked(p.txn, p.from, now, out)
 	}
 	return out
+}
+
+// replRecord appends one committed epoch delta to the replication ring
+// and hands it to the live feed. Called on the commit path (under mu);
+// replMu is a leaf lock so ReplSince readers only ever contend here.
+func (w *Warehouse) replRecord(e msg.ReplEpoch) {
+	w.replMu.Lock()
+	if len(w.replLog) == 0 {
+		w.replBase = e.Epoch
+	}
+	w.replLog = append(w.replLog, e)
+	if len(w.replLog) > w.replCap {
+		drop := len(w.replLog) - w.replCap
+		w.replLog = append([]msg.ReplEpoch(nil), w.replLog[drop:]...)
+		w.replBase += int64(drop)
+	}
+	w.replHead = e.Epoch
+	w.replMu.Unlock()
+	if w.replFeed != nil {
+		w.replFeed(e)
+	}
+}
+
+// ReplSince returns the retained epoch deltas with Epoch > from, in epoch
+// order. ok is false when the deltas cannot bring a follower at epoch
+// `from` to the head — it is below the retained window, or ahead of this
+// warehouse (a primary that recovered to an older epoch) — in which case
+// the caller must ship a full ReplSnapshot instead. Requires WithReplFeed.
+func (w *Warehouse) ReplSince(from int64) (deltas []msg.ReplEpoch, ok bool) {
+	w.replMu.Lock()
+	defer w.replMu.Unlock()
+	if from > w.replHead {
+		return nil, false
+	}
+	if from == w.replHead {
+		return nil, true
+	}
+	if len(w.replLog) == 0 || from+1 < w.replBase {
+		return nil, false
+	}
+	return append([]msg.ReplEpoch(nil), w.replLog[from+1-w.replBase:]...), true
+}
+
+// ReplHead reports the last epoch recorded in the replication ring.
+func (w *Warehouse) ReplHead() int64 {
+	w.replMu.Lock()
+	defer w.replMu.Unlock()
+	return w.replHead
 }
 
 func (w *Warehouse) snapshotLocked(txn msg.TxnID, rows []msg.UpdateID, now int64) StateRecord {

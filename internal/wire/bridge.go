@@ -15,6 +15,9 @@ func init() {
 	gob.Register(StageDelta{})
 	gob.Register(CommitAck{})
 	gob.Register(SubmitTxn{})
+	gob.Register(ReplSubscribe{})
+	gob.Register(ReplSnapshot{})
+	gob.Register(ReplEpoch{})
 }
 
 // Bridge carries protocol messages over one byte stream (a TCP connection,

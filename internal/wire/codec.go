@@ -128,6 +128,47 @@ type SubmitTxn struct {
 	From      string
 }
 
+// ReplSubscribe is the wire form of msg.ReplSubscribe.
+type ReplSubscribe struct {
+	Follower string
+	Epoch    int64
+}
+
+// ReplView is the wire form of msg.ReplView.
+type ReplView struct {
+	View string
+	Rel  Rel
+	Upto int64
+}
+
+// ReplSnapshot is the wire form of msg.ReplSnapshot.
+type ReplSnapshot struct {
+	Epoch    int64
+	Txn      int64
+	CommitAt int64
+	Head     int64
+	Views    []ReplView
+}
+
+// ReplWrite is the wire form of msg.ReplWrite. HasDelta distinguishes a
+// structurally absent delta (rejected on decode — replication writes
+// always carry data) from an empty one.
+type ReplWrite struct {
+	View     string
+	Upto     int64
+	HasDelta bool
+	Delta    Delta
+}
+
+// ReplEpoch is the wire form of msg.ReplEpoch.
+type ReplEpoch struct {
+	Epoch    int64
+	Txn      int64
+	CommitAt int64
+	Head     int64
+	Writes   []ReplWrite
+}
+
 // Envelope is one routed message on the wire.
 type Envelope struct {
 	To  string
@@ -337,6 +378,25 @@ func Encode(m any) (any, error) {
 			out.Writes = append(out.Writes, vw)
 		}
 		return out, nil
+	case msg.ReplSubscribe:
+		return ReplSubscribe{Follower: t.Follower, Epoch: t.Epoch}, nil
+	case msg.ReplSnapshot:
+		out := ReplSnapshot{Epoch: t.Epoch, Txn: int64(t.Txn), CommitAt: t.CommitAt, Head: t.Head}
+		for _, v := range t.Views {
+			out.Views = append(out.Views, ReplView{View: string(v.View), Rel: EncodeRelation(v.Rel), Upto: int64(v.Upto)})
+		}
+		return out, nil
+	case msg.ReplEpoch:
+		out := ReplEpoch{Epoch: t.Epoch, Txn: int64(t.Txn), CommitAt: t.CommitAt, Head: t.Head}
+		for _, w := range t.Writes {
+			rw := ReplWrite{View: string(w.View), Upto: int64(w.Upto)}
+			if w.Delta != nil {
+				rw.HasDelta = true
+				rw.Delta = EncodeDelta(w.Delta)
+			}
+			out.Writes = append(out.Writes, rw)
+		}
+		return out, nil
 	default:
 		return nil, fmt.Errorf("wire: message type %T is not serializable", m)
 	}
@@ -403,6 +463,31 @@ func Decode(m any) (any, error) {
 				vw.Delta = d
 			}
 			out.Txn.Writes = append(out.Txn.Writes, vw)
+		}
+		return out, nil
+	case ReplSubscribe:
+		return msg.ReplSubscribe{Follower: t.Follower, Epoch: t.Epoch}, nil
+	case ReplSnapshot:
+		out := msg.ReplSnapshot{Epoch: t.Epoch, Txn: msg.TxnID(t.Txn), CommitAt: t.CommitAt, Head: t.Head}
+		for _, v := range t.Views {
+			r, err := DecodeRelation(v.Rel)
+			if err != nil {
+				return nil, err
+			}
+			out.Views = append(out.Views, msg.ReplView{View: msg.ViewID(v.View), Rel: r, Upto: msg.UpdateID(v.Upto)})
+		}
+		return out, nil
+	case ReplEpoch:
+		out := msg.ReplEpoch{Epoch: t.Epoch, Txn: msg.TxnID(t.Txn), CommitAt: t.CommitAt, Head: t.Head}
+		for _, w := range t.Writes {
+			if !w.HasDelta {
+				return nil, fmt.Errorf("wire: replication write for view %q carries no delta", w.View)
+			}
+			d, err := DecodeDelta(w.Delta)
+			if err != nil {
+				return nil, err
+			}
+			out.Writes = append(out.Writes, msg.ReplWrite{View: msg.ViewID(w.View), Upto: msg.UpdateID(w.Upto), Delta: d})
 		}
 		return out, nil
 	default:

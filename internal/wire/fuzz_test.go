@@ -38,6 +38,15 @@ func seedEnvelopes() [][]byte {
 				{View: "V1", Upto: 4, Delta: d},
 				{View: "V2", Upto: 4, Staged: true},
 			}}},
+		msg.ReplSubscribe{Follower: "f1", Epoch: -1},
+		msg.ReplSnapshot{Epoch: 12, Txn: 9, CommitAt: 77, Head: 15, Views: []msg.ReplView{
+			{View: "V1", Rel: relation.FromTuples(rs, relation.T(1, 2)), Upto: 12},
+			{View: "V2", Rel: relation.FromTuples(mixed, relation.T(7, "x", 1.5, true)), Upto: 11},
+		}},
+		msg.ReplEpoch{Epoch: 13, Txn: 10, CommitAt: 78, Head: 15, Writes: []msg.ReplWrite{
+			{View: "V1", Upto: 13, Delta: d},
+			{View: "V2", Upto: 13, Delta: dm},
+		}},
 	}
 	var out [][]byte
 	for _, m := range msgs {
@@ -50,6 +59,13 @@ func seedEnvelopes() [][]byte {
 			panic(err)
 		}
 		out = append(out, buf.Bytes())
+	}
+	// Torn frames: prefixes of valid replication envelopes, as left by a
+	// connection severed mid-write. They must be rejected cleanly, never
+	// decoded into a partial message.
+	n := len(out)
+	for _, full := range out[n-3:] {
+		out = append(out, full[:len(full)/2], full[:len(full)-1])
 	}
 	return out
 }
@@ -79,6 +95,22 @@ func hasNaN(w any) bool {
 	case StageDelta:
 		return nanDelta(t.Delta)
 	case SubmitTxn:
+		for _, wr := range t.Writes {
+			if wr.HasDelta && nanDelta(wr.Delta) {
+				return true
+			}
+		}
+	case ReplSnapshot:
+		for _, v := range t.Views {
+			for _, e := range v.Rel.Entries {
+				for _, val := range e.Tuple {
+					if math.IsNaN(val.F) {
+						return true
+					}
+				}
+			}
+		}
+	case ReplEpoch:
 		for _, wr := range t.Writes {
 			if wr.HasDelta && nanDelta(wr.Delta) {
 				return true

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Replication smoke test: run the two-process whipsnode fleet with the
+# warehouse site serving its epoch replication feed, attach two follower
+# replicas, and verify both converge to the primary's final epoch with
+# byte-identical /query output. Then kill -9 one follower and restart it:
+# it must re-subscribe, catch up, and converge again. Used by CI; runnable
+# locally from anywhere in the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=${ADDR:-127.0.0.1:7657}
+RADDR=${RADDR:-127.0.0.1:7658}
+WH_DBG=${WH_DBG:-127.0.0.1:8657}
+F1_DBG=${F1_DBG:-127.0.0.1:8658}
+F2_DBG=${F2_DBG:-127.0.0.1:8659}
+UPDATES=${UPDATES:-60}
+SEED=${SEED:-7}
+BIN=$(mktemp -d)/whipsnode
+WH_LOG=$(mktemp)
+F1_LOG=$(mktemp)
+F2_LOG=$(mktemp)
+
+cleanup() {
+    kill "${WH_PID:-}" "${MG_PID:-}" "${F1_PID:-}" "${F2_PID:-}" 2>/dev/null || true
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/whipsnode
+
+wait_http() { # url substring tries
+    local url=$1 want=$2 tries=${3:-100}
+    for _ in $(seq "$tries"); do
+        if curl -fsS "$url" 2>/dev/null | grep -q "$want"; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: $url never matched '$want'" >&2
+    return 1
+}
+
+query_epoch() { # debug addr
+    curl -fsS "http://$1/query?view=V1" 2>/dev/null | grep '"epoch"' | grep -o '[0-9]*' || echo -1
+}
+
+# /query output modulo the "cached" flag (an engine-local detail followers
+# legitimately differ on) — everything else must be byte-identical.
+query_state() { # debug addr, view
+    curl -fsS "http://$1/query?view=$2" | grep -v '"cached"'
+}
+
+echo "== start primary (repl feed on $RADDR), managers, two followers =="
+"$BIN" -role warehouse -addr "$ADDR" -repl-addr "$RADDR" -updates "$UPDATES" \
+    -seed "$SEED" -pace 5ms -debug "$WH_DBG" -linger 60s >"$WH_LOG" 2>&1 &
+WH_PID=$!
+sleep 0.3
+"$BIN" -role managers -addr "$ADDR" &
+MG_PID=$!
+
+start_follower() { # name debug logfile
+    "$BIN" -role follower -follow "$RADDR" -name "$1" -debug "$2" -seed "$SEED" >"$3" 2>&1 &
+}
+start_follower f1 "$F1_DBG" "$F1_LOG"; F1_PID=$!
+start_follower f2 "$F2_DBG" "$F2_LOG"; F2_PID=$!
+
+echo "== wait for the workload to finish and followers to converge =="
+for _ in $(seq 300); do
+    grep -q '^OK$' "$WH_LOG" && break
+    sleep 0.1
+done
+grep -q '^OK$' "$WH_LOG" || { echo "FAIL: primary run did not finish" >&2; cat "$WH_LOG" >&2; exit 1; }
+PRIMARY_EPOCH=$(query_epoch "$WH_DBG")
+echo "primary finished at epoch $PRIMARY_EPOCH"
+
+wait_http "http://$F1_DBG/healthz" '"ok": *true' || { cat "$F1_LOG" >&2; exit 1; }
+wait_http "http://$F2_DBG/healthz" '"ok": *true' || { cat "$F2_LOG" >&2; exit 1; }
+for dbg in "$F1_DBG" "$F2_DBG"; do
+    for _ in $(seq 100); do
+        [ "$(query_epoch "$dbg")" = "$PRIMARY_EPOCH" ] && break
+        sleep 0.1
+    done
+    if [ "$(query_epoch "$dbg")" != "$PRIMARY_EPOCH" ]; then
+        echo "FAIL: follower on $dbg stuck at epoch $(query_epoch "$dbg"), primary at $PRIMARY_EPOCH" >&2
+        exit 1
+    fi
+done
+
+echo "== verify byte-identical views on both followers =="
+for view in V1 V2; do
+    PRIMARY_STATE=$(query_state "$WH_DBG" "$view")
+    for dbg in "$F1_DBG" "$F2_DBG"; do
+        if [ "$(query_state "$dbg" "$view")" != "$PRIMARY_STATE" ]; then
+            echo "FAIL: follower on $dbg diverged from primary on $view" >&2
+            diff <(echo "$PRIMARY_STATE") <(query_state "$dbg" "$view") >&2 || true
+            exit 1
+        fi
+    done
+done
+echo "both followers byte-identical at epoch $PRIMARY_EPOCH"
+
+echo "== kill -9 follower f1 and restart it =="
+kill -9 "$F1_PID"
+wait "$F1_PID" 2>/dev/null || true
+start_follower f1 "$F1_DBG" "$F1_LOG"; F1_PID=$!
+wait_http "http://$F1_DBG/healthz" '"ok": *true' || { cat "$F1_LOG" >&2; exit 1; }
+for _ in $(seq 100); do
+    [ "$(query_epoch "$F1_DBG")" = "$PRIMARY_EPOCH" ] && break
+    sleep 0.1
+done
+for view in V1 V2; do
+    if [ "$(query_state "$F1_DBG" "$view")" != "$(query_state "$WH_DBG" "$view")" ]; then
+        echo "FAIL: restarted follower diverged on $view" >&2
+        exit 1
+    fi
+done
+echo "restarted follower reconverged byte-identical at epoch $(query_epoch "$F1_DBG")"
+
+echo "== verify follower staleness metric is exported =="
+if ! curl -fsS "http://$F1_DBG/metrics" | grep -q 'repl_epoch_lag'; then
+    echo "FAIL: follower does not export repl_epoch_lag" >&2
+    exit 1
+fi
+echo "replication smoke OK"
