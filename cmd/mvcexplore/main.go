@@ -41,6 +41,7 @@ func main() {
 	maxSteps := flag.Int("max-steps", 0, "per-schedule delivery bound (0 = default)")
 	workers := flag.Int("workers", 0, "view-manager worker pool size shared across schedules (0/1 = serial); the pool stays in deterministic scatter-gather mode, so schedules replay identically")
 	trace := flag.String("trace", "", "write per-stage JSONL trace events here (\"-\" for stderr) and print end-to-end freshness (virtual time) at exit")
+	replicate := flag.Bool("replicate", false, "attach an in-process read replica per schedule so explored traces include repl_pub/repl_apply spans")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -82,6 +83,7 @@ func main() {
 		Crashable: *faults > 0,
 		Pool:      pool,
 		Obs:       pipe,
+		Replicate: *replicate,
 	})
 	if pipe != nil {
 		inner := factory

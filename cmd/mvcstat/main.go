@@ -1,0 +1,424 @@
+// Command mvcstat is the fleet observability console: it polls the debug
+// endpoints (/metrics.json, /trace) of every node in a whips deployment —
+// warehouse site, manager site, any number of followers — and renders live
+// pipeline state plus causally assembled end-to-end spans.
+//
+//	mvcstat -nodes wh=127.0.0.1:8657,mgr=127.0.0.1:8659,f1=127.0.0.1:8658
+//
+// Each refresh shows per-stage throughput (source commits, integrator
+// fan-out, action lists, merge submits, warehouse commits, replica
+// applies), VUT depth, freshness and replication-lag percentiles, wire
+// reconnect churn, and the audit counters. Trace events are polled
+// incrementally (cursor per node) and joined across processes by the causal
+// trace context each wire frame carries, so one source update shows up as a
+// single span: commit → route → al → rel/al_recv → submit → wh_commit →
+// repl_pub → repl_apply.
+//
+// With -collect the console also runs a trace collector: nodes started with
+// -trace-collector stream events here directly, which survives node
+// restarts (a restarted node's ring starts over; the collector's copy does
+// not).
+//
+//	mvcstat -nodes ... -collect 127.0.0.1:9500
+//
+// -once renders a single snapshot and exits (scripts); -json dumps the
+// assembled spans as JSON instead of the console view.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"whips/internal/obs"
+)
+
+type node struct {
+	name string
+	base string // http://host:port
+
+	cursor int64 // /trace incremental cursor
+	err    error
+
+	snap     obs.Snapshot
+	prev     obs.Snapshot
+	prevAt   time.Time
+	snapAt   time.Time
+	hasSnaps bool
+}
+
+func main() {
+	nodesFlag := flag.String("nodes", "", "comma-separated debug addresses to poll: name=host:port or host:port")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	once := flag.Bool("once", false, "render one snapshot and exit")
+	collect := flag.String("collect", "", "also run a trace collector on this host:port (nodes stream via -trace-collector)")
+	spansN := flag.Int("spans", 8, "newest spans to display")
+	jsonOut := flag.Bool("json", false, "with -once: dump assembled spans as JSON")
+	flag.Parse()
+
+	nodes := parseNodes(*nodesFlag)
+	if len(nodes) == 0 && *collect == "" {
+		fmt.Fprintln(os.Stderr, "mvcstat: need -nodes and/or -collect")
+		os.Exit(2)
+	}
+
+	// Collected events land in a large ring shared with the polled ones.
+	var collector *obs.Collector
+	collected := obs.NewRingSink(1 << 16)
+	if *collect != "" {
+		c, err := obs.NewCollector(*collect, collected.Sink())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mvcstat: collector: %v\n", err)
+			os.Exit(1)
+		}
+		collector = c
+		defer collector.Close()
+	}
+
+	// events accumulates every trace event seen (polled or collected) for
+	// span assembly; bounded by keeping only the newest maxEvents.
+	const maxEvents = 1 << 17
+	var events []obs.Event
+	var collectCursor int64
+
+	client := &http.Client{Timeout: 3 * time.Second}
+	refresh := func() {
+		for _, n := range nodes {
+			n.poll(client)
+			evs, next, err := fetchTrace(client, n.base, n.cursor)
+			if err == nil {
+				n.cursor = next
+				events = append(events, evs...)
+			}
+		}
+		if collector != nil {
+			evs, next := collected.Since(collectCursor)
+			collectCursor = next
+			events = append(events, evs...)
+		}
+		if len(events) > maxEvents {
+			events = append([]obs.Event(nil), events[len(events)-maxEvents:]...)
+		}
+	}
+
+	if *once {
+		refresh()
+		if *jsonOut {
+			spans := obs.EndToEnd(events)
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(spans)
+			return
+		}
+		render(nodes, events, collector, *spansN)
+		return
+	}
+	for {
+		refresh()
+		fmt.Print("\033[2J\033[H") // clear screen, home cursor
+		render(nodes, events, collector, *spansN)
+		time.Sleep(*interval)
+	}
+}
+
+func parseNodes(s string) []*node {
+	var out []*node
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			name, addr = part, part
+		}
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		out = append(out, &node{name: name, base: addr})
+	}
+	return out
+}
+
+func (n *node) poll(client *http.Client) {
+	resp, err := client.Get(n.base + "/metrics.json")
+	if err != nil {
+		n.err = err
+		return
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		n.err = err
+		return
+	}
+	n.err = nil
+	n.prev, n.prevAt = n.snap, n.snapAt
+	n.snap, n.snapAt = snap, time.Now()
+	n.hasSnaps = !n.prevAt.IsZero()
+}
+
+func fetchTrace(client *http.Client, base string, since int64) ([]obs.Event, int64, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/trace?since=%d", base, since))
+	if err != nil {
+		return nil, since, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, since, fmt.Errorf("trace: %s", resp.Status)
+	}
+	var body struct {
+		Events []obs.Event `json:"events"`
+		Next   int64       `json:"next"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, since, err
+	}
+	return body.Events, body.Next, nil
+}
+
+// famTotal sums every labeled series of a metric family in a name->value
+// map ("repl_epoch_lag{follower=\"f1\"}" counts toward "repl_epoch_lag").
+func famTotal(m map[string]int64, family string) (int64, bool) {
+	var sum int64
+	found := false
+	for k, v := range m {
+		if k == family || strings.HasPrefix(k, family+"{") {
+			sum += v
+			found = true
+		}
+	}
+	return sum, found
+}
+
+// famHist merges every labeled series of a histogram family (identical
+// bounds by construction).
+func famHist(m map[string]obs.HistogramSnapshot, family string) (obs.HistogramSnapshot, bool) {
+	var out obs.HistogramSnapshot
+	found := false
+	for k, h := range m {
+		if k != family && !strings.HasPrefix(k, family+"{") {
+			continue
+		}
+		if !found {
+			out = obs.HistogramSnapshot{
+				Bounds: h.Bounds,
+				Counts: append([]int64(nil), h.Counts...),
+				Sum:    h.Sum, Count: h.Count, Max: h.Max,
+			}
+			found = true
+			continue
+		}
+		for i := range h.Counts {
+			if i < len(out.Counts) {
+				out.Counts[i] += h.Counts[i]
+			}
+		}
+		out.Sum += h.Sum
+		out.Count += h.Count
+		if h.Max > out.Max {
+			out.Max = h.Max
+		}
+	}
+	return out, found
+}
+
+// stageRow is one line of the per-stage throughput table.
+type stageRow struct {
+	label  string
+	family string
+}
+
+var stageRows = []stageRow{
+	{"source commit", "source_txns_total"},
+	{"integrator route", "integrator_updates_total"},
+	{"vm action lists", "vm_als_total"},
+	{"merge rels", "merge_rels_total"},
+	{"merge submits", "merge_txns_total"},
+	{"wh commits", "wh_txns_total"},
+	{"repl applies", "repl_epochs_applied_total"},
+}
+
+func render(nodes []*node, events []obs.Event, collector *obs.Collector, spansN int) {
+	now := time.Now().Format("15:04:05")
+	fmt.Printf("mvcstat %s — %d node(s)", now, len(nodes))
+	if collector != nil {
+		fmt.Printf(", collector %s (%d events)", collector.Addr(), collector.Received())
+	}
+	fmt.Println()
+
+	// Node status line.
+	for _, n := range nodes {
+		if n.err != nil {
+			fmt.Printf("  %-10s %s UNREACHABLE: %v\n", n.name, n.base, n.err)
+		}
+	}
+
+	// Per-stage throughput: totals and rates summed across the fleet.
+	fmt.Println("\npipeline throughput")
+	for _, row := range stageRows {
+		var total int64
+		var rate float64
+		seen := false
+		for _, n := range nodes {
+			if n.err != nil {
+				continue
+			}
+			v, ok := famTotal(n.snap.Counters, row.family)
+			if !ok {
+				continue
+			}
+			seen = true
+			total += v
+			if n.hasSnaps {
+				pv, _ := famTotal(n.prev.Counters, row.family)
+				dt := n.snapAt.Sub(n.prevAt).Seconds()
+				if dt > 0 {
+					rate += float64(v-pv) / dt
+				}
+			}
+		}
+		if !seen {
+			continue
+		}
+		fmt.Printf("  %-18s %10d total  %8.1f/s\n", row.label, total, rate)
+	}
+
+	// Depth / lag / churn gauges.
+	fmt.Println("\ndepth & lag")
+	gaugeLine(nodes, "merge_vut_live", "VUT live rows", "")
+	gaugeLine(nodes, "merge_held_als", "held ALs", "")
+	gaugeLine(nodes, "wh_pending_txns", "wh pending txns", "")
+	gaugeLine(nodes, "repl_epoch_lag", "repl epoch lag", "")
+	gaugeLine(nodes, "repl_last_apply_age_ms", "last apply age", "ms")
+	gaugeLine(nodes, "audit_promptness_gap_max_ms", "promptness gap", "ms")
+	histLine(nodes, "wh_freshness_ns", "freshness")
+	histLine(nodes, "merge_prompt_gap_ns", "merge prompt gap")
+	histLine(nodes, "merge_al_transport_ns", "al transport")
+
+	fmt.Println("\nchurn & audit")
+	counterLine(nodes, "wire_connects_total", "wire connects")
+	counterLine(nodes, "wire_dial_failures_total", "dial failures")
+	counterLine(nodes, "wire_retransmits_total", "retransmits")
+	counterLine(nodes, "repl_resubscribes_total", "repl resubscribes")
+	counterLine(nodes, "audit_checks_total", "audit checks")
+	counterLine(nodes, "audit_violations_total", "audit VIOLATIONS")
+	counterLine(nodes, "audit_skips_total", "audit skips")
+
+	// Assembled spans.
+	spans := obs.EndToEnd(events)
+	fmt.Println()
+	if len(spans) == 0 {
+		fmt.Println("spans: none traced yet (start nodes with -trace)")
+		return
+	}
+	fmt.Println(obs.Summarize(spans))
+	applied := 0
+	for _, sp := range spans {
+		if sp.ReplApplied {
+			applied++
+		}
+	}
+	fmt.Printf("  replica-applied: %d/%d\n", applied, len(spans))
+	start := len(spans) - spansN
+	if start < 0 {
+		start = 0
+	}
+	for _, sp := range spans[start:] {
+		state := "partial"
+		switch {
+		case sp.Complete && sp.ReplApplied:
+			state = "complete+repl"
+		case sp.Complete:
+			state = "complete"
+		}
+		fmt.Printf("  seq %-6d %-13s hops=%-2d freshness=%s\n",
+			sp.Seq, state, sp.MaxHop, dur(sp.Freshness))
+	}
+}
+
+func gaugeLine(nodes []*node, family, label, unit string) {
+	var parts []string
+	for _, n := range nodes {
+		if n.err != nil {
+			continue
+		}
+		if v, ok := famTotal(n.snap.Gauges, family); ok {
+			parts = append(parts, fmt.Sprintf("%s=%d%s", n.name, v, unit))
+		}
+	}
+	if len(parts) == 0 {
+		return
+	}
+	sort.Strings(parts)
+	fmt.Printf("  %-18s %s\n", label, strings.Join(parts, "  "))
+}
+
+func counterLine(nodes []*node, family, label string) {
+	var total int64
+	found := false
+	for _, n := range nodes {
+		if n.err != nil {
+			continue
+		}
+		if v, ok := famTotal(n.snap.Counters, family); ok {
+			total += v
+			found = true
+		}
+	}
+	if !found {
+		return
+	}
+	fmt.Printf("  %-18s %10d\n", label, total)
+}
+
+func histLine(nodes []*node, family, label string) {
+	var merged obs.HistogramSnapshot
+	found := false
+	for _, n := range nodes {
+		if n.err != nil {
+			continue
+		}
+		h, ok := famHist(n.snap.Histograms, family)
+		if !ok || h.Count == 0 {
+			continue
+		}
+		if !found {
+			merged, found = h, true
+			continue
+		}
+		for i := range h.Counts {
+			if i < len(merged.Counts) {
+				merged.Counts[i] += h.Counts[i]
+			}
+		}
+		merged.Sum += h.Sum
+		merged.Count += h.Count
+		if h.Max > merged.Max {
+			merged.Max = h.Max
+		}
+	}
+	if !found {
+		return
+	}
+	fmt.Printf("  %-18s p50=%s p95=%s max=%s (n=%d)\n",
+		label, dur(merged.Quantile(0.5)), dur(merged.Quantile(0.95)), dur(merged.Max), merged.Count)
+}
+
+func dur(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -40,6 +40,7 @@ func main() {
 	jitter := flag.Duration("jitter", 200*time.Microsecond, "random per-edge message delay")
 	param := flag.Int("param", 2, "N for completeN / period for refresh")
 	trace := flag.String("trace", "", "write per-stage JSONL trace events here (\"-\" for stderr) and print end-to-end freshness at exit")
+	replicate := flag.Bool("replicate", false, "attach an in-process read replica so traced spans extend through repl_pub/repl_apply")
 	flag.Parse()
 
 	kind, ok := map[string]whips.ManagerKind{
@@ -100,6 +101,7 @@ func main() {
 		Jitter:            *jitter,
 		Seed:              *seed,
 		Obs:               pipe,
+		Replicate:         *replicate,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -146,8 +148,20 @@ func main() {
 		fmt.Printf("  %s: convergent=%v strong=%v complete=%v\n", id, v.Convergent, v.Strong, v.Complete)
 	}
 
+	if *replicate {
+		fmt.Printf("\nread replica: epoch %d (warehouse %d)\n", sys.Replica().Epoch(), sys.Epoch())
+	}
 	if mem != nil {
 		spans := obs.EndToEnd(mem.Events())
 		fmt.Printf("\n%s\n", obs.Summarize(spans))
+		if *replicate {
+			applied := 0
+			for _, sp := range spans {
+				if sp.ReplApplied {
+					applied++
+				}
+			}
+			fmt.Printf("replica-applied spans: %d/%d\n", applied, len(spans))
+		}
 	}
 }

@@ -61,6 +61,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"whips/internal/audit"
 	"whips/internal/consistency"
 	"whips/internal/durable"
 	"whips/internal/expr"
@@ -104,6 +105,34 @@ type warehouseOpts struct {
 	snapEvery  int
 	crashAfter int
 	supervise  bool
+	trace      bool
+	collector  string
+}
+
+// traceOpts carries the tracing flags shared by every role.
+type traceOpts struct {
+	trace     bool
+	collector string
+}
+
+// setupTrace wires causal tracing into a pipeline: a ring buffer served at
+// /trace and, when collector is set, a background JSONL stream to a trace
+// collector (cmd/mvcstat -collect). Returns the ring for the debug server
+// (nil when tracing is off) and a cleanup func.
+func setupTrace(pipe *obs.Pipeline, o traceOpts) (*obs.RingSink, func()) {
+	if !o.trace && o.collector == "" {
+		return nil, func() {}
+	}
+	ring := obs.NewRingSink(8192)
+	sinks := []func(obs.Event){ring.Sink()}
+	cleanup := func() {}
+	if o.collector != "" {
+		rs := obs.NewRemoteSink(o.collector, 1024)
+		sinks = append(sinks, rs.Sink())
+		cleanup = func() { rs.Close() }
+	}
+	pipe.Tracer = obs.NewTracer(sinks...)
+	return ring, cleanup
 }
 
 func main() {
@@ -123,12 +152,19 @@ func main() {
 	snapEvery := flag.Int("snapshot-every", 10, "checkpoint after this many updates (with -data-dir; 0 = never)")
 	crashAfter := flag.Int("crash-after", 0, "crash after executing this many updates (testing; 0 = never)")
 	supervise := flag.Bool("supervise", false, "restart the warehouse site in-process after a crash (with -data-dir)")
+	trace := flag.Bool("trace", false, "enable causal tracing: retain events in a ring served at /trace")
+	collector := flag.String("trace-collector", "", "also stream trace events to this collector address (implies -trace)")
+	staleAfter := flag.Duration("stale-after", 0, "follower /healthz degrades when no frame applied for this long (0 = disabled)")
+	auditPrimary := flag.String("audit-primary", "", "run the MVC audit against the primary's debug address (follower role)")
+	auditInterval := flag.Duration("audit-interval", 2*time.Second, "audit tick interval (with -audit-primary)")
+	auditHistory := flag.Int64("audit-history", 16, "audit samples one of this many epochs behind head per tick (with -audit-primary)")
 	flag.Parse()
 
 	fsync, err := durable.ParseFsyncPolicy(*fsyncStr)
 	if err != nil {
 		log.Fatal(err)
 	}
+	tr := traceOpts{trace: *trace, collector: *collector}
 	switch *role {
 	case "warehouse":
 		runWarehouseSite(warehouseOpts{
@@ -136,14 +172,19 @@ func main() {
 			debug: *debug, linger: *linger, verbose: *verbose,
 			dataDir: *dataDir, fsync: fsync, snapEvery: *snapEvery,
 			crashAfter: *crashAfter, supervise: *supervise,
+			trace: tr.trace, collector: tr.collector,
 		})
 	case "managers":
-		runManagerSite(*addr, *seed, *debug, *verbose)
+		runManagerSite(*addr, *seed, *debug, *verbose, tr)
 	case "follower":
 		if *follow == "" {
 			log.Fatal("follower role requires -follow <primary repl address>")
 		}
-		runFollowerSite(*name, *follow, *debug, *seed, *verbose)
+		runFollowerSite(followerOpts{
+			name: *name, follow: *follow, debug: *debug, seed: *seed, verbose: *verbose,
+			tr: tr, staleAfter: *staleAfter,
+			auditPrimary: *auditPrimary, auditInterval: *auditInterval, auditHistory: *auditHistory,
+		})
 	default:
 		log.Fatalf("unknown -role %q (use warehouse, managers, or follower)", *role)
 	}
@@ -230,6 +271,8 @@ func runWarehouseSite(o warehouseOpts) {
 	fmt.Printf("warehouse site listening on %s (seed %d)\n", o.addr, o.seed)
 
 	site := &warehouseSite{opts: o, pipe: obs.NewPipeline()}
+	ring, traceCleanup := setupTrace(site.pipe, traceOpts{trace: o.trace, collector: o.collector})
+	defer traceCleanup()
 	dbg, err := obs.ServeDebug(o.debug, obs.DebugServer{
 		Reg:  site.pipe.Reg(),
 		Role: "warehouse",
@@ -246,6 +289,21 @@ func runWarehouseSite(o warehouseOpts) {
 			return "serving", true
 		},
 		Query: site.serveQuery,
+		Trace: ring,
+		Fingerprint: audit.FingerprintHandler(
+			func() *warehouse.Snapshot {
+				if wh := site.wh.Load(); wh != nil {
+					return wh.Snapshot()
+				}
+				return nil
+			},
+			func(epoch int64) (*warehouse.Snapshot, error) {
+				wh := site.wh.Load()
+				if wh == nil {
+					return nil, errors.New("warehouse not ready")
+				}
+				return wh.SnapshotAt(int(epoch))
+			}),
 	})
 	must(err)
 	if dbg != nil {
@@ -535,11 +593,13 @@ func (site *warehouseSite) attempt() (err error) {
 	return nil
 }
 
-func runManagerSite(addr string, seed int64, debug string, verbose bool) {
+func runManagerSite(addr string, seed int64, debug string, verbose bool, tr traceOpts) {
 	fmt.Printf("manager site hosting view managers V1, V2; dialing %s\n", addr)
 
 	pipe := obs.NewPipeline()
-	dbg, err := obs.ServeDebug(debug, obs.DebugServer{Reg: pipe.Reg(), Role: "managers"})
+	ring, traceCleanup := setupTrace(pipe, tr)
+	defer traceCleanup()
+	dbg, err := obs.ServeDebug(debug, obs.DebugServer{Reg: pipe.Reg(), Role: "managers", Trace: ring})
 	must(err)
 	if dbg != nil {
 		fmt.Printf("debug server on http://%s (metrics, healthz, debug/pprof)\n", debug)
@@ -646,10 +706,24 @@ func (site *followerSite) serveQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func runFollowerSite(name, follow, debug string, seed int64, verbose bool) {
-	fmt.Printf("follower %q streaming epochs from %s\n", name, follow)
+// followerOpts configures runFollowerSite.
+type followerOpts struct {
+	name, follow, debug string
+	seed                int64
+	verbose             bool
+	tr                  traceOpts
+	staleAfter          time.Duration
+	auditPrimary        string
+	auditInterval       time.Duration
+	auditHistory        int64
+}
+
+func runFollowerSite(o followerOpts) {
+	fmt.Printf("follower %q streaming epochs from %s\n", o.name, o.follow)
 
 	pipe := obs.NewPipeline()
+	ring, traceCleanup := setupTrace(pipe, o.tr)
+	defer traceCleanup()
 	rep := warehouse.NewReplica(warehouse.WithReplicaObs(pipe))
 	site := &followerSite{
 		rep: rep,
@@ -657,34 +731,73 @@ func runFollowerSite(name, follow, debug string, seed int64, verbose bool) {
 			query.WithClock(func() int64 { return time.Now().UnixNano() }),
 			query.WithObs(pipe)),
 	}
-	dbg, err := obs.ServeDebug(debug, obs.DebugServer{
+	// The health closure outlives this frame via the debug mux; the follower
+	// is built below, so indirect through an atomic.
+	var folP atomic.Pointer[repl.Follower]
+	snapAt := func(epoch int64) (*warehouse.Snapshot, error) {
+		if cur := rep.Snapshot(); cur != nil && cur.Epoch == epoch {
+			return cur, nil
+		}
+		return rep.SnapshotAt(epoch)
+	}
+	dbg, err := obs.ServeDebug(o.debug, obs.DebugServer{
 		Reg:  pipe.Reg(),
 		Role: "follower",
 		Health: func() (string, bool) {
-			if !rep.Ready() {
+			f := folP.Load()
+			if f == nil {
 				return "catching up", false
 			}
-			return "serving", true
+			return f.Healthy(o.staleAfter)
 		},
-		Query: site.serveQuery,
+		Query:       site.serveQuery,
+		Trace:       ring,
+		Fingerprint: audit.FingerprintHandler(rep.Snapshot, rep.SnapshotAt),
 	})
 	must(err)
 	if dbg != nil {
-		fmt.Printf("debug server on http://%s (metrics, healthz, query, debug/pprof)\n", debug)
+		fmt.Printf("debug server on http://%s (metrics, healthz, query, trace, fingerprint, debug/pprof)\n", o.debug)
 		defer dbg.Close()
 	}
 
 	fol := repl.NewFollower(repl.FollowerConfig{
-		Name: name,
+		Name: o.name,
 		Dial: func() (io.ReadWriteCloser, error) {
-			return net.Dial("tcp", follow)
+			return net.Dial("tcp", o.follow)
 		},
 		Replica: rep,
-		Backoff: wire.Backoff{Base: 20 * time.Millisecond, Max: time.Second, Seed: seed},
-		Logf:    sessionLogf(verbose),
+		Backoff: wire.Backoff{Base: 20 * time.Millisecond, Max: time.Second, Seed: o.seed},
+		Logf:    sessionLogf(o.verbose),
 		Obs:     pipe,
 	})
+	folP.Store(fol)
 	defer fol.Close()
+
+	if o.auditPrimary != "" {
+		var events func() []obs.Event
+		if ring != nil {
+			events = func() []obs.Event { evs, _ := ring.Since(0); return evs }
+		}
+		aud := audit.New(audit.Config{
+			Interval: o.auditInterval,
+			Head:     rep.Epoch,
+			Local: func(epoch int64) (audit.FP, bool) {
+				snap, err := snapAt(epoch)
+				if err != nil || snap == nil {
+					return audit.FP{}, false
+				}
+				return audit.SnapshotFP(snap), true
+			},
+			Remote:  audit.HTTPRemote(o.auditPrimary),
+			History: o.auditHistory,
+			Seed:    o.seed,
+			Events:  events,
+			Obs:     pipe,
+			Logf:    log.Printf,
+		})
+		defer aud.Close()
+		fmt.Printf("auditing served epochs against %s every %v\n", o.auditPrimary, o.auditInterval)
+	}
 	fmt.Println("serving replicated epochs; ctrl-c to stop")
 	select {}
 }

@@ -1,0 +1,362 @@
+// Package audit implements the always-on MVC audit: a sampling auditor
+// that periodically fingerprints served epochs on a node and compares them
+// against an authoritative peer (normally: a follower auditing itself
+// against its primary). The paper's multiple view consistency guarantee is
+// only as good as the states actually served — the auditor turns the
+// replication consistency check that previously lived in offline test
+// judges (repl.Fingerprint) into a continuously exported pair of counters:
+//
+//	audit_checks_total      epochs compared
+//	audit_violations_total  fingerprint mismatches (must stay 0)
+//	audit_skips_total       comparisons abandoned (epoch evicted, peer away)
+//
+// On a mismatch the auditor minimizes the witness: it diffs the per-view
+// fingerprints (repl.FingerprintViews) so the log names the specific
+// diverged views, not just "epoch E differs".
+//
+// The auditor also recomputes the §4.4 promptness gap from live trace
+// events when given an event source, exporting the worst currently
+// observable merge-side sit time as audit_promptness_gap_max_ms.
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"whips/internal/msg"
+	"whips/internal/obs"
+	"whips/internal/repl"
+	"whips/internal/warehouse"
+)
+
+// FP is one epoch's consistency fingerprint: the whole-state hash the
+// comparison runs on, plus per-view hashes for witness minimization. It is
+// also the JSON body of the /fingerprint debug endpoint.
+type FP struct {
+	Epoch       int64                       `json:"epoch"`
+	Fingerprint string                      `json:"fingerprint"`
+	Views       map[msg.ViewID]string       `json:"views"`
+	Upto        map[msg.ViewID]msg.UpdateID `json:"upto,omitempty"`
+}
+
+// SnapshotFP fingerprints a served snapshot.
+func SnapshotFP(s *warehouse.Snapshot) FP {
+	upto := make(map[msg.ViewID]msg.UpdateID, len(s.Views()))
+	for _, id := range s.Views() {
+		upto[id] = s.Upto(id)
+	}
+	return FP{Epoch: s.Epoch, Fingerprint: repl.Fingerprint(s), Views: repl.FingerprintViews(s), Upto: upto}
+}
+
+// Config configures an Auditor.
+type Config struct {
+	// Interval between audit ticks (default 2s).
+	Interval time.Duration
+	// Head returns the newest locally served epoch, or a negative value
+	// when the node serves nothing yet.
+	Head func() int64
+	// Local fingerprints a locally served epoch; ok=false when the epoch is
+	// no longer retained. Tests wrap this to inject corruption.
+	Local func(epoch int64) (FP, bool)
+	// Remote fetches the authoritative fingerprint for an epoch (normally
+	// HTTPRemote pointed at the primary's debug address); ok=false when the
+	// peer no longer retains it.
+	Remote func(epoch int64) (FP, bool, error)
+	// History is the window of past epochs behind head that each tick
+	// samples one of (0 = audit only the currently served epoch).
+	History int64
+	// Seed makes the historical sampling deterministic.
+	Seed int64
+	// Events, when set, supplies live trace events for the §4.4 promptness
+	// recompute (typically RingSink.Since wrapped to return everything).
+	Events func() []obs.Event
+	// Obs receives the audit counters.
+	Obs *obs.Pipeline
+	// Logf, when set, receives violation witnesses and lifecycle notes.
+	Logf func(format string, args ...any)
+}
+
+// ViewDiff names one diverged view inside a witness.
+type ViewDiff struct {
+	View   msg.ViewID `json:"view"`
+	Local  string     `json:"local"`
+	Remote string     `json:"remote"`
+}
+
+// Witness is the minimized evidence of one audit violation.
+type Witness struct {
+	Epoch  int64      `json:"epoch"`
+	Local  string     `json:"local"`
+	Remote string     `json:"remote"`
+	Views  []ViewDiff `json:"views"`
+}
+
+// Auditor runs the sampling audit loop.
+type Auditor struct {
+	cfg  Config
+	rng  *rand.Rand
+	stop chan struct{}
+	done chan struct{}
+
+	mu   sync.Mutex
+	last *Witness
+
+	checks     *obs.Counter
+	violations *obs.Counter
+	skips      *obs.Counter
+	promptG    *obs.Gauge
+}
+
+// New builds an auditor and starts its loop. Head, Local and Remote are
+// required.
+func New(cfg Config) *Auditor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	a := &Auditor{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if cfg.Obs != nil {
+		r := cfg.Obs.Reg()
+		a.checks = r.Counter("audit_checks_total")
+		a.violations = r.Counter("audit_violations_total")
+		a.skips = r.Counter("audit_skips_total")
+		if cfg.Events != nil {
+			a.promptG = r.Gauge("audit_promptness_gap_max_ms")
+		}
+	}
+	go a.run()
+	return a
+}
+
+func (a *Auditor) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
+func (a *Auditor) run() {
+	defer close(a.done)
+	t := time.NewTicker(a.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			a.RunOnce()
+		}
+	}
+}
+
+// Close stops the audit loop.
+func (a *Auditor) Close() error {
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	<-a.done
+	return nil
+}
+
+// Violations returns the number of mismatches detected so far.
+func (a *Auditor) Violations() int64 { return a.violations.Value() }
+
+// Checks returns the number of comparisons completed so far.
+func (a *Auditor) Checks() int64 { return a.checks.Value() }
+
+// LastWitness returns the most recent violation's minimized witness, or
+// nil when the audit has never failed.
+func (a *Auditor) LastWitness() *Witness {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.last
+}
+
+// RunOnce performs one audit tick synchronously: the currently served
+// epoch is always compared, and when History > 0 one randomly sampled
+// older epoch is too. Exposed so tests drive the auditor without waiting
+// out wall-clock intervals.
+func (a *Auditor) RunOnce() {
+	head := a.cfg.Head()
+	if head < 0 {
+		a.skips.Inc()
+		a.promptness()
+		return
+	}
+	a.auditEpoch(head)
+	if a.cfg.History > 0 && head > 0 {
+		window := a.cfg.History
+		if window > head {
+			window = head
+		}
+		a.auditEpoch(head - 1 - a.rng.Int63n(window))
+	}
+	a.promptness()
+}
+
+func (a *Auditor) auditEpoch(epoch int64) {
+	local, ok := a.cfg.Local(epoch)
+	if !ok {
+		a.skips.Inc()
+		return
+	}
+	remote, ok, err := a.cfg.Remote(epoch)
+	if err != nil {
+		a.skips.Inc()
+		a.logf("audit: epoch %d: remote fingerprint: %v", epoch, err)
+		return
+	}
+	if !ok {
+		a.skips.Inc()
+		return
+	}
+	a.checks.Inc()
+	if local.Fingerprint == remote.Fingerprint {
+		return
+	}
+	a.violations.Inc()
+	w := &Witness{Epoch: epoch, Local: local.Fingerprint, Remote: remote.Fingerprint}
+	w.Views = diffViews(local.Views, remote.Views)
+	a.mu.Lock()
+	a.last = w
+	a.mu.Unlock()
+	wj, _ := json.Marshal(w)
+	a.logf("audit: VIOLATION epoch %d: %s", epoch, wj)
+}
+
+// diffViews minimizes a witness to the diverged views, sorted by name.
+// Views present on only one side diff against "".
+func diffViews(local, remote map[msg.ViewID]string) []ViewDiff {
+	names := map[msg.ViewID]bool{}
+	for v := range local {
+		names[v] = true
+	}
+	for v := range remote {
+		names[v] = true
+	}
+	var out []ViewDiff
+	for v := range names {
+		if local[v] != remote[v] {
+			out = append(out, ViewDiff{View: v, Local: local[v], Remote: remote[v]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].View < out[j].View })
+	return out
+}
+
+// promptness recomputes the §4.4 gap from live events and exports the
+// worst currently observable one.
+func (a *Auditor) promptness() {
+	if a.cfg.Events == nil {
+		return
+	}
+	var max int64
+	for _, gap := range obs.PromptnessGaps(a.cfg.Events()) {
+		if gap > max {
+			max = gap
+		}
+	}
+	a.promptG.Set(max / int64(time.Millisecond))
+}
+
+// ---------------------------------------------------------------- plumbing
+
+// FingerprintHandler serves /fingerprint: the current snapshot's FP by
+// default, a retained historical epoch's with ?epoch=N. current returns
+// nil before the node serves anything; at returns an error for evicted or
+// unknown epochs (served as found=false, HTTP 404, which the auditor
+// counts as a skip, not a violation).
+func FingerprintHandler(current func() *warehouse.Snapshot, at func(epoch int64) (*warehouse.Snapshot, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var snap *warehouse.Snapshot
+		if v := r.URL.Query().Get("epoch"); v != "" {
+			epoch, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad epoch", http.StatusBadRequest)
+				return
+			}
+			if cur := current(); cur != nil && cur.Epoch == epoch {
+				snap = cur
+			} else if at != nil {
+				snap, _ = at(epoch)
+			}
+		} else {
+			snap = current()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if snap == nil {
+			w.WriteHeader(http.StatusNotFound)
+			_ = json.NewEncoder(w).Encode(map[string]any{"found": false})
+			return
+		}
+		fp := SnapshotFP(snap)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"found":       true,
+			"epoch":       fp.Epoch,
+			"fingerprint": fp.Fingerprint,
+			"views":       fp.Views,
+			"upto":        fp.Upto,
+		})
+	}
+}
+
+// HTTPRemote builds a Remote fetcher polling a peer's /fingerprint debug
+// endpoint. base is the peer's debug address ("host:port" or a full URL).
+func HTTPRemote(base string) func(epoch int64) (FP, bool, error) {
+	if base != "" && !hasScheme(base) {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 2 * time.Second}
+	return func(epoch int64) (FP, bool, error) {
+		u := fmt.Sprintf("%s/fingerprint?epoch=%s", base, url.QueryEscape(strconv.FormatInt(epoch, 10)))
+		resp, err := client.Get(u)
+		if err != nil {
+			return FP{}, false, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			return FP{}, false, nil
+		}
+		if resp.StatusCode != http.StatusOK {
+			return FP{}, false, fmt.Errorf("fingerprint: %s", resp.Status)
+		}
+		var body struct {
+			Found       bool                        `json:"found"`
+			Epoch       int64                       `json:"epoch"`
+			Fingerprint string                      `json:"fingerprint"`
+			Views       map[msg.ViewID]string       `json:"views"`
+			Upto        map[msg.ViewID]msg.UpdateID `json:"upto"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			return FP{}, false, err
+		}
+		if !body.Found {
+			return FP{}, false, nil
+		}
+		return FP{Epoch: body.Epoch, Fingerprint: body.Fingerprint, Views: body.Views, Upto: body.Upto}, true, nil
+	}
+}
+
+func hasScheme(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == ':':
+			return i+2 < len(s) && s[i+1] == '/' && s[i+2] == '/'
+		case s[i] == '/' || s[i] == '?':
+			return false
+		}
+	}
+	return false
+}

@@ -125,6 +125,10 @@ func (in *Integrator) Handle(m any, now int64) []msg.Outbound {
 	if len(ids) == 0 {
 		in.emptyRel.Inc()
 	}
+	// Advance the causal context one hop: the integrator's own events and
+	// everything it forwards are one process hop past the source commit.
+	// Nil when the committing cluster had tracing off.
+	fwd := u.Trace.Next(now)
 	if in.obsp.Tracing() {
 		views := make([]string, len(ids))
 		for i, id := range ids {
@@ -133,7 +137,7 @@ func (in *Integrator) Handle(m any, now int64) []msg.Outbound {
 		in.obsp.Trace(obs.Event{
 			TS: now, Node: in.ID(), Stage: obs.StageRoute,
 			Seq: int64(u.Seq), Views: views,
-		})
+		}.Ctx(fwd))
 	}
 
 	// §3.2 step 3: send RELᵢ to each merge process coordinating a relevant
@@ -150,14 +154,14 @@ func (in *Integrator) Handle(m any, now int64) []msg.Outbound {
 	if in.relayRel {
 		for g := range in.groups {
 			if _, ok := byGroup[g]; !ok {
-				out = append(out, msg.Send(msg.NodeMerge(g), msg.RelevantSet{Seq: u.Seq, CommitAt: u.CommitAt}))
+				out = append(out, msg.Send(msg.NodeMerge(g), msg.RelevantSet{Seq: u.Seq, CommitAt: u.CommitAt, Trace: fwd}))
 			}
 		}
 	}
 	if len(byGroup) == 0 {
 		if in.sendEmptyRel && !in.relayRel {
 			for g := range in.groups {
-				out = append(out, msg.Send(msg.NodeMerge(g), msg.RelevantSet{Seq: u.Seq, CommitAt: u.CommitAt}))
+				out = append(out, msg.Send(msg.NodeMerge(g), msg.RelevantSet{Seq: u.Seq, CommitAt: u.CommitAt, Trace: fwd}))
 			}
 		}
 		sortOutbound(out)
@@ -168,7 +172,7 @@ func (in *Integrator) Handle(m any, now int64) []msg.Outbound {
 	// relevant view.
 	carrier := make(map[msg.ViewID]*msg.RelevantSet)
 	for g, views := range byGroup {
-		rel := msg.RelevantSet{Seq: u.Seq, Views: views, CommitAt: u.CommitAt}
+		rel := msg.RelevantSet{Seq: u.Seq, Views: views, CommitAt: u.CommitAt, Trace: fwd}
 		if in.relayRel {
 			rel := rel
 			carrier[views[0]] = &rel
@@ -184,6 +188,7 @@ func (in *Integrator) Handle(m any, now int64) []msg.Outbound {
 			Writes:   relevant[id],
 			CommitAt: u.CommitAt,
 			Rel:      carrier[id],
+			Trace:    fwd,
 		}))
 	}
 	sortOutbound(out)

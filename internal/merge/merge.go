@@ -126,6 +126,10 @@ type row struct {
 	createdAt int64
 	readyAt   int64
 	unblockAt int64
+	// trace is the causal context carried by this row's RELᵢ (nil when
+	// tracing is off upstream); the submit stage forwards the best context
+	// covering the transaction.
+	trace *obs.TraceCtx
 }
 
 type heldAL struct {
@@ -418,7 +422,7 @@ func (m *Merge) onRelevantSet(rel msg.RelevantSet, now int64) []msg.Outbound {
 		m.obsp.Trace(obs.Event{
 			TS: now, Node: m.ID(), Stage: obs.StageREL,
 			Seq: int64(rel.Seq), Views: viewNames(rel.Views),
-		})
+		}.Ctx(rel.Trace.Next(now)))
 	}
 	if m.algorithm == Forward {
 		return nil
@@ -449,6 +453,7 @@ func (m *Merge) onRelevantSet(rel msg.RelevantSet, now int64) []msg.Outbound {
 		views:     append([]msg.ViewID(nil), rel.Views...),
 		createdAt: now,
 		unblockAt: now,
+		trace:     rel.Trace,
 	}
 	sort.Slice(r.views, func(i, j int) bool { return r.views[i] < r.views[j] })
 	allGray := true
@@ -554,7 +559,7 @@ func (m *Merge) onActionList(al msg.ActionList, now int64) []msg.Outbound {
 			TS: now, Node: m.ID(), Stage: obs.StageALRecv,
 			Seq: int64(al.Upto), View: string(al.View),
 			From: int64(al.From), Upto: int64(al.Upto),
-		})
+		}.Ctx(al.Trace.Next(now)))
 	}
 	h := heldAL{al: al, receivedAt: now}
 	if m.algorithm == Forward {
@@ -749,11 +754,24 @@ func (m *Merge) submitRows(now int64, rows []msg.UpdateID, held []heldAL, _ msg.
 	}
 	m.mo.txns.Inc()
 	m.mo.txnWrites.Observe(int64(len(writes)))
+	// Forward the best causal context covering the transaction: the newest
+	// covered update's, preferring the deepest hop (an action list's context
+	// over its REL's). Nil throughout when tracing is off upstream.
+	var tbase *obs.TraceCtx
+	for _, h := range held {
+		tbase = betterCtx(tbase, h.al.Trace)
+	}
+	for _, i := range rows {
+		if r := m.rows[i]; r != nil {
+			tbase = betterCtx(tbase, r.trace)
+		}
+	}
+	tctx := tbase.Next(now)
 	if m.obsp.Tracing() {
 		m.obsp.Trace(obs.Event{
 			TS: now, Node: m.ID(), Stage: obs.StageSubmit,
 			Rows: seqInts(rows), N: int64(len(writes)),
-		})
+		}.Ctx(tctx))
 	}
 	// CommitAt carries the earliest source commit covered, for freshness
 	// accounting downstream. The minimum is over the rows still present in
@@ -772,11 +790,32 @@ func (m *Merge) submitRows(now int64, rows []msg.UpdateID, held []heldAL, _ msg.
 		Rows:     append([]msg.UpdateID(nil), rows...),
 		Writes:   writes,
 		CommitAt: commitAt,
+		Trace:    tctx,
 	}
 	m.stats.TxnsSubmitted++
 	m.stats.RowsApplied += int64(len(rows))
 	m.emitTrace("apply", 0, "", rows)
 	return m.strategy.Submit(txn, now)
+}
+
+// betterCtx picks the preferred causal context: the one covering the newer
+// source update, and at equal updates the deeper hop. Nil-safe.
+func betterCtx(a, b *obs.TraceCtx) *obs.TraceCtx {
+	switch {
+	case b == nil:
+		return a
+	case a == nil:
+		return b
+	case b.Seq != a.Seq:
+		if b.Seq > a.Seq {
+			return b
+		}
+		return a
+	case b.Hop > a.Hop:
+		return b
+	default:
+		return a
+	}
 }
 
 // mergeDeltas collapses several view writes to the same view into one,

@@ -338,6 +338,7 @@ func (b *Batched) flush() []msg.Outbound {
 		if t.CommitAt < bwt.CommitAt {
 			bwt.CommitAt = t.CommitAt
 		}
+		bwt.Trace = betterCtx(bwt.Trace, t.Trace)
 	}
 	bwt.Writes = mergeDeltas(writes)
 	b.buf = b.buf[:0]

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"whips/internal/expr"
+	"whips/internal/obs"
 	"whips/internal/relation"
 )
 
@@ -88,6 +89,11 @@ type Update struct {
 	// directly, it attaches it to one designated view manager's copy of
 	// the update, and that manager relays it with its action list traffic.
 	Rel *RelevantSet
+	// Trace is the causal trace context stamped at source commit. Nil
+	// unless the committing cluster has tracing enabled; every downstream
+	// message derived from this update forwards it (hop-incremented) so
+	// span chains survive process boundaries.
+	Trace *obs.TraceCtx
 }
 
 // Relations returns the distinct relation names written, sorted.
@@ -110,6 +116,7 @@ type RelevantSet struct {
 	Seq      UpdateID
 	Views    []ViewID
 	CommitAt int64
+	Trace    *obs.TraceCtx // causal context forwarded from the update
 }
 
 // ActionList is ALˣⱼ: the warehouse actions that bring view x into the
@@ -136,6 +143,9 @@ type ActionList struct {
 	// producer has no observability attached. Only meaningful when sender
 	// and receiver share a clock domain.
 	EmittedAt int64
+	// Trace is the causal context of the batch's Upto update (the state
+	// the list brings the view to), hop-incremented by the view manager.
+	Trace *obs.TraceCtx
 }
 
 // String renders AL^view_upto for traces.
@@ -175,7 +185,8 @@ type WarehouseTxn struct {
 	Rows      []UpdateID // VUT rows whose actions this transaction applies
 	Writes    []ViewWrite
 	DependsOn []TxnID
-	CommitAt  int64 // earliest source commit covered (freshness metrics)
+	CommitAt  int64         // earliest source commit covered (freshness metrics)
+	Trace     *obs.TraceCtx // causal context of the newest covered update
 }
 
 // Views returns the distinct views written — VS(WT) in §4.3.
@@ -239,6 +250,7 @@ type ReplSnapshot struct {
 	CommitAt int64
 	Head     int64 // primary's current epoch at send (lag = Head - Epoch)
 	Views    []ReplView
+	Trace    *obs.TraceCtx // causal context of the snapshotted epoch's txn
 }
 
 // ReplWrite is one view's change inside a ReplEpoch. Delta is always the
@@ -260,6 +272,11 @@ type ReplEpoch struct {
 	CommitAt int64
 	Head     int64 // primary's current epoch at send
 	Writes   []ReplWrite
+	// Rows are the VUT rows (source update IDs) the epoch's txn applied —
+	// carried so follower-side trace events can be joined back to per-seq
+	// span chains. Nil when the primary has tracing off.
+	Rows  []UpdateID
+	Trace *obs.TraceCtx // causal context of the epoch's txn
 }
 
 // QueryCurrent, as a QueryRequest.AsOf value, asks for the sources'

@@ -1,0 +1,219 @@
+// Trace collection across process boundaries: a Collector accepts TCP
+// connections carrying one JSON trace event per line (the JSONLSink wire
+// format) and fans the decoded events into local sinks, and a RemoteSink
+// is the client half — a tracer sink that streams a node's events to a
+// collector address, reconnecting with backoff and dropping events rather
+// than ever blocking the pipeline.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"sync"
+	"time"
+)
+
+// Collector is a TCP server aggregating JSONL trace streams from many
+// nodes into local sinks.
+type Collector struct {
+	ln    net.Listener
+	sinks []func(Event)
+
+	mu       sync.Mutex
+	closed   bool
+	conns    map[net.Conn]struct{}
+	received int64
+
+	wg sync.WaitGroup
+}
+
+// NewCollector listens on addr (host:port, ":0" for ephemeral) and decodes
+// incoming event lines into the given sinks. Malformed lines are skipped.
+func NewCollector(addr string, sinks ...func(Event)) (*Collector, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collector{ln: ln, sinks: sinks, conns: map[net.Conn]struct{}{}}
+	c.wg.Add(1)
+	go c.serve()
+	return c, nil
+}
+
+// Addr returns the bound listen address.
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+// Received returns the number of events decoded so far.
+func (c *Collector) Received() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.received
+}
+
+// Close stops accepting, closes every live connection and waits for the
+// handler goroutines to drain.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for conn := range c.conns {
+		_ = conn.Close()
+	}
+	c.mu.Unlock()
+	err := c.ln.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Collector) serve() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		c.conns[conn] = struct{}{}
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.handle(conn)
+	}
+}
+
+func (c *Collector) handle(conn net.Conn) {
+	defer c.wg.Done()
+	defer func() {
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+		_ = conn.Close()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue
+		}
+		c.mu.Lock()
+		c.received++
+		c.mu.Unlock()
+		for _, s := range c.sinks {
+			s(e)
+		}
+	}
+}
+
+// RemoteSink streams trace events to a Collector address. Events are
+// buffered in a bounded channel and shipped by a background goroutine that
+// dials lazily and reconnects with backoff; when the buffer is full or the
+// collector is unreachable, events are dropped (Dropped counts them) —
+// tracing must never block or slow the pipeline.
+type RemoteSink struct {
+	addr string
+	ch   chan Event
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu    sync.Mutex
+	nDrop int64
+}
+
+// NewRemoteSink builds a sink shipping to addr with the given buffer size
+// (minimum 16).
+func NewRemoteSink(addr string, buffer int) *RemoteSink {
+	if buffer < 16 {
+		buffer = 16
+	}
+	r := &RemoteSink{addr: addr, ch: make(chan Event, buffer), done: make(chan struct{})}
+	r.wg.Add(1)
+	go r.run()
+	return r
+}
+
+// Sink returns the function to register with NewTracer.
+func (r *RemoteSink) Sink() func(Event) {
+	return func(e Event) {
+		select {
+		case r.ch <- e:
+		default:
+			r.mu.Lock()
+			r.nDrop++
+			r.mu.Unlock()
+		}
+	}
+}
+
+// Dropped returns how many events were discarded (buffer full or send
+// failure mid-flight).
+func (r *RemoteSink) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nDrop
+}
+
+// Close stops the shipper goroutine after draining what it can.
+func (r *RemoteSink) Close() {
+	close(r.done)
+	r.wg.Wait()
+}
+
+func (r *RemoteSink) run() {
+	defer r.wg.Done()
+	var conn net.Conn
+	var enc *json.Encoder
+	backoff := 50 * time.Millisecond
+	defer func() {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}()
+	for {
+		var e Event
+		select {
+		case <-r.done:
+			return
+		case e = <-r.ch:
+		}
+		if conn == nil {
+			c, err := net.DialTimeout("tcp", r.addr, time.Second)
+			if err != nil {
+				r.mu.Lock()
+				r.nDrop++
+				r.mu.Unlock()
+				select {
+				case <-r.done:
+					return
+				case <-time.After(backoff):
+				}
+				if backoff < 2*time.Second {
+					backoff *= 2
+				}
+				continue
+			}
+			conn, enc = c, json.NewEncoder(c)
+			backoff = 50 * time.Millisecond
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+		if err := enc.Encode(e); err != nil {
+			_ = conn.Close()
+			conn, enc = nil, nil
+			r.mu.Lock()
+			r.nDrop++
+			r.mu.Unlock()
+		}
+	}
+}

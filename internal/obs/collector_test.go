@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingSinkSince(t *testing.T) {
+	r := NewRingSink(3)
+	sink := r.Sink()
+	for i := 1; i <= 5; i++ {
+		sink(Event{Seq: int64(i)})
+	}
+	// Capacity 3, 5 appended: retention is [2,5); a stale cursor clamps.
+	events, next := r.Since(0)
+	if next != 5 || len(events) != 3 || events[0].Seq != 3 || events[2].Seq != 5 {
+		t.Fatalf("Since(0) = %d events next=%d (first=%v)", len(events), next, events)
+	}
+	// A caught-up cursor yields nothing and keeps its position.
+	if events, next = r.Since(5); len(events) != 0 || next != 5 {
+		t.Fatalf("Since(5) = %d events next=%d, want 0/5", len(events), next)
+	}
+	sink(Event{Seq: 6})
+	if events, next = r.Since(5); len(events) != 1 || events[0].Seq != 6 || next != 6 {
+		t.Fatalf("incremental poll = %v next=%d", events, next)
+	}
+	if r.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", r.Total())
+	}
+}
+
+// TestCollectorAggregatesStreams is the cross-process collection path under
+// -race: several remote sinks ship concurrently into one collector, and
+// every event must arrive exactly once.
+func TestCollectorAggregatesStreams(t *testing.T) {
+	ring := NewRingSink(4096)
+	c, err := NewCollector("127.0.0.1:0", ring.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const senders, perSender = 4, 50
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rs := NewRemoteSink(c.Addr(), 256)
+			defer rs.Close()
+			sink := rs.Sink()
+			for i := 0; i < perSender; i++ {
+				sink(Event{Node: "n", Stage: StageCommit, Seq: int64(s*perSender + i + 1)})
+			}
+			// The shipper drains asynchronously; wait for it before Close.
+			deadline := time.Now().Add(5 * time.Second)
+			for c.Received() < senders*perSender && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got := c.Received(); got != senders*perSender {
+		t.Fatalf("collector received %d events, want %d (dropped?)", got, senders*perSender)
+	}
+	events, _ := ring.Since(0)
+	seen := map[int64]bool{}
+	for _, e := range events {
+		if seen[e.Seq] {
+			t.Fatalf("seq %d delivered twice", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+	if len(seen) != senders*perSender {
+		t.Fatalf("ring holds %d distinct seqs, want %d", len(seen), senders*perSender)
+	}
+}
+
+// TestRemoteSinkNeverBlocks: with no collector listening, emitting far more
+// events than the buffer holds must neither block nor panic — tracing can
+// only ever drop, not stall the pipeline.
+func TestRemoteSinkNeverBlocks(t *testing.T) {
+	rs := NewRemoteSink("127.0.0.1:1", 16) // nothing listens on port 1
+	sink := rs.Sink()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10_000; i++ {
+			sink(Event{Seq: int64(i)})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("emitting with an unreachable collector blocked")
+	}
+	rs.Close()
+	if rs.Dropped() == 0 {
+		t.Fatal("unreachable collector dropped nothing")
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := int64(7)
+	r.GaugeFunc("age_ms", func() int64 { return v }, "follower", "f0")
+	if got := r.Snapshot().Gauges[`age_ms{follower="f0"}`]; got != 7 {
+		t.Fatalf("computed gauge = %d, want 7", got)
+	}
+	v = 42 // evaluated at scrape, not registration
+	if got := r.Snapshot().Gauges[`age_ms{follower="f0"}`]; got != 42 {
+		t.Fatalf("computed gauge after change = %d, want 42", got)
+	}
+}

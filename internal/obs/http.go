@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -27,6 +28,13 @@ type DebugServer struct {
 	// Query, when set, serves /query — the host binary supplies a handler
 	// that evaluates ad-hoc queries against its warehouse snapshots.
 	Query http.HandlerFunc
+	// Trace, when set, serves /trace: the node's retained trace events as
+	// {"events":[...],"next":N}, with ?since=N for incremental polling.
+	Trace *RingSink
+	// Fingerprint, when set, serves /fingerprint — the host binary supplies
+	// a handler returning the served snapshot's consistency fingerprint
+	// (per-view, for witness minimization), with ?epoch=N for history.
+	Fingerprint http.HandlerFunc
 
 	start time.Time
 }
@@ -72,6 +80,32 @@ func NewDebugMux(cfg DebugServer) *http.ServeMux {
 	})
 	if cfg.Query != nil {
 		mux.HandleFunc("/query", cfg.Query)
+	}
+	if cfg.Trace != nil {
+		ring := cfg.Trace
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			var since int64
+			if v := r.URL.Query().Get("since"); v != "" {
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					http.Error(w, "bad since", http.StatusBadRequest)
+					return
+				}
+				since = n
+			}
+			events, next := ring.Since(since)
+			if events == nil {
+				events = []Event{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"events": events,
+				"next":   next,
+			})
+		})
+	}
+	if cfg.Fingerprint != nil {
+		mux.HandleFunc("/fingerprint", cfg.Fingerprint)
 	}
 	if cfg.VUT != nil {
 		mux.HandleFunc("/debug/vut", func(w http.ResponseWriter, r *http.Request) {

@@ -205,6 +205,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
 	hists    map[string]*Histogram
 }
 
@@ -213,6 +214,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() int64),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -272,6 +274,21 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 	return g
 }
 
+// GaugeFunc registers a gauge whose value is computed at scrape time by
+// calling fn — for values like "age since last apply" that would go stale
+// in a stored gauge. Re-registering the same name replaces the function.
+// Nil-safe: a nil registry ignores the registration. fn must be safe to
+// call from any goroutine.
+func (r *Registry) GaugeFunc(name string, fn func() int64, labels ...string) {
+	if r == nil || fn == nil {
+		return
+	}
+	key := fullName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[key] = fn
+}
+
 // Histogram returns the named histogram, creating it with the given
 // bucket bounds on first use. Bounds must be sorted ascending.
 func (r *Registry) Histogram(name string, bounds []int64, labels ...string) *Histogram {
@@ -321,6 +338,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.gauges {
 		gauges[k] = v
 	}
+	gaugeFns := make(map[string]func() int64, len(r.gaugeFns))
+	for k, v := range r.gaugeFns {
+		gaugeFns[k] = v
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for k, v := range r.hists {
 		hists[k] = v
@@ -331,6 +352,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, v := range gauges {
 		s.Gauges[k] = v.Value()
+	}
+	for k, fn := range gaugeFns {
+		s.Gauges[k] = fn()
 	}
 	for k, v := range hists {
 		s.Histograms[k] = v.Snapshot()

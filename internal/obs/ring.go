@@ -1,0 +1,63 @@
+package obs
+
+import "sync"
+
+// RingSink retains the most recent trace events in a bounded ring and
+// serves them by absolute cursor, so scrapers (the /trace debug endpoint,
+// cmd/mvcstat) can poll incrementally with ?since=N and never re-read
+// events they already saw. Older events are overwritten silently; the
+// cursor jump in the response tells the scraper how many it missed.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Event
+	cap   int
+	total int64 // events ever appended; buf holds [total-len(buf), total)
+}
+
+// NewRingSink builds a ring retaining up to capacity events (minimum 1).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Event, 0, capacity), cap: capacity}
+}
+
+// Sink returns the function to register with NewTracer.
+func (r *RingSink) Sink() func(Event) {
+	return func(e Event) {
+		r.mu.Lock()
+		if len(r.buf) == r.cap {
+			copy(r.buf, r.buf[1:])
+			r.buf[len(r.buf)-1] = e
+		} else {
+			r.buf = append(r.buf, e)
+		}
+		r.total++
+		r.mu.Unlock()
+	}
+}
+
+// Since returns every retained event with absolute index >= cursor, plus
+// the cursor to pass next time. A cursor older than the retention window is
+// clamped to the oldest retained event; a cursor at or past the newest
+// returns an empty slice.
+func (r *RingSink) Since(cursor int64) ([]Event, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	base := r.total - int64(len(r.buf))
+	if cursor < base {
+		cursor = base
+	}
+	if cursor >= r.total {
+		return nil, r.total
+	}
+	out := append([]Event(nil), r.buf[cursor-base:]...)
+	return out, r.total
+}
+
+// Total returns the number of events ever appended.
+func (r *RingSink) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

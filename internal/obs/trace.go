@@ -18,14 +18,73 @@ import (
 // complete chain visits every one of these at least once (an update
 // relevant to no view stops after "route").
 const (
-	StageCommit   = "commit"    // source cluster committed the transaction
-	StageRoute    = "route"     // integrator fanned the REL out
-	StageAL       = "al"        // view manager emitted an action list
-	StageREL      = "rel"       // merge received the relevant set (VUT row born)
-	StageALRecv   = "al_recv"   // merge received an action list
-	StageSubmit   = "submit"    // merge submitted VUT rows as a warehouse txn
-	StageWHCommit = "wh_commit" // warehouse atomically applied the txn
+	StageCommit      = "commit"     // source cluster committed the transaction
+	StageRoute       = "route"      // integrator fanned the REL out
+	StageAL          = "al"         // view manager emitted an action list
+	StageREL         = "rel"        // merge received the relevant set (VUT row born)
+	StageALRecv      = "al_recv"    // merge received an action list
+	StageSubmit      = "submit"     // merge submitted VUT rows as a warehouse txn
+	StageWHCommit    = "wh_commit"  // warehouse atomically applied the txn
+	StageReplPublish = "repl_pub"   // warehouse recorded the epoch for replication
+	StageReplApply   = "repl_apply" // a follower replica applied the epoch
+	StageReplSnap    = "repl_snap"  // a follower installed a full checkpoint
 )
+
+// stageRank orders stages causally within one hop for sorting span chains;
+// unknown stages sort last.
+func stageRank(stage string) int {
+	switch stage {
+	case StageCommit:
+		return 0
+	case StageRoute:
+		return 1
+	case StageAL:
+		return 2
+	case StageREL:
+		return 3
+	case StageALRecv:
+		return 4
+	case StageSubmit:
+		return 5
+	case StageWHCommit:
+		return 6
+	case StageReplPublish:
+		return 7
+	case StageReplSnap:
+		return 8
+	case StageReplApply:
+		return 9
+	default:
+		return 100
+	}
+}
+
+// TraceCtx is the compact causal context carried inside wire frames so a
+// span chain survives process hops. Origin and Seq identify the source
+// commit the downstream work descends from; Hop counts process/stage hops
+// since the commit, so events can be causally ordered even when the
+// emitting nodes' clocks disagree. CommitTS is the origin's commit stamp
+// and SentAt the sender's clock at the last hop — both only comparable
+// within one clock domain.
+type TraceCtx struct {
+	Origin   string `json:"origin"`
+	Seq      int64  `json:"seq"`
+	Hop      int64  `json:"hop"`
+	CommitTS int64  `json:"commit_ts"`
+	SentAt   int64  `json:"sent_at"`
+}
+
+// Next returns a copy advanced one hop, stamped with the sender's clock.
+// Nil-safe: forwarding a nil context yields nil.
+func (c *TraceCtx) Next(now int64) *TraceCtx {
+	if c == nil {
+		return nil
+	}
+	n := *c
+	n.Hop++
+	n.SentAt = now
+	return &n
+}
 
 // Event is one trace record. Seq carries the causal trace ID where a
 // single update is concerned; Rows carries the full set of update IDs for
@@ -34,17 +93,30 @@ const (
 // internal/sim), so cross-stage deltas are only meaningful within one
 // clock domain.
 type Event struct {
-	TS    int64    `json:"ts"`
-	Node  string   `json:"node"`
-	Stage string   `json:"stage"`
-	Seq   int64    `json:"seq,omitempty"`
-	View  string   `json:"view,omitempty"`
-	From  int64    `json:"from,omitempty"`
-	Upto  int64    `json:"upto,omitempty"`
-	Txn   int64    `json:"txn,omitempty"`
-	Rows  []int64  `json:"rows,omitempty"`
-	Views []string `json:"views,omitempty"`
-	N     int64    `json:"n,omitempty"` // stage-specific size (writes, delta tuples, batch len)
+	TS     int64    `json:"ts"`
+	Node   string   `json:"node"`
+	Stage  string   `json:"stage"`
+	Seq    int64    `json:"seq,omitempty"`
+	View   string   `json:"view,omitempty"`
+	From   int64    `json:"from,omitempty"`
+	Upto   int64    `json:"upto,omitempty"`
+	Txn    int64    `json:"txn,omitempty"`
+	Rows   []int64  `json:"rows,omitempty"`
+	Views  []string `json:"views,omitempty"`
+	N      int64    `json:"n,omitempty"`      // stage-specific size (writes, delta tuples, batch len)
+	Origin string   `json:"origin,omitempty"` // TraceCtx: node that committed the source update
+	Hop    int64    `json:"hop,omitempty"`    // TraceCtx: hops since the source commit
+	Epoch  int64    `json:"epoch,omitempty"`  // warehouse/replica epoch (replication stages)
+}
+
+// Ctx stamps the event with a trace context's origin and hop. Nil-safe;
+// returns the event for literal-style chaining.
+func (e Event) Ctx(c *TraceCtx) Event {
+	if c != nil {
+		e.Origin = c.Origin
+		e.Hop = c.Hop
+	}
+	return e
 }
 
 // Tracer serializes events to one or more sinks. Emit takes a mutex —
@@ -101,9 +173,22 @@ func (m *MemorySink) Events() []Event {
 }
 
 // Chains groups events by update ID. Batch-scoped events (submit,
-// wh_commit) are attributed to every update ID in Rows. Events with
-// neither Seq nor Rows are dropped. Each chain keeps arrival order.
+// wh_commit, repl_pub) are attributed to every update ID in Rows. Events
+// carrying only a Txn (follower repl_apply — the follower never learns the
+// row set) are joined through any event that saw both the Txn and its Rows.
+// Events with neither Seq, Rows nor a joinable Txn are dropped. Each chain
+// is sorted causally — by hop, then pipeline stage rank, arrival order as
+// the tiebreak — so chains assembled from multiple processes with
+// disagreeing clocks still read in causal order.
 func Chains(events []Event) map[int64][]Event {
+	txnRows := map[int64][]int64{}
+	for _, e := range events {
+		if e.Txn != 0 && len(e.Rows) > 0 {
+			if _, ok := txnRows[e.Txn]; !ok {
+				txnRows[e.Txn] = e.Rows
+			}
+		}
+	}
 	out := map[int64][]Event{}
 	for _, e := range events {
 		switch {
@@ -113,18 +198,39 @@ func Chains(events []Event) map[int64][]Event {
 			}
 		case e.Seq != 0:
 			out[e.Seq] = append(out[e.Seq], e)
+		case e.Txn != 0:
+			for _, seq := range txnRows[e.Txn] {
+				out[seq] = append(out[seq], e)
+			}
 		}
+	}
+	for _, chain := range out {
+		sortCausal(chain)
 	}
 	return out
 }
 
+// sortCausal orders a chain by (hop, stage rank), keeping arrival order for
+// ties. Events without a trace context (Hop 0) still order correctly: the
+// stage rank alone is causal within one process.
+func sortCausal(chain []Event) {
+	sort.SliceStable(chain, func(i, j int) bool {
+		if chain[i].Hop != chain[j].Hop {
+			return chain[i].Hop < chain[j].Hop
+		}
+		return stageRank(chain[i].Stage) < stageRank(chain[j].Stage)
+	})
+}
+
 // Span is one update's end-to-end timing.
 type Span struct {
-	Seq       int64 `json:"seq"`
-	CommitTS  int64 `json:"commit_ts"`
-	AppliedTS int64 `json:"applied_ts"`
-	Freshness int64 `json:"freshness"` // AppliedTS - CommitTS
-	Complete  bool  `json:"complete"`  // saw every stage commit..wh_commit
+	Seq         int64 `json:"seq"`
+	CommitTS    int64 `json:"commit_ts"`
+	AppliedTS   int64 `json:"applied_ts"`
+	Freshness   int64 `json:"freshness"`              // AppliedTS - CommitTS
+	Complete    bool  `json:"complete"`               // saw every stage commit..wh_commit
+	ReplApplied bool  `json:"repl_applied,omitempty"` // a follower applied the containing epoch
+	MaxHop      int64 `json:"max_hop,omitempty"`      // deepest TraceCtx hop seen in the chain
 }
 
 // EndToEnd computes per-update spans from a trace. An update counts as
@@ -146,6 +252,9 @@ func EndToEnd(events []Event) []Span {
 		stages := map[string]bool{}
 		for _, e := range chains[seq] {
 			stages[e.Stage] = true
+			if e.Hop > sp.MaxHop {
+				sp.MaxHop = e.Hop
+			}
 			switch e.Stage {
 			case StageCommit:
 				sp.CommitTS = e.TS
@@ -155,6 +264,7 @@ func EndToEnd(events []Event) []Span {
 				}
 			}
 		}
+		sp.ReplApplied = stages[StageReplApply]
 		if sp.AppliedTS >= 0 {
 			sp.Freshness = sp.AppliedTS - sp.CommitTS
 		}
@@ -206,6 +316,49 @@ func Summarize(spans []Span) FreshnessSummary {
 func (s FreshnessSummary) String() string {
 	return fmt.Sprintf("traced %d updates (%d complete chains): freshness mean=%s p50=%s p95=%s max=%s",
 		s.Updates, s.Complete, ns(s.Mean), ns(s.P50), ns(s.P95), ns(s.Max))
+}
+
+// PromptnessGaps recomputes the §4.4 promptness gap per update from raw
+// trace events: the time between the moment the merge process held
+// everything it needed for an update (its relevant set and the last action
+// list covering it) and the moment it submitted the containing warehouse
+// txn. Only events emitted by the submitting node count, so every delta is
+// within one clock domain. Updates without a submit are skipped.
+func PromptnessGaps(events []Event) map[int64]int64 {
+	out := map[int64]int64{}
+	for seq, chain := range Chains(events) {
+		var submitTS int64 = -1
+		var submitNode string
+		for _, e := range chain {
+			if e.Stage == StageSubmit {
+				submitTS, submitNode = e.TS, e.Node
+				break
+			}
+		}
+		if submitTS < 0 {
+			continue
+		}
+		var ready int64 = -1
+		for _, e := range chain {
+			if e.Node != submitNode {
+				continue
+			}
+			if e.Stage == StageREL || e.Stage == StageALRecv {
+				if e.TS > ready {
+					ready = e.TS
+				}
+			}
+		}
+		if ready < 0 {
+			continue
+		}
+		gap := submitTS - ready
+		if gap < 0 {
+			gap = 0
+		}
+		out[seq] = gap
+	}
+	return out
 }
 
 func ns(v int64) string {

@@ -1,0 +1,61 @@
+package repl
+
+import (
+	"encoding/gob"
+	"io"
+	"testing"
+
+	"whips/internal/warehouse"
+)
+
+// TestFingerprintCanonical pins the fingerprint to a golden value. The
+// cross-process audit compares fingerprints computed by different OS
+// processes, so the encoding must depend only on the snapshot's logical
+// content — never on what else the process happens to have encoded. The
+// original gob-based fingerprint failed exactly this way: gob numbers wire
+// types from a process-global counter, so a primary (which gob-encodes the
+// whole replication protocol) and a follower hashed identical states to
+// different bytes, and every live audit check "failed". A golden hash makes
+// any drift back toward process-dependent encoding an immediate test break.
+func TestFingerprintCanonical(t *testing.T) {
+	build := func() *warehouse.Snapshot {
+		w := warehouse.New(initialViews(), warehouse.WithStateLog())
+		for i := 1; i <= 3; i++ {
+			commit(w, i, i*10)
+		}
+		return w.Snapshot()
+	}
+	const golden = "47b83d656fb6601839a65604ff6e141bee162a94384a3ae9b1739cf417e153a4"
+
+	if got := Fingerprint(build()); got != golden {
+		t.Fatalf("Fingerprint = %s, want %s", got, golden)
+	}
+
+	// Poison the process-global gob type registry with types this test
+	// invented, as another protocol stack running in the same process
+	// would. The fingerprint of an identical snapshot must not move.
+	type poisonA struct{ X, Y int64 }
+	type poisonB struct {
+		S []string
+		M map[string]poisonA
+	}
+	enc := gob.NewEncoder(io.Discard)
+	if err := enc.Encode(poisonA{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(poisonB{S: []string{"p"}, M: map[string]poisonA{"k": {3, 4}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := Fingerprint(build()); got != golden {
+		t.Fatalf("Fingerprint after gob registry growth = %s, want %s (encoding leaked process state)", got, golden)
+	}
+
+	// Per-view hashes feed witness minimization across processes too.
+	va := FingerprintViews(build())
+	vb := FingerprintViews(build())
+	for id, h := range va {
+		if vb[id] != h {
+			t.Fatalf("FingerprintViews unstable for %s: %s vs %s", id, h, vb[id])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package repl
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"sync/atomic"
@@ -44,6 +45,13 @@ type Follower struct {
 	stop chan struct{}
 	done chan struct{}
 
+	// lastApply is the wall-clock (UnixNano) of the most recent applied
+	// frame. repl_epoch_lag alone freezes at its last healthy value when the
+	// stream stalls (nothing applies, so nothing updates the gauge); the
+	// scrape-time repl_last_apply_age_ms derived from lastApply keeps
+	// growing, and Healthy() gates /healthz on it.
+	lastApply atomic.Int64
+
 	lagG          *obs.Gauge
 	epochsApplied *obs.Counter
 	snapsApplied  *obs.Counter
@@ -64,6 +72,13 @@ func NewFollower(cfg FollowerConfig) *Follower {
 		f.epochsApplied = r.Counter("repl_epochs_applied_total", l...)
 		f.snapsApplied = r.Counter("repl_snapshots_applied_total", l...)
 		f.resubscribes = r.Counter("repl_resubscribes_total", l...)
+		r.GaugeFunc("repl_last_apply_age_ms", func() int64 {
+			age := f.LastApplyAge()
+			if age < 0 {
+				return -1 // nothing applied yet
+			}
+			return age.Milliseconds()
+		}, l...)
 	}
 	go f.run()
 	return f
@@ -166,6 +181,13 @@ func (f *Follower) deliver(sess *wire.Session, resubscribing *atomic.Bool, m any
 		f.cfg.Replica.Install(e)
 		f.snapsApplied.Inc()
 		f.observe(e.Epoch, e.Head)
+		if f.cfg.Obs.Tracing() {
+			now := time.Now().UnixNano()
+			f.cfg.Obs.Trace(obs.Event{
+				TS: now, Node: f.cfg.Name, Stage: obs.StageReplSnap,
+				Epoch: e.Epoch,
+			}.Ctx(e.Trace.Next(now)))
+		}
 		f.logf("repl: %s: installed checkpoint epoch %d (head %d)", f.cfg.Name, e.Epoch, e.Head)
 	case msg.ReplEpoch:
 		if resubscribing.Load() {
@@ -182,6 +204,17 @@ func (f *Follower) deliver(sess *wire.Session, resubscribing *atomic.Bool, m any
 		}
 		f.epochsApplied.Inc()
 		f.observe(f.cfg.Replica.Epoch(), e.Head)
+		if f.cfg.Obs.Tracing() {
+			now := time.Now().UnixNano()
+			rows := make([]int64, len(e.Rows))
+			for i, r := range e.Rows {
+				rows[i] = int64(r)
+			}
+			f.cfg.Obs.Trace(obs.Event{
+				TS: now, Node: f.cfg.Name, Stage: obs.StageReplApply,
+				Txn: int64(e.Txn), Rows: rows, Epoch: e.Epoch,
+			}.Ctx(e.Trace.Next(now)))
+		}
 	default:
 		f.logf("repl: %s: ignoring %T from primary", f.cfg.Name, m)
 	}
@@ -195,7 +228,34 @@ func (f *Follower) observe(applied, head int64) {
 		lag = 0
 	}
 	f.lagG.Set(lag)
+	f.lastApply.Store(time.Now().UnixNano())
 	if f.cfg.OnApply != nil {
 		f.cfg.OnApply(applied, head)
 	}
+}
+
+// LastApplyAge returns the wall-clock time since the last applied frame,
+// or a negative duration when no frame has ever applied.
+func (f *Follower) LastApplyAge() time.Duration {
+	last := f.lastApply.Load()
+	if last == 0 {
+		return -1
+	}
+	return time.Duration(time.Now().UnixNano() - last)
+}
+
+// Healthy reports whether the follower both serves reads and has applied a
+// frame within staleAfter. A zero (or negative) staleAfter disables the
+// staleness check — idle primaries legitimately stop producing epochs, so
+// the threshold is an explicit deployment decision (whipsnode -stale-after).
+func (f *Follower) Healthy(staleAfter time.Duration) (string, bool) {
+	if !f.Ready() {
+		return "catching up", false
+	}
+	if staleAfter > 0 {
+		if age := f.LastApplyAge(); age > staleAfter {
+			return fmt.Sprintf("stale: no apply for %v", age.Round(time.Millisecond)), false
+		}
+	}
+	return "serving", true
 }

@@ -24,7 +24,6 @@ package repl
 
 import (
 	"crypto/sha256"
-	"encoding/gob"
 	"encoding/hex"
 	"fmt"
 	"io"
@@ -34,6 +33,7 @@ import (
 
 	"whips/internal/msg"
 	"whips/internal/obs"
+	"whips/internal/relation"
 	"whips/internal/warehouse"
 	"whips/internal/wire"
 )
@@ -309,21 +309,59 @@ func (p *Primary) Close() error {
 	return nil
 }
 
+// hashRelation writes a canonical byte encoding of the relation to h:
+// schema attributes in order, then every (tuple, count) entry in sorted
+// order using the injective Tuple.Key encoding. The encoding depends only
+// on the relation's logical content, never on process history — gob, by
+// contrast, numbers wire types from a process-global counter, so two
+// processes gob-encode the same relation to different bytes. The audit
+// compares fingerprints across OS processes, which is what forced the
+// canonical encoding here.
+func hashRelation(h io.Writer, rel *relation.Relation) {
+	sch := rel.Schema()
+	fmt.Fprintf(h, "schema=%d\n", sch.Len())
+	for i := 0; i < sch.Len(); i++ {
+		a := sch.Attr(i)
+		fmt.Fprintf(h, "attr=%q kind=%d\n", a.Name, uint8(a.Type))
+	}
+	rel.EachSorted(func(t relation.Tuple, n int64) bool {
+		k := t.Key()
+		fmt.Fprintf(h, "t=%d:", len(k))
+		io.WriteString(h, k)
+		fmt.Fprintf(h, " n=%d\n", n)
+		return true
+	})
+}
+
 // Fingerprint hashes a snapshot's full observable state — epoch, commit
-// metadata, and every view's deterministic wire encoding — so two
-// byte-identical epochs (and only those) fingerprint equal. The
-// replication consistency judge compares primary and follower epochs with
+// metadata, and every view's canonical encoding — so two logically
+// identical epochs (and only those) fingerprint equal, no matter which
+// process computes the hash. The replication consistency judge and the
+// cross-process MVC audit both compare primary and follower epochs with
 // it.
 func Fingerprint(s *warehouse.Snapshot) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "epoch=%d txn=%d commit=%d\n", s.Epoch, s.Txn, s.CommitAt)
-	enc := gob.NewEncoder(h)
 	for _, id := range s.Views() {
 		rel, _ := s.Relation(id)
 		fmt.Fprintf(h, "view=%q upto=%d\n", id, s.Upto(id))
-		if err := enc.Encode(wire.EncodeRelation(rel)); err != nil {
-			panic(fmt.Sprintf("repl: fingerprint encode: %v", err))
-		}
+		hashRelation(h, rel)
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FingerprintViews hashes each view independently (same per-view encoding as
+// Fingerprint). When a whole-epoch fingerprint mismatch is detected, the
+// auditor diffs the two per-view maps to minimize the witness down to the
+// specific diverged views instead of just "epoch E differs".
+func FingerprintViews(s *warehouse.Snapshot) map[msg.ViewID]string {
+	out := make(map[msg.ViewID]string, len(s.Views()))
+	for _, id := range s.Views() {
+		h := sha256.New()
+		rel, _ := s.Relation(id)
+		fmt.Fprintf(h, "view=%q upto=%d\n", id, s.Upto(id))
+		hashRelation(h, rel)
+		out[id] = hex.EncodeToString(h.Sum(nil))
+	}
+	return out
 }

@@ -1,0 +1,164 @@
+package repl
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"whips/internal/msg"
+	"whips/internal/obs"
+	"whips/internal/relation"
+	"whips/internal/warehouse"
+	"whips/internal/wire"
+)
+
+// commitTraced drives one maintenance transaction through the warehouse
+// carrying a trace context stamped at source commit (hop 0), emitting the
+// synthetic source-side commit event the integrator would in a full fleet.
+func commitTraced(pp *obs.Pipeline, w *warehouse.Warehouse, id, val int) {
+	now := time.Now().UnixNano()
+	tctx := &obs.TraceCtx{Origin: "cluster", Seq: int64(id), CommitTS: now, SentAt: now}
+	pp.Trace(obs.Event{TS: now, Node: "cluster", Stage: obs.StageCommit, Seq: int64(id)}.Ctx(tctx))
+	w.Handle(msg.SubmitTxn{
+		Txn: msg.WarehouseTxn{
+			ID:   msg.TxnID(id),
+			Rows: []msg.UpdateID{msg.UpdateID(id)},
+			Writes: []msg.ViewWrite{
+				{View: "V1", Upto: msg.UpdateID(id), Delta: relation.InsertDelta(vSchema, relation.T(val))},
+				{View: "V2", Upto: msg.UpdateID(id), Delta: relation.InsertDelta(vSchema, relation.T(-val))},
+			},
+			CommitAt: now,
+			Trace:    tctx,
+		},
+		From: "merge:0",
+	}, now)
+}
+
+// TestSpanChainAcrossReplication is the cross-process causal-tracing check:
+// a primary and a follower run in separate runtimes connected only by the
+// replication TCP stream, each with its own tracer, and every committed Seq
+// must still assemble into one causally-ordered span chain that ends with
+// the follower's repl_apply — proving the TraceCtx survives the wire and
+// the hop counter orders events across disagreeing clocks.
+func TestSpanChainAcrossReplication(t *testing.T) {
+	const updates = 25
+	mem := &obs.MemorySink{}
+
+	// Primary side: its own pipeline, as in one OS process.
+	pp := obs.NewPipeline()
+	pp.Tracer = obs.NewTracer(mem.Sink())
+	tp := &testPrimary{}
+	tp.w = warehouse.New(initialViews(), warehouse.WithStateLog(), warehouse.WithObs(pp),
+		warehouse.WithReplFeed(64, func(e msg.ReplEpoch) { tp.p.OnCommit(e) }))
+	tp.p = NewPrimary(PrimaryConfig{Warehouse: tp.w, Logf: t.Logf})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.ln = ln
+	go tp.p.Serve(ln)
+	t.Cleanup(func() { ln.Close(); tp.p.Close() })
+
+	// Follower side: a second pipeline, as in another OS process. The
+	// shared MemorySink plays the trace collector.
+	fpipe := obs.NewPipeline()
+	fpipe.Tracer = obs.NewTracer(mem.Sink())
+	rep := warehouse.NewReplica()
+	f := NewFollower(FollowerConfig{
+		Name:    "f0",
+		Dial:    dialer(tp.addr()),
+		Replica: rep,
+		Backoff: wire.Backoff{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond, Seed: 1},
+		Obs:     fpipe,
+		Logf:    t.Logf,
+	})
+	t.Cleanup(func() { f.Close() })
+
+	// Wait out the join handshake (checkpoint at epoch 0) so every traced
+	// commit streams as a live epoch and produces its own follower apply.
+	waitFor(t, 5*time.Second, "follower join", rep.Ready)
+	for i := 1; i <= updates; i++ {
+		commitTraced(pp, tp.w, i, i*10)
+	}
+	waitFor(t, 10*time.Second, "follower catch-up", func() bool {
+		return rep.Epoch() == updates
+	})
+	// The follower's apply events race the epoch counter; wait for the
+	// trace to contain every repl_apply before judging.
+	waitFor(t, 10*time.Second, "trace completeness", func() bool {
+		n := 0
+		for _, e := range mem.Events() {
+			if e.Stage == obs.StageReplApply {
+				n++
+			}
+		}
+		return n >= updates
+	})
+
+	chains := obs.Chains(mem.Events())
+	spans := obs.EndToEnd(mem.Events())
+	if len(spans) != updates {
+		t.Fatalf("traced %d updates, want %d", len(spans), updates)
+	}
+	for _, sp := range spans {
+		if !sp.ReplApplied {
+			t.Errorf("seq %d: span never reached a follower apply", sp.Seq)
+		}
+		chain := chains[sp.Seq]
+		if len(chain) == 0 {
+			t.Fatalf("seq %d: no chain", sp.Seq)
+		}
+		// Causal order: the chain must start at the source commit and end
+		// at the follower apply, with hops nondecreasing throughout and
+		// strictly increasing across each process boundary.
+		if first := chain[0]; first.Stage != obs.StageCommit || first.Node != "cluster" || first.Hop != 0 {
+			t.Errorf("seq %d: chain starts at %s@%s hop %d, want commit@cluster hop 0",
+				sp.Seq, first.Stage, first.Node, first.Hop)
+		}
+		if last := chain[len(chain)-1]; last.Stage != obs.StageReplApply || last.Node != "f0" {
+			t.Errorf("seq %d: chain ends at %s@%s, want repl_apply@f0", sp.Seq, last.Stage, last.Node)
+		}
+		var hops = map[string]int64{}
+		for i, e := range chain {
+			if i > 0 && e.Hop < chain[i-1].Hop {
+				t.Errorf("seq %d: hop regressed %d→%d at %s", sp.Seq, chain[i-1].Hop, e.Hop, e.Stage)
+			}
+			if e.Origin != "cluster" {
+				t.Errorf("seq %d: %s@%s lost the trace origin (got %q)", sp.Seq, e.Stage, e.Node, e.Origin)
+			}
+			hops[e.Stage] = e.Hop
+		}
+		if hops[obs.StageReplApply] <= hops[obs.StageReplPublish] {
+			t.Errorf("seq %d: follower apply hop %d not past the primary's publish hop %d — the context did not advance across the wire",
+				sp.Seq, hops[obs.StageReplApply], hops[obs.StageReplPublish])
+		}
+	}
+}
+
+// TestFollowerHealthStale covers the stalled-stream health satellite: a
+// follower that has caught up reports serving, but once applies stop its
+// age-based health degrades while the frozen epoch-lag gauge would not.
+func TestFollowerHealthStale(t *testing.T) {
+	tp := newTestPrimary(t, 16)
+	commit(tp.w, 1, 10)
+	rep, f := newTestFollower(t, "hs", tp.addr(), 1)
+	waitFor(t, 5*time.Second, "catch-up", func() bool { return rep.Epoch() == 1 })
+
+	if msg, ok := f.Healthy(0); !ok {
+		t.Fatalf("healthy follower with staleness disabled reported %q", msg)
+	}
+	if msg, ok := f.Healthy(time.Hour); !ok {
+		t.Fatalf("freshly applied follower reported %q", msg)
+	}
+	if age := f.LastApplyAge(); age < 0 {
+		t.Fatalf("LastApplyAge = %v after an apply", age)
+	}
+	// No commits arrive; with a tiny threshold the follower must degrade.
+	waitFor(t, 5*time.Second, "staleness", func() bool {
+		_, ok := f.Healthy(time.Millisecond)
+		return !ok
+	})
+	if msg, ok := f.Healthy(time.Millisecond); ok || msg == "serving" {
+		t.Fatalf("stalled follower still healthy: %q", msg)
+	}
+}

@@ -46,6 +46,11 @@ type FleetConfig struct {
 	// Rebuilt (post-crash) nodes share the same pipeline, so counters
 	// accumulate across incarnations.
 	Obs *obs.Pipeline
+	// Replicate attaches an in-process read replica to each fleet, so
+	// explored fault schedules produce the same repl_pub/repl_apply span
+	// chains as live replicated runs (and the quiescence check verifies the
+	// replica converged to the warehouse head).
+	Replicate bool
 }
 
 // Fleet returns a Factory building fresh paper-schema fleets.
@@ -85,6 +90,7 @@ func buildFleet(cfg FleetConfig) (*Harness, error) {
 		LogStates: true,
 		Pool:      cfg.Pool,
 		Obs:       cfg.Obs,
+		Replicate: cfg.Replicate,
 	})
 	if err != nil {
 		return nil, err
@@ -195,6 +201,13 @@ func fleetCheck(algo string, wantLevel msg.Level, sys *system.System, live *live
 		}
 		if p := sys.Warehouse.PendingCount(); p != 0 {
 			return fmt.Errorf("promptness: %d transactions parked at the warehouse at quiescence", p)
+		}
+		// Replica convergence: the synchronously fed in-process replica must
+		// serve exactly the warehouse's head epoch at quiescence.
+		if sys.Replica != nil {
+			if got, want := sys.Replica.Epoch(), sys.Warehouse.Snapshot().Epoch; got != want {
+				return fmt.Errorf("replication: replica at epoch %d, warehouse at %d at quiescence", got, want)
+			}
 		}
 		return nil
 	}

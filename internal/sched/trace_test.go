@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"testing"
+
+	"whips/internal/obs"
+)
+
+// TestExploredSchedulesTraceReplication is the trace-parity check: explored
+// fault schedules must produce the same span chains as live replicated runs
+// — every committed update's chain is complete (commit..wh_commit) and
+// extends through repl_pub to the replica's repl_apply, in causal hop order.
+func TestExploredSchedulesTraceReplication(t *testing.T) {
+	const updates = 3
+	pipe := obs.NewPipeline()
+	var mem *obs.MemorySink
+	var all [][]obs.Event
+	inner := Fleet(FleetConfig{Algo: "spa", Updates: updates, Seed: 5, Obs: pipe, Replicate: true})
+	factory := func() (*Harness, error) {
+		if mem != nil {
+			all = append(all, mem.Events())
+		}
+		mem = &obs.MemorySink{}
+		pipe.Tracer = obs.NewTracer(mem.Sink())
+		return inner()
+	}
+	res, err := Explore(factory, Options{Seed: 42, Seeds: scale(t, 50), FaultRate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatal(res.Violation)
+	}
+	all = append(all, mem.Events())
+
+	for si, events := range all {
+		spans := obs.EndToEnd(events)
+		if len(spans) != updates {
+			t.Fatalf("schedule %d: traced %d updates, want %d", si, len(spans), updates)
+		}
+		chains := obs.Chains(events)
+		for _, sp := range spans {
+			if !sp.Complete {
+				t.Errorf("schedule %d seq %d: chain incomplete", si, sp.Seq)
+			}
+			if !sp.ReplApplied {
+				t.Errorf("schedule %d seq %d: update never reached the replica", si, sp.Seq)
+			}
+			chain := chains[sp.Seq]
+			for i, e := range chain {
+				if i > 0 && e.Hop < chain[i-1].Hop {
+					t.Errorf("schedule %d seq %d: hop regressed %d→%d at %s",
+						si, sp.Seq, chain[i-1].Hop, e.Hop, e.Stage)
+				}
+			}
+			if last := chain[len(chain)-1]; last.Stage != obs.StageReplApply {
+				t.Errorf("schedule %d seq %d: chain ends at %s, want repl_apply", si, sp.Seq, last.Stage)
+			}
+		}
+	}
+}
+
+// TestExploredReplicationUnderFaults keeps the replica attached while
+// crash/restart faults fire: the quiescence check in fleetCheck requires
+// the replica to converge to the warehouse head on every explored schedule.
+func TestExploredReplicationUnderFaults(t *testing.T) {
+	res, err := Explore(Fleet(FleetConfig{
+		Algo: "spa", Updates: 3, Seed: 9, Crashable: true, Replicate: true,
+	}), Options{Seed: 7, Seeds: scale(t, 150), FaultRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("replicated fleet under faults: %v", res.Violation)
+	}
+}

@@ -205,10 +205,18 @@ func (c *Cluster) commitLocked(source msg.SourceID, writes []msg.Write) (msg.Upd
 	c.txns.Inc()
 	c.txnWrites.Observe(int64(len(writes)))
 	if c.obsp.Tracing() {
+		// Stamp the causal trace context at the moment of commit; every
+		// downstream message derived from this update forwards it. Only done
+		// with tracing on, so untraced runs (and golden sim traces) see
+		// byte-identical messages.
+		u.Trace = &obs.TraceCtx{
+			Origin: msg.NodeCluster, Seq: int64(u.Seq), Hop: 0,
+			CommitTS: u.CommitAt, SentAt: u.CommitAt,
+		}
 		c.obsp.Trace(obs.Event{
 			TS: u.CommitAt, Node: msg.NodeCluster, Stage: obs.StageCommit,
 			Seq: int64(u.Seq), N: int64(len(writes)),
-		})
+		}.Ctx(u.Trace))
 	}
 	return u, nil
 }

@@ -177,6 +177,12 @@ type Config struct {
 	// update's journey (commit → route → al → rel → submit → wh_commit)
 	// is emitted as trace events keyed by sequence number.
 	Obs *obs.Pipeline
+	// Replicate attaches an in-process read replica fed synchronously from
+	// the warehouse's replication feed. With tracing enabled it emits the
+	// same repl_pub / repl_apply / repl_snap events a live follower would,
+	// so simulated and explored runs assemble the same span chains as
+	// multi-process replicated deployments.
+	Replicate bool
 }
 
 // System is the assembled set of processes.
@@ -189,6 +195,9 @@ type System struct {
 	Groups     map[msg.ViewID]int
 	Algorithm  merge.Algorithm
 	Views      map[msg.ViewID]expr.Expr
+	// Replica is the in-process read replica (Config.Replicate), fed by
+	// every warehouse commit; nil otherwise.
+	Replica *warehouse.Replica
 	// Pool is the view managers' shared worker pool (nil when serial).
 	Pool *viewmgr.Pool
 	// ownedPool marks a pool Build created from Config.Workers, which
@@ -196,6 +205,7 @@ type System struct {
 	ownedPool bool
 
 	matcher *integrator.Matcher
+	obsp    *obs.Pipeline
 
 	mu sync.Mutex
 	// Freshness expectations. An update is expected to reach every view it
@@ -382,7 +392,18 @@ func Build(cfg Config) (*System, error) {
 	if cfg.Obs != nil {
 		whOpts = append(whOpts, warehouse.WithObs(cfg.Obs))
 	}
+	sys.obsp = cfg.Obs
+	if cfg.Replicate {
+		sys.Replica = warehouse.NewReplica()
+		whOpts = append(whOpts, warehouse.WithReplFeed(64, sys.applyReplica))
+	}
 	sys.Warehouse = warehouse.New(initial, whOpts...)
+	if cfg.Replicate {
+		// Seed the replica with the epoch-0 checkpoint so the first live
+		// epoch (1) applies densely, exactly like a follower's catch-up.
+		snap := sys.Warehouse.Snapshot()
+		sys.Replica.Install(snap.ReplMsg(snap.Epoch))
+	}
 
 	for g := 0; g < nGroups; g++ {
 		var strat merge.Strategy
@@ -413,6 +434,42 @@ func Build(cfg Config) (*System, error) {
 		sys.Merges = append(sys.Merges, merge.New(g, algorithm, strat, mopts...))
 	}
 	return sys, nil
+}
+
+// ReplicaNode names the in-process replica in trace events.
+const ReplicaNode = "replica"
+
+// applyReplica feeds one committed epoch into the in-process replica
+// (Config.Replicate). It runs synchronously on the warehouse commit path,
+// so timestamps reuse the commit's clock — virtual time under the
+// simulator — and the emitted repl_apply events stay deterministic. A gap
+// (duplicate epochs are skipped silently) reinstalls from the current
+// snapshot, the in-process analogue of a follower's checkpoint repair.
+func (s *System) applyReplica(e msg.ReplEpoch) {
+	if err := s.Replica.ApplyEpoch(e); err != nil {
+		snap := s.Warehouse.Snapshot()
+		s.Replica.Install(snap.ReplMsg(snap.Epoch))
+		if s.obsp.Tracing() {
+			s.obsp.Trace(obs.Event{
+				TS: e.CommitAt, Node: ReplicaNode, Stage: obs.StageReplSnap,
+				Epoch: snap.Epoch,
+			}.Ctx(e.Trace.Next(e.CommitAt)))
+		}
+		return
+	}
+	if s.Replica.Epoch() != e.Epoch {
+		return // duplicate, skipped by the replica
+	}
+	if s.obsp.Tracing() {
+		rows := make([]int64, len(e.Rows))
+		for i, r := range e.Rows {
+			rows[i] = int64(r)
+		}
+		s.obsp.Trace(obs.Event{
+			TS: e.CommitAt, Node: ReplicaNode, Stage: obs.StageReplApply,
+			Txn: int64(e.Txn), Rows: rows, Epoch: e.Epoch,
+		}.Ctx(e.Trace.Next(e.CommitAt)))
+	}
 }
 
 // StateNode is the durable-state contract (mirrors durable.Durable):

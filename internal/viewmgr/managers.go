@@ -183,6 +183,7 @@ func (m *Refresh) Handle(in any, now int64) []msg.Outbound {
 		From:  m.from,
 		Upto:  u.Seq,
 		Level: msg.Strong,
+		Trace: u.Trace.Next(now),
 	}
 	m.ob.emitAL(&al, m.ID(), now, m.batchStart, batch)
 	if m.cfg.StageData {
@@ -219,14 +220,15 @@ func NewConvergent(cfg Config, init expr.Database) (*Convergent, error) {
 	m.b.take = func(queued int) int { return queued }
 	m.b.encode = func(batch []msg.Update, delta *relation.Delta) []msg.ActionList {
 		first, last := batch[0].Seq, batch[len(batch)-1].Seq
+		lastTrace := batch[len(batch)-1].Trace
 		ins, del := delta.Split()
 		if len(batch) == 1 || del.Empty() || ins.Empty() {
-			return []msg.ActionList{{View: cfg.View, From: first, Upto: last, Delta: delta, Level: msg.Convergent}}
+			return []msg.ActionList{{View: cfg.View, From: first, Upto: last, Delta: delta, Level: msg.Convergent, Trace: lastTrace}}
 		}
 		mid := batch[len(batch)-2].Seq
 		return []msg.ActionList{
-			{View: cfg.View, From: first, Upto: mid, Delta: del, Level: msg.Convergent},
-			{View: cfg.View, From: last, Upto: last, Delta: ins, Level: msg.Convergent},
+			{View: cfg.View, From: first, Upto: mid, Delta: del, Level: msg.Convergent, Trace: batch[len(batch)-2].Trace},
+			{View: cfg.View, From: last, Upto: last, Delta: ins, Level: msg.Convergent, Trace: lastTrace},
 		}
 	}
 	return m, nil

@@ -5,6 +5,7 @@ import (
 
 	"whips/internal/expr"
 	"whips/internal/msg"
+	"whips/internal/obs"
 	"whips/internal/relation"
 )
 
@@ -120,6 +121,7 @@ func (m *CompleteQuery) onResponse(resp msg.QueryResponse, now int64) []msg.Outb
 		Upto:  u.Seq,
 		Delta: delta,
 		Level: msg.Complete,
+		Trace: u.Trace.Next(now),
 	}})
 	m.ob.emitAL(&als[0], m.ID(), now, firstArrival, 1)
 	out := []msg.Outbound{msg.Send(m.cfg.Merge, als[0])}
@@ -138,7 +140,11 @@ type QueryBatching struct {
 	qid      msg.QueryID
 	target   msg.UpdateID // frontier being queried
 	frontier msg.UpdateID // newest update received
-	dirty    bool
+	// frontierTrace/targetTrace carry the causal context of the newest
+	// received / currently queried update (nil when tracing is off).
+	frontierTrace *obs.TraceCtx
+	targetTrace   *obs.TraceCtx
+	dirty         bool
 	sentUpto msg.UpdateID
 	lastSent *relation.Relation
 	rels     relCarrier
@@ -167,6 +173,7 @@ func (m *QueryBatching) Handle(in any, now int64) []msg.Outbound {
 	case msg.Update:
 		m.rels.collect(t)
 		m.frontier = t.Seq
+		m.frontierTrace = t.Trace
 		if !m.dirty {
 			m.dirtySince = now
 		}
@@ -191,6 +198,7 @@ func (m *QueryBatching) Handle(in any, now int64) []msg.Outbound {
 			Upto:  m.target,
 			Delta: cur.DiffFrom(m.lastSent),
 			Level: msg.Strong,
+			Trace: m.targetTrace.Next(now),
 		}})
 		m.ob.emitAL(&als[0], m.ID(), now, m.queryFirst, int(m.target-m.sentUpto))
 		m.lastSent = cur
@@ -208,6 +216,7 @@ func (m *QueryBatching) pump() []msg.Outbound {
 	}
 	m.dirty = false
 	m.target = m.frontier
+	m.targetTrace = m.frontierTrace
 	m.queryFirst = m.dirtySince
 	m.nextQID++
 	m.qid = m.nextQID

@@ -118,7 +118,7 @@ func (o *vmObs) emitAL(al *msg.ActionList, node string, now, firstArrival int64,
 			TS: now, Node: node, Stage: obs.StageAL,
 			Seq: int64(al.Upto), View: string(al.View),
 			From: int64(al.From), Upto: int64(al.Upto), N: n,
-		})
+		}.Ctx(al.Trace))
 	}
 }
 
@@ -417,6 +417,10 @@ func (b *batcher) emit(als []msg.ActionList, now, firstArrival int64, batch int)
 	als = b.rels.attach(als)
 	out := make([]msg.Outbound, 0, len(als)+1)
 	for _, al := range als {
+		// Advance the causal context one hop past the covered update's
+		// integrator hop. Nil (a no-op) whenever tracing was off upstream,
+		// so untraced runs stay byte-identical.
+		al.Trace = al.Trace.Next(now)
 		b.ob.emitAL(&al, b.id(), now, firstArrival, batch)
 		if b.cfg.StageData {
 			out = append(out, msg.Send(msg.NodeWarehouse, msg.StageDelta{
@@ -439,6 +443,7 @@ func singleAL(cfg Config, level msg.Level) func([]msg.Update, *relation.Delta) [
 			Upto:  batch[len(batch)-1].Seq,
 			Delta: delta,
 			Level: level,
+			Trace: batch[len(batch)-1].Trace,
 		}}
 	}
 }

@@ -446,8 +446,17 @@ func (w *Warehouse) commitLocked(t msg.WarehouseTxn, from string, now int64, out
 	w.committed[t.ID] = true
 	w.applied++
 	w.publishLocked(t.ID, now)
+	// Advance the causal context one hop into the warehouse; nil whenever
+	// tracing was off upstream, keeping untraced runs byte-identical.
+	tctx := t.Trace.Next(now)
 	if w.replCap > 0 {
-		w.replRecord(msg.ReplEpoch{Epoch: w.applied, Txn: t.ID, CommitAt: now, Writes: replWrites})
+		re := msg.ReplEpoch{Epoch: w.applied, Txn: t.ID, CommitAt: now, Writes: replWrites, Trace: tctx}
+		if tctx != nil {
+			// Carry the txn's row set so follower-side trace events can be
+			// joined back into per-update span chains.
+			re.Rows = append([]msg.UpdateID(nil), t.Rows...)
+		}
+		w.replRecord(re)
 	}
 	w.txns.Inc()
 	w.viewWrites.Add(int64(len(t.Writes)))
@@ -467,7 +476,14 @@ func (w *Warehouse) commitLocked(t msg.WarehouseTxn, from string, now int64, out
 		w.obsp.Trace(obs.Event{
 			TS: now, Node: w.ID(), Stage: obs.StageWHCommit,
 			Txn: int64(t.ID), Rows: rows, N: int64(len(t.Writes)),
-		})
+			Epoch: w.applied,
+		}.Ctx(tctx))
+		if w.replCap > 0 {
+			w.obsp.Trace(obs.Event{
+				TS: now, Node: w.ID(), Stage: obs.StageReplPublish,
+				Txn: int64(t.ID), Rows: rows, Epoch: w.applied,
+			}.Ctx(tctx))
+		}
 	}
 	if w.logStates {
 		rec := w.snapshotLocked(t.ID, t.Rows, now)

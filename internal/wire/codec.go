@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"whips/internal/msg"
+	"whips/internal/obs"
 	"whips/internal/relation"
 )
 
@@ -66,11 +67,23 @@ type Write struct {
 	Delta    Delta
 }
 
+// TraceCtx is the wire form of obs.TraceCtx — the causal trace context
+// that rides inside protocol messages so span chains survive process
+// boundaries. A nil pointer means "tracing off at the sender".
+type TraceCtx struct {
+	Origin   string
+	Seq      int64
+	Hop      int64
+	CommitTS int64
+	SentAt   int64
+}
+
 // RelevantSet is the wire form of msg.RelevantSet.
 type RelevantSet struct {
 	Seq      int64
 	Views    []string
 	CommitAt int64
+	Trace    *TraceCtx
 }
 
 // Update is the wire form of msg.Update.
@@ -80,6 +93,7 @@ type Update struct {
 	Writes   []Write
 	CommitAt int64
 	Rel      *RelevantSet
+	Trace    *TraceCtx
 }
 
 // ActionList is the wire form of msg.ActionList. HasDelta distinguishes a
@@ -94,6 +108,7 @@ type ActionList struct {
 	Rels      []RelevantSet
 	Staged    bool
 	EmittedAt int64
+	Trace     *TraceCtx
 }
 
 // StageDelta is the wire form of msg.StageDelta.
@@ -126,6 +141,7 @@ type SubmitTxn struct {
 	DependsOn []int64
 	CommitAt  int64
 	From      string
+	Trace     *TraceCtx
 }
 
 // ReplSubscribe is the wire form of msg.ReplSubscribe.
@@ -148,6 +164,7 @@ type ReplSnapshot struct {
 	CommitAt int64
 	Head     int64
 	Views    []ReplView
+	Trace    *TraceCtx
 }
 
 // ReplWrite is the wire form of msg.ReplWrite. HasDelta distinguishes a
@@ -167,6 +184,8 @@ type ReplEpoch struct {
 	CommitAt int64
 	Head     int64
 	Writes   []ReplWrite
+	Rows     []int64
+	Trace    *TraceCtx
 }
 
 // Envelope is one routed message on the wire.
@@ -312,12 +331,26 @@ func DecodeRelation(w Rel) (*relation.Relation, error) {
 
 // ---------------------------------------------------------------- messages
 
+func encodeTrace(c *obs.TraceCtx) *TraceCtx {
+	if c == nil {
+		return nil
+	}
+	return &TraceCtx{Origin: c.Origin, Seq: c.Seq, Hop: c.Hop, CommitTS: c.CommitTS, SentAt: c.SentAt}
+}
+
+func decodeTrace(w *TraceCtx) *obs.TraceCtx {
+	if w == nil {
+		return nil
+	}
+	return &obs.TraceCtx{Origin: w.Origin, Seq: w.Seq, Hop: w.Hop, CommitTS: w.CommitTS, SentAt: w.SentAt}
+}
+
 func encodeRel(r msg.RelevantSet) RelevantSet {
 	views := make([]string, len(r.Views))
 	for i, v := range r.Views {
 		views[i] = string(v)
 	}
-	return RelevantSet{Seq: int64(r.Seq), Views: views, CommitAt: r.CommitAt}
+	return RelevantSet{Seq: int64(r.Seq), Views: views, CommitAt: r.CommitAt, Trace: encodeTrace(r.Trace)}
 }
 
 func decodeRel(w RelevantSet) msg.RelevantSet {
@@ -325,7 +358,7 @@ func decodeRel(w RelevantSet) msg.RelevantSet {
 	for i, v := range w.Views {
 		views[i] = msg.ViewID(v)
 	}
-	return msg.RelevantSet{Seq: msg.UpdateID(w.Seq), Views: views, CommitAt: w.CommitAt}
+	return msg.RelevantSet{Seq: msg.UpdateID(w.Seq), Views: views, CommitAt: w.CommitAt, Trace: decodeTrace(w.Trace)}
 }
 
 // Encode converts a protocol message to its wire form. Unsupported message
@@ -333,7 +366,7 @@ func decodeRel(w RelevantSet) msg.RelevantSet {
 func Encode(m any) (any, error) {
 	switch t := m.(type) {
 	case msg.Update:
-		out := Update{Seq: int64(t.Seq), Source: string(t.Source), CommitAt: t.CommitAt}
+		out := Update{Seq: int64(t.Seq), Source: string(t.Source), CommitAt: t.CommitAt, Trace: encodeTrace(t.Trace)}
 		for _, w := range t.Writes {
 			out.Writes = append(out.Writes, Write{Relation: w.Relation, Delta: EncodeDelta(w.Delta)})
 		}
@@ -348,6 +381,7 @@ func Encode(m any) (any, error) {
 		out := ActionList{
 			View: string(t.View), From: int64(t.From), Upto: int64(t.Upto),
 			Level: uint8(t.Level), Staged: t.Staged, EmittedAt: t.EmittedAt,
+			Trace: encodeTrace(t.Trace),
 		}
 		if t.Delta != nil {
 			out.HasDelta = true
@@ -362,7 +396,7 @@ func Encode(m any) (any, error) {
 	case msg.CommitAck:
 		return CommitAck{ID: int64(t.ID)}, nil
 	case msg.SubmitTxn:
-		out := SubmitTxn{ID: int64(t.Txn.ID), CommitAt: t.Txn.CommitAt, From: t.From}
+		out := SubmitTxn{ID: int64(t.Txn.ID), CommitAt: t.Txn.CommitAt, From: t.From, Trace: encodeTrace(t.Txn.Trace)}
 		for _, r := range t.Txn.Rows {
 			out.Rows = append(out.Rows, int64(r))
 		}
@@ -381,13 +415,16 @@ func Encode(m any) (any, error) {
 	case msg.ReplSubscribe:
 		return ReplSubscribe{Follower: t.Follower, Epoch: t.Epoch}, nil
 	case msg.ReplSnapshot:
-		out := ReplSnapshot{Epoch: t.Epoch, Txn: int64(t.Txn), CommitAt: t.CommitAt, Head: t.Head}
+		out := ReplSnapshot{Epoch: t.Epoch, Txn: int64(t.Txn), CommitAt: t.CommitAt, Head: t.Head, Trace: encodeTrace(t.Trace)}
 		for _, v := range t.Views {
 			out.Views = append(out.Views, ReplView{View: string(v.View), Rel: EncodeRelation(v.Rel), Upto: int64(v.Upto)})
 		}
 		return out, nil
 	case msg.ReplEpoch:
-		out := ReplEpoch{Epoch: t.Epoch, Txn: int64(t.Txn), CommitAt: t.CommitAt, Head: t.Head}
+		out := ReplEpoch{Epoch: t.Epoch, Txn: int64(t.Txn), CommitAt: t.CommitAt, Head: t.Head, Trace: encodeTrace(t.Trace)}
+		for _, r := range t.Rows {
+			out.Rows = append(out.Rows, int64(r))
+		}
 		for _, w := range t.Writes {
 			rw := ReplWrite{View: string(w.View), Upto: int64(w.Upto)}
 			if w.Delta != nil {
@@ -406,7 +443,7 @@ func Encode(m any) (any, error) {
 func Decode(m any) (any, error) {
 	switch t := m.(type) {
 	case Update:
-		out := msg.Update{Seq: msg.UpdateID(t.Seq), Source: msg.SourceID(t.Source), CommitAt: t.CommitAt}
+		out := msg.Update{Seq: msg.UpdateID(t.Seq), Source: msg.SourceID(t.Source), CommitAt: t.CommitAt, Trace: decodeTrace(t.Trace)}
 		for _, w := range t.Writes {
 			d, err := DecodeDelta(w.Delta)
 			if err != nil {
@@ -425,6 +462,7 @@ func Decode(m any) (any, error) {
 		out := msg.ActionList{
 			View: msg.ViewID(t.View), From: msg.UpdateID(t.From), Upto: msg.UpdateID(t.Upto),
 			Level: msg.Level(t.Level), Staged: t.Staged, EmittedAt: t.EmittedAt,
+			Trace: decodeTrace(t.Trace),
 		}
 		if t.HasDelta {
 			d, err := DecodeDelta(t.Delta)
@@ -446,7 +484,7 @@ func Decode(m any) (any, error) {
 	case CommitAck:
 		return msg.CommitAck{ID: msg.TxnID(t.ID)}, nil
 	case SubmitTxn:
-		out := msg.SubmitTxn{From: t.From, Txn: msg.WarehouseTxn{ID: msg.TxnID(t.ID), CommitAt: t.CommitAt}}
+		out := msg.SubmitTxn{From: t.From, Txn: msg.WarehouseTxn{ID: msg.TxnID(t.ID), CommitAt: t.CommitAt, Trace: decodeTrace(t.Trace)}}
 		for _, r := range t.Rows {
 			out.Txn.Rows = append(out.Txn.Rows, msg.UpdateID(r))
 		}
@@ -468,7 +506,7 @@ func Decode(m any) (any, error) {
 	case ReplSubscribe:
 		return msg.ReplSubscribe{Follower: t.Follower, Epoch: t.Epoch}, nil
 	case ReplSnapshot:
-		out := msg.ReplSnapshot{Epoch: t.Epoch, Txn: msg.TxnID(t.Txn), CommitAt: t.CommitAt, Head: t.Head}
+		out := msg.ReplSnapshot{Epoch: t.Epoch, Txn: msg.TxnID(t.Txn), CommitAt: t.CommitAt, Head: t.Head, Trace: decodeTrace(t.Trace)}
 		for _, v := range t.Views {
 			r, err := DecodeRelation(v.Rel)
 			if err != nil {
@@ -478,7 +516,10 @@ func Decode(m any) (any, error) {
 		}
 		return out, nil
 	case ReplEpoch:
-		out := msg.ReplEpoch{Epoch: t.Epoch, Txn: msg.TxnID(t.Txn), CommitAt: t.CommitAt, Head: t.Head}
+		out := msg.ReplEpoch{Epoch: t.Epoch, Txn: msg.TxnID(t.Txn), CommitAt: t.CommitAt, Head: t.Head, Trace: decodeTrace(t.Trace)}
+		for _, r := range t.Rows {
+			out.Rows = append(out.Rows, msg.UpdateID(r))
+		}
 		for _, w := range t.Writes {
 			if !w.HasDelta {
 				return nil, fmt.Errorf("wire: replication write for view %q carries no delta", w.View)

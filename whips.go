@@ -94,6 +94,10 @@ type Config struct {
 	// each update's journey through the pipeline is emitted as trace
 	// events (see internal/obs).
 	Obs *obs.Pipeline
+	// Replicate attaches an in-process read replica fed from the
+	// warehouse's replication feed, extending traced spans through
+	// repl_pub and repl_apply exactly like a live follower deployment.
+	Replicate bool
 	// Durable enables crash recovery: every executed update is written to
 	// a write-ahead log before it enters the pipeline, and Checkpoint (or
 	// SnapshotEvery) persists full system snapshots. A fresh New against
@@ -150,6 +154,7 @@ func New(cfg Config) (*System, error) {
 		Algorithm:         cfg.Algorithm,
 		Workers:           cfg.Workers,
 		Obs:               cfg.Obs,
+		Replicate:         cfg.Replicate,
 	}
 	sys, err := system.Build(scfg)
 	if err != nil {
@@ -464,6 +469,9 @@ func (s *System) MergeStats() []merge.Stats {
 
 // Warehouse exposes the warehouse substrate (reads, state log, counters).
 func (s *System) Warehouse() *warehouse.Warehouse { return s.sys.Warehouse }
+
+// Replica exposes the in-process read replica (Config.Replicate), or nil.
+func (s *System) Replica() *warehouse.Replica { return s.sys.Replica }
 
 // Cluster exposes the source cluster (current/versioned reads, history).
 func (s *System) Cluster() *source.Cluster { return s.sys.Cluster }
