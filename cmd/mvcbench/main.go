@@ -8,13 +8,14 @@
 //
 //	mvcbench [-exp all|freshness|bottleneck|straggler|commit|distributed|
 //	          promptness|overhead|filter|relay|staged|managers|throughput|
-//	          readload|replication]
+//	          mqo|readload|replication]
 //	         [-updates N] [-seed N] [-csv] [-json]
 //
-// Most experiments run on the simulator; throughput, readload, and
+// Most experiments run on the simulator; throughput, mqo, readload, and
 // replication run the goroutine runtime and measure wall-clock scaling
-// (view-manager worker pool, warehouse read paths, and read replicas
-// streaming epochs over loopback TCP, respectively).
+// (view-manager worker pool, shared maintenance plans, warehouse read
+// paths, and read replicas streaming epochs over loopback TCP,
+// respectively).
 //
 // -json writes the selected experiment's tables to BENCH_<exp>.json
 // (seed, updates, and every row) instead of rendering to stdout.
@@ -57,6 +58,7 @@ var experiments = []experiment{
 	{"staged", one(harness.StagedTransfer)},
 	{"managers", one(harness.ManagerComparison)},
 	{"throughput", one(harness.Throughput)},
+	{"mqo", one(harness.MQO)},
 	{"readload", one(harness.ReadLoad)},
 	{"replication", one(harness.Replication)},
 }

@@ -42,6 +42,7 @@ func main() {
 	workers := flag.Int("workers", 0, "view-manager worker pool size shared across schedules (0/1 = serial); the pool stays in deterministic scatter-gather mode, so schedules replay identically")
 	trace := flag.String("trace", "", "write per-stage JSONL trace events here (\"-\" for stderr) and print end-to-end freshness (virtual time) at exit")
 	replicate := flag.Bool("replicate", false, "attach an in-process read replica per schedule so explored traces include repl_pub/repl_apply spans")
+	sharedPlans := flag.Bool("shared-plans", false, "maintain views through the shared maintenance-plan DAG (common subexpressions computed once at the integrator) instead of per-view trees")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -77,13 +78,14 @@ func main() {
 		defer pool.Close()
 	}
 	factory := sched.Fleet(sched.FleetConfig{
-		Algo:      *algo,
-		Updates:   *updates,
-		Seed:      *dataSeed,
-		Crashable: *faults > 0,
-		Pool:      pool,
-		Obs:       pipe,
-		Replicate: *replicate,
+		Algo:        *algo,
+		Updates:     *updates,
+		Seed:        *dataSeed,
+		Crashable:   *faults > 0,
+		Pool:        pool,
+		Obs:         pipe,
+		Replicate:   *replicate,
+		SharedPlans: *sharedPlans,
 	})
 	if pipe != nil {
 		inner := factory

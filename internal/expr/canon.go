@@ -1,0 +1,289 @@
+// canon.go gives expressions a canonical structural identity for
+// multi-query optimization: a rendering under which two subexpressions
+// compare equal exactly when they apply the same operator tree, with the
+// same parameters, to the same inputs. The maintenance-plan DAG
+// (internal/plan) keys its nodes by it, so a subexpression shared by many
+// view definitions — after Optimize has normalized each tree — is
+// recognized and computed once.
+//
+// The rendering is injective by construction: every string component is
+// quoted, every value carries its type tag (Expr.String conflates int 3
+// with string "3"), rename mappings are emitted in sorted order, and each
+// operator's parameters are delimited. Hash is an FNV-1a digest of the
+// key for cheap fingerprinting; equality decisions always use the key
+// itself, so hash collisions cannot conflate expressions.
+package expr
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"whips/internal/relation"
+)
+
+// Children returns e's direct subexpressions, outermost-parameter order
+// (left before right). Leaves return nil.
+func Children(e Expr) []Expr {
+	switch n := e.(type) {
+	case *ScanExpr, *ConstExpr:
+		return nil
+	case *SelectExpr:
+		return []Expr{n.child}
+	case *ProjectExpr:
+		return []Expr{n.child}
+	case *RenameExpr:
+		return []Expr{n.child}
+	case *AggregateExpr:
+		return []Expr{n.child}
+	case *JoinExpr:
+		return []Expr{n.left, n.right}
+	case *UnionAllExpr:
+		return []Expr{n.left, n.right}
+	case *SetOpExpr:
+		return []Expr{n.left, n.right}
+	default:
+		panic(fmt.Sprintf("expr: Children does not know node type %T", e))
+	}
+}
+
+// Rebuild returns e with its children replaced, re-deriving schemas and
+// recompiling predicates through the public constructors so a replacement
+// child with an incompatible schema is rejected rather than silently
+// accepted. len(children) must match Children(e).
+func Rebuild(e Expr, children []Expr) (Expr, error) {
+	want := len(Children(e))
+	if len(children) != want {
+		return nil, fmt.Errorf("expr: Rebuild of %T got %d children, want %d", e, len(children), want)
+	}
+	switch n := e.(type) {
+	case *ScanExpr, *ConstExpr:
+		return e, nil
+	case *SelectExpr:
+		return rebuilt(Select(children[0], n.pred))
+	case *ProjectExpr:
+		return rebuilt(Project(children[0], n.schema.Names()...))
+	case *RenameExpr:
+		return rebuilt(Rename(children[0], n.mapping))
+	case *AggregateExpr:
+		return rebuilt(Aggregate(children[0], n.groupBy, n.aggs))
+	case *JoinExpr:
+		return rebuilt(Join(children[0], children[1]))
+	case *UnionAllExpr:
+		return rebuilt(UnionAll(children[0], children[1]))
+	case *SetOpExpr:
+		if n.kind == diffOp {
+			return rebuilt(Except(children[0], children[1]))
+		}
+		return rebuilt(Intersect(children[0], children[1]))
+	default:
+		return nil, fmt.Errorf("expr: Rebuild does not know node type %T", e)
+	}
+}
+
+// rebuilt adapts a concrete constructor result to (Expr, error), keeping
+// the interface nil when the constructor failed.
+func rebuilt(e Expr, err error) (Expr, error) {
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// CanonicalKey returns e's canonical structural identity, or ok == false
+// when e has none (it contains a Const node, whose literal bag identity is
+// not worth canonicalizing — Const appears only in compensation plumbing,
+// never in shareable view definitions).
+func CanonicalKey(e Expr) (key string, ok bool) {
+	var b strings.Builder
+	if !appendCanon(&b, e) {
+		return "", false
+	}
+	return b.String(), true
+}
+
+// Hash returns a 64-bit FNV-1a digest of e's canonical key (0 when e has
+// none). A fingerprint only: callers deciding equality compare keys.
+func Hash(e Expr) uint64 {
+	key, ok := CanonicalKey(e)
+	if !ok {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+func appendCanon(b *strings.Builder, e Expr) bool {
+	switch n := e.(type) {
+	case *ScanExpr:
+		b.WriteString("scan(")
+		b.WriteString(strconv.Quote(n.name))
+		b.WriteByte(',')
+		canonSchema(b, n.schema)
+		b.WriteByte(')')
+	case *ConstExpr:
+		return false
+	case *SelectExpr:
+		b.WriteString("sel[")
+		canonPred(b, n.pred)
+		b.WriteString("](")
+		if !appendCanon(b, n.child) {
+			return false
+		}
+		b.WriteByte(')')
+	case *ProjectExpr:
+		b.WriteString("proj[")
+		canonNames(b, n.schema.Names())
+		b.WriteString("](")
+		if !appendCanon(b, n.child) {
+			return false
+		}
+		b.WriteByte(')')
+	case *RenameExpr:
+		// Renames normalize by sorting the mapping pairs, so two Rename
+		// nodes built from maps with different iteration histories — or
+		// carrying no-op entries in different spots — canonicalize alike.
+		pairs := make([]string, 0, len(n.mapping))
+		for from, to := range n.mapping {
+			if from == to {
+				continue
+			}
+			pairs = append(pairs, strconv.Quote(from)+">"+strconv.Quote(to))
+		}
+		sort.Strings(pairs)
+		b.WriteString("ren[")
+		b.WriteString(strings.Join(pairs, ","))
+		b.WriteString("](")
+		if !appendCanon(b, n.child) {
+			return false
+		}
+		b.WriteByte(')')
+	case *AggregateExpr:
+		b.WriteString("agg[")
+		canonNames(b, n.groupBy)
+		b.WriteByte(';')
+		for i, a := range n.aggs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(a.Op.String())
+			b.WriteByte('(')
+			b.WriteString(strconv.Quote(a.Attr))
+			b.WriteString(")as")
+			b.WriteString(strconv.Quote(a.As))
+		}
+		b.WriteString("](")
+		if !appendCanon(b, n.child) {
+			return false
+		}
+		b.WriteByte(')')
+	case *JoinExpr:
+		return canonBinary(b, "join", n.left, n.right)
+	case *UnionAllExpr:
+		return canonBinary(b, "union", n.left, n.right)
+	case *SetOpExpr:
+		op := "except"
+		if n.kind == intersectOp {
+			op = "intersect"
+		}
+		return canonBinary(b, op, n.left, n.right)
+	default:
+		panic(fmt.Sprintf("expr: CanonicalKey does not know node type %T", e))
+	}
+	return true
+}
+
+func canonBinary(b *strings.Builder, op string, l, r Expr) bool {
+	b.WriteString(op)
+	b.WriteByte('(')
+	if !appendCanon(b, l) {
+		return false
+	}
+	b.WriteByte(',')
+	if !appendCanon(b, r) {
+		return false
+	}
+	b.WriteByte(')')
+	return true
+}
+
+func canonSchema(b *strings.Builder, s *relation.Schema) {
+	b.WriteByte('(')
+	for i := 0; i < s.Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		a := s.Attr(i)
+		b.WriteString(strconv.Quote(a.Name))
+		b.WriteByte(':')
+		b.WriteString(a.Type.String())
+	}
+	b.WriteByte(')')
+}
+
+func canonNames(b *strings.Builder, names []string) {
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Quote(n))
+	}
+}
+
+// canonPred renders a predicate injectively: constants carry their type
+// tag (Pred.String renders int 3 and string "3" identically), attribute
+// names are quoted, and combinator structure is parenthesized.
+func canonPred(b *strings.Builder, p Pred) {
+	switch t := p.(type) {
+	case cmpConst:
+		b.WriteString("cmp(")
+		b.WriteString(strconv.Quote(t.attr))
+		b.WriteString(t.op.String())
+		canonValue(b, t.value)
+		b.WriteByte(')')
+	case cmpCols:
+		b.WriteString("cmpc(")
+		b.WriteString(strconv.Quote(t.a))
+		b.WriteString(t.op.String())
+		b.WriteString(strconv.Quote(t.b))
+		b.WriteByte(')')
+	case andPred:
+		canonPredList(b, "and", t.ps)
+	case orPred:
+		canonPredList(b, "or", t.ps)
+	case notPred:
+		b.WriteString("not(")
+		canonPred(b, t.p)
+		b.WriteByte(')')
+	case truePred:
+		b.WriteString("true")
+	default:
+		// A predicate kind this file does not know renders via its String;
+		// distinct unknown kinds may then collide, which only costs a missed
+		// (or refused) sharing opportunity for exotic predicates.
+		b.WriteString("pred(")
+		b.WriteString(strconv.Quote(p.String()))
+		b.WriteByte(')')
+	}
+}
+
+func canonPredList(b *strings.Builder, op string, ps []Pred) {
+	b.WriteString(op)
+	b.WriteByte('(')
+	for i, p := range ps {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		canonPred(b, p)
+	}
+	b.WriteByte(')')
+}
+
+func canonValue(b *strings.Builder, v relation.Value) {
+	b.WriteString(v.Kind().String())
+	b.WriteByte(':')
+	b.WriteString(strconv.Quote(v.String()))
+}

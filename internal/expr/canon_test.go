@@ -1,0 +1,184 @@
+// canon_test.go covers the structural canonicalization the shared
+// maintenance-plan DAG keys on: CanonicalKey must be injective over
+// distinct expression structures (typed constants, adversarial strings),
+// normalize rename maps, refuse Const subtrees, and Children/Rebuild must
+// reconstruct every node kind.
+package expr
+
+import (
+	"testing"
+
+	"whips/internal/relation"
+)
+
+var (
+	canonR = relation.MustSchema("A:int", "B:int")
+	canonS = relation.MustSchema("B:int", "C:int")
+	canonQ = relation.MustSchema("A:string", "B:int")
+)
+
+func sel(t *testing.T, e Expr, p Pred) Expr {
+	t.Helper()
+	s, err := Select(e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCanonicalKeyTypedConstants(t *testing.T) {
+	// σ[A=3] over an int column vs σ[A="3"] over a string column:
+	// Value.String() renders both constants as `3`, so the key renders
+	// values typed (Kind():Quote(String())) — and scan schemas typed — to
+	// keep the two structures apart.
+	intSel := sel(t, Scan("Q", relation.MustSchema("A:int", "B:int")), Cmp("A", Eq, 3))
+	strSel := sel(t, Scan("Q", canonQ), Cmp("A", Eq, "3"))
+	k1, ok1 := CanonicalKey(intSel)
+	k2, ok2 := CanonicalKey(strSel)
+	if !ok1 || !ok2 {
+		t.Fatalf("keys not computed: %v %v", ok1, ok2)
+	}
+	if k1 == k2 {
+		t.Fatalf("int-3 and string-\"3\" selections share key %q", k1)
+	}
+}
+
+func TestCanonicalKeyAdversarialStrings(t *testing.T) {
+	// A scan name containing the rendering's own delimiters must not
+	// fabricate a different structure.
+	a := Scan(`R",(`, canonR)
+	b := Scan(`R`, canonR)
+	ka, _ := CanonicalKey(sel(t, a, Cmp("A", Eq, 1)))
+	kb, _ := CanonicalKey(sel(t, b, Cmp("A", Eq, 1)))
+	if ka == kb {
+		t.Fatalf("quoted scan names collide: %q", ka)
+	}
+	// String constants embedding predicate syntax.
+	s1 := sel(t, Scan("Q", canonQ), Cmp("A", Eq, `x) and (B=1`))
+	s2 := sel(t, Scan("Q", canonQ), Cmp("A", Eq, `x`))
+	k1, _ := CanonicalKey(s1)
+	k2, _ := CanonicalKey(s2)
+	if k1 == k2 {
+		t.Fatalf("adversarial constant collides: %q", k1)
+	}
+}
+
+func TestCanonicalKeyRenameNormalization(t *testing.T) {
+	// Map iteration order must not leak into the key, and no-op pairs
+	// (A→A) must not distinguish otherwise-identical renames.
+	r1, err := Rename(Scan("R", canonR), map[string]string{"A": "X", "B": "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, ok := CanonicalKey(r1)
+	if !ok {
+		t.Fatal("rename key not computed")
+	}
+	for i := 0; i < 32; i++ {
+		ri, err := Rename(Scan("R", canonR), map[string]string{"B": "Y", "A": "X"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ki, _ := CanonicalKey(ri)
+		if ki != k1 {
+			t.Fatalf("rename key unstable: %q vs %q", ki, k1)
+		}
+	}
+	rn, err := Rename(Scan("R", canonR), map[string]string{"A": "X", "B": "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn, _ := CanonicalKey(rn)
+	if kn != k1 {
+		t.Fatalf("no-op pair changed key: %q vs %q", kn, k1)
+	}
+	// A genuinely different mapping must differ.
+	r2, err := Rename(Scan("R", canonR), map[string]string{"A": "Z", "B": "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := CanonicalKey(r2)
+	if k2 == k1 {
+		t.Fatal("distinct renames share a key")
+	}
+}
+
+func TestCanonicalKeyRefusesConst(t *testing.T) {
+	d := relation.NewDelta(canonR)
+	d.Add(relation.T(1, 2), 1)
+	c := NewConst(canonR, d)
+	u, err := UnionAll(Scan("R", canonR), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key, ok := CanonicalKey(u); ok {
+		t.Fatalf("Const subtree got key %q — Const contents are not part of the structural key, sharing must be refused", key)
+	}
+}
+
+func TestChildrenRebuildRoundTrip(t *testing.T) {
+	scanR := Scan("R", canonR)
+	scanS := Scan("S", canonS)
+	join, err := Join(scanR, scanS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := Project(join, "A", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Aggregate(join, []string{"B"}, []AggSpec{{Op: Sum, Attr: "C", As: "SC"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ren, err := Rename(scanR, map[string]string{"A": "X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	union, err := UnionAll(scanR, scanR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exc, err := Except(scanR, scanR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intr, err := Intersect(scanR, scanR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exprs := []Expr{
+		sel(t, scanR, Cmp("A", Ge, 1)), proj, agg, ren, join, union, exc, intr,
+	}
+	db := MapDB{
+		"R": relation.FromTuples(canonR, relation.T(1, 10), relation.T(2, 20)),
+		"S": relation.FromTuples(canonS, relation.T(10, 5), relation.T(20, 6)),
+	}
+	for _, e := range exprs {
+		kids := Children(e)
+		rb, err := Rebuild(e, kids)
+		if err != nil {
+			t.Fatalf("%T: rebuild: %v", e, err)
+		}
+		k1, ok1 := CanonicalKey(e)
+		k2, ok2 := CanonicalKey(rb)
+		if ok1 != ok2 || k1 != k2 {
+			t.Fatalf("%T: rebuild changed key: %q vs %q", e, k1, k2)
+		}
+		r1, err := Eval(e, db)
+		if err != nil {
+			t.Fatalf("%T: eval: %v", e, err)
+		}
+		r2, err := Eval(rb, db)
+		if err != nil {
+			t.Fatalf("%T: eval rebuilt: %v", e, err)
+		}
+		if !r1.Equal(r2) {
+			t.Fatalf("%T: rebuilt expression evaluates differently", e)
+		}
+	}
+	// Leaves have no children and rebuild to themselves.
+	if len(Children(scanR)) != 0 {
+		t.Fatal("scan has children")
+	}
+}

@@ -1,0 +1,165 @@
+// mqo.go is experiment W4: update throughput versus view count with and
+// without the shared maintenance-plan DAG (internal/plan). The workload is
+// the multi-query-optimization sweet spot — many views defined over the
+// same aggregate-over-join subexpression, each distinguished only by a
+// selection over the aggregate's output. Baseline maintenance re-derives
+// the join and aggregate delta once per view per update; the DAG computes
+// each shared node's delta once and fans it out, so the per-update cost of
+// the shared part stops scaling with the view count.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/runtime"
+	"whips/internal/system"
+	"whips/internal/workload"
+)
+
+// mqoSources builds one source carrying the R/S/T chain, preloaded inside
+// the generator's key domain so join probes and group collisions are
+// plentiful from the first update.
+func mqoSources() []system.SourceDef {
+	r := relation.New(workload.RSchema)
+	s := relation.New(workload.SSchema)
+	t := relation.New(workload.TSchema)
+	for a := 0; a < 60; a++ {
+		r.Insert(relation.T(int64(a), int64(a%6)), 1)
+	}
+	for b := 0; b < 6; b++ {
+		for c := 0; c < 6; c += 2 {
+			s.Insert(relation.T(int64(b), int64(c)), 1)
+		}
+	}
+	for c := 0; c < 6; c++ {
+		t.Insert(relation.T(int64(c), int64(c*3%6)), 1)
+	}
+	return []system.SourceDef{{ID: "src", Relations: map[string]*relation.Relation{
+		"R": r, "S": s, "T": t,
+	}}}
+}
+
+// mqoViews builds k views σ[SD ≥ tᵢ](γ[B; sum(D) as SD, count as N](R⋈S⋈T)):
+// identical join+aggregate core (shared by every view), distinct selection
+// thresholds (each view keeps its own root). The selection reads the
+// aggregate's output column, so it cannot push below the aggregate and the
+// shared core survives optimization in both modes.
+func mqoViews(k int) []system.ViewDef {
+	core := expr.JoinAll(
+		expr.Scan("R", workload.RSchema),
+		expr.Scan("S", workload.SSchema),
+		expr.Scan("T", workload.TSchema),
+	)
+	agg, err := expr.Aggregate(core, []string{"B"}, []expr.AggSpec{
+		{Op: expr.Sum, Attr: "D", As: "SD"},
+		{Op: expr.Count, As: "N"},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("harness: mqo: %v", err))
+	}
+	views := make([]system.ViewDef, k)
+	for i := 0; i < k; i++ {
+		views[i] = system.ViewDef{
+			ID:      msg.ViewID(fmt.Sprintf("V%02d", i+1)),
+			Expr:    expr.MustSelect(agg, expr.Cmp("SD", expr.Ge, i)),
+			Manager: system.Batching,
+		}
+	}
+	return views
+}
+
+// MQO is experiment W4: wall-clock update throughput at 8 and 32
+// overlapping views, baseline versus shared plans, on the goroutine
+// runtime with no modeled compute — the measured work is the real delta
+// evaluation, which is exactly what the DAG deduplicates.
+func MQO(seed int64, updates int) Table {
+	t := Table{
+		ID:      "W4",
+		Title:   "update throughput vs view count: per-view maintenance vs shared-plan DAG (wall clock)",
+		Columns: []string{"views", "mode", "duration", "tput/s", "speedup", "plan nodes", "node deltas", "view deltas"},
+		Notes:   "batching managers, no modeled compute; views share one γ(R⋈S⋈T) core; speedup is shared vs baseline at the same view count",
+	}
+	if updates <= 0 {
+		updates = 200
+	}
+	for _, views := range []int{8, 32} {
+		var base float64
+		for _, shared := range []bool{false, true} {
+			r := runMQO(seed, updates, views, shared)
+			tput := float64(updates) / (float64(r.duration) / 1e9)
+			mode, speedup := "baseline", "1.00x"
+			if shared {
+				mode = "shared"
+				if base > 0 {
+					speedup = fmt.Sprintf("%.2fx", tput/base)
+				}
+			} else {
+				base = tput
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(views),
+				mode,
+				fmt.Sprintf("%.1fms", float64(r.duration)/1e6),
+				fmt.Sprintf("%.0f", tput),
+				speedup,
+				fmt.Sprint(r.nodes),
+				fmt.Sprint(r.nodeDeltas),
+				fmt.Sprint(r.viewDeltas),
+			})
+		}
+	}
+	return t
+}
+
+type mqoResult struct {
+	duration   int64 // wall ns from first inject to full freshness
+	nodes      int
+	nodeDeltas int64
+	viewDeltas int64
+}
+
+func runMQO(seed int64, updates, views int, shared bool) mqoResult {
+	srcs := mqoSources()
+	sys, err := system.Build(system.Config{
+		Sources:     srcs,
+		Views:       mqoViews(views),
+		Commit:      system.Sequential,
+		SharedPlans: shared,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("harness: mqo: %v", err))
+	}
+	net := runtime.New(sys.Nodes())
+	net.Start()
+	defer func() {
+		net.Stop()
+		sys.Close()
+	}()
+
+	gen := workload.NewGenerator(seed, srcs)
+	start := time.Now()
+	for i := 0; i < updates; i++ {
+		_, writes := gen.Txn()
+		u, err := sys.Cluster.Execute("src", writes...)
+		if err != nil {
+			panic(fmt.Sprintf("harness: mqo: %v", err))
+		}
+		sys.TrackUpdate(u)
+		net.Inject(msg.NodeIntegrator, u)
+	}
+	if !runtime.WaitUntil(time.Minute, sys.Fresh) {
+		panic("harness: mqo: system failed to reach freshness within 1m")
+	}
+	res := mqoResult{duration: time.Since(start).Nanoseconds()}
+	if sys.Plan != nil {
+		st := sys.Plan.Stats()
+		res.nodes = st.Nodes
+		res.nodeDeltas = st.NodeDeltas
+		res.viewDeltas = st.ViewDeltas
+	}
+	return res
+}

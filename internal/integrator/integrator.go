@@ -11,6 +11,8 @@ import (
 	"whips/internal/expr"
 	"whips/internal/msg"
 	"whips/internal/obs"
+	"whips/internal/plan"
+	"whips/internal/relation"
 )
 
 // ViewInfo describes one registered view from the integrator's perspective.
@@ -31,6 +33,10 @@ type Integrator struct {
 	// view manager's update copy instead of going to the merge process
 	// directly, saving one message per update per group.
 	relayRel bool
+	// dag, when set, is the shared maintenance-plan DAG (internal/plan):
+	// the integrator hands each update to it once, and attaches the
+	// resulting per-view deltas to the manager copies it routes.
+	dag      *plan.DAG
 	groups   map[int]bool
 	lastSeq  msg.UpdateID
 	received int64
@@ -48,6 +54,7 @@ type opts struct {
 	filter       bool
 	sendEmptyRel bool
 	relayRel     bool
+	dag          *plan.DAG
 	obsp         *obs.Pipeline
 }
 
@@ -64,6 +71,12 @@ func WithRelayedRelevantSets() Option { return func(o *opts) { o.relayRel = true
 // WithObs attaches the observability pipeline.
 func WithObs(p *obs.Pipeline) Option { return func(o *opts) { o.obsp = p } }
 
+// WithSharedPlans routes every update through the shared maintenance-plan
+// DAG: common subexpressions are evaluated once and each relevant view
+// manager's update copy carries its precomputed ViewDelta. The integrator
+// owns the DAG's mutable state from then on.
+func WithSharedPlans(d *plan.DAG) Option { return func(o *opts) { o.dag = d } }
+
 // New builds an integrator for the given views.
 func New(views []ViewInfo, options ...Option) *Integrator {
 	var o opts
@@ -74,6 +87,7 @@ func New(views []ViewInfo, options ...Option) *Integrator {
 		matcher:      NewMatcher(views, o.filter),
 		sendEmptyRel: o.sendEmptyRel,
 		relayRel:     o.relayRel,
+		dag:          o.dag,
 		groups:       make(map[int]bool),
 	}
 	for _, v := range views {
@@ -112,6 +126,20 @@ func (in *Integrator) Handle(m any, now int64) []msg.Outbound {
 	}
 	in.lastSeq = u.Seq
 	in.received++
+
+	// Shared-plans mode: advance the DAG through this update exactly once
+	// — even when every view is filtered out, the base replicas and node
+	// contents must track the source state. The resulting per-view deltas
+	// ride on the manager copies routed below. A DAG failure is as fatal
+	// as a FIFO violation: the plan state can no longer be trusted.
+	var viewDeltas map[msg.ViewID]*relation.Delta
+	if in.dag != nil {
+		var err error
+		viewDeltas, err = in.dag.Apply(u)
+		if err != nil {
+			panic(fmt.Sprintf("integrator: shared maintenance plan: %v", err))
+		}
+	}
 
 	// §3.2 step 2: determine RELᵢ, with optional irrelevance filtering.
 	relevant := in.matcher.Match(u)
@@ -183,12 +211,13 @@ func (in *Integrator) Handle(m any, now int64) []msg.Outbound {
 	// §3.2 step 4: send each relevant view manager its (filtered) copy.
 	for _, id := range ids {
 		out = append(out, msg.Send(msg.NodeViewManager(id), msg.Update{
-			Seq:      u.Seq,
-			Source:   u.Source,
-			Writes:   relevant[id],
-			CommitAt: u.CommitAt,
-			Rel:      carrier[id],
-			Trace:    fwd,
+			Seq:       u.Seq,
+			Source:    u.Source,
+			Writes:    relevant[id],
+			CommitAt:  u.CommitAt,
+			Rel:       carrier[id],
+			Trace:     fwd,
+			ViewDelta: viewDeltas[id],
 		}))
 	}
 	sortOutbound(out)

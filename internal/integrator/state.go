@@ -3,23 +3,36 @@ package integrator
 import (
 	"bytes"
 	"encoding/gob"
+	"fmt"
 
 	"whips/internal/msg"
 )
 
 // integratorState is the durable form of an Integrator. The matcher and
 // routing tables are pure functions of the view definitions, rebuilt from
-// configuration on restart; only the FIFO watermark and the received
-// count are state.
+// configuration on restart; the FIFO watermark, the received count, and —
+// in shared-plans mode — the maintenance-plan DAG's materialized contents
+// are state. The DAG must ride in the same snapshot as the watermark:
+// recovery replays only post-snapshot inputs, so the plan's relations
+// have to be captured at exactly the watermark's state.
 type integratorState struct {
 	LastSeq  int64
 	Received int64
+	Plan     []byte // nil when shared plans are off
 }
 
 // MarshalState implements durable.Durable.
 func (in *Integrator) MarshalState() ([]byte, error) {
+	st := integratorState{LastSeq: int64(in.lastSeq), Received: in.received}
+	if in.dag != nil {
+		p, err := in.dag.MarshalState()
+		if err != nil {
+			return nil, err
+		}
+		st.Plan = p
+	}
 	var buf bytes.Buffer
-	err := gob.NewEncoder(&buf).Encode(integratorState{LastSeq: int64(in.lastSeq), Received: in.received})
+	err := gob.NewEncoder(&buf).Encode(st)
 	return buf.Bytes(), err
 }
 
@@ -28,6 +41,14 @@ func (in *Integrator) RestoreState(b []byte) error {
 	var st integratorState
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
 		return err
+	}
+	if len(st.Plan) > 0 {
+		if in.dag == nil {
+			return fmt.Errorf("integrator: state carries a maintenance plan but shared plans are off")
+		}
+		if err := in.dag.RestoreState(st.Plan); err != nil {
+			return err
+		}
 	}
 	in.lastSeq = msg.UpdateID(st.LastSeq)
 	in.received = st.Received

@@ -94,6 +94,13 @@ type Update struct {
 	// message derived from this update forwards it (hop-incremented) so
 	// span chains survive process boundaries.
 	Trace *obs.TraceCtx
+	// ViewDelta is the receiving view's precomputed maintenance delta,
+	// attached by the integrator in shared-plans mode (internal/plan): the
+	// DAG evaluates each shared subexpression once and the manager applies
+	// this delta instead of re-deriving it from private replicas. Nil in
+	// per-view mode. Set only on a manager's copy of the update — each
+	// manager sees its own view's delta.
+	ViewDelta *relation.Delta
 }
 
 // Relations returns the distinct relation names written, sorted.

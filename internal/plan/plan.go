@@ -1,0 +1,348 @@
+// Package plan builds and drives a shared maintenance-plan DAG for
+// multi-query optimization of view maintenance (Mistry et al., PAPERS.md):
+// the common subexpressions of many view definitions become materialized
+// interior nodes that are maintained once per source update, with their
+// deltas fanned out to every dependent view.
+//
+// Structure. Each view expression is Optimized, then rewritten bottom-up:
+// any non-leaf subexpression whose canonical form (expr.CanonicalKey —
+// structural hashing over the optimized tree, renames normalized) occurs
+// at least twice across the view set becomes a DAG node. A node stores a
+// shallow expression in which nested shared subtrees are themselves scans
+// of earlier nodes ("@plan/N" names, distinct from any base relation), and
+// materializes its contents as an ordinary relation. The DAG therefore
+// implements expr.Database over base-relation replicas plus node contents,
+// and node N's delta is computed with the same counting-algorithm
+// machinery (expr.Delta over a StepDB) the per-view managers use — just
+// once, instead of once per view that mentions the subexpression.
+//
+// Maintenance. Apply treats a source transaction's writes as a sequence;
+// every node in topological order contributes its own signed delta as a
+// further "virtual write" against its node name. Because each write —
+// base or virtual — targets exactly one relation, a node's inputs evolve
+// identically under the subsequence of writes relevant to it, and the
+// telescoping sum over any write order lands on the same final state; so
+// each node delta equals exactly (node contents at post-transaction
+// state) − (node contents at pre-transaction state), and each per-view
+// root delta equals what that view's manager would have computed from its
+// own private tree. The DAG changes how action-list deltas are computed,
+// never what they contain: MVC guarantees downstream are untouched.
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+// NamePrefix prefixes every interior-node relation name, keeping the node
+// namespace disjoint from base relations (which come from source schemas
+// and never contain '@').
+const NamePrefix = "@plan/"
+
+// View pairs a view with its definition, the unit of DAG construction.
+type View struct {
+	ID   msg.ViewID
+	Expr expr.Expr
+}
+
+// node is one materialized shared subexpression.
+type node struct {
+	name   string    // "@plan/N" relation name
+	e      expr.Expr // shallow: nested shared subtrees appear as Scans of earlier nodes
+	reads  []string  // relation names e reads (base names and earlier node names)
+	schema *relation.Schema
+	key    string // canonical key of the subexpression (diagnostics)
+}
+
+// Stats reports DAG shape and work counters.
+type Stats struct {
+	Nodes      int   // materialized shared subexpressions
+	Views      int   // views fanned out from the DAG
+	Applies    int64 // source updates applied
+	NodeDeltas int64 // interior-node delta evaluations performed
+	ViewDeltas int64 // per-view root delta evaluations performed
+}
+
+// DAG is a shared maintenance plan over a set of views. It is built once
+// from the view definitions and then advanced update by update; Apply is
+// single-threaded (the integrator owns it), while the expression
+// evaluation inside one Apply may fan out through a worker pool upstream.
+type DAG struct {
+	nodes     []*node                  // topological order (children first)
+	rels      map[string]*relation.Relation // base replicas + node contents
+	baseNames []string                 // sorted distinct base relations
+	roots     map[msg.ViewID]expr.Expr // rewritten view expressions
+	rootReads map[msg.ViewID]map[string]bool // base relations of the ORIGINAL view expr
+	viewOrder []msg.ViewID             // sorted, for deterministic iteration
+	stats     Stats
+}
+
+// Build constructs the DAG for views over the initial database state.
+// Every base relation any view mentions is cloned out of init, and every
+// shared node is materialized at that state. View expressions are
+// Optimized before canonicalization, mirroring what the per-view baseline
+// evaluates, so sharing decisions see the same trees the managers would.
+func Build(views []View, init expr.Database) (*DAG, error) {
+	g := &DAG{
+		rels:      map[string]*relation.Relation{},
+		roots:     map[msg.ViewID]expr.Expr{},
+		rootReads: map[msg.ViewID]map[string]bool{},
+	}
+	optimized := make([]expr.Expr, len(views))
+	for i, v := range views {
+		if _, dup := g.roots[v.ID]; dup {
+			return nil, fmt.Errorf("plan: duplicate view %s", v.ID)
+		}
+		g.roots[v.ID] = nil // reserve; filled after rewrite
+		optimized[i] = expr.Optimize(v.Expr)
+	}
+
+	// Pass 1: count canonical keys of every non-leaf subexpression across
+	// the whole view set. A key seen twice — across views or within one
+	// (self-join) — marks a shared subexpression.
+	counts := map[string]int{}
+	var count func(e expr.Expr)
+	count = func(e expr.Expr) {
+		kids := expr.Children(e)
+		if len(kids) == 0 {
+			return
+		}
+		if key, ok := expr.CanonicalKey(e); ok {
+			counts[key]++
+		}
+		for _, c := range kids {
+			count(c)
+		}
+	}
+	for _, e := range optimized {
+		count(e)
+	}
+
+	// Pass 2: rewrite each view bottom-up, creating one node per shared
+	// key on first encounter. Children are rewritten before their parent,
+	// so g.nodes ends up in topological order.
+	byKey := map[string]*node{}
+	var rewrite func(e expr.Expr) (expr.Expr, error)
+	rewrite = func(e expr.Expr) (expr.Expr, error) {
+		kids := expr.Children(e)
+		if len(kids) == 0 {
+			return e, nil
+		}
+		rw := make([]expr.Expr, len(kids))
+		for i, c := range kids {
+			var err error
+			if rw[i], err = rewrite(c); err != nil {
+				return nil, err
+			}
+		}
+		re, err := expr.Rebuild(e, rw)
+		if err != nil {
+			return nil, fmt.Errorf("plan: rebuilding %T: %w", e, err)
+		}
+		key, ok := expr.CanonicalKey(e)
+		if !ok || counts[key] < 2 {
+			return re, nil
+		}
+		n := byKey[key]
+		if n == nil {
+			n = &node{
+				name:   fmt.Sprintf("%s%d", NamePrefix, len(g.nodes)),
+				e:      re,
+				reads:  re.BaseRelations(),
+				schema: e.Schema(),
+				key:    key,
+			}
+			byKey[key] = n
+			g.nodes = append(g.nodes, n)
+		}
+		return expr.Scan(n.name, n.schema), nil
+	}
+	for i, v := range views {
+		root, err := rewrite(optimized[i])
+		if err != nil {
+			return nil, fmt.Errorf("plan: view %s: %w", v.ID, err)
+		}
+		g.roots[v.ID] = root
+		// Relevance uses the base relations of the expression AS GIVEN —
+		// the same set the integrator's matcher routes on — so every
+		// manager copy of an update is guaranteed a delta, even when
+		// further optimization here pruned a base the matcher still sees.
+		reads := map[string]bool{}
+		for _, b := range v.Expr.BaseRelations() {
+			reads[b] = true
+		}
+		g.rootReads[v.ID] = reads
+		g.viewOrder = append(g.viewOrder, v.ID)
+	}
+	sort.Slice(g.viewOrder, func(i, j int) bool { return g.viewOrder[i] < g.viewOrder[j] })
+
+	// Replicate every base relation the optimized views mention, then
+	// materialize node contents in topological order (each node may read
+	// earlier nodes through g's Database view of itself).
+	baseSeen := map[string]bool{}
+	for i := range views {
+		for _, b := range optimized[i].BaseRelations() {
+			if baseSeen[b] {
+				continue
+			}
+			baseSeen[b] = true
+			r, err := init.Relation(b)
+			if err != nil {
+				return nil, fmt.Errorf("plan: base relation %q: %w", b, err)
+			}
+			g.rels[b] = r.Clone()
+			g.baseNames = append(g.baseNames, b)
+		}
+	}
+	sort.Strings(g.baseNames)
+	for _, n := range g.nodes {
+		r, err := expr.Eval(n.e, g)
+		if err != nil {
+			return nil, fmt.Errorf("plan: materializing %s (%s): %w", n.name, n.key, err)
+		}
+		g.rels[n.name] = r
+	}
+	g.stats.Nodes = len(g.nodes)
+	g.stats.Views = len(views)
+	return g, nil
+}
+
+// Relation implements expr.Database over base replicas and node contents.
+func (g *DAG) Relation(name string) (*relation.Relation, error) {
+	r, ok := g.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown relation %q", name)
+	}
+	return r, nil
+}
+
+// Apply advances the DAG through one committed source transaction and
+// returns the maintenance delta of every view whose definition mentions a
+// written relation — a superset of the integrator's (possibly filtered)
+// relevant set, so every manager copy of the update can carry its delta.
+// Returned deltas are fresh objects the caller owns. Apply must be called
+// in global sequence order; on error the DAG is unusable (the integrator
+// treats that as fatal, like a FIFO violation).
+func (g *DAG) Apply(u msg.Update) (map[msg.ViewID]*relation.Delta, error) {
+	// ext is the transaction's write sequence, extended with one virtual
+	// write per affected node as deltas are computed in topological order.
+	ext := make([]expr.Write, 0, len(u.Writes)+len(g.nodes))
+	written := make(map[string]bool, len(u.Writes))
+	for _, w := range u.Writes {
+		ext = append(ext, expr.Write{Relation: w.Relation, Delta: w.Delta})
+		written[w.Relation] = true
+	}
+	for _, n := range g.nodes {
+		d, evaluated, err := g.deltaOver(n.e, n.schema, n.reads, ext)
+		if err != nil {
+			return nil, fmt.Errorf("plan: delta of %s (%s): %w", n.name, n.key, err)
+		}
+		if evaluated {
+			g.stats.NodeDeltas++
+		}
+		if !d.Empty() {
+			ext = append(ext, expr.Write{Relation: n.name, Delta: d})
+			written[n.name] = true
+		}
+	}
+
+	out := make(map[msg.ViewID]*relation.Delta)
+	for _, id := range g.viewOrder {
+		reads := g.rootReads[id]
+		relevant := false
+		for _, w := range u.Writes {
+			if reads[w.Relation] {
+				relevant = true
+				break
+			}
+		}
+		if !relevant {
+			continue
+		}
+		root := g.roots[id]
+		d, evaluated, err := g.deltaOver(root, root.Schema(), root.BaseRelations(), ext)
+		if err != nil {
+			return nil, fmt.Errorf("plan: delta of view %s: %w", id, err)
+		}
+		if evaluated {
+			g.stats.ViewDeltas++
+		}
+		out[id] = d
+	}
+
+	// Only after every delta is computed against the pre-transaction state
+	// does the DAG advance: base writes and node deltas alike.
+	for _, w := range ext {
+		r, ok := g.rels[w.Relation]
+		if !ok {
+			// A base relation no view mentions: writes to it are irrelevant.
+			continue
+		}
+		if err := r.Apply(w.Delta); err != nil {
+			return nil, fmt.Errorf("plan: applying write to %q: %w", w.Relation, err)
+		}
+	}
+	g.stats.Applies++
+	return out, nil
+}
+
+// deltaOver computes the signed delta of expression e (output schema sch,
+// reading relation set reads) across the write sequence ext, evaluated
+// against g's current (pre-transaction) state. Writes to relations e does
+// not read cannot change its inputs and are skipped entirely; each
+// relevant write's delta rule runs at the state produced by its relevant
+// predecessors. The StepDB clone after the final relevant write is
+// skipped — in the common one-relevant-write case no relation is cloned
+// at all.
+func (g *DAG) deltaOver(e expr.Expr, sch *relation.Schema, reads []string, ext []expr.Write) (*relation.Delta, bool, error) {
+	var idx []int
+	for i, w := range ext {
+		for _, r := range reads {
+			if r == w.Relation {
+				idx = append(idx, i)
+				break
+			}
+		}
+	}
+	if len(idx) == 0 {
+		return relation.NewDelta(sch), false, nil
+	}
+	total := relation.NewDelta(sch)
+	sdb := expr.NewStepDB(g)
+	for k, i := range idx {
+		step, err := expr.Delta(e, ext[i].Relation, ext[i].Delta, sdb)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := total.Merge(step); err != nil {
+			return nil, false, err
+		}
+		if k < len(idx)-1 {
+			if err := sdb.Advance(ext[i].Relation, ext[i].Delta); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	return total, true, nil
+}
+
+// Stats returns a snapshot of the DAG's shape and work counters.
+func (g *DAG) Stats() Stats { return g.stats }
+
+// Nodes returns the shared-node names with their canonical keys, in
+// topological order — for diagnostics and tests.
+func (g *DAG) Nodes() map[string]string {
+	out := make(map[string]string, len(g.nodes))
+	for _, n := range g.nodes {
+		out[n.name] = n.key
+	}
+	return out
+}
+
+// Root returns the rewritten (DAG-subscribing) expression of a view, or
+// nil if the view is unknown.
+func (g *DAG) Root(id msg.ViewID) expr.Expr { return g.roots[id] }

@@ -1,0 +1,347 @@
+// plan_test.go checks the shared maintenance-plan DAG against the
+// recompute oracle: every per-view delta Apply hands out must equal the
+// difference between evaluating the view's original expression after and
+// before the transaction, over randomized multi-write workloads including
+// aggregates and deletions.
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/relation"
+)
+
+var (
+	rSchema = relation.MustSchema("A:int", "B:int")
+	sSchema = relation.MustSchema("B:int", "C:int")
+	tSchema = relation.MustSchema("C:int", "D:int")
+)
+
+func initDB(t *testing.T) expr.MapDB {
+	t.Helper()
+	r := relation.FromTuples(rSchema, relation.T(1, 10), relation.T(2, 10), relation.T(7, 20))
+	s := relation.FromTuples(sSchema, relation.T(10, 100), relation.T(20, 200), relation.T(20, 300))
+	tt := relation.FromTuples(tSchema, relation.T(100, 1), relation.T(200, 2))
+	return expr.MapDB{"R": r, "S": s, "T": tt}
+}
+
+// mustJoin etc. keep the view-definition table terse.
+func mustJoin(t *testing.T, l, r expr.Expr) expr.Expr {
+	t.Helper()
+	j, err := expr.Join(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func mustSelect(t *testing.T, e expr.Expr, p expr.Pred) expr.Expr {
+	t.Helper()
+	sel, err := expr.Select(e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+func mustAgg(t *testing.T, e expr.Expr, groupBy []string, aggs []expr.AggSpec) expr.Expr {
+	t.Helper()
+	a, err := expr.Aggregate(e, groupBy, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// testViews builds a view set with deliberate sharing: V1, V2, and V4 all
+// contain the R⋈S join (V4 is identical to V1 — whole-tree sharing), V3
+// joins S⋈T (no overlap with R⋈S), and V5 is a bare scan.
+func testViews(t *testing.T) []View {
+	t.Helper()
+	scanR := expr.Scan("R", rSchema)
+	scanS := expr.Scan("S", sSchema)
+	scanT := expr.Scan("T", tSchema)
+	rs := mustJoin(t, scanR, scanS)
+	// CmpAttrs selections do not push below the join, so the shared join
+	// survives Optimize in every tree.
+	v1 := mustSelect(t, rs, expr.CmpAttrs("A", expr.Lt, "C"))
+	v2 := mustAgg(t, mustJoin(t, scanR, scanS), []string{"B"},
+		[]expr.AggSpec{{Op: expr.Sum, Attr: "C", As: "SC"}, {Op: expr.Count, As: "N"}})
+	v3 := mustSelect(t, mustJoin(t, scanS, scanT), expr.CmpAttrs("B", expr.Lt, "D"))
+	v4 := mustSelect(t, mustJoin(t, scanR, scanS), expr.CmpAttrs("A", expr.Lt, "C"))
+	return []View{
+		{ID: "V1", Expr: v1},
+		{ID: "V2", Expr: v2},
+		{ID: "V3", Expr: v3},
+		{ID: "V4", Expr: v4},
+		{ID: "V5", Expr: expr.Scan("R", rSchema)},
+	}
+}
+
+func TestDAGSharesCommonSubexpressions(t *testing.T) {
+	g, err := Build(testViews(t), initDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Views != 5 {
+		t.Fatalf("views = %d", st.Views)
+	}
+	// At minimum the R⋈S join (V1, V2, V4) and the whole σ[A<C](R⋈S) tree
+	// (V1, V4) are shared.
+	if st.Nodes < 2 {
+		t.Fatalf("nodes = %d, want >= 2 (join + identical selection)", st.Nodes)
+	}
+	nodes := g.Nodes()
+	var sawJoin bool
+	for name, key := range nodes {
+		if !strings.HasPrefix(name, NamePrefix) {
+			t.Errorf("node name %q lacks prefix %q", name, NamePrefix)
+		}
+		if strings.HasPrefix(key, "join(") && strings.Contains(key, `scan("R"`) {
+			sawJoin = true
+		}
+	}
+	if !sawJoin {
+		t.Errorf("no R⋈S join node among %v", nodes)
+	}
+	// Identical views rewrite to scans of the same node.
+	r1, r4 := g.Root("V1"), g.Root("V4")
+	k1, ok1 := expr.CanonicalKey(r1)
+	k4, ok4 := expr.CanonicalKey(r4)
+	if !ok1 || !ok4 || k1 != k4 {
+		t.Errorf("identical views rewrote differently: %q vs %q", k1, k4)
+	}
+	// V3's S⋈T node must not be the same as the R⋈S node, and V5 stays a
+	// plain base scan (leaves are never nodes).
+	if _, isScan := g.Root("V5").(*expr.ScanExpr); !isScan {
+		t.Errorf("V5 root = %T, want bare scan", g.Root("V5"))
+	}
+}
+
+// applyOracle mirrors one transaction on the baseline database and returns
+// each view's recompute delta (post − pre evaluation of the ORIGINAL tree).
+func applyOracle(t *testing.T, views []View, db expr.MapDB, u msg.Update) map[msg.ViewID]*relation.Delta {
+	t.Helper()
+	pre := map[msg.ViewID]*relation.Relation{}
+	for _, v := range views {
+		r, err := expr.Eval(v.Expr, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre[v.ID] = r
+	}
+	for _, w := range u.Writes {
+		if err := db[w.Relation].Apply(w.Delta); err != nil {
+			t.Fatalf("oracle apply %s: %v", w.Relation, err)
+		}
+	}
+	out := map[msg.ViewID]*relation.Delta{}
+	for _, v := range views {
+		post, err := expr.Eval(v.Expr, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[v.ID] = post.DiffFrom(pre[v.ID])
+	}
+	return out
+}
+
+// randomTxn builds a 1–3 write transaction: weighted inserts plus deletes
+// of currently present tuples. Victims are drawn from a per-transaction
+// scratch state that tracks the transaction's own earlier writes, so a
+// multi-write transaction never deletes more copies than exist at the
+// point its write applies (and deterministic EachSorted order keeps runs
+// reproducible).
+func randomTxn(rng *rand.Rand, db expr.MapDB, seq msg.UpdateID) msg.Update {
+	names := []string{"R", "S", "T"}
+	schemas := map[string]*relation.Schema{"R": rSchema, "S": sSchema, "T": tSchema}
+	scratch := map[string]*relation.Relation{}
+	cur := func(name string) *relation.Relation {
+		if r, ok := scratch[name]; ok {
+			return r
+		}
+		r := db[name].Clone()
+		scratch[name] = r
+		return r
+	}
+	nw := 1 + rng.Intn(3)
+	u := msg.Update{Seq: seq}
+	for i := 0; i < nw; i++ {
+		name := names[rng.Intn(len(names))]
+		live := cur(name)
+		d := relation.NewDelta(schemas[name])
+		if rng.Intn(3) == 0 && live.Cardinality() > 0 {
+			// Delete one existing tuple.
+			var victim relation.Tuple
+			k := rng.Intn(live.Distinct())
+			live.EachSorted(func(tp relation.Tuple, n int64) bool {
+				if k == 0 {
+					victim = tp
+					return false
+				}
+				k--
+				return true
+			})
+			d.Add(victim, -1)
+		} else {
+			// Insert 1–2 tuples drawn from a small key domain so joins and
+			// groups collide often.
+			for j := 0; j < 1+rng.Intn(2); j++ {
+				switch name {
+				case "R":
+					d.Add(relation.T(int64(rng.Intn(10)), int64(10*(1+rng.Intn(3)))), 1)
+				case "S":
+					d.Add(relation.T(int64(10*(1+rng.Intn(3))), int64(100*(1+rng.Intn(4)))), 1)
+				case "T":
+					d.Add(relation.T(int64(100*(1+rng.Intn(4))), int64(rng.Intn(8))), 1)
+				}
+			}
+		}
+		if err := live.Apply(d); err != nil {
+			panic(fmt.Sprintf("plan_test: scratch apply: %v", err))
+		}
+		u.Writes = append(u.Writes, msg.Write{Relation: name, Delta: d})
+	}
+	return u
+}
+
+func TestDAGApplyMatchesRecomputeOracle(t *testing.T) {
+	views := testViews(t)
+	g, err := Build(views, initDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := initDB(t) // independent mutable copy
+	rng := rand.New(rand.NewSource(42))
+	for seq := msg.UpdateID(1); seq <= 120; seq++ {
+		u := randomTxn(rng, oracle, seq)
+		got, err := g.Apply(u)
+		if err != nil {
+			t.Fatalf("seq %d: %v", seq, err)
+		}
+		want := applyOracle(t, views, oracle, u)
+		for _, v := range views {
+			wd := want[v.ID]
+			gd, ok := got[v.ID]
+			if !ok {
+				// Apply omits views none of whose base relations were
+				// written; their oracle delta must be empty.
+				if !wd.Empty() {
+					t.Fatalf("seq %d: view %s delta omitted but oracle has %v", seq, v.ID, wd)
+				}
+				continue
+			}
+			if !gd.Equal(wd) {
+				t.Fatalf("seq %d: view %s\n dag    = %v\n oracle = %v", seq, v.ID, gd, wd)
+			}
+		}
+		// DAG-internal state tracks the oracle exactly.
+		for _, name := range []string{"R", "S", "T"} {
+			r, err := g.Relation(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Equal(oracle[name]) {
+				t.Fatalf("seq %d: DAG replica %s diverged", seq, name)
+			}
+		}
+	}
+	st := g.Stats()
+	if st.Applies != 120 {
+		t.Fatalf("applies = %d", st.Applies)
+	}
+	// Sharing must actually save work: the whole point. With V1, V2, V4
+	// all over R⋈S, the join delta is computed once per R/S write instead
+	// of three times.
+	if st.NodeDeltas == 0 || st.ViewDeltas == 0 {
+		t.Fatalf("work counters never moved: %+v", st)
+	}
+}
+
+func TestDAGIrrelevantWriteProducesNoDeltas(t *testing.T) {
+	g, err := Build(testViews(t), initDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := relation.NewDelta(relation.MustSchema("Z:int"))
+	d.Add(relation.T(1), 1)
+	out, err := g.Apply(msg.Update{Seq: 1, Writes: []msg.Write{{Relation: "ZZZ", Delta: d}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("irrelevant write produced deltas for %v", out)
+	}
+}
+
+func TestDAGMarshalRestoreRoundTrip(t *testing.T) {
+	views := testViews(t)
+	g, err := Build(views, initDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := initDB(t)
+	rng := rand.New(rand.NewSource(7))
+	var history []msg.Update
+	for seq := msg.UpdateID(1); seq <= 20; seq++ {
+		u := randomTxn(rng, oracle, seq)
+		for _, w := range u.Writes {
+			if err := oracle[w.Relation].Apply(w.Delta); err != nil {
+				t.Fatal(err)
+			}
+		}
+		history = append(history, u)
+		if _, err := g.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := g.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A freshly built DAG (initial state) restored from the snapshot must
+	// behave identically to the original from here on.
+	g2, err := Build(views, initDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	u := randomTxn(rng, oracle, 21)
+	d1, err := g.Apply(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := g2.Apply(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) != len(d2) {
+		t.Fatalf("delta sets differ: %d vs %d views", len(d1), len(d2))
+	}
+	for id, d := range d1 {
+		if !d.Equal(d2[id]) {
+			t.Fatalf("view %s deltas diverge after restore", id)
+		}
+	}
+	if err := g2.RestoreState([]byte("garbage")); err == nil {
+		t.Fatal("garbage state restored without error")
+	}
+}
+
+func TestDAGDuplicateViewRejected(t *testing.T) {
+	vs := []View{
+		{ID: "V", Expr: expr.Scan("R", rSchema)},
+		{ID: "V", Expr: expr.Scan("S", sSchema)},
+	}
+	if _, err := Build(vs, initDB(t)); err == nil {
+		t.Fatal("duplicate view accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"whips/internal/wire"
+)
+
+// dagState is the durable form of a DAG: only the materialized contents —
+// base replicas and node relations — are state; the node structure and
+// rewritten roots are pure functions of the view definitions, rebuilt by
+// Build on restart. Names are sorted so identical states marshal to
+// identical bytes (the durable-recovery determinism property).
+type dagState struct {
+	Names []string
+	Rels  []wire.Rel
+}
+
+// MarshalState implements durable.Durable.
+func (g *DAG) MarshalState() ([]byte, error) {
+	st := dagState{Names: make([]string, 0, len(g.rels))}
+	for name := range g.rels {
+		st.Names = append(st.Names, name)
+	}
+	sort.Strings(st.Names)
+	st.Rels = make([]wire.Rel, len(st.Names))
+	for i, name := range st.Names {
+		st.Rels[i] = wire.EncodeRelation(g.rels[name])
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(st)
+	return buf.Bytes(), err
+}
+
+// RestoreState implements durable.Durable. The DAG must have been Built
+// from the same view definitions that produced the snapshot.
+func (g *DAG) RestoreState(b []byte) error {
+	var st dagState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	if len(st.Names) != len(st.Rels) {
+		return fmt.Errorf("plan: corrupt state: %d names, %d relations", len(st.Names), len(st.Rels))
+	}
+	for i, name := range st.Names {
+		if _, ok := g.rels[name]; !ok {
+			return fmt.Errorf("plan: state holds relation %q the plan does not", name)
+		}
+		r, err := wire.DecodeRelation(st.Rels[i])
+		if err != nil {
+			return fmt.Errorf("plan: restoring %q: %w", name, err)
+		}
+		g.rels[name] = r
+	}
+	if len(st.Names) != len(g.rels) {
+		return fmt.Errorf("plan: state holds %d relations, plan has %d", len(st.Names), len(g.rels))
+	}
+	return nil
+}

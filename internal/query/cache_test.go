@@ -1,0 +1,133 @@
+// cache_test.go covers per-view cache invalidation — a cached answer must
+// survive maintenance transactions that only advanced *other* views — and
+// fuzzes Spec.Key for collisions between structurally distinct specs.
+package query
+
+import (
+	"testing"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/obs"
+	"whips/internal/relation"
+	"whips/internal/warehouse"
+)
+
+// newTwoViewWarehouse builds a warehouse publishing independent views "VA"
+// and "VB" so commits can advance one without touching the other.
+func newTwoViewWarehouse(t *testing.T) *warehouse.Warehouse {
+	t.Helper()
+	va := relation.FromTuples(qSchema, relation.T(1, "x", 10))
+	vb := relation.FromTuples(qSchema, relation.T(2, "y", 20))
+	return warehouse.New(map[msg.ViewID]*relation.Relation{"VA": va, "VB": vb}, warehouse.WithStateLog())
+}
+
+// commitTo applies one insert to a single view, leaving the other views'
+// frontiers untouched.
+func commitTo(t *testing.T, w *warehouse.Warehouse, view msg.ViewID, id msg.TxnID, tup relation.Tuple) {
+	t.Helper()
+	w.Handle(msg.SubmitTxn{Txn: msg.WarehouseTxn{
+		ID:     id,
+		Rows:   []msg.UpdateID{msg.UpdateID(id)},
+		Writes: []msg.ViewWrite{{View: view, Upto: msg.UpdateID(id), Delta: relation.InsertDelta(qSchema, tup)}},
+	}}, int64(id))
+}
+
+// TestQueryCacheSurvivesOtherViewCommit is the hit-ratio regression test:
+// before per-view invalidation, every commit flushed the whole cache
+// (epoch-keyed entries), so the VB query below re-evaluated on every call
+// and the hit ratio of this workload was 0%.
+func TestQueryCacheSurvivesOtherViewCommit(t *testing.T) {
+	w := newTwoViewWarehouse(t)
+	pipe := obs.NewPipeline()
+	e := New(w, WithObs(pipe))
+	specB := Spec{View: "VB", Where: expr.Cmp("B", expr.Eq, "y")}
+	first, err := e.Run(specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first run claimed cached")
+	}
+	const commits = 10
+	for i := 1; i <= commits; i++ {
+		commitTo(t, w, "VA", msg.TxnID(i), relation.T(int64(100+i), "x", int64(i)))
+		res, err := e.Run(specB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Cached {
+			t.Fatalf("VB answer evicted by a VA-only commit (epoch %d)", int64(i))
+		}
+		// The hit reflects the *current* warehouse state — VB hasn't moved,
+		// so the old contents equal the new epoch's.
+		if res.Epoch != int64(i) {
+			t.Fatalf("hit epoch = %d, want current epoch %d", res.Epoch, i)
+		}
+		if res.Rel != first.Rel {
+			t.Fatal("hit returned a different relation object")
+		}
+	}
+	hits := pipe.Reg().Counter("query_cache_hits_total").Value()
+	misses := pipe.Reg().Counter("query_cache_misses_total").Value()
+	if hits != commits || misses != 1 {
+		t.Fatalf("hit/miss = %d/%d, want %d/1", hits, misses, commits)
+	}
+	// A commit that does touch VB still invalidates.
+	commitTo(t, w, "VB", commits+1, relation.T(9, "y", 90))
+	res, err := e.Run(specB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatal("VB commit did not invalidate the VB entry")
+	}
+	if res.Rel.Cardinality() != 2 {
+		t.Fatalf("post-commit rel = %v", res.Rel)
+	}
+}
+
+// TestQueryCacheDistinctViewsCoexist pins that entries for different views
+// live side by side and invalidate independently.
+func TestQueryCacheDistinctViewsCoexist(t *testing.T) {
+	w := newTwoViewWarehouse(t)
+	e := New(w)
+	specA := Spec{View: "VA"}
+	specB := Spec{View: "VB"}
+	e.Run(specA)
+	e.Run(specB)
+	commitTo(t, w, "VA", 1, relation.T(5, "x", 50))
+	if r, _ := e.Run(specA); r.Cached {
+		t.Fatal("VA entry survived a VA commit")
+	}
+	if r, _ := e.Run(specB); !r.Cached {
+		t.Fatal("VB entry lost to a VA commit")
+	}
+}
+
+// FuzzSpecKeyCollision drives Spec.Key with adversarial strings placed in
+// different components. Two specs whose components differ must never share
+// a key. The seed corpus includes the concrete collision the raw (unquoted)
+// Where rendering allowed: Where B="x" with Columns ["A"] keyed identically
+// to Where B=`x|c="A"` with no columns.
+func FuzzSpecKeyCollision(f *testing.F) {
+	f.Add(`x`, "A", `x|c="A"`, "")
+	f.Add("x", "", "x", "")
+	f.Add(`a"|g="b`, "", "a", `"|g="b`)
+	f.Add("v|w=", "c", "v", "|w=c")
+	f.Fuzz(func(t *testing.T, w1, c1, w2, c2 string) {
+		s1 := Spec{View: "V", Where: expr.Cmp("B", expr.Eq, w1)}
+		if c1 != "" {
+			s1.Columns = []string{c1}
+		}
+		s2 := Spec{View: "V", Where: expr.Cmp("B", expr.Eq, w2)}
+		if c2 != "" {
+			s2.Columns = []string{c2}
+		}
+		same := w1 == w2 && c1 == c2
+		if (s1.Key() == s2.Key()) != same {
+			t.Fatalf("key collision mismatch:\n s1=%+v key %q\n s2=%+v key %q\n structurally same=%v",
+				s1, s1.Key(), s2, s2.Key(), same)
+		}
+	})
+}

@@ -6,8 +6,10 @@
 //
 // Queries reuse the internal/expr algebra, so a query is compiled into the
 // same Scan→Select→Project/Aggregate trees that define views, and evaluate
-// lock-free: the only shared mutable state is the engine's result cache,
-// an LRU keyed by the query's canonical form and invalidated by epoch.
+// lock-free: the only shared mutable state is the engine's result cache, an
+// LRU keyed by the query's canonical form and invalidated per view — an
+// entry survives commits that advance other views, and dies only when the
+// view it reads actually moved (its Upto frontier changed).
 package query
 
 import (
@@ -43,7 +45,10 @@ func (s Spec) Key() string {
 	b.WriteString(strconv.Quote(string(s.View)))
 	b.WriteString("|w=")
 	if s.Where != nil {
-		b.WriteString(s.Where.String())
+		// Quoted: a predicate's String() may contain the literal delimiters
+		// used between key components ("|c=", quotes, ...), so embedding it
+		// raw lets adversarial string constants collide with other specs.
+		b.WriteString(strconv.Quote(s.Where.String()))
 	}
 	b.WriteString("|c=")
 	for _, c := range s.Columns {
@@ -97,9 +102,12 @@ type Engine struct {
 }
 
 type cacheEntry struct {
-	key   string
-	epoch int64
-	res   Result
+	key string
+	// upto is the queried view's applied frontier at compute time. The
+	// entry is valid as long as the view's frontier hasn't moved — commits
+	// that only touch other views leave it servable.
+	upto msg.UpdateID
+	res  Result
 }
 
 // Option configures an Engine.
@@ -144,13 +152,17 @@ func New(src Source, opts ...Option) *Engine {
 }
 
 // Run answers spec against the current epoch snapshot, consulting the
-// cache. A cached answer is served only if its epoch matches the current
-// snapshot's epoch exactly — any committed maintenance transaction since
-// it was computed invalidates it.
+// cache. A cached answer is served only if the queried view's applied
+// frontier (Snapshot.Upto) still matches the one it was computed at:
+// commits that advanced only other views leave the entry valid, while any
+// maintenance transaction that touched this view invalidates it. A served
+// hit reports the current snapshot's epoch — that is the state it is
+// equal to, even if it was computed at an earlier one.
 func (e *Engine) Run(spec Spec) (Result, error) {
 	snap := e.src.Snapshot()
 	key := spec.Key()
-	if res, ok := e.cacheGet(key, snap.Epoch); ok {
+	if res, ok := e.cacheGet(key, snap.Upto(spec.View)); ok {
+		res.Epoch = snap.Epoch
 		e.total.Inc()
 		e.hits.Inc()
 		e.observeAge(snap)
@@ -161,7 +173,7 @@ func (e *Engine) Run(spec Spec) (Result, error) {
 		return Result{}, err
 	}
 	e.misses.Inc()
-	e.cachePut(key, res)
+	e.cachePut(key, res, snap.Upto(spec.View))
 	return res, nil
 }
 
@@ -242,7 +254,7 @@ func (e *Engine) observeAge(snap *warehouse.Snapshot) {
 	}
 }
 
-func (e *Engine) cacheGet(key string, epoch int64) (Result, bool) {
+func (e *Engine) cacheGet(key string, upto msg.UpdateID) (Result, bool) {
 	if e.cap <= 0 {
 		return Result{}, false
 	}
@@ -253,8 +265,8 @@ func (e *Engine) cacheGet(key string, epoch int64) (Result, bool) {
 		return Result{}, false
 	}
 	ent := el.Value.(*cacheEntry)
-	if ent.epoch != epoch {
-		// Stale epoch: drop it now; the caller will recompute and re-put.
+	if ent.upto != upto {
+		// The view moved: drop it now; the caller will recompute and re-put.
 		e.lru.Remove(el)
 		delete(e.items, key)
 		e.entriesG.Set(int64(len(e.items)))
@@ -266,18 +278,18 @@ func (e *Engine) cacheGet(key string, epoch int64) (Result, bool) {
 	return res, true
 }
 
-func (e *Engine) cachePut(key string, res Result) {
+func (e *Engine) cachePut(key string, res Result, upto msg.UpdateID) {
 	if e.cap <= 0 {
 		return
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if el, ok := e.items[key]; ok {
-		el.Value = &cacheEntry{key: key, epoch: res.Epoch, res: res}
+		el.Value = &cacheEntry{key: key, upto: upto, res: res}
 		e.lru.MoveToFront(el)
 		return
 	}
-	e.items[key] = e.lru.PushFront(&cacheEntry{key: key, epoch: res.Epoch, res: res})
+	e.items[key] = e.lru.PushFront(&cacheEntry{key: key, upto: upto, res: res})
 	for e.lru.Len() > e.cap {
 		old := e.lru.Back()
 		e.lru.Remove(old)

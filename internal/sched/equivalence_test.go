@@ -1,0 +1,146 @@
+// equivalence_test.go is the shared-plans correctness battery: explored
+// schedules — including crash/stall fault schedules — must drive the
+// warehouse through a fingerprint-identical state sequence whether views
+// are maintained per-view (baseline) or through the shared
+// maintenance-plan DAG. The DAG changes how action-list deltas are
+// computed, never what they contain, so every epoch of every schedule must
+// hash equal across the two modes.
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"whips/internal/repl"
+	"whips/internal/system"
+	"whips/internal/viewmgr"
+)
+
+// epochFingerprints hashes every published warehouse epoch of a quiesced
+// system with the replication judge's canonical fingerprint.
+func epochFingerprints(sys *system.System) []string {
+	head := sys.Warehouse.Snapshot().Epoch
+	out := make([]string, 0, head+1)
+	for i := int64(0); i <= head; i++ {
+		snap, err := sys.Warehouse.SnapshotAt(int(i))
+		if err != nil {
+			panic(fmt.Sprintf("equivalence: snapshot at %d: %v", i, err))
+		}
+		out = append(out, repl.Fingerprint(snap))
+	}
+	return out
+}
+
+// exploreFingerprints runs the given fleet configuration over a fixed
+// schedule budget, capturing each schedule's terminal epoch-fingerprint
+// sequence via the Inspect hook.
+func exploreFingerprints(t *testing.T, cfg FleetConfig, opts Options) [][]string {
+	t.Helper()
+	var logs [][]string
+	cfg.Inspect = func(sys *system.System) {
+		logs = append(logs, epochFingerprints(sys))
+	}
+	res, err := Explore(Fleet(cfg), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation:\n%v", res.Violation)
+	}
+	if len(logs) != res.Schedules {
+		t.Fatalf("inspected %d schedules of %d", len(logs), res.Schedules)
+	}
+	return logs
+}
+
+// requireIdentical compares per-schedule fingerprint sequences from the
+// two modes and reports the first diverging schedule and epoch.
+func requireIdentical(t *testing.T, base, shared [][]string) {
+	t.Helper()
+	if len(base) != len(shared) {
+		t.Fatalf("schedule counts differ: baseline %d, shared %d", len(base), len(shared))
+	}
+	for s := range base {
+		if len(base[s]) != len(shared[s]) {
+			t.Fatalf("schedule %d: epoch counts differ: baseline %d, shared %d",
+				s, len(base[s]), len(shared[s]))
+		}
+		for e := range base[s] {
+			if base[s][e] != shared[s][e] {
+				t.Fatalf("schedule %d epoch %d: warehouse states diverge:\n baseline %s\n shared   %s",
+					s, e, base[s][e], shared[s][e])
+			}
+		}
+	}
+}
+
+// TestSharedPlansEquivalence runs seeded random schedules of both theorem
+// fleets with and without the shared DAG. The schedules consume identical
+// randomness in both modes (the DAG adds no messages — deltas ride the
+// existing update fan-out), so schedule s is the same interleaving in both
+// runs and the warehouse state sequences must match epoch for epoch.
+func TestSharedPlansEquivalence(t *testing.T) {
+	for _, algo := range []string{"spa", "pa"} {
+		t.Run(algo, func(t *testing.T) {
+			cfg := FleetConfig{Algo: algo, Updates: 5, Seed: 3}
+			opts := Options{Seed: 100, Seeds: scale(t, 40)}
+			base := exploreFingerprints(t, cfg, opts)
+			cfg.SharedPlans = true
+			shared := exploreFingerprints(t, cfg, opts)
+			requireIdentical(t, base, shared)
+		})
+	}
+}
+
+// TestSharedPlansEquivalenceUnderFaults repeats the comparison with
+// crash/restart and stall faults drawn per step, in both recovery models:
+// input-log replay and durable state snapshots (which carry the restored
+// managers' shared-mode configuration through Rebuild).
+func TestSharedPlansEquivalenceUnderFaults(t *testing.T) {
+	for _, tc := range []struct {
+		name         string
+		stateRestore bool
+	}{
+		{"replay", false},
+		{"state-restore", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := FleetConfig{Algo: "pa", Updates: 4, Seed: 9, Crashable: true, StateRestore: tc.stateRestore}
+			opts := Options{Seed: 500, Seeds: scale(t, 30), FaultRate: 0.05}
+			base := exploreFingerprints(t, cfg, opts)
+			cfg.SharedPlans = true
+			shared := exploreFingerprints(t, cfg, opts)
+			requireIdentical(t, base, shared)
+		})
+	}
+}
+
+// TestSharedPlansDFSEquivalence drives systematic enumeration: every
+// DFS-enumerated interleaving (same lexicographic order in both modes)
+// must land on identical state sequences.
+func TestSharedPlansDFSEquivalence(t *testing.T) {
+	cfg := FleetConfig{Algo: "spa", Updates: 2, Seed: 11}
+	opts := Options{DFS: true, MaxSchedules: scale(t, 400)}
+	base := exploreFingerprints(t, cfg, opts)
+	cfg.SharedPlans = true
+	shared := exploreFingerprints(t, cfg, opts)
+	requireIdentical(t, base, shared)
+}
+
+// TestSharedPlansPooledWorkers runs shared-DAG fleets with a view-manager
+// worker pool attached; under -race this is the data-race check for the
+// DAG fan-out path (managers apply precomputed deltas inside pool workers
+// while the integrator owns the DAG).
+func TestSharedPlansPooledWorkers(t *testing.T) {
+	pool := viewmgr.NewPool(4)
+	defer pool.Close()
+	cfg := FleetConfig{Algo: "pa", Updates: 5, Seed: 3, Pool: pool, SharedPlans: true}
+	opts := Options{Seed: 200, Seeds: scale(t, 30)}
+	res, err := Explore(Fleet(cfg), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation:\n%v", res.Violation)
+	}
+}

@@ -51,6 +51,15 @@ type FleetConfig struct {
 	// chains as live replicated runs (and the quiescence check verifies the
 	// replica converged to the warehouse head).
 	Replicate bool
+	// SharedPlans maintains the fleet's views through the shared
+	// maintenance-plan DAG (internal/plan) instead of per-view trees, so
+	// explored schedules judge the DAG path against the same invariant
+	// battery as the baseline.
+	SharedPlans bool
+	// Inspect, when set, runs at the end of every schedule's quiescence
+	// check after all invariants passed — equivalence tests use it to
+	// fingerprint the terminal warehouse state sequence.
+	Inspect func(*system.System)
 }
 
 // Fleet returns a Factory building fresh paper-schema fleets.
@@ -84,13 +93,14 @@ func buildFleet(cfg FleetConfig) (*Harness, error) {
 		}
 	}
 	sys, err := system.Build(system.Config{
-		Sources:   workload.PaperSources(),
-		Views:     views,
-		Commit:    system.Sequential,
-		LogStates: true,
-		Pool:      cfg.Pool,
-		Obs:       cfg.Obs,
-		Replicate: cfg.Replicate,
+		Sources:     workload.PaperSources(),
+		Views:       views,
+		Commit:      system.Sequential,
+		LogStates:   true,
+		Pool:        cfg.Pool,
+		Obs:         cfg.Obs,
+		Replicate:   cfg.Replicate,
+		SharedPlans: cfg.SharedPlans,
 	})
 	if err != nil {
 		return nil, err
@@ -114,7 +124,7 @@ func buildFleet(cfg FleetConfig) (*Harness, error) {
 	h := &Harness{
 		Nodes:        sys.Nodes(),
 		Inject:       inject,
-		Check:        fleetCheck(cfg.Algo, wantLevel, sys, live),
+		Check:        fleetCheck(cfg.Algo, wantLevel, sys, live, cfg.Inspect),
 		StateRestore: cfg.StateRestore,
 	}
 	if cfg.Crashable {
@@ -129,6 +139,7 @@ func buildFleet(cfg FleetConfig) (*Harness, error) {
 				ComputeDelay: v.ComputeDelay,
 				Pool:         cfg.Pool,
 				Obs:          cfg.Obs,
+				SharedDeltas: cfg.SharedPlans,
 			}
 			h.Rebuild[msg.NodeViewManager(v.ID)] = func() msg.Node {
 				var m viewmgr.Manager
@@ -166,7 +177,7 @@ type liveNodes struct {
 // fleetCheck is the terminal-trace invariant battery: the §2 consistency
 // level required by the fleet's theorem, plus the §5 structural invariants
 // — column order, atomic VUT-row commit, purge safety, and promptness.
-func fleetCheck(algo string, wantLevel msg.Level, sys *system.System, live *liveNodes) func() error {
+func fleetCheck(algo string, wantLevel msg.Level, sys *system.System, live *liveNodes, inspect func(*system.System)) func() error {
 	return func() error {
 		log := sys.Warehouse.Log()
 		rep, err := consistency.Check(sys.Cluster, sys.Views, log)
@@ -208,6 +219,9 @@ func fleetCheck(algo string, wantLevel msg.Level, sys *system.System, live *live
 			if got, want := sys.Replica.Epoch(), sys.Warehouse.Snapshot().Epoch; got != want {
 				return fmt.Errorf("replication: replica at epoch %d, warehouse at %d at quiescence", got, want)
 			}
+		}
+		if inspect != nil {
+			inspect(sys)
 		}
 		return nil
 	}

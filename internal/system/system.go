@@ -16,6 +16,7 @@ import (
 	"whips/internal/merge"
 	"whips/internal/msg"
 	"whips/internal/obs"
+	"whips/internal/plan"
 	"whips/internal/relation"
 	"whips/internal/source"
 	"whips/internal/viewmgr"
@@ -151,6 +152,14 @@ type Config struct {
 	// OptimizeViews rewrites every view definition through expr.Optimize
 	// (selection pushdown, column pruning) before managers are built.
 	OptimizeViews bool
+	// SharedPlans builds a shared maintenance-plan DAG (internal/plan)
+	// over the view set: common subexpressions are canonicalized, shared,
+	// and maintained once at the integrator, and every replica-based view
+	// manager receives its precomputed delta with each update instead of
+	// evaluating a private tree. Incompatible with query-based manager
+	// kinds (CompleteQuery, QueryBatching), whose deltas come from source
+	// queries rather than local evaluation.
+	SharedPlans bool
 	// LogStates records the warehouse state sequence for the checker.
 	LogStates bool
 	// Clock supplies commit timestamps (defaults to zero; the runtime and
@@ -198,6 +207,9 @@ type System struct {
 	// Replica is the in-process read replica (Config.Replicate), fed by
 	// every warehouse commit; nil otherwise.
 	Replica *warehouse.Replica
+	// Plan is the shared maintenance-plan DAG (Config.SharedPlans); nil
+	// in per-view mode. Owned by the integrator once the system runs.
+	Plan *plan.DAG
 	// Pool is the view managers' shared worker pool (nil when serial).
 	Pool *viewmgr.Pool
 	// ownedPool marks a pool Build created from Config.Workers, which
@@ -307,6 +319,22 @@ func Build(cfg Config) (*System, error) {
 	if cfg.Obs != nil {
 		iopts = append(iopts, integrator.WithObs(cfg.Obs))
 	}
+	var dag *plan.DAG
+	if cfg.SharedPlans {
+		pviews := make([]plan.View, 0, len(cfg.Views))
+		for _, v := range cfg.Views {
+			if v.Manager == CompleteQuery || v.Manager == QueryBatching {
+				return nil, fmt.Errorf("system: shared plans are incompatible with query-based manager kind %v (view %s)", v.Manager, v.ID)
+			}
+			pviews = append(pviews, plan.View{ID: v.ID, Expr: v.Expr})
+		}
+		var err error
+		dag, err = plan.Build(pviews, cluster.DatabaseAt(0))
+		if err != nil {
+			return nil, err
+		}
+		iopts = append(iopts, integrator.WithSharedPlans(dag))
+	}
 	integ := integrator.New(infos, iopts...)
 
 	pool := cfg.Pool
@@ -327,6 +355,7 @@ func Build(cfg Config) (*System, error) {
 		Groups:        groups,
 		Algorithm:     algorithm,
 		Views:         views,
+		Plan:          dag,
 		matcher:       integ.Matcher(),
 		Pool:          pool,
 		ownedPool:     ownedPool,
@@ -351,6 +380,7 @@ func Build(cfg Config) (*System, error) {
 			StageData:    v.StageData,
 			Pool:         pool,
 			Obs:          cfg.Obs,
+			SharedDeltas: cfg.SharedPlans,
 		}
 		var mgr viewmgr.Manager
 		switch v.Manager {

@@ -19,7 +19,7 @@ type Complete struct {
 // NewComplete builds a complete manager; init must present the base
 // relations at state 0.
 func NewComplete(cfg Config, init expr.Database) (*Complete, error) {
-	reps, err := newReplicas(cfg.Expr, init)
+	reps, err := newManagerReplicas(cfg, init)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +54,7 @@ type Batching struct {
 
 // NewBatching builds a batching (Strobe-style) manager.
 func NewBatching(cfg Config, init expr.Database) (*Batching, error) {
-	reps, err := newReplicas(cfg.Expr, init)
+	reps, err := newManagerReplicas(cfg, init)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +86,7 @@ func NewCompleteN(cfg Config, init expr.Database, n int) (*CompleteN, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("viewmgr: complete-N needs N ≥ 1, got %d", n)
 	}
-	reps, err := newReplicas(cfg.Expr, init)
+	reps, err := newManagerReplicas(cfg, init)
 	if err != nil {
 		return nil, err
 	}
@@ -124,6 +124,11 @@ type Refresh struct {
 	pending  int
 	from     msg.UpdateID
 	lastSent *relation.Relation
+	// cur is the running view contents in shared-deltas mode (replicas are
+	// empty there, so the view cannot be recomputed from them): each
+	// update's precomputed ViewDelta is applied as it arrives, and the
+	// period boundary diffs cur against lastSent. Nil in per-view mode.
+	cur *relation.Relation
 
 	ob         vmObs
 	batchStart int64 // arrival time of the period's first update
@@ -134,15 +139,28 @@ func NewRefresh(cfg Config, init expr.Database, period int) (*Refresh, error) {
 	if period < 1 {
 		return nil, fmt.Errorf("viewmgr: refresh needs period ≥ 1, got %d", period)
 	}
-	reps, err := newReplicas(cfg.Expr, init)
+	reps, err := newManagerReplicas(cfg, init)
 	if err != nil {
 		return nil, err
+	}
+	m := &Refresh{cfg: cfg, reps: reps, period: period, from: 1, ob: newVMObs(cfg)}
+	if cfg.SharedDeltas {
+		// The replicas are empty in shared mode; seed the running view
+		// contents directly from the initial database state instead.
+		initial, err := expr.Eval(cfg.Expr, init)
+		if err != nil {
+			return nil, err
+		}
+		m.lastSent = initial
+		m.cur = initial.Clone()
+		return m, nil
 	}
 	initial, err := expr.Eval(cfg.Expr, reps)
 	if err != nil {
 		return nil, err
 	}
-	return &Refresh{cfg: cfg, reps: reps, period: period, from: 1, lastSent: initial, ob: newVMObs(cfg)}, nil
+	m.lastSent = initial
+	return m, nil
 }
 
 // Level returns the manager's consistency level.
@@ -163,6 +181,14 @@ func (m *Refresh) Handle(in any, now int64) []msg.Outbound {
 		m.from = u.Seq
 		m.batchStart = now
 	}
+	if m.cur != nil {
+		if u.ViewDelta == nil {
+			panic(fmt.Sprintf("viewmgr: %s: shared-deltas update %d arrived without a ViewDelta", m.cfg.View, u.Seq))
+		}
+		if err := m.cur.Apply(u.ViewDelta); err != nil {
+			panic(fmt.Sprintf("viewmgr: %s: view contents diverged at update %d: %v", m.cfg.View, u.Seq, err))
+		}
+	}
 	if err := m.reps.apply(u); err != nil {
 		panic(fmt.Sprintf("viewmgr: %s: %v", m.cfg.View, err))
 	}
@@ -170,9 +196,15 @@ func (m *Refresh) Handle(in any, now int64) []msg.Outbound {
 	if m.pending < m.period {
 		return relOut
 	}
-	cur, err := expr.Eval(m.cfg.Expr, m.reps)
-	if err != nil {
-		panic(fmt.Sprintf("viewmgr: %s: recompute: %v", m.cfg.View, err))
+	var cur *relation.Relation
+	if m.cur != nil {
+		cur = m.cur.Clone()
+	} else {
+		var err error
+		cur, err = expr.Eval(m.cfg.Expr, m.reps)
+		if err != nil {
+			panic(fmt.Sprintf("viewmgr: %s: recompute: %v", m.cfg.View, err))
+		}
 	}
 	diff := cur.DiffFrom(m.lastSent)
 	m.lastSent = cur
@@ -212,7 +244,7 @@ type Convergent struct {
 
 // NewConvergent builds a convergence-only manager.
 func NewConvergent(cfg Config, init expr.Database) (*Convergent, error) {
-	reps, err := newReplicas(cfg.Expr, init)
+	reps, err := newManagerReplicas(cfg, init)
 	if err != nil {
 		return nil, err
 	}

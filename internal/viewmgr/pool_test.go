@@ -56,7 +56,7 @@ func poolFixture(t *testing.T, n int) (expr.Expr, *replicas, []msg.Update) {
 func TestDeltaForUpdatesParallelMatchesSerial(t *testing.T) {
 	const updates = 12
 	eS, repsS, batchS := poolFixture(t, updates)
-	want, err := deltaForUpdates(eS, repsS, batchS, nil)
+	want, err := deltaForUpdates(eS, repsS, batchS, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestDeltaForUpdatesParallelMatchesSerial(t *testing.T) {
 			pool := NewPool(workers)
 			defer pool.Close()
 			e, reps, batch := poolFixture(t, updates)
-			got, err := deltaForUpdates(e, reps, batch, pool)
+			got, err := deltaForUpdates(e, reps, batch, pool, false)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -141,6 +141,9 @@ type refreshState struct {
 	From       int64
 	LastSent   wire.Rel
 	BatchStart int64
+	// HasCur/Cur persist the shared-deltas running view contents.
+	HasCur bool
+	Cur    wire.Rel
 }
 
 // MarshalState implements durable.Durable.
@@ -149,6 +152,10 @@ func (m *Refresh) MarshalState() ([]byte, error) {
 		Reps: encodeReplicas(m.reps), RepSeq: int64(m.reps.seq),
 		Pending: m.pending, From: int64(m.from),
 		LastSent: wire.EncodeRelation(m.lastSent), BatchStart: m.batchStart,
+	}
+	if m.cur != nil {
+		st.HasCur = true
+		st.Cur = wire.EncodeRelation(m.cur)
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
@@ -169,6 +176,13 @@ func (m *Refresh) RestoreState(b []byte) error {
 	last, err := wire.DecodeRelation(st.LastSent)
 	if err != nil {
 		return err
+	}
+	if st.HasCur {
+		cur, err := wire.DecodeRelation(st.Cur)
+		if err != nil {
+			return err
+		}
+		m.cur = cur
 	}
 	m.pending = st.Pending
 	m.from = msg.UpdateID(st.From)

@@ -68,6 +68,14 @@ type Config struct {
 	// Obs attaches the observability pipeline: per-view metrics plus trace
 	// events for every emitted action list.
 	Obs *obs.Pipeline
+	// SharedDeltas subscribes the manager to the shared maintenance-plan
+	// DAG (internal/plan): every incoming update carries its precomputed
+	// ViewDelta, so the manager keeps no base-relation replicas and sums
+	// the delivered deltas instead of evaluating its expression tree. The
+	// manager's paper role — batching policy, action-list generation, REL
+	// relaying, VUT submission — is unchanged; only the delta computation
+	// moves upstream.
+	SharedDeltas bool
 }
 
 // vmObs holds a manager's metric handles, resolved once at construction.
@@ -155,6 +163,18 @@ func newReplicas(e expr.Expr, init expr.Database) (*replicas, error) {
 	return r, nil
 }
 
+// newManagerReplicas seeds a manager's replicas, or — in shared-deltas
+// mode — returns an empty set: the DAG holds the only base copies, and
+// the replicas object merely tracks the knowledge frontier (apply skips
+// every write and still advances seq, and the durable marshal/restore
+// path works unchanged over the empty map).
+func newManagerReplicas(cfg Config, init expr.Database) (*replicas, error) {
+	if cfg.SharedDeltas {
+		return &replicas{db: map[string]*relation.Relation{}}, nil
+	}
+	return newReplicas(cfg.Expr, init)
+}
+
 // Relation implements expr.Database.
 func (r *replicas) Relation(name string) (*relation.Relation, error) {
 	rel, ok := r.db[name]
@@ -230,7 +250,26 @@ func (p *prefixDB) Relation(name string) (*relation.Relation, error) {
 // order, so the total is the same signed bag the serial loop produces
 // (delta composition is addition, and each evaluation sees exactly the
 // state its predecessors left). Replicas advance serially after the gather.
-func deltaForUpdates(e expr.Expr, reps *replicas, batch []msg.Update, pool *Pool) (*relation.Delta, error) {
+func deltaForUpdates(e expr.Expr, reps *replicas, batch []msg.Update, pool *Pool, shared bool) (*relation.Delta, error) {
+	if shared {
+		// Shared-plans mode: each update arrived with its precomputed view
+		// delta; batch composition is plain signed-bag addition. The empty
+		// replicas still advance so the knowledge frontier (and durable
+		// snapshots) stay correct.
+		total := relation.NewDelta(e.Schema())
+		for _, u := range batch {
+			if u.ViewDelta == nil {
+				return nil, fmt.Errorf("viewmgr: shared-deltas update %d arrived without a ViewDelta", u.Seq)
+			}
+			if err := total.Merge(u.ViewDelta); err != nil {
+				return nil, err
+			}
+			if err := reps.apply(u); err != nil {
+				return nil, err
+			}
+		}
+		return total, nil
+	}
 	if pool.Workers() > 1 && len(batch) > 1 {
 		deltas := make([]*relation.Delta, len(batch))
 		errs := make([]error, len(batch))
@@ -380,9 +419,10 @@ func (b *batcher) startWork(now int64) []msg.Outbound {
 		// replicas and queue are untouched by the worker except through the
 		// closure below, and nothing else runs until workDone arrives.
 		e, reps, encode, view := b.cfg.Expr, b.reps, b.encode, b.cfg.View
+		shared := b.cfg.SharedDeltas
 		started := b.cfg.Pool.Go(b.id(), func() any {
 			sleepNs(d)
-			delta, err := deltaForUpdates(e, reps, batch, nil)
+			delta, err := deltaForUpdates(e, reps, batch, nil, shared)
 			if err != nil {
 				panic(fmt.Sprintf("viewmgr: %s: %v", view, err))
 			}
@@ -393,7 +433,7 @@ func (b *batcher) startWork(now int64) []msg.Outbound {
 			return nil
 		}
 	}
-	delta, err := deltaForUpdates(b.cfg.Expr, b.reps, batch, b.cfg.Pool)
+	delta, err := deltaForUpdates(b.cfg.Expr, b.reps, batch, b.cfg.Pool, b.cfg.SharedDeltas)
 	if err != nil {
 		panic(fmt.Sprintf("viewmgr: %s: %v", b.cfg.View, err))
 	}

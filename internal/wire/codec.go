@@ -86,14 +86,18 @@ type RelevantSet struct {
 	Trace    *TraceCtx
 }
 
-// Update is the wire form of msg.Update.
+// Update is the wire form of msg.Update. HasViewDelta distinguishes a
+// per-view-mode update (nil ViewDelta) from a shared-plans update whose
+// precomputed delta happens to be empty.
 type Update struct {
-	Seq      int64
-	Source   string
-	Writes   []Write
-	CommitAt int64
-	Rel      *RelevantSet
-	Trace    *TraceCtx
+	Seq          int64
+	Source       string
+	Writes       []Write
+	CommitAt     int64
+	Rel          *RelevantSet
+	Trace        *TraceCtx
+	HasViewDelta bool
+	ViewDelta    Delta
 }
 
 // ActionList is the wire form of msg.ActionList. HasDelta distinguishes a
@@ -374,6 +378,10 @@ func Encode(m any) (any, error) {
 			r := encodeRel(*t.Rel)
 			out.Rel = &r
 		}
+		if t.ViewDelta != nil {
+			out.HasViewDelta = true
+			out.ViewDelta = EncodeDelta(t.ViewDelta)
+		}
 		return out, nil
 	case msg.RelevantSet:
 		return encodeRel(t), nil
@@ -454,6 +462,13 @@ func Decode(m any) (any, error) {
 		if t.Rel != nil {
 			r := decodeRel(*t.Rel)
 			out.Rel = &r
+		}
+		if t.HasViewDelta {
+			d, err := DecodeDelta(t.ViewDelta)
+			if err != nil {
+				return nil, err
+			}
+			out.ViewDelta = d
 		}
 		return out, nil
 	case RelevantSet:

@@ -70,6 +70,14 @@ type Config struct {
 	// OptimizeViews rewrites view definitions (selection pushdown, column
 	// pruning) before building managers; semantics are unchanged.
 	OptimizeViews bool
+	// SharedPlans maintains overlapping views through a shared
+	// maintenance-plan DAG (internal/plan): subexpressions common to
+	// several views are canonicalized and evaluated once per update at
+	// the integrator, and each manager receives its precomputed delta.
+	// Action-list contents — and so every consistency guarantee — are
+	// unchanged; only where the deltas are computed moves. Incompatible
+	// with query-based manager kinds.
+	SharedPlans bool
 	// Workers sizes the view managers' shared worker pool. 0 (default)
 	// keeps the pure-latency model: ComputeDelay busy periods are timers
 	// and overlap freely. N >= 1 models N compute units — delta
@@ -149,6 +157,7 @@ func New(cfg Config) (*System, error) {
 		RelevanceFilter:   cfg.RelevanceFilter,
 		RelayRelevantSets: cfg.RelayRelevantSets,
 		OptimizeViews:     cfg.OptimizeViews,
+		SharedPlans:       cfg.SharedPlans,
 		LogStates:         cfg.LogStates,
 		Clock:             func() int64 { return time.Now().UnixNano() },
 		Algorithm:         cfg.Algorithm,
