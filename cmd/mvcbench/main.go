@@ -8,14 +8,14 @@
 //
 //	mvcbench [-exp all|freshness|bottleneck|straggler|commit|distributed|
 //	          promptness|overhead|filter|relay|staged|managers|throughput|
-//	          mqo|readload|replication]
+//	          mqo|readload|replication|failover]
 //	         [-updates N] [-seed N] [-csv] [-json]
 //
-// Most experiments run on the simulator; throughput, mqo, readload, and
-// replication run the goroutine runtime and measure wall-clock scaling
-// (view-manager worker pool, shared maintenance plans, warehouse read
-// paths, and read replicas streaming epochs over loopback TCP,
-// respectively).
+// Most experiments run on the simulator; throughput, mqo, readload,
+// replication, and failover run the goroutine runtime and measure wall
+// clock (view-manager worker pool, shared maintenance plans, warehouse
+// read paths, read replicas streaming epochs over loopback TCP, and crash
+// failover on a primary→relay→leaf chain, respectively).
 //
 // -json writes the selected experiment's tables to BENCH_<exp>.json
 // (seed, updates, and every row) instead of rendering to stdout.
@@ -61,6 +61,7 @@ var experiments = []experiment{
 	{"mqo", one(harness.MQO)},
 	{"readload", one(harness.ReadLoad)},
 	{"replication", one(harness.Replication)},
+	{"failover", one(harness.Failover)},
 }
 
 func names() []string {

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"whips/internal/obs"
+	"whips/internal/repl"
 )
 
 type node struct {
@@ -50,6 +51,10 @@ type node struct {
 	prevAt   time.Time
 	snapAt   time.Time
 	hasSnaps bool
+
+	// repl is the node's /replstatus, nil when the node does not serve one
+	// (manager sites, older binaries).
+	repl *repl.PeerStatus
 }
 
 func main() {
@@ -161,6 +166,24 @@ func (n *node) poll(client *http.Client) {
 	n.prev, n.prevAt = n.snap, n.snapAt
 	n.snap, n.snapAt = snap, time.Now()
 	n.hasSnaps = !n.prevAt.IsZero()
+	n.repl = fetchReplStatus(client, n.base)
+}
+
+// fetchReplStatus polls /replstatus; nil when the node does not serve it.
+func fetchReplStatus(client *http.Client, base string) *repl.PeerStatus {
+	resp, err := client.Get(base + "/replstatus")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var st repl.PeerStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil
+	}
+	return &st
 }
 
 func fetchTrace(client *http.Client, base string, since int64) ([]obs.Event, int64, error) {
@@ -259,6 +282,8 @@ func render(nodes []*node, events []obs.Event, collector *obs.Collector, spansN 
 		}
 	}
 
+	renderTopology(nodes)
+
 	// Per-stage throughput: totals and rates summed across the fleet.
 	fmt.Println("\npipeline throughput")
 	for _, row := range stageRows {
@@ -339,6 +364,64 @@ func render(nodes []*node, events []obs.Event, collector *obs.Collector, spansN 
 		}
 		fmt.Printf("  seq %-6d %-13s hops=%-2d freshness=%s\n",
 			sp.Seq, state, sp.MaxHop, dur(sp.Freshness))
+	}
+}
+
+// renderTopology draws the replica tree from each node's /replstatus:
+// children hang under the node whose feed address matches their upstream,
+// with role, term, epoch, lag, and apply age per node.
+func renderTopology(nodes []*node) {
+	var have []*node
+	byAddr := map[string]string{} // feed address -> reported node name
+	for _, n := range nodes {
+		if n.err != nil || n.repl == nil {
+			continue
+		}
+		have = append(have, n)
+		if n.repl.Addr != "" {
+			byAddr[n.repl.Addr] = n.repl.Name
+		}
+	}
+	if len(have) == 0 {
+		return
+	}
+	sort.Slice(have, func(i, j int) bool { return have[i].repl.Name < have[j].repl.Name })
+	children := map[string][]*node{}
+	var roots []*node
+	for _, n := range have {
+		if parent, ok := byAddr[n.repl.Upstream]; ok && n.repl.Upstream != "" {
+			children[parent] = append(children[parent], n)
+		} else {
+			// A true root, or an upstream outside the polled set.
+			roots = append(roots, n)
+		}
+	}
+	fmt.Println("\nreplica topology")
+	seen := map[string]bool{}
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		st := n.repl
+		if seen[st.Name] {
+			return
+		}
+		seen[st.Name] = true
+		detail := fmt.Sprintf("role=%-8s term=%d epoch=%d", st.Role, st.Term, st.Epoch)
+		if st.Upstream != "" {
+			detail += " upstream=" + st.Upstream
+		}
+		if st.Role != "primary" {
+			detail += fmt.Sprintf(" lag=%d", st.Lag)
+			if st.ApplyAgeMs >= 0 {
+				detail += fmt.Sprintf(" apply_age=%dms", st.ApplyAgeMs)
+			}
+		}
+		fmt.Printf("  %-*s %s\n", 16+2*depth, strings.Repeat("  ", depth)+st.Name, detail)
+		for _, k := range children[st.Name] {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
 	}
 }
 

@@ -38,7 +38,8 @@ func httpGet(t *testing.T, url string) (int, string) {
 // returns the replicated rows (current and historical epochs).
 func TestFollowerHealthCatchingUp(t *testing.T) {
 	rep := warehouse.NewReplica()
-	site := &followerSite{rep: rep, qe: query.New(rep)}
+	site := &followerSite{rep: rep}
+	site.qe.Store(query.New(rep))
 	// The debug tree exactly as runFollowerSite wires it.
 	srv := httptest.NewServer(obs.NewDebugMux(obs.DebugServer{
 		Reg:  obs.NewPipeline().Reg(),
@@ -69,7 +70,7 @@ func TestFollowerHealthCatchingUp(t *testing.T) {
 	wh := warehouse.New(map[msg.ViewID]*relation.Relation{
 		"V1": relation.FromTuples(sch, relation.T(1, 2)),
 	}, warehouse.WithStateLog(), warehouse.WithReplFeed(8, func(e msg.ReplEpoch) { prim.OnCommit(e) }))
-	prim = repl.NewPrimary(repl.PrimaryConfig{Warehouse: wh})
+	prim = repl.NewPrimary(repl.PrimaryConfig{Source: wh})
 	defer prim.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

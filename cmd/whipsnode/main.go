@@ -27,6 +27,24 @@
 // until the first replicated epoch lands, and /metrics exports the
 // follower's staleness as repl_epoch_lag.
 //
+// A follower given -repl-addr is a relay: it re-exports every applied
+// epoch as its own replication feed, so replicas form a tree and the root
+// primary's egress stays O(1) regardless of fleet size:
+//
+//	whipsnode -role follower -follow 127.0.0.1:7700 -repl-addr 127.0.0.1:7701 -name relay
+//	whipsnode -role follower -follow 127.0.0.1:7701 -name leaf
+//
+// With -failover-after the follower also runs the promotion coordinator:
+// when its upstream connection has been dead past the threshold it polls
+// the -peers list (name=debugaddr pairs) over /replstatus, and the
+// candidate holding the newest durable epoch promotes itself — seeding a
+// fresh warehouse from its replica's exact committed snapshot, bumping the
+// feed term so every stale-term frame from the old primary is fenced off,
+// and resuming the feed for its subtree — while everyone else retargets
+// their stream at the winner. -data-dir on a follower adds a replication
+// WAL so the epochs it acknowledged survive kill -9 and an election never
+// crowns state that only lived in memory.
+//
 // With -data-dir the warehouse site is durable: every input (locally
 // executed update or frame received from the manager site) is written to a
 // write-ahead log before it takes effect, and -snapshot-every updates a
@@ -58,6 +76,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -158,6 +177,8 @@ func main() {
 	auditPrimary := flag.String("audit-primary", "", "run the MVC audit against the primary's debug address (follower role)")
 	auditInterval := flag.Duration("audit-interval", 2*time.Second, "audit tick interval (with -audit-primary)")
 	auditHistory := flag.Int64("audit-history", 16, "audit samples one of this many epochs behind head per tick (with -audit-primary)")
+	peers := flag.String("peers", "", "comma-separated name=debugaddr peer list for failover elections (follower role)")
+	failoverAfter := flag.Duration("failover-after", 0, "run an election when the upstream feed has been dead this long (follower role; 0 = no failover)")
 	flag.Parse()
 
 	fsync, err := durable.ParseFsyncPolicy(*fsyncStr)
@@ -184,6 +205,8 @@ func main() {
 			name: *name, follow: *follow, debug: *debug, seed: *seed, verbose: *verbose,
 			tr: tr, staleAfter: *staleAfter,
 			auditPrimary: *auditPrimary, auditInterval: *auditInterval, auditHistory: *auditHistory,
+			replAddr: *replAddr, peers: *peers, failoverAfter: *failoverAfter,
+			dataDir: *dataDir, fsync: fsync,
 		})
 	default:
 		log.Fatalf("unknown -role %q (use warehouse, managers, or follower)", *role)
@@ -304,6 +327,19 @@ func runWarehouseSite(o warehouseOpts) {
 				}
 				return wh.SnapshotAt(int(epoch))
 			}),
+		ReplStatus: func(w http.ResponseWriter, r *http.Request) {
+			st := repl.PeerStatus{Name: "warehouse", Role: "primary", Addr: o.replAddr, Debug: o.debug}
+			if p := site.prim.Load(); p != nil {
+				st.Term, st.Leader = p.Term(), p.Leader()
+			}
+			if wh := site.wh.Load(); wh != nil {
+				if s := wh.Snapshot(); s != nil {
+					st.Epoch = s.Epoch
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(st)
+		},
 	})
 	must(err)
 	if dbg != nil {
@@ -427,7 +463,7 @@ func (site *warehouseSite) attempt() (err error) {
 		// supervised-crash path) tears the previous one down, severing its
 		// follower streams exactly like a process restart would; the final
 		// close happens after linger in runWarehouseSite.
-		prim := repl.NewPrimary(repl.PrimaryConfig{Warehouse: wh, Logf: sessionLogf(o.verbose), Obs: pipe})
+		prim := repl.NewPrimary(repl.PrimaryConfig{Source: wh, Logf: sessionLogf(o.verbose), Obs: pipe})
 		if old := site.prim.Swap(prim); old != nil {
 			old.Close()
 		}
@@ -648,10 +684,88 @@ func runManagerSite(addr string, seed int64, debug string, verbose bool, tr trac
 	select {}
 }
 
-// followerSite serves local queries from a replicated epoch stream.
+// followerSite serves local queries from a replicated epoch stream. After
+// a promotion its serving source atomically becomes the freshly seeded
+// warehouse instead of the replica, so /query continues from the exact
+// committed epoch across the handover.
 type followerSite struct {
+	name      string
+	debug     string
+	relayAddr string
+	relay     *repl.Primary // non-nil when -repl-addr re-exports the feed
+
 	rep *warehouse.Replica
-	qe  *query.Engine
+	qe  atomic.Pointer[query.Engine]
+	wh  atomic.Pointer[warehouse.Warehouse] // non-nil once promoted
+	fol atomic.Pointer[repl.Follower]
+
+	upstream      atomic.Value // string: current upstream feed address
+	upstreamDebug atomic.Value // string: current upstream debug address
+}
+
+// status reports this node's replication position — what /replstatus
+// serves and what elections compare.
+func (site *followerSite) status() repl.PeerStatus {
+	st := repl.PeerStatus{
+		Name:     site.name,
+		Role:     "follower",
+		Addr:     site.relayAddr,
+		Debug:    site.debug,
+		Upstream: site.upstream.Load().(string),
+	}
+	if site.relay != nil {
+		st.Role = "relay"
+	}
+	if wh := site.wh.Load(); wh != nil {
+		st.Role = "primary"
+		st.Upstream = ""
+		if s := wh.Snapshot(); s != nil {
+			st.Epoch = s.Epoch
+		}
+		if site.relay != nil {
+			st.Term, st.Leader = site.relay.Term(), site.relay.Leader()
+		}
+		return st
+	}
+	st.Term, st.Leader = site.rep.Term(), site.rep.Leader()
+	st.Epoch = site.rep.Epoch()
+	if f := site.fol.Load(); f != nil {
+		st.Lag = f.Lag()
+		st.ApplyAgeMs = -1
+		if age := f.LastApplyAge(); age >= 0 {
+			st.ApplyAgeMs = age.Milliseconds()
+		}
+	}
+	return st
+}
+
+func (site *followerSite) ready() bool {
+	return site.wh.Load() != nil || site.rep.Ready()
+}
+
+// snapshot is the currently served head state: the promoted warehouse's
+// when this node is primary, the replica's otherwise.
+func (site *followerSite) snapshot() *warehouse.Snapshot {
+	if wh := site.wh.Load(); wh != nil {
+		return wh.Snapshot()
+	}
+	return site.rep.Snapshot()
+}
+
+// snapshotAt serves historical epochs across the promotion boundary:
+// pre-promotion epochs from the replica's retained ring, post-promotion
+// epochs from the promoted warehouse's state log.
+func (site *followerSite) snapshotAt(epoch int64) (*warehouse.Snapshot, error) {
+	if cur := site.snapshot(); cur != nil && cur.Epoch == epoch {
+		return cur, nil
+	}
+	if snap, err := site.rep.SnapshotAt(epoch); err == nil {
+		return snap, nil
+	}
+	if wh := site.wh.Load(); wh != nil {
+		return wh.SnapshotAt(int(epoch))
+	}
+	return site.rep.SnapshotAt(epoch)
 }
 
 // serveQuery mirrors the warehouse site's /query handler over the replica:
@@ -660,12 +774,12 @@ type followerSite struct {
 // first replicated epoch publishes there is nothing to serve — 503, same
 // signal as /healthz.
 func (site *followerSite) serveQuery(w http.ResponseWriter, r *http.Request) {
-	if !site.rep.Ready() {
+	if !site.ready() {
 		http.Error(w, "catching up", http.StatusServiceUnavailable)
 		return
 	}
 	p := r.URL.Query()
-	snap := site.rep.Snapshot()
+	snap := site.snapshot()
 	historical := p.Get("state") != ""
 	if historical {
 		n, err := strconv.ParseInt(p.Get("state"), 10, 64)
@@ -673,7 +787,7 @@ func (site *followerSite) serveQuery(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "bad state parameter: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		if snap, err = site.rep.SnapshotAt(n); err != nil {
+		if snap, err = site.snapshotAt(n); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -683,11 +797,12 @@ func (site *followerSite) serveQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	qe := site.qe.Load()
 	var res query.Result
 	if historical {
-		res, err = site.qe.RunAt(snap, spec)
+		res, err = qe.RunAt(snap, spec)
 	} else {
-		res, err = site.qe.Run(spec)
+		res, err = qe.Run(spec)
 	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -706,6 +821,42 @@ func (site *followerSite) serveQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// parsePeers parses the -peers flag: comma-separated name=debugaddr pairs.
+func parsePeers(s string) (map[string]string, error) {
+	out := map[string]string{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want name=debugaddr)", part)
+		}
+		out[name] = addr
+	}
+	return out, nil
+}
+
+// fetchReplStatus polls a peer's /replstatus.
+func fetchReplStatus(client *http.Client, base string) (repl.PeerStatus, error) {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	resp, err := client.Get(base + "/replstatus")
+	if err != nil {
+		return repl.PeerStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return repl.PeerStatus{}, fmt.Errorf("replstatus: %s", resp.Status)
+	}
+	var st repl.PeerStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return repl.PeerStatus{}, err
+	}
+	return st, nil
+}
+
 // followerOpts configures runFollowerSite.
 type followerOpts struct {
 	name, follow, debug string
@@ -716,35 +867,99 @@ type followerOpts struct {
 	auditPrimary        string
 	auditInterval       time.Duration
 	auditHistory        int64
+	replAddr            string        // relay: re-export the feed here
+	peers               string        // name=debugaddr election peers
+	failoverAfter       time.Duration // 0 = never promote
+	dataDir             string        // replication WAL directory
+	fsync               durable.FsyncPolicy
 }
 
 func runFollowerSite(o followerOpts) {
 	fmt.Printf("follower %q streaming epochs from %s\n", o.name, o.follow)
+	peerAddrs, err := parsePeers(o.peers)
+	must(err)
 
 	pipe := obs.NewPipeline()
 	ring, traceCleanup := setupTrace(pipe, o.tr)
 	defer traceCleanup()
-	rep := warehouse.NewReplica(warehouse.WithReplicaObs(pipe))
-	site := &followerSite{
-		rep: rep,
-		qe: query.New(rep,
-			query.WithClock(func() int64 { return time.Now().UnixNano() }),
-			query.WithObs(pipe)),
+
+	repOpts := []warehouse.ReplicaOption{warehouse.WithReplicaObs(pipe)}
+	if o.replAddr != "" {
+		// A relay retains applied deltas so downstream subscribers catch up
+		// from the ring instead of forcing a full checkpoint each time.
+		repOpts = append(repOpts, warehouse.WithReplicaFeed(1024))
 	}
-	// The health closure outlives this frame via the debug mux; the follower
-	// is built below, so indirect through an atomic.
-	var folP atomic.Pointer[repl.Follower]
-	snapAt := func(epoch int64) (*warehouse.Snapshot, error) {
-		if cur := rep.Snapshot(); cur != nil && cur.Epoch == epoch {
-			return cur, nil
+	rep := warehouse.NewReplica(repOpts...)
+	site := &followerSite{name: o.name, debug: o.debug, relayAddr: o.replAddr, rep: rep}
+	site.qe.Store(query.New(rep,
+		query.WithClock(func() int64 { return time.Now().UnixNano() }),
+		query.WithObs(pipe)))
+	site.upstream.Store(o.follow)
+	site.upstreamDebug.Store(o.auditPrimary)
+
+	// Relay mode: serve our own replication feed, sourced from the replica's
+	// retained ring, re-stamped with whatever term we last applied under.
+	if o.replAddr != "" {
+		site.relay = repl.NewPrimary(repl.PrimaryConfig{
+			Source: rep,
+			Relay:  true,
+			Logf:   sessionLogf(o.verbose),
+			Obs:    pipe,
+		})
+		rln, rerr := net.Listen("tcp", o.replAddr)
+		must(rerr)
+		defer rln.Close()
+		fmt.Printf("relaying the epoch feed on %s\n", o.replAddr)
+		go func() {
+			for {
+				conn, err := rln.Accept()
+				if err != nil {
+					return
+				}
+				if o.verbose {
+					log.Printf("downstream follower connected from %s", conn.RemoteAddr())
+				}
+				site.relay.Handle(conn)
+			}
+		}()
+	}
+
+	// Replication WAL: recover whatever this node durably acknowledged
+	// before the crash, so elections compare real on-disk positions.
+	var dlog *repl.DurableLog
+	if o.dataDir != "" {
+		dlog, err = repl.OpenDurableLog(repl.DurableLogConfig{
+			Dir:   o.dataDir,
+			Fsync: o.fsync,
+			State: func() (msg.ReplSnapshot, bool) {
+				s := rep.Snapshot()
+				if s == nil {
+					return msg.ReplSnapshot{}, false
+				}
+				m := s.ReplMsg(s.Epoch)
+				m.Term, m.Leader = rep.Term(), rep.Leader()
+				return m, true
+			},
+			Logf: log.Printf,
+			Obs:  pipe,
+		})
+		must(err)
+		defer dlog.Close()
+		epoch, rerr := dlog.Recover(rep)
+		must(rerr)
+		if epoch >= 0 {
+			fmt.Printf("recovered replica to epoch %d from %s\n", epoch, o.dataDir)
 		}
-		return rep.SnapshotAt(epoch)
 	}
+
 	dbg, err := obs.ServeDebug(o.debug, obs.DebugServer{
 		Reg:  pipe.Reg(),
 		Role: "follower",
 		Health: func() (string, bool) {
-			f := folP.Load()
+			if site.wh.Load() != nil {
+				return "serving (promoted primary)", true
+			}
+			f := site.fol.Load()
 			if f == nil {
 				return "catching up", false
 			}
@@ -752,11 +967,15 @@ func runFollowerSite(o followerOpts) {
 		},
 		Query:       site.serveQuery,
 		Trace:       ring,
-		Fingerprint: audit.FingerprintHandler(rep.Snapshot, rep.SnapshotAt),
+		Fingerprint: audit.FingerprintHandler(site.snapshot, site.snapshotAt),
+		ReplStatus: func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(site.status())
+		},
 	})
 	must(err)
 	if dbg != nil {
-		fmt.Printf("debug server on http://%s (metrics, healthz, query, trace, fingerprint, debug/pprof)\n", o.debug)
+		fmt.Printf("debug server on http://%s (metrics, healthz, query, trace, fingerprint, replstatus, debug/pprof)\n", o.debug)
 		defer dbg.Close()
 	}
 
@@ -766,12 +985,91 @@ func runFollowerSite(o followerOpts) {
 			return net.Dial("tcp", o.follow)
 		},
 		Replica: rep,
+		Relay:   site.relay,
+		Log:     dlog,
 		Backoff: wire.Backoff{Base: 20 * time.Millisecond, Max: time.Second, Seed: o.seed},
 		Logf:    sessionLogf(o.verbose),
 		Obs:     pipe,
 	})
-	folP.Store(fol)
+	site.fol.Store(fol)
 	defer fol.Close()
+
+	if o.failoverAfter > 0 {
+		client := &http.Client{Timeout: time.Second}
+		probes := map[string]func() (repl.PeerStatus, error){}
+		for pname, paddr := range peerAddrs {
+			if pname == o.name {
+				continue
+			}
+			addr := paddr
+			probes[pname] = func() (repl.PeerStatus, error) { return fetchReplStatus(client, addr) }
+		}
+		// Promotion seeds a fresh warehouse from the replica's exact
+		// committed snapshot and swaps the relay's source to it; the relay
+		// re-announces the bumped term to every subscriber, fencing off any
+		// frame the old primary might still emit. Only relays promote —
+		// a leaf exports no feed for a subtree to follow.
+		var promote func(term int64) error
+		if site.relay != nil {
+			promote = func(term int64) error {
+				snap := rep.Snapshot()
+				if snap == nil {
+					return errors.New("nothing replicated yet; cannot promote")
+				}
+				wh := warehouse.NewFromSnapshot(snap,
+					warehouse.WithStateLog(), warehouse.WithStateLogCap(256),
+					warehouse.WithObs(pipe),
+					warehouse.WithReplFeed(0, func(e msg.ReplEpoch) { site.relay.OnCommit(e) }))
+				site.relay.Promote(wh, term, o.name)
+				site.wh.Store(wh)
+				site.qe.Store(query.New(wh,
+					query.WithClock(func() int64 { return time.Now().UnixNano() }),
+					query.WithObs(pipe)))
+				site.upstream.Store("")
+				site.upstreamDebug.Store(o.debug) // audit now runs against ourselves
+				fol.Close()                       // stop redialing the dead upstream
+				log.Printf("repl: %s: promoted to primary at epoch %d term %d", o.name, snap.Epoch, term)
+				return nil
+			}
+		}
+		interval := o.failoverAfter / 5
+		if interval < 50*time.Millisecond {
+			interval = 50 * time.Millisecond
+		}
+		if interval > 250*time.Millisecond {
+			interval = 250 * time.Millisecond
+		}
+		coord := repl.NewCoordinator(repl.CoordinatorConfig{
+			Self:  site.status,
+			Peers: probes,
+			Suspect: func() time.Duration {
+				if site.wh.Load() != nil {
+					return 0 // we are the primary; nothing to suspect
+				}
+				return fol.DisconnectedFor()
+			},
+			SuspectAfter: o.failoverAfter,
+			Interval:     interval,
+			Promote:      promote,
+			Follow: func(p repl.PeerStatus) error {
+				if p.Addr == "" {
+					return fmt.Errorf("winner %q exports no feed", p.Name)
+				}
+				addr := p.Addr
+				fol.Retarget(func() (io.ReadWriteCloser, error) { return net.Dial("tcp", addr) })
+				site.upstream.Store(addr)
+				if p.Debug != "" {
+					site.upstreamDebug.Store(p.Debug)
+				}
+				log.Printf("repl: %s: retargeted stream at %q (%s)", o.name, p.Name, addr)
+				return nil
+			},
+			Logf: log.Printf,
+			Obs:  pipe,
+		})
+		defer coord.Close()
+		fmt.Printf("failover coordinator armed (suspect after %v, %d peers)\n", o.failoverAfter, len(probes))
+	}
 
 	if o.auditPrimary != "" {
 		var events func() []obs.Event
@@ -780,15 +1078,23 @@ func runFollowerSite(o followerOpts) {
 		}
 		aud := audit.New(audit.Config{
 			Interval: o.auditInterval,
-			Head:     rep.Epoch,
+			Head: func() int64 {
+				if s := site.snapshot(); s != nil {
+					return s.Epoch
+				}
+				return -1
+			},
 			Local: func(epoch int64) (audit.FP, bool) {
-				snap, err := snapAt(epoch)
+				snap, err := site.snapshotAt(epoch)
 				if err != nil || snap == nil {
 					return audit.FP{}, false
 				}
 				return audit.SnapshotFP(snap), true
 			},
-			Remote:  audit.HTTPRemote(o.auditPrimary),
+			Remote: audit.HTTPRemoteResolver(func() string {
+				v, _ := site.upstreamDebug.Load().(string)
+				return v
+			}),
 			History: o.auditHistory,
 			Seed:    o.seed,
 			Events:  events,

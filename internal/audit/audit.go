@@ -315,11 +315,26 @@ func FingerprintHandler(current func() *warehouse.Snapshot, at func(epoch int64)
 // HTTPRemote builds a Remote fetcher polling a peer's /fingerprint debug
 // endpoint. base is the peer's debug address ("host:port" or a full URL).
 func HTTPRemote(base string) func(epoch int64) (FP, bool, error) {
-	if base != "" && !hasScheme(base) {
-		base = "http://" + base
-	}
+	return HTTPRemoteResolver(func() string { return base })
+}
+
+// HTTPRemoteResolver is HTTPRemote with the peer address resolved per
+// request instead of captured once — the failover path: after a promotion
+// the audited primary is a different process at a different address, and
+// an auditor pinned to the dead root would fail every interval forever.
+// resolve returns the current primary's debug address ("" when unknown,
+// which surfaces as an error and counts as an audit skip, not a
+// violation).
+func HTTPRemoteResolver(resolve func() string) func(epoch int64) (FP, bool, error) {
 	client := &http.Client{Timeout: 2 * time.Second}
 	return func(epoch int64) (FP, bool, error) {
+		base := resolve()
+		if base == "" {
+			return FP{}, false, fmt.Errorf("fingerprint: no primary address resolved")
+		}
+		if !hasScheme(base) {
+			base = "http://" + base
+		}
 		u := fmt.Sprintf("%s/fingerprint?epoch=%s", base, url.QueryEscape(strconv.FormatInt(epoch, 10)))
 		resp, err := client.Get(u)
 		if err != nil {

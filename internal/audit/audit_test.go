@@ -3,6 +3,7 @@ package audit
 import (
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -250,5 +251,77 @@ func TestHTTPRemoteAddsScheme(t *testing.T) {
 	hostport := strings.TrimPrefix(srv.URL, "http://")
 	if _, ok, err := HTTPRemote(hostport)(1); !ok || err != nil {
 		t.Fatalf("bare host:port base failed: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestAuditSurvivesFailover is the failover regression: a follower audit
+// pinned (via HTTPRemoteResolver) to whatever address currently resolves
+// as the primary keeps passing across a promotion — ticks against the dead
+// old primary count as skips, never violations, and once the resolver
+// points at the new primary's /fingerprint the checks resume and agree.
+func TestAuditSurvivesFailover(t *testing.T) {
+	// Old and new primaries hold the same committed history (the promotion
+	// seeded the new one from the replicated snapshot).
+	oldPrim := newWarehouse(4)
+	newPrim := newWarehouse(4)
+
+	oldSrv := httptest.NewServer(FingerprintHandler(
+		func() *warehouse.Snapshot { return oldPrim.Snapshot() },
+		func(epoch int64) (*warehouse.Snapshot, error) { return oldPrim.SnapshotAt(int(epoch)) },
+	))
+	newSrv := httptest.NewServer(FingerprintHandler(
+		func() *warehouse.Snapshot { return newPrim.Snapshot() },
+		func(epoch int64) (*warehouse.Snapshot, error) { return newPrim.SnapshotAt(int(epoch)) },
+	))
+	defer newSrv.Close()
+
+	// The follower being audited mirrors the shared history.
+	follower := newWarehouse(4)
+	var primaryAddr atomic.Value
+	primaryAddr.Store(oldSrv.URL)
+	a, _ := newTestAuditor(t, Config{
+		Head:  func() int64 { return follower.Snapshot().Epoch },
+		Local: localFP(follower),
+		Remote: HTTPRemoteResolver(func() string {
+			v, _ := primaryAddr.Load().(string)
+			return v
+		}),
+		History: 3,
+		Seed:    1,
+	})
+	a.RunOnce()
+	if a.Violations() != 0 || a.Checks() == 0 {
+		t.Fatalf("pre-failover audit: checks=%d violations=%d", a.Checks(), a.Violations())
+	}
+	preChecks := a.Checks()
+
+	// The primary dies. Ticks now fail to reach it: skips, not violations.
+	oldSrv.Close()
+	a.RunOnce()
+	if a.Violations() != 0 {
+		t.Fatalf("audit against a dead primary produced %d violations, want skips", a.Violations())
+	}
+	if a.Checks() != preChecks {
+		t.Fatalf("audit completed checks against a dead primary: %d -> %d", preChecks, a.Checks())
+	}
+
+	// Failover: the resolver re-resolves to the promoted primary, and the
+	// audit resumes cleanly without restarting the auditor.
+	primaryAddr.Store(newSrv.URL)
+	a.RunOnce()
+	if a.Checks() <= preChecks {
+		t.Fatalf("audit did not resume after re-resolving: checks still %d", a.Checks())
+	}
+	if v := a.Violations(); v != 0 {
+		t.Fatalf("post-failover audit found %d violations, witness %+v", v, a.LastWitness())
+	}
+
+	// An empty resolution ("no primary known yet") is also a skip.
+	primaryAddr.Store("")
+	before := a.Checks()
+	a.RunOnce()
+	if a.Checks() != before || a.Violations() != 0 {
+		t.Fatalf("unresolved-primary tick: checks %d -> %d, violations %d",
+			before, a.Checks(), a.Violations())
 	}
 }

@@ -1,0 +1,215 @@
+// failover.go is the fifth wall-clock experiment: crash failover latency.
+// A primary → relay → leaf replication chain runs over loopback TCP with
+// live commits; the primary is severed mid-stream and the relay's
+// coordinator detects the death, wins a deterministic election, promotes
+// itself (seeding a fresh warehouse from its replica's exact committed
+// snapshot), and resumes the feed for the leaf. Each cell sweeps the
+// suspicion threshold — the dominant failover cost — and splits the total
+// into detect / elect / resume, with repl.Fingerprint equality across the
+// survivors proving no committed epoch was lost or rewritten.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/repl"
+	"whips/internal/warehouse"
+	"whips/internal/wire"
+)
+
+// failoverCard is the seeded view cardinality of the chain's catch-up
+// checkpoint.
+const failoverCard = 1000
+
+// Failover is experiment W5: failover latency (detect / elect / resume)
+// versus the suspicion threshold, on a primary → relay → leaf chain.
+func Failover(seed int64, updates int) Table {
+	t := Table{
+		ID:      "W5",
+		Title:   "crash failover latency vs suspicion threshold (wall clock)",
+		Columns: []string{"suspect after", "epochs", "detect ms", "elect ms", "resume ms", "total ms", "fingerprints"},
+		Notes: fmt.Sprintf("%d-tuple seed view on a primary→relay→leaf loopback chain with live commits; the primary is severed, the relay detects via connection death, elects deterministically (newest durable epoch wins), promotes at a bumped term, and the leaf resumes streaming from it. detect is bounded below by the threshold; fingerprints compares relay vs leaf over every surviving epoch after convergence",
+			failoverCard),
+	}
+	for _, suspect := range []time.Duration{25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond} {
+		r := runFailover(seed, suspect)
+		fp := "MISMATCH"
+		if r.fingerprintOK {
+			fp = "identical"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(suspect),
+			fmt.Sprint(r.epochs),
+			fmt.Sprintf("%.1f", float64(r.detect)/1e6),
+			fmt.Sprintf("%.1f", float64(r.elect)/1e6),
+			fmt.Sprintf("%.1f", float64(r.resume)/1e6),
+			fmt.Sprintf("%.1f", float64(r.detect+r.elect+r.resume)/1e6),
+			fp,
+		})
+	}
+	_ = updates
+	return t
+}
+
+type failoverResult struct {
+	epochs        int64 // epochs committed before the crash
+	detect        int64 // ns from sever to suspicion trip
+	elect         int64 // ns for the election + promotion
+	resume        int64 // ns from promotion until the leaf applies a new epoch
+	fingerprintOK bool
+}
+
+func runFailover(seed int64, suspect time.Duration) failoverResult {
+	sch := relation.MustSchema("A:int", "B:int")
+	tuples := make([]relation.Tuple, failoverCard)
+	for i := range tuples {
+		tuples[i] = relation.T(i, i%13)
+	}
+	var prim *repl.Primary
+	w := warehouse.New(map[msg.ViewID]*relation.Relation{
+		"V": relation.FromTuples(sch, tuples...),
+	}, warehouse.WithStateLogCap(64), warehouse.WithReplFeed(1024, func(e msg.ReplEpoch) {
+		prim.OnCommit(e)
+	}))
+	prim = repl.NewPrimary(repl.PrimaryConfig{Source: w})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	go prim.Serve(ln)
+
+	// Relay: replica with a retained delta ring re-exported as its own feed.
+	relayRep := warehouse.NewReplica(warehouse.WithReplicaFeed(1024))
+	relay := repl.NewPrimary(repl.PrimaryConfig{Source: relayRep, Relay: true})
+	defer relay.Close()
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer rln.Close()
+	go relay.Serve(rln)
+	relayFol := repl.NewFollower(repl.FollowerConfig{
+		Name:    "relay",
+		Dial:    func() (io.ReadWriteCloser, error) { return net.Dial("tcp", ln.Addr().String()) },
+		Replica: relayRep,
+		Relay:   relay,
+		Backoff: wire.Backoff{Base: time.Millisecond, Max: 10 * time.Millisecond, Seed: seed},
+	})
+	defer relayFol.Close()
+
+	var leafApplied atomic.Int64
+	leafRep := warehouse.NewReplica()
+	leafFol := repl.NewFollower(repl.FollowerConfig{
+		Name:    "leaf",
+		Dial:    func() (io.ReadWriteCloser, error) { return net.Dial("tcp", rln.Addr().String()) },
+		Replica: leafRep,
+		Backoff: wire.Backoff{Base: time.Millisecond, Max: 10 * time.Millisecond, Seed: seed + 1},
+		OnApply: func(applied, head int64) { leafApplied.Store(applied) },
+	})
+	defer leafFol.Close()
+
+	// Commit a pre-crash burst and wait for full-chain convergence.
+	var epochs int64
+	commit := func(wh *warehouse.Warehouse, id int) {
+		wh.Handle(msg.SubmitTxn{Txn: msg.WarehouseTxn{
+			ID:   msg.TxnID(id),
+			Rows: []msg.UpdateID{msg.UpdateID(id)},
+			Writes: []msg.ViewWrite{{
+				View:  "V",
+				Upto:  msg.UpdateID(id),
+				Delta: relation.InsertDelta(sch, relation.T(failoverCard+id, id%13)),
+			}},
+		}}, time.Now().UnixNano())
+	}
+	for i := 1; i <= 20; i++ {
+		commit(w, i)
+		epochs++
+	}
+	head := w.Snapshot().Epoch
+	waitFor := func(cond func() bool, what string) {
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				panic("harness: failover: timeout waiting for " + what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(func() bool { return leafRep.Epoch() == head && relayRep.Epoch() == head }, "chain convergence")
+
+	// Sever the primary: close its listener and feed, killing every live
+	// connection — the transport-level death the relay's suspicion watches.
+	sever := time.Now()
+	ln.Close()
+	prim.Close()
+	waitFor(func() bool { return relayFol.DisconnectedFor() >= suspect }, "suspicion")
+	detect := time.Since(sever)
+
+	// One deterministic election round on the relay: only reachable node,
+	// newest durable epoch, so it promotes itself.
+	electStart := time.Now()
+	coord := repl.NewCoordinator(repl.CoordinatorConfig{
+		Self: func() repl.PeerStatus {
+			return repl.PeerStatus{
+				Name: "relay", Role: "relay",
+				Term: relayRep.Term(), Leader: relayRep.Leader(),
+				Epoch: relayRep.Epoch(), Addr: rln.Addr().String(),
+			}
+		},
+		Suspect:      relayFol.DisconnectedFor,
+		SuspectAfter: suspect,
+		Interval:     time.Hour, // ElectOnce below drives the round; the loop must not race it
+		Promote: func(term int64) error {
+			snap := relayRep.Snapshot()
+			if snap == nil {
+				return fmt.Errorf("nothing replicated")
+			}
+			promoted := warehouse.NewFromSnapshot(snap,
+				warehouse.WithStateLogCap(64),
+				warehouse.WithReplFeed(1024, func(e msg.ReplEpoch) { relay.OnCommit(e) }))
+			relay.Promote(promoted, term, "relay")
+			w = promoted
+			return nil
+		},
+		Follow: func(p repl.PeerStatus) error { return fmt.Errorf("unexpected follow of %q", p.Name) },
+	})
+	if _, err := coord.ElectOnce(); err != nil {
+		panic("harness: failover: election: " + err.Error())
+	}
+	coord.Close()
+	elect := time.Since(electStart)
+
+	// Resume: the promoted relay commits a new epoch; failover is complete
+	// when the leaf applies it through the re-fenced feed.
+	resumeStart := time.Now()
+	commit(w, 21)
+	epochs++
+	waitFor(func() bool { return leafApplied.Load() == head+1 }, "leaf resume")
+	resume := time.Since(resumeStart)
+
+	// Judge: every surviving epoch must fingerprint identically between the
+	// promoted relay and the leaf.
+	ok := repl.Fingerprint(w.Snapshot()) == repl.Fingerprint(leafRep.Snapshot())
+	for e := head; e >= head-4 && ok; e-- {
+		ls, lerr := leafRep.SnapshotAt(e)
+		rs, rerr := w.SnapshotAt(int(e))
+		if lerr != nil || rerr != nil {
+			continue // outside a retained window — nothing served to compare
+		}
+		ok = repl.Fingerprint(ls) == repl.Fingerprint(rs)
+	}
+
+	return failoverResult{
+		epochs:        epochs,
+		detect:        detect.Nanoseconds(),
+		elect:         elect.Nanoseconds(),
+		resume:        resume.Nanoseconds(),
+		fingerprintOK: ok,
+	}
+}

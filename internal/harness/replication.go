@@ -87,7 +87,7 @@ func runReplication(seed int64, followers int) replResult {
 	}, warehouse.WithStateLogCap(64), warehouse.WithReplFeed(1024, func(e msg.ReplEpoch) {
 		prim.OnCommit(e)
 	}))
-	prim = repl.NewPrimary(repl.PrimaryConfig{Warehouse: w})
+	prim = repl.NewPrimary(repl.PrimaryConfig{Source: w})
 	defer prim.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -239,6 +239,12 @@ type ExecuteTxn struct {
 type ReplSubscribe struct {
 	Follower string // follower name; channel identity and metrics label
 	Epoch    int64  // highest epoch applied (-1 = no state at all)
+	// Term is the feed term the follower's state was applied under (0 =
+	// fresh, or state fed in-process before terms existed). A primary at a
+	// newer term answers a lower-term subscription with a full checkpoint —
+	// the follower's recent epochs may descend from a deposed leader — and
+	// ignores a higher-term subscription entirely (it is itself deposed).
+	Term int64
 }
 
 // ReplView is one materialized view inside a ReplSnapshot.
@@ -256,8 +262,17 @@ type ReplSnapshot struct {
 	Txn      TxnID
 	CommitAt int64
 	Head     int64 // primary's current epoch at send (lag = Head - Epoch)
-	Views    []ReplView
-	Trace    *obs.TraceCtx // causal context of the snapshotted epoch's txn
+	// Term/Leader fence the feed (DESIGN §12): Term is the monotonic
+	// generation number of the feed that produced this frame and Leader the
+	// node that owns that term. A replica rejects frames from terms below
+	// its own (stale, deposed primary) and frames claiming its current term
+	// for a different leader (split brain); relays re-stamp frames with the
+	// term they adopted from upstream, so one promotion fences the whole
+	// tree.
+	Term   int64
+	Leader string
+	Views  []ReplView
+	Trace  *obs.TraceCtx // causal context of the snapshotted epoch's txn
 }
 
 // ReplWrite is one view's change inside a ReplEpoch. Delta is always the
@@ -277,7 +292,9 @@ type ReplEpoch struct {
 	Epoch    int64
 	Txn      TxnID
 	CommitAt int64
-	Head     int64 // primary's current epoch at send
+	Head     int64  // primary's current epoch at send
+	Term     int64  // feed term (see ReplSnapshot.Term); 0 = in-process feed
+	Leader   string // node owning the term
 	Writes   []ReplWrite
 	// Rows are the VUT rows (source update IDs) the epoch's txn applied —
 	// carried so follower-side trace events can be joined back to per-seq

@@ -35,6 +35,11 @@ type DebugServer struct {
 	// a handler returning the served snapshot's consistency fingerprint
 	// (per-view, for witness minimization), with ?epoch=N for history.
 	Fingerprint http.HandlerFunc
+	// ReplStatus, when set, serves /replstatus — the node's replication
+	// role, term, epoch, and upstream (repl.PeerStatus JSON), which the
+	// failover coordinator polls to elect and mvcstat renders as the
+	// fleet's replica topology.
+	ReplStatus http.HandlerFunc
 
 	start time.Time
 }
@@ -106,6 +111,9 @@ func NewDebugMux(cfg DebugServer) *http.ServeMux {
 	}
 	if cfg.Fingerprint != nil {
 		mux.HandleFunc("/fingerprint", cfg.Fingerprint)
+	}
+	if cfg.ReplStatus != nil {
+		mux.HandleFunc("/replstatus", cfg.ReplStatus)
 	}
 	if cfg.VUT != nil {
 		mux.HandleFunc("/debug/vut", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,213 @@
+package repl
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"whips/internal/obs"
+)
+
+// PeerStatus is one node's replication status — what /replstatus serves,
+// what the coordinator elects over, and what mvcstat renders as the fleet
+// topology.
+type PeerStatus struct {
+	Name       string `json:"name"`
+	Role       string `json:"role"`     // "primary", "follower", or "relay"
+	Term       int64  `json:"term"`     // current feed term
+	Leader     string `json:"leader"`   // node owning that term
+	Epoch      int64  `json:"epoch"`    // newest durable epoch held
+	Addr       string `json:"addr"`     // replication feed address ("" = not a candidate)
+	Debug      string `json:"debug"`    // debug HTTP address (status polling)
+	Upstream   string `json:"upstream"` // who this node streams from ("" = root)
+	Lag        int64  `json:"lag"`      // repl_epoch_lag at last apply
+	ApplyAgeMs int64  `json:"apply_age_ms"`
+}
+
+// CoordinatorConfig configures a Coordinator.
+type CoordinatorConfig struct {
+	// Self reports this node's own status.
+	Self func() PeerStatus
+	// Peers maps peer name to a status probe (an HTTP GET of the peer's
+	// /replstatus in whipsnode). A probe error means unreachable — the
+	// peer is simply excluded from that election round.
+	Peers map[string]func() (PeerStatus, error)
+	// Suspect reports how long the upstream feed has been unreachable
+	// (Follower.DisconnectedFor). An election runs only once it exceeds
+	// SuspectAfter.
+	Suspect      func() time.Duration
+	SuspectAfter time.Duration
+	// Interval paces the suspicion checks (default 250ms).
+	Interval time.Duration
+	// Promote makes this node the leader for the given term. nil marks a
+	// non-candidate observer (a leaf that only retargets).
+	Promote func(term int64) error
+	// Follow retargets this node's stream at the given peer.
+	Follow func(PeerStatus) error
+	// Logf, when set, receives election diagnostics.
+	Logf func(format string, args ...any)
+	// Obs, when set, attaches repl_failover_ms / repl_elections_total /
+	// repl_promotions_total.
+	Obs *obs.Pipeline
+}
+
+// Coordinator drives crash failover: it watches the upstream connection,
+// and once it has been dead past the suspicion threshold it runs one
+// deterministic election round — every reachable node reports its newest
+// durable epoch, the candidate holding the highest wins (ties break to the
+// lexicographically smallest name, so every surviving node computes the
+// same winner from the same status set), and the winner promotes itself at
+// a term above every term observed in the round while everyone else
+// retargets at the winner.
+//
+// The election is deliberately lease-free: under a one-way partition two
+// rounds can briefly crown two same-term leaders. The term fence bounds
+// the damage — every replica pins (term, leader) on first apply and
+// rejects the other claimant's frames as split-brain, so no epoch is ever
+// double-applied; the losing claimant's subtree simply stalls until an
+// operator (or a later round at a higher term) rejoins it. DESIGN §12
+// records the invariant and this limitation.
+type Coordinator struct {
+	cfg  CoordinatorConfig
+	stop chan struct{}
+	done chan struct{}
+
+	elections  *obs.Counter
+	promotions *obs.Counter
+	failoverMs *obs.Gauge
+}
+
+// NewCoordinator builds and starts a coordinator's watch loop.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 2 * time.Second
+	}
+	c := &Coordinator{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	if cfg.Obs != nil {
+		r := cfg.Obs.Reg()
+		c.elections = r.Counter("repl_elections_total")
+		c.promotions = r.Counter("repl_promotions_total")
+		c.failoverMs = r.Gauge("repl_failover_ms")
+	}
+	go c.run()
+	return c
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Close stops the watch loop.
+func (c *Coordinator) Close() error {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+	return nil
+}
+
+func (c *Coordinator) run() {
+	defer close(c.done)
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			down := c.cfg.Suspect()
+			if down < c.cfg.SuspectAfter {
+				continue
+			}
+			start := time.Now()
+			outcome, err := c.ElectOnce()
+			if err != nil {
+				c.logf("repl: election (upstream down %v): %v", down.Round(time.Millisecond), err)
+				continue
+			}
+			c.failoverMs.Set((down + time.Since(start)).Milliseconds())
+			c.logf("repl: election (upstream down %v): %s", down.Round(time.Millisecond), outcome)
+		}
+	}
+}
+
+// ElectOnce runs one election round immediately (exposed so tests and
+// benchmarks drive failover deterministically without the watch loop).
+func (c *Coordinator) ElectOnce() (string, error) {
+	c.elections.Inc()
+	self := c.cfg.Self()
+	statuses := []PeerStatus{self}
+	names := make([]string, 0, len(c.cfg.Peers))
+	for n := range c.cfg.Peers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st, err := c.cfg.Peers[n]()
+		if err != nil {
+			c.logf("repl: election: peer %q unreachable: %v", n, err)
+			continue
+		}
+		statuses = append(statuses, st)
+	}
+
+	// A live primary at the highest term observed wins outright: someone
+	// already promoted (or the old root recovered) — join it, don't fork.
+	var maxTerm int64
+	var livePrimary *PeerStatus
+	for i := range statuses {
+		st := &statuses[i]
+		if st.Term > maxTerm {
+			maxTerm = st.Term
+		}
+		if st.Role == "primary" && st.Name != self.Name &&
+			(livePrimary == nil || st.Term > livePrimary.Term ||
+				(st.Term == livePrimary.Term && st.Name < livePrimary.Name)) {
+			livePrimary = st
+		}
+	}
+	if livePrimary != nil && livePrimary.Term >= maxTerm {
+		if err := c.cfg.Follow(*livePrimary); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("followed live primary %q (term %d)", livePrimary.Name, livePrimary.Term), nil
+	}
+
+	// Otherwise elect among the candidates (nodes exporting a feed): the
+	// newest durable epoch wins; names break ties deterministically.
+	var winner *PeerStatus
+	for i := range statuses {
+		st := &statuses[i]
+		if st.Addr == "" {
+			continue
+		}
+		if winner == nil || st.Epoch > winner.Epoch ||
+			(st.Epoch == winner.Epoch && st.Name < winner.Name) {
+			winner = st
+		}
+	}
+	if winner == nil {
+		return "", fmt.Errorf("no reachable candidate")
+	}
+	if winner.Name == self.Name {
+		if c.cfg.Promote == nil {
+			return "", fmt.Errorf("won at epoch %d but not a candidate (no Promote)", self.Epoch)
+		}
+		if err := c.cfg.Promote(maxTerm + 1); err != nil {
+			return "", err
+		}
+		c.promotions.Inc()
+		return fmt.Sprintf("promoted self at epoch %d term %d", self.Epoch, maxTerm+1), nil
+	}
+	if err := c.cfg.Follow(*winner); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("followed winner %q (epoch %d)", winner.Name, winner.Epoch), nil
+}

@@ -1,0 +1,173 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"whips/internal/durable"
+	"whips/internal/msg"
+	"whips/internal/obs"
+	"whips/internal/warehouse"
+	"whips/internal/wire"
+)
+
+// DurableLogConfig configures a follower's replication WAL.
+type DurableLogConfig struct {
+	// Dir is the follower's data directory; created if absent.
+	Dir string
+	// Fsync controls when appended frames reach stable storage.
+	Fsync durable.FsyncPolicy
+	// CheckpointEvery compacts the WAL by snapshotting the replica's full
+	// state every N recorded frames (default 256; the WAL between
+	// checkpoints is what recovery replays).
+	CheckpointEvery int
+	// State renders the replica's current state as the checkpoint payload
+	// — typically Snapshot().ReplMsg(epoch) with the replica's term and
+	// leader stamped on, so the fence survives a restart.
+	State func() (msg.ReplSnapshot, bool)
+	// Logf, when set, receives recovery diagnostics.
+	Logf func(format string, args ...any)
+	// Obs, when set, attaches durability metrics.
+	Obs *obs.Pipeline
+}
+
+// DurableLog makes a follower's applied replication stream crash-safe: every
+// installed checkpoint and applied epoch frame is appended to a durable WAL
+// (internal/durable — segmented, CRC'd, torn-tail tolerant), periodically
+// compacted into a state snapshot. After kill -9, Recover replays the log
+// into a fresh Replica, so a promotion candidate holds — durably — every
+// epoch it ever acknowledged, which is what makes "the candidate with the
+// newest durable epoch" a meaningful election criterion.
+type DurableLog struct {
+	cfg   DurableLogConfig
+	store *durable.Store
+
+	mu    sync.Mutex
+	since int // frames recorded since the last checkpoint
+}
+
+// frameEnv wraps a wire-form frame for gob: the concrete repl wire types
+// are gob-registered by package wire for session transport, so the WAL
+// reuses the exact same encoding.
+type frameEnv struct{ M any }
+
+func encodeFrame(m any) ([]byte, error) {
+	w, err := wire.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&frameEnv{M: w}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeFrame(b []byte) (any, error) {
+	var env frameEnv
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {
+		return nil, err
+	}
+	return wire.Decode(env.M)
+}
+
+// OpenDurableLog opens (or initializes) a follower WAL. Call Recover before
+// starting the follower, then hand the log to FollowerConfig.Log.
+func OpenDurableLog(cfg DurableLogConfig) (*DurableLog, error) {
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 256
+	}
+	store, err := durable.Open(durable.StoreConfig{Dir: cfg.Dir, Fsync: cfg.Fsync, Logf: cfg.Logf, Obs: cfg.Obs})
+	if err != nil {
+		return nil, err
+	}
+	return &DurableLog{cfg: cfg, store: store}, nil
+}
+
+// Record appends one applied frame (msg.ReplSnapshot or msg.ReplEpoch) and
+// checkpoints every CheckpointEvery frames.
+func (l *DurableLog) Record(m any) error {
+	payload, err := encodeFrame(m)
+	if err != nil {
+		return err
+	}
+	if _, err := l.store.Append(payload); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.since++
+	due := l.since >= l.cfg.CheckpointEvery
+	if due {
+		l.since = 0
+	}
+	l.mu.Unlock()
+	if due && l.cfg.State != nil {
+		if snap, ok := l.cfg.State(); ok {
+			state, err := encodeFrame(snap)
+			if err != nil {
+				return err
+			}
+			return l.store.Checkpoint(state)
+		}
+	}
+	return nil
+}
+
+// Recover replays the WAL into rep: the newest valid checkpoint state (if
+// any) installs first, then every logged frame after it re-applies.
+// Duplicates are skipped by the replica's own apply discipline; a frame the
+// replica cannot apply (a gap — possible only if the directory was
+// hand-damaged, since frames are logged in apply order) stops the replay at
+// the last consistent epoch, which is exactly what the node then announces
+// in ReplSubscribe. Returns the recovered epoch (-1 when the log was
+// empty).
+func (l *DurableLog) Recover(rep *warehouse.Replica) (int64, error) {
+	state, records := l.store.Recover()
+	if state != nil {
+		m, err := decodeFrame(state)
+		if err != nil {
+			return -1, fmt.Errorf("repl: wal checkpoint: %w", err)
+		}
+		snap, ok := m.(msg.ReplSnapshot)
+		if !ok {
+			return -1, fmt.Errorf("repl: wal checkpoint holds %T, want ReplSnapshot", m)
+		}
+		if err := rep.Install(snap); err != nil {
+			return -1, fmt.Errorf("repl: wal checkpoint: %w", err)
+		}
+	}
+	for _, rec := range records {
+		m, err := decodeFrame(rec)
+		if err != nil {
+			// A torn tail is truncated by the store itself; a record that
+			// decodes but is garbage stops replay at the last good epoch.
+			l.logf("repl: wal: stopping replay at undecodable record: %v", err)
+			break
+		}
+		switch t := m.(type) {
+		case msg.ReplSnapshot:
+			if err := rep.Install(t); err != nil {
+				l.logf("repl: wal: skipping checkpoint epoch %d: %v", t.Epoch, err)
+			}
+		case msg.ReplEpoch:
+			if err := rep.ApplyEpoch(t); err != nil && !fenced(err) {
+				l.logf("repl: wal: stopping replay at epoch %d: %v", t.Epoch, err)
+				return rep.Epoch(), nil
+			}
+		default:
+			l.logf("repl: wal: ignoring logged %T", m)
+		}
+	}
+	return rep.Epoch(), nil
+}
+
+func (l *DurableLog) logf(format string, args ...any) {
+	if l.cfg.Logf != nil {
+		l.cfg.Logf(format, args...)
+	}
+}
+
+// Close closes the underlying store.
+func (l *DurableLog) Close() error { return l.store.Close() }

@@ -1,6 +1,7 @@
 package repl
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -19,10 +20,23 @@ type FollowerConfig struct {
 	// channels.
 	Name string
 	// Dial opens a connection to the primary's replication listener.
+	// Retarget replaces it at runtime (failover to a promoted primary).
 	Dial func() (io.ReadWriteCloser, error)
 	// Replica receives the stream; the caller serves queries from it.
 	Replica *warehouse.Replica
-	// Backoff shapes the reconnect schedule (seeded jitter).
+	// Relay, when set, re-exports every applied frame through a co-located
+	// Primary serving downstream followers: the follower adopts each
+	// frame's term into the relay before handing the frame to its feed, so
+	// the relay re-stamps with the lineage it actually applied, and a
+	// checkpoint install triggers RepairAll (the replica's delta ring
+	// reset, so deferred downstream streams cannot resume off the live
+	// broadcast alone).
+	Relay *Primary
+	// Log, when set, makes every applied frame durable before it is
+	// acknowledged downstream — the WAL a promotion replays so a candidate
+	// can serve every epoch it ever applied even after kill -9.
+	Log *DurableLog
+	// Backoff shapes the reconnect schedule (seeded full jitter).
 	Backoff wire.Backoff
 	// OnApply, when set, is invoked after every applied frame with the
 	// follower's epoch and the primary head that frame advertised. The
@@ -35,15 +49,21 @@ type FollowerConfig struct {
 }
 
 // Follower maintains the replication stream into a Replica: it dials the
-// primary, subscribes at whatever epoch the replica already holds, applies
-// checkpoint and epoch frames, and re-subscribes (same connection) or
-// re-dials (seeded backoff) whenever the stream breaks. Each connection
-// gets a fresh wire session — stream resume is epoch-level, carried by the
-// ReplSubscribe handshake, so no transport state survives a reconnect.
+// primary, subscribes at whatever epoch (and term) the replica already
+// holds, applies checkpoint and epoch frames, and re-subscribes (same
+// connection) or re-dials (seeded full-jitter backoff) whenever the stream
+// breaks. Each connection gets a fresh wire session — stream resume is
+// epoch-level, carried by the ReplSubscribe handshake, so no transport
+// state survives a reconnect.
 type Follower struct {
 	cfg  FollowerConfig
 	stop chan struct{}
 	done chan struct{}
+
+	// dialFn is the current upstream dialer; Retarget swaps it and kills
+	// the live session so the dial loop reconnects to the new upstream.
+	dialFn atomic.Value // func() (io.ReadWriteCloser, error)
+	sess   atomic.Pointer[wire.Session]
 
 	// lastApply is the wall-clock (UnixNano) of the most recent applied
 	// frame. repl_epoch_lag alone freezes at its last healthy value when the
@@ -52,10 +72,21 @@ type Follower struct {
 	// growing, and Healthy() gates /healthz on it.
 	lastApply atomic.Int64
 
+	// connected/lastDisc track the transport, not the stream: failover
+	// suspicion keys off "how long has the upstream connection been down"
+	// (DisconnectedFor), because an idle-but-alive primary legitimately
+	// stops producing epochs and must not look dead.
+	connected atomic.Bool
+	lastDisc  atomic.Int64 // UnixNano of the last disconnect (or start)
+
+	// lag mirrors repl_epoch_lag for programmatic readers (/replstatus).
+	lag atomic.Int64
+
 	lagG          *obs.Gauge
 	epochsApplied *obs.Counter
 	snapsApplied  *obs.Counter
 	resubscribes  *obs.Counter
+	staleFrames   *obs.Counter
 }
 
 // NewFollower builds and starts a follower's connection loop.
@@ -65,6 +96,8 @@ func NewFollower(cfg FollowerConfig) *Follower {
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	f.dialFn.Store(cfg.Dial)
+	f.lastDisc.Store(time.Now().UnixNano())
 	if cfg.Obs != nil {
 		r := cfg.Obs.Reg()
 		l := []string{"follower", cfg.Name}
@@ -72,12 +105,16 @@ func NewFollower(cfg FollowerConfig) *Follower {
 		f.epochsApplied = r.Counter("repl_epochs_applied_total", l...)
 		f.snapsApplied = r.Counter("repl_snapshots_applied_total", l...)
 		f.resubscribes = r.Counter("repl_resubscribes_total", l...)
+		f.staleFrames = r.Counter("repl_stale_frames_total", l...)
 		r.GaugeFunc("repl_last_apply_age_ms", func() int64 {
 			age := f.LastApplyAge()
 			if age < 0 {
 				return -1 // nothing applied yet
 			}
 			return age.Milliseconds()
+		}, l...)
+		r.GaugeFunc("repl_term", func() int64 {
+			return cfg.Replica.Term()
 		}, l...)
 	}
 	go f.run()
@@ -105,41 +142,54 @@ func (f *Follower) Close() error {
 	return nil
 }
 
+// Retarget points the follower at a different upstream — the failover
+// path: the coordinator elected a new primary, so the stream must re-home
+// without restarting the process or losing the replica's state. The live
+// session (if any) is killed; the dial loop reconnects with the new
+// dialer and the normal ReplSubscribe handshake resumes the stream from
+// the exact epoch (and term) the replica holds.
+func (f *Follower) Retarget(dial func() (io.ReadWriteCloser, error)) {
+	f.dialFn.Store(dial)
+	if s := f.sess.Load(); s != nil {
+		s.Close()
+	}
+}
+
+// DisconnectedFor reports how long the upstream connection has been down
+// (zero while connected) — the coordinator's death-suspicion signal.
+func (f *Follower) DisconnectedFor() time.Duration {
+	if f.connected.Load() {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - f.lastDisc.Load())
+}
+
 // run is the dial loop: connect, subscribe, stream until the connection
-// dies, back off, repeat.
+// dies, back off with full jitter, repeat.
 func (f *Follower) run() {
 	defer close(f.done)
 	rng := rand.New(rand.NewSource(f.cfg.Backoff.Seed))
-	delay := f.cfg.Backoff.Base
-	if delay <= 0 {
-		delay = 50 * time.Millisecond
-	}
-	maxDelay := f.cfg.Backoff.Max
-	if maxDelay <= 0 {
-		maxDelay = 2 * time.Second
-	}
-	base := delay
+	attempt := 0
 	for {
 		select {
 		case <-f.stop:
 			return
 		default:
 		}
-		conn, err := f.cfg.Dial()
+		dial := f.dialFn.Load().(func() (io.ReadWriteCloser, error))
+		conn, err := dial()
 		if err != nil {
-			d := delay + time.Duration(rng.Int63n(int64(delay)/2+1))
+			d := f.cfg.Backoff.Next(rng, attempt)
+			attempt++
 			f.logf("repl: %s: dial failed: %v (retry in %v)", f.cfg.Name, err, d)
 			select {
 			case <-time.After(d):
 			case <-f.stop:
 				return
 			}
-			if delay *= 2; delay > maxDelay {
-				delay = maxDelay
-			}
 			continue
 		}
-		delay = base
+		attempt = 0
 		var sess *wire.Session
 		// resubscribing guards the error path: an epoch gap triggers one
 		// re-subscribe, and frames already in flight for the stale stream
@@ -153,32 +203,60 @@ func (f *Follower) run() {
 			Logf: f.cfg.Logf,
 			Obs:  f.cfg.Obs,
 		})
+		f.sess.Store(sess)
 		dead := sess.Attach(conn)
+		f.connected.Store(true)
 		f.subscribe(sess)
 		select {
 		case <-dead:
+			f.connected.Store(false)
+			f.lastDisc.Store(time.Now().UnixNano())
 			f.logf("repl: %s: stream lost; reconnecting", f.cfg.Name)
 			sess.Close()
 		case <-f.stop:
+			f.connected.Store(false)
 			sess.Close()
 			return
 		}
 	}
 }
 
-// subscribe (re)announces the replica's position to the primary.
+// subscribe (re)announces the replica's position — epoch and term — to
+// the primary.
 func (f *Follower) subscribe(sess *wire.Session) {
-	sub := msg.ReplSubscribe{Follower: f.cfg.Name, Epoch: f.cfg.Replica.Epoch()}
+	sub := msg.ReplSubscribe{
+		Follower: f.cfg.Name,
+		Epoch:    f.cfg.Replica.Epoch(),
+		Term:     f.cfg.Replica.Term(),
+	}
 	if err := sess.Send(f.cfg.Name, PrimaryName, sub); err != nil {
 		f.logf("repl: %s: subscribe: %v", f.cfg.Name, err)
 	}
 }
 
+// fenced reports whether an apply error is a term-fence rejection —
+// terminal for the frame, not the stream: the sender is deposed (or a
+// split-brain double), so the follower drops the frame, counts it, and
+// specifically does NOT resubscribe (a resubscribe would invite the stale
+// sender to checkpoint over newer-term state).
+func fenced(err error) bool {
+	return errors.Is(err, warehouse.ErrStaleTerm) || errors.Is(err, warehouse.ErrSplitBrain)
+}
+
 func (f *Follower) deliver(sess *wire.Session, resubscribing *atomic.Bool, m any) {
 	switch e := m.(type) {
 	case msg.ReplSnapshot:
+		if err := f.cfg.Replica.Install(e); err != nil {
+			f.staleFrames.Inc()
+			f.logf("repl: %s: rejected checkpoint epoch %d: %v", f.cfg.Name, e.Epoch, err)
+			return
+		}
 		resubscribing.Store(false)
-		f.cfg.Replica.Install(e)
+		f.record(m)
+		if f.cfg.Relay != nil {
+			f.cfg.Relay.SetTerm(f.cfg.Replica.Term(), f.cfg.Replica.Leader())
+			f.cfg.Relay.RepairAll()
+		}
 		f.snapsApplied.Inc()
 		f.observe(e.Epoch, e.Head)
 		if f.cfg.Obs.Tracing() {
@@ -194,6 +272,11 @@ func (f *Follower) deliver(sess *wire.Session, resubscribing *atomic.Bool, m any
 			return // stale stream; wait for the re-subscribe answer
 		}
 		if err := f.cfg.Replica.ApplyEpoch(e); err != nil {
+			if fenced(err) {
+				f.staleFrames.Inc()
+				f.logf("repl: %s: rejected epoch %d: %v", f.cfg.Name, e.Epoch, err)
+				return
+			}
 			// Gap (or apply before checkpoint): announce our real position
 			// and let the primary repair the stream.
 			f.logf("repl: %s: %v; re-subscribing", f.cfg.Name, err)
@@ -201,6 +284,11 @@ func (f *Follower) deliver(sess *wire.Session, resubscribing *atomic.Bool, m any
 			resubscribing.Store(true)
 			f.subscribe(sess)
 			return
+		}
+		f.record(m)
+		if f.cfg.Relay != nil {
+			f.cfg.Relay.SetTerm(f.cfg.Replica.Term(), f.cfg.Replica.Leader())
+			f.cfg.Relay.OnCommit(e)
 		}
 		f.epochsApplied.Inc()
 		f.observe(f.cfg.Replica.Epoch(), e.Head)
@@ -220,6 +308,18 @@ func (f *Follower) deliver(sess *wire.Session, resubscribing *atomic.Bool, m any
 	}
 }
 
+// record persists an applied frame to the follower WAL (no-op without
+// one). A write failure is logged, not fatal: the replica stays correct
+// in memory, only crash durability degrades.
+func (f *Follower) record(m any) {
+	if f.cfg.Log == nil {
+		return
+	}
+	if err := f.cfg.Log.Record(m); err != nil {
+		f.logf("repl: %s: wal: %v", f.cfg.Name, err)
+	}
+}
+
 // observe records staleness: lag is the primary head the frame advertised
 // minus the epoch the replica now serves.
 func (f *Follower) observe(applied, head int64) {
@@ -228,11 +328,15 @@ func (f *Follower) observe(applied, head int64) {
 		lag = 0
 	}
 	f.lagG.Set(lag)
+	f.lag.Store(lag)
 	f.lastApply.Store(time.Now().UnixNano())
 	if f.cfg.OnApply != nil {
 		f.cfg.OnApply(applied, head)
 	}
 }
+
+// Lag returns the last observed epoch lag (primary head minus applied).
+func (f *Follower) Lag() int64 { return f.lag.Load() }
 
 // LastApplyAge returns the wall-clock time since the last applied frame,
 // or a negative duration when no frame has ever applied.

@@ -41,14 +41,40 @@ import (
 // PrimaryName is the channel name followers address their subscriptions to.
 const PrimaryName = "primary"
 
+// FeedSource is what a Primary exports: the current epoch snapshot (for
+// checkpoints) and the retained epoch-delta run since a given epoch (for
+// cheap catch-up). *warehouse.Warehouse satisfies it at the tree root;
+// *warehouse.Replica (built with WithReplicaFeed) satisfies it on a relay,
+// so a follower can re-export the stream it applies and replicas form a
+// tree with O(1) egress at every level.
+type FeedSource interface {
+	Snapshot() *warehouse.Snapshot
+	ReplSince(from int64) ([]msg.ReplEpoch, bool)
+}
+
 // PrimaryConfig configures a Primary.
 type PrimaryConfig struct {
-	// Warehouse is the primary store; it must be built with
-	// warehouse.WithReplFeed wired to Primary.OnCommit.
-	Warehouse *warehouse.Warehouse
+	// Source is the epoch feed this primary exports: the warehouse at the
+	// tree root, or a relay follower's Replica. Live commits must be wired
+	// to Primary.OnCommit (warehouse.WithReplFeed at the root; the
+	// FollowerConfig.Relay hookup on a relay).
+	Source FeedSource
+	// Relay marks a re-exporting follower's feed. A relay is not
+	// authoritative: when a downstream subscriber is at or ahead of the
+	// relay's own epoch and the ring cannot serve it, the relay defers
+	// (leaves the stream idle until it catches up past the subscriber)
+	// instead of shipping a rewinding checkpoint. Only an authoritative
+	// primary — the root, or a promoted follower — may rewind a follower,
+	// which is how a crash-recovered root repairs the fleet.
+	Relay bool
+	// Term/Leader stamp every outgoing frame (DESIGN §12). Zero values on
+	// a non-relay primary default to term 1 owned by PrimaryName; a relay
+	// starts at term 0 and adopts its upstream's stamp via SetTerm.
+	Term   int64
+	Leader string
 	// FeedDepth bounds the live-feed handoff channel (default 256). When
 	// the dispatcher falls behind, overflowed epochs are recovered from
-	// the warehouse's retained ring — commits never block on followers.
+	// the source's retained ring — commits never block on followers.
 	FeedDepth int
 	// Logf, when set, receives replication lifecycle diagnostics.
 	Logf func(format string, args ...any)
@@ -76,12 +102,19 @@ type Primary struct {
 	wg     sync.WaitGroup
 
 	mu     sync.Mutex
+	src    FeedSource
+	relay  bool
+	term   int64
+	leader string
 	subs   map[*wire.Session]*subscriber
 	closed bool
 
 	followersG *obs.Gauge
+	termG      *obs.Gauge
 	epochsSent *obs.Counter
 	snapsSent  *obs.Counter
+	defers     *obs.Counter
+	staleSubs  *obs.Counter
 }
 
 // NewPrimary builds and starts a primary's dispatcher. Wire OnCommit into
@@ -90,21 +123,93 @@ func NewPrimary(cfg PrimaryConfig) *Primary {
 	if cfg.FeedDepth <= 0 {
 		cfg.FeedDepth = 256
 	}
+	if !cfg.Relay && cfg.Term == 0 {
+		cfg.Term = 1
+	}
+	if !cfg.Relay && cfg.Leader == "" {
+		cfg.Leader = PrimaryName
+	}
 	p := &Primary{
 		cfg:    cfg,
 		feedCh: make(chan msg.ReplEpoch, cfg.FeedDepth),
 		stop:   make(chan struct{}),
+		src:    cfg.Source,
+		relay:  cfg.Relay,
+		term:   cfg.Term,
+		leader: cfg.Leader,
 		subs:   make(map[*wire.Session]*subscriber),
 	}
 	if cfg.Obs != nil {
 		r := cfg.Obs.Reg()
 		p.followersG = r.Gauge("repl_followers")
+		p.termG = r.Gauge("repl_term")
 		p.epochsSent = r.Counter("repl_epochs_sent_total")
 		p.snapsSent = r.Counter("repl_snapshots_sent_total")
+		p.defers = r.Counter("repl_defers_total")
+		p.staleSubs = r.Counter("repl_stale_subs_total")
 	}
+	p.termG.Set(p.term)
 	p.wg.Add(1)
 	go p.dispatch()
 	return p
+}
+
+// Term reports the feed term this primary currently stamps frames with.
+func (p *Primary) Term() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.term
+}
+
+// Leader reports the node name owning the current term.
+func (p *Primary) Leader() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.leader
+}
+
+// SetTerm adopts a (term, leader) stamp — raise-only, so a relay mirrors
+// whatever term its upstream feed carries and a stale caller can never
+// regress the fence. The relay hookup calls this before re-exporting each
+// applied frame.
+func (p *Primary) SetTerm(term int64, leader string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if term > p.term {
+		p.term, p.leader = term, leader
+		p.termG.Set(p.term)
+	}
+}
+
+// Promote makes this primary the authoritative leader for a new term,
+// serving from src (a freshly seeded warehouse on the promotion path).
+// Every attached subscriber is repaired immediately so the fleet learns
+// the new term from the first frame it receives.
+func (p *Primary) Promote(src FeedSource, term int64, leader string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.src = src
+	p.relay = false
+	if term > p.term {
+		p.term = term
+	}
+	p.leader = leader
+	p.termG.Set(p.term)
+	p.logf("repl: promoted: leader %q term %d", p.leader, p.term)
+	for _, s := range p.subs {
+		p.repairLocked(s)
+	}
+}
+
+// RepairAll resyncs every attached subscriber from the source — called
+// after a relay's replica installs a checkpoint (the ring reset, so the
+// live broadcast alone cannot resume deferred streams).
+func (p *Primary) RepairAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.subs {
+		p.repairLocked(s)
+	}
 }
 
 func (p *Primary) logf(format string, args ...any) {
@@ -175,12 +280,49 @@ func (p *Primary) Handle(conn io.ReadWriteCloser) {
 }
 
 // subscribe (re)starts a follower's stream from the epoch it announces.
+// The handshake is term-fenced both ways: a subscriber announcing a term
+// above an authoritative primary's means *we* are deposed — ignore it
+// rather than feed it stale epochs (a relay in the same position is merely
+// behind that lineage, so it registers the stream and defers until its own
+// catch-up passes the subscriber's term); a subscriber announcing a
+// nonzero term below ours holds state from a deposed leader's lineage, so
+// it is never served ring deltas on top of that state — it gets a full
+// checkpoint, the one frame kind that replaces state instead of extending
+// it.
 func (p *Primary) subscribe(sess *wire.Session, sub msg.ReplSubscribe) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return
 	}
+	if sub.Term != 0 && sub.Term > p.term {
+		p.staleSubs.Inc()
+		if !p.relay {
+			p.logf("repl: ignoring subscribe from %q at term %d above ours (%d): we are deposed",
+				sub.Follower, sub.Term, p.term)
+			return
+		}
+		// The downstream fence still protects the subscriber if our feed
+		// really is a deposed lineage: every frame we send carries our
+		// adopted term, and anything below the subscriber's is rejected.
+		s := p.subLocked(sess, sub)
+		p.defers.Inc()
+		p.logf("repl: deferring subscribe from %q at term %d above ours (%d): relay still catching up",
+			s.name, sub.Term, p.term)
+		return
+	}
+	s := p.subLocked(sess, sub)
+	p.logf("repl: follower %q subscribed at epoch %d term %d", s.name, s.last, sub.Term)
+	if sub.Term != 0 && sub.Term < p.term {
+		p.checkpointLocked(s)
+		return
+	}
+	p.repairLocked(s)
+}
+
+// subLocked registers (or re-positions) the subscriber state for a
+// session's announced position.
+func (p *Primary) subLocked(sess *wire.Session, sub msg.ReplSubscribe) *subscriber {
 	s, ok := p.subs[sess]
 	if !ok {
 		s = &subscriber{sess: sess}
@@ -189,8 +331,7 @@ func (p *Primary) subscribe(sess *wire.Session, sub msg.ReplSubscribe) {
 	}
 	s.name = sub.Follower
 	s.last = sub.Epoch
-	p.logf("repl: follower %q subscribed at epoch %d", s.name, s.last)
-	p.repairLocked(s)
+	return s
 }
 
 func (p *Primary) dropSub(sess *wire.Session) {
@@ -246,20 +387,13 @@ func (p *Primary) broadcast(e msg.ReplEpoch) {
 	}
 }
 
-// repairLocked brings one stream to the warehouse head: epoch deltas from
-// the retained ring when they suffice, a full checkpoint otherwise.
+// repairLocked brings one stream to the source head: epoch deltas from
+// the retained ring when they suffice, a full checkpoint (or, on a relay,
+// a deferral) otherwise.
 func (p *Primary) repairLocked(s *subscriber) {
-	deltas, ok := p.cfg.Warehouse.ReplSince(s.last)
+	deltas, ok := p.src.ReplSince(s.last)
 	if !ok {
-		snap := p.cfg.Warehouse.Snapshot()
-		m := snap.ReplMsg(snap.Epoch)
-		if err := s.sess.Send(PrimaryName, s.name, m); err != nil {
-			p.logf("repl: checkpoint to %q: %v", s.name, err)
-			return
-		}
-		s.last = snap.Epoch
-		p.snapsSent.Inc()
-		p.logf("repl: sent checkpoint epoch %d to %q", snap.Epoch, s.name)
+		p.checkpointLocked(s)
 		return
 	}
 	if len(deltas) == 0 {
@@ -272,7 +406,35 @@ func (p *Primary) repairLocked(s *subscriber) {
 	}
 }
 
+// checkpointLocked ships the source's current snapshot — or, on a relay
+// whose own epoch is not strictly ahead of the subscriber, defers: the
+// subscriber keeps its state and the stream resumes via the live
+// broadcast (or RepairAll after a checkpoint install) once the relay
+// catches up past it. A relay must never rewind a subscriber — only an
+// authoritative primary recovering to an older epoch does that — and it
+// must never bridge a ring gap with anything but a full checkpoint, so
+// "checkpoint or defer" is the complete answer set and a gapped delta
+// stream is unrepresentable.
+func (p *Primary) checkpointLocked(s *subscriber) {
+	snap := p.src.Snapshot()
+	if snap == nil || (p.relay && snap.Epoch <= s.last) {
+		p.defers.Inc()
+		p.logf("repl: deferring catch-up for %q (at %d): relay not ahead yet", s.name, s.last)
+		return
+	}
+	m := snap.ReplMsg(snap.Epoch)
+	m.Term, m.Leader = p.term, p.leader
+	if err := s.sess.Send(PrimaryName, s.name, m); err != nil {
+		p.logf("repl: checkpoint to %q: %v", s.name, err)
+		return
+	}
+	s.last = snap.Epoch
+	p.snapsSent.Inc()
+	p.logf("repl: sent checkpoint epoch %d to %q", snap.Epoch, s.name)
+}
+
 func (p *Primary) sendEpoch(s *subscriber, e msg.ReplEpoch) {
+	e.Term, e.Leader = p.term, p.leader
 	if err := s.sess.Send(PrimaryName, s.name, e); err != nil {
 		p.logf("repl: epoch %d to %q: %v", e.Epoch, s.name, err)
 		return

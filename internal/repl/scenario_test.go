@@ -43,7 +43,7 @@ func newScenarioPrimary(t *testing.T, vals []int) *scenarioPrimary {
 	t.Helper()
 	sp := &scenarioPrimary{vals: vals}
 	sp.w = sp.newWarehouse()
-	sp.cur.Store(NewPrimary(PrimaryConfig{Warehouse: sp.w, Logf: t.Logf}))
+	sp.cur.Store(NewPrimary(PrimaryConfig{Source: sp.w, Logf: t.Logf}))
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -95,7 +95,7 @@ func (sp *scenarioPrimary) crashRestart(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	p := NewPrimary(PrimaryConfig{Warehouse: sp.w, Logf: t.Logf})
+	p := NewPrimary(PrimaryConfig{Source: sp.w, Logf: t.Logf})
 	sp.cur.Store(p)
 	for i := sp.ckptAt + 1; i <= sp.committed; i++ {
 		commit(sp.w, i, sp.vals[i-1])

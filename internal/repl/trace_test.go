@@ -50,7 +50,7 @@ func TestSpanChainAcrossReplication(t *testing.T) {
 	tp := &testPrimary{}
 	tp.w = warehouse.New(initialViews(), warehouse.WithStateLog(), warehouse.WithObs(pp),
 		warehouse.WithReplFeed(64, func(e msg.ReplEpoch) { tp.p.OnCommit(e) }))
-	tp.p = NewPrimary(PrimaryConfig{Warehouse: tp.w, Logf: t.Logf})
+	tp.p = NewPrimary(PrimaryConfig{Source: tp.w, Logf: t.Logf})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,421 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"whips/internal/msg"
+	"whips/internal/relation"
+	"whips/internal/repl"
+	"whips/internal/warehouse"
+	"whips/internal/wire"
+)
+
+// The promotion-race scenarios live beside the schedule explorer because
+// they are the same methodology applied to the replication tree: one seed
+// derives the whole schedule — workload values, partition point, kill
+// point, reconnect jitter — so a failing race replays exactly, and the
+// terminal check is the paper's consistency judge (repl.Fingerprint
+// equality of every surviving epoch against the pre-crash primary) plus
+// the §12 fence invariant (no stale-term epoch ever applies).
+
+var failoverSchema = relation.MustSchema("X:int")
+
+func failoverViews() map[msg.ViewID]*relation.Relation {
+	return map[msg.ViewID]*relation.Relation{
+		"V1": relation.New(failoverSchema),
+		"V2": relation.FromTuples(failoverSchema, relation.T(0)),
+	}
+}
+
+func failoverCommit(w *warehouse.Warehouse, id, val int) {
+	w.Handle(msg.SubmitTxn{
+		Txn: msg.WarehouseTxn{
+			ID:   msg.TxnID(id),
+			Rows: []msg.UpdateID{msg.UpdateID(id)},
+			Writes: []msg.ViewWrite{
+				{View: "V1", Upto: msg.UpdateID(id), Delta: relation.InsertDelta(failoverSchema, relation.T(val))},
+				{View: "V2", Upto: msg.UpdateID(id), Delta: relation.InsertDelta(failoverSchema, relation.T(-val))},
+			},
+		},
+		From: "merge:0",
+	}, int64(id))
+}
+
+// raceNode is one failover participant: a replica re-exported as a feed
+// (every node is a candidate), plus the follower streaming into it.
+type raceNode struct {
+	name string
+	rep  *warehouse.Replica
+	p    *repl.Primary
+	f    *repl.Follower
+	ln   net.Listener
+}
+
+func newRaceNode(t *testing.T, name, upstream string, seed int64) *raceNode {
+	t.Helper()
+	n := &raceNode{name: name}
+	n.rep = warehouse.NewReplica(warehouse.WithReplicaFeed(64))
+	n.p = repl.NewPrimary(repl.PrimaryConfig{Source: n.rep, Relay: true, Logf: t.Logf})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.ln = ln
+	go n.p.Serve(ln)
+	n.f = repl.NewFollower(repl.FollowerConfig{
+		Name:    name,
+		Dial:    dial(upstream),
+		Replica: n.rep,
+		Relay:   n.p,
+		Backoff: wire.Backoff{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond, Seed: seed},
+		Logf:    t.Logf,
+	})
+	t.Cleanup(func() {
+		n.f.Close()
+		ln.Close()
+		n.p.Close()
+	})
+	return n
+}
+
+func (n *raceNode) addr() string { return n.ln.Addr().String() }
+
+func (n *raceNode) status() repl.PeerStatus {
+	return repl.PeerStatus{
+		Name: n.name, Role: "relay",
+		Term: n.rep.Term(), Leader: n.rep.Leader(),
+		Epoch: n.rep.Epoch(), Addr: n.addr(),
+	}
+}
+
+func dial(addr string) func() (io.ReadWriteCloser, error) {
+	return func() (io.ReadWriteCloser, error) { return net.Dial("tcp", addr) }
+}
+
+// deadAddr returns a loopback address nothing listens on.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// judgeEpochs requires every epoch the replica retains to be
+// fingerprint-identical to the authoritative warehouse's same epoch.
+func judgeEpochs(t *testing.T, w *warehouse.Warehouse, rep *warehouse.Replica, label string) {
+	t.Helper()
+	fs := rep.Snapshot()
+	if fs == nil {
+		t.Fatalf("%s: no state", label)
+	}
+	ws, err := w.SnapshotAt(int(fs.Epoch))
+	if err != nil {
+		t.Fatalf("%s: authority lost epoch %d: %v", label, fs.Epoch, err)
+	}
+	if got, want := repl.Fingerprint(fs), repl.Fingerprint(ws); got != want {
+		t.Fatalf("%s: epoch %d diverged: %s vs %s", label, fs.Epoch, got, want)
+	}
+	for e := int64(0); e <= fs.Epoch; e++ {
+		hs, err := rep.SnapshotAt(e)
+		if err != nil {
+			continue
+		}
+		ws, err := w.SnapshotAt(int(e))
+		if err != nil {
+			continue // evicted from the authority's capped state log
+		}
+		if got, want := repl.Fingerprint(hs), repl.Fingerprint(ws); got != want {
+			t.Fatalf("%s: historical epoch %d diverged", label, e)
+		}
+	}
+}
+
+// TestPromotionRaceSchedules replays seeded promotion races: two candidate
+// relays stream from one root, one candidate's feed is partitioned
+// mid-run (so the candidates hold different durable epochs), the root is
+// killed, and both candidates run an election round concurrently. Exactly
+// one — the one holding the newest epoch — may promote; the loser and the
+// orphaned leaf must converge onto the winner's term-2 feed with every
+// epoch byte-identical to the pre-crash primary. A resurrected stale root
+// must then be unable to feed anyone (no stale-term epoch ever applies).
+func TestPromotionRaceSchedules(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runPromotionRace(t, seed)
+		})
+	}
+}
+
+func runPromotionRace(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	const updates = 40
+	vals := make([]int, updates)
+	for i := range vals {
+		vals[i] = rng.Intn(1000)
+	}
+	partitionAt := 10 + rng.Intn(10)
+	killAt := partitionAt + 5 + rng.Intn(10)
+
+	// Root primary (term 1) with a retained feed.
+	var rootPrim *repl.Primary
+	root := warehouse.New(failoverViews(), warehouse.WithStateLog(),
+		warehouse.WithReplFeed(64, func(e msg.ReplEpoch) { rootPrim.OnCommit(e) }))
+	rootPrim = repl.NewPrimary(repl.PrimaryConfig{Source: root, Logf: t.Logf})
+	rootLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rootPrim.Serve(rootLn)
+	t.Cleanup(func() { rootLn.Close(); rootPrim.Close() })
+
+	c0 := newRaceNode(t, "c0", rootLn.Addr().String(), seed*10+1)
+	c1 := newRaceNode(t, "c1", rootLn.Addr().String(), seed*10+2)
+	leafRep := warehouse.NewReplica()
+	leaf := repl.NewFollower(repl.FollowerConfig{
+		Name: "leaf", Dial: dial(c0.addr()), Replica: leafRep,
+		Backoff: wire.Backoff{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond, Seed: seed*10 + 3},
+		Logf:    t.Logf,
+	})
+	t.Cleanup(func() { leaf.Close() })
+
+	committed := 0
+	for i := 1; i <= updates; i++ {
+		committed++
+		failoverCommit(root, i, vals[i-1])
+		switch i {
+		case partitionAt:
+			// c1's feed partitions: it keeps its state but stops advancing,
+			// so the two candidates will hold different durable epochs.
+			waitCond(t, "c1 pre-partition sync", func() bool { return c1.rep.Epoch() >= int64(partitionAt)/2 })
+			c1.f.Retarget(dial(deadAddr(t)))
+		case killAt:
+			// kill -9 the root mid-stream: c0 (and the leaf behind it) may
+			// still be catching up on in-flight epochs.
+			waitCond(t, "c0 within catch-up range", func() bool { return c0.rep.Epoch() >= 0 })
+			rootLn.Close()
+			rootPrim.Close()
+		}
+		if rng.Intn(3) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Whatever the root managed to publish before dying is the authority.
+	waitCond(t, "c0 drains the surviving feed", func() bool {
+		return c0.f.DisconnectedFor() > 30*time.Millisecond
+	})
+	preCrashHead := c0.rep.Epoch()
+	if c1.rep.Epoch() > preCrashHead {
+		// The partition schedule can only leave c1 behind, never ahead.
+		t.Fatalf("partitioned candidate ahead of live one: %d > %d", c1.rep.Epoch(), preCrashHead)
+	}
+
+	// Both candidates run an election concurrently over in-process status
+	// probes. The deterministic rule (newest epoch, then smallest name)
+	// must crown exactly one leader — c0.
+	var promotedW *warehouse.Warehouse
+	mkCoord := func(self, peer *raceNode) *repl.Coordinator {
+		return repl.NewCoordinator(repl.CoordinatorConfig{
+			Self:         self.status,
+			Peers:        map[string]func() (repl.PeerStatus, error){peer.name: func() (repl.PeerStatus, error) { return peer.status(), nil }},
+			Suspect:      self.f.DisconnectedFor,
+			SuspectAfter: 30 * time.Millisecond,
+			Interval:     time.Hour, // ElectOnce-driven
+			Promote: func(term int64) error {
+				snap := self.rep.Snapshot()
+				if snap == nil {
+					return fmt.Errorf("no state")
+				}
+				w := warehouse.NewFromSnapshot(snap, warehouse.WithStateLog(),
+					warehouse.WithReplFeed(64, func(e msg.ReplEpoch) { self.p.OnCommit(e) }))
+				self.p.Promote(w, term, self.name)
+				self.f.Close() // stop redialing the dead root
+				if promotedW != nil {
+					return fmt.Errorf("double promotion")
+				}
+				promotedW = w
+				return nil
+			},
+			Follow: func(p repl.PeerStatus) error {
+				self.f.Retarget(dial(p.Addr))
+				return nil
+			},
+			Logf: t.Logf,
+		})
+	}
+	co0, co1 := mkCoord(c0, c1), mkCoord(c1, c0)
+	// The losing candidate elects first — the racier order: it must follow
+	// the future winner on epoch comparison alone, not observe a promotion.
+	if _, err := co1.ElectOnce(); err != nil {
+		t.Fatalf("c1 election: %v", err)
+	}
+	if _, err := co0.ElectOnce(); err != nil {
+		t.Fatalf("c0 election: %v", err)
+	}
+	co0.Close()
+	co1.Close()
+	if promotedW == nil {
+		t.Fatal("no candidate promoted")
+	}
+	if got := c0.p.Term(); got != 2 {
+		t.Fatalf("winner's term = %d, want 2", got)
+	}
+	// No committed epoch lost at the handover.
+	if got, want := repl.Fingerprint(promotedW.Snapshot()), int64(preCrashHead); promotedW.Snapshot().Epoch != want {
+		t.Fatalf("promotion moved the head: %d (fp %s), want %d", promotedW.Snapshot().Epoch, got, want)
+	}
+
+	// Post-failover traffic on the winner; the loser and the orphaned leaf
+	// must converge through the re-fenced feed.
+	for i := updates + 1; i <= updates+10; i++ {
+		failoverCommit(promotedW, i, rng.Intn(1000))
+	}
+	head := promotedW.Snapshot().Epoch
+	waitCond(t, "fleet convergence on the winner", func() bool {
+		return c1.rep.Epoch() == head && leafRep.Epoch() == head
+	})
+	judgeEpochs(t, promotedW, c0.rep, "winner replica")
+	judgeEpochs(t, promotedW, c1.rep, "losing candidate")
+	judgeEpochs(t, promotedW, leafRep, "leaf")
+	// The winner's own replica froze at promotion; everything downstream of
+	// the new feed must carry the term-2 fence.
+	if c1.rep.Term() != 2 || c1.rep.Leader() != "c0" {
+		t.Fatalf("c1 fence = (%d, %q), want (2, c0)", c1.rep.Term(), c1.rep.Leader())
+	}
+	if leafRep.Term() != 2 || leafRep.Leader() != "c0" {
+		t.Fatalf("leaf fence = (%d, %q), want (2, c0)", leafRep.Term(), leafRep.Leader())
+	}
+
+	// Resurrect the dead root at its stale term and point the loser at it:
+	// the fence must hold — not one stale-term epoch may apply.
+	stalePrim := repl.NewPrimary(repl.PrimaryConfig{Source: root, Logf: t.Logf})
+	staleLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go stalePrim.Serve(staleLn)
+	t.Cleanup(func() { staleLn.Close(); stalePrim.Close() })
+	c1.f.Retarget(dial(staleLn.Addr().String()))
+	failoverCommit(root, updates+11, 1) // stale primary keeps committing
+	time.Sleep(50 * time.Millisecond)
+	if got := c1.rep.Epoch(); got != head {
+		t.Fatalf("stale-term feed moved the loser: epoch %d, want %d", got, head)
+	}
+	if c1.rep.Term() != 2 || c1.rep.Leader() != "c0" {
+		t.Fatalf("stale-term feed re-fenced the loser: (%d, %q)", c1.rep.Term(), c1.rep.Leader())
+	}
+	// Rejoining the winner resumes cleanly.
+	c1.f.Retarget(dial(c0.addr()))
+	failoverCommit(promotedW, updates+11, rng.Intn(1000))
+	waitCond(t, "loser rejoins the winner", func() bool { return c1.rep.Epoch() == head+1 })
+	judgeEpochs(t, promotedW, c1.rep, "loser after stale detour")
+}
+
+// TestRelayCrashOrphansSubtree replays the orphaned-subtree schedule: a
+// root → relay → leaf chain where the relay dies. The leaf is not a
+// candidate (it exports no feed); its election round must discover the
+// still-live root primary and retarget the stream there, converging with
+// no epoch lost.
+func TestRelayCrashOrphansSubtree(t *testing.T) {
+	for _, seed := range []int64{3, 5} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runOrphanedSubtree(t, seed)
+		})
+	}
+}
+
+func runOrphanedSubtree(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	const updates = 30
+	killAt := 10 + rng.Intn(10)
+
+	var rootPrim *repl.Primary
+	root := warehouse.New(failoverViews(), warehouse.WithStateLog(),
+		warehouse.WithReplFeed(64, func(e msg.ReplEpoch) { rootPrim.OnCommit(e) }))
+	rootPrim = repl.NewPrimary(repl.PrimaryConfig{Source: root, Logf: t.Logf})
+	rootLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rootPrim.Serve(rootLn)
+	t.Cleanup(func() { rootLn.Close(); rootPrim.Close() })
+
+	relay := newRaceNode(t, "relay", rootLn.Addr().String(), seed*10+1)
+	leafRep := warehouse.NewReplica()
+	leaf := repl.NewFollower(repl.FollowerConfig{
+		Name: "leaf", Dial: dial(relay.addr()), Replica: leafRep,
+		Backoff: wire.Backoff{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond, Seed: seed*10 + 2},
+		Logf:    t.Logf,
+	})
+	t.Cleanup(func() { leaf.Close() })
+
+	rootStatus := func() (repl.PeerStatus, error) {
+		return repl.PeerStatus{
+			Name: "root", Role: "primary",
+			Term: rootPrim.Term(), Leader: rootPrim.Leader(),
+			Epoch: root.Snapshot().Epoch, Addr: rootLn.Addr().String(),
+		}, nil
+	}
+	coord := repl.NewCoordinator(repl.CoordinatorConfig{
+		Self: func() repl.PeerStatus {
+			return repl.PeerStatus{Name: "leaf", Role: "follower", Term: leafRep.Term(),
+				Leader: leafRep.Leader(), Epoch: leafRep.Epoch()} // Addr empty: not a candidate
+		},
+		Peers:        map[string]func() (repl.PeerStatus, error){"root": rootStatus},
+		Suspect:      leaf.DisconnectedFor,
+		SuspectAfter: 30 * time.Millisecond,
+		Interval:     time.Hour, // ElectOnce-driven
+		Follow: func(p repl.PeerStatus) error {
+			leaf.Retarget(dial(p.Addr))
+			return nil
+		},
+		Logf: t.Logf,
+	})
+	t.Cleanup(func() { coord.Close() })
+
+	for i := 1; i <= updates; i++ {
+		failoverCommit(root, i, rng.Intn(1000))
+		if i == killAt {
+			// The relay dies, orphaning the leaf mid-stream.
+			relay.f.Close()
+			relay.ln.Close()
+			relay.p.Close()
+		}
+		if rng.Intn(3) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitCond(t, "orphan suspicion", func() bool { return leaf.DisconnectedFor() > 30*time.Millisecond })
+	outcome, err := coord.ElectOnce()
+	if err != nil {
+		t.Fatalf("leaf election: %v", err)
+	}
+	t.Logf("leaf election: %s", outcome)
+
+	waitCond(t, "orphan re-homed on the root", func() bool {
+		return leafRep.Epoch() == root.Snapshot().Epoch
+	})
+	judgeEpochs(t, root, leafRep, "re-homed leaf")
+	if leafRep.Term() != 1 {
+		t.Fatalf("leaf term = %d, want 1 (root never deposed)", leafRep.Term())
+	}
+}

@@ -432,7 +432,8 @@ func Build(cfg Config) (*System, error) {
 		// Seed the replica with the epoch-0 checkpoint so the first live
 		// epoch (1) applies densely, exactly like a follower's catch-up.
 		snap := sys.Warehouse.Snapshot()
-		sys.Replica.Install(snap.ReplMsg(snap.Epoch))
+		// Term-0 in-process checkpoints are never fenced; Install cannot fail.
+		_ = sys.Replica.Install(snap.ReplMsg(snap.Epoch))
 	}
 
 	for g := 0; g < nGroups; g++ {
@@ -478,7 +479,8 @@ const ReplicaNode = "replica"
 func (s *System) applyReplica(e msg.ReplEpoch) {
 	if err := s.Replica.ApplyEpoch(e); err != nil {
 		snap := s.Warehouse.Snapshot()
-		s.Replica.Install(snap.ReplMsg(snap.Epoch))
+		// Term-0 in-process checkpoints are never fenced; Install cannot fail.
+		_ = s.Replica.Install(snap.ReplMsg(snap.Epoch))
 		if s.obsp.Tracing() {
 			s.obsp.Trace(obs.Event{
 				TS: e.CommitAt, Node: ReplicaNode, Stage: obs.StageReplSnap,

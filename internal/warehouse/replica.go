@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,19 @@ import (
 	"whips/internal/msg"
 	"whips/internal/obs"
 	"whips/internal/relation"
+)
+
+// Term-fencing errors (DESIGN §12). Both are terminal for the frame, not
+// the stream: the follower drops the frame and keeps its state — it must
+// never resubscribe to the sender, which is a deposed or conflicting
+// leader.
+var (
+	// ErrStaleTerm rejects a frame stamped with a term below the
+	// replica's: its sender was deposed by a newer leader.
+	ErrStaleTerm = errors.New("stale replication term")
+	// ErrSplitBrain rejects a frame claiming the replica's current term
+	// for a different leader: two nodes believe they own one term.
+	ErrSplitBrain = errors.New("split-brain: conflicting leader for current term")
 )
 
 // Replica is the follower-side warehouse: it holds the same frozen
@@ -36,6 +50,21 @@ type Replica struct {
 	upto    map[msg.ViewID]msg.UpdateID
 	log     []*Snapshot // dense ring of recent epochs for historical reads
 	logBase int64       // epoch of log[0] (when non-empty)
+
+	// Term fence (DESIGN §12): the highest feed term this replica has
+	// applied state under, and the leader that owns it. Term 0 means the
+	// feed predates terms (in-process system feeds) and is never fenced.
+	term   int64
+	leader string
+
+	// Applied-delta ring for relay mode (WithReplicaFeed): the replica
+	// retains the ReplEpoch frames it applied so a co-located relay
+	// Primary can answer downstream ReplSubscribe catch-up from them,
+	// exactly like Warehouse.ReplSince. Reset on checkpoint install —
+	// frames behind a checkpoint are not reconstructible here.
+	deltaCap  int
+	deltas    []msg.ReplEpoch
+	deltaBase int64 // epoch of deltas[0] (when non-empty)
 }
 
 // ReplicaOption configures a Replica.
@@ -57,6 +86,13 @@ func WithReplicaObs(p *obs.Pipeline) ReplicaOption {
 // to fingerprint every state a follower could ever serve.
 func WithReplicaOnPublish(fn func(*Snapshot)) ReplicaOption {
 	return func(r *Replica) { r.onPublish = fn }
+}
+
+// WithReplicaFeed retains the most recent n applied ReplEpoch frames so a
+// relay can re-export the replication feed (ReplSince). Default 0: no
+// retention, ReplSince only ever reports "caught up" or "gone".
+func WithReplicaFeed(n int) ReplicaOption {
+	return func(r *Replica) { r.deltaCap = n }
 }
 
 // NewReplica returns an empty replica: not Ready until the first
@@ -86,29 +122,88 @@ func (r *Replica) Epoch() int64 {
 	return -1
 }
 
+// Term returns the feed term the replica last applied state under (0
+// until a termed frame arrives). Leader returns the node owning it.
+func (r *Replica) Term() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.term
+}
+
+// Leader returns the name of the leader owning the replica's current
+// term, or "" if no termed frame has been applied.
+func (r *Replica) Leader() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leader
+}
+
+// fenceLocked checks a frame's term stamp against the replica's. Term 0
+// frames (in-process feeds, pre-term streams) always pass.
+func (r *Replica) fenceLocked(term int64, leader string) error {
+	if term == 0 {
+		return nil
+	}
+	if term < r.term {
+		return fmt.Errorf("replica: frame term %d below current term %d (leader %q): %w",
+			term, r.term, r.leader, ErrStaleTerm)
+	}
+	if term == r.term && leader != "" && r.leader != "" && leader != r.leader {
+		return fmt.Errorf("replica: frame leader %q conflicts with %q at term %d: %w",
+			leader, r.leader, term, ErrSplitBrain)
+	}
+	return nil
+}
+
+// adoptLocked records a successfully applied frame's term. Adoption only
+// ever happens after the apply succeeds, so a fenced-but-failed frame
+// (gap, corrupt delta) can never bump the term.
+func (r *Replica) adoptLocked(term int64, leader string) {
+	if term > r.term {
+		r.term, r.leader = term, leader
+	} else if term == r.term && r.leader == "" {
+		r.leader = leader
+	}
+}
+
 // Install resets the replica to a full checkpoint: whatever state it held
 // is discarded (this is also how a follower recovers from a primary that
 // itself recovered to an older epoch). The snapshot's relations are frozen
-// in place — the caller hands over ownership.
-func (r *Replica) Install(s msg.ReplSnapshot) {
+// in place — the caller hands over ownership. A checkpoint from a deposed
+// leader (stale term) or a conflicting same-term leader is rejected and
+// the current state kept.
+func (r *Replica) Install(s msg.ReplSnapshot) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.fenceLocked(s.Term, s.Leader); err != nil {
+		return err
+	}
 	r.views = make(map[msg.ViewID]*relation.Relation, len(s.Views))
 	r.upto = make(map[msg.ViewID]msg.UpdateID, len(s.Views))
 	for _, v := range s.Views {
 		r.views[v.View] = v.Rel.Freeze()
 		r.upto[v.View] = v.Upto
 	}
+	r.adoptLocked(s.Term, s.Leader)
+	r.deltas, r.deltaBase = nil, 0
 	r.publishLocked(s.Epoch, s.Txn, s.CommitAt, true)
+	return nil
 }
 
 // ApplyEpoch applies one replicated commit. A duplicate (epoch at or below
 // the current one) is skipped silently — a deterministic primary replaying
 // its stream regenerates identical deltas, so re-application is never
-// needed. A gap is an error: the follower must re-subscribe.
+// needed. A gap is an error: the follower must re-subscribe. A frame from
+// a deposed leader (ErrStaleTerm) or a conflicting same-term leader
+// (ErrSplitBrain) is rejected before any of that: the fence is what makes
+// promotion safe — after a new leader's first frame is applied, nothing
+// the old leader still has in flight can ever double-apply.
 func (r *Replica) ApplyEpoch(e msg.ReplEpoch) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := r.fenceLocked(e.Term, e.Leader); err != nil {
+		return err
+	}
 	cur := r.snap.Load()
 	if cur == nil {
 		return fmt.Errorf("replica: epoch %d before any checkpoint", e.Epoch)
@@ -147,8 +242,45 @@ func (r *Replica) ApplyEpoch(e msg.ReplEpoch) error {
 			r.upto[w.View] = w.Upto
 		}
 	}
+	r.adoptLocked(e.Term, e.Leader)
+	if r.deltaCap > 0 {
+		if len(r.deltas) == 0 {
+			r.deltaBase = e.Epoch
+		}
+		r.deltas = append(r.deltas, e)
+		if len(r.deltas) > r.deltaCap {
+			drop := len(r.deltas) - r.deltaCap
+			r.deltas = append([]msg.ReplEpoch(nil), r.deltas[drop:]...)
+			r.deltaBase += int64(drop)
+		}
+	}
 	r.publishLocked(e.Epoch, e.Txn, e.CommitAt, false)
 	return nil
+}
+
+// ReplSince mirrors Warehouse.ReplSince over the replica's applied-delta
+// ring (WithReplicaFeed), so a relay Primary can catch a downstream
+// follower up from the frames this replica itself applied. It returns the
+// dense run of retained frames with epochs (from, current], or ok=false
+// when that run is not fully retained — the caller must fall back to a
+// checkpoint, or defer if it is itself still catching up. (nil, true)
+// means the subscriber is already caught up.
+func (r *Replica) ReplSince(from int64) ([]msg.ReplEpoch, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.snap.Load()
+	if cur == nil || from > cur.Epoch {
+		return nil, false
+	}
+	if from == cur.Epoch {
+		return nil, true
+	}
+	if len(r.deltas) == 0 || from+1 < r.deltaBase {
+		return nil, false
+	}
+	out := make([]msg.ReplEpoch, len(r.deltas)-int(from+1-r.deltaBase))
+	copy(out, r.deltas[from+1-r.deltaBase:])
+	return out, true
 }
 
 // publishLocked swaps in the new epoch snapshot and records it in the

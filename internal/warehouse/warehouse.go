@@ -263,6 +263,44 @@ func New(initial map[msg.ViewID]*relation.Relation, opts ...Option) *Warehouse {
 	return w
 }
 
+// NewFromSnapshot returns a warehouse that resumes from an existing epoch
+// snapshot — the promotion path: a follower elected primary seeds a fresh
+// Warehouse with the exact committed state its Replica last published, so
+// integrator traffic and queries continue from that epoch with no gap and
+// no rewind. The snapshot's relations are already frozen and are shared,
+// not cloned (the snapshot is immutable; the first commit touching a view
+// derives a COW copy exactly as after any other commit). The replication
+// head starts at the snapshot epoch, so an already-caught-up follower
+// subscribing at that epoch is answered "caught up" rather than
+// re-checkpointed.
+func NewFromSnapshot(s *Snapshot, opts ...Option) *Warehouse {
+	w := &Warehouse{
+		views:        make(map[msg.ViewID]*relation.Relation, len(s.views)),
+		upto:         make(map[msg.ViewID]msg.UpdateID, len(s.upto)),
+		committed:    make(map[msg.TxnID]bool),
+		pending:      make(map[msg.TxnID]pendingTxn),
+		waiters:      make(map[msg.TxnID][]msg.TxnID),
+		staging:      make(map[string]*relation.Delta),
+		stageParked:  make(map[msg.TxnID]stagePark),
+		stageWaiters: make(map[string][]msg.TxnID),
+	}
+	for id, r := range s.views {
+		w.views[id] = r
+		w.upto[id] = s.upto[id]
+	}
+	w.applied = s.Epoch
+	for _, o := range opts {
+		o(w)
+	}
+	w.replHead = s.Epoch
+	w.publishLocked(s.Txn, s.CommitAt)
+	if w.logStates {
+		w.logBase = int(s.Epoch)
+		w.log = append(w.log, w.snapshotLocked(s.Txn, nil, s.CommitAt))
+	}
+	return w
+}
+
 // publishLocked swaps in a new epoch snapshot reflecting the current views
 // and watermarks. Epoch is the applied-transaction count. Callers hold mu
 // (or are inside New/RestoreState before the warehouse is shared).

@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffNextCaps proves the exponential ceiling saturates at Max:
+// every draw for a huge attempt number stays in (0, Max], with no
+// overflow from the repeated doubling.
+func TestBackoffNextCaps(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}
+	rng := rand.New(rand.NewSource(1))
+	for _, attempt := range []int{0, 1, 5, 30, 63, 200} {
+		for i := 0; i < 100; i++ {
+			d := b.Next(rng, attempt)
+			if d <= 0 {
+				t.Fatalf("attempt %d: non-positive delay %v", attempt, d)
+			}
+			if d > b.Max {
+				t.Fatalf("attempt %d: delay %v above cap %v", attempt, d, b.Max)
+			}
+			ceil := b.Base << attempt
+			if attempt < 30 && ceil < b.Max && d > ceil {
+				t.Fatalf("attempt %d: delay %v above exponential ceiling %v", attempt, d, ceil)
+			}
+		}
+	}
+}
+
+// TestBackoffNextSpread proves the jitter is full (uniform over the
+// whole window), not a narrow band above the deterministic ladder: over
+// many draws at the cap, delays land in both the bottom and the top
+// quartile. The old schedule (delay + jitter in [0, delay/2]) kept
+// every orphaned follower inside the same 50% band, so a subtree killed
+// by one relay crash reconnected as a stampede.
+func TestBackoffNextSpread(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}
+	rng := rand.New(rand.NewSource(7))
+	min, max := time.Duration(1<<62), time.Duration(0)
+	for i := 0; i < 200; i++ {
+		d := b.Next(rng, 30) // far past the cap: window is (0, Max]
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if min >= b.Max/4 {
+		t.Fatalf("min delay %v never entered the bottom quartile of %v", min, b.Max)
+	}
+	if max <= 3*b.Max/4 {
+		t.Fatalf("max delay %v never entered the top quartile of %v", max, b.Max)
+	}
+}
+
+// TestBackoffNextSeedDeterminism: same seed, same schedule — reconnect
+// behavior stays replayable from one seed, as the sched harness relies
+// on.
+func TestBackoffNextSeedDeterminism(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: time.Second}
+	a := rand.New(rand.NewSource(42))
+	c := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		if da, dc := b.Next(a, i), b.Next(c, i); da != dc {
+			t.Fatalf("attempt %d: %v != %v with equal seeds", i, da, dc)
+		}
+	}
+}
+
+// TestBackoffNextDefaults: the zero value is usable and respects the
+// documented 50ms/2s defaults.
+func TestBackoffNextDefaults(t *testing.T) {
+	var b Backoff
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		d := b.Next(rng, i)
+		if d <= 0 || d > 2*time.Second {
+			t.Fatalf("attempt %d: delay %v outside (0, 2s]", i, d)
+		}
+	}
+}

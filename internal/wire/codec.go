@@ -152,6 +152,7 @@ type SubmitTxn struct {
 type ReplSubscribe struct {
 	Follower string
 	Epoch    int64
+	Term     int64
 }
 
 // ReplView is the wire form of msg.ReplView.
@@ -167,6 +168,8 @@ type ReplSnapshot struct {
 	Txn      int64
 	CommitAt int64
 	Head     int64
+	Term     int64
+	Leader   string
 	Views    []ReplView
 	Trace    *TraceCtx
 }
@@ -187,6 +190,8 @@ type ReplEpoch struct {
 	Txn      int64
 	CommitAt int64
 	Head     int64
+	Term     int64
+	Leader   string
 	Writes   []ReplWrite
 	Rows     []int64
 	Trace    *TraceCtx
@@ -421,15 +426,15 @@ func Encode(m any) (any, error) {
 		}
 		return out, nil
 	case msg.ReplSubscribe:
-		return ReplSubscribe{Follower: t.Follower, Epoch: t.Epoch}, nil
+		return ReplSubscribe{Follower: t.Follower, Epoch: t.Epoch, Term: t.Term}, nil
 	case msg.ReplSnapshot:
-		out := ReplSnapshot{Epoch: t.Epoch, Txn: int64(t.Txn), CommitAt: t.CommitAt, Head: t.Head, Trace: encodeTrace(t.Trace)}
+		out := ReplSnapshot{Epoch: t.Epoch, Txn: int64(t.Txn), CommitAt: t.CommitAt, Head: t.Head, Term: t.Term, Leader: t.Leader, Trace: encodeTrace(t.Trace)}
 		for _, v := range t.Views {
 			out.Views = append(out.Views, ReplView{View: string(v.View), Rel: EncodeRelation(v.Rel), Upto: int64(v.Upto)})
 		}
 		return out, nil
 	case msg.ReplEpoch:
-		out := ReplEpoch{Epoch: t.Epoch, Txn: int64(t.Txn), CommitAt: t.CommitAt, Head: t.Head, Trace: encodeTrace(t.Trace)}
+		out := ReplEpoch{Epoch: t.Epoch, Txn: int64(t.Txn), CommitAt: t.CommitAt, Head: t.Head, Term: t.Term, Leader: t.Leader, Trace: encodeTrace(t.Trace)}
 		for _, r := range t.Rows {
 			out.Rows = append(out.Rows, int64(r))
 		}
@@ -519,9 +524,9 @@ func Decode(m any) (any, error) {
 		}
 		return out, nil
 	case ReplSubscribe:
-		return msg.ReplSubscribe{Follower: t.Follower, Epoch: t.Epoch}, nil
+		return msg.ReplSubscribe{Follower: t.Follower, Epoch: t.Epoch, Term: t.Term}, nil
 	case ReplSnapshot:
-		out := msg.ReplSnapshot{Epoch: t.Epoch, Txn: msg.TxnID(t.Txn), CommitAt: t.CommitAt, Head: t.Head, Trace: decodeTrace(t.Trace)}
+		out := msg.ReplSnapshot{Epoch: t.Epoch, Txn: msg.TxnID(t.Txn), CommitAt: t.CommitAt, Head: t.Head, Term: t.Term, Leader: t.Leader, Trace: decodeTrace(t.Trace)}
 		for _, v := range t.Views {
 			r, err := DecodeRelation(v.Rel)
 			if err != nil {
@@ -531,7 +536,7 @@ func Decode(m any) (any, error) {
 		}
 		return out, nil
 	case ReplEpoch:
-		out := msg.ReplEpoch{Epoch: t.Epoch, Txn: msg.TxnID(t.Txn), CommitAt: t.CommitAt, Head: t.Head, Trace: decodeTrace(t.Trace)}
+		out := msg.ReplEpoch{Epoch: t.Epoch, Txn: msg.TxnID(t.Txn), CommitAt: t.CommitAt, Head: t.Head, Term: t.Term, Leader: t.Leader, Trace: decodeTrace(t.Trace)}
 		for _, r := range t.Rows {
 			out.Rows = append(out.Rows, msg.UpdateID(r))
 		}

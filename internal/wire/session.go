@@ -78,6 +78,28 @@ func (b Backoff) max() time.Duration {
 	return b.Max
 }
 
+// Next returns the delay before retry number attempt (0-based) using
+// capped exponential backoff with full jitter: a uniform draw from
+// (0, min(Max, Base<<attempt)]. Full jitter decorrelates peers that
+// crashed in lockstep — a subtree of followers orphaned by one relay
+// crash would otherwise march through identical backoff ladders and
+// stampede the replacement upstream on every rung. The draw is never
+// zero so a retry can't spin, and the exponent saturates at Max rather
+// than overflowing for large attempt counts.
+func (b Backoff) Next(rng *rand.Rand, attempt int) time.Duration {
+	ceil := b.base()
+	for i := 0; i < attempt; i++ {
+		if ceil >= b.max() {
+			break
+		}
+		ceil *= 2
+	}
+	if ceil > b.max() {
+		ceil = b.max()
+	}
+	return time.Duration(1 + rng.Int63n(int64(ceil)))
+}
+
 // SessionConfig configures a Session.
 type SessionConfig struct {
 	// Name identifies this site in Hello packets and log lines.
@@ -324,7 +346,7 @@ func (s *Session) Retained() int {
 func (s *Session) dialLoop() {
 	defer s.wg.Done()
 	rng := rand.New(rand.NewSource(s.cfg.Backoff.Seed))
-	delay := s.cfg.Backoff.base()
+	attempt := 0
 	for {
 		select {
 		case <-s.stop:
@@ -334,20 +356,17 @@ func (s *Session) dialLoop() {
 		conn, err := s.cfg.Dial()
 		if err != nil {
 			s.ob.dialFails.Inc()
-			// Exponential backoff with up-to-50% seeded jitter.
-			d := delay + time.Duration(rng.Int63n(int64(delay)/2+1))
+			d := s.cfg.Backoff.Next(rng, attempt)
+			attempt++
 			s.logf("wire: dial failed: %v (retry in %v)", err, d)
 			select {
 			case <-time.After(d):
 			case <-s.stop:
 				return
 			}
-			if delay *= 2; delay > s.cfg.Backoff.max() {
-				delay = s.cfg.Backoff.max()
-			}
 			continue
 		}
-		delay = s.cfg.Backoff.base()
+		attempt = 0
 		s.ob.connects.Inc()
 		s.logf("wire: connected")
 		dead := s.Attach(conn)

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Failover smoke test: run a three-process replication chain
+# primary → relay → leaf, kill -9 the primary mid-linger, and verify the
+# relay's coordinator promotes it to a term-2 primary while the leaf keeps
+# streaming — with /query on both survivors byte-identical to the state the
+# primary committed before dying (no epoch lost, none rewritten). Used by
+# CI; runnable locally from anywhere in the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=${ADDR:-127.0.0.1:7671}
+RADDR=${RADDR:-127.0.0.1:7672}       # root's replication feed
+RELAY_FEED=${RELAY_FEED:-127.0.0.1:7673}
+WH_DBG=${WH_DBG:-127.0.0.1:8671}
+RELAY_DBG=${RELAY_DBG:-127.0.0.1:8672}
+LEAF_DBG=${LEAF_DBG:-127.0.0.1:8673}
+UPDATES=${UPDATES:-40}
+SEED=${SEED:-7}
+BIN=$(mktemp -d)/whipsnode
+WH_LOG=$(mktemp)
+RELAY_LOG=$(mktemp)
+LEAF_LOG=$(mktemp)
+
+cleanup() {
+    kill "${WH_PID:-}" "${MG_PID:-}" "${RELAY_PID:-}" "${LEAF_PID:-}" 2>/dev/null || true
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/whipsnode
+
+wait_http() { # url substring tries
+    local url=$1 want=$2 tries=${3:-100}
+    for _ in $(seq "$tries"); do
+        if curl -fsS "$url" 2>/dev/null | grep -q "$want"; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: $url never matched '$want'" >&2
+    return 1
+}
+
+query_epoch() { # debug addr
+    curl -fsS "http://$1/query?view=V1" 2>/dev/null | grep '"epoch"' | grep -o '[0-9]*' || echo -1
+}
+
+# /query output modulo the "cached" flag (an engine-local detail nodes
+# legitimately differ on) — everything else must be byte-identical.
+query_state() { # debug addr, view
+    curl -fsS "http://$1/query?view=$2" | grep -v '"cached"'
+}
+
+echo "== start primary ($RADDR), managers, relay ($RELAY_FEED), leaf =="
+"$BIN" -role warehouse -addr "$ADDR" -repl-addr "$RADDR" -updates "$UPDATES" \
+    -seed "$SEED" -pace 5ms -debug "$WH_DBG" -linger 120s >"$WH_LOG" 2>&1 &
+WH_PID=$!
+sleep 0.3
+"$BIN" -role managers -addr "$ADDR" &
+MG_PID=$!
+"$BIN" -role follower -follow "$RADDR" -repl-addr "$RELAY_FEED" -name relay \
+    -debug "$RELAY_DBG" -seed "$SEED" -failover-after 1s \
+    -peers "leaf=$LEAF_DBG" >"$RELAY_LOG" 2>&1 &
+RELAY_PID=$!
+"$BIN" -role follower -follow "$RELAY_FEED" -name leaf -debug "$LEAF_DBG" \
+    -seed "$SEED" >"$LEAF_LOG" 2>&1 &
+LEAF_PID=$!
+
+echo "== wait for the workload to finish and the chain to converge =="
+for _ in $(seq 300); do
+    grep -q '^OK$' "$WH_LOG" && break
+    sleep 0.1
+done
+grep -q '^OK$' "$WH_LOG" || { echo "FAIL: primary run did not finish" >&2; cat "$WH_LOG" >&2; exit 1; }
+PRIMARY_EPOCH=$(query_epoch "$WH_DBG")
+echo "primary finished at epoch $PRIMARY_EPOCH"
+
+wait_http "http://$RELAY_DBG/healthz" '"ok": *true' || { cat "$RELAY_LOG" >&2; exit 1; }
+wait_http "http://$LEAF_DBG/healthz" '"ok": *true' || { cat "$LEAF_LOG" >&2; exit 1; }
+for dbg in "$RELAY_DBG" "$LEAF_DBG"; do
+    for _ in $(seq 100); do
+        [ "$(query_epoch "$dbg")" = "$PRIMARY_EPOCH" ] && break
+        sleep 0.1
+    done
+    if [ "$(query_epoch "$dbg")" != "$PRIMARY_EPOCH" ]; then
+        echo "FAIL: node on $dbg stuck at epoch $(query_epoch "$dbg"), primary at $PRIMARY_EPOCH" >&2
+        exit 1
+    fi
+done
+wait_http "http://$RELAY_DBG/replstatus" '"role": *"relay"' || { cat "$RELAY_LOG" >&2; exit 1; }
+
+echo "== snapshot the committed state, then kill -9 the primary =="
+V1_STATE=$(query_state "$WH_DBG" V1)
+V2_STATE=$(query_state "$WH_DBG" V2)
+kill -9 "$WH_PID"
+wait "$WH_PID" 2>/dev/null || true
+
+echo "== wait for the relay to promote itself =="
+wait_http "http://$RELAY_DBG/replstatus" '"role": *"primary"' 150 || {
+    echo "-- relay log --" >&2; cat "$RELAY_LOG" >&2; exit 1; }
+wait_http "http://$RELAY_DBG/replstatus" '"term": *2' || { cat "$RELAY_LOG" >&2; exit 1; }
+echo "relay promoted to primary at term 2"
+
+echo "== verify both survivors still serve the committed state byte-identically =="
+for dbg in "$RELAY_DBG" "$LEAF_DBG"; do
+    if [ "$(query_epoch "$dbg")" != "$PRIMARY_EPOCH" ]; then
+        echo "FAIL: survivor on $dbg lost epochs: at $(query_epoch "$dbg"), committed $PRIMARY_EPOCH" >&2
+        exit 1
+    fi
+    if [ "$(query_state "$dbg" V1)" != "$V1_STATE" ]; then
+        echo "FAIL: survivor on $dbg diverged from the committed V1" >&2
+        diff <(echo "$V1_STATE") <(query_state "$dbg" V1) >&2 || true
+        exit 1
+    fi
+    if [ "$(query_state "$dbg" V2)" != "$V2_STATE" ]; then
+        echo "FAIL: survivor on $dbg diverged from the committed V2" >&2
+        exit 1
+    fi
+done
+echo "survivors byte-identical at epoch $PRIMARY_EPOCH after failover"
+
+echo "== verify the failover metrics are exported =="
+for metric in repl_term repl_promotions_total repl_failover_ms; do
+    if ! curl -fsS "http://$RELAY_DBG/metrics" | grep -q "$metric"; then
+        echo "FAIL: relay does not export $metric" >&2
+        exit 1
+    fi
+done
+if ! curl -fsS "http://$RELAY_DBG/metrics" | grep -q 'repl_promotions_total  *1'; then
+    echo "FAIL: relay reports no promotion" >&2
+    curl -fsS "http://$RELAY_DBG/metrics" | grep repl_ >&2 || true
+    exit 1
+fi
+echo "failover smoke OK"
