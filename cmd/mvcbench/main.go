@@ -7,8 +7,8 @@
 // Usage:
 //
 //	mvcbench [-exp all|freshness|bottleneck|straggler|commit|distributed|
-//	          promptness|overhead|filter|relay|staged|managers|throughput|
-//	          mqo|readload|replication|failover]
+//	          promptness|overhead|filter|relay|staged|managers|selfmaint|
+//	          throughput|mqo|readload|replication|failover]
 //	         [-updates N] [-seed N] [-csv] [-json]
 //
 // Most experiments run on the simulator; throughput, mqo, readload,
@@ -57,6 +57,7 @@ var experiments = []experiment{
 	{"relay", one(harness.RelayAblation)},
 	{"staged", one(harness.StagedTransfer)},
 	{"managers", one(harness.ManagerComparison)},
+	{"selfmaint", one(harness.SelfMaint)},
 	{"throughput", one(harness.Throughput)},
 	{"mqo", one(harness.MQO)},
 	{"readload", one(harness.ReadLoad)},

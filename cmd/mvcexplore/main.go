@@ -43,6 +43,8 @@ func main() {
 	trace := flag.String("trace", "", "write per-stage JSONL trace events here (\"-\" for stderr) and print end-to-end freshness (virtual time) at exit")
 	replicate := flag.Bool("replicate", false, "attach an in-process read replica per schedule so explored traces include repl_pub/repl_apply spans")
 	sharedPlans := flag.Bool("shared-plans", false, "maintain views through the shared maintenance-plan DAG (common subexpressions computed once at the integrator) instead of per-view trees")
+	selfMaintain := flag.Bool("self-maintain", false, "run the spa fleet's managers on auxiliary-relation maintenance (zero source queries on the covered path) instead of full replicas")
+	maxAuxRows := flag.Int("max-aux-rows", 0, "bound each self-maintaining auxiliary relation, forcing the degraded/repair fallback onto explored schedules (0 = unbounded)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -78,14 +80,16 @@ func main() {
 		defer pool.Close()
 	}
 	factory := sched.Fleet(sched.FleetConfig{
-		Algo:        *algo,
-		Updates:     *updates,
-		Seed:        *dataSeed,
-		Crashable:   *faults > 0,
-		Pool:        pool,
-		Obs:         pipe,
-		Replicate:   *replicate,
-		SharedPlans: *sharedPlans,
+		Algo:         *algo,
+		Updates:      *updates,
+		Seed:         *dataSeed,
+		Crashable:    *faults > 0,
+		Pool:         pool,
+		Obs:          pipe,
+		Replicate:    *replicate,
+		SharedPlans:  *sharedPlans,
+		SelfMaintain: *selfMaintain,
+		MaxAuxRows:   *maxAuxRows,
 	})
 	if pipe != nil {
 		inner := factory

@@ -126,6 +126,10 @@ type warehouseOpts struct {
 	supervise  bool
 	trace      bool
 	collector  string
+	// stallQueries black-holes every source QueryRequest: the injected
+	// source stall for the self-maintenance smoke. Query-based managers
+	// would hang; self-maintaining ones never ask.
+	stallQueries bool
 }
 
 // traceOpts carries the tracing flags shared by every role.
@@ -179,6 +183,8 @@ func main() {
 	auditHistory := flag.Int64("audit-history", 16, "audit samples one of this many epochs behind head per tick (with -audit-primary)")
 	peers := flag.String("peers", "", "comma-separated name=debugaddr peer list for failover elections (follower role)")
 	failoverAfter := flag.Duration("failover-after", 0, "run an election when the upstream feed has been dead this long (follower role; 0 = no failover)")
+	selfMaintain := flag.Bool("self-maintain", false, "run the view managers on auxiliary-relation maintenance — deltas computed locally, zero source queries (managers role)")
+	stallQueries := flag.Bool("stall-queries", false, "black-hole every source query: injected source stall for the self-maintenance smoke (warehouse role)")
 	flag.Parse()
 
 	fsync, err := durable.ParseFsyncPolicy(*fsyncStr)
@@ -194,9 +200,10 @@ func main() {
 			dataDir: *dataDir, fsync: fsync, snapEvery: *snapEvery,
 			crashAfter: *crashAfter, supervise: *supervise,
 			trace: tr.trace, collector: tr.collector,
+			stallQueries: *stallQueries,
 		})
 	case "managers":
-		runManagerSite(*addr, *seed, *debug, *verbose, tr)
+		runManagerSite(*addr, *seed, *debug, *verbose, tr, *selfMaintain)
 	case "follower":
 		if *follow == "" {
 			log.Fatal("follower role requires -follow <primary repl address>")
@@ -517,7 +524,11 @@ func (site *warehouseSite) attempt() (err error) {
 	}
 	sess = wire.NewSession(scfg)
 	defer sess.Close()
-	nodes := []msg.Node{source.NewNode(cluster), integ, mp, wh}
+	var srcNode msg.Node = source.NewNode(cluster)
+	if o.stallQueries {
+		srcNode = stalledSource{inner: srcNode}
+	}
+	nodes := []msg.Node{srcNode, integ, mp, wh}
 	rtnet = runtime.New(nodes,
 		runtime.WithRemoteFrom(func(from, to string, m any) {
 			if err := sess.Send(from, to, m); err != nil {
@@ -629,7 +640,24 @@ func (site *warehouseSite) attempt() (err error) {
 	return nil
 }
 
-func runManagerSite(addr string, seed int64, debug string, verbose bool, tr traceOpts) {
+// stalledSource wraps the source-cluster node and black-holes every
+// QueryRequest (-stall-queries): the request is swallowed, no response ever
+// arrives, so any manager depending on source round-trips hangs — while a
+// self-maintaining fleet finishes because it never asks.
+type stalledSource struct{ inner msg.Node }
+
+// ID implements msg.Node.
+func (s stalledSource) ID() string { return s.inner.ID() }
+
+// Handle implements msg.Node.
+func (s stalledSource) Handle(m any, now int64) []msg.Outbound {
+	if _, ok := m.(msg.QueryRequest); ok {
+		return nil
+	}
+	return s.inner.Handle(m, now)
+}
+
+func runManagerSite(addr string, seed int64, debug string, verbose bool, tr traceOpts, selfMaintain bool) {
 	fmt.Printf("manager site hosting view managers V1, V2; dialing %s\n", addr)
 
 	pipe := obs.NewPipeline()
@@ -652,9 +680,19 @@ func runManagerSite(addr string, seed int64, debug string, verbose bool, tr trac
 		"R": relation.FromTuples(rSchema, relation.T(1, 2)),
 		"S": relation.New(sSchema),
 	}
-	vm1, err := viewmgr.NewComplete(viewmgr.Config{View: "V1", Expr: vs["V1"], Merge: msg.NodeMerge(0), Obs: pipe}, init)
+	newVM := func(id msg.ViewID) (viewmgr.Manager, error) {
+		mc := viewmgr.Config{View: id, Expr: vs[id], Merge: msg.NodeMerge(0), Obs: pipe}
+		if selfMaintain {
+			return viewmgr.NewSelfMaintaining(mc, init)
+		}
+		return viewmgr.NewComplete(mc, init)
+	}
+	if selfMaintain {
+		fmt.Println("self-maintaining managers: auxiliary relations, zero source queries")
+	}
+	vm1, err := newVM("V1")
 	must(err)
-	vm2, err := viewmgr.NewComplete(viewmgr.Config{View: "V2", Expr: vs["V2"], Merge: msg.NodeMerge(0), Obs: pipe}, init)
+	vm2, err := newVM("V2")
 	must(err)
 
 	var rtnet *runtime.Network

@@ -1,0 +1,193 @@
+package expr
+
+import "fmt"
+
+// Self-maintenance analysis (Quass/Gupta-style auxiliary relations, per the
+// self-maintainable-views literature in PAPERS.md): given a view expression,
+// derive the minimal auxiliary relations a view manager must keep so that
+// every base-relation delta can be turned into an exact view delta with NO
+// source queries. Each auxiliary relation is a select/project/rename chain
+// over a single base-relation occurrence — exactly the join-key projections
+// and semijoin-style filters that Optimize has already pushed to the leaves —
+// so an aux holds only the columns and rows the view can ever need from that
+// occurrence.
+//
+// The derivation rewrites the optimized view tree: every maximal linear
+// chain (Select/Project/Rename over one Scan) becomes one AuxRelation, and
+// the chain is replaced by a Scan of the auxiliary name. The rewritten tree
+// then evaluates — and, crucially, delta-evaluates — purely over auxiliary
+// state. Because the chain operators are linear in their input delta, the
+// auxiliary relations themselves are maintained from the update stream alone
+// (AuxWrites), with no database reads at all.
+
+// AuxRelation is one auxiliary relation the self-maintaining manager keeps.
+// Expr is a linear chain (Select/Project/Rename) over a single Scan of Base;
+// it is also the exact bounded query to re-issue against a versioned source
+// when the auxiliary copy must be repaired.
+type AuxRelation struct {
+	// Name is the auxiliary relation's name inside the rewritten tree. It
+	// contains a ':' so it can never collide with a real base relation name.
+	Name string
+	// Base is the base relation this auxiliary derives from.
+	Base string
+	// Expr is the derivation chain over Scan(Base).
+	Expr Expr
+}
+
+// SelfMaintPlan is the result of AnalyzeSelfMaint: the view rewritten over
+// auxiliary relations, plus the auxiliary definitions in left-to-right
+// occurrence order.
+type SelfMaintPlan struct {
+	// Rewritten is the view expression with every maximal base-relation
+	// chain replaced by a Scan of the corresponding auxiliary relation.
+	Rewritten Expr
+	// Aux lists the auxiliary relations in the order their occurrences
+	// appear in the (optimized) view tree.
+	Aux []AuxRelation
+
+	byBase map[string][]int // base relation name -> indexes into Aux
+}
+
+// AnalyzeSelfMaint optimizes view and derives its self-maintenance plan.
+// Optimize pushes selections and prunes projections first, so each auxiliary
+// chain carries only the columns the view needs from that occurrence
+// (join keys plus output columns) and only the rows passing its pushed-down
+// predicate — the "minimal auxiliary columns/keys" of the literature.
+func AnalyzeSelfMaint(view Expr) (*SelfMaintPlan, error) {
+	p := &SelfMaintPlan{byBase: make(map[string][]int)}
+	rw, err := p.rewrite(Optimize(view))
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Aux) == 0 {
+		return nil, fmt.Errorf("expr: self-maintenance analysis of %s found no base relation occurrences", view)
+	}
+	p.Rewritten = rw
+	return p, nil
+}
+
+// chainBase reports whether e is a linear chain — Select/Project/Rename
+// nodes over exactly one Scan — and if so, which base relation it reads.
+func chainBase(e Expr) (string, bool) {
+	switch n := e.(type) {
+	case *ScanExpr:
+		return n.name, true
+	case *SelectExpr:
+		return chainBase(n.child)
+	case *ProjectExpr:
+		return chainBase(n.child)
+	case *RenameExpr:
+		return chainBase(n.child)
+	default:
+		return "", false
+	}
+}
+
+// rewrite walks the tree top-down. A maximal chain becomes one auxiliary
+// relation; every other node is rebuilt with rewritten children (the same
+// structural-copy pattern as Substitute).
+func (p *SelfMaintPlan) rewrite(e Expr) (Expr, error) {
+	if base, ok := chainBase(e); ok {
+		i := len(p.Aux)
+		a := AuxRelation{Name: fmt.Sprintf("aux%d:%s", i, base), Base: base, Expr: e}
+		p.Aux = append(p.Aux, a)
+		p.byBase[base] = append(p.byBase[base], i)
+		return Scan(a.Name, e.Schema()), nil
+	}
+	switch n := e.(type) {
+	case *ConstExpr:
+		return n, nil
+	case *SelectExpr:
+		c, err := p.rewrite(n.child)
+		if err != nil {
+			return nil, err
+		}
+		return &SelectExpr{child: c, pred: n.pred, compiled: n.compiled}, nil
+	case *ProjectExpr:
+		c, err := p.rewrite(n.child)
+		if err != nil {
+			return nil, err
+		}
+		return &ProjectExpr{child: c, schema: n.schema, idx: n.idx}, nil
+	case *RenameExpr:
+		c, err := p.rewrite(n.child)
+		if err != nil {
+			return nil, err
+		}
+		return &RenameExpr{child: c, schema: n.schema, mapping: n.mapping}, nil
+	case *JoinExpr:
+		l, err := p.rewrite(n.left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.rewrite(n.right)
+		if err != nil {
+			return nil, err
+		}
+		return &JoinExpr{left: l, right: r, schema: n.schema, shared: n.shared, rightKeep: n.rightKeep}, nil
+	case *UnionAllExpr:
+		l, err := p.rewrite(n.left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.rewrite(n.right)
+		if err != nil {
+			return nil, err
+		}
+		return &UnionAllExpr{left: l, right: r}, nil
+	case *SetOpExpr:
+		l, err := p.rewrite(n.left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.rewrite(n.right)
+		if err != nil {
+			return nil, err
+		}
+		return &SetOpExpr{kind: n.kind, left: l, right: r}, nil
+	case *AggregateExpr:
+		c, err := p.rewrite(n.child)
+		if err != nil {
+			return nil, err
+		}
+		return &AggregateExpr{child: c, groupBy: n.groupBy, groupIdx: n.groupIdx, aggs: n.aggs, schema: n.schema}, nil
+	default:
+		return nil, fmt.Errorf("expr: self-maintenance analysis does not know node type %T", e)
+	}
+}
+
+// AuxFor returns the auxiliary relations derived from base, in occurrence
+// order. The slice is shared; callers must not mutate it.
+func (p *SelfMaintPlan) AuxFor(base string) []AuxRelation {
+	idx := p.byBase[base]
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]AuxRelation, len(idx))
+	for i, j := range idx {
+		out[i] = p.Aux[j]
+	}
+	return out
+}
+
+// AuxWrites translates a transaction's base-relation writes into the
+// corresponding auxiliary-relation writes. Because each auxiliary chain is
+// linear (Select/Project/Rename only), its delta is the chain applied to the
+// base delta — no database state is read. A single base write fanning out to
+// several occurrences (a self-join) becomes several sequential auxiliary
+// writes; evaluating them one at a time under DeltaWrites reproduces the
+// join delta rule term for term, so the decomposition is exact.
+func (p *SelfMaintPlan) AuxWrites(writes []Write) ([]Write, error) {
+	var out []Write
+	for _, w := range writes {
+		for _, i := range p.byBase[w.Relation] {
+			a := p.Aux[i]
+			d, err := EvalSigned(Substitute(a.Expr, a.Base, w.Delta), MapDB{})
+			if err != nil {
+				return nil, fmt.Errorf("expr: auxiliary delta for %s: %w", a.Name, err)
+			}
+			out = append(out, Write{Relation: a.Name, Delta: d})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,205 @@
+package expr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"whips/internal/relation"
+)
+
+var (
+	smR = relation.MustSchema("A:int", "B:int")
+	smS = relation.MustSchema("B:int", "C:int")
+)
+
+// smView is π_{A,C}(σ_{C>0}(R ⋈ S)) — a join whose auxiliaries should carry
+// only the join key plus output columns, with the predicate pushed into the
+// S-side auxiliary.
+func smView() Expr {
+	j := MustJoin(Scan("R", smR), Scan("S", smS))
+	sel := MustSelect(j, Cmp("C", Gt, 0))
+	return MustProject(sel, "A", "C")
+}
+
+func TestAnalyzeSelfMaintMinimalAux(t *testing.T) {
+	p, err := AnalyzeSelfMaint(smView())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Aux) != 2 {
+		t.Fatalf("aux count = %d, want 2 (one per occurrence)", len(p.Aux))
+	}
+	byBase := map[string]AuxRelation{}
+	for _, a := range p.Aux {
+		if !strings.Contains(a.Name, ":") {
+			t.Errorf("aux name %q must contain ':' to avoid base-name collisions", a.Name)
+		}
+		byBase[a.Base] = a
+	}
+	// The R occurrence needs A (output) and B (join key) — here that is all
+	// of R, but the aux must still cover exactly those columns.
+	ra, ok := byBase["R"]
+	if !ok {
+		t.Fatal("no auxiliary derived from R")
+	}
+	if got := ra.Expr.Schema().Names(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("R aux columns = %v, want [A B]", got)
+	}
+	// The S occurrence needs B (join key) and C (output + predicate), and
+	// Optimize must have pushed σ_{C>0} into the chain so the aux holds only
+	// qualifying rows.
+	sa, ok := byBase["S"]
+	if !ok {
+		t.Fatal("no auxiliary derived from S")
+	}
+	db := MapDB{
+		"R": relation.FromTuples(smR, relation.T(1, 2)),
+		"S": relation.FromTuples(smS, relation.T(2, 5), relation.T(2, -1)),
+	}
+	sr, err := Eval(sa.Expr, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Cardinality() != 1 {
+		t.Errorf("S aux holds %d rows, want 1 — σ_{C>0} not pushed into the auxiliary", sr.Cardinality())
+	}
+	// AuxFor returns the occurrence-ordered definitions.
+	if got := p.AuxFor("S"); len(got) != 1 || got[0].Name != sa.Name {
+		t.Errorf("AuxFor(S) = %v", got)
+	}
+	if got := p.AuxFor("nope"); got != nil {
+		t.Errorf("AuxFor(unknown) = %v", got)
+	}
+}
+
+// TestSelfMaintRewriteEvaluates proves the rewritten tree over auxiliary
+// contents equals the original view over base contents.
+func TestSelfMaintRewriteEvaluates(t *testing.T) {
+	views := []Expr{
+		smView(),
+		MustJoin(Scan("R", smR), Scan("S", smS)),
+		MustUnionAll(MustProject(Scan("R", smR), "B"), MustProject(Scan("S", smS), "B")),
+		MustExcept(MustProject(Scan("R", smR), "B"), MustProject(Scan("S", smS), "B")),
+		MustAggregate(MustJoin(Scan("R", smR), Scan("S", smS)), []string{"A"},
+			[]AggSpec{{Op: Count, As: "n"}}),
+		// Self-join: two occurrences of R.
+		MustJoin(MustProject(Scan("R", smR), "A", "B"),
+			MustRename(MustProject(Scan("R", smR), "A", "B"), map[string]string{"A": "B", "B": "C"})),
+	}
+	db := MapDB{
+		"R": relation.FromTuples(smR, relation.T(1, 2), relation.T(3, 4), relation.T(2, 1)),
+		"S": relation.FromTuples(smS, relation.T(2, 5), relation.T(4, 7), relation.T(2, -3)),
+	}
+	for i, v := range views {
+		p, err := AnalyzeSelfMaint(v)
+		if err != nil {
+			t.Fatalf("view %d: %v", i, err)
+		}
+		auxDB := MapDB{}
+		for _, a := range p.Aux {
+			r, err := Eval(a.Expr, db)
+			if err != nil {
+				t.Fatalf("view %d: seeding %s: %v", i, a.Name, err)
+			}
+			auxDB[a.Name] = r
+		}
+		got, err := Eval(p.Rewritten, auxDB)
+		if err != nil {
+			t.Fatalf("view %d: rewritten eval: %v", i, err)
+		}
+		want, err := Eval(v, db)
+		if err != nil {
+			t.Fatalf("view %d: base eval: %v", i, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("view %d: rewritten = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestAuxWritesMatchBaseDeltas is the randomized property: for a stream of
+// random base writes, delta-evaluating the rewritten tree over auxiliary
+// state with AuxWrites must equal delta-evaluating the original view over
+// base state, update for update — including on a self-join, where one base
+// write fans out into sequential per-occurrence auxiliary writes.
+func TestAuxWritesMatchBaseDeltas(t *testing.T) {
+	views := []Expr{
+		smView(),
+		MustJoin(MustProject(Scan("R", smR), "A", "B"),
+			MustRename(MustProject(Scan("R", smR), "A", "B"), map[string]string{"A": "B", "B": "C"})),
+	}
+	for vi, view := range views {
+		rng := rand.New(rand.NewSource(int64(42 + vi)))
+		p, err := AnalyzeSelfMaint(view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := MapDB{"R": relation.New(smR), "S": relation.New(smS)}
+		aux := MapDB{}
+		for _, a := range p.Aux {
+			r, err := Eval(a.Expr, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aux[a.Name] = r
+		}
+		opt := Optimize(view)
+		for step := 0; step < 200; step++ {
+			w := randWrite(rng, base)
+			wantDelta, err := DeltaWrites(opt, []Write{w}, base)
+			if err != nil {
+				t.Fatalf("view %d step %d: base delta: %v", vi, step, err)
+			}
+			aw, err := p.AuxWrites([]Write{w})
+			if err != nil {
+				t.Fatalf("view %d step %d: aux writes: %v", vi, step, err)
+			}
+			gotDelta, err := DeltaWrites(p.Rewritten, aw, aux)
+			if err != nil {
+				t.Fatalf("view %d step %d: aux delta: %v", vi, step, err)
+			}
+			if !gotDelta.Equal(wantDelta) {
+				t.Fatalf("view %d step %d (%v): aux delta %v, want %v", vi, step, w, gotDelta, wantDelta)
+			}
+			// Advance both worlds.
+			if err := base[w.Relation].Apply(w.Delta); err != nil {
+				t.Fatal(err)
+			}
+			for _, x := range aw {
+				if err := aux[x.Relation].Apply(x.Delta); err != nil {
+					t.Fatalf("view %d step %d: aux apply: %v", vi, step, err)
+				}
+			}
+		}
+	}
+}
+
+// randWrite produces an insert always applicable, or a delete of an
+// existing tuple when one exists.
+func randWrite(rng *rand.Rand, db MapDB) Write {
+	rel := "R"
+	sch := smR
+	if rng.Intn(2) == 1 {
+		rel = "S"
+		sch = smS
+	}
+	cur := db[rel]
+	if cur.Cardinality() > 0 && rng.Intn(3) == 0 {
+		var tuples []relation.Tuple
+		cur.Each(func(tu relation.Tuple, n int64) bool {
+			tuples = append(tuples, tu)
+			return true
+		})
+		return Write{Relation: rel, Delta: relation.DeleteDelta(sch, tuples[rng.Intn(len(tuples))])}
+	}
+	return Write{Relation: rel, Delta: relation.InsertDelta(sch,
+		relation.T(rng.Intn(5)-1, rng.Intn(5)-1))}
+}
+
+func TestAnalyzeSelfMaintNoBase(t *testing.T) {
+	c := NewConst(smR, relation.InsertDelta(smR, relation.T(1, 1)))
+	if _, err := AnalyzeSelfMaint(c); err == nil {
+		t.Error("a constant view has nothing to maintain; analysis must refuse")
+	}
+}

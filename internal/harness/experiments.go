@@ -566,6 +566,45 @@ func ManagerComparison(seed int64, updates int) Table {
 	return t
 }
 
+// SelfMaint is experiment W6: freshness under source latency, query-based
+// maintenance (CompleteQuery: two snapshot round-trips per update) versus
+// auxiliary-relation self-maintenance (zero source messages). Expected
+// shape: the query manager's lag tracks the injected source delay almost
+// linearly — every update waits for a round trip, and at high delays
+// updates pile up behind the in-flight round — while self-maintenance is
+// flat across the whole sweep, with srcQ/upd pinned at 0.
+func SelfMaint(seed int64, updates int) Table {
+	t := Table{
+		ID:      "W6",
+		Title:   "self-maintenance vs query-based maintenance under source latency",
+		Columns: []string{"srcDelay", "manager", "lagMean", "lagP95", "drainLag", "msgs/upd", "srcQ/upd", "level"},
+		Notes:   "paper schema, SPA, 250µs arrivals; srcDelay is added to every source snapshot-query answer",
+	}
+	for _, d := range []int64{0, 200_000, 1_000_000, 5_000_000, 20_000_000} {
+		for _, k := range []system.ManagerKind{system.CompleteQuery, system.SelfMaintaining} {
+			r := mustRun(Params{
+				Name:             fmt.Sprintf("%s/delay=%d", k, d),
+				Sources:          workload.PaperSources(),
+				Views:            workload.PaperViews(k),
+				Updates:          updates,
+				Interval:         250_000,
+				NetLatency:       [2]int64{10_000, 10_000},
+				SourceQueryDelay: d,
+				Seed:             seed,
+				CheckConsistency: true,
+			})
+			t.Rows = append(t.Rows, []string{
+				us(d), k.String(),
+				us(r.LagMean), us(r.LagP95), us(r.DrainLag),
+				fmt.Sprintf("%.1f", float64(r.Messages)/float64(updates)),
+				fmt.Sprintf("%.1f", float64(r.SourceQueries)/float64(updates)),
+				r.LevelString(),
+			})
+		}
+	}
+	return t
+}
+
 // AllExperiments runs the full study.
 func AllExperiments(seed int64, updates int) []Table {
 	return []Table{
@@ -580,6 +619,7 @@ func AllExperiments(seed int64, updates int) []Table {
 		RelayAblation(seed, updates),
 		StagedTransfer(seed, updates),
 		ManagerComparison(seed, updates),
+		SelfMaint(seed, updates),
 	}
 }
 

@@ -78,6 +78,11 @@ type Params struct {
 	// RestrictWrites, when non-empty, limits generated updates to these
 	// relations.
 	RestrictWrites []string
+	// SourceQueryDelay adds a fixed service time (ns) to every source
+	// snapshot-query answer, modeling slow or distant sources. Updates are
+	// unaffected — only managers that query (CompleteQuery, QueryBatching,
+	// degraded SelfMaintaining) pay it.
+	SourceQueryDelay int64
 	// CheckConsistency records warehouse states and judges the run.
 	CheckConsistency bool
 }
@@ -114,6 +119,9 @@ type Result struct {
 
 	// Messages counts every delivered message in the run (network traffic).
 	Messages int64
+	// SourceQueries counts snapshot queries the managers sent to the
+	// sources — the round-trips self-maintenance exists to eliminate.
+	SourceQueries int64
 
 	// Level is the consistency verdict (CheckConsistency only);
 	// Convergent reports whether the run even converged (a run that fails
@@ -230,6 +238,15 @@ func Run(p Params) (Result, error) {
 		return res, fmt.Errorf("harness: unknown architecture %v", p.Arch)
 	}
 
+	// Wrap the source-cluster node so the run counts manager→source
+	// snapshot queries and, with SourceQueryDelay set, answers them slowly.
+	var srcQueries int64
+	for i, n := range nodes {
+		if n.ID() == msg.NodeCluster {
+			nodes[i] = &delayQueries{inner: n, delay: p.SourceQueryDelay, queries: &srcQueries}
+		}
+	}
+
 	var latency sim.Latency
 	if p.NetLatency[1] > p.NetLatency[0] {
 		latency = sim.UniformLatency(p.Seed+1, p.NetLatency[0], p.NetLatency[1])
@@ -255,6 +272,7 @@ func Run(p Params) (Result, error) {
 	}
 	res.Duration = simulator.Run()
 	res.Messages = simulator.Delivered()
+	res.SourceQueries = srcQueries
 
 	// Freshness: per covered update, warehouse-commit time minus source
 	// commit time.
@@ -323,6 +341,34 @@ func Run(p Params) (Result, error) {
 		res.Checked = true
 	}
 	return res, nil
+}
+
+// delayQueries wraps the source-cluster node: it counts incoming snapshot
+// queries and defers their answers by a fixed service time, so experiments
+// can make source round-trips expensive without touching update latency.
+type delayQueries struct {
+	inner   msg.Node
+	delay   int64
+	queries *int64
+}
+
+// ID implements msg.Node.
+func (d *delayQueries) ID() string { return d.inner.ID() }
+
+// Handle implements msg.Node.
+func (d *delayQueries) Handle(m any, now int64) []msg.Outbound {
+	if _, ok := m.(msg.QueryRequest); ok {
+		*d.queries++
+	}
+	out := d.inner.Handle(m, now)
+	if d.delay > 0 {
+		for i := range out {
+			if _, ok := out[i].Msg.(msg.QueryResponse); ok {
+				out[i].Delay += d.delay
+			}
+		}
+	}
+	return out
 }
 
 func warehouseDelay(p Params) func(msg.WarehouseTxn) int64 {

@@ -56,6 +56,15 @@ type FleetConfig struct {
 	// explored schedules judge the DAG path against the same invariant
 	// battery as the baseline.
 	SharedPlans bool
+	// SelfMaintain runs the fleet's complete managers as SelfMaintaining
+	// (auxiliary-relation maintenance, zero source queries on the covered
+	// path), so explored schedules judge self-maintenance against the same
+	// invariant battery — and, in the equivalence tests, the same
+	// fingerprints — as the replica-based baseline. spa only.
+	SelfMaintain bool
+	// MaxAuxRows bounds the self-maintaining managers' auxiliaries,
+	// forcing the degraded/repair fallback path onto explored schedules.
+	MaxAuxRows int
 	// Inspect, when set, runs at the end of every schedule's quiescence
 	// check after all invariants passed — equivalence tests use it to
 	// fingerprint the terminal warehouse state sequence.
@@ -92,15 +101,20 @@ func buildFleet(cfg FleetConfig) (*Harness, error) {
 			views[i].ComputeDelay = func(n int) int64 { return int64(n) }
 		}
 	}
+	if cfg.SelfMaintain && cfg.Algo != "spa" {
+		return nil, fmt.Errorf("sched: self-maintenance applies to the spa fleet only")
+	}
 	sys, err := system.Build(system.Config{
-		Sources:     workload.PaperSources(),
-		Views:       views,
-		Commit:      system.Sequential,
-		LogStates:   true,
-		Pool:        cfg.Pool,
-		Obs:         cfg.Obs,
-		Replicate:   cfg.Replicate,
-		SharedPlans: cfg.SharedPlans,
+		Sources:      workload.PaperSources(),
+		Views:        views,
+		Commit:       system.Sequential,
+		LogStates:    true,
+		Pool:         cfg.Pool,
+		Obs:          cfg.Obs,
+		Replicate:    cfg.Replicate,
+		SharedPlans:  cfg.SharedPlans,
+		SelfMaintain: cfg.SelfMaintain,
+		MaxAuxRows:   cfg.MaxAuxRows,
 	})
 	if err != nil {
 		return nil, err
@@ -140,13 +154,17 @@ func buildFleet(cfg FleetConfig) (*Harness, error) {
 				Pool:         cfg.Pool,
 				Obs:          cfg.Obs,
 				SharedDeltas: cfg.SharedPlans,
+				MaxAuxRows:   cfg.MaxAuxRows,
 			}
 			h.Rebuild[msg.NodeViewManager(v.ID)] = func() msg.Node {
 				var m viewmgr.Manager
 				var err error
-				if cfg.Algo == "spa" {
+				switch {
+				case cfg.Algo == "spa" && cfg.SelfMaintain:
+					m, err = viewmgr.NewSelfMaintaining(mc, initDB)
+				case cfg.Algo == "spa":
 					m, err = viewmgr.NewComplete(mc, initDB)
-				} else {
+				default:
 					m, err = viewmgr.NewBatching(mc, initDB)
 				}
 				if err != nil {

@@ -1,0 +1,104 @@
+// selfmaint_test.go is the self-maintenance correctness battery: explored
+// schedules — including crash/stall fault schedules — must drive the
+// warehouse through a fingerprint-identical state sequence whether the spa
+// fleet's complete managers maintain full base replicas (baseline) or
+// auxiliary relations (SelfMaintain). On the covered path the
+// self-maintaining manager emits exactly the same message multiset (one
+// Complete action list per update, no source traffic), so schedule s is
+// the same interleaving in both modes and every epoch must hash equal.
+package sched
+
+import "testing"
+
+// TestSelfMaintainEquivalence runs seeded random schedules of the spa
+// fleet with and without auxiliary-relation maintenance and compares the
+// warehouse state sequences epoch for epoch.
+func TestSelfMaintainEquivalence(t *testing.T) {
+	cfg := FleetConfig{Algo: "spa", Updates: 5, Seed: 3}
+	opts := Options{Seed: 100, Seeds: scale(t, 40)}
+	base := exploreFingerprints(t, cfg, opts)
+	cfg.SelfMaintain = true
+	self := exploreFingerprints(t, cfg, opts)
+	requireIdentical(t, base, self)
+}
+
+// TestSelfMaintainEquivalenceUnderFaults repeats the comparison with
+// crash/restart and stall faults drawn per step, in both recovery models:
+// input-log replay and durable state snapshots (which carry the auxiliary
+// relations — including the degraded set — through Rebuild).
+func TestSelfMaintainEquivalenceUnderFaults(t *testing.T) {
+	for _, tc := range []struct {
+		name         string
+		stateRestore bool
+	}{
+		{"replay", false},
+		{"state-restore", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := FleetConfig{Algo: "spa", Updates: 4, Seed: 9, Crashable: true, StateRestore: tc.stateRestore}
+			opts := Options{Seed: 500, Seeds: scale(t, 30), FaultRate: 0.05}
+			base := exploreFingerprints(t, cfg, opts)
+			cfg.SelfMaintain = true
+			self := exploreFingerprints(t, cfg, opts)
+			requireIdentical(t, base, self)
+		})
+	}
+}
+
+// TestSelfMaintainDFSEquivalence drives systematic enumeration: every
+// DFS-enumerated interleaving must land on identical state sequences.
+func TestSelfMaintainDFSEquivalence(t *testing.T) {
+	cfg := FleetConfig{Algo: "spa", Updates: 2, Seed: 11}
+	opts := Options{DFS: true, MaxSchedules: scale(t, 400)}
+	base := exploreFingerprints(t, cfg, opts)
+	cfg.SelfMaintain = true
+	self := exploreFingerprints(t, cfg, opts)
+	requireIdentical(t, base, self)
+}
+
+// TestSelfMaintainBoundedFallback bounds the auxiliaries to one row, so
+// explored schedules constantly degrade and repair them through source
+// query rounds. The fallback adds query/response messages, so the message
+// multiset — and hence the interleaving per seed — differs from the
+// baseline: no fingerprint comparison, but every schedule must still pass
+// the full invariant battery (complete MVC, column order, atomicity,
+// promptness), proving the repaired path emits correct action lists under
+// every interleaving, including fault schedules.
+func TestSelfMaintainBoundedFallback(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+		cfg  FleetConfig
+	}{
+		{"random",
+			Options{Seed: 100, Seeds: scale(t, 40)},
+			FleetConfig{Algo: "spa", Updates: 5, Seed: 3, SelfMaintain: true, MaxAuxRows: 1}},
+		{"faults",
+			Options{Seed: 500, Seeds: scale(t, 30), FaultRate: 0.05},
+			FleetConfig{Algo: "spa", Updates: 4, Seed: 9, SelfMaintain: true, MaxAuxRows: 1, Crashable: true}},
+		{"faults-state-restore",
+			Options{Seed: 700, Seeds: scale(t, 30), FaultRate: 0.05},
+			FleetConfig{Algo: "spa", Updates: 4, Seed: 9, SelfMaintain: true, MaxAuxRows: 1, Crashable: true, StateRestore: true}},
+		{"dfs",
+			Options{DFS: true, MaxSchedules: scale(t, 400)},
+			FleetConfig{Algo: "spa", Updates: 2, Seed: 11, SelfMaintain: true, MaxAuxRows: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Explore(Fleet(tc.cfg), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				t.Fatalf("violation:\n%v", res.Violation)
+			}
+		})
+	}
+}
+
+// TestSelfMaintainRequiresSPA: the flag applies to complete managers only.
+func TestSelfMaintainRequiresSPA(t *testing.T) {
+	_, err := buildFleet(FleetConfig{Algo: "pa", SelfMaintain: true})
+	if err == nil {
+		t.Error("pa fleet with SelfMaintain must fail to build")
+	}
+}

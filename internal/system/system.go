@@ -43,6 +43,10 @@ const (
 	CompleteN
 	// Convergent: §6.3 convergence-only.
 	Convergent
+	// SelfMaintaining: one AL per update from auxiliary relations derived
+	// by expr.AnalyzeSelfMaint — zero source queries on the covered path,
+	// bounded repair queries when Config.MaxAuxRows drops an auxiliary.
+	SelfMaintaining
 )
 
 // String names the kind.
@@ -62,6 +66,8 @@ func (k ManagerKind) String() string {
 		return "complete-N"
 	case Convergent:
 		return "convergent"
+	case SelfMaintaining:
+		return "self-maintaining"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -69,7 +75,7 @@ func (k ManagerKind) String() string {
 // Level returns the consistency level a kind guarantees.
 func (k ManagerKind) Level() msg.Level {
 	switch k {
-	case Complete, CompleteQuery:
+	case Complete, CompleteQuery, SelfMaintaining:
 		return msg.Complete
 	case Convergent:
 		return msg.Convergent
@@ -160,6 +166,15 @@ type Config struct {
 	// kinds (CompleteQuery, QueryBatching), whose deltas come from source
 	// queries rather than local evaluation.
 	SharedPlans bool
+	// SelfMaintain converts every Complete and CompleteQuery view to a
+	// SelfMaintaining manager (auxiliary-relation maintenance; see
+	// viewmgr.SelfMaintaining). Incompatible with SharedPlans — the DAG
+	// already computes every view delta upstream, leaving auxiliary state
+	// nothing to do.
+	SelfMaintain bool
+	// MaxAuxRows bounds each auxiliary relation a SelfMaintaining manager
+	// keeps; 0 means unbounded. See viewmgr.Config.MaxAuxRows.
+	MaxAuxRows int
 	// LogStates records the warehouse state sequence for the checker.
 	LogStates bool
 	// Clock supplies commit timestamps (defaults to zero; the runtime and
@@ -319,11 +334,24 @@ func Build(cfg Config) (*System, error) {
 	if cfg.Obs != nil {
 		iopts = append(iopts, integrator.WithObs(cfg.Obs))
 	}
+	if cfg.SelfMaintain {
+		if cfg.SharedPlans {
+			return nil, fmt.Errorf("system: self-maintenance is incompatible with shared plans (the DAG already computes per-view deltas upstream)")
+		}
+		converted := make([]ViewDef, len(cfg.Views))
+		copy(converted, cfg.Views)
+		for i := range converted {
+			if converted[i].Manager == Complete || converted[i].Manager == CompleteQuery {
+				converted[i].Manager = SelfMaintaining
+			}
+		}
+		cfg.Views = converted
+	}
 	var dag *plan.DAG
 	if cfg.SharedPlans {
 		pviews := make([]plan.View, 0, len(cfg.Views))
 		for _, v := range cfg.Views {
-			if v.Manager == CompleteQuery || v.Manager == QueryBatching {
+			if v.Manager == CompleteQuery || v.Manager == QueryBatching || v.Manager == SelfMaintaining {
 				return nil, fmt.Errorf("system: shared plans are incompatible with query-based manager kind %v (view %s)", v.Manager, v.ID)
 			}
 			pviews = append(pviews, plan.View{ID: v.ID, Expr: v.Expr})
@@ -381,6 +409,7 @@ func Build(cfg Config) (*System, error) {
 			Pool:         pool,
 			Obs:          cfg.Obs,
 			SharedDeltas: cfg.SharedPlans,
+			MaxAuxRows:   cfg.MaxAuxRows,
 		}
 		var mgr viewmgr.Manager
 		switch v.Manager {
@@ -388,6 +417,8 @@ func Build(cfg Config) (*System, error) {
 			mgr, err = viewmgr.NewComplete(mc, initDB)
 		case CompleteQuery:
 			mgr = viewmgr.NewCompleteQuery(mc)
+		case SelfMaintaining:
+			mgr, err = viewmgr.NewSelfMaintaining(mc, initDB)
 		case Batching:
 			mgr, err = viewmgr.NewBatching(mc, initDB)
 		case QueryBatching:
@@ -515,9 +546,10 @@ type StateNode interface {
 // keyed by its msg node name (the cluster under msg.NodeCluster even
 // though the snapshot captures the *source.Cluster behind the node
 // wrapper). The second result lists processes that do NOT support
-// state capture — query-based view managers rebuild nothing and hold
-// no state, so drivers may either reject the configuration or accept
-// that those managers restart cold.
+// state capture; every built-in manager kind — including the
+// query-based ones, whose QID bookkeeping and backlog now snapshot
+// like everything else — implements StateNode, so it is empty unless
+// a caller installs a custom manager without MarshalState/RestoreState.
 func (s *System) DurableNodes() (map[string]StateNode, []string) {
 	parts := make(map[string]StateNode)
 	var missing []string

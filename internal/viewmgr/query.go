@@ -27,9 +27,17 @@ type CompleteQuery struct {
 	// inflight query bookkeeping for the head-of-queue update.
 	pending map[msg.QueryID]string // qid -> relation name
 	results map[string]*relation.Relation
+	retries int // failed-response re-issues within the current round
 	rels    relCarrier
 	ob      vmObs
 }
+
+// maxQueryRetries bounds re-issues of a failed source query within one
+// round before the manager treats the failure as permanent. Transient
+// errors (a source restarting, a dropped session) resolve well within the
+// bound; a source that keeps failing is a real outage and the panic
+// surfaces it instead of retrying forever.
+const maxQueryRetries = 8
 
 // NewCompleteQuery builds a query-based complete manager.
 func NewCompleteQuery(cfg Config) *CompleteQuery {
@@ -71,11 +79,13 @@ func (m *CompleteQuery) startHead() []msg.Outbound {
 	u := m.queue[0]
 	m.pending = make(map[msg.QueryID]string)
 	m.results = make(map[string]*relation.Relation)
+	m.retries = 0
 	var out []msg.Outbound
 	for _, rel := range m.cfg.Expr.BaseRelations() {
 		m.nextQID++
 		qid := m.nextQID
 		m.pending[qid] = rel
+		m.ob.sourceQueries.Inc()
 		sch := scanSchema(m.cfg.Expr, rel)
 		out = append(out, msg.Send(msg.NodeCluster, msg.QueryRequest{
 			ID:   qid,
@@ -93,7 +103,27 @@ func (m *CompleteQuery) onResponse(resp msg.QueryResponse, now int64) []msg.Outb
 		return nil // stale response from an abandoned round
 	}
 	if resp.Err != "" {
-		panic(fmt.Sprintf("viewmgr: %s: source query failed: %s", m.cfg.View, resp.Err))
+		// Transient source failure: re-issue the same snapshot read under a
+		// fresh QID (a late answer to the failed QID is dropped as stale),
+		// bounded so a permanently failing source still surfaces.
+		m.retries++
+		if m.retries > maxQueryRetries {
+			panic(fmt.Sprintf("viewmgr: %s: source query for %q failed %d times: %s",
+				m.cfg.View, rel, m.retries, resp.Err))
+		}
+		delete(m.pending, resp.ID)
+		m.ob.queryRetries.Inc()
+		m.ob.sourceQueries.Inc()
+		u := m.queue[0]
+		m.nextQID++
+		qid := m.nextQID
+		m.pending[qid] = rel
+		return []msg.Outbound{msg.Send(msg.NodeCluster, msg.QueryRequest{
+			ID:   qid,
+			From: m.ID(),
+			Expr: expr.Scan(rel, scanSchema(m.cfg.Expr, rel)),
+			AsOf: u.Seq - 1,
+		})}
 	}
 	delete(m.pending, resp.ID)
 	r, err := deltaToRelation(resp.Result)
@@ -145,10 +175,11 @@ type QueryBatching struct {
 	frontierTrace *obs.TraceCtx
 	targetTrace   *obs.TraceCtx
 	dirty         bool
-	sentUpto msg.UpdateID
-	lastSent *relation.Relation
-	rels     relCarrier
-	ob       vmObs
+	retries       int // failed-response re-issues for the current frontier query
+	sentUpto      msg.UpdateID
+	lastSent      *relation.Relation
+	rels          relCarrier
+	ob            vmObs
 	// dirtySince is the arrival of the oldest un-queried update;
 	// queryFirst captures it when the in-flight query starts.
 	dirtySince int64
@@ -185,7 +216,24 @@ func (m *QueryBatching) Handle(in any, now int64) []msg.Outbound {
 			return nil
 		}
 		if t.Err != "" {
-			panic(fmt.Sprintf("viewmgr: %s: source query failed: %s", m.cfg.View, t.Err))
+			// Transient source failure: re-issue the frontier query under a
+			// fresh QID; a late answer to the old one no longer matches m.qid
+			// and is dropped above. Bounded so a dead source still surfaces.
+			m.retries++
+			if m.retries > maxQueryRetries {
+				panic(fmt.Sprintf("viewmgr: %s: source query failed %d times: %s",
+					m.cfg.View, m.retries, t.Err))
+			}
+			m.ob.queryRetries.Inc()
+			m.ob.sourceQueries.Inc()
+			m.nextQID++
+			m.qid = m.nextQID
+			return []msg.Outbound{msg.Send(msg.NodeCluster, msg.QueryRequest{
+				ID:   m.qid,
+				From: m.ID(),
+				Expr: m.cfg.Expr,
+				AsOf: m.target,
+			})}
 		}
 		m.inflight = false
 		cur, err := deltaToRelation(t.Result)
@@ -221,6 +269,8 @@ func (m *QueryBatching) pump() []msg.Outbound {
 	m.nextQID++
 	m.qid = m.nextQID
 	m.inflight = true
+	m.retries = 0
+	m.ob.sourceQueries.Inc()
 	return []msg.Outbound{msg.Send(msg.NodeCluster, msg.QueryRequest{
 		ID:   m.qid,
 		From: m.ID(),

@@ -1,0 +1,298 @@
+package viewmgr
+
+import (
+	"fmt"
+	"sort"
+
+	"whips/internal/expr"
+	"whips/internal/msg"
+	"whips/internal/obs"
+	"whips/internal/relation"
+)
+
+// SelfMaintaining is a complete view manager that keeps auxiliary relations
+// (expr.AnalyzeSelfMaint) instead of full base replicas or source queries:
+// each auxiliary holds only the columns and rows its view occurrence can
+// need, is maintained incrementally from the update stream itself, and the
+// view delta is computed entirely over auxiliary state — zero messages to
+// the sources on the covered path, so freshness is independent of source
+// latency and availability.
+//
+// With Config.MaxAuxRows set, an auxiliary growing past the bound is
+// dropped (the manager degrades that occurrence); the next update then
+// repairs it with a bounded source query — the auxiliary's own definition
+// evaluated as-of the pre-update state — before the action list is emitted.
+// The emitted stream is identical either way: one Complete-level list per
+// update, byte-for-byte the stream CompleteQuery produces.
+type SelfMaintaining struct {
+	cfg  Config
+	plan *expr.SelfMaintPlan
+	// aux maps auxiliary name to its maintained contents; a nil entry is a
+	// degraded auxiliary awaiting repair.
+	aux     map[string]*relation.Relation
+	auxDefs map[string]expr.AuxRelation
+
+	queue    []msg.Update
+	arrivals []int64 // arrivals[i] is when queue[i] arrived
+
+	// Fallback-round bookkeeping (mirrors CompleteQuery's head round).
+	nextQID   msg.QueryID
+	pending   map[msg.QueryID]string // qid -> auxiliary name being repaired
+	fetched   map[string]*relation.Relation
+	retries   int
+	repairing bool // the head update needed a source round
+
+	rels relCarrier
+	ob   vmObs
+	sob  selfObs
+}
+
+// selfObs holds the self-maintenance-specific metric handles.
+type selfObs struct {
+	// localDeltas counts updates answered purely from auxiliary state —
+	// the zero-source-message path.
+	localDeltas *obs.Counter
+	// auxBytes estimates the resident auxiliary footprint.
+	auxBytes *obs.Gauge
+}
+
+func newSelfObs(cfg Config) selfObs {
+	r := cfg.Obs.Reg()
+	v := string(cfg.View)
+	return selfObs{
+		localDeltas: r.Counter("vm_local_deltas_total", "view", v),
+		auxBytes:    r.Gauge("vm_aux_bytes", "view", v),
+	}
+}
+
+// NewSelfMaintaining analyzes cfg.Expr and seeds the auxiliary relations
+// from init (the base database at state 0).
+func NewSelfMaintaining(cfg Config, init expr.Database) (*SelfMaintaining, error) {
+	if cfg.SharedDeltas {
+		return nil, fmt.Errorf("viewmgr: %s: self-maintenance is incompatible with shared-deltas mode (the DAG already computes per-view deltas upstream)", cfg.View)
+	}
+	plan, err := expr.AnalyzeSelfMaint(cfg.Expr)
+	if err != nil {
+		return nil, fmt.Errorf("viewmgr: %s: %w", cfg.View, err)
+	}
+	m := &SelfMaintaining{
+		cfg:     cfg,
+		plan:    plan,
+		aux:     make(map[string]*relation.Relation, len(plan.Aux)),
+		auxDefs: make(map[string]expr.AuxRelation, len(plan.Aux)),
+		ob:      newVMObs(cfg),
+		sob:     newSelfObs(cfg),
+	}
+	for _, a := range plan.Aux {
+		m.auxDefs[a.Name] = a
+		r, err := expr.Eval(a.Expr, init)
+		if err != nil {
+			return nil, fmt.Errorf("viewmgr: %s: seeding auxiliary %s: %w", cfg.View, a.Name, err)
+		}
+		m.aux[a.Name] = r
+	}
+	m.enforceBound()
+	return m, nil
+}
+
+// Level returns the manager's consistency level.
+func (m *SelfMaintaining) Level() msg.Level { return msg.Complete }
+
+// ID implements msg.Node.
+func (m *SelfMaintaining) ID() string { return msg.NodeViewManager(m.cfg.View) }
+
+// Relation implements expr.Database over the auxiliary state; a degraded
+// auxiliary is an error, which the drain loop prevents by repairing first.
+func (m *SelfMaintaining) Relation(name string) (*relation.Relation, error) {
+	r, ok := m.aux[name]
+	if !ok || r == nil {
+		return nil, fmt.Errorf("viewmgr: auxiliary relation %q unavailable", name)
+	}
+	return r, nil
+}
+
+// Handle implements msg.Node.
+func (m *SelfMaintaining) Handle(in any, now int64) []msg.Outbound {
+	switch t := in.(type) {
+	case msg.Update:
+		m.rels.collect(t)
+		m.queue = append(m.queue, t)
+		m.arrivals = append(m.arrivals, now)
+		m.ob.updates.Inc()
+		m.ob.queueDepth.Observe(int64(len(m.queue)))
+		if m.pending != nil {
+			return nil // a fallback round is in flight; the drain resumes after it
+		}
+		return m.drain(now)
+	case msg.QueryResponse:
+		return m.onResponse(t, now)
+	default:
+		return nil
+	}
+}
+
+// drain emits one action list per queued update until the queue is empty or
+// a degraded auxiliary forces a source round (which suspends the drain; the
+// round's completion resumes it).
+func (m *SelfMaintaining) drain(now int64) []msg.Outbound {
+	var out []msg.Outbound
+	for len(m.queue) > 0 {
+		if missing := m.degraded(); len(missing) > 0 {
+			return append(out, m.startRepair(missing)...)
+		}
+		out = append(out, m.emitHead(now)...)
+	}
+	return out
+}
+
+// degraded returns the names of dropped auxiliaries, sorted for determinism.
+func (m *SelfMaintaining) degraded() []string {
+	var out []string
+	for name, r := range m.aux {
+		if r == nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// emitHead processes the head-of-queue update entirely locally: translate
+// its base writes into auxiliary writes, delta-evaluate the rewritten view
+// over the auxiliary pre-state, then advance the auxiliaries. The sequential
+// per-occurrence writes reproduce the join delta rule exactly (see
+// expr.SelfMaintPlan.AuxWrites), so the delta matches what a replica- or
+// query-based complete manager computes for the same update.
+func (m *SelfMaintaining) emitHead(now int64) []msg.Outbound {
+	u := m.queue[0]
+	firstArrival := m.arrivals[0]
+	m.queue = m.queue[1:]
+	m.arrivals = m.arrivals[1:]
+
+	auxWrites, err := m.plan.AuxWrites(msg.ExprWrites(u.Writes))
+	if err != nil {
+		panic(fmt.Sprintf("viewmgr: %s: update %d: %v", m.cfg.View, u.Seq, err))
+	}
+	delta, err := expr.DeltaWrites(m.plan.Rewritten, auxWrites, m)
+	if err != nil {
+		panic(fmt.Sprintf("viewmgr: %s: delta of update %d: %v", m.cfg.View, u.Seq, err))
+	}
+	for _, w := range auxWrites {
+		r := m.aux[w.Relation]
+		if r == nil {
+			continue // degraded mid-transaction is impossible here, but stay safe
+		}
+		if err := r.Apply(w.Delta); err != nil {
+			panic(fmt.Sprintf("viewmgr: %s: auxiliary %q diverged at update %d: %v", m.cfg.View, w.Relation, u.Seq, err))
+		}
+	}
+	if m.repairing {
+		m.repairing = false
+	} else {
+		m.sob.localDeltas.Inc()
+	}
+	m.enforceBound()
+
+	als := m.rels.attach([]msg.ActionList{{
+		View:  m.cfg.View,
+		From:  u.Seq,
+		Upto:  u.Seq,
+		Delta: delta,
+		Level: msg.Complete,
+		Trace: u.Trace.Next(now),
+	}})
+	m.ob.emitAL(&als[0], m.ID(), now, firstArrival, 1)
+	return []msg.Outbound{msg.Send(m.cfg.Merge, als[0])}
+}
+
+// startRepair begins the bounded fallback: one source query per degraded
+// auxiliary, each the auxiliary's own (selection/projection-narrowed)
+// definition evaluated as-of the state just before the head update — so the
+// repaired copies line up exactly with the healthy ones.
+func (m *SelfMaintaining) startRepair(missing []string) []msg.Outbound {
+	u := m.queue[0]
+	m.pending = make(map[msg.QueryID]string, len(missing))
+	m.fetched = make(map[string]*relation.Relation, len(missing))
+	m.retries = 0
+	m.repairing = true
+	var out []msg.Outbound
+	for _, name := range missing {
+		a := m.auxDefs[name]
+		m.nextQID++
+		qid := m.nextQID
+		m.pending[qid] = name
+		m.ob.sourceQueries.Inc()
+		out = append(out, msg.Send(msg.NodeCluster, msg.QueryRequest{
+			ID:   qid,
+			From: m.ID(),
+			Expr: a.Expr,
+			AsOf: u.Seq - 1,
+		}))
+	}
+	return out
+}
+
+func (m *SelfMaintaining) onResponse(resp msg.QueryResponse, now int64) []msg.Outbound {
+	name, ok := m.pending[resp.ID]
+	if !ok {
+		return nil // stale response from an abandoned round
+	}
+	if resp.Err != "" {
+		// Same bounded re-issue as CompleteQuery: fresh QID, old answers
+		// dropped as stale, permanent failure still surfaces.
+		m.retries++
+		if m.retries > maxQueryRetries {
+			panic(fmt.Sprintf("viewmgr: %s: auxiliary repair query for %s failed %d times: %s",
+				m.cfg.View, name, m.retries, resp.Err))
+		}
+		delete(m.pending, resp.ID)
+		m.ob.queryRetries.Inc()
+		m.ob.sourceQueries.Inc()
+		u := m.queue[0]
+		m.nextQID++
+		qid := m.nextQID
+		m.pending[qid] = name
+		return []msg.Outbound{msg.Send(msg.NodeCluster, msg.QueryRequest{
+			ID:   qid,
+			From: m.ID(),
+			Expr: m.auxDefs[name].Expr,
+			AsOf: u.Seq - 1,
+		})}
+	}
+	delete(m.pending, resp.ID)
+	r, err := deltaToRelation(resp.Result)
+	if err != nil {
+		panic(fmt.Sprintf("viewmgr: %s: auxiliary repair of %s: %v", m.cfg.View, name, err))
+	}
+	m.fetched[name] = r
+	if len(m.pending) > 0 {
+		return nil
+	}
+	// Round complete: install the repaired auxiliaries (pre-state of the
+	// head update) and resume the drain. emitHead will advance them past
+	// the head and re-check the bound — a repaired auxiliary that is still
+	// over the bound degrades again immediately, so coverage can flip in
+	// both directions mid-stream.
+	for n, rel := range m.fetched {
+		m.aux[n] = rel
+	}
+	m.pending, m.fetched = nil, nil
+	return m.drain(now)
+}
+
+// enforceBound drops auxiliaries over MaxAuxRows and refreshes the
+// footprint gauge (a cheap estimate: rows × columns × 8 bytes).
+func (m *SelfMaintaining) enforceBound() {
+	var bytes int64
+	for name, r := range m.aux {
+		if r == nil {
+			continue
+		}
+		if m.cfg.MaxAuxRows > 0 && r.Cardinality() > int64(m.cfg.MaxAuxRows) {
+			m.aux[name] = nil
+			continue
+		}
+		bytes += r.Cardinality() * int64(r.Schema().Len()) * 8
+	}
+	m.sob.auxBytes.Set(bytes)
+}

@@ -134,6 +134,255 @@ func (m *Convergent) MarshalState() ([]byte, error) { return m.b.marshalState() 
 // RestoreState implements durable.Durable.
 func (m *Convergent) RestoreState(b []byte) error { return m.b.restoreState(b) }
 
+// encodeQueue/decodeQueue and encodeRels/decodeRels are the wire round-trip
+// for a manager's queued-update backlog and carried RELᵢ sets.
+func encodeQueue(queue []msg.Update) ([]wire.Update, error) {
+	var out []wire.Update
+	for _, u := range queue {
+		wu, err := wire.Encode(u)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, wu.(wire.Update))
+	}
+	return out, nil
+}
+
+func decodeQueue(wus []wire.Update) ([]msg.Update, error) {
+	var out []msg.Update
+	for _, wu := range wus {
+		m, err := wire.Decode(wu)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m.(msg.Update))
+	}
+	return out, nil
+}
+
+func encodeRels(c *relCarrier) ([]wire.RelevantSet, error) {
+	var out []wire.RelevantSet
+	for _, r := range c.pending {
+		wr, err := wire.Encode(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, wr.(wire.RelevantSet))
+	}
+	return out, nil
+}
+
+func decodeRels(c *relCarrier, wrs []wire.RelevantSet) error {
+	c.pending = nil
+	for _, wr := range wrs {
+		m, err := wire.Decode(wr)
+		if err != nil {
+			return err
+		}
+		c.pending = append(c.pending, m.(msg.RelevantSet))
+	}
+	return nil
+}
+
+// queryManagerState persists a CompleteQuery manager. NextQID must survive
+// restarts: a response addressed to a pre-crash QID would otherwise alias a
+// fresh round's QID instead of being dropped as stale.
+type queryManagerState struct {
+	NextQID  int64
+	Queue    []wire.Update
+	Arrivals []int64
+	Rels     []wire.RelevantSet
+}
+
+// MarshalState implements durable.Durable. A checkpoint requires quiescence:
+// with a head round in flight the manager refuses, the same contract as the
+// replica-based managers' busy periods. (At quiescence the queue is empty —
+// a nonempty queue always has a round in flight — so an in-flight round is
+// never persisted; it is abandoned by the crash and restarted by the replay
+// of its update.)
+func (m *CompleteQuery) MarshalState() ([]byte, error) {
+	if m.pending != nil {
+		return nil, fmt.Errorf("viewmgr: %s busy — checkpoint requires quiescence (source query round in flight)", m.cfg.View)
+	}
+	st := queryManagerState{NextQID: int64(m.nextQID), Arrivals: append([]int64(nil), m.arrivals...)}
+	var err error
+	if st.Queue, err = encodeQueue(m.queue); err != nil {
+		return nil, err
+	}
+	if st.Rels, err = encodeRels(&m.rels); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements durable.Durable. Any round that was in flight at
+// the crash is abandoned (pending/results reset; late responses carry QIDs
+// at or below the persisted NextQID and are dropped as stale) and restarts
+// when the WAL replays the update that started it.
+func (m *CompleteQuery) RestoreState(b []byte) error {
+	var st queryManagerState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	q, err := decodeQueue(st.Queue)
+	if err != nil {
+		return err
+	}
+	if err := decodeRels(&m.rels, st.Rels); err != nil {
+		return err
+	}
+	m.nextQID = msg.QueryID(st.NextQID)
+	m.queue = q
+	m.arrivals = append([]int64(nil), st.Arrivals...)
+	m.pending, m.results = nil, nil
+	m.retries = 0
+	return nil
+}
+
+// queryBatchingState persists a QueryBatching manager between rounds.
+type queryBatchingState struct {
+	NextQID    int64
+	Frontier   int64
+	Dirty      bool
+	DirtySince int64
+	SentUpto   int64
+	LastSent   wire.Rel
+	Rels       []wire.RelevantSet
+}
+
+// MarshalState implements durable.Durable; same quiescence contract as
+// CompleteQuery (an in-flight frontier query refuses the checkpoint).
+func (m *QueryBatching) MarshalState() ([]byte, error) {
+	if m.inflight {
+		return nil, fmt.Errorf("viewmgr: %s busy — checkpoint requires quiescence (frontier query in flight)", m.cfg.View)
+	}
+	st := queryBatchingState{
+		NextQID: int64(m.nextQID), Frontier: int64(m.frontier),
+		Dirty: m.dirty, DirtySince: m.dirtySince,
+		SentUpto: int64(m.sentUpto), LastSent: wire.EncodeRelation(m.lastSent),
+	}
+	var err error
+	if st.Rels, err = encodeRels(&m.rels); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements durable.Durable. An in-flight query at the crash
+// is abandoned; the replayed update that made the manager dirty pumps a
+// fresh one under a post-restore QID.
+func (m *QueryBatching) RestoreState(b []byte) error {
+	var st queryBatchingState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	last, err := wire.DecodeRelation(st.LastSent)
+	if err != nil {
+		return err
+	}
+	if err := decodeRels(&m.rels, st.Rels); err != nil {
+		return err
+	}
+	m.nextQID = msg.QueryID(st.NextQID)
+	m.frontier = msg.UpdateID(st.Frontier)
+	m.dirty = st.Dirty
+	m.dirtySince = st.DirtySince
+	m.sentUpto = msg.UpdateID(st.SentUpto)
+	m.lastSent = last
+	m.inflight = false
+	m.retries = 0
+	m.frontierTrace, m.targetTrace = nil, nil
+	return nil
+}
+
+// selfMaintState persists a SelfMaintaining manager: the auxiliary
+// relations (with degraded ones recorded by name so a restart neither
+// resurrects nor forgets them), the backlog, and the QID bookkeeping.
+type selfMaintState struct {
+	Aux      []namedRel
+	Degraded []string
+	Queue    []wire.Update
+	Arrivals []int64
+	Rels     []wire.RelevantSet
+	NextQID  int64
+}
+
+// MarshalState implements durable.Durable; a fallback round in flight
+// refuses the checkpoint (same quiescence contract as CompleteQuery).
+func (m *SelfMaintaining) MarshalState() ([]byte, error) {
+	if m.pending != nil {
+		return nil, fmt.Errorf("viewmgr: %s busy — checkpoint requires quiescence (auxiliary repair in flight)", m.cfg.View)
+	}
+	st := selfMaintState{NextQID: int64(m.nextQID), Arrivals: append([]int64(nil), m.arrivals...)}
+	names := make([]string, 0, len(m.aux))
+	for n := range m.aux {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if m.aux[n] == nil {
+			st.Degraded = append(st.Degraded, n)
+			continue
+		}
+		st.Aux = append(st.Aux, namedRel{Name: n, Rel: wire.EncodeRelation(m.aux[n])})
+	}
+	var err error
+	if st.Queue, err = encodeQueue(m.queue); err != nil {
+		return nil, err
+	}
+	if st.Rels, err = encodeRels(&m.rels); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements durable.Durable.
+func (m *SelfMaintaining) RestoreState(b []byte) error {
+	var st selfMaintState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return err
+	}
+	aux := make(map[string]*relation.Relation, len(st.Aux)+len(st.Degraded))
+	for _, nr := range st.Aux {
+		rel, err := wire.DecodeRelation(nr.Rel)
+		if err != nil {
+			return fmt.Errorf("viewmgr: restore auxiliary %q: %w", nr.Name, err)
+		}
+		aux[nr.Name] = rel
+	}
+	for _, n := range st.Degraded {
+		aux[n] = nil
+	}
+	q, err := decodeQueue(st.Queue)
+	if err != nil {
+		return err
+	}
+	if err := decodeRels(&m.rels, st.Rels); err != nil {
+		return err
+	}
+	m.aux = aux
+	m.queue = q
+	m.arrivals = append([]int64(nil), st.Arrivals...)
+	m.nextQID = msg.QueryID(st.NextQID)
+	m.pending, m.fetched = nil, nil
+	m.retries = 0
+	m.repairing = false
+	m.enforceBound()
+	return nil
+}
+
 type refreshState struct {
 	Reps       []namedRel
 	RepSeq     int64

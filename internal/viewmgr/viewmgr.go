@@ -76,6 +76,11 @@ type Config struct {
 	// relaying, VUT submission — is unchanged; only the delta computation
 	// moves upstream.
 	SharedDeltas bool
+	// MaxAuxRows bounds each auxiliary relation a SelfMaintaining manager
+	// keeps: an auxiliary growing past the bound is dropped, and the next
+	// update touching it repairs it with a bounded source query. 0 means
+	// unbounded (every update is answered locally).
+	MaxAuxRows int
 }
 
 // vmObs holds a manager's metric handles, resolved once at construction.
@@ -87,18 +92,25 @@ type vmObs struct {
 	batchSize  *obs.Histogram
 	genLatency *obs.Histogram
 	queueDepth *obs.Histogram
+	// sourceQueries counts every QueryRequest sent to the sources (the
+	// round-trips self-maintenance exists to eliminate); queryRetries
+	// counts re-issues after a transient QueryResponse.Err.
+	sourceQueries *obs.Counter
+	queryRetries  *obs.Counter
 }
 
 func newVMObs(cfg Config) vmObs {
 	r := cfg.Obs.Reg()
 	v := string(cfg.View)
 	return vmObs{
-		p:          cfg.Obs,
-		updates:    r.Counter("vm_updates_total", "view", v),
-		als:        r.Counter("vm_als_total", "view", v),
-		batchSize:  r.Histogram("vm_batch_updates", obs.SizeBuckets(), "view", v),
-		genLatency: r.Histogram("vm_gen_latency_ns", obs.LatencyBuckets(), "view", v),
-		queueDepth: r.Histogram("vm_queue_depth", obs.SizeBuckets(), "view", v),
+		p:             cfg.Obs,
+		updates:       r.Counter("vm_updates_total", "view", v),
+		als:           r.Counter("vm_als_total", "view", v),
+		batchSize:     r.Histogram("vm_batch_updates", obs.SizeBuckets(), "view", v),
+		genLatency:    r.Histogram("vm_gen_latency_ns", obs.LatencyBuckets(), "view", v),
+		queueDepth:    r.Histogram("vm_queue_depth", obs.SizeBuckets(), "view", v),
+		sourceQueries: r.Counter("vm_source_queries_total", "view", v),
+		queryRetries:  r.Counter("vm_query_retries_total", "view", v),
 	}
 }
 

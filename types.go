@@ -80,13 +80,14 @@ type (
 
 // View manager kinds (§3.3, §6.3).
 const (
-	Complete      = system.Complete
-	CompleteQuery = system.CompleteQuery
-	Batching      = system.Batching
-	QueryBatching = system.QueryBatching
-	Refresh       = system.Refresh
-	CompleteN     = system.CompleteN
-	Convergent    = system.Convergent
+	Complete        = system.Complete
+	CompleteQuery   = system.CompleteQuery
+	Batching        = system.Batching
+	QueryBatching   = system.QueryBatching
+	Refresh         = system.Refresh
+	CompleteN       = system.CompleteN
+	Convergent      = system.Convergent
+	SelfMaintaining = system.SelfMaintaining
 )
 
 // Commit strategies (§4.3).

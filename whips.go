@@ -78,6 +78,18 @@ type Config struct {
 	// unchanged; only where the deltas are computed moves. Incompatible
 	// with query-based manager kinds.
 	SharedPlans bool
+	// SelfMaintain converts every Complete and CompleteQuery view to a
+	// self-maintaining manager: auxiliary relations derived from the view
+	// definition (join-key projections and pushed-down filters of each
+	// base occurrence) are maintained incrementally from the update stream
+	// itself, so deltas are computed with zero source queries. The emitted
+	// action-list stream — and so every consistency guarantee — is
+	// unchanged. Incompatible with SharedPlans.
+	SelfMaintain bool
+	// MaxAuxRows bounds each auxiliary relation a self-maintaining manager
+	// keeps: an auxiliary growing past the bound is dropped and repaired
+	// with a bounded source query when next needed. 0 means unbounded.
+	MaxAuxRows int
 	// Workers sizes the view managers' shared worker pool. 0 (default)
 	// keeps the pure-latency model: ComputeDelay busy periods are timers
 	// and overlap freely. N >= 1 models N compute units — delta
@@ -110,8 +122,10 @@ type Config struct {
 	// a write-ahead log before it enters the pipeline, and Checkpoint (or
 	// SnapshotEvery) persists full system snapshots. A fresh New against
 	// the same directory restores the snapshot and replays the WAL suffix.
-	// Requires Workers == 0 and no query-based managers, and disables
-	// source-history garbage collection.
+	// Requires Workers == 0 and disables source-history garbage
+	// collection. Every built-in manager kind snapshots, including the
+	// query-based ones (their QID bookkeeping and backlog persist; a
+	// query round in flight at a checkpoint is abandoned and restarted).
 	Durable *DurableOptions
 }
 
@@ -158,6 +172,8 @@ func New(cfg Config) (*System, error) {
 		RelayRelevantSets: cfg.RelayRelevantSets,
 		OptimizeViews:     cfg.OptimizeViews,
 		SharedPlans:       cfg.SharedPlans,
+		SelfMaintain:      cfg.SelfMaintain,
+		MaxAuxRows:        cfg.MaxAuxRows,
 		LogStates:         cfg.LogStates,
 		Clock:             func() int64 { return time.Now().UnixNano() },
 		Algorithm:         cfg.Algorithm,
@@ -181,7 +197,7 @@ func New(cfg Config) (*System, error) {
 		}
 		parts, missing := sys.DurableNodes()
 		if len(missing) > 0 {
-			return nil, fmt.Errorf("whips: durable mode cannot snapshot query-based managers %v", missing)
+			return nil, fmt.Errorf("whips: durable mode cannot snapshot managers without state capture %v", missing)
 		}
 		store, err := durable.Open(durable.StoreConfig{Dir: cfg.Durable.Dir, Fsync: cfg.Durable.Fsync, Obs: cfg.Obs})
 		if err != nil {
